@@ -1,0 +1,66 @@
+//! Ablation of the paper's three communication strategies (DESIGN.md §4):
+//!
+//! * (a) binary communication trees vs flat intra-grid communication
+//!   (`New3d` vs `New3dFlat`),
+//! * (b) sparse allreduce vs naive per-node dense allreduce
+//!   (`New3d` vs `New3dNaiveAllreduce`),
+//! * (c) one inter-grid synchronization + replicated computation vs the
+//!   baseline's `O(log Pz)` synchronizations (`New3d*` vs `Baseline3d`).
+//!
+//! Reports simulated time plus message/byte counts per category so each
+//! strategy's mechanism is visible, not just its outcome.
+
+use benchkit::{factorized, max_p, near_square, run_once};
+use simgrid::{Category, MachineModel};
+use sptrsv::{Algorithm, Arch};
+
+fn main() {
+    println!("== Ablation: communication strategies of the proposed 3D SpTRSV ==\n");
+    let fact = factorized("s2D9pt2048", 16);
+    let p = 512.min(max_p());
+    println!(
+        "{:<28} {:>4} {:>12} {:>9} {:>10} {:>9} {:>10}",
+        "variant", "Pz", "time (s)", "XY msgs", "XY bytes", "Z msgs", "Z bytes"
+    );
+    let mut sparse_z_bytes = u64::MAX;
+    let mut naive_z = (0u64, 0u64);
+    let mut tree_time = f64::NAN;
+    let mut flat_time = f64::NAN;
+    for pz in [4usize, 16] {
+        let (px, py) = near_square(p / pz);
+        for (alg, label) in [
+            (Algorithm::New3d, "trees + sparse allreduce"),
+            (Algorithm::New3dFlat, "flat comm + sparse allreduce"),
+            (Algorithm::New3dNaiveAllreduce, "trees + naive allreduce"),
+            (Algorithm::Baseline3d, "baseline [ICS'19]"),
+        ] {
+            let m = run_once(&fact, MachineModel::cori_haswell(), alg, Arch::Cpu, px, py, pz, 1);
+            let xym = m.out.stats.iter().map(|s| s.msgs_sent[Category::XyComm as usize]).sum::<u64>();
+            let xyb = m.out.stats.iter().map(|s| s.bytes_sent[Category::XyComm as usize]).sum::<u64>();
+            let zm = m.out.stats.iter().map(|s| s.msgs_sent[Category::ZComm as usize]).sum::<u64>();
+            let zb = m.out.stats.iter().map(|s| s.bytes_sent[Category::ZComm as usize]).sum::<u64>();
+            println!(
+                "{label:<28} {pz:>4} {:>12.4e} {xym:>9} {xyb:>10} {zm:>9} {zb:>10}",
+                m.out.makespan
+            );
+            if pz == 16 {
+                match alg {
+                    Algorithm::New3d => {
+                        sparse_z_bytes = zb;
+                        tree_time = m.out.makespan;
+                    }
+                    Algorithm::New3dFlat => flat_time = m.out.makespan,
+                    Algorithm::New3dNaiveAllreduce => naive_z = (zm, zb),
+                    _ => {}
+                }
+            }
+        }
+        println!();
+    }
+    println!("sparse allreduce Z bytes {sparse_z_bytes} vs naive {} ({} msgs)", naive_z.1, naive_z.0);
+    println!("tree vs flat time at Pz=16: {tree_time:.4e} vs {flat_time:.4e}");
+    assert!(
+        sparse_z_bytes <= naive_z.1,
+        "the sparse allreduce must move no more inter-grid bytes than the naive one"
+    );
+}

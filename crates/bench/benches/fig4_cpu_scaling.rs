@@ -1,0 +1,92 @@
+//! Figure 4: CPU SpTRSV time on Cori Haswell as the total MPI count
+//! `P = Px·Py·Pz` varies (128…2048) for `Pz ∈ {1, 2, 4, 8, 16, 32}`,
+//! baseline 3D vs proposed 3D, four matrices.
+//!
+//! `Pz = 1` of the proposed algorithm is the 2D communication-optimized
+//! solver of [CSC'18] (red solid curve in the paper). Expected shapes:
+//! the proposed algorithm beats the baseline everywhere (up to 3.45×, on
+//! the s2D9pt matrix), the baseline can lose even to the 2D solver, and
+//! intermediate `Pz` (≈16) is optimal.
+
+use benchkit::{factorized, max_p, near_square, print_header, print_row, run_once};
+use simgrid::MachineModel;
+use sptrsv::{Algorithm, Arch};
+
+fn main() {
+    let matrices = ["s2D9pt2048", "nlpkkt80", "ldoor", "dielFilterV3real"];
+    let ps: Vec<usize> = [128, 256, 512, 1024, 2048]
+        .into_iter()
+        .filter(|&p| p <= max_p())
+        .collect();
+    let pzs = [1usize, 2, 4, 8, 16, 32];
+    println!("== Fig. 4: CPU SpTRSV time (s) on simulated Cori Haswell ==");
+    println!("   (rows: algorithm × Pz; columns: total P; '-' = Pz > P)\n");
+
+    let mut best_speedup_overall: Vec<(String, f64)> = Vec::new();
+    for name in matrices {
+        let fact = factorized(name, 32);
+        println!("--- {name} ---");
+        print_header("alg / Pz \\ P", &ps.iter().map(|p| p.to_string()).collect::<Vec<_>>());
+        let mut table: Vec<Vec<Option<f64>>> = Vec::new();
+        for (alg, label) in [
+            (Algorithm::Baseline3d, "Baseline"),
+            (Algorithm::New3d, "New"),
+        ] {
+            for pz in pzs {
+                let mut row = Vec::new();
+                for &p in &ps {
+                    if p % pz != 0 {
+                        row.push(None);
+                        continue;
+                    }
+                    let (px, py) = near_square(p / pz);
+                    let m = run_once(
+                        &fact,
+                        MachineModel::cori_haswell(),
+                        alg,
+                        Arch::Cpu,
+                        px,
+                        py,
+                        pz,
+                        1,
+                    );
+                    row.push(Some(m.out.makespan));
+                }
+                print_row(&format!("{label} Pz={pz}"), &row);
+                table.push(row);
+            }
+        }
+        // Headline: max speedup of New over Baseline at matched (P, Pz).
+        let half = table.len() / 2;
+        let mut best = 0.0f64;
+        for r in 0..half {
+            for c in 0..ps.len() {
+                if let (Some(b), Some(n)) = (table[r][c], table[half + r][c]) {
+                    best = best.max(b / n);
+                }
+            }
+        }
+        println!("max speedup New vs Baseline (matched P, Pz): {best:.2}x\n");
+        best_speedup_overall.push((name.to_string(), best));
+    }
+
+    println!("== headline (paper: up to 3.45x on s2D9pt2048, 1.87x nlpkkt80, 1.13x ldoor, 1.98x dielFilterV3real) ==");
+    for (name, s) in &best_speedup_overall {
+        println!("  {name}: {s:.2}x");
+    }
+    // Shape check: at its best matched configuration the proposed algorithm
+    // must at worst tie the baseline (the paper reports 1.13x-3.45x; our
+    // scaled-down analogs compress the margins - see EXPERIMENTS.md).
+    assert!(
+        best_speedup_overall.iter().all(|(_, s)| *s >= 0.9),
+        "the proposed algorithm must not materially lose to the baseline at its best point"
+    );
+    let top = best_speedup_overall
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(0.0f64, f64::max);
+    assert!(
+        top >= 1.25,
+        "at least one matrix must show a clear win for the proposed algorithm (got {top:.2}x)"
+    );
+}

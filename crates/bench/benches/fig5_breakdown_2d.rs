@@ -1,0 +1,13 @@
+//! Figure 5: time breakdown (Z-Comm / XY-Comm / FP-Operation, averaged over
+//! ranks) of the s2D9pt2048 analog, baseline vs proposed 3D SpTRSV, on
+//! simulated Cori Haswell.
+//!
+//! Expected shapes (paper): the proposed algorithm's sparse allreduce
+//! slashes Z-Comm, particularly at large `Pz`; the communication trees cut
+//! XY-Comm at large `Px·Py`; the replicated FP operations rise with `Pz`
+//! but stay a small fraction of the total.
+
+fn main() {
+    println!("== Fig. 5: time breakdown, 2D-PDE matrix (s2D9pt analog) ==\n");
+    benchkit::breakdown_figure("s2D9pt2048");
+}

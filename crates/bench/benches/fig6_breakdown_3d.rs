@@ -1,0 +1,21 @@
+//! Figure 6: time breakdown (Z-Comm / XY-Comm / FP-Operation, averaged over
+//! ranks) of the nlpkkt80 analog — the 3D-PDE regime, where replicated
+//! computation and intra-grid communication grow asymptotically with `Pz`
+//! (paper §4.1: "the increased intra-grid communication for large Pz leads
+//! to worse 3D SpTRSV performance").
+
+fn main() {
+    println!("== Fig. 6: time breakdown, 3D-PDE matrix (nlpkkt80 analog) ==\n");
+    let rows = benchkit::breakdown_figure("nlpkkt80");
+    // 3D-regime check: the proposed algorithm's FP time grows with Pz
+    // (replicated separator work), unlike the 2D case where it stays flat.
+    let new_fp: Vec<(usize, f64)> = rows
+        .iter()
+        .filter(|r| r.algorithm == "New")
+        .map(|r| (r.pz, r.fp))
+        .collect();
+    let lo = new_fp.iter().filter(|(pz, _)| *pz == 1).map(|(_, f)| *f).fold(0.0, f64::max);
+    let hi = new_fp.iter().map(|(_, f)| *f).fold(0.0, f64::max);
+    println!("replicated FP growth (max over configs / Pz=1): {:.2}x", hi / lo);
+    assert!(hi > lo, "3D-PDE regime must show replicated-computation growth");
+}

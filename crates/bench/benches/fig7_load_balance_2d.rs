@@ -1,0 +1,9 @@
+//! Figure 7: load balance of the L/U solve phases for the s2D9pt2048
+//! analog at P = 128 and P = 1024 (error bars = min/max over ranks, Z-Comm
+//! excluded). Paper: both algorithms show reasonable balance on the 2D-PDE
+//! matrix.
+
+fn main() {
+    println!("== Fig. 7: load balance, 2D-PDE matrix (s2D9pt analog) ==\n");
+    benchkit::load_balance_figure("s2D9pt2048");
+}

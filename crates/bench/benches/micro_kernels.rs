@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the dense block kernels every solver is
+//! built on: GEMV/GEMM panels, triangular solves, diagonal-block inversion,
+//! and the supernodal L-block application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparse::dense::{gemm, gemv, trsm_lower, trsm_upper, DenseMat};
+use std::hint::black_box;
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv");
+    for &(m, k) in &[(32usize, 32usize), (128, 64), (512, 96)] {
+        let a: Vec<f64> = (0..m * k).map(|i| (i as f64).sin()).collect();
+        let x: Vec<f64> = (0..k).map(|i| (i as f64).cos()).collect();
+        let mut y = vec![0.0; m];
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}")), &(), |b, _| {
+            b.iter(|| gemv(1.0, black_box(&a), m, k, black_box(&x), &mut y));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm_multi_rhs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_50rhs");
+    for &(m, k) in &[(128usize, 64usize), (512, 96)] {
+        let nrhs = 50;
+        let a: Vec<f64> = (0..m * k).map(|i| (i as f64).sin()).collect();
+        let x: Vec<f64> = (0..k * nrhs).map(|i| (i as f64).cos()).collect();
+        let mut y = vec![0.0; m * nrhs];
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}")), &(), |b, _| {
+            b.iter(|| gemm(1.0, black_box(&a), m, k, black_box(&x), nrhs, &mut y));
+        });
+    }
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trsm");
+    for &n in &[32usize, 96] {
+        let mut l = vec![0.0; n * n];
+        for j in 0..n {
+            l[j + j * n] = 2.0;
+            for i in j + 1..n {
+                l[i + j * n] = -0.01;
+            }
+        }
+        let u: Vec<f64> = {
+            let mut u = vec![0.0; n * n];
+            for j in 0..n {
+                u[j + j * n] = 2.0;
+                for i in 0..j {
+                    u[i + j * n] = -0.01;
+                }
+            }
+            u
+        };
+        let b0: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("lower", n), &(), |bch, _| {
+            bch.iter(|| {
+                let mut b = b0.clone();
+                trsm_lower(black_box(&l), n, &mut b, 1);
+                b
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("upper", n), &(), |bch, _| {
+            bch.iter(|| {
+                let mut b = b0.clone();
+                trsm_upper(black_box(&u), n, &mut b, 1);
+                b
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diag_inverse");
+    for &n in &[16usize, 48, 96] {
+        let mut m = DenseMat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                m.set(i, j, if i == j { 4.0 } else { -1.0 / (1.0 + (i + j) as f64) });
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| black_box(&m).inverse().expect("nonsingular"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_gemv, bench_gemm_multi_rhs, bench_trsm, bench_inverse
+);
+criterion_main!(kernels);

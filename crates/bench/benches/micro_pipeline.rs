@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the analysis/factorization pipeline and
+//! the distributed-solve primitives: nested dissection, symbolic analysis,
+//! numeric factorization, tree construction, and one full simulated solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ordering::{Graph, NdOptions, SymbolicOptions};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_nested_dissection(c: &mut Criterion) {
+    let a = sparse::gen::poisson2d_9pt(48, 48);
+    let g = Graph::from_csr_pattern(&a);
+    c.bench_function("nested_dissection_2304", |b| {
+        b.iter(|| ordering::nd::nested_dissection(black_box(&g), &NdOptions::default()));
+    });
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let a = sparse::gen::poisson2d_9pt(48, 48);
+    let (nd, _) = ordering::analyze(&a, 1, &SymbolicOptions::default());
+    let pa = a.permute_sym(&nd.perm);
+    c.bench_function("symbolic_factorization_2304", |b| {
+        b.iter(|| {
+            ordering::SymbolicLU::analyze(black_box(&pa), &nd.tree, &SymbolicOptions::default())
+        });
+    });
+}
+
+fn bench_numeric_factor(c: &mut Criterion) {
+    let a = sparse::gen::poisson2d_9pt(48, 48);
+    c.bench_function("numeric_lu_2304", |b| {
+        b.iter(|| lufactor::factorize(black_box(&a), 1, &SymbolicOptions::default()).unwrap());
+    });
+}
+
+fn bench_reference_solve(c: &mut Criterion) {
+    let a = sparse::gen::poisson2d_9pt(48, 48);
+    let f = lufactor::factorize(&a, 1, &SymbolicOptions::default()).unwrap();
+    let b0 = sparse::gen::standard_rhs(a.nrows(), 1);
+    c.bench_function("reference_lu_solve_2304", |b| {
+        b.iter(|| f.solve(black_box(&b0), 1));
+    });
+}
+
+fn bench_tree_links(c: &mut Criterion) {
+    let members: Vec<usize> = (0..64).collect();
+    c.bench_function("tree_links_64", |b| {
+        b.iter(|| {
+            for me in 0..64 {
+                black_box(sptrsv::solve2d::tree_links(&members, me, true));
+            }
+        });
+    });
+}
+
+fn bench_simulated_solve(c: &mut Criterion) {
+    let a = sparse::gen::poisson2d_9pt(32, 32);
+    let f = Arc::new(lufactor::factorize(&a, 4, &SymbolicOptions::default()).unwrap());
+    let b0 = sparse::gen::standard_rhs(a.nrows(), 1);
+    let cfg = sptrsv::SolverConfig {
+        px: 2,
+        py: 2,
+        pz: 4,
+        nrhs: 1,
+        algorithm: sptrsv::Algorithm::New3d,
+        arch: sptrsv::Arch::Cpu,
+        machine: simgrid::MachineModel::cori_haswell(),
+        chaos_seed: 0,
+    };
+    c.bench_function("simulated_new3d_16ranks_1024", |b| {
+        b.iter(|| sptrsv::solve_distributed(black_box(&f), &b0, &cfg));
+    });
+}
+
+criterion_group!(
+    name = pipeline;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_nested_dissection, bench_symbolic, bench_numeric_factor, bench_reference_solve, bench_tree_links, bench_simulated_solve
+);
+criterion_main!(pipeline);

@@ -1,0 +1,390 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Each `benches/figN_*.rs` target regenerates one table or figure of the
+//! paper (see DESIGN.md §4). This crate holds the common machinery:
+//! matrix/factorization caching, configuration sweeps, and the tabular
+//! output format.
+//!
+//! Environment knobs:
+//! * `SPTRSV_SCALE` — `tiny` | `small` | `medium` (default `medium`):
+//!   size tier of the Table 1 analog matrices. Absolute times shift with
+//!   scale; the paper's qualitative shapes are strongest at `medium`
+//!   (EXPERIMENTS.md records that tier); `small` keeps a full sweep fast.
+//! * `SPTRSV_MAX_P` — cap on the total rank count of any configuration
+//!   (default 2048 at `medium`/`small`, 128 at `tiny`); configurations
+//!   above the cap are skipped.
+
+use lufactor::Factorized;
+use ordering::SymbolicOptions;
+use simgrid::MachineModel;
+use sparse::gen::{self, Scale};
+use sptrsv::{solve_distributed, Algorithm, Arch, SolveOutcome, SolverConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The benchmark size tier, from `SPTRSV_SCALE`.
+pub fn scale() -> Scale {
+    match std::env::var("SPTRSV_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("medium") => Scale::Medium,
+        Ok("small") => Scale::Small,
+        Ok(other) => panic!("unknown SPTRSV_SCALE {other:?}"),
+        Err(_) => Scale::Medium,
+    }
+}
+
+/// Cap on the total rank count of a configuration.
+pub fn max_p() -> usize {
+    if let Ok(v) = std::env::var("SPTRSV_MAX_P") {
+        return v.parse().expect("SPTRSV_MAX_P must be an integer");
+    }
+    match scale() {
+        Scale::Tiny => 128,
+        _ => 2048,
+    }
+}
+
+type FactKey = (String, usize);
+
+fn fact_cache() -> &'static Mutex<HashMap<FactKey, Arc<Factorized>>> {
+    static CACHE: OnceLock<Mutex<HashMap<FactKey, Arc<Factorized>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Factorize (with caching) the Table 1 analog named after the paper's
+/// matrix, analyzed for up to `max_pz` grids.
+pub fn factorized(name: &str, max_pz: usize) -> Arc<Factorized> {
+    let key = (name.to_string(), max_pz);
+    if let Some(f) = fact_cache().lock().unwrap().get(&key) {
+        return Arc::clone(f);
+    }
+    let a = gen::by_name(name, scale())
+        .unwrap_or_else(|| panic!("unknown test matrix {name}"));
+    eprintln!(
+        "# factorizing {name}: n = {}, nnz(A) = {} (scale {:?}, Pz ≤ {max_pz})",
+        a.nrows(),
+        a.nnz(),
+        scale()
+    );
+    let f = Arc::new(
+        lufactor::factorize(&a, max_pz, &SymbolicOptions::default())
+            .expect("generator matrices are diagonally dominant"),
+    );
+    fact_cache()
+        .lock()
+        .unwrap()
+        .insert(key, Arc::clone(&f));
+    f
+}
+
+/// The original (unpermuted) matrix for residual checks.
+pub fn matrix(name: &str) -> sparse::CsrMatrix {
+    gen::by_name(name, scale()).unwrap_or_else(|| panic!("unknown test matrix {name}"))
+}
+
+/// Split `p = px · py` as square as possible (paper: "the 2D grid is set
+/// as square as possible" with `px ≤ py`... the paper sets `Px ≈ Py`).
+pub fn near_square(p: usize) -> (usize, usize) {
+    let mut px = (p as f64).sqrt() as usize;
+    while px > 1 && p % px != 0 {
+        px -= 1;
+    }
+    (px.max(1), p / px.max(1))
+}
+
+/// One benchmark measurement.
+pub struct Measurement {
+    /// Solve outcome (timings + solution).
+    pub out: SolveOutcome,
+    /// The configuration that produced it.
+    pub cfg: SolverConfig,
+}
+
+/// Run one configuration of a solver on a factorized matrix.
+pub fn run_once(
+    fact: &Arc<Factorized>,
+    machine: MachineModel,
+    algorithm: Algorithm,
+    arch: Arch,
+    px: usize,
+    py: usize,
+    pz: usize,
+    nrhs: usize,
+) -> Measurement {
+    let n = fact.lu.n();
+    let b = gen::standard_rhs(n, nrhs);
+    let cfg = SolverConfig {
+        px,
+        py,
+        pz,
+        nrhs,
+        algorithm,
+        arch,
+        machine,
+        chaos_seed: 0,
+    };
+    let out = solve_distributed(fact, &b, &cfg);
+    assert!(
+        out.replication_disagreement < 1e-8,
+        "replicated grids disagree: {}",
+        out.replication_disagreement
+    );
+    Measurement { out, cfg }
+}
+
+/// One row of a Fig. 5/6-style breakdown table.
+pub struct BreakdownRow {
+    /// `"Baseline"` or `"New"`.
+    pub algorithm: &'static str,
+    /// Grid count.
+    pub pz: usize,
+    /// Total rank count.
+    pub p: usize,
+    /// Mean inter-grid communication seconds per rank.
+    pub z: f64,
+    /// Mean intra-grid communication seconds per rank.
+    pub xy: f64,
+    /// Mean floating-point seconds per rank.
+    pub fp: f64,
+}
+
+/// Shared driver for the Fig. 5 / Fig. 6 breakdown benches: prints the
+/// Z-Comm / XY-Comm / FP-Operation table for one matrix and asserts the
+/// paper's core claim (the sparse allreduce cuts Z-Comm at `Pz ≥ 4`).
+pub fn breakdown_figure(name: &str) -> Vec<BreakdownRow> {
+    use simgrid::Category;
+    let fact = factorized(name, 32);
+    let ps: Vec<usize> = [128, 512, 2048]
+        .into_iter()
+        .filter(|&p| p <= max_p())
+        .collect();
+    println!("--- {name}: mean seconds per rank ---");
+    println!(
+        "{:>10} {:>4} {:>8} {:>12} {:>12} {:>12}",
+        "algorithm", "Pz", "P", "Z-Comm", "XY-Comm", "FP-Operation"
+    );
+    let mut rows = Vec::new();
+    for (alg, label) in [
+        (Algorithm::Baseline3d, "Baseline"),
+        (Algorithm::New3d, "New"),
+    ] {
+        for pz in [1usize, 4, 16, 32] {
+            for &p in &ps {
+                if p % pz != 0 {
+                    continue;
+                }
+                let (px, py) = near_square(p / pz);
+                let m = run_once(
+                    &fact,
+                    MachineModel::cori_haswell(),
+                    alg,
+                    Arch::Cpu,
+                    px,
+                    py,
+                    pz,
+                    1,
+                );
+                let nr = m.out.stats.len() as f64;
+                let mean = |c: Category| {
+                    m.out.stats.iter().map(|s| s.time[c as usize]).sum::<f64>() / nr
+                };
+                let (z, xy, fp) = (mean(Category::ZComm), mean(Category::XyComm), mean(Category::Flop));
+                println!("{label:>10} {pz:>4} {p:>8} {z:>12.4e} {xy:>12.4e} {fp:>12.4e}");
+                rows.push(BreakdownRow {
+                    algorithm: label,
+                    pz,
+                    p,
+                    z,
+                    xy,
+                    fp,
+                });
+            }
+        }
+    }
+    let zsum = |lbl: &str| -> f64 {
+        rows.iter()
+            .filter(|r| r.algorithm == lbl && r.pz >= 4)
+            .map(|r| r.z)
+            .sum()
+    };
+    let (zb, zn) = (zsum("Baseline"), zsum("New"));
+    println!(
+        "\nZ-Comm total (Pz >= 4): baseline {zb:.4e} s vs proposed {zn:.4e} s ({:.2}x less)\n",
+        zb / zn
+    );
+    assert!(
+        zn < zb,
+        "the sparse allreduce must reduce inter-grid communication time"
+    );
+    rows
+}
+
+/// Shared driver for the Fig. 7 / Fig. 8 load-balance benches: per-rank
+/// busy time (FP + intra-grid comm, Z-Comm excluded — the paper's error-bar
+/// quantity) in the L and U phases, min/mean/max over ranks, at `P ∈ {128,
+/// 1024}` and varying `Pz`. Returns `(algorithm, pz, p, phase,
+/// max/mean imbalance)` tuples.
+pub fn load_balance_figure(name: &str) -> Vec<(&'static str, usize, usize, &'static str, f64)> {
+    let fact = factorized(name, 32);
+    let ps: Vec<usize> = [128, 1024].into_iter().filter(|&p| p <= max_p()).collect();
+    println!("--- {name}: busy seconds per rank, min / mean / max (Z-Comm excluded) ---");
+    println!(
+        "{:>10} {:>4} {:>8} {:>7} {:>12} {:>12} {:>12} {:>9}",
+        "algorithm", "Pz", "P", "phase", "min", "mean", "max", "max/mean"
+    );
+    let mut out = Vec::new();
+    for &p in &ps {
+        for (alg, label) in [
+            (Algorithm::Baseline3d, "Baseline"),
+            (Algorithm::New3d, "New"),
+        ] {
+            for pz in [1usize, 4, 16, 32] {
+                if p % pz != 0 {
+                    continue;
+                }
+                let (px, py) = near_square(p / pz);
+                let m = run_once(
+                    &fact,
+                    MachineModel::cori_haswell(),
+                    alg,
+                    Arch::Cpu,
+                    px,
+                    py,
+                    pz,
+                    1,
+                );
+                for (phase, get) in [
+                    ("L", Box::new(|ph: &sptrsv::PhaseTimes| ph.l_busy)
+                        as Box<dyn Fn(&sptrsv::PhaseTimes) -> f64>),
+                    ("U", Box::new(|ph: &sptrsv::PhaseTimes| ph.u_busy)),
+                ] {
+                    let (mn, mean, mx) = m.out.min_mean_max(&get);
+                    println!(
+                        "{label:>10} {pz:>4} {p:>8} {phase:>7} {mn:>12.4e} {mean:>12.4e} {mx:>12.4e} {:>9.2}",
+                        mx / mean.max(1e-30)
+                    );
+                    out.push((label, pz, p, phase, mx / mean.max(1e-30)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Shared driver for the Fig. 9 / Fig. 10 benches: `1 × 1 × Pz` layouts of
+/// the proposed 3D SpTRSV with CPU vs GPU ranks, `Pz = 1…64`, 1 and 50 RHS.
+/// Prints total / L-solve / U-solve / Z-comm per configuration and returns
+/// the best CPU→GPU speedup per matrix (1 RHS).
+pub fn gpu_1x1xpz_figure(
+    machine: MachineModel,
+    matrices: &[&'static str],
+) -> Vec<(&'static str, f64)> {
+    let max_pz = 64.min(max_p());
+    let mut best = Vec::new();
+    for &name in matrices {
+        let fact = factorized(name, max_pz);
+        println!("--- {name} on {} ---", machine.name);
+        println!(
+            "{:>5} {:>4} {:>4} {:>12} {:>12} {:>12} {:>12}",
+            "arch", "nrhs", "Pz", "total", "L-solve", "U-solve", "Z-comm"
+        );
+        let mut best_speedup = 0.0f64;
+        for nrhs in [1usize, 50] {
+            // The 50-RHS runs execute 50x the real arithmetic; sample the
+            // Pz sweep more coarsely there (the paper's curves are smooth).
+            let pzs: Vec<usize> = if nrhs == 1 {
+                (0..7).map(|e| 1usize << e).filter(|&z| z <= max_pz).collect()
+            } else {
+                [1usize, 4, 16, 64].into_iter().filter(|&z| z <= max_pz).collect()
+            };
+            let mut cpu_times = Vec::new();
+            for arch in [Arch::Cpu, Arch::Gpu] {
+                for (pi, &pz) in pzs.iter().enumerate() {
+                    let m = run_once(&fact, machine.clone(), Algorithm::New3d, arch, 1, 1, pz, nrhs);
+                    let l = m.out.mean(|p| p.l_wall);
+                    let u = m.out.mean(|p| p.u_wall);
+                    let z = m.out.mean(|p| p.z_time);
+                    let label = if arch == Arch::Cpu { "CPU" } else { "GPU" };
+                    println!(
+                        "{label:>5} {nrhs:>4} {pz:>4} {:>12.4e} {l:>12.4e} {u:>12.4e} {z:>12.4e}",
+                        m.out.makespan
+                    );
+                    if arch == Arch::Cpu {
+                        cpu_times.push(m.out.makespan);
+                    } else if nrhs == 1 {
+                        best_speedup = best_speedup.max(cpu_times[pi] / m.out.makespan);
+                    }
+                }
+            }
+        }
+        println!("best CPU->GPU speedup (1 RHS): {best_speedup:.2}x\n");
+        best.push((name, best_speedup));
+    }
+    best
+}
+
+/// Best CPU→GPU speedup (1 RHS) over `Pz = 1…64` for one matrix on one
+/// system — the Fig. 10 cross-system comparison helper.
+pub fn gpu_1x1xpz_best_speedup(machine: MachineModel, name: &'static str) -> f64 {
+    let max_pz = 64.min(max_p());
+    let fact = factorized(name, max_pz);
+    let mut best = 0.0f64;
+    let mut pz = 1;
+    while pz <= max_pz {
+        let cpu = run_once(&fact, machine.clone(), Algorithm::New3d, Arch::Cpu, 1, 1, pz, 1);
+        let gpu = run_once(&fact, machine.clone(), Algorithm::New3d, Arch::Gpu, 1, 1, pz, 1);
+        best = best.max(cpu.out.makespan / gpu.out.makespan);
+        pz *= 2;
+    }
+    best
+}
+
+/// Print a table header: `label` column plus one column per entry.
+pub fn print_header(label: &str, cols: &[String]) {
+    print!("{label:>18}");
+    for c in cols {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// Print one row of `f64` cells (µs-precision seconds in scientific form).
+pub fn print_row(label: &str, cells: &[Option<f64>]) {
+    print!("{label:>18}");
+    for c in cells {
+        match c {
+            Some(v) => print!(" {v:>12.4e}"),
+            None => print!(" {:>12}", "-"),
+        }
+    }
+    println!();
+}
+
+/// Format a speedup ratio.
+pub fn speedup(base: f64, new: f64) -> String {
+    format!("{:.2}x", base / new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_splits() {
+        assert_eq!(near_square(1), (1, 1));
+        assert_eq!(near_square(4), (2, 2));
+        assert_eq!(near_square(8), (2, 4));
+        assert_eq!(near_square(128), (8, 16));
+        assert_eq!(near_square(2048), (32, 64));
+        let (a, b) = near_square(6);
+        assert_eq!(a * b, 6);
+    }
+
+    #[test]
+    fn factorization_is_cached() {
+        std::env::set_var("SPTRSV_SCALE", "tiny");
+        let f1 = factorized("s2D9pt2048", 2);
+        let f2 = factorized("s2D9pt2048", 2);
+        assert!(Arc::ptr_eq(&f1, &f2));
+    }
+}

@@ -1,0 +1,287 @@
+//! Sparse inter-grid allreduce of the partial ancestor solutions
+//! (paper Algorithm 2).
+//!
+//! After the masked 2D L-solves, each grid `z` holds *partial* `y(K)` for
+//! every replicated ancestor supernode `K` (complete values for its own
+//! leaf). Summing the partials over the replicating grids yields the true
+//! `y` everywhere. The paper's scheme does this with `O(log Pz)` pairwise
+//! packed messages per rank: a binomial *sparse reduce* toward the smallest
+//! replicating grid followed by a binomial *sparse broadcast* back — each
+//! rank `(x, y, z)` exchanging only with `(x, y, z ± 2^l)` and packing only
+//! the supernode pieces it owns diagonally (the 2D layout of `y` matches
+//! `L`, so partners pack identical supernode lists).
+//!
+//! The naive alternative the paper compares against — one `MPI_Allreduce`
+//! per elimination-tree node — is provided as [`naive_allreduce`] for the
+//! ablation benchmark.
+
+use crate::plan::Plan;
+use simgrid::{Category, Comm};
+use std::collections::HashMap;
+
+/// Supernodes exchanged by grid `z` at step `l`: all supernodes of path
+/// nodes at levels `0 .. depth − l − 1` (the ancestors shared with the
+/// step-`l` partner) whose diagonal owner is `(x, y)`. Ascending, identical
+/// on both partners.
+fn shared_sups(plan: &Plan, z: usize, l: usize, x: usize, y: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    let path = &plan.grids[z].path;
+    for &t in path.iter().take(plan.depth - l) {
+        for k in plan.node_supers(t) {
+            let ku = k as usize;
+            if ku % plan.px == x && ku % plan.py == y {
+                out.push(k);
+            }
+        }
+    }
+    out
+}
+
+fn pack(plan: &Plan, sups: &[u32], vals: &HashMap<u32, Vec<f64>>, nrhs: usize) -> Vec<f64> {
+    let sym = plan.fact.lu.sym();
+    let total: usize = sups.iter().map(|&k| sym.sup_width(k as usize) * nrhs).sum();
+    let mut buf = Vec::with_capacity(total);
+    for &k in sups {
+        let w = sym.sup_width(k as usize) * nrhs;
+        match vals.get(&k) {
+            Some(v) => buf.extend_from_slice(v),
+            None => buf.extend(std::iter::repeat(0.0).take(w)),
+        }
+    }
+    buf
+}
+
+fn unpack_add(
+    plan: &Plan,
+    sups: &[u32],
+    buf: &[f64],
+    vals: &mut HashMap<u32, Vec<f64>>,
+    nrhs: usize,
+) {
+    let sym = plan.fact.lu.sym();
+    let mut off = 0;
+    for &k in sups {
+        let w = sym.sup_width(k as usize) * nrhs;
+        let entry = vals.entry(k).or_insert_with(|| vec![0.0; w]);
+        for (a, &v) in entry.iter_mut().zip(&buf[off..off + w]) {
+            *a += v;
+        }
+        off += w;
+    }
+    debug_assert_eq!(off, buf.len());
+}
+
+fn unpack_set(
+    plan: &Plan,
+    sups: &[u32],
+    buf: &[f64],
+    vals: &mut HashMap<u32, Vec<f64>>,
+    nrhs: usize,
+) {
+    let sym = plan.fact.lu.sym();
+    let mut off = 0;
+    for &k in sups {
+        let w = sym.sup_width(k as usize) * nrhs;
+        vals.insert(k, buf[off..off + w].to_vec());
+        off += w;
+    }
+    debug_assert_eq!(off, buf.len());
+}
+
+/// Run the sparse allreduce over `y_vals` for rank `(x, y, z)`. `zcomm` is
+/// the communicator over the `Pz` grids at fixed `(x, y)`, ranked by `z`.
+/// On return, every diagonal owner holds the fully reduced `y(K)` for all
+/// its (replicated) supernodes.
+pub fn sparse_allreduce(
+    plan: &Plan,
+    zcomm: &Comm,
+    x: usize,
+    y: usize,
+    z: usize,
+    nrhs: usize,
+    y_vals: &mut HashMap<u32, Vec<f64>>,
+) {
+    let d = plan.depth;
+    const TAG_R: u64 = 7 << 40;
+    const TAG_B: u64 = 8 << 40;
+    // Sparse reduce: leaf to root, partial sums flow toward smaller z.
+    for l in 0..d {
+        let sups = shared_sups(plan, z, l, x, y);
+        if z % (1 << (l + 1)) == (1 << l) {
+            let buf = pack(plan, &sups, y_vals, nrhs);
+            zcomm.send(z - (1 << l), TAG_R + l as u64, &buf, Category::ZComm);
+        } else if z % (1 << (l + 1)) == 0 {
+            let msg = zcomm.recv(Some(z + (1 << l)), Some(TAG_R + l as u64), Category::ZComm);
+            unpack_add(plan, &sups, &msg.payload, y_vals, nrhs);
+        }
+    }
+    // Sparse broadcast: root to leaf.
+    for l in (0..d).rev() {
+        let sups = shared_sups(plan, z, l, x, y);
+        if z % (1 << (l + 1)) == 0 {
+            let buf = pack(plan, &sups, y_vals, nrhs);
+            zcomm.send(z + (1 << l), TAG_B + l as u64, &buf, Category::ZComm);
+        } else if z % (1 << (l + 1)) == (1 << l) {
+            let msg = zcomm.recv(Some(z - (1 << l)), Some(TAG_B + l as u64), Category::ZComm);
+            unpack_set(plan, &sups, &msg.payload, y_vals, nrhs);
+        }
+    }
+}
+
+/// The straightforward alternative (paper §3.2): one dense `MPI_Allreduce`
+/// over the replicating grids for every ancestor layout node. Used by the
+/// ablation bench to show why the sparse scheme wins.
+pub fn naive_allreduce(
+    plan: &Plan,
+    zcomm: &Comm,
+    x: usize,
+    y: usize,
+    z: usize,
+    nrhs: usize,
+    y_vals: &mut HashMap<u32, Vec<f64>>,
+) {
+    let d = plan.depth;
+    let path = plan.grids[z].path.clone();
+    // For each ancestor node (level < d), allreduce over its replicating
+    // grids. All grids of a subtree call in the same order (root first).
+    for (lev, &t) in path.iter().enumerate().take(d) {
+        let sups: Vec<u32> = plan
+            .node_supers(t)
+            .into_iter()
+            .filter(|&k| k as usize % plan.px == x && k as usize % plan.py == y)
+            .collect();
+        let mut buf = pack(plan, &sups, y_vals, nrhs);
+        // Subcommunicator of the grids replicating t.
+        let sub = zcomm.split(t, z);
+        debug_assert_eq!(sub.size(), plan.n_grids_of(t), "level {lev}");
+        sub.allreduce_sum(&mut buf, Category::ZComm);
+        unpack_set(plan, &sups, &buf, y_vals, nrhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+    use lufactor::factorize;
+    use ordering::SymbolicOptions;
+    use simgrid::{Category, ClusterOptions, MachineModel};
+    use sparse::gen;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// Run just the sparse allreduce over synthetic per-grid partials and
+    /// compare every diagonal owner's result against the dense sum.
+    fn allreduce_only(pz: usize, naive: bool) {
+        let a = gen::poisson2d_9pt(12, 12);
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+        let plan = Arc::new(Plan::new(Arc::clone(&f), 2, 2, pz));
+        let nrhs = 2;
+        let plan2 = Arc::clone(&plan);
+        let rep = simgrid::run(
+            plan.nranks(),
+            MachineModel::cori_haswell(),
+            &ClusterOptions::default(),
+            move |world| {
+                let plan = &plan2;
+                let (x, y, z) = plan.coords(world.rank());
+                let _grid = world.split(z, x + plan.px * y);
+                let zcomm = world.split(x + plan.px * y, z);
+                // Synthetic partials: supernode k contributes (k + z·1000)
+                // per entry on its replicating grids.
+                let sym = plan.fact.lu.sym();
+                let mut y_vals: HashMap<u32, Vec<f64>> = HashMap::new();
+                for &k in &plan.grids[z].supers {
+                    let ku = k as usize;
+                    if ku % plan.px == x && ku % plan.py == y {
+                        let w = sym.sup_width(ku) * nrhs;
+                        y_vals.insert(k, vec![k as f64 + z as f64 * 1000.0; w]);
+                    }
+                }
+                if naive {
+                    naive_allreduce(plan, &zcomm, x, y, z, nrhs, &mut y_vals);
+                } else {
+                    sparse_allreduce(plan, &zcomm, x, y, z, nrhs, &mut y_vals);
+                }
+                (z, y_vals)
+            },
+        );
+        // Expected: sum over replicating grids of (k + z·1000).
+        let sym = plan.fact.lu.sym();
+        for (z, y_vals) in rep.results {
+            for (&k, v) in &y_vals {
+                let node = plan.sup_node[k as usize] as usize;
+                let zs: Vec<usize> = (0..pz)
+                    .filter(|&g| plan.grids[g].path.contains(&node))
+                    .collect();
+                assert!(zs.contains(&z));
+                let want: f64 =
+                    zs.iter().map(|&g| k as f64 + g as f64 * 1000.0).sum();
+                let w = sym.sup_width(k as usize) * nrhs;
+                assert_eq!(v.len(), w);
+                for &x in v {
+                    assert_eq!(x, want, "sup {k} grid {z}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_allreduce_sums_partials_pz2() {
+        allreduce_only(2, false);
+    }
+
+    #[test]
+    fn sparse_allreduce_sums_partials_pz8() {
+        allreduce_only(8, false);
+    }
+
+    #[test]
+    fn naive_allreduce_agrees() {
+        allreduce_only(4, true);
+    }
+
+    /// The sparse allreduce must use exactly 2·log2(Pz) message rounds per
+    /// diagonal rank column and far less volume than the naive scheme.
+    #[test]
+    fn sparse_beats_naive_in_volume() {
+        let a = gen::poisson2d_9pt(16, 16);
+        let pz = 8;
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+        let plan = Arc::new(Plan::new(Arc::clone(&f), 1, 1, pz));
+        let nrhs = 1;
+        let vol = |naive: bool| {
+            let plan2 = Arc::clone(&plan);
+            let rep = simgrid::run(
+                pz,
+                MachineModel::cori_haswell(),
+                &ClusterOptions::default(),
+                move |world| {
+                    let plan = &plan2;
+                    let z = world.rank();
+                    let _grid = world.split(z, 0);
+                    let zcomm = world.split(0, z);
+                    let sym = plan.fact.lu.sym();
+                    let mut y_vals: HashMap<u32, Vec<f64>> = HashMap::new();
+                    for &k in &plan.grids[z].supers {
+                        let w = sym.sup_width(k as usize) * nrhs;
+                        y_vals.insert(k, vec![1.0; w]);
+                    }
+                    if naive {
+                        naive_allreduce(plan, &zcomm, 0, 0, z, nrhs, &mut y_vals);
+                    } else {
+                        sparse_allreduce(plan, &zcomm, 0, 0, z, nrhs, &mut y_vals);
+                    }
+                },
+            );
+            (
+                rep.total_msgs(Category::ZComm),
+                rep.total_bytes(Category::ZComm),
+            )
+        };
+        let (sm, sb) = vol(false);
+        let (nm, nb) = vol(true);
+        assert!(sm < nm, "sparse {sm} msgs vs naive {nm}");
+        assert!(sb <= nb, "sparse {sb} bytes vs naive {nb}");
+    }
+}

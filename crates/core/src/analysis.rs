@@ -1,0 +1,317 @@
+//! Performance analysis: communication-volume prediction and critical-path
+//! lower bounds.
+//!
+//! The papers behind this work lean on analytic models — the ICS'19 CA
+//! analysis (quoted in §2.2: 3D layouts cut the per-process communication
+//! volume from `O(n/√P)` to `O(n/√(P·Pz))` for PDE matrices) and the
+//! critical-path studies of [12, 13]. This module computes both quantities
+//! *exactly* from a [`Plan`], so they can be checked against the simulated
+//! measurements (see the tests and the ablation benches).
+
+use crate::plan::Plan;
+use crate::solve2d::{member_list, TREE_THRESHOLD};
+
+/// Exact per-category communication volumes of one solve of the proposed
+/// 3D algorithm (L + U triangles), in payload bytes (headers excluded).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommVolume {
+    /// Intra-grid bytes: broadcasts + reductions, summed over all grids.
+    pub xy_bytes: u64,
+    /// Intra-grid message count.
+    pub xy_msgs: u64,
+    /// Inter-grid bytes of the sparse allreduce (reduce + broadcast).
+    pub z_bytes: u64,
+    /// Inter-grid message count.
+    pub z_msgs: u64,
+}
+
+/// Predict the communication of the proposed 3D SpTRSV exactly from the
+/// symbolic structure. Broadcast and reduction volumes are independent of
+/// tree shape (every member receives/sends each vector exactly once), so
+/// the prediction matches both the tree and flat variants.
+pub fn predict_new3d_volume(plan: &Plan, nrhs: usize) -> CommVolume {
+    let sym = plan.fact.lu.sym();
+    let (px, py) = (plan.px, plan.py);
+    let mut v = CommVolume::default();
+
+    for grid in &plan.grids {
+        for &k in &grid.supers {
+            let ku = k as usize;
+            let w = sym.sup_width(ku);
+            let bytes = (8 * w * nrhs) as u64;
+            // Every non-root member receives a broadcast once and sends a
+            // reduction contribution once (tree hops forward the same
+            // payload, so tree and star volumes coincide). The four member
+            // sets per supernode:
+            //   L bcast  y(K): process rows of blocks_below(K);
+            //   L reduce lsum(K): process cols of blocks_left(K);
+            //   U bcast  x(K): process rows of blocks_left(K);
+            //   U reduce usum(K): process cols of blocks_below(K).
+            let members = |blocks: &[u32], root: usize, modulus: usize| {
+                member_list(
+                    root,
+                    blocks
+                        .iter()
+                        .filter(|&&b| grid.member.contains(b as usize))
+                        .map(|&b| b as usize % modulus),
+                )
+                .len() as u64
+                    - 1
+            };
+            let l_b = members(sym.blocks_below(ku), ku % px, px);
+            let l_r = members(sym.blocks_left(ku), ku % py, py);
+            let u_b = members(sym.blocks_left(ku), ku % px, px);
+            let u_r = members(sym.blocks_below(ku), ku % py, py);
+            let total = l_b + l_r + u_b + u_r;
+            v.xy_msgs += total;
+            v.xy_bytes += total * bytes;
+        }
+    }
+
+    // Sparse allreduce: at step l, the pair exchanges the diagonal pieces
+    // of all shared ancestors once in the reduce and once in the broadcast
+    // phase; summed over all (x, y) positions this is just the ancestor
+    // supernode sizes.
+    for l in 0..plan.depth {
+        let pairs = (plan.pz / (1 << (l + 1))) as u64;
+        let mut shared_bytes = 0u64;
+        // Shared set of a pair at step l: path nodes at levels 0..depth-l-1
+        // of any grid in the pair (identical for all pairs by symmetry of
+        // the heap layout? No — separator sizes differ; sum per pair).
+        for pair in 0..pairs {
+            let z = (pair as usize) * (1 << (l + 1));
+            let path = &plan.grids[z].path;
+            for &t in path.iter().take(plan.depth - l) {
+                for k in plan.node_supers(t) {
+                    shared_bytes += (8 * sym.sup_width(k as usize) * nrhs) as u64;
+                }
+            }
+        }
+        v.z_bytes += 2 * shared_bytes; // reduce + broadcast phases
+        // One message per (x, y) position per direction per pair.
+        v.z_msgs += 2 * pairs * (px * py) as u64;
+    }
+    v
+}
+
+/// Critical-path lower bound (seconds) for the proposed 3D solve on the
+/// CPU path: the longest dependency chain through the supernode DAG of any
+/// grid, counting the diagonal solve and fused column GEMV per supernode
+/// plus at least one network hop between distinctly-owned supernodes.
+/// Every simulated run must take at least this long.
+pub fn critical_path_lower_bound(plan: &Plan, nrhs: usize) -> f64 {
+    let sym = plan.fact.lu.sym();
+    let model = &plan.machine_for_analysis();
+    let hop = model.latency_intra; // cheapest possible hop
+    let mut worst: f64 = 0.0;
+    for grid in &plan.grids {
+        // Longest path in one triangle; U mirrors L, so double it.
+        let mut dist: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        let mut maxd: f64 = 0.0;
+        for &k in &grid.supers {
+            let ku = k as usize;
+            let w = sym.sup_width(ku);
+            let mut start: f64 = 0.0;
+            for &i in sym.blocks_left(ku) {
+                if !grid.member.contains(i as usize) {
+                    continue;
+                }
+                let mut d = dist.get(&i).copied().unwrap_or(0.0);
+                if plan.owner_xy(i as usize) != plan.owner_xy(ku) {
+                    d += hop;
+                }
+                start = start.max(d);
+            }
+            let cost = model.cpu_panel_op_time(w, w, nrhs);
+            let end = start + cost;
+            dist.insert(k, end);
+            maxd = maxd.max(end);
+        }
+        worst = worst.max(2.0 * maxd);
+    }
+    worst
+}
+
+/// Memory statistics of a plan: the CA replication overhead (paper §2.2:
+/// "manageable memory overheads").
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryStats {
+    /// Factor bytes if stored once (2D layout).
+    pub base_bytes: u64,
+    /// Factor bytes summed over all grids (with ancestor replication).
+    pub replicated_bytes: u64,
+}
+
+impl MemoryStats {
+    /// Replication factor `replicated / base` (1.0 for `Pz = 1`).
+    pub fn replication_factor(&self) -> f64 {
+        self.replicated_bytes as f64 / self.base_bytes as f64
+    }
+}
+
+/// Compute the memory replication of a plan.
+pub fn memory_stats(plan: &Plan) -> MemoryStats {
+    let sym = plan.fact.lu.sym();
+    let sup_bytes = |k: usize| {
+        let w = sym.sup_width(k);
+        let r = sym.rows_below(k).len();
+        (8 * (w * w + 2 * r * w)) as u64
+    };
+    let base: u64 = (0..sym.n_supernodes()).map(sup_bytes).sum();
+    let mut repl = 0u64;
+    for grid in &plan.grids {
+        for &k in &grid.supers {
+            repl += sup_bytes(k as usize);
+        }
+    }
+    MemoryStats {
+        base_bytes: base,
+        replicated_bytes: repl,
+    }
+}
+
+impl Plan {
+    /// A machine model for analytic bounds (Cori Haswell, the paper's CPU
+    /// testbed). Analysis functions use only its compute/latency fields.
+    pub fn machine_for_analysis(&self) -> simgrid::MachineModel {
+        simgrid::MachineModel::cori_haswell()
+    }
+}
+
+// Re-exported so the volume prediction can talk about tree thresholds in
+// its docs without a direct dependency.
+const _: usize = TREE_THRESHOLD;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{solve_distributed, Algorithm, Arch, SolverConfig};
+    use lufactor::factorize;
+    use ordering::SymbolicOptions;
+    use simgrid::{Category, MachineModel};
+    use sparse::gen;
+    use std::sync::Arc;
+
+    fn plan_for(a: &sparse::CsrMatrix, px: usize, py: usize, pz: usize) -> (Arc<lufactor::Factorized>, Plan) {
+        let f = Arc::new(factorize(a, pz, &SymbolicOptions::default()).unwrap());
+        let p = Plan::new(Arc::clone(&f), px, py, pz);
+        (f, p)
+    }
+
+    /// The volume prediction must match the simulator's byte counters
+    /// exactly (payload bytes; the simulator adds a 64-byte header per
+    /// message).
+    #[test]
+    fn predicted_volume_matches_measured() {
+        let a = gen::poisson2d_9pt(14, 14);
+        let (f, plan) = plan_for(&a, 2, 3, 4);
+        let pred = predict_new3d_volume(&plan, 1);
+        let b = gen::standard_rhs(a.nrows(), 1);
+        let cfg = SolverConfig {
+            px: 2,
+            py: 3,
+            pz: 4,
+            nrhs: 1,
+            algorithm: Algorithm::New3d,
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: 0,
+        };
+        let out = solve_distributed(&f, &b, &cfg);
+        let xy_msgs: u64 = out.stats.iter().map(|s| s.msgs_sent[Category::XyComm as usize]).sum();
+        let xy_bytes: u64 = out.stats.iter().map(|s| s.bytes_sent[Category::XyComm as usize]).sum();
+        let z_msgs: u64 = out.stats.iter().map(|s| s.msgs_sent[Category::ZComm as usize]).sum();
+        let z_bytes: u64 = out.stats.iter().map(|s| s.bytes_sent[Category::ZComm as usize]).sum();
+        assert_eq!(pred.xy_msgs, xy_msgs, "intra-grid message count");
+        assert_eq!(pred.xy_bytes, xy_bytes - 64 * xy_msgs, "intra-grid payload bytes");
+        assert_eq!(pred.z_msgs, z_msgs, "inter-grid message count");
+        assert_eq!(pred.z_bytes, z_bytes - 64 * z_msgs, "inter-grid payload bytes");
+    }
+
+    /// Tree and flat variants move the same volume (only hop counts differ
+    /// in *forwarded* copies, which the prediction includes identically).
+    #[test]
+    fn volume_is_tree_shape_independent() {
+        let a = gen::poisson2d_9pt(16, 16);
+        let (f, _plan) = plan_for(&a, 3, 3, 2);
+        let b = gen::standard_rhs(a.nrows(), 1);
+        let mk = |alg| SolverConfig {
+            px: 3,
+            py: 3,
+            pz: 2,
+            nrhs: 1,
+            algorithm: alg,
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: 0,
+        };
+        let t = solve_distributed(&f, &b, &mk(Algorithm::New3d));
+        let fl = solve_distributed(&f, &b, &mk(Algorithm::New3dFlat));
+        let bytes = |o: &crate::driver::SolveOutcome| {
+            o.stats.iter().map(|s| s.bytes_sent[Category::XyComm as usize]).sum::<u64>()
+        };
+        // With member sets at or below the tree threshold the schedules
+        // coincide exactly; in general trees only re-route, so totals match.
+        assert_eq!(bytes(&t), bytes(&fl));
+    }
+
+    /// The ICS'19 communication-avoiding claim (paper §2.2): for a 2D PDE
+    /// matrix at fixed P, the per-process intra-grid volume shrinks as Pz
+    /// grows.
+    #[test]
+    fn ca_volume_reduction_with_pz() {
+        let a = gen::poisson2d_9pt(24, 24);
+        let f = Arc::new(factorize(&a, 16, &SymbolicOptions::default()).unwrap());
+        // P = 16 ranks total in all layouts.
+        let v1 = predict_new3d_volume(&Plan::new(Arc::clone(&f), 4, 4, 1), 1);
+        let v4 = predict_new3d_volume(&Plan::new(Arc::clone(&f), 2, 2, 4), 1);
+        let v16 = predict_new3d_volume(&Plan::new(Arc::clone(&f), 1, 1, 16), 1);
+        assert!(
+            v4.xy_bytes < v1.xy_bytes,
+            "Pz=4 must cut intra-grid volume: {} vs {}",
+            v4.xy_bytes,
+            v1.xy_bytes
+        );
+        assert!(v16.xy_bytes < v4.xy_bytes);
+    }
+
+    /// Simulated makespans can never beat the critical-path lower bound.
+    #[test]
+    fn makespan_respects_critical_path() {
+        let a = gen::poisson2d_9pt(12, 12);
+        let (f, plan) = plan_for(&a, 2, 2, 2);
+        let bound = critical_path_lower_bound(&plan, 1);
+        assert!(bound > 0.0);
+        let b = gen::standard_rhs(a.nrows(), 1);
+        let cfg = SolverConfig {
+            px: 2,
+            py: 2,
+            pz: 2,
+            nrhs: 1,
+            algorithm: Algorithm::New3d,
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: 0,
+        };
+        let out = solve_distributed(&f, &b, &cfg);
+        assert!(
+            out.makespan >= bound * 0.999,
+            "makespan {} below lower bound {bound}",
+            out.makespan
+        );
+    }
+
+    /// Memory replication stays manageable (paper: "manageable memory
+    /// overheads") and equals 1 for Pz = 1.
+    #[test]
+    fn replication_factor_is_manageable() {
+        let a = gen::poisson2d_9pt(20, 20);
+        let f = Arc::new(factorize(&a, 8, &SymbolicOptions::default()).unwrap());
+        let m1 = memory_stats(&Plan::new(Arc::clone(&f), 2, 2, 1));
+        assert!((m1.replication_factor() - 1.0).abs() < 1e-12);
+        let m8 = memory_stats(&Plan::new(Arc::clone(&f), 1, 1, 8));
+        let r = m8.replication_factor();
+        assert!(r > 1.0, "ancestors are replicated");
+        assert!(r < 8.0, "far below full replication, got {r}");
+    }
+}

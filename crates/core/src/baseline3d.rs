@@ -1,0 +1,294 @@
+//! The baseline CA 3D SpTRSV (Sao/Vuduc/Li, ICS'19) the paper improves on.
+//!
+//! Level-by-level bottom-up traversal of the elimination (separator) tree:
+//! at each level the active grids run a 2D solve of just that tree node's
+//! supernodes (with *flat* intra-grid communication — the baseline cannot
+//! integrate the communication trees, paper §3.3 Remark), compute the
+//! off-diagonal GEMV contributions into the replicated ancestor rows, and
+//! pairwise-reduce those partials toward the smallest grid sharing the
+//! parent. Grids drop out as the traversal ascends — the idle-grid load
+//! imbalance of the paper's Fig. 8 — and `O(log Pz)` inter-grid
+//! synchronizations are paid per triangle. The U phase mirrors this
+//! top-down with pairwise broadcasts of the solved ancestor pieces.
+
+use crate::new3d::RankOutput;
+use crate::driver::PhaseTimes;
+use crate::plan::{Plan, SupSet};
+use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, LPassSpec, SolveState, UPassSpec};
+use simgrid::{Category, Comm};
+use std::collections::HashMap;
+
+const TAG_ZRED: u64 = 9 << 40;
+const TAG_ZBC: u64 = 10 << 40;
+
+/// Pack per-rank partial `lsum` rows `I` (ancestor supernodes with
+/// `I mod Px == x`) into one buffer. Zeros for rows this rank never touched.
+fn pack_lsums(
+    plan: &Plan,
+    sups: &[u32],
+    lsum: &HashMap<u32, Vec<f64>>,
+    nrhs: usize,
+) -> Vec<f64> {
+    let sym = plan.fact.lu.sym();
+    let mut buf = Vec::new();
+    for &i in sups {
+        let w = sym.sup_width(i as usize) * nrhs;
+        match lsum.get(&i) {
+            Some(v) => buf.extend_from_slice(v),
+            None => buf.extend(std::iter::repeat(0.0).take(w)),
+        }
+    }
+    buf
+}
+
+fn unpack_add_lsums(
+    plan: &Plan,
+    sups: &[u32],
+    buf: &[f64],
+    lsum: &mut HashMap<u32, Vec<f64>>,
+    nrhs: usize,
+) {
+    let sym = plan.fact.lu.sym();
+    let mut off = 0;
+    for &i in sups {
+        let w = sym.sup_width(i as usize) * nrhs;
+        let acc = lsum.entry(i).or_insert_with(|| vec![0.0; w]);
+        for (a, &v) in acc.iter_mut().zip(&buf[off..off + w]) {
+            *a += v;
+        }
+        off += w;
+    }
+    debug_assert_eq!(off, buf.len());
+}
+
+/// Run the baseline 3D SpTRSV as the rank program of `(x, y, z)`.
+pub fn run_rank(
+    plan: &Plan,
+    grid_comm: &Comm,
+    zcomm: &Comm,
+    x: usize,
+    y: usize,
+    z: usize,
+    pb: &[f64],
+    nrhs: usize,
+) -> RankOutput {
+    let grid = &plan.grids[z];
+    let d = plan.depth;
+    let sym = plan.fact.lu.sym();
+    let nsup = sym.n_supernodes();
+    let ctx = Ctx {
+        plan,
+        grid,
+        comm: grid_comm,
+        x,
+        y,
+        nrhs,
+        pb,
+    };
+    let mut state = SolveState::default();
+
+    let snapshot = |c: &Comm| {
+        let t = c.time_snapshot();
+        (
+            c.now(),
+            t[Category::Flop as usize] + t[Category::XyComm as usize],
+            t[Category::ZComm as usize],
+        )
+    };
+    let (t0, b0, z0) = snapshot(grid_comm);
+
+    // ---------------- L phase: leaves to root ----------------
+    for lev in (0..=d).rev() {
+        let active = z % (1 << (d - lev)) == 0;
+        if active {
+            let cols = plan.node_supers(grid.path[lev]);
+            if !cols.is_empty() {
+                l_solve_pass(
+                    &ctx,
+                    &LPassSpec {
+                        cols: &cols,
+                        contrib_all: true,
+                        tree_comm: false,
+                        epoch: (d - lev) as u64,
+                    },
+                    &mut state,
+                );
+            }
+        }
+        if lev > 0 {
+            // Pairwise reduce of the ancestor partial sums toward the
+            // smaller grid of each pair.
+            let step = d - lev;
+            let ancestors: Vec<u32> = grid
+                .path
+                .iter()
+                .take(lev)
+                .flat_map(|&t| plan.node_supers(t))
+                .filter(|&i| i as usize % plan.px == x)
+                .collect();
+            if z % (1 << (step + 1)) == (1 << step) {
+                let buf = pack_lsums(plan, &ancestors, &state.lsum, nrhs);
+                zcomm.send(z - (1 << step), TAG_ZRED + lev as u64, &buf, Category::ZComm);
+            } else if z % (1 << (step + 1)) == 0 {
+                let msg = zcomm.recv(
+                    Some(z + (1 << step)),
+                    Some(TAG_ZRED + lev as u64),
+                    Category::ZComm,
+                );
+                unpack_add_lsums(plan, &ancestors, &msg.payload, &mut state.lsum, nrhs);
+            }
+        }
+    }
+    let (t1, b1, _) = snapshot(grid_comm);
+
+    // ---------------- U phase: root to leaves ----------------
+    for lev in 0..=d {
+        let active = z % (1 << (d - lev)) == 0;
+        if active {
+            let rows = plan.node_supers(grid.path[lev]);
+            let ext: Vec<u32> = grid
+                .path
+                .iter()
+                .take(lev)
+                .flat_map(|&t| plan.node_supers(t))
+                .collect();
+            if !rows.is_empty() {
+                let mut row_set = SupSet::new(nsup);
+                for &k in &rows {
+                    row_set.insert(k as usize);
+                }
+                u_solve_pass(
+                    &ctx,
+                    &UPassSpec {
+                        rows: &rows,
+                        row_set: &row_set,
+                        ext_cols: &ext,
+                        tree_comm: false,
+                        epoch: (d + 1 + lev) as u64,
+                    },
+                    &mut state,
+                );
+            }
+        }
+        if lev < d {
+            // Pairwise broadcast of all solved pieces (levels 0..=lev) to
+            // the newly activated grids.
+            let step = d - lev - 1;
+            let solved: Vec<u32> = grid
+                .path
+                .iter()
+                .take(lev + 1)
+                .flat_map(|&t| plan.node_supers(t))
+                .filter(|&k| k as usize % plan.px == x && k as usize % plan.py == y)
+                .collect();
+            if z % (1 << (step + 1)) == 0 {
+                let mut buf = Vec::new();
+                for &k in &solved {
+                    buf.extend_from_slice(
+                        state
+                            .x_vals
+                            .get(&k)
+                            .expect("active grid solved its ancestors"),
+                    );
+                }
+                zcomm.send(z + (1 << step), TAG_ZBC + lev as u64, &buf, Category::ZComm);
+            } else if z % (1 << (step + 1)) == (1 << step) {
+                let msg = zcomm.recv(
+                    Some(z - (1 << step)),
+                    Some(TAG_ZBC + lev as u64),
+                    Category::ZComm,
+                );
+                let mut off = 0;
+                for &k in &solved {
+                    let w = sym.sup_width(k as usize) * nrhs;
+                    state.x_vals.insert(k, msg.payload[off..off + w].to_vec());
+                    off += w;
+                }
+                debug_assert_eq!(off, msg.payload.len());
+            }
+        }
+    }
+    let (t2, b2, z2) = snapshot(grid_comm);
+
+    let x_pieces = state
+        .x_vals
+        .iter()
+        .filter(|(&k, _)| k as usize % plan.px == x && k as usize % plan.py == y)
+        .map(|(&k, v)| (k, v.clone()))
+        .collect();
+
+    RankOutput {
+        phases: PhaseTimes {
+            l_wall: t1 - t0,
+            z_wall: 0.0,
+            u_wall: t2 - t1,
+            l_busy: b1 - b0,
+            u_busy: b2 - b1,
+            z_time: z2 - z0,
+            total: t2 - t0,
+        },
+        x_pieces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::driver::{solve_distributed, Algorithm, Arch, SolverConfig};
+    use lufactor::factorize;
+    use ordering::SymbolicOptions;
+    use simgrid::MachineModel;
+    use sparse::gen;
+    use std::sync::Arc;
+
+    fn check(a: &sparse::CsrMatrix, px: usize, py: usize, pz: usize, nrhs: usize) {
+        let f = Arc::new(factorize(a, pz, &SymbolicOptions::default()).unwrap());
+        let b = gen::standard_rhs(a.nrows(), nrhs);
+        let want = f.solve(&b, nrhs);
+        let cfg = SolverConfig {
+            px,
+            py,
+            pz,
+            nrhs,
+            algorithm: Algorithm::Baseline3d,
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: 0,
+        };
+        let out = solve_distributed(&f, &b, &cfg);
+        let diff = sparse::max_abs_diff(&out.x, &want);
+        assert!(
+            diff < 1e-11,
+            "baseline px={px} py={py} pz={pz} nrhs={nrhs}: diff {diff}"
+        );
+    }
+
+    #[test]
+    fn baseline_pz1_is_flat_2d() {
+        check(&gen::poisson2d_5pt(9, 9), 2, 2, 1, 1);
+    }
+
+    #[test]
+    fn baseline_pure_z() {
+        check(&gen::poisson2d_5pt(10, 10), 1, 1, 4, 1);
+    }
+
+    #[test]
+    fn baseline_full_3d() {
+        check(&gen::poisson2d_9pt(12, 12), 2, 3, 4, 1);
+    }
+
+    #[test]
+    fn baseline_multi_rhs() {
+        check(&gen::poisson2d_9pt(10, 10), 2, 2, 2, 3);
+    }
+
+    #[test]
+    fn baseline_deep_z() {
+        check(&gen::poisson2d_5pt(16, 16), 2, 1, 8, 1);
+    }
+
+    #[test]
+    fn baseline_3d_pde() {
+        check(&gen::poisson3d_7pt(4, 4, 4), 2, 2, 4, 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Top-level driver: run a distributed SpTRSV on the simulated cluster and
+//! gather the solution plus the paper's timing breakdown.
+
+use crate::new3d::RankOutput;
+use crate::plan::Plan;
+use lufactor::Factorized;
+use simgrid::{ClusterOptions, MachineModel, RankStats};
+use std::sync::Arc;
+
+/// Which 3D SpTRSV algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The proposed algorithm (paper Alg. 1): masked 2D solves + sparse
+    /// allreduce + binary communication trees.
+    New3d,
+    /// The proposed algorithm with flat intra-grid communication (ablation
+    /// of the communication trees, `NEW3DSOLVETREECOMM` unset).
+    New3dFlat,
+    /// The proposed algorithm with the naive per-node dense allreduce
+    /// (ablation of the sparse allreduce scheme).
+    New3dNaiveAllreduce,
+    /// The ICS'19 baseline: level-by-level with `O(log Pz)` inter-grid
+    /// synchronizations and flat intra-grid communication.
+    Baseline3d,
+}
+
+/// Execution architecture for the intra-grid solves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arch {
+    /// CPU ranks (Alg. 3).
+    Cpu,
+    /// One GPU per rank: single-GPU kernels when `Px = Py = 1` (Alg. 4),
+    /// NVSHMEM-style one-sided multi-GPU kernels otherwise (Alg. 5).
+    Gpu,
+}
+
+/// Full configuration of one distributed solve.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// 2D grid rows.
+    pub px: usize,
+    /// 2D grid columns.
+    pub py: usize,
+    /// Number of 2D grids (power of two).
+    pub pz: usize,
+    /// Right-hand sides.
+    pub nrhs: usize,
+    /// Algorithm variant.
+    pub algorithm: Algorithm,
+    /// CPU or GPU execution.
+    pub arch: Arch,
+    /// Machine cost model.
+    pub machine: MachineModel,
+    /// Nonzero: chaotic any-source message selection (failure injection).
+    pub chaos_seed: u64,
+}
+
+/// Per-rank phase timing, in simulated seconds.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct PhaseTimes {
+    /// Wall time of the L-solve phase.
+    pub l_wall: f64,
+    /// Wall time of the inter-grid synchronization phase (proposed
+    /// algorithm only; the baseline interleaves it into `l/u_wall`).
+    pub z_wall: f64,
+    /// Wall time of the U-solve phase.
+    pub u_wall: f64,
+    /// Busy (FP + intra-grid comm) time during the L phase — the paper's
+    /// load-balance quantity with Z-comm excluded (Fig. 7/8).
+    pub l_busy: f64,
+    /// Busy time during the U phase.
+    pub u_busy: f64,
+    /// Total inter-grid communication time (Z-Comm of Fig. 5/6).
+    pub z_time: f64,
+    /// Total solve wall time on this rank.
+    pub total: f64,
+}
+
+/// Result of a distributed solve.
+pub struct SolveOutcome {
+    /// Gathered solution in the *original* ordering (`n × nrhs` col-major).
+    pub x: Vec<f64>,
+    /// Per-rank phase times.
+    pub phases: Vec<PhaseTimes>,
+    /// Per-rank simulator statistics (category times, bytes, messages).
+    pub stats: Vec<RankStats>,
+    /// Simulated wall time of the whole solve (max rank clock).
+    pub makespan: f64,
+    /// Maximum discrepancy between replicated ancestor solutions computed
+    /// by different grids (a correctness telltale; ~1e-12 expected).
+    pub replication_disagreement: f64,
+    /// Per-rank event timelines (only with [`solve_traced`]).
+    pub traces: Vec<Vec<simgrid::TraceEvent>>,
+}
+
+/// A planned solver: the 3D layout, grid membership, and subcommunicator
+/// structure are computed once and reused across solves — the paper's
+/// "setup once, solve many right-hand sides" usage (preconditioner
+/// application, multi-load-case campaigns).
+pub struct Solver3d {
+    plan: Arc<Plan>,
+    cfg: SolverConfig,
+}
+
+impl Solver3d {
+    /// Plan a solver for the given factorization and configuration.
+    pub fn new(fact: Arc<Factorized>, cfg: SolverConfig) -> Self {
+        let plan = Arc::new(Plan::new(fact, cfg.px, cfg.py, cfg.pz));
+        Solver3d { plan, cfg }
+    }
+
+    /// The underlying plan (for analysis, e.g. `sptrsv::analysis`).
+    pub fn plan(&self) -> &Arc<Plan> {
+        &self.plan
+    }
+
+    /// The configuration this solver was planned for.
+    pub fn config(&self) -> &SolverConfig {
+        &self.cfg
+    }
+
+    /// Solve `A x = b` for `nrhs` column-major RHSs in the original
+    /// ordering (`nrhs` may differ from the planned `cfg.nrhs`).
+    pub fn solve(&self, b: &[f64], nrhs: usize) -> SolveOutcome {
+        let mut cfg = self.cfg.clone();
+        cfg.nrhs = nrhs;
+        solve_planned(&self.plan, b, &cfg)
+    }
+}
+
+/// Run one distributed SpTRSV over the virtual cluster.
+///
+/// `b` is the right-hand side in the *original* ordering (`n × nrhs`
+/// col-major); the returned solution is in the original ordering too.
+/// Plans the 3D layout on every call — use [`Solver3d`] to amortize the
+/// planning over many solves.
+pub fn solve_distributed(fact: &Arc<Factorized>, b: &[f64], cfg: &SolverConfig) -> SolveOutcome {
+    let plan = Arc::new(Plan::new(fact.clone(), cfg.px, cfg.py, cfg.pz));
+    solve_planned(&plan, b, cfg)
+}
+
+/// Run one distributed SpTRSV with a prebuilt plan.
+pub fn solve_planned(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig) -> SolveOutcome {
+    solve_traced(plan, b, cfg, false)
+}
+
+/// Like [`solve_planned`], optionally recording per-rank event timelines
+/// (`SolveOutcome::traces`; render with [`simgrid::render_timeline`]).
+pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool) -> SolveOutcome {
+    let fact = &plan.fact;
+    let n = fact.lu.n();
+    let nrhs = cfg.nrhs;
+    assert_eq!(b.len(), n * nrhs, "rhs size mismatch");
+    assert_eq!(
+        (cfg.px, cfg.py, cfg.pz),
+        (plan.px, plan.py, plan.pz),
+        "configuration does not match the plan"
+    );
+
+    // Permute the RHS once (setup, untimed).
+    let mut pb = vec![0.0; n * nrhs];
+    for r in 0..nrhs {
+        for i in 0..n {
+            pb[r * n + i] = b[r * n + fact.nd.perm[i]];
+        }
+    }
+    let pb = Arc::new(pb);
+
+    let opts = ClusterOptions {
+        chaos_seed: cfg.chaos_seed,
+        trace,
+    };
+    let plan2 = Arc::clone(&plan);
+    let pb2 = Arc::clone(&pb);
+    let algorithm = cfg.algorithm;
+    let arch = cfg.arch;
+    let report = simgrid::run(plan.nranks(), cfg.machine.clone(), &opts, move |world| {
+        let plan = &plan2;
+        let (x, y, z) = plan.coords(world.rank());
+        let grid_comm = world.split(z, x + plan.px * y);
+        let zcomm = world.split(x + plan.px * y, z);
+        let out: RankOutput = match (algorithm, arch) {
+            (Algorithm::Baseline3d, Arch::Cpu) => {
+                crate::baseline3d::run_rank(plan, &grid_comm, &zcomm, x, y, z, &pb2, nrhs)
+            }
+            (Algorithm::Baseline3d, Arch::Gpu) => {
+                panic!("the baseline 3D algorithm has no GPU implementation (paper §3.4)")
+            }
+            (alg, Arch::Cpu) => crate::new3d::run_rank(
+                plan,
+                &grid_comm,
+                &zcomm,
+                x,
+                y,
+                z,
+                &pb2,
+                nrhs,
+                alg != Algorithm::New3dFlat,
+                alg == Algorithm::New3dNaiveAllreduce,
+            ),
+            (alg, Arch::Gpu) => crate::gpusolve::run_rank(
+                plan,
+                &grid_comm,
+                &zcomm,
+                x,
+                y,
+                z,
+                &pb2,
+                nrhs,
+                alg == Algorithm::New3dNaiveAllreduce,
+            ),
+        };
+        out
+    });
+
+    // Assemble the permuted solution from the diagonal pieces. Smaller z
+    // written last so replicated values deterministically come from the
+    // smallest grid; track the max disagreement between replicas.
+    let sym = fact.lu.sym();
+    let mut xp = vec![f64::NAN; n * nrhs];
+    let mut disagreement: f64 = 0.0;
+    let mut indexed: Vec<(usize, &RankOutput)> = report.results.iter().enumerate().collect();
+    indexed.sort_by_key(|&(rank, _)| std::cmp::Reverse(rank));
+    for (_, out) in indexed {
+        for (k, piece) in &out.x_pieces {
+            let cols = sym.sup_cols(*k as usize);
+            let w = cols.len();
+            for r in 0..nrhs {
+                for j in 0..w {
+                    let dst = &mut xp[r * n + cols.start + j];
+                    let v = piece[r * w + j];
+                    if !dst.is_nan() {
+                        disagreement = disagreement.max((*dst - v).abs());
+                    }
+                    *dst = v;
+                }
+            }
+        }
+    }
+    assert!(
+        xp.iter().all(|v| !v.is_nan()),
+        "solution incomplete: some supernodes never solved"
+    );
+
+    // Un-permute.
+    let mut x = vec![0.0; n * nrhs];
+    for r in 0..nrhs {
+        for i in 0..n {
+            x[r * n + fact.nd.perm[i]] = xp[r * n + i];
+        }
+    }
+
+    SolveOutcome {
+        x,
+        phases: report.results.iter().map(|o| o.phases).collect(),
+        stats: report.stats,
+        makespan: report.makespan,
+        replication_disagreement: disagreement,
+        traces: report.traces,
+    }
+}
+
+impl SolveOutcome {
+    /// `(min, mean, max)` over ranks of an extracted phase quantity.
+    pub fn min_mean_max(&self, f: impl Fn(&PhaseTimes) -> f64) -> (f64, f64, f64) {
+        let mut mn = f64::INFINITY;
+        let mut mx = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for p in &self.phases {
+            let v = f(p);
+            mn = mn.min(v);
+            mx = mx.max(v);
+            sum += v;
+        }
+        (mn, sum / self.phases.len() as f64, mx)
+    }
+
+    /// Mean over ranks of an extracted phase quantity.
+    pub fn mean(&self, f: impl Fn(&PhaseTimes) -> f64) -> f64 {
+        self.phases.iter().map(&f).sum::<f64>() / self.phases.len() as f64
+    }
+}

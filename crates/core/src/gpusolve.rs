@@ -1,0 +1,807 @@
+//! GPU execution models for the 2D solves (paper Alg. 4 and Alg. 5).
+//!
+//! No physical GPU exists in this environment (DESIGN.md §2); the paper's
+//! GPU kernels are modelled in virtual time:
+//!
+//! * **Single-GPU solve** (Alg. 4, used when `Px = Py = 1`): one thread
+//!   block per supernode column, sync-free spin-waiting on `fmod`. Modelled
+//!   as a bounded-lane list schedule ([`simgrid::GpuExecutor`]): task `K`
+//!   becomes ready when its dependencies finish, runs for the
+//!   HBM-bandwidth-bound panel time, and pays a per-block overhead. The
+//!   numerics are executed for real.
+//! * **Multi-GPU solve** (Alg. 5): the same message-driven structure as the
+//!   CPU Alg. 3 (binary broadcast/reduction trees, `fmod` counters, WAIT
+//!   kernel), but communication uses GPU-initiated one-sided puts with
+//!   NVLink intra-node vs Slingshot inter-node cost (the §4.2.2 bandwidth
+//!   cliff), and computation runs on the bounded-lane executor at arbitrary
+//!   virtual event times rather than on the rank's serial clock.
+//!
+//! The 3D driver pairs either kernel with the MPI-based sparse allreduce,
+//! exactly as the paper does (Alg. 1 lines 13–19).
+
+use crate::allreduce;
+use crate::driver::PhaseTimes;
+use crate::kernels;
+use crate::new3d::RankOutput;
+use crate::plan::Plan;
+use crate::solve2d::{member_list, tree_links};
+use simgrid::{Category, Comm, GpuExecutor, GpuModel};
+use std::collections::HashMap;
+
+const KIND_Y: u64 = 21 << 40;
+const KIND_LSUM: u64 = 22 << 40;
+const KIND_X: u64 = 23 << 40;
+const KIND_USUM: u64 = 24 << 40;
+const KIND_MASK: u64 = 0xff << 40;
+const SUP_MASK: u64 = (1 << 40) - 1;
+/// L pass = epoch 0, U pass = epoch 1 (see solve2d: ranks of a grid are
+/// not synchronized between passes, so receives match on the epoch bits).
+const EPOCH_MASK: u64 = !((1 << 48) - 1);
+
+#[inline]
+fn tag(epoch: u64, kind: u64, sup: u32) -> u64 {
+    (epoch << 48) | kind | sup as u64
+}
+
+/// Run the proposed 3D SpTRSV with GPU 2D solves as the rank program of
+/// `(x, y, z)`. Single-GPU kernels when `Px · Py = 1`, NVSHMEM-style
+/// multi-GPU kernels otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rank(
+    plan: &Plan,
+    grid_comm: &Comm,
+    zcomm: &Comm,
+    x: usize,
+    y: usize,
+    z: usize,
+    pb: &[f64],
+    nrhs: usize,
+    use_naive_allreduce: bool,
+) -> RankOutput {
+    let gpu = grid_comm
+        .model()
+        .gpu
+        .clone()
+        .expect("GPU solve requires a machine model with GPU parameters");
+    let single = plan.px * plan.py == 1;
+
+    let t0 = grid_comm.now();
+    let mut y_vals: HashMap<u32, Vec<f64>> = HashMap::new();
+    let mut x_vals: HashMap<u32, Vec<f64>> = HashMap::new();
+
+    if single {
+        single_gpu_l(plan, grid_comm, &gpu, z, pb, nrhs, &mut y_vals);
+    } else {
+        multi_gpu_l(plan, grid_comm, &gpu, x, y, z, pb, nrhs, &mut y_vals);
+    }
+    let t1 = grid_comm.now();
+
+    // Inter-grid sparse allreduce runs over MPI on the host (paper: the
+    // SparseAllReduce of Alg. 1 line 20 is implemented with MPI).
+    if use_naive_allreduce {
+        allreduce::naive_allreduce(plan, zcomm, x, y, z, nrhs, &mut y_vals);
+    } else {
+        allreduce::sparse_allreduce(plan, zcomm, x, y, z, nrhs, &mut y_vals);
+    }
+    let t2 = grid_comm.now();
+
+    if single {
+        single_gpu_u(plan, grid_comm, &gpu, z, nrhs, &y_vals, &mut x_vals);
+    } else {
+        multi_gpu_u(plan, grid_comm, &gpu, x, y, z, nrhs, &y_vals, &mut x_vals);
+    }
+    let t3 = grid_comm.now();
+
+    let snap = grid_comm.time_snapshot();
+    let x_pieces = x_vals
+        .into_iter()
+        .filter(|(k, _)| *k as usize % plan.px == x && *k as usize % plan.py == y)
+        .collect();
+
+    RankOutput {
+        phases: PhaseTimes {
+            l_wall: t1 - t0,
+            z_wall: t2 - t1,
+            u_wall: t3 - t2,
+            l_busy: t1 - t0,
+            u_busy: t3 - t2,
+            z_time: snap[Category::ZComm as usize],
+            total: t3 - t0,
+        },
+        x_pieces,
+    }
+}
+
+/// Single-GPU 2D L-solve (Alg. 4): the whole `L^z` on one device.
+fn single_gpu_l(
+    plan: &Plan,
+    comm: &Comm,
+    gpu: &GpuModel,
+    z: usize,
+    pb: &[f64],
+    nrhs: usize,
+    y_vals: &mut HashMap<u32, Vec<f64>>,
+) {
+    let grid = &plan.grids[z];
+    let sym = plan.fact.lu.sym();
+    let t0 = comm.now() + gpu.kernel_launch;
+    let mut ex = GpuExecutor::new(gpu, t0);
+    let mut lsum: HashMap<u32, Vec<f64>> = HashMap::new();
+    let mut row_ready: HashMap<u32, f64> = HashMap::new();
+
+    for &k in &grid.supers {
+        let ku = k as usize;
+        let w = sym.sup_width(ku);
+        // Ready when every in-grid dependency task has finished.
+        let ready = row_ready.remove(&k).unwrap_or(t0);
+        // Numerics: diagonal solve + off-diagonal GEMVs of column K.
+        let active = plan.rhs_active(z, ku);
+        let b_k = kernels::masked_rhs(&plan.fact, ku, pb, nrhs, active);
+        let (y_k, _) = kernels::diag_solve_l(&plan.fact, ku, &b_k, lsum.get(&k).map(|v| &v[..]), nrhs);
+        let mut dur = gpu.panel_op_time(w, w, nrhs);
+        let mut total_rows = 0usize;
+        for &i in sym.blocks_below(ku) {
+            debug_assert!(grid.member.contains(i as usize));
+            let (lo, hi) = kernels::block_range(&plan.fact, ku, i as usize);
+            let wi = sym.sup_width(i as usize);
+            let acc = lsum.entry(i).or_insert_with(|| vec![0.0; wi * nrhs]);
+            kernels::apply_l_block(&plan.fact, ku, i as usize, lo, hi, &y_k, acc, nrhs);
+            total_rows += hi - lo;
+        }
+        dur += gpu.panel_op_time(total_rows, w, nrhs);
+        let finish = ex.schedule(ready, dur);
+        for &i in sym.blocks_below(ku) {
+            let e = row_ready.entry(i).or_insert(t0);
+            if finish > *e {
+                *e = finish;
+            }
+        }
+        y_vals.insert(k, y_k);
+    }
+    let end = ex.last_finish();
+    comm.account(end - comm.now(), Category::Flop);
+    comm.advance_to(end);
+}
+
+/// Single-GPU 2D U-solve (Alg. 4 mirror), pull-model tasks.
+fn single_gpu_u(
+    plan: &Plan,
+    comm: &Comm,
+    gpu: &GpuModel,
+    z: usize,
+    nrhs: usize,
+    y_vals: &HashMap<u32, Vec<f64>>,
+    x_vals: &mut HashMap<u32, Vec<f64>>,
+) {
+    let grid = &plan.grids[z];
+    let sym = plan.fact.lu.sym();
+    let t0 = comm.now() + gpu.kernel_launch;
+    let mut ex = GpuExecutor::new(gpu, t0);
+    let mut finish: HashMap<u32, f64> = HashMap::new();
+
+    for &k in grid.supers.iter().rev() {
+        let ku = k as usize;
+        let w = sym.sup_width(ku);
+        let mut ready = t0;
+        let mut dur = gpu.panel_op_time(w, w, nrhs);
+        let mut usum = vec![0.0; w * nrhs];
+        for &j in sym.blocks_below(ku) {
+            let (qlo, qhi) = kernels::block_range(&plan.fact, ku, j as usize);
+            kernels::apply_u_block(
+                &plan.fact,
+                ku,
+                j as usize,
+                qlo,
+                qhi,
+                &x_vals[&j],
+                &mut usum,
+                nrhs,
+            );
+            dur += gpu.panel_op_time(w, qhi - qlo, nrhs);
+            ready = ready.max(finish[&j]);
+        }
+        let y_k = y_vals
+            .get(&k)
+            .expect("allreduce delivered y before the U-solve");
+        let (x_k, _) = kernels::diag_solve_u(&plan.fact, ku, y_k, Some(&usum), nrhs);
+        let f = ex.schedule(ready, dur);
+        finish.insert(k, f);
+        x_vals.insert(k, x_k);
+    }
+    let end = ex.last_finish();
+    comm.account(end - comm.now(), Category::Flop);
+    comm.advance_to(end);
+}
+
+/// Per-owned-column info for the multi-GPU passes.
+struct GCol {
+    children: Vec<usize>,
+    blocks: Vec<(u32, u32, u32)>,
+    /// Sum of block row counts (one fused GEMV task per column).
+    total_rows: usize,
+}
+
+struct GRow {
+    fmod: u32,
+    parent: Option<usize>,
+}
+
+/// NVSHMEM-style multi-GPU 2D L-solve (Alg. 5) over the whole `L^z`.
+#[allow(clippy::too_many_arguments)]
+fn multi_gpu_l(
+    plan: &Plan,
+    comm: &Comm,
+    gpu: &GpuModel,
+    x: usize,
+    y: usize,
+    z: usize,
+    pb: &[f64],
+    nrhs: usize,
+    y_vals: &mut HashMap<u32, Vec<f64>>,
+) {
+    let grid = &plan.grids[z];
+    let sym = plan.fact.lu.sym();
+    let (px, py) = (plan.px, plan.py);
+    let me_world = comm.world_rank(comm.rank());
+
+    // --- Setup (trees and fmod precomputed on the CPU, paper §3.4) ---
+    let mut cols: HashMap<u32, GCol> = HashMap::new();
+    let mut rows: HashMap<u32, GRow> = HashMap::new();
+    let mut expected = 0usize;
+    for &k in &grid.supers {
+        let ku = k as usize;
+        if ku % py != y {
+            continue;
+        }
+        let members = member_list(
+            ku % px,
+            sym.blocks_below(ku)
+                .iter()
+                .filter(|&&i| grid.member.contains(i as usize))
+                .map(|&i| i as usize % px),
+        );
+        let Some(links) = tree_links(&members, x, true) else {
+            continue;
+        };
+        let mut blocks = Vec::new();
+        let mut total_rows = 0usize;
+        for &i in sym.blocks_below(ku) {
+            if i as usize % px == x && grid.member.contains(i as usize) {
+                let (lo, hi) = kernels::block_range(&plan.fact, ku, i as usize);
+                blocks.push((i, lo as u32, hi as u32));
+                total_rows += hi - lo;
+            }
+        }
+        if !links.is_root {
+            expected += 1;
+        }
+        cols.insert(
+            k,
+            GCol {
+                children: links.children.iter().map(|&r| r + px * y).collect(),
+                blocks,
+                total_rows,
+            },
+        );
+    }
+    let mut local_pending: HashMap<u32, u32> = HashMap::new();
+    for c in cols.values() {
+        for &(i, _, _) in &c.blocks {
+            *local_pending.entry(i).or_insert(0) += 1;
+        }
+    }
+    for &i in &grid.supers {
+        let iu = i as usize;
+        if iu % px != x {
+            continue;
+        }
+        let members = member_list(
+            iu % py,
+            sym.blocks_left(iu)
+                .iter()
+                .filter(|&&k| grid.member.contains(k as usize))
+                .map(|&k| k as usize % py),
+        );
+        let Some(links) = tree_links(&members, y, true) else {
+            continue;
+        };
+        expected += links.children.len();
+        rows.insert(
+            i,
+            GRow {
+                fmod: local_pending.get(&i).copied().unwrap_or(0) + links.children.len() as u32,
+                parent: links.parent.map(|c| x + px * c),
+            },
+        );
+    }
+
+    // --- Event-driven solve ---
+    let t0 = comm.now() + gpu.kernel_launch;
+    let mut ex = GpuExecutor::new(gpu, t0);
+    let mut lsum: HashMap<u32, Vec<f64>> = HashMap::new();
+    let mut row_ready: HashMap<u32, f64> = HashMap::new();
+    let mut work: Vec<u32> = rows
+        .iter()
+        .filter(|(_, r)| r.fmod == 0)
+        .map(|(&i, _)| i)
+        .collect();
+    work.sort_unstable();
+    work.reverse();
+    let mut received = 0usize;
+    let mut last_event = t0;
+
+    let put = |depart: f64, dst: usize, t: u64, payload: &[f64]| {
+        let bytes = 8 * payload.len() + 64;
+        let dst_world = comm.world_rank(dst);
+        let (lat, wire) = gpu.put_cost(me_world, dst_world, bytes);
+        comm.send_timed(depart, lat + wire, dst, t, payload, Category::XyComm);
+    };
+
+    loop {
+        while let Some(i) = work.pop() {
+            let iu = i as usize;
+            let info = rows.get(&i).expect("trigger row");
+            let ready = row_ready.get(&i).copied().unwrap_or(t0);
+            match info.parent {
+                None => {
+                    // Diagonal thread block: y(I), then forward + local GEMV.
+                    let w = sym.sup_width(iu);
+                    let active = plan.rhs_active(z, iu);
+                    let b_i = kernels::masked_rhs(&plan.fact, iu, pb, nrhs, active);
+                    let (y_i, _) = kernels::diag_solve_l(
+                        &plan.fact,
+                        iu,
+                        &b_i,
+                        lsum.get(&i).map(|v| &v[..]),
+                        nrhs,
+                    );
+                    let f = ex.schedule(ready, gpu.panel_op_time(w, w, nrhs));
+                    handle_y_gpu(
+                        plan, gpu, &cols, &mut rows, &mut lsum, &mut row_ready, &mut ex, &put,
+                        i, &y_i, f, nrhs, &mut work,
+                    );
+                    last_event = last_event.max(f);
+                    y_vals.insert(i, y_i);
+                }
+                Some(p) => {
+                    let w = sym.sup_width(iu);
+                    let zeros;
+                    let payload = match lsum.get(&i) {
+                        Some(v) => &v[..],
+                        None => {
+                            zeros = vec![0.0; w * nrhs];
+                            &zeros[..]
+                        }
+                    };
+                    put(ready, p, tag(0, KIND_LSUM, i), payload);
+                    last_event = last_event.max(ready);
+                }
+            }
+        }
+        if received >= expected {
+            break;
+        }
+        let msg = comm.recv_raw_tag_masked(EPOCH_MASK, 0);
+        received += 1;
+        let sup = (msg.tag & SUP_MASK) as u32;
+        last_event = last_event.max(msg.arrival);
+        match msg.tag & KIND_MASK {
+            KIND_Y => {
+                handle_y_gpu(
+                    plan, gpu, &cols, &mut rows, &mut lsum, &mut row_ready, &mut ex, &put,
+                    sup, &msg.payload, msg.arrival, nrhs, &mut work,
+                );
+                y_vals
+                    .entry(sup)
+                    .or_insert_with(|| msg.payload.to_vec());
+            }
+            KIND_LSUM => {
+                let w = sym.sup_width(sup as usize);
+                let acc = lsum.entry(sup).or_insert_with(|| vec![0.0; w * nrhs]);
+                for (a, &v) in acc.iter_mut().zip(msg.payload.iter()) {
+                    *a += v;
+                }
+                let e = row_ready.entry(sup).or_insert(t0);
+                if msg.arrival > *e {
+                    *e = msg.arrival;
+                }
+                let r = rows.get_mut(&sup).expect("lsum targets trigger row");
+                r.fmod -= 1;
+                if r.fmod == 0 {
+                    work.push(sup);
+                }
+            }
+            _ => unreachable!("unexpected kind in GPU L pass"),
+        }
+    }
+    let end = last_event.max(ex.last_finish());
+    comm.account(ex.busy_time(), Category::Flop);
+    comm.account((end - comm.now() - ex.busy_time()).max(0.0), Category::XyComm);
+    comm.advance_to(end);
+}
+
+/// `y(K)` available at `t_avail` on this GPU: forward along the tree
+/// (one-sided puts), then run the fused column GEMV task.
+#[allow(clippy::too_many_arguments)]
+fn handle_y_gpu(
+    plan: &Plan,
+    gpu: &GpuModel,
+    cols: &HashMap<u32, GCol>,
+    rows: &mut HashMap<u32, GRow>,
+    lsum: &mut HashMap<u32, Vec<f64>>,
+    row_ready: &mut HashMap<u32, f64>,
+    ex: &mut GpuExecutor,
+    put: &impl Fn(f64, usize, u64, &[f64]),
+    k: u32,
+    y_k: &[f64],
+    t_avail: f64,
+    nrhs: usize,
+    work: &mut Vec<u32>,
+) {
+    let Some(info) = cols.get(&k) else {
+        return;
+    };
+    for &child in &info.children {
+        put(t_avail, child, tag(0, KIND_Y, k), y_k);
+    }
+    if info.blocks.is_empty() {
+        return;
+    }
+    let sym = plan.fact.lu.sym();
+    let w = sym.sup_width(k as usize);
+    let f = ex.schedule(t_avail, gpu.panel_op_time(info.total_rows, w, nrhs));
+    for &(i, lo, hi) in &info.blocks {
+        let wi = sym.sup_width(i as usize);
+        let acc = lsum.entry(i).or_insert_with(|| vec![0.0; wi * nrhs]);
+        kernels::apply_l_block(
+            &plan.fact,
+            k as usize,
+            i as usize,
+            lo as usize,
+            hi as usize,
+            y_k,
+            acc,
+            nrhs,
+        );
+        let e = row_ready.entry(i).or_insert(f);
+        if f > *e {
+            *e = f;
+        }
+        if let Some(r) = rows.get_mut(&i) {
+            r.fmod -= 1;
+            if r.fmod == 0 {
+                work.push(i);
+            }
+        }
+    }
+}
+
+/// NVSHMEM-style multi-GPU 2D U-solve (Alg. 5 mirror).
+#[allow(clippy::too_many_arguments)]
+fn multi_gpu_u(
+    plan: &Plan,
+    comm: &Comm,
+    gpu: &GpuModel,
+    x: usize,
+    y: usize,
+    z: usize,
+    nrhs: usize,
+    y_vals: &HashMap<u32, Vec<f64>>,
+    x_vals: &mut HashMap<u32, Vec<f64>>,
+) {
+    let grid = &plan.grids[z];
+    let sym = plan.fact.lu.sym();
+    let (px, py) = (plan.px, plan.py);
+    let me_world = comm.world_rank(comm.rank());
+
+    // --- Setup ---
+    let mut cols: HashMap<u32, GCol> = HashMap::new();
+    let mut rows: HashMap<u32, GRow> = HashMap::new();
+    let mut expected = 0usize;
+    for &j in &grid.supers {
+        let ju = j as usize;
+        if ju % py != y {
+            continue;
+        }
+        let members = member_list(
+            ju % px,
+            sym.blocks_left(ju)
+                .iter()
+                .filter(|&&k| grid.member.contains(k as usize))
+                .map(|&k| k as usize % px),
+        );
+        let Some(links) = tree_links(&members, x, true) else {
+            continue;
+        };
+        let mut blocks = Vec::new();
+        let mut total_rows = 0usize;
+        for &k in sym.blocks_left(ju) {
+            if k as usize % px == x && grid.member.contains(k as usize) {
+                let (qlo, qhi) = kernels::block_range(&plan.fact, k as usize, ju);
+                blocks.push((k, qlo as u32, qhi as u32));
+                total_rows += qhi - qlo;
+            }
+        }
+        if !links.is_root {
+            expected += 1;
+        }
+        cols.insert(
+            j,
+            GCol {
+                children: links.children.iter().map(|&r| r + px * y).collect(),
+                blocks,
+                total_rows,
+            },
+        );
+    }
+    let mut local_pending: HashMap<u32, u32> = HashMap::new();
+    for c in cols.values() {
+        for &(k, _, _) in &c.blocks {
+            *local_pending.entry(k).or_insert(0) += 1;
+        }
+    }
+    for &k in &grid.supers {
+        let ku = k as usize;
+        if ku % px != x {
+            continue;
+        }
+        let members = member_list(
+            ku % py,
+            sym.blocks_below(ku)
+                .iter()
+                .filter(|&&j| grid.member.contains(j as usize))
+                .map(|&j| j as usize % py),
+        );
+        let Some(links) = tree_links(&members, y, true) else {
+            continue;
+        };
+        expected += links.children.len();
+        rows.insert(
+            k,
+            GRow {
+                fmod: local_pending.get(&k).copied().unwrap_or(0) + links.children.len() as u32,
+                parent: links.parent.map(|c| x + px * c),
+            },
+        );
+    }
+
+    // --- Event-driven solve ---
+    let t0 = comm.now() + gpu.kernel_launch;
+    let mut ex = GpuExecutor::new(gpu, t0);
+    let mut usum: HashMap<u32, Vec<f64>> = HashMap::new();
+    let mut row_ready: HashMap<u32, f64> = HashMap::new();
+    let mut work: Vec<u32> = rows
+        .iter()
+        .filter(|(_, r)| r.fmod == 0)
+        .map(|(&k, _)| k)
+        .collect();
+    work.sort_unstable();
+    let mut received = 0usize;
+    let mut last_event = t0;
+
+    let put = |depart: f64, dst: usize, t: u64, payload: &[f64]| {
+        let bytes = 8 * payload.len() + 64;
+        let dst_world = comm.world_rank(dst);
+        let (lat, wire) = gpu.put_cost(me_world, dst_world, bytes);
+        comm.send_timed(depart, lat + wire, dst, t, payload, Category::XyComm);
+    };
+
+    loop {
+        while let Some(k) = work.pop() {
+            let ku = k as usize;
+            let info = rows.get(&k).expect("trigger row");
+            let ready = row_ready.get(&k).copied().unwrap_or(t0);
+            match info.parent {
+                None => {
+                    let w = sym.sup_width(ku);
+                    let y_k = y_vals.get(&k).expect("y present at diagonal owner");
+                    let (x_k, _) = kernels::diag_solve_u(
+                        &plan.fact,
+                        ku,
+                        y_k,
+                        usum.get(&k).map(|v| &v[..]),
+                        nrhs,
+                    );
+                    let f = ex.schedule(ready, gpu.panel_op_time(w, w, nrhs));
+                    handle_x_gpu(
+                        plan, gpu, &cols, &mut rows, &mut usum, &mut row_ready, &mut ex, &put,
+                        k, &x_k, f, nrhs, &mut work,
+                    );
+                    last_event = last_event.max(f);
+                    x_vals.insert(k, x_k);
+                }
+                Some(p) => {
+                    let w = sym.sup_width(ku);
+                    let zeros;
+                    let payload = match usum.get(&k) {
+                        Some(v) => &v[..],
+                        None => {
+                            zeros = vec![0.0; w * nrhs];
+                            &zeros[..]
+                        }
+                    };
+                    put(ready, p, tag(1, KIND_USUM, k), payload);
+                    last_event = last_event.max(ready);
+                }
+            }
+        }
+        if received >= expected {
+            break;
+        }
+        let msg = comm.recv_raw_tag_masked(EPOCH_MASK, 1 << 48);
+        received += 1;
+        let sup = (msg.tag & SUP_MASK) as u32;
+        last_event = last_event.max(msg.arrival);
+        match msg.tag & KIND_MASK {
+            KIND_X => {
+                handle_x_gpu(
+                    plan, gpu, &cols, &mut rows, &mut usum, &mut row_ready, &mut ex, &put,
+                    sup, &msg.payload, msg.arrival, nrhs, &mut work,
+                );
+                x_vals.entry(sup).or_insert_with(|| msg.payload.to_vec());
+            }
+            KIND_USUM => {
+                let w = sym.sup_width(sup as usize);
+                let acc = usum.entry(sup).or_insert_with(|| vec![0.0; w * nrhs]);
+                for (a, &v) in acc.iter_mut().zip(msg.payload.iter()) {
+                    *a += v;
+                }
+                let e = row_ready.entry(sup).or_insert(t0);
+                if msg.arrival > *e {
+                    *e = msg.arrival;
+                }
+                let r = rows.get_mut(&sup).expect("usum targets trigger row");
+                r.fmod -= 1;
+                if r.fmod == 0 {
+                    work.push(sup);
+                }
+            }
+            _ => unreachable!("unexpected kind in GPU U pass"),
+        }
+    }
+    let end = last_event.max(ex.last_finish());
+    comm.account(ex.busy_time(), Category::Flop);
+    comm.account((end - comm.now() - ex.busy_time()).max(0.0), Category::XyComm);
+    comm.advance_to(end);
+}
+
+/// `x(J)` available at `t_avail`: forward along the tree, fused GEMV task.
+#[allow(clippy::too_many_arguments)]
+fn handle_x_gpu(
+    plan: &Plan,
+    gpu: &GpuModel,
+    cols: &HashMap<u32, GCol>,
+    rows: &mut HashMap<u32, GRow>,
+    usum: &mut HashMap<u32, Vec<f64>>,
+    row_ready: &mut HashMap<u32, f64>,
+    ex: &mut GpuExecutor,
+    put: &impl Fn(f64, usize, u64, &[f64]),
+    j: u32,
+    x_j: &[f64],
+    t_avail: f64,
+    nrhs: usize,
+    work: &mut Vec<u32>,
+) {
+    let Some(info) = cols.get(&j) else {
+        return;
+    };
+    for &child in &info.children {
+        put(t_avail, child, tag(1, KIND_X, j), x_j);
+    }
+    if info.blocks.is_empty() {
+        return;
+    }
+    let sym = plan.fact.lu.sym();
+    // Fused task: all my U(K, J) GEMVs for this column.
+    let mut maxw = 1usize;
+    for &(k, _, _) in &info.blocks {
+        maxw = maxw.max(sym.sup_width(k as usize));
+    }
+    let f = ex.schedule(t_avail, gpu.panel_op_time(maxw, info.total_rows, nrhs));
+    for &(k, qlo, qhi) in &info.blocks {
+        let w = sym.sup_width(k as usize);
+        let acc = usum.entry(k).or_insert_with(|| vec![0.0; w * nrhs]);
+        kernels::apply_u_block(
+            &plan.fact,
+            k as usize,
+            j as usize,
+            qlo as usize,
+            qhi as usize,
+            x_j,
+            acc,
+            nrhs,
+        );
+        let e = row_ready.entry(k).or_insert(f);
+        if f > *e {
+            *e = f;
+        }
+        let r = rows.get_mut(&k).expect("U blocks target trigger rows");
+        r.fmod -= 1;
+        if r.fmod == 0 {
+            work.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::driver::{solve_distributed, Algorithm, Arch, SolverConfig};
+    use lufactor::factorize;
+    use ordering::SymbolicOptions;
+    use simgrid::MachineModel;
+    use sparse::gen;
+    use std::sync::Arc;
+
+    fn check_gpu(a: &sparse::CsrMatrix, px: usize, py: usize, pz: usize, nrhs: usize) {
+        let f = Arc::new(factorize(a, pz, &SymbolicOptions::default()).unwrap());
+        let b = gen::standard_rhs(a.nrows(), nrhs);
+        let want = f.solve(&b, nrhs);
+        let cfg = SolverConfig {
+            px,
+            py,
+            pz,
+            nrhs,
+            algorithm: Algorithm::New3d,
+            arch: Arch::Gpu,
+            machine: MachineModel::perlmutter_gpu(),
+            chaos_seed: 0,
+        };
+        let out = solve_distributed(&f, &b, &cfg);
+        let diff = sparse::max_abs_diff(&out.x, &want);
+        assert!(
+            diff < 1e-11,
+            "gpu px={px} py={py} pz={pz} nrhs={nrhs}: diff {diff}"
+        );
+        assert!(out.makespan > 0.0);
+    }
+
+    #[test]
+    fn single_gpu_whole_matrix() {
+        check_gpu(&gen::poisson2d_5pt(8, 8), 1, 1, 1, 1);
+    }
+
+    #[test]
+    fn single_gpu_per_grid() {
+        check_gpu(&gen::poisson2d_5pt(10, 10), 1, 1, 4, 1);
+    }
+
+    #[test]
+    fn single_gpu_multi_rhs() {
+        check_gpu(&gen::poisson2d_9pt(9, 9), 1, 1, 2, 5);
+    }
+
+    #[test]
+    fn multi_gpu_px() {
+        check_gpu(&gen::poisson2d_5pt(10, 10), 4, 1, 1, 1);
+    }
+
+    #[test]
+    fn multi_gpu_px_pz() {
+        check_gpu(&gen::poisson2d_9pt(12, 12), 2, 1, 4, 1);
+    }
+
+    #[test]
+    fn multi_gpu_full_grid() {
+        check_gpu(&gen::poisson2d_5pt(12, 12), 2, 2, 2, 2);
+    }
+
+    #[test]
+    fn crusher_profile_single_gpu() {
+        let a = gen::poisson2d_5pt(9, 9);
+        let f = Arc::new(factorize(&a, 2, &SymbolicOptions::default()).unwrap());
+        let b = gen::standard_rhs(a.nrows(), 1);
+        let want = f.solve(&b, 1);
+        let cfg = SolverConfig {
+            px: 1,
+            py: 1,
+            pz: 2,
+            nrhs: 1,
+            algorithm: Algorithm::New3d,
+            arch: Arch::Gpu,
+            machine: MachineModel::crusher_gpu(),
+            chaos_seed: 0,
+        };
+        let out = solve_distributed(&f, &b, &cfg);
+        assert!(sparse::max_abs_diff(&out.x, &want) < 1e-11);
+    }
+}

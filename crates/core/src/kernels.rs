@@ -1,0 +1,295 @@
+//! Numeric block kernels shared by the CPU and GPU solve paths.
+//!
+//! All solvers — sequential, CPU message-driven, GPU-modelled — perform the
+//! same real arithmetic through these helpers; only the *time accounting*
+//! differs between paths.
+
+use lufactor::Factorized;
+
+/// Locate the row-position range `[lo, hi)` of row-supernode `i` within
+/// `rows_below(k)` of column-supernode `k`.
+pub fn block_range(fact: &Factorized, k: usize, i: usize) -> (usize, usize) {
+    let sym = fact.lu.sym();
+    let rows = sym.rows_below(k);
+    let icols = sym.sup_cols(i);
+    let lo = rows.partition_point(|&r| (r as usize) < icols.start);
+    let hi = rows.partition_point(|&r| (r as usize) < icols.end);
+    (lo, hi)
+}
+
+/// `lsum(I) += L(I, K) · y(K)` for the block at row positions `[lo, hi)` of
+/// column-supernode `k`. `y_k` is `w_k × nrhs` col-major; `lsum_i` is
+/// `w_i × nrhs` col-major. Returns the flop count.
+pub fn apply_l_block(
+    fact: &Factorized,
+    k: usize,
+    i: usize,
+    lo: usize,
+    hi: usize,
+    y_k: &[f64],
+    lsum_i: &mut [f64],
+    nrhs: usize,
+) -> usize {
+    let sym = fact.lu.sym();
+    let w = sym.sup_width(k);
+    let wi = sym.sup_width(i);
+    let istart = sym.sup_cols(i).start;
+    let rows = sym.rows_below(k);
+    let r = rows.len();
+    let panel = &fact.lu.panel(k).l_below;
+    debug_assert_eq!(y_k.len(), w * nrhs);
+    debug_assert_eq!(lsum_i.len(), wi * nrhs);
+    for rhs in 0..nrhs {
+        let yk = &y_k[rhs * w..(rhs + 1) * w];
+        let li = &mut lsum_i[rhs * wi..(rhs + 1) * wi];
+        for (j, &yv) in yk.iter().enumerate() {
+            if yv == 0.0 {
+                continue;
+            }
+            let col = &panel[j * r..(j + 1) * r];
+            for q in lo..hi {
+                li[rows[q] as usize - istart] += col[q] * yv;
+            }
+        }
+    }
+    2 * (hi - lo) * w * nrhs
+}
+
+/// `usum(K) += U(K, J) · x(J)` for the block at column positions `[qlo,
+/// qhi)` of row-supernode `k`. `x_j` is `w_j × nrhs` col-major; `usum_k` is
+/// `w_k × nrhs` col-major. Returns the flop count.
+pub fn apply_u_block(
+    fact: &Factorized,
+    k: usize,
+    j: usize,
+    qlo: usize,
+    qhi: usize,
+    x_j: &[f64],
+    usum_k: &mut [f64],
+    nrhs: usize,
+) -> usize {
+    let sym = fact.lu.sym();
+    let w = sym.sup_width(k);
+    let wj = sym.sup_width(j);
+    let jstart = sym.sup_cols(j).start;
+    let rows = sym.rows_below(k);
+    let panel = &fact.lu.panel(k).u_right;
+    debug_assert_eq!(x_j.len(), wj * nrhs);
+    debug_assert_eq!(usum_k.len(), w * nrhs);
+    for rhs in 0..nrhs {
+        let xj = &x_j[rhs * wj..(rhs + 1) * wj];
+        let uk = &mut usum_k[rhs * w..(rhs + 1) * w];
+        for q in qlo..qhi {
+            let xv = xj[rows[q] as usize - jstart];
+            if xv == 0.0 {
+                continue;
+            }
+            let col = &panel[q * w..(q + 1) * w];
+            for i in 0..w {
+                uk[i] += col[i] * xv;
+            }
+        }
+    }
+    2 * (qhi - qlo) * w * nrhs
+}
+
+/// `y(K) = L(K,K)⁻¹ · (b(K) − lsum(K))` — the diagonal solve of Eq. (1),
+/// with the precomputed inverse. Returns `(y, flops)`.
+pub fn diag_solve_l(
+    fact: &Factorized,
+    k: usize,
+    b_k: &[f64],
+    lsum_k: Option<&[f64]>,
+    nrhs: usize,
+) -> (Vec<f64>, usize) {
+    let sym = fact.lu.sym();
+    let w = sym.sup_width(k);
+    let p = fact.lu.panel(k);
+    let mut rhs = b_k.to_vec();
+    if let Some(ls) = lsum_k {
+        for (a, &s) in rhs.iter_mut().zip(ls) {
+            *a -= s;
+        }
+    }
+    let mut y = vec![0.0; w * nrhs];
+    for r in 0..nrhs {
+        sparse::dense::gemv(
+            1.0,
+            &p.dinv_l,
+            w,
+            w,
+            &rhs[r * w..(r + 1) * w],
+            &mut y[r * w..(r + 1) * w],
+        );
+    }
+    (y, 2 * w * w * nrhs)
+}
+
+/// `x(K) = U(K,K)⁻¹ · (y(K) − usum(K))` — the diagonal solve of Eq. (2).
+/// Returns `(x, flops)`.
+pub fn diag_solve_u(
+    fact: &Factorized,
+    k: usize,
+    y_k: &[f64],
+    usum_k: Option<&[f64]>,
+    nrhs: usize,
+) -> (Vec<f64>, usize) {
+    let sym = fact.lu.sym();
+    let w = sym.sup_width(k);
+    let p = fact.lu.panel(k);
+    let mut rhs = y_k.to_vec();
+    if let Some(us) = usum_k {
+        for (a, &s) in rhs.iter_mut().zip(us) {
+            *a -= s;
+        }
+    }
+    let mut x = vec![0.0; w * nrhs];
+    for r in 0..nrhs {
+        sparse::dense::gemv(
+            1.0,
+            &p.dinv_u,
+            w,
+            w,
+            &rhs[r * w..(r + 1) * w],
+            &mut x[r * w..(r + 1) * w],
+        );
+    }
+    (x, 2 * w * w * nrhs)
+}
+
+/// Extract the (masked) RHS subvector of supernode `k` from the global
+/// permuted RHS `pb` (`n × nrhs` col-major): `b(K)` if `active`, zeros
+/// otherwise (Alg. 1 lines 3–10).
+pub fn masked_rhs(fact: &Factorized, k: usize, pb: &[f64], nrhs: usize, active: bool) -> Vec<f64> {
+    let sym = fact.lu.sym();
+    let n = sym.n();
+    let cols = sym.sup_cols(k);
+    let w = cols.len();
+    let mut b = vec![0.0; w * nrhs];
+    if active {
+        for r in 0..nrhs {
+            b[r * w..(r + 1) * w].copy_from_slice(&pb[r * n + cols.start..r * n + cols.end]);
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lufactor::factorize;
+    use ordering::SymbolicOptions;
+    use sparse::gen;
+    use std::sync::Arc;
+
+    fn small_fact() -> Arc<Factorized> {
+        Arc::new(factorize(&gen::poisson2d_5pt(6, 6), 1, &SymbolicOptions::default()).unwrap())
+    }
+
+    /// Block-wise L-solve via the kernels must equal the reference solve.
+    #[test]
+    fn blockwise_l_solve_matches_reference() {
+        let f = small_fact();
+        let sym = f.lu.sym();
+        let n = sym.n();
+        let nrhs = 2;
+        let pb = gen::standard_rhs(n, nrhs);
+
+        // Reference.
+        let mut want = pb.clone();
+        f.lu.solve_l(&mut want, nrhs);
+
+        // Kernel-based: supernode order with lsum accumulation.
+        let nsup = sym.n_supernodes();
+        let mut lsum: Vec<Vec<f64>> = (0..nsup)
+            .map(|k| vec![0.0; sym.sup_width(k) * nrhs])
+            .collect();
+        let mut y: Vec<Vec<f64>> = Vec::with_capacity(nsup);
+        for k in 0..nsup {
+            let b_k = masked_rhs(&f, k, &pb, nrhs, true);
+            let (yk, _) = diag_solve_l(&f, k, &b_k, Some(&lsum[k]), nrhs);
+            for &i in sym.blocks_below(k) {
+                let (lo, hi) = block_range(&f, k, i as usize);
+                let mut li = std::mem::take(&mut lsum[i as usize]);
+                apply_l_block(&f, k, i as usize, lo, hi, &yk, &mut li, nrhs);
+                lsum[i as usize] = li;
+            }
+            y.push(yk);
+        }
+        for k in 0..nsup {
+            let cols = sym.sup_cols(k);
+            let w = cols.len();
+            for r in 0..nrhs {
+                for j in 0..w {
+                    let got = y[k][r * w + j];
+                    let exp = want[r * n + cols.start + j];
+                    assert!((got - exp).abs() < 1e-12, "y mismatch at sup {k}");
+                }
+            }
+        }
+    }
+
+    /// Block-wise U-solve via the kernels must equal the reference solve.
+    #[test]
+    fn blockwise_u_solve_matches_reference() {
+        let f = small_fact();
+        let sym = f.lu.sym();
+        let n = sym.n();
+        let nrhs = 1;
+        let mut y = gen::standard_rhs(n, nrhs);
+        let mut want = y.clone();
+        f.lu.solve_u(&mut want, nrhs);
+
+        let nsup = sym.n_supernodes();
+        let mut x: Vec<Vec<f64>> = vec![Vec::new(); nsup];
+        for k in (0..nsup).rev() {
+            let cols = sym.sup_cols(k);
+            let w = cols.len();
+            let mut usum = vec![0.0; w * nrhs];
+            for &j in sym.blocks_below(k) {
+                let (qlo, qhi) = block_range(&f, k, j as usize);
+                apply_u_block(&f, k, j as usize, qlo, qhi, &x[j as usize], &mut usum, nrhs);
+            }
+            let y_k: Vec<f64> = (0..nrhs)
+                .flat_map(|r| y[r * n + cols.start..r * n + cols.end].to_vec())
+                .collect();
+            let (xk, _) = diag_solve_u(&f, k, &y_k, Some(&usum), nrhs);
+            x[k] = xk;
+        }
+        let _ = &mut y;
+        for k in 0..nsup {
+            let cols = sym.sup_cols(k);
+            let w = cols.len();
+            for j in 0..w {
+                assert!((x[k][j] - want[cols.start + j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_rhs_zeroes_inactive() {
+        let f = small_fact();
+        let pb = gen::standard_rhs(f.lu.n(), 1);
+        let b0 = masked_rhs(&f, 0, &pb, 1, false);
+        assert!(b0.iter().all(|&v| v == 0.0));
+        let b1 = masked_rhs(&f, 0, &pb, 1, true);
+        assert!(b1.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn block_range_locates_rows() {
+        let f = small_fact();
+        let sym = f.lu.sym();
+        for k in 0..sym.n_supernodes() {
+            for &i in sym.blocks_below(k) {
+                let (lo, hi) = block_range(&f, k, i as usize);
+                assert!(lo < hi, "block must be nonempty");
+                let rows = sym.rows_below(k);
+                let icols = sym.sup_cols(i as usize);
+                for q in lo..hi {
+                    assert!(icols.contains(&(rows[q] as usize)));
+                }
+            }
+        }
+    }
+}

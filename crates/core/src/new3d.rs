@@ -1,0 +1,199 @@
+//! The proposed 3D SpTRSV (paper Algorithm 1, CPU path).
+//!
+//! Each grid treats its leaf-path submatrix as one 2D block-cyclic matrix:
+//! one masked 2D L-solve (replicated-node RHS entries zeroed on all but the
+//! smallest replicating grid), one sparse allreduce of the partial ancestor
+//! solutions, one 2D U-solve. Exactly one inter-grid synchronization, in
+//! contrast to the baseline's `O(log Pz)`.
+
+use crate::allreduce::sparse_allreduce;
+use crate::driver::PhaseTimes;
+use crate::plan::Plan;
+use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, LPassSpec, SolveState, UPassSpec};
+use simgrid::{Category, Comm};
+
+/// Per-rank output of a distributed solve.
+pub struct RankOutput {
+    /// Phase timing breakdown for this rank.
+    pub phases: PhaseTimes,
+    /// Diagonally owned solution pieces `(supernode, w × nrhs col-major)`.
+    pub x_pieces: Vec<(u32, Vec<f64>)>,
+}
+
+/// Snapshot helper: `(now, flop + xy_busy, z_time)`.
+fn snap(comm: &Comm) -> (f64, f64, f64) {
+    let t = comm.time_snapshot();
+    (
+        comm.now(),
+        t[Category::Flop as usize] + t[Category::XyComm as usize],
+        t[Category::ZComm as usize],
+    )
+}
+
+/// Run the proposed 3D SpTRSV as the rank program of world rank
+/// `world.rank()`. `grid_comm` must rank processes as `x + px·y`; `zcomm`
+/// ranks the `Pz` grids at fixed `(x, y)` by `z`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rank(
+    plan: &Plan,
+    grid_comm: &Comm,
+    zcomm: &Comm,
+    x: usize,
+    y: usize,
+    z: usize,
+    pb: &[f64],
+    nrhs: usize,
+    tree_comm: bool,
+    use_naive_allreduce: bool,
+) -> RankOutput {
+    let grid = &plan.grids[z];
+    let ctx = Ctx {
+        plan,
+        grid,
+        comm: grid_comm,
+        x,
+        y,
+        nrhs,
+        pb,
+    };
+    let mut state = SolveState::default();
+
+    let (t0, b0, z0) = snap(grid_comm);
+    l_solve_pass(
+        &ctx,
+        &LPassSpec {
+            cols: &grid.supers,
+            contrib_all: false,
+            tree_comm,
+            epoch: 0,
+        },
+        &mut state,
+    );
+    let (t1, b1, _) = snap(grid_comm);
+
+    // Inter-grid synchronization: the only one in the algorithm.
+    if use_naive_allreduce {
+        crate::allreduce::naive_allreduce(plan, zcomm, x, y, z, nrhs, &mut state.y_vals);
+    } else {
+        sparse_allreduce(plan, zcomm, x, y, z, nrhs, &mut state.y_vals);
+    }
+    // Grids re-synchronize here implicitly through the reduce/broadcast
+    // pattern; advance to the communicator's view of now.
+    let (t2, b2, _z2) = snap(grid_comm);
+
+    u_solve_pass(
+        &ctx,
+        &UPassSpec {
+            rows: &grid.supers,
+            row_set: &grid.member,
+            ext_cols: &[],
+            tree_comm,
+            epoch: 1,
+        },
+        &mut state,
+    );
+    let (t3, b3, z3) = snap(grid_comm);
+
+    let x_pieces = state
+        .x_vals
+        .iter()
+        .filter(|(&k, _)| k as usize % plan.px == x && k as usize % plan.py == y)
+        .map(|(&k, v)| (k, v.clone()))
+        .collect();
+
+    RankOutput {
+        phases: PhaseTimes {
+            l_wall: t1 - t0,
+            z_wall: t2 - t1,
+            u_wall: t3 - t2,
+            l_busy: b1 - b0,
+            u_busy: b3 - b2,
+            z_time: z3 - z0,
+            total: t3 - t0,
+        },
+        x_pieces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::driver::{solve_distributed, Algorithm, Arch, SolverConfig};
+    use lufactor::factorize;
+    use ordering::SymbolicOptions;
+    use simgrid::MachineModel;
+    use sparse::gen;
+    use std::sync::Arc;
+
+    fn check(
+        a: &sparse::CsrMatrix,
+        px: usize,
+        py: usize,
+        pz: usize,
+        nrhs: usize,
+    ) {
+        let f = Arc::new(factorize(a, pz, &SymbolicOptions::default()).unwrap());
+        let b = gen::standard_rhs(a.nrows(), nrhs);
+        let want = f.solve(&b, nrhs);
+        let cfg = SolverConfig {
+            px,
+            py,
+            pz,
+            nrhs,
+            algorithm: Algorithm::New3d,
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: 0,
+        };
+        let out = solve_distributed(&f, &b, &cfg);
+        let diff = sparse::max_abs_diff(&out.x, &want);
+        assert!(
+            diff < 1e-11,
+            "px={px} py={py} pz={pz} nrhs={nrhs}: diff {diff}"
+        );
+    }
+
+    #[test]
+    fn pz1_reduces_to_2d_solver() {
+        check(&gen::poisson2d_5pt(9, 9), 2, 2, 1, 1);
+    }
+
+    #[test]
+    fn single_rank() {
+        check(&gen::poisson2d_5pt(7, 7), 1, 1, 1, 1);
+    }
+
+    #[test]
+    fn pure_z_layout() {
+        check(&gen::poisson2d_5pt(10, 10), 1, 1, 4, 1);
+    }
+
+    #[test]
+    fn full_3d_layout() {
+        check(&gen::poisson2d_9pt(12, 12), 2, 3, 4, 1);
+    }
+
+    #[test]
+    fn multi_rhs() {
+        check(&gen::poisson2d_9pt(10, 10), 2, 2, 2, 5);
+    }
+
+    #[test]
+    fn deep_z() {
+        check(&gen::poisson2d_5pt(16, 16), 1, 2, 8, 1);
+    }
+
+    #[test]
+    fn kkt_matrix_3d() {
+        check(&gen::kkt3d(3, 3, 3), 2, 2, 2, 2);
+    }
+
+    #[test]
+    fn wide_grid() {
+        check(&gen::poisson2d_5pt(12, 12), 4, 1, 2, 1);
+    }
+
+    #[test]
+    fn tall_grid() {
+        check(&gen::poisson2d_5pt(12, 12), 1, 4, 2, 1);
+    }
+}

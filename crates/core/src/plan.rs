@@ -1,0 +1,324 @@
+//! The 3D solve plan: process layout, grid membership, ownership maps.
+//!
+//! Terminology follows the paper's Fig. 1: the separator tree is cut at
+//! depth `d = log2(Pz)` into `2^(d+1) − 1` *layout nodes* in heap order;
+//! grid `z`'s *path* is the leaf layout node `z` plus all its ancestors,
+//! and grid `z` owns every supernode of every node on its path (ancestors
+//! replicated across grids). Supernode block `(I, K)` lives at process
+//! `(I mod Px, K mod Py)` of each replicating grid.
+
+use lufactor::Factorized;
+use ordering::nd::LayoutNode;
+use std::sync::Arc;
+
+/// Membership bitset over supernodes.
+#[derive(Clone, Debug)]
+pub struct SupSet {
+    bits: Vec<u64>,
+}
+
+impl SupSet {
+    /// Empty set over `n` supernodes.
+    pub fn new(n: usize) -> Self {
+        SupSet {
+            bits: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Insert supernode `k`.
+    pub fn insert(&mut self, k: usize) {
+        self.bits[k / 64] |= 1 << (k % 64);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, k: usize) -> bool {
+        self.bits[k / 64] >> (k % 64) & 1 == 1
+    }
+}
+
+/// Per-grid supernode membership.
+#[derive(Clone, Debug)]
+pub struct GridSet {
+    /// Grid index `z`.
+    pub z: usize,
+    /// Layout-node heap ids on this grid's path, root first (level 0..=d).
+    pub path: Vec<usize>,
+    /// All supernodes of this grid, ascending.
+    pub supers: Vec<u32>,
+    /// Membership bitset (over all supernodes).
+    pub member: SupSet,
+}
+
+/// The full solve plan shared (read-only) by every rank thread.
+pub struct Plan {
+    /// Factorized matrix (ND + symbolic + numeric panels).
+    pub fact: Arc<Factorized>,
+    /// 2D grid extent `Px`.
+    pub px: usize,
+    /// 2D grid extent `Py`.
+    pub py: usize,
+    /// Number of 2D grids `Pz` (power of two).
+    pub pz: usize,
+    /// `log2(Pz)`.
+    pub depth: usize,
+    /// Layout nodes in heap order (`2^(d+1) − 1` of them).
+    pub layout: Vec<LayoutNode>,
+    /// Supernode → layout-node heap id.
+    pub sup_node: Vec<u32>,
+    /// Per-grid membership.
+    pub grids: Vec<GridSet>,
+}
+
+impl Plan {
+    /// Build the plan for a `px × py × pz` layout over `fact`.
+    ///
+    /// Panics if `pz` exceeds the forced depth the factorization was
+    /// analyzed with (`fact` must come from `lufactor::factorize(a, pz', …)`
+    /// with `pz' ≥ pz`).
+    pub fn new(fact: Arc<Factorized>, px: usize, py: usize, pz: usize) -> Self {
+        assert!(pz.is_power_of_two(), "Pz must be a power of two");
+        assert!(px >= 1 && py >= 1);
+        let depth = pz.trailing_zeros() as usize;
+        let layout = fact.nd.tree.layout(depth);
+        let sym = fact.lu.sym();
+        let nsup = sym.n_supernodes();
+
+        // Supernode → layout node: layout node column ranges partition
+        // [0, n); supernodes never straddle them.
+        let mut sup_node = vec![u32::MAX; nsup];
+        for node in &layout {
+            if node.cols.is_empty() {
+                continue;
+            }
+            let k0 = sym.col_sup(node.cols.start);
+            let k1 = sym.col_sup(node.cols.end - 1);
+            for k in k0..=k1 {
+                debug_assert!(node.cols.contains(&sym.sup_cols(k).start));
+                debug_assert!(node.cols.contains(&(sym.sup_cols(k).end - 1)));
+                sup_node[k] = node.id as u32;
+            }
+        }
+        debug_assert!(sup_node.iter().all(|&t| t != u32::MAX));
+
+        // Per-grid membership is independent across grids; build in
+        // parallel (rayon degrades gracefully to sequential on one core).
+        use rayon::prelude::*;
+        let grids: Vec<GridSet> = (0..pz)
+            .into_par_iter()
+            .map(|z| {
+                // Path root..leaf in heap ids.
+                let mut path = Vec::with_capacity(depth + 1);
+                let mut t = (1 << depth) - 1 + z;
+                loop {
+                    path.push(t);
+                    if t == 0 {
+                        break;
+                    }
+                    t = (t - 1) / 2;
+                }
+                path.reverse();
+                let mut member = SupSet::new(nsup);
+                let mut supers = Vec::new();
+                for (k, &t) in sup_node.iter().enumerate() {
+                    if path.contains(&(t as usize)) {
+                        member.insert(k);
+                        supers.push(k as u32);
+                    }
+                }
+                GridSet {
+                    z,
+                    path,
+                    supers,
+                    member,
+                }
+            })
+            .collect();
+
+        Plan {
+            fact,
+            px,
+            py,
+            pz,
+            depth,
+            layout,
+            sup_node,
+            grids,
+        }
+    }
+
+    /// Total rank count.
+    pub fn nranks(&self) -> usize {
+        self.px * self.py * self.pz
+    }
+
+    /// `(x, y, z)` coordinates of a world rank (x fastest).
+    pub fn coords(&self, rank: usize) -> (usize, usize, usize) {
+        let x = rank % self.px;
+        let y = (rank / self.px) % self.py;
+        let z = rank / (self.px * self.py);
+        (x, y, z)
+    }
+
+    /// World rank of coordinates `(x, y, z)`.
+    pub fn rank_of(&self, x: usize, y: usize, z: usize) -> usize {
+        x + self.px * (y + self.py * z)
+    }
+
+    /// Diagonal-owner process of supernode `k` within any 2D grid.
+    pub fn owner_xy(&self, k: usize) -> (usize, usize) {
+        (k % self.px, k % self.py)
+    }
+
+    /// Level (depth below root) of a layout heap id.
+    pub fn node_level(&self, t: usize) -> usize {
+        (t + 1).ilog2() as usize
+    }
+
+    /// Smallest grid index replicating layout node `t` — the paper's RHS
+    /// owner convention.
+    pub fn min_z(&self, t: usize) -> usize {
+        let l = self.node_level(t);
+        let first_in_level = (1 << l) - 1;
+        (t - first_in_level) << (self.depth - l)
+    }
+
+    /// Number of grids replicating layout node `t`.
+    pub fn n_grids_of(&self, t: usize) -> usize {
+        1 << (self.depth - self.node_level(t))
+    }
+
+    /// Whether grid `z` supplies the real RHS for supernode `k` (Alg. 1
+    /// lines 3–10: the smallest replicating grid keeps `b`, others zero it).
+    pub fn rhs_active(&self, z: usize, k: usize) -> bool {
+        self.min_z(self.sup_node[k] as usize) == z
+    }
+
+    /// Supernodes of layout node `t`, ascending.
+    pub fn node_supers(&self, t: usize) -> Vec<u32> {
+        let node = &self.layout[t];
+        if node.cols.is_empty() {
+            return Vec::new();
+        }
+        let sym = self.fact.lu.sym();
+        let k0 = sym.col_sup(node.cols.start);
+        let k1 = sym.col_sup(node.cols.end - 1);
+        (k0 as u32..=k1 as u32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lufactor::factorize;
+    use ordering::SymbolicOptions;
+    use sparse::gen;
+
+    fn plan(px: usize, py: usize, pz: usize) -> Plan {
+        let a = gen::poisson2d_5pt(12, 12);
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+        Plan::new(f, px, py, pz)
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let p = plan(2, 3, 4);
+        for r in 0..p.nranks() {
+            let (x, y, z) = p.coords(r);
+            assert_eq!(p.rank_of(x, y, z), r);
+        }
+    }
+
+    #[test]
+    fn min_z_of_heap_nodes() {
+        let p = plan(1, 1, 4);
+        assert_eq!(p.min_z(0), 0); // root shared by all
+        assert_eq!(p.min_z(1), 0); // left level-1 node: grids 0,1
+        assert_eq!(p.min_z(2), 2); // right level-1 node: grids 2,3
+        assert_eq!(p.min_z(3), 0);
+        assert_eq!(p.min_z(4), 1);
+        assert_eq!(p.min_z(5), 2);
+        assert_eq!(p.min_z(6), 3);
+        assert_eq!(p.n_grids_of(0), 4);
+        assert_eq!(p.n_grids_of(2), 2);
+        assert_eq!(p.n_grids_of(6), 1);
+    }
+
+    #[test]
+    fn grid_paths_share_ancestors() {
+        let p = plan(1, 1, 4);
+        assert_eq!(p.grids[0].path, vec![0, 1, 3]);
+        assert_eq!(p.grids[3].path, vec![0, 2, 6]);
+        // Every grid contains all root supernodes.
+        for k in p.node_supers(0) {
+            for g in &p.grids {
+                assert!(g.member.contains(k as usize));
+            }
+        }
+        // Leaf supernodes belong to exactly one grid.
+        for k in p.node_supers(3) {
+            assert!(p.grids[0].member.contains(k as usize));
+            assert!(!p.grids[1].member.contains(k as usize));
+            assert!(!p.grids[2].member.contains(k as usize));
+        }
+    }
+
+    #[test]
+    fn rhs_active_exactly_once_per_supernode() {
+        let p = plan(2, 2, 4);
+        let nsup = p.fact.lu.sym().n_supernodes();
+        for k in 0..nsup {
+            let active: Vec<usize> = (0..4).filter(|&z| p.rhs_active(z, k)).collect();
+            assert_eq!(active.len(), 1, "supernode {k} active in {active:?}");
+            // The active grid must replicate the supernode.
+            assert!(p.grids[active[0]].member.contains(k));
+        }
+    }
+
+    #[test]
+    fn grid_supers_cover_every_supernode() {
+        let p = plan(1, 1, 8);
+        let nsup = p.fact.lu.sym().n_supernodes();
+        let mut covered = vec![false; nsup];
+        for g in &p.grids {
+            for &k in &g.supers {
+                covered[k as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn grid_set_closed_under_blocks_below() {
+        // L^z closure: every below-diagonal block of a member column has its
+        // row supernode in the same grid (the paper's path-closure property).
+        let p = plan(2, 2, 8);
+        let sym = p.fact.lu.sym();
+        for g in &p.grids {
+            for &k in &g.supers {
+                for &i in sym.blocks_below(k as usize) {
+                    assert!(
+                        g.member.contains(i as usize),
+                        "grid {} column {} row-block {} outside grid",
+                        g.z,
+                        k,
+                        i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pz_one_single_grid_owns_everything() {
+        let p = plan(3, 2, 1);
+        assert_eq!(p.grids.len(), 1);
+        assert_eq!(
+            p.grids[0].supers.len(),
+            p.fact.lu.sym().n_supernodes()
+        );
+        for k in 0..p.fact.lu.sym().n_supernodes() {
+            assert!(p.rhs_active(0, k));
+        }
+    }
+}

@@ -1,0 +1,750 @@
+//! Message-driven 2D L- and U-solves (paper Alg. 3, generalized `Px × Py`).
+//!
+//! Within one 2D grid, supernode block `(I, K)` lives at process
+//! `(I mod Px, K mod Py)`. The L-solve needs, per supernode column `K`, a
+//! *broadcast* of `y(K)` from the diagonal owner down the process column,
+//! and per supernode row `I`, a *reduction* of the partial sums `lsum(I)`
+//! across the process row to the diagonal owner. Both run over binary
+//! communication trees (`tree_comm = true`, the Liu et al. CSC'18
+//! optimization the proposed algorithm integrates) or flat star
+//! communication (`tree_comm = false`, what the baseline 3D algorithm is
+//! limited to). The U-solve mirrors this with `x(J)` broadcasts down
+//! process columns and `usum(K)` reductions across process rows.
+//!
+//! The engine is *pass-based* so both 3D algorithms can reuse it:
+//!
+//! * the proposed algorithm runs **one** pass per triangle over the whole
+//!   grid matrix `L^z`/`U^z`;
+//! * the baseline algorithm runs one pass per elimination-tree level, with
+//!   persistent `lsum` carry-over and externally-known ancestor solutions.
+//!
+//! Every rank executes a blocking any-source receive loop until its
+//! precomputed expected message count is met — exactly the structure of
+//! the paper's Algorithm 3 (`fmod`/`bmod` dependency counters included).
+
+use crate::kernels;
+use crate::plan::{GridSet, Plan, SupSet};
+use simgrid::{Category, Comm};
+use std::collections::HashMap;
+
+/// Message kinds, encoded in tag bits 40..47. Bits 48+ carry the pass
+/// *epoch*: ranks of one grid are not synchronized between passes, so a
+/// neighbour already in the next pass may deliver early — the any-source
+/// receive matches on the epoch and leaves such messages queued.
+const KIND_Y: u64 = 1 << 40;
+const KIND_LSUM: u64 = 2 << 40;
+const KIND_X: u64 = 3 << 40;
+const KIND_USUM: u64 = 4 << 40;
+const KIND_MASK: u64 = 0xff << 40;
+const SUP_MASK: u64 = (1 << 40) - 1;
+/// Mask selecting the epoch bits.
+pub const EPOCH_MASK: u64 = !((1 << 48) - 1);
+
+#[inline]
+fn tag(epoch: u64, kind: u64, sup: u32) -> u64 {
+    (epoch << 48) | kind | sup as u64
+}
+
+/// My links within a (binary or star) tree whose member list has the root
+/// first.
+#[derive(Clone, Debug, Default)]
+pub struct TreeLinks {
+    /// Members I forward received payloads to.
+    pub children: Vec<usize>,
+    /// Member I send my contribution to (`None` at the root).
+    pub parent: Option<usize>,
+    /// Whether I am the root.
+    pub is_root: bool,
+}
+
+/// Minimum member count for which a binary tree beats the flat star: below
+/// this, tree depth adds pure latency to the solve's dependency chains, so
+/// — like SuperLU_DIST's degree-adaptive trees — small groups stay flat.
+pub const TREE_THRESHOLD: usize = 6;
+
+/// Compute my links in the tree over `members` (root at index 0; the rest
+/// sorted and duplicate-free). Returns `None` when `me` is not a member.
+/// `binary = false` builds the flat star the baseline uses; `binary = true`
+/// uses a binary heap shape once the group exceeds [`TREE_THRESHOLD`].
+pub fn tree_links(members: &[usize], me: usize, binary: bool) -> Option<TreeLinks> {
+    let pos = members.iter().position(|&m| m == me)?;
+    if binary && members.len() > TREE_THRESHOLD {
+        let mut children = Vec::new();
+        for c in [2 * pos + 1, 2 * pos + 2] {
+            if c < members.len() {
+                children.push(members[c]);
+            }
+        }
+        let parent = if pos == 0 {
+            None
+        } else {
+            Some(members[(pos - 1) / 2])
+        };
+        Some(TreeLinks {
+            children,
+            parent,
+            is_root: pos == 0,
+        })
+    } else if pos == 0 {
+        Some(TreeLinks {
+            children: members[1..].to_vec(),
+            parent: None,
+            is_root: true,
+        })
+    } else {
+        Some(TreeLinks {
+            children: Vec::new(),
+            parent: Some(members[0]),
+            is_root: false,
+        })
+    }
+}
+
+/// Build the member list `[root, others...]`, deduplicated, others sorted.
+pub fn member_list(root: usize, others: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut v: Vec<usize> = others.filter(|&m| m != root).collect();
+    v.sort_unstable();
+    v.dedup();
+    let mut out = Vec::with_capacity(v.len() + 1);
+    out.push(root);
+    out.extend(v);
+    out
+}
+
+/// Persistent per-grid solve state carried across passes.
+#[derive(Default)]
+pub struct SolveState {
+    /// Partial row sums `lsum(I)` (L phase), `w_I × nrhs` col-major.
+    pub lsum: HashMap<u32, Vec<f64>>,
+    /// Solved `y(K)` at diagonal owners (and broadcast recipients).
+    pub y_vals: HashMap<u32, Vec<f64>>,
+    /// Solved `x(K)` at diagonal owners.
+    pub x_vals: HashMap<u32, Vec<f64>>,
+}
+
+/// Context shared by the pass functions of one rank.
+pub struct Ctx<'a> {
+    /// The global plan.
+    pub plan: &'a Plan,
+    /// My grid's membership.
+    pub grid: &'a GridSet,
+    /// Intra-grid communicator, rank = `x + px · y`.
+    pub comm: &'a Comm,
+    /// My process row.
+    pub x: usize,
+    /// My process column.
+    pub y: usize,
+    /// Number of right-hand sides.
+    pub nrhs: usize,
+    /// Global permuted RHS (`n × nrhs` col-major), read-only.
+    pub pb: &'a [f64],
+}
+
+impl Ctx<'_> {
+    #[inline]
+    fn grid_rank(&self, x: usize, y: usize) -> usize {
+        x + self.plan.px * y
+    }
+
+    #[inline]
+    fn flop_time(&self, flops: usize) -> f64 {
+        flops as f64 / self.comm.model().flop_rate
+    }
+}
+
+/// Specification of one L-solve pass.
+pub struct LPassSpec<'a> {
+    /// Supernodes solved in this pass (ascending).
+    pub cols: &'a [u32],
+    /// Contributor closure for row reductions: `false` restricts to blocks
+    /// whose column supernode is in this grid (proposed algorithm); `true`
+    /// counts every `blocks_left` entry (baseline: descendant partials
+    /// merged in from other grids also contribute).
+    pub contrib_all: bool,
+    /// Binary communication trees vs flat star.
+    pub tree_comm: bool,
+    /// Pass epoch (unique per pass within a grid, consistent across its
+    /// ranks); stamped into the message tags.
+    pub epoch: u64,
+}
+
+/// Per-owned-column broadcast info.
+struct ColInfo {
+    /// Grid ranks to forward the column's vector to.
+    children: Vec<usize>,
+    /// Local blocks `(row_sup, lo, hi)` of this column.
+    blocks: Vec<(u32, u32, u32)>,
+}
+
+/// Per-trigger-row reduction info.
+struct RowInfo {
+    /// Remaining local updates + pending child contributions.
+    fmod: u32,
+    /// Reduction parent (grid rank), `None` at the root (diagonal owner).
+    parent: Option<usize>,
+}
+
+/// Run one message-driven 2D L-solve pass. Partial sums for rows outside
+/// `spec.cols` persist in `state.lsum` for later passes; solved `y(K)` land
+/// in `state.y_vals`.
+pub fn l_solve_pass(ctx: &Ctx, spec: &LPassSpec, state: &mut SolveState) {
+    let plan = ctx.plan;
+    let sym = plan.fact.lu.sym();
+    let (px, py) = (plan.px, plan.py);
+    let (x, y) = (ctx.x, ctx.y);
+    let nrhs = ctx.nrhs;
+
+    // --- Setup: trees and counters (precomputed, untimed — see paper) ---
+    let mut cols: HashMap<u32, ColInfo> = HashMap::new();
+    let mut rows: HashMap<u32, RowInfo> = HashMap::new();
+    let mut expected: usize = 0;
+
+    for &k in spec.cols {
+        let ku = k as usize;
+        if ku % py != y {
+            continue;
+        }
+        let members = member_list(
+            ku % px,
+            sym.blocks_below(ku)
+                .iter()
+                .filter(|&&i| ctx.grid.member.contains(i as usize))
+                .map(|&i| i as usize % px),
+        );
+        let Some(links) = tree_links(&members, x, spec.tree_comm) else {
+            continue;
+        };
+        let mut blocks = Vec::new();
+        for &i in sym.blocks_below(ku) {
+            if i as usize % px == x && ctx.grid.member.contains(i as usize) {
+                let (lo, hi) = kernels::block_range(&plan.fact, ku, i as usize);
+                blocks.push((i, lo as u32, hi as u32));
+            }
+        }
+        if !links.is_root {
+            expected += 1;
+        }
+        cols.insert(
+            k,
+            ColInfo {
+                children: links.children.iter().map(|&r| ctx.grid_rank(r, y)).collect(),
+                blocks,
+            },
+        );
+    }
+
+    // Local pending update counts per row (from my owned columns).
+    let mut local_pending: HashMap<u32, u32> = HashMap::new();
+    for info in cols.values() {
+        for &(i, _, _) in &info.blocks {
+            *local_pending.entry(i).or_insert(0) += 1;
+        }
+    }
+
+    for &i in spec.cols {
+        let iu = i as usize;
+        if iu % px != x {
+            continue;
+        }
+        let members = member_list(
+            iu % py,
+            sym.blocks_left(iu)
+                .iter()
+                .filter(|&&k| spec.contrib_all || ctx.grid.member.contains(k as usize))
+                .map(|&k| k as usize % py),
+        );
+        let Some(links) = tree_links(&members, y, spec.tree_comm) else {
+            continue;
+        };
+        let n_children = links.children.len() as u32;
+        expected += n_children as usize;
+        rows.insert(
+            i,
+            RowInfo {
+                fmod: local_pending.get(&i).copied().unwrap_or(0) + n_children,
+                parent: links.parent.map(|c| ctx.grid_rank(x, c)),
+            },
+        );
+    }
+
+    // --- Solve loop (timed) ---
+    let mut work: Vec<u32> = rows
+        .iter()
+        .filter(|(_, info)| info.fmod == 0)
+        .map(|(&i, _)| i)
+        .collect();
+    work.sort_unstable();
+    work.reverse(); // pop from the front of the ordering
+    let mut received = 0usize;
+
+    loop {
+        while let Some(i) = work.pop() {
+            complete_l_row(ctx, &cols, &mut rows, state, spec.epoch, i, &mut work);
+        }
+        if received >= expected {
+            break;
+        }
+        let msg = ctx
+            .comm
+            .recv_tag_masked(EPOCH_MASK, spec.epoch << 48, Category::XyComm);
+        received += 1;
+        let sup = (msg.tag & SUP_MASK) as u32;
+        match msg.tag & KIND_MASK {
+            KIND_Y => {
+                apply_y(ctx, &cols, &mut rows, state, spec.epoch, sup, &msg.payload, &mut work);
+                state
+                    .y_vals
+                    .entry(sup)
+                    .or_insert_with(|| msg.payload.to_vec());
+            }
+            KIND_LSUM => {
+                let w = sym.sup_width(sup as usize);
+                let acc = state
+                    .lsum
+                    .entry(sup)
+                    .or_insert_with(|| vec![0.0; w * nrhs]);
+                for (a, &v) in acc.iter_mut().zip(msg.payload.iter()) {
+                    *a += v;
+                }
+                let info = rows.get_mut(&sup).expect("lsum targets a trigger row");
+                info.fmod -= 1;
+                if info.fmod == 0 {
+                    work.push(sup);
+                }
+            }
+            _ => unreachable!("unexpected message kind in L pass"),
+        }
+    }
+    debug_assert!(work.is_empty());
+}
+
+/// A trigger row's dependencies are met: diagonal owners solve and
+/// broadcast; other reduction members forward their partial upward.
+#[allow(clippy::too_many_arguments)]
+fn complete_l_row(
+    ctx: &Ctx,
+    cols: &HashMap<u32, ColInfo>,
+    rows: &mut HashMap<u32, RowInfo>,
+    state: &mut SolveState,
+    epoch: u64,
+    i: u32,
+    work: &mut Vec<u32>,
+) {
+    let plan = ctx.plan;
+    let sym = plan.fact.lu.sym();
+    let iu = i as usize;
+    let parent = rows.get(&i).expect("trigger row").parent;
+    match parent {
+        None => {
+            // Diagonal owner: y(I) = L(I,I)⁻¹ (b(I) − lsum(I)), Eq. (1).
+            let active = plan.rhs_active(ctx.grid.z, iu);
+            let b_i = kernels::masked_rhs(&plan.fact, iu, ctx.pb, ctx.nrhs, active);
+            let (y_i, fl) = kernels::diag_solve_l(
+                &plan.fact,
+                iu,
+                &b_i,
+                state.lsum.get(&i).map(|v| &v[..]),
+                ctx.nrhs,
+            );
+            ctx.comm.compute(ctx.flop_time(fl), Category::Flop);
+            apply_y(ctx, cols, rows, state, epoch, i, &y_i, work);
+            state.y_vals.insert(i, y_i);
+        }
+        Some(p) => {
+            let w = sym.sup_width(iu);
+            let zeros;
+            let payload = match state.lsum.get(&i) {
+                Some(v) => &v[..],
+                None => {
+                    zeros = vec![0.0; w * ctx.nrhs];
+                    &zeros[..]
+                }
+            };
+            ctx.comm
+                .send(p, tag(epoch, KIND_LSUM, i), payload, Category::XyComm);
+        }
+    }
+}
+
+/// `y(K)` became available locally: forward along the broadcast tree and
+/// apply my local GEMVs for column K, possibly completing further rows.
+#[allow(clippy::too_many_arguments)]
+fn apply_y(
+    ctx: &Ctx,
+    cols: &HashMap<u32, ColInfo>,
+    rows: &mut HashMap<u32, RowInfo>,
+    state: &mut SolveState,
+    epoch: u64,
+    k: u32,
+    y_k: &[f64],
+    work: &mut Vec<u32>,
+) {
+    let Some(info) = cols.get(&k) else {
+        return;
+    };
+    for &child in &info.children {
+        ctx.comm
+            .send(child, tag(epoch, KIND_Y, k), y_k, Category::XyComm);
+    }
+    let sym = ctx.plan.fact.lu.sym();
+    for &(i, lo, hi) in &info.blocks {
+        let wi = sym.sup_width(i as usize);
+        let acc = state
+            .lsum
+            .entry(i)
+            .or_insert_with(|| vec![0.0; wi * ctx.nrhs]);
+        let fl = kernels::apply_l_block(
+            &ctx.plan.fact,
+            k as usize,
+            i as usize,
+            lo as usize,
+            hi as usize,
+            y_k,
+            acc,
+            ctx.nrhs,
+        );
+        ctx.comm.compute(ctx.flop_time(fl), Category::Flop);
+        if let Some(rinfo) = rows.get_mut(&i) {
+            rinfo.fmod -= 1;
+            if rinfo.fmod == 0 {
+                work.push(i);
+            }
+        }
+        // Rows outside this pass just accumulate (baseline ancestors).
+    }
+}
+
+/// Specification of one U-solve pass.
+pub struct UPassSpec<'a> {
+    /// Supernodes whose `x` is solved in this pass (ascending).
+    pub rows: &'a [u32],
+    /// Membership set equal to `rows`.
+    pub row_set: &'a SupSet,
+    /// Already-solved supernodes whose `x` is broadcast at pass start
+    /// (baseline: ancestors above the current node; empty for the proposed
+    /// algorithm's single pass).
+    pub ext_cols: &'a [u32],
+    /// Binary communication trees vs flat star.
+    pub tree_comm: bool,
+    /// Pass epoch (see [`LPassSpec::epoch`]).
+    pub epoch: u64,
+}
+
+/// Per-announced-column x-broadcast info (U phase).
+struct UColInfo {
+    children: Vec<usize>,
+    /// Local U blocks `(row_sup, qlo, qhi)` depending on this column.
+    blocks: Vec<(u32, u32, u32)>,
+    /// Whether I am the broadcast root (diagonal owner of the column).
+    is_root: bool,
+}
+
+/// Run one message-driven 2D U-solve pass. Solved `x(K)` land in
+/// `state.x_vals`; `state.y_vals` must hold `y(K)` for every row solved
+/// here at its diagonal owner.
+pub fn u_solve_pass(ctx: &Ctx, spec: &UPassSpec, state: &mut SolveState) {
+    let plan = ctx.plan;
+    let sym = plan.fact.lu.sym();
+    let (px, py) = (plan.px, plan.py);
+    let (x, y) = (ctx.x, ctx.y);
+    let nrhs = ctx.nrhs;
+
+    // --- Setup ---
+    let mut cols: HashMap<u32, UColInfo> = HashMap::new();
+    let mut rows: HashMap<u32, RowInfo> = HashMap::new();
+    let mut expected: usize = 0;
+
+    let setup_col = |j: u32, cols: &mut HashMap<u32, UColInfo>, expected: &mut usize| {
+        let ju = j as usize;
+        if ju % py != y {
+            return;
+        }
+        // Receivers of x(J): ranks owning U(K, J) with K solved this pass.
+        let members = member_list(
+            ju % px,
+            sym.blocks_left(ju)
+                .iter()
+                .filter(|&&k| spec.row_set.contains(k as usize))
+                .map(|&k| k as usize % px),
+        );
+        let Some(links) = tree_links(&members, x, spec.tree_comm) else {
+            return;
+        };
+        let mut blocks = Vec::new();
+        for &k in sym.blocks_left(ju) {
+            if k as usize % px == x && spec.row_set.contains(k as usize) {
+                let (qlo, qhi) = kernels::block_range(&plan.fact, k as usize, ju);
+                blocks.push((k, qlo as u32, qhi as u32));
+            }
+        }
+        if !links.is_root {
+            *expected += 1;
+        }
+        cols.insert(
+            j,
+            UColInfo {
+                children: links.children.iter().map(|&r| ctx.grid_rank(r, y)).collect(),
+                blocks,
+                is_root: links.is_root,
+            },
+        );
+    };
+    for &j in spec.rows {
+        setup_col(j, &mut cols, &mut expected);
+    }
+    for &j in spec.ext_cols {
+        setup_col(j, &mut cols, &mut expected);
+    }
+
+    let mut local_pending: HashMap<u32, u32> = HashMap::new();
+    for info in cols.values() {
+        for &(k, _, _) in &info.blocks {
+            *local_pending.entry(k).or_insert(0) += 1;
+        }
+    }
+
+    for &k in spec.rows {
+        let ku = k as usize;
+        if ku % px != x {
+            continue;
+        }
+        // usum reduction over process columns owning U(K, ·) blocks.
+        let members = member_list(
+            ku % py,
+            sym.blocks_below(ku)
+                .iter()
+                .filter(|&&j| ctx.grid.member.contains(j as usize))
+                .map(|&j| j as usize % py),
+        );
+        let Some(links) = tree_links(&members, y, spec.tree_comm) else {
+            continue;
+        };
+        let n_children = links.children.len() as u32;
+        expected += n_children as usize;
+        rows.insert(
+            k,
+            RowInfo {
+                fmod: local_pending.get(&k).copied().unwrap_or(0) + n_children,
+                parent: links.parent.map(|c| ctx.grid_rank(x, c)),
+            },
+        );
+    }
+
+    // --- Solve loop ---
+    let mut usum: HashMap<u32, Vec<f64>> = HashMap::new();
+    let mut work: Vec<u32> = rows
+        .iter()
+        .filter(|(_, info)| info.fmod == 0)
+        .map(|(&k, _)| k)
+        .collect();
+    work.sort_unstable(); // pop() takes the highest supernode first
+    let mut received = 0usize;
+
+    // Announce externally known columns I own as diagonal root.
+    let ext_to_announce: Vec<u32> = spec
+        .ext_cols
+        .iter()
+        .copied()
+        .filter(|&j| {
+            cols.get(&j).map_or(false, |c| c.is_root)
+        })
+        .collect();
+    for j in ext_to_announce {
+        let x_j = state
+            .x_vals
+            .get(&j)
+            .expect("external column solved in an earlier pass")
+            .clone();
+        apply_x(ctx, &cols, &mut rows, &mut usum, spec.epoch, j, &x_j, &mut work);
+    }
+
+    loop {
+        while let Some(k) = work.pop() {
+            complete_u_row(ctx, &cols, &mut rows, state, &mut usum, spec.epoch, k, &mut work);
+        }
+        if received >= expected {
+            break;
+        }
+        let msg = ctx
+            .comm
+            .recv_tag_masked(EPOCH_MASK, spec.epoch << 48, Category::XyComm);
+        received += 1;
+        let sup = (msg.tag & SUP_MASK) as u32;
+        match msg.tag & KIND_MASK {
+            KIND_X => {
+                apply_x(ctx, &cols, &mut rows, &mut usum, spec.epoch, sup, &msg.payload, &mut work);
+                state
+                    .x_vals
+                    .entry(sup)
+                    .or_insert_with(|| msg.payload.to_vec());
+            }
+            KIND_USUM => {
+                let w = sym.sup_width(sup as usize);
+                let acc = usum.entry(sup).or_insert_with(|| vec![0.0; w * nrhs]);
+                for (a, &v) in acc.iter_mut().zip(msg.payload.iter()) {
+                    *a += v;
+                }
+                let info = rows.get_mut(&sup).expect("usum targets a trigger row");
+                info.fmod -= 1;
+                if info.fmod == 0 {
+                    work.push(sup);
+                }
+            }
+            _ => unreachable!("unexpected message kind in U pass"),
+        }
+    }
+    debug_assert!(work.is_empty());
+}
+
+/// A U-phase trigger row's dependencies are met.
+#[allow(clippy::too_many_arguments)]
+fn complete_u_row(
+    ctx: &Ctx,
+    cols: &HashMap<u32, UColInfo>,
+    rows: &mut HashMap<u32, RowInfo>,
+    state: &mut SolveState,
+    usum: &mut HashMap<u32, Vec<f64>>,
+    epoch: u64,
+    k: u32,
+    work: &mut Vec<u32>,
+) {
+    let plan = ctx.plan;
+    let sym = plan.fact.lu.sym();
+    let ku = k as usize;
+    let parent = rows.get(&k).expect("trigger row").parent;
+    match parent {
+        None => {
+            // Diagonal owner: x(K) = U(K,K)⁻¹ (y(K) − usum(K)), Eq. (2).
+            let y_k = state
+                .y_vals
+                .get(&k)
+                .expect("y(K) available at diagonal owner before U-solve");
+            let (x_k, fl) =
+                kernels::diag_solve_u(&plan.fact, ku, y_k, usum.get(&k).map(|v| &v[..]), ctx.nrhs);
+            ctx.comm.compute(ctx.flop_time(fl), Category::Flop);
+            apply_x(ctx, cols, rows, usum, epoch, k, &x_k, work);
+            state.x_vals.insert(k, x_k);
+        }
+        Some(p) => {
+            let w = sym.sup_width(ku);
+            let zeros;
+            let payload = match usum.get(&k) {
+                Some(v) => &v[..],
+                None => {
+                    zeros = vec![0.0; w * ctx.nrhs];
+                    &zeros[..]
+                }
+            };
+            ctx.comm
+                .send(p, tag(epoch, KIND_USUM, k), payload, Category::XyComm);
+        }
+    }
+}
+
+/// `x(J)` became available locally: forward along the broadcast tree and
+/// apply my local U-block GEMVs.
+#[allow(clippy::too_many_arguments)]
+fn apply_x(
+    ctx: &Ctx,
+    cols: &HashMap<u32, UColInfo>,
+    rows: &mut HashMap<u32, RowInfo>,
+    usum: &mut HashMap<u32, Vec<f64>>,
+    epoch: u64,
+    j: u32,
+    x_j: &[f64],
+    work: &mut Vec<u32>,
+) {
+    let Some(info) = cols.get(&j) else {
+        return;
+    };
+    for &child in &info.children {
+        ctx.comm
+            .send(child, tag(epoch, KIND_X, j), x_j, Category::XyComm);
+    }
+    let sym = ctx.plan.fact.lu.sym();
+    for &(k, qlo, qhi) in &info.blocks {
+        let w = sym.sup_width(k as usize);
+        let acc = usum.entry(k).or_insert_with(|| vec![0.0; w * ctx.nrhs]);
+        let fl = kernels::apply_u_block(
+            &ctx.plan.fact,
+            k as usize,
+            j as usize,
+            qlo as usize,
+            qhi as usize,
+            x_j,
+            acc,
+            ctx.nrhs,
+        );
+        ctx.comm.compute(ctx.flop_time(fl), Category::Flop);
+        let rinfo = rows.get_mut(&k).expect("U blocks only target trigger rows");
+        rinfo.fmod -= 1;
+        if rinfo.fmod == 0 {
+            work.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_list_dedups_and_roots_first() {
+        let m = member_list(3, [5, 1, 3, 5, 1].into_iter());
+        assert_eq!(m, vec![3, 1, 5]);
+    }
+
+    #[test]
+    fn star_tree_links() {
+        let members = vec![2, 0, 5, 7];
+        let root = tree_links(&members, 2, false).unwrap();
+        assert!(root.is_root);
+        assert_eq!(root.children, vec![0, 5, 7]);
+        let leaf = tree_links(&members, 5, false).unwrap();
+        assert_eq!(leaf.parent, Some(2));
+        assert!(leaf.children.is_empty());
+        assert!(tree_links(&members, 9, false).is_none());
+    }
+
+    #[test]
+    fn binary_tree_links_heap_shape() {
+        // Above the threshold: genuine binary heap.
+        let members: Vec<usize> = (0..10).collect();
+        let root = tree_links(&members, 0, true).unwrap();
+        assert_eq!(root.children, vec![1, 2]);
+        let mid = tree_links(&members, 1, true).unwrap();
+        assert_eq!(mid.parent, Some(0));
+        assert_eq!(mid.children, vec![3, 4]);
+        let leaf = tree_links(&members, 9, true).unwrap();
+        assert_eq!(leaf.parent, Some(4));
+        assert!(leaf.children.is_empty());
+    }
+
+    #[test]
+    fn small_groups_stay_flat_even_in_tree_mode() {
+        // At or below TREE_THRESHOLD the degree-adaptive logic keeps a star.
+        let members: Vec<usize> = (0..TREE_THRESHOLD).collect();
+        let root = tree_links(&members, 0, true).unwrap();
+        assert_eq!(root.children.len(), TREE_THRESHOLD - 1);
+    }
+
+    /// Every member must appear exactly once as a child across the tree
+    /// (i.e. the tree is spanning), for both shapes.
+    #[test]
+    fn trees_are_spanning() {
+        for binary in [false, true] {
+            let members: Vec<usize> = (0..13).map(|i| i * 2).collect();
+            let mut child_count = std::collections::HashMap::new();
+            for &m in &members {
+                let links = tree_links(&members, m, binary).unwrap();
+                for c in links.children {
+                    *child_count.entry(c).or_insert(0) += 1;
+                }
+            }
+            for &m in &members[1..] {
+                assert_eq!(child_count.get(&m), Some(&1), "binary={binary}");
+            }
+            assert!(!child_count.contains_key(&members[0]));
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Left-looking supernodal numeric LU.
+
+use ordering::SymbolicLU;
+use sparse::dense::DenseMat;
+use sparse::CsrMatrix;
+
+/// Errors from the numeric factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorError {
+    /// A diagonal pivot was (numerically) zero in the given supernode.
+    SingularDiagonal { supernode: usize },
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::SingularDiagonal { supernode } => {
+                write!(f, "numerically singular diagonal block in supernode {supernode}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// Numeric data of one supernode. See the crate docs for the layout.
+#[derive(Clone, Debug)]
+pub struct Panel {
+    /// `w × w` col-major: unit-lower `L(K,K)` below the diagonal, `U(K,K)`
+    /// on/above it.
+    pub dblock: Vec<f64>,
+    /// `r × w` col-major `L(R_K, K)`; row order matches
+    /// `SymbolicLU::rows_below(K)`.
+    pub l_below: Vec<f64>,
+    /// `w × r` col-major `U(K, R_K)`; column order matches
+    /// `SymbolicLU::rows_below(K)`.
+    pub u_right: Vec<f64>,
+    /// `w × w` inverse of the unit-lower diagonal factor.
+    pub dinv_l: Vec<f64>,
+    /// `w × w` inverse of the upper diagonal factor.
+    pub dinv_u: Vec<f64>,
+}
+
+/// The supernodal LU factors of a permuted matrix, together with the
+/// symbolic structure they were computed for.
+#[derive(Debug)]
+pub struct LuFactors {
+    sym: SymbolicLU,
+    panels: Vec<Panel>,
+}
+
+impl LuFactors {
+    /// Symbolic structure of the factors.
+    pub fn sym(&self) -> &SymbolicLU {
+        &self.sym
+    }
+
+    /// Numeric panel of supernode `k`.
+    pub fn panel(&self, k: usize) -> &Panel {
+        &self.panels[k]
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.sym.n()
+    }
+
+    /// Total bytes of numeric factor storage (panels only).
+    pub fn factor_bytes(&self) -> usize {
+        self.panels
+            .iter()
+            .map(|p| {
+                8 * (p.dblock.len()
+                    + p.l_below.len()
+                    + p.u_right.len()
+                    + p.dinv_l.len()
+                    + p.dinv_u.len())
+            })
+            .sum()
+    }
+}
+
+/// Factorize the permuted matrix `pa` over the given symbolic structure.
+pub fn factorize_numeric(pa: &CsrMatrix, sym: SymbolicLU) -> Result<LuFactors, FactorError> {
+    let n = sym.n();
+    assert_eq!(pa.nrows(), n);
+    let pat = pa.transpose(); // column access: pat.row_iter(j) yields (i, A(i,j))
+    let nsup = sym.n_supernodes();
+    let mut panels: Vec<Panel> = Vec::with_capacity(nsup);
+
+    // Scatter map: global row index -> local position in the current panel
+    // (0..w = diagonal rows, w..w+r = below rows). u32::MAX = absent.
+    let mut map = vec![u32::MAX; n];
+
+    for k in 0..nsup {
+        let cols = sym.sup_cols(k);
+        let (s, e) = (cols.start, cols.end);
+        let w = e - s;
+        let rows = sym.rows_below(k);
+        let r = rows.len();
+
+        for j in s..e {
+            map[j] = (j - s) as u32;
+        }
+        for (p, &i) in rows.iter().enumerate() {
+            map[i as usize] = (w + p) as u32;
+        }
+
+        // F: (w + r) × w working panel for column block K (L side + diag).
+        // G: w × r working panel for the U row block right of the diagonal.
+        let mut f = vec![0.0f64; (w + r) * w];
+        let mut g = vec![0.0f64; w * r];
+
+        // Scatter A.
+        for j in s..e {
+            let fcol = &mut f[(j - s) * (w + r)..(j - s + 1) * (w + r)];
+            for (i, v) in pat.row_iter(j) {
+                if i >= s {
+                    let pos = map[i];
+                    debug_assert_ne!(pos, u32::MAX, "A entry outside symbolic pattern");
+                    fcol[pos as usize] = v;
+                }
+            }
+            for (c, v) in pa.row_iter(j) {
+                if c >= e {
+                    let pos = map[c] as usize - w;
+                    g[(j - s) + pos * w] = v;
+                }
+            }
+        }
+
+        // Left-looking updates from every earlier supernode I with a block
+        // in row-block K (equivalently: U(I, cols(K)) ≠ 0).
+        for &iu in sym.blocks_left(k) {
+            let i = iu as usize;
+            let icols = sym.sup_cols(i);
+            let wi = icols.len();
+            let irows = sym.rows_below(i);
+            let ri = irows.len();
+            let ip = &panels[i];
+            // Row positions of I's structure: [lo, mid) are rows in [s, e)
+            // (columns of K), [mid, ri) are rows ≥ e.
+            let lo = irows.partition_point(|&x| (x as usize) < s);
+            let mid = irows.partition_point(|&x| (x as usize) < e);
+            debug_assert!(lo < mid, "blocks_left inconsistent with row structure");
+
+            // F update: F(map[row], S_I[q] − s) −= Σ_t L_below(I)[p,t] · U_right(I)[t,q]
+            // for p in lo..ri (rows ≥ s), q in lo..mid (cols of K in S_I).
+            for q in lo..mid {
+                let colk = irows[q] as usize - s;
+                let fcol = &mut f[colk * (w + r)..(colk + 1) * (w + r)];
+                let ucol = &ip.u_right[q * wi..(q + 1) * wi];
+                for (t, &uv) in ucol.iter().enumerate() {
+                    if uv == 0.0 {
+                        continue;
+                    }
+                    let lcol = &ip.l_below[t * ri..(t + 1) * ri];
+                    for p in lo..ri {
+                        let pos = map[irows[p] as usize] as usize;
+                        fcol[pos] -= lcol[p] * uv;
+                    }
+                }
+            }
+
+            // G update: G(row − s, map[col] − w) −= Σ_t L_below(I)[p,t] · U_right(I)[t,q]
+            // for p in lo..mid (rows of K), q in mid..ri (cols ≥ e).
+            for q in mid..ri {
+                let colpos = map[irows[q] as usize] as usize - w;
+                let gcol = &mut g[colpos * w..(colpos + 1) * w];
+                let ucol = &ip.u_right[q * wi..(q + 1) * wi];
+                for (t, &uv) in ucol.iter().enumerate() {
+                    if uv == 0.0 {
+                        continue;
+                    }
+                    let lcol = &ip.l_below[t * ri..(t + 1) * ri];
+                    for p in lo..mid {
+                        let rowk = irows[p] as usize - s;
+                        gcol[rowk] -= lcol[p] * uv;
+                    }
+                }
+            }
+        }
+
+        // Factor the diagonal block in place (Doolittle, no pivoting).
+        // The top w × w of F is stored with leading dimension (w + r).
+        let ld = w + r;
+        for j in 0..w {
+            let piv = f[j + j * ld];
+            if piv.abs() < 1e-300 {
+                return Err(FactorError::SingularDiagonal { supernode: k });
+            }
+            for i in j + 1..w {
+                let l = f[i + j * ld] / piv;
+                f[i + j * ld] = l;
+                if l != 0.0 {
+                    for c in j + 1..w {
+                        f[i + c * ld] -= l * f[j + c * ld];
+                    }
+                }
+            }
+        }
+
+        // L_below = F_below · U(K,K)⁻¹  (solve X·U = F_below column by column:
+        // x_j = (f_j − Σ_{t<j} x_t · U(t,j)) / U(j,j)).
+        let mut l_below = vec![0.0f64; r * w];
+        for j in 0..w {
+            // copy F rows w..w+r of column j
+            for p in 0..r {
+                l_below[p + j * r] = f[w + p + j * ld];
+            }
+            for t in 0..j {
+                let u_tj = f[t + j * ld];
+                if u_tj == 0.0 {
+                    continue;
+                }
+                for p in 0..r {
+                    l_below[p + j * r] -= l_below[p + t * r] * u_tj;
+                }
+            }
+            let d = 1.0 / f[j + j * ld];
+            for p in 0..r {
+                l_below[p + j * r] *= d;
+            }
+        }
+
+        // U_right = L(K,K)⁻¹ · G (unit-lower forward solve per column).
+        let mut u_right = g;
+        for q in 0..r {
+            let col = &mut u_right[q * w..(q + 1) * w];
+            for i in 1..w {
+                let mut acc = col[i];
+                for t in 0..i {
+                    acc -= f[i + t * ld] * col[t];
+                }
+                col[i] = acc;
+            }
+        }
+
+        // Extract dblock and the diagonal inverses.
+        let mut dblock = vec![0.0f64; w * w];
+        for j in 0..w {
+            for i in 0..w {
+                dblock[i + j * w] = f[i + j * ld];
+            }
+        }
+        let mut lkk = DenseMat::identity(w);
+        let mut ukk = DenseMat::zeros(w, w);
+        for j in 0..w {
+            for i in 0..w {
+                let v = dblock[i + j * w];
+                if i > j {
+                    lkk.set(i, j, v);
+                } else {
+                    ukk.set(i, j, v);
+                }
+            }
+        }
+        let dinv_l = lkk
+            .inverse()
+            .ok_or(FactorError::SingularDiagonal { supernode: k })?;
+        let dinv_u = ukk
+            .inverse()
+            .ok_or(FactorError::SingularDiagonal { supernode: k })?;
+
+        panels.push(Panel {
+            dblock,
+            l_below,
+            u_right,
+            dinv_l: dinv_l.data().to_vec(),
+            dinv_u: dinv_u.data().to_vec(),
+        });
+
+        // Reset the scatter map.
+        for j in s..e {
+            map[j] = u32::MAX;
+        }
+        for &i in rows {
+            map[i as usize] = u32::MAX;
+        }
+    }
+
+    Ok(LuFactors { sym, panels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ordering::SymbolicOptions;
+    use sparse::gen;
+
+    /// Reconstruct the dense L·U product from the panels and compare to the
+    /// permuted matrix (small problems only).
+    fn check_lu_reconstruction(a: &sparse::CsrMatrix, pz: usize) {
+        let (nd, sym) = ordering::analyze(a, pz, &SymbolicOptions::default());
+        let pa = a.permute_sym(&nd.perm);
+        let n = pa.nrows();
+        let lu = factorize_numeric(&pa, sym).expect("factorizes");
+        let sym = lu.sym();
+        // Build dense L and U.
+        let mut l = vec![0.0; n * n];
+        let mut u = vec![0.0; n * n];
+        for k in 0..sym.n_supernodes() {
+            let cols = sym.sup_cols(k);
+            let (s, w) = (cols.start, cols.len());
+            let rows = sym.rows_below(k);
+            let p = lu.panel(k);
+            for j in 0..w {
+                for i in 0..w {
+                    let v = p.dblock[i + j * w];
+                    if i > j {
+                        l[(s + i) + (s + j) * n] = v;
+                    } else {
+                        u[(s + i) + (s + j) * n] = v;
+                    }
+                }
+                l[(s + j) + (s + j) * n] = 1.0;
+                for (q, &gi) in rows.iter().enumerate() {
+                    l[gi as usize + (s + j) * n] = p.l_below[q + j * rows.len()];
+                    u[(s + j) + gi as usize * n] = p.u_right[j + q * w];
+                }
+            }
+        }
+        // Compare (L·U) to pa entrywise.
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for t in 0..n {
+                    acc += l[i + t * n] * u[t + j * n];
+                }
+                let want = pa.get(i, j);
+                assert!(
+                    (acc - want).abs() < 1e-9 * (1.0 + want.abs()),
+                    "LU({i},{j}) = {acc}, A = {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructs_poisson2d() {
+        check_lu_reconstruction(&gen::poisson2d_5pt(6, 6), 2);
+    }
+
+    #[test]
+    fn reconstructs_poisson3d() {
+        check_lu_reconstruction(&gen::poisson3d_7pt(3, 3, 3), 1);
+    }
+
+    #[test]
+    fn reconstructs_random_band() {
+        check_lu_reconstruction(&gen::fusion_band(40, 4, 6, 9), 2);
+    }
+
+    #[test]
+    fn reconstructs_chem() {
+        check_lu_reconstruction(&gen::chem_cliques(30, 12, 6, 1), 1);
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        // Explicit zero diagonal, no off-diagonal coupling in row 0.
+        let mut coo = sparse::CooMatrix::new(3);
+        coo.push(0, 0, 0.0);
+        coo.push(1, 1, 1.0);
+        coo.push(2, 2, 1.0);
+        let a = coo.to_csr();
+        let (nd, sym) = ordering::analyze(&a, 1, &SymbolicOptions::default());
+        let pa = a.permute_sym(&nd.perm);
+        let err = factorize_numeric(&pa, sym).unwrap_err();
+        matches!(err, FactorError::SingularDiagonal { .. });
+    }
+
+    #[test]
+    fn factor_bytes_positive() {
+        let a = gen::poisson2d_5pt(5, 5);
+        let (nd, sym) = ordering::analyze(&a, 1, &SymbolicOptions::default());
+        let pa = a.permute_sym(&nd.perm);
+        let lu = factorize_numeric(&pa, sym).unwrap();
+        assert!(lu.factor_bytes() > 0);
+        assert_eq!(lu.n(), 25);
+    }
+}

@@ -1,0 +1,103 @@
+//! Stress tests of the supernodal factorization against a dense reference.
+
+use ordering::SymbolicOptions;
+use sparse::dense::DenseMat;
+use sparse::gen;
+
+/// Dense LU solve (partial pivoting via DenseMat::inverse) as ground truth.
+fn dense_solve(a: &sparse::CsrMatrix, b: &[f64]) -> Vec<f64> {
+    let n = a.nrows();
+    let mut dm = DenseMat::zeros(n, n);
+    for i in 0..n {
+        for (j, v) in a.row_iter(i) {
+            dm.set(i, j, v);
+        }
+    }
+    let inv = dm.inverse().expect("nonsingular");
+    let mut x = vec![0.0; n];
+    sparse::dense::gemv(1.0, inv.data(), n, n, b, &mut x);
+    x
+}
+
+#[test]
+fn matches_dense_inverse_on_every_family() {
+    for m in gen::table1_suite(gen::Scale::Tiny) {
+        let a = &m.matrix;
+        let f = lufactor::factorize(a, 2, &SymbolicOptions::default()).unwrap();
+        let b = gen::standard_rhs(a.nrows(), 1);
+        let want = dense_solve(a, &b);
+        let got = f.solve(&b, 1);
+        let diff = sparse::max_abs_diff(&got, &want);
+        assert!(diff < 1e-8, "{}: diff {diff}", m.name);
+    }
+}
+
+#[test]
+fn supernode_width_sweep() {
+    // The same system must solve identically for every panel-width cap.
+    let a = gen::poisson2d_9pt(12, 12);
+    let b = gen::standard_rhs(a.nrows(), 2);
+    let reference = {
+        let f = lufactor::factorize(&a, 1, &SymbolicOptions::default()).unwrap();
+        f.solve(&b, 2)
+    };
+    for max_supernode in [1usize, 2, 5, 17, 200] {
+        for relax_size in [0usize, 4, 32] {
+            let opts = SymbolicOptions {
+                max_supernode,
+                relax_size,
+            };
+            let f = lufactor::factorize(&a, 2, &opts).unwrap();
+            let x = f.solve(&b, 2);
+            let diff = sparse::max_abs_diff(&x, &reference);
+            assert!(
+                diff < 1e-10,
+                "max_supernode={max_supernode} relax={relax_size}: diff {diff}"
+            );
+        }
+    }
+}
+
+#[test]
+fn relaxation_reduces_supernode_count() {
+    let a = gen::poisson2d_9pt(32, 32);
+    let strict = ordering::analyze(
+        &a,
+        1,
+        &SymbolicOptions {
+            relax_size: 0,
+            ..SymbolicOptions::default()
+        },
+    )
+    .1;
+    let relaxed = ordering::analyze(&a, 1, &SymbolicOptions::default()).1;
+    assert!(
+        relaxed.n_supernodes() < strict.n_supernodes() / 2,
+        "relaxation must merge small supernodes: {} vs {}",
+        relaxed.n_supernodes(),
+        strict.n_supernodes()
+    );
+    // At the price of bounded extra (explicit zero) storage.
+    assert!(relaxed.nnz_l() < 3 * strict.nnz_l());
+}
+
+#[test]
+fn wide_rhs_block() {
+    let a = gen::poisson3d_7pt(4, 4, 3);
+    let f = lufactor::factorize(&a, 1, &SymbolicOptions::default()).unwrap();
+    let nrhs = 50;
+    let b = gen::standard_rhs(a.nrows(), nrhs);
+    let x = f.solve(&b, nrhs);
+    assert!(sparse::rel_residual_inf(&a, &x, &b, nrhs) < 1e-10);
+}
+
+#[test]
+fn deep_forced_tree_on_small_matrix() {
+    // Forcing far more tree levels than the matrix can use must still work
+    // (empty layout nodes on some paths).
+    let a = gen::poisson2d_5pt(6, 6);
+    let f = lufactor::factorize(&a, 16, &SymbolicOptions::default()).unwrap();
+    let b = gen::standard_rhs(36, 1);
+    let x = f.solve(&b, 1);
+    assert!(sparse::rel_residual_inf(&a, &x, &b, 1) < 1e-10);
+}

@@ -1,0 +1,172 @@
+//! Adjacency-list view of a symmetric sparse pattern.
+
+use sparse::CsrMatrix;
+
+/// An undirected graph in flat CSR-like adjacency storage (no self loops).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    ptr: Vec<usize>,
+    adj: Vec<u32>,
+}
+
+impl Graph {
+    /// Build the adjacency graph of a structurally symmetric matrix,
+    /// dropping the diagonal. Panics if the pattern is not symmetric.
+    pub fn from_csr_pattern(a: &CsrMatrix) -> Self {
+        assert!(
+            a.pattern_is_symmetric(),
+            "ordering requires a structurally symmetric pattern; call symmetrized_pattern() first"
+        );
+        let n = a.nrows();
+        let mut ptr = Vec::with_capacity(n + 1);
+        ptr.push(0usize);
+        let mut adj = Vec::with_capacity(a.nnz());
+        for i in 0..n {
+            for &j in a.row_cols(i) {
+                if j != i {
+                    adj.push(j as u32);
+                }
+            }
+            ptr.push(adj.len());
+        }
+        Graph { ptr, adj }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.ptr.len() - 1
+    }
+
+    /// Neighbours of vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[self.ptr[v]..self.ptr[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.ptr[v + 1] - self.ptr[v]
+    }
+
+    /// Breadth-first levels within the vertex subset marked by `in_set`
+    /// (indexed by vertex), starting from `root`. Returns `(levels, order)`
+    /// where unreached or out-of-set vertices get `u32::MAX` and `order` is
+    /// the BFS visitation order. `work` is a caller-provided queue buffer.
+    pub fn bfs_levels(
+        &self,
+        root: usize,
+        in_set: impl Fn(usize) -> bool,
+        levels: &mut [u32],
+        order: &mut Vec<u32>,
+    ) {
+        debug_assert!(in_set(root));
+        order.clear();
+        levels[root] = 0;
+        order.push(root as u32);
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head] as usize;
+            head += 1;
+            let lv = levels[v];
+            for &w in self.neighbors(v) {
+                let w = w as usize;
+                if in_set(w) && levels[w] == u32::MAX {
+                    levels[w] = lv + 1;
+                    order.push(w as u32);
+                }
+            }
+        }
+    }
+
+    /// A pseudo-peripheral vertex of the subset containing `start`: repeat
+    /// BFS from the farthest vertex until the eccentricity stops growing.
+    pub fn pseudo_peripheral(
+        &self,
+        start: usize,
+        in_set: impl Fn(usize) -> bool + Copy,
+        levels: &mut [u32],
+        order: &mut Vec<u32>,
+    ) -> usize {
+        let mut root = start;
+        let mut best_ecc = 0u32;
+        for _ in 0..4 {
+            for &v in order.iter() {
+                levels[v as usize] = u32::MAX;
+            }
+            // first call: caller guarantees levels are reset for the subset
+            levels[root] = u32::MAX;
+            self.bfs_levels(root, in_set, levels, order);
+            let &far = order.last().expect("root itself is always visited");
+            let ecc = levels[far as usize];
+            if ecc <= best_ecc {
+                // reset for caller
+                for &v in order.iter() {
+                    levels[v as usize] = u32::MAX;
+                }
+                return root;
+            }
+            best_ecc = ecc;
+            root = far as usize;
+        }
+        for &v in order.iter() {
+            levels[v as usize] = u32::MAX;
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen;
+
+    #[test]
+    fn path_graph_levels() {
+        // 1D chain of 5 via poisson on 5x1
+        let a = gen::poisson2d_5pt(5, 1);
+        let g = Graph::from_csr_pattern(&a);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        let mut levels = vec![u32::MAX; 5];
+        let mut order = Vec::new();
+        g.bfs_levels(0, |_| true, &mut levels, &mut order);
+        assert_eq!(levels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn bfs_respects_subset() {
+        let a = gen::poisson2d_5pt(5, 1);
+        let g = Graph::from_csr_pattern(&a);
+        let mut levels = vec![u32::MAX; 5];
+        let mut order = Vec::new();
+        // exclude vertex 2: chain is cut
+        g.bfs_levels(0, |v| v != 2, &mut levels, &mut order);
+        assert_eq!(levels[1], 1);
+        assert_eq!(levels[2], u32::MAX);
+        assert_eq!(levels[3], u32::MAX);
+    }
+
+    #[test]
+    fn pseudo_peripheral_of_chain_is_endpoint() {
+        let a = gen::poisson2d_5pt(9, 1);
+        let g = Graph::from_csr_pattern(&a);
+        let mut levels = vec![u32::MAX; 9];
+        let mut order = Vec::new();
+        let p = g.pseudo_peripheral(4, |_| true, &mut levels, &mut order);
+        assert!(p == 0 || p == 8, "got {p}");
+        // levels buffer is reset on exit
+        assert!(levels.iter().all(|&l| l == u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "structurally symmetric")]
+    fn asymmetric_pattern_rejected() {
+        let mut coo = sparse::CooMatrix::new(2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let _ = Graph::from_csr_pattern(&coo.to_csr());
+    }
+}

@@ -1,0 +1,60 @@
+//! Fill-reducing ordering and symbolic analysis substrate.
+//!
+//! The paper's pipeline runs METIS nested dissection, builds the elimination
+//! tree, detects supernodes, and performs symbolic factorization inside
+//! SuperLU_DIST before the SpTRSV ever runs. None of those components are
+//! available offline, so this crate implements them from scratch:
+//!
+//! * [`graph::Graph`] — adjacency view of a symmetric sparse pattern.
+//! * [`nd`] — recursive-bisection nested dissection producing a permutation
+//!   *and* the binary separator tree the 3D process layout is built on.
+//! * [`etree`] — elimination tree of a symmetrically permuted matrix.
+//! * [`symbolic`] — fill pattern of L (= Uᵀ for symmetric patterns),
+//!   fundamental supernode detection, and the supernodal symbolic structure
+//!   consumed by the numeric factorization and the distributed solvers.
+
+pub mod etree;
+pub mod graph;
+pub mod nd;
+pub mod symbolic;
+
+pub use graph::Graph;
+pub use nd::{NdOptions, NdResult, SepTree, SepTreeNode};
+pub use symbolic::{SymbolicLU, SymbolicOptions};
+
+/// End-to-end analysis: permute `a` with nested dissection (forcing the top
+/// `log2(pz)` separator levels to be binary), then compute the supernodal
+/// symbolic factorization of the permuted matrix.
+///
+/// Returns the ND result (permutation + separator tree) and the symbolic LU.
+pub fn analyze(
+    a: &sparse::CsrMatrix,
+    pz: usize,
+    opts: &SymbolicOptions,
+) -> (NdResult, SymbolicLU) {
+    assert!(pz.is_power_of_two(), "Pz must be a power of two");
+    let g = Graph::from_csr_pattern(a);
+    let ndo = NdOptions {
+        forced_depth: pz.trailing_zeros() as usize,
+        ..NdOptions::default()
+    };
+    let nd = nd::nested_dissection(&g, &ndo);
+    let pa = a.permute_sym(&nd.perm);
+    let sym = symbolic::SymbolicLU::analyze(&pa, &nd.tree, opts);
+    (nd, sym)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen;
+
+    #[test]
+    fn analyze_poisson_runs() {
+        let a = gen::poisson2d_5pt(8, 8);
+        let (nd, sym) = analyze(&a, 4, &SymbolicOptions::default());
+        assert_eq!(nd.perm.len(), 64);
+        assert!(sym.n_supernodes() > 0);
+        assert!(sym.nnz_l() >= a.nnz() / 2);
+    }
+}

@@ -1,0 +1,464 @@
+//! Recursive-bisection nested dissection (METIS substitute).
+//!
+//! Produces a fill-reducing symmetric permutation *and* the binary separator
+//! tree the paper's 3D process layout is built on: the top `log2(Pz)` levels
+//! of the tree are always present (children may be empty when a region
+//! cannot be split further), and the columns of every tree node occupy a
+//! contiguous range of the new ordering — left subtree, right subtree, then
+//! the node's own separator.
+
+use crate::graph::Graph;
+use std::ops::Range;
+
+/// Parameters for [`nested_dissection`].
+#[derive(Clone, Debug)]
+pub struct NdOptions {
+    /// The top `forced_depth` levels of the separator tree are always
+    /// produced, even for tiny graphs (needed so that a `Pz = 2^d` layout
+    /// always has `2^d` leaves).
+    pub forced_depth: usize,
+    /// Stop dissecting once a region has at most this many vertices
+    /// (beyond the forced depth).
+    pub min_leaf: usize,
+    /// Hard recursion cap (safety).
+    pub max_depth: usize,
+}
+
+impl Default for NdOptions {
+    fn default() -> Self {
+        NdOptions {
+            forced_depth: 0,
+            min_leaf: 24,
+            max_depth: 48,
+        }
+    }
+}
+
+/// One node of the separator tree.
+#[derive(Clone, Debug)]
+pub struct SepTreeNode {
+    /// Contiguous new-index range of *all* columns in this subtree.
+    pub span: Range<usize>,
+    /// New-index range of this node's own columns: the separator for
+    /// internal nodes, the whole region for leaves. Always the tail of
+    /// `span`.
+    pub sep: Range<usize>,
+    /// Child node ids (left, right); `None` for leaves.
+    pub children: Option<(usize, usize)>,
+    /// Depth below the root (root = 0).
+    pub level: usize,
+}
+
+/// Binary separator tree over the new column ordering. `nodes[0]` is the
+/// root (whose span is the whole matrix).
+#[derive(Clone, Debug)]
+pub struct SepTree {
+    /// All nodes; children always have larger ids than their parent.
+    pub nodes: Vec<SepTreeNode>,
+}
+
+/// One entry of a depth-`d` layout: the tree cut the 3D algorithm uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayoutNode {
+    /// Heap-order id: root = 0, children of `t` are `2t+1`, `2t+2`.
+    pub id: usize,
+    /// Depth below the root.
+    pub level: usize,
+    /// Columns owned by this layout node (separator columns for internal
+    /// levels, the whole remaining subtree for the leaf level). May be
+    /// empty.
+    pub cols: Range<usize>,
+    /// Full subtree span (used to assemble `L^z`).
+    pub span: Range<usize>,
+}
+
+impl SepTree {
+    /// Root node id.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Tree-node id owning each column (the node whose `sep` contains it).
+    pub fn col_owner(&self, n: usize) -> Vec<u32> {
+        let mut owner = vec![u32::MAX; n];
+        for (id, node) in self.nodes.iter().enumerate() {
+            for c in node.sep.clone() {
+                owner[c] = id as u32;
+            }
+        }
+        debug_assert!(owner.iter().all(|&o| o != u32::MAX));
+        owner
+    }
+
+    /// Cut the tree at depth `d`, producing the `2^(d+1) − 1` layout nodes
+    /// of the paper's Fig. 1(a) in heap order: internal layout nodes carry
+    /// their separator columns, the `2^d` leaf layout nodes carry their
+    /// whole remaining subtree.
+    ///
+    /// Where the real tree is shallower than `d` (an unsplittable region),
+    /// the missing descendants appear with empty column ranges.
+    pub fn layout(&self, d: usize) -> Vec<LayoutNode> {
+        let mut out = vec![
+            LayoutNode {
+                id: 0,
+                level: 0,
+                cols: 0..0,
+                span: 0..0,
+            };
+            (1 << (d + 1)) - 1
+        ];
+        self.fill_layout(0, 0, 0, d, &mut out);
+        out
+    }
+
+    fn fill_layout(
+        &self,
+        node: usize,
+        heap_id: usize,
+        level: usize,
+        d: usize,
+        out: &mut Vec<LayoutNode>,
+    ) {
+        let n = &self.nodes[node];
+        if level == d {
+            // Leaf layout node: the whole remaining subtree.
+            out[heap_id] = LayoutNode {
+                id: heap_id,
+                level,
+                cols: n.span.clone(),
+                span: n.span.clone(),
+            };
+            return;
+        }
+        match n.children {
+            Some((l, r)) => {
+                out[heap_id] = LayoutNode {
+                    id: heap_id,
+                    level,
+                    cols: n.sep.clone(),
+                    span: n.span.clone(),
+                };
+                self.fill_layout(l, 2 * heap_id + 1, level + 1, d, out);
+                self.fill_layout(r, 2 * heap_id + 2, level + 1, d, out);
+            }
+            None => {
+                // Region that could not be split to depth d: keep all its
+                // columns here; descendants stay empty (their ranges were
+                // initialised empty). Anchor empty descendants' ranges at
+                // the start of this span so ranges remain well-formed.
+                out[heap_id] = LayoutNode {
+                    id: heap_id,
+                    level,
+                    cols: n.span.clone(),
+                    span: n.span.clone(),
+                };
+                let mut stack = vec![(heap_id, level)];
+                while let Some((h, lv)) = stack.pop() {
+                    if lv == d {
+                        continue;
+                    }
+                    for child in [2 * h + 1, 2 * h + 2] {
+                        out[child] = LayoutNode {
+                            id: child,
+                            level: lv + 1,
+                            cols: n.span.start..n.span.start,
+                            span: n.span.start..n.span.start,
+                        };
+                        stack.push((child, lv + 1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Result of nested dissection.
+#[derive(Clone, Debug)]
+pub struct NdResult {
+    /// Symmetric permutation, `perm[new] = old`.
+    pub perm: Vec<usize>,
+    /// Separator tree over the *new* indices.
+    pub tree: SepTree,
+}
+
+struct Dissector<'a> {
+    g: &'a Graph,
+    opts: &'a NdOptions,
+    /// stamp[v] == generation marks membership of the current working set
+    stamp: Vec<u64>,
+    generation: u64,
+    levels: Vec<u32>,
+    order: Vec<u32>,
+    perm: Vec<usize>,
+    nodes: Vec<SepTreeNode>,
+}
+
+impl<'a> Dissector<'a> {
+    /// Split `verts` into `(a, b, sep)` such that no edge joins `a` and `b`.
+    ///
+    /// Strategy: BFS from a pseudo-peripheral vertex, take the first half of
+    /// the BFS order as `a`; `sep` is the set of remaining vertices adjacent
+    /// to `a` (a valid vertex separator for *any* partition), `b` the rest.
+    fn split(&mut self, verts: &[u32]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        self.generation += 1;
+        let gen = self.generation;
+        for &v in verts {
+            self.stamp[v as usize] = gen;
+        }
+        let stamp = &self.stamp;
+        let in_set = |v: usize| stamp[v] == gen;
+        let root = self
+            .g
+            .pseudo_peripheral(verts[0] as usize, in_set, &mut self.levels, &mut self.order);
+        let stamp = &self.stamp;
+        let in_set = |v: usize| stamp[v] == gen;
+        self.g
+            .bfs_levels(root, in_set, &mut self.levels, &mut self.order);
+        // Full traversal order: BFS order then any unreached vertices
+        // (other connected components).
+        let mut full: Vec<u32> = std::mem::take(&mut self.order);
+        if full.len() < verts.len() {
+            for &v in verts {
+                if self.levels[v as usize] == u32::MAX {
+                    full.push(v);
+                }
+            }
+        }
+        let half = verts.len().div_ceil(2);
+        let (a_part, rest) = full.split_at(half);
+        // Membership of A: reuse the levels array as a marker (-2 == in A).
+        const IN_A: u32 = u32::MAX - 1;
+        for &v in a_part {
+            self.levels[v as usize] = IN_A;
+        }
+        let mut b = Vec::with_capacity(rest.len());
+        let mut sep = Vec::new();
+        for &v in rest {
+            let touches_a = self
+                .g
+                .neighbors(v as usize)
+                .iter()
+                .any(|&w| self.levels[w as usize] == IN_A);
+            if touches_a {
+                sep.push(v);
+            } else {
+                b.push(v);
+            }
+        }
+        let a = a_part.to_vec();
+        // Reset the levels scratch for the vertices we touched.
+        for &v in &full {
+            self.levels[v as usize] = u32::MAX;
+        }
+        self.order = full;
+        self.order.clear();
+        (a, b, sep)
+    }
+
+    /// Recursively dissect `verts`; returns the id of the created tree node.
+    /// Emits column indices into `self.perm` in subtree order and fills in
+    /// node spans over the new indices.
+    fn dissect(&mut self, mut verts: Vec<u32>, level: usize) -> usize {
+        let start = self.perm.len();
+        let must_split = level < self.opts.forced_depth;
+        let done = verts.len() <= self.opts.min_leaf.max(1) || level >= self.opts.max_depth;
+        if (done && !must_split) || verts.is_empty() {
+            // Leaf: order vertices by old index for determinism.
+            verts.sort_unstable();
+            self.perm.extend(verts.iter().map(|&v| v as usize));
+            let id = self.nodes.len();
+            self.nodes.push(SepTreeNode {
+                span: start..self.perm.len(),
+                sep: start..self.perm.len(),
+                children: None,
+                level,
+            });
+            return id;
+        }
+        let (a, b, mut sep) = self.split(&verts);
+        drop(verts);
+        let id = self.nodes.len();
+        self.nodes.push(SepTreeNode {
+            span: 0..0,
+            sep: 0..0,
+            children: None,
+            level,
+        });
+        let left = self.dissect(a, level + 1);
+        let right = self.dissect(b, level + 1);
+        let sep_start = self.perm.len();
+        sep.sort_unstable();
+        self.perm.extend(sep.iter().map(|&v| v as usize));
+        let end = self.perm.len();
+        let node = &mut self.nodes[id];
+        node.span = start..end;
+        node.sep = sep_start..end;
+        node.children = Some((left, right));
+        id
+    }
+}
+
+/// Compute a nested-dissection ordering and separator tree of `g`.
+pub fn nested_dissection(g: &Graph, opts: &NdOptions) -> NdResult {
+    let n = g.n();
+    let mut d = Dissector {
+        g,
+        opts,
+        stamp: vec![0; n],
+        generation: 0,
+        levels: vec![u32::MAX; n],
+        order: Vec::with_capacity(n),
+        perm: Vec::with_capacity(n),
+        nodes: Vec::new(),
+    };
+    let verts: Vec<u32> = (0..n as u32).collect();
+    let root = d.dissect(verts, 0);
+    assert_eq!(root, 0, "root must be node 0");
+    assert_eq!(d.perm.len(), n, "permutation must cover all vertices");
+    NdResult {
+        perm: d.perm,
+        tree: SepTree { nodes: d.nodes },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen;
+
+    fn is_permutation(p: &[usize]) -> bool {
+        let mut seen = vec![false; p.len()];
+        for &v in p {
+            if v >= p.len() || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn produces_valid_permutation() {
+        let a = gen::poisson2d_5pt(12, 12);
+        let g = Graph::from_csr_pattern(&a);
+        let nd = nested_dissection(&g, &NdOptions::default());
+        assert!(is_permutation(&nd.perm));
+    }
+
+    /// Core ND invariant: for every internal node, no (old-index) edge joins
+    /// the left and right subtrees — they only couple through separators.
+    #[test]
+    fn separators_disconnect() {
+        let a = gen::poisson2d_5pt(10, 10);
+        let g = Graph::from_csr_pattern(&a);
+        let nd = nested_dissection(
+            &g,
+            &NdOptions {
+                forced_depth: 2,
+                ..NdOptions::default()
+            },
+        );
+        let n = g.n();
+        let mut newidx = vec![0usize; n];
+        for (new, &old) in nd.perm.iter().enumerate() {
+            newidx[old] = new;
+        }
+        for node in &nd.tree.nodes {
+            if let Some((l, r)) = node.children {
+                let ls = nd.tree.nodes[l].span.clone();
+                let rs = nd.tree.nodes[r].span.clone();
+                for oldv in 0..n {
+                    if !ls.contains(&newidx[oldv]) {
+                        continue;
+                    }
+                    for &w in g.neighbors(oldv) {
+                        assert!(
+                            !rs.contains(&newidx[w as usize]),
+                            "edge crosses separator: {oldv} - {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spans_are_contiguous_and_nested() {
+        let a = gen::poisson2d_5pt(9, 9);
+        let g = Graph::from_csr_pattern(&a);
+        let nd = nested_dissection(&g, &NdOptions::default());
+        for node in &nd.tree.nodes {
+            assert!(node.sep.end == node.span.end, "sep must be span tail");
+            if let Some((l, r)) = node.children {
+                let ls = &nd.tree.nodes[l].span;
+                let rs = &nd.tree.nodes[r].span;
+                assert_eq!(ls.start, node.span.start);
+                assert_eq!(ls.end, rs.start);
+                assert_eq!(rs.end, node.sep.start);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_depth_gives_full_layout() {
+        // 6 vertices but forced depth 3 => 15 layout nodes, some empty.
+        let a = gen::poisson2d_5pt(6, 1);
+        let g = Graph::from_csr_pattern(&a);
+        let nd = nested_dissection(
+            &g,
+            &NdOptions {
+                forced_depth: 3,
+                min_leaf: 2,
+                max_depth: 10,
+            },
+        );
+        let layout = nd.tree.layout(3);
+        assert_eq!(layout.len(), 15);
+        let leaf_total: usize = layout[7..].iter().map(|l| l.cols.len()).sum();
+        let sep_total: usize = layout[..7].iter().map(|l| l.cols.len()).sum();
+        assert_eq!(leaf_total + sep_total, 6);
+    }
+
+    #[test]
+    fn layout_depth_zero_is_single_node() {
+        let a = gen::poisson2d_5pt(4, 4);
+        let g = Graph::from_csr_pattern(&a);
+        let nd = nested_dissection(&g, &NdOptions::default());
+        let layout = nd.tree.layout(0);
+        assert_eq!(layout.len(), 1);
+        assert_eq!(layout[0].cols, 0..16);
+    }
+
+    #[test]
+    fn col_owner_covers_all_columns() {
+        let a = gen::poisson2d_5pt(8, 8);
+        let g = Graph::from_csr_pattern(&a);
+        let nd = nested_dissection(&g, &NdOptions::default());
+        let owner = nd.tree.col_owner(64);
+        for (c, &o) in owner.iter().enumerate() {
+            let node = &nd.tree.nodes[o as usize];
+            assert!(node.sep.contains(&c));
+        }
+    }
+
+    #[test]
+    fn layout_spans_nest_heapwise() {
+        let a = gen::poisson2d_5pt(16, 16);
+        let g = Graph::from_csr_pattern(&a);
+        let nd = nested_dissection(
+            &g,
+            &NdOptions {
+                forced_depth: 2,
+                ..NdOptions::default()
+            },
+        );
+        let layout = nd.tree.layout(2);
+        for t in 0..3 {
+            let l = &layout[2 * t + 1];
+            let r = &layout[2 * t + 2];
+            let p = &layout[t];
+            assert!(l.span.start >= p.span.start && r.span.end <= p.span.end);
+            assert!(l.span.end <= r.span.start);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Bounded-lane GPU task executor.
+//!
+//! Models the sync-free GPU solve kernels of the paper (Alg. 4/5): one
+//! thread block per supernode column, with at most `concurrency` blocks
+//! resident at a time. In virtual time this is a classic list scheduler:
+//! each task becomes ready at some virtual time (its dependencies' finish
+//! plus message arrivals), is assigned the earliest-free lane, and finishes
+//! after its duration plus the per-block overhead.
+
+use crate::machine::GpuModel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Ordered f64 wrapper for the lane heap.
+#[derive(PartialEq, PartialOrd)]
+struct F(f64);
+impl Eq for F {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for F {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("no NaN times")
+    }
+}
+
+/// Virtual-time executor for one GPU.
+pub struct GpuExecutor {
+    /// Earliest-free time per lane (min-heap).
+    lanes: BinaryHeap<Reverse<F>>,
+    block_overhead: f64,
+    busy: f64,
+    n_tasks: u64,
+    last_finish: f64,
+}
+
+impl GpuExecutor {
+    /// New executor with the kernel already launched at virtual time
+    /// `t_launch` (the caller pays `kernel_launch` before that).
+    pub fn new(model: &GpuModel, t_launch: f64) -> Self {
+        let mut lanes = BinaryHeap::with_capacity(model.concurrency);
+        for _ in 0..model.concurrency.max(1) {
+            lanes.push(Reverse(F(t_launch)));
+        }
+        GpuExecutor {
+            lanes,
+            block_overhead: model.block_overhead,
+            busy: 0.0,
+            n_tasks: 0,
+            last_finish: t_launch,
+        }
+    }
+
+    /// Schedule a task that becomes ready at `ready` and runs for
+    /// `duration`; returns its finish time.
+    pub fn schedule(&mut self, ready: f64, duration: f64) -> f64 {
+        debug_assert!(duration >= 0.0);
+        let Reverse(F(free)) = self.lanes.pop().expect("at least one lane");
+        let start = ready.max(free);
+        let finish = start + duration + self.block_overhead;
+        self.lanes.push(Reverse(F(finish)));
+        self.busy += duration + self.block_overhead;
+        self.n_tasks += 1;
+        if finish > self.last_finish {
+            self.last_finish = finish;
+        }
+        finish
+    }
+
+    /// Total busy lane-time consumed so far.
+    pub fn busy_time(&self) -> f64 {
+        self.busy
+    }
+
+    /// Number of tasks scheduled.
+    pub fn n_tasks(&self) -> u64 {
+        self.n_tasks
+    }
+
+    /// Latest finish time over all scheduled tasks.
+    pub fn last_finish(&self) -> f64 {
+        self.last_finish
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineModel;
+
+    fn model(concurrency: usize) -> GpuModel {
+        let mut g = MachineModel::perlmutter_gpu().gpu.unwrap();
+        g.concurrency = concurrency;
+        g.block_overhead = 0.0;
+        g
+    }
+
+    #[test]
+    fn serial_when_one_lane() {
+        let mut ex = GpuExecutor::new(&model(1), 0.0);
+        let f1 = ex.schedule(0.0, 1.0);
+        let f2 = ex.schedule(0.0, 1.0);
+        assert_eq!(f1, 1.0);
+        assert_eq!(f2, 2.0);
+    }
+
+    #[test]
+    fn parallel_when_many_lanes() {
+        let mut ex = GpuExecutor::new(&model(4), 0.0);
+        for _ in 0..4 {
+            assert_eq!(ex.schedule(0.0, 1.0), 1.0);
+        }
+        // Fifth task waits for a lane.
+        assert_eq!(ex.schedule(0.0, 1.0), 2.0);
+        assert_eq!(ex.n_tasks(), 5);
+        assert_eq!(ex.last_finish(), 2.0);
+    }
+
+    #[test]
+    fn ready_time_respected() {
+        let mut ex = GpuExecutor::new(&model(2), 0.0);
+        let f = ex.schedule(10.0, 0.5);
+        assert_eq!(f, 10.5);
+    }
+
+    #[test]
+    fn launch_time_delays_everything() {
+        let mut ex = GpuExecutor::new(&model(2), 3.0);
+        assert_eq!(ex.schedule(0.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn block_overhead_accrues() {
+        let mut g = model(1);
+        g.block_overhead = 0.25;
+        let mut ex = GpuExecutor::new(&g, 0.0);
+        let f1 = ex.schedule(0.0, 1.0);
+        assert_eq!(f1, 1.25);
+        assert!((ex.busy_time() - 1.25).abs() < 1e-12);
+    }
+}

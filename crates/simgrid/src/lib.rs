@@ -1,0 +1,838 @@
+//! Virtual-time message-passing cluster simulator.
+//!
+//! The paper's experiments run MPI (+ NVSHMEM) on Cori, Perlmutter and
+//! Crusher. None of that exists in this environment, so this crate provides
+//! the substitute substrate: every *rank* is an OS thread carrying a
+//! **virtual clock**; messages move real data between rank mailboxes and
+//! advance virtual time according to an α–β (latency + bandwidth) machine
+//! model with distinct intra-node and inter-node links.
+//!
+//! Key property: timing is *passive*. A send stamps its arrival time from
+//! the sender's clock and the link cost; a receive sets the receiver's clock
+//! to `max(own clock, arrival)`. No global scheduler exists, so thousands of
+//! ranks simulate on one core, and the numerics are bit-for-bit real — the
+//! same run validates correctness and produces the paper's timing shapes.
+//!
+//! Approximation (documented in DESIGN.md): an any-source receive takes the
+//! earliest-arrival message among those *currently queued*; a message still
+//! in flight in real time with an earlier virtual arrival may be passed
+//! over. This mirrors the nondeterminism of real `MPI_ANY_SOURCE`.
+
+pub mod gpu;
+pub mod machine;
+pub mod stats;
+pub mod trace;
+
+pub use gpu::GpuExecutor;
+pub use machine::{GpuModel, MachineModel};
+pub use stats::{Category, RankStats, RunReport, N_CATEGORIES};
+pub use trace::{render_timeline, EventKind, TraceEvent};
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tags at or above this value are reserved for collectives.
+const COLLECTIVE_TAG_BASE: u64 = 1 << 60;
+
+/// A message in flight (or queued at the destination).
+struct Msg {
+    comm_id: u64,
+    src: u32,
+    tag: u64,
+    arrival: f64,
+    payload: Box<[f64]>,
+}
+
+/// A received message.
+pub struct RecvMsg {
+    /// Source rank *within the communicator* the receive was posted on.
+    pub src: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Virtual arrival time at the receiver.
+    pub arrival: f64,
+    /// Message data.
+    pub payload: Box<[f64]>,
+}
+
+struct Mailbox {
+    queue: Mutex<Vec<Msg>>,
+    cv: Condvar,
+}
+
+struct ClusterShared {
+    mailboxes: Vec<Mailbox>,
+    model: Arc<MachineModel>,
+    next_comm_id: AtomicU64,
+    /// Seed for chaotic any-source selection (failure injection); 0 = off.
+    chaos_seed: u64,
+}
+
+/// Per-rank mutable context. Owned by the rank's thread; `Comm` handles on
+/// the same thread share it.
+struct RankCtx {
+    world_rank: usize,
+    clock: Cell<f64>,
+    stats: RefCell<RankStats>,
+    /// Per-destination last arrival, enforcing MPI's non-overtaking rule.
+    fifo: RefCell<HashMap<(u64, u32), f64>>,
+    /// xorshift state for chaotic any-source selection; 0 = disabled.
+    chaos: Cell<u64>,
+    /// Event timeline, recorded when tracing is enabled.
+    trace: Option<RefCell<Vec<TraceEvent>>>,
+}
+
+impl RankCtx {
+    #[inline]
+    fn record(&self, t0: f64, t1: f64, kind: EventKind, cat: Category, peer: usize, bytes: usize) {
+        if let Some(tr) = &self.trace {
+            tr.borrow_mut().push(TraceEvent {
+                t0,
+                t1,
+                kind,
+                category: cat,
+                peer,
+                bytes,
+            });
+        }
+    }
+}
+
+/// Handle to a communicator from one rank. Clonable within the owning rank's
+/// thread; not shareable across threads.
+pub struct Comm {
+    shared: Arc<ClusterShared>,
+    ctx: Arc<RankCtx>,
+    id: u64,
+    /// World ranks of the members, ordered by communicator rank.
+    members: Arc<Vec<u32>>,
+    my_idx: usize,
+}
+
+impl Clone for Comm {
+    fn clone(&self) -> Self {
+        Comm {
+            shared: Arc::clone(&self.shared),
+            ctx: Arc::clone(&self.ctx),
+            id: self.id,
+            members: Arc::clone(&self.members),
+            my_idx: self.my_idx,
+        }
+    }
+}
+
+impl Comm {
+    /// My rank within this communicator.
+    pub fn rank(&self) -> usize {
+        self.my_idx
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The machine model of the cluster.
+    pub fn model(&self) -> &MachineModel {
+        &self.shared.model
+    }
+
+    /// Current virtual time of this rank.
+    pub fn now(&self) -> f64 {
+        self.ctx.clock.get()
+    }
+
+    /// Advance this rank's clock to at least `t`.
+    pub fn advance_to(&self, t: f64) {
+        if t > self.ctx.clock.get() {
+            self.ctx.clock.set(t);
+        }
+    }
+
+    /// Spend `seconds` of computation, attributed to `cat`.
+    pub fn compute(&self, seconds: f64, cat: Category) {
+        debug_assert!(seconds >= 0.0);
+        let t0 = self.ctx.clock.get();
+        self.ctx.clock.set(t0 + seconds);
+        self.ctx.stats.borrow_mut().time[cat as usize] += seconds;
+        self.ctx
+            .record(t0, t0 + seconds, EventKind::Compute, cat, usize::MAX, 0);
+    }
+
+    /// Record `seconds` in `cat` without advancing the clock (used by the
+    /// GPU executor, which tracks task times itself).
+    pub fn account(&self, seconds: f64, cat: Category) {
+        self.ctx.stats.borrow_mut().time[cat as usize] += seconds;
+    }
+
+    /// Snapshot of this rank's per-category times so far. Rank programs use
+    /// deltas of this to attribute time to algorithm phases.
+    pub fn time_snapshot(&self) -> [f64; N_CATEGORIES] {
+        self.ctx.stats.borrow().time
+    }
+
+    /// World rank of communicator rank `r`.
+    pub fn world_rank(&self, r: usize) -> usize {
+        self.members[r] as usize
+    }
+
+    /// Send `payload` to communicator rank `dst` with the default p2p cost
+    /// model. The sender pays the software overhead on its own clock.
+    pub fn send(&self, dst: usize, tag: u64, payload: &[f64], cat: Category) {
+        let bytes = 8 * payload.len() + 64;
+        let (overhead, wire) = self.shared.model.p2p_cost(
+            self.world_rank(self.my_idx),
+            self.world_rank(dst),
+            bytes,
+        );
+        let t0 = self.ctx.clock.get();
+        self.ctx.clock.set(t0 + overhead);
+        {
+            let mut st = self.ctx.stats.borrow_mut();
+            st.time[cat as usize] += overhead;
+        }
+        let depart = self.ctx.clock.get();
+        self.ctx.record(
+            t0,
+            depart,
+            EventKind::Send,
+            cat,
+            self.world_rank(dst),
+            bytes,
+        );
+        self.send_raw(depart + wire, dst, tag, payload, cat, bytes, true);
+    }
+
+    /// Send with an explicit departure time and wire cost (used by the GPU
+    /// path, where tasks complete at arbitrary virtual times and one-sided
+    /// puts have their own cost model). Does not touch the sender's clock,
+    /// and — like NVSHMEM puts — is not subject to the MPI non-overtaking
+    /// rule.
+    pub fn send_timed(
+        &self,
+        depart: f64,
+        wire: f64,
+        dst: usize,
+        tag: u64,
+        payload: &[f64],
+        cat: Category,
+    ) {
+        let bytes = 8 * payload.len() + 64;
+        self.send_raw(depart + wire, dst, tag, payload, cat, bytes, false);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_raw(
+        &self,
+        mut arrival: f64,
+        dst: usize,
+        tag: u64,
+        payload: &[f64],
+        cat: Category,
+        bytes: usize,
+        fifo: bool,
+    ) {
+        let dst_world = self.members[dst];
+        // Non-overtaking: per (comm, dst) FIFO on arrival times.
+        if fifo {
+            let mut fifo = self.ctx.fifo.borrow_mut();
+            let last = fifo.entry((self.id, dst_world)).or_insert(f64::NEG_INFINITY);
+            if arrival <= *last {
+                arrival = *last + 1e-12;
+            }
+            *last = arrival;
+        }
+        {
+            let mut st = self.ctx.stats.borrow_mut();
+            st.bytes_sent[cat as usize] += bytes as u64;
+            st.msgs_sent[cat as usize] += 1;
+        }
+        let msg = Msg {
+            comm_id: self.id,
+            src: self.my_idx as u32,
+            tag,
+            arrival,
+            payload: payload.into(),
+        };
+        let mb = &self.shared.mailboxes[dst_world as usize];
+        mb.queue.lock().push(msg);
+        mb.cv.notify_all();
+    }
+
+    /// Blocking receive. `src`/`tag` of `None` match anything (the paper's
+    /// `MPI_Recv(MPI_ANY_SOURCE)` pattern). The receiver's clock advances to
+    /// the arrival time; waiting time is attributed to `cat`.
+    pub fn recv(&self, src: Option<usize>, tag: Option<u64>, cat: Category) -> RecvMsg {
+        let msg = self.recv_raw(src, tag);
+        self.charge_recv(&msg, cat);
+        msg
+    }
+
+    /// Advance the clock to the arrival time plus the receive-side software
+    /// overhead, attributing the wait to `cat`.
+    fn charge_recv(&self, msg: &RecvMsg, cat: Category) {
+        let before = self.ctx.clock.get();
+        let after = msg.arrival.max(before) + self.shared.model.recv_overhead;
+        self.ctx.stats.borrow_mut().time[cat as usize] += after - before;
+        self.ctx.clock.set(after);
+        self.ctx.record(
+            before,
+            after,
+            EventKind::Recv,
+            cat,
+            self.world_rank(msg.src),
+            8 * msg.payload.len(),
+        );
+    }
+
+    /// Blocking any-source receive matching `tag & mask == value` — the
+    /// "any message of this solve phase" pattern: phases stamp an epoch
+    /// into the high tag bits so that an early message from a neighbour
+    /// already in the *next* phase stays queued instead of being consumed
+    /// by the current phase's any-source loop.
+    pub fn recv_tag_masked(&self, mask: u64, value: u64, cat: Category) -> RecvMsg {
+        let msg = self.recv_raw_matching(|_, t| t & mask == value);
+        self.charge_recv(&msg, cat);
+        msg
+    }
+
+    /// Like [`Comm::recv_tag_masked`] but without touching the clock or
+    /// statistics (GPU path: arrival times drive the executor instead).
+    pub fn recv_raw_tag_masked(&self, mask: u64, value: u64) -> RecvMsg {
+        self.recv_raw_matching(|_, t| t & mask == value)
+    }
+
+    /// Blocking receive that does not touch the clock or the statistics.
+    /// The GPU path uses this and performs its own time accounting.
+    pub fn recv_raw(&self, src: Option<usize>, tag: Option<u64>) -> RecvMsg {
+        self.recv_raw_matching(|s, t| {
+            src.map_or(true, |want| s == want) && tag.map_or(true, |want| t == want)
+        })
+    }
+
+    fn recv_raw_matching(&self, matches: impl Fn(usize, u64) -> bool) -> RecvMsg {
+        let mb = &self.shared.mailboxes[self.ctx.world_rank];
+        let mut q = mb.queue.lock();
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            let mut n_match = 0usize;
+            for (i, m) in q.iter().enumerate() {
+                if m.comm_id != self.id || !matches(m.src as usize, m.tag) {
+                    continue;
+                }
+                n_match += 1;
+                if best.map_or(true, |(_, a)| m.arrival < a) {
+                    best = Some((i, m.arrival));
+                }
+            }
+            if let Some((mut idx, _)) = best {
+                // Chaos mode: pick a uniformly random match instead of the
+                // earliest arrival (failure injection for ordering bugs).
+                if self.ctx.chaos.get() != 0 && n_match > 1 {
+                    let mut s = self.ctx.chaos.get();
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    self.ctx.chaos.set(s);
+                    let want = (s % n_match as u64) as usize;
+                    let mut seen = 0usize;
+                    for (i, m) in q.iter().enumerate() {
+                        if m.comm_id != self.id || !matches(m.src as usize, m.tag) {
+                            continue;
+                        }
+                        if seen == want {
+                            idx = i;
+                            break;
+                        }
+                        seen += 1;
+                    }
+                }
+                let m = q.swap_remove(idx);
+                return RecvMsg {
+                    src: m.src as usize,
+                    tag: m.tag,
+                    arrival: m.arrival,
+                    payload: m.payload,
+                };
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Split into disjoint subcommunicators by `color`; members are ordered
+    /// by `(key, world rank)`. Like `MPI_Comm_split`, but as a zero-cost
+    /// setup operation (grid construction is not timed in the paper either).
+    ///
+    /// All members of this communicator must call `split` collectively and
+    /// in the same program order.
+    pub fn split(&self, color: usize, key: usize) -> Comm {
+        // Members must agree on the new communicator ids without any shared
+        // ordering, so rank 0 of the parent gathers everyone's (color, key),
+        // allocates a fresh id block, and broadcasts the decisions — all via
+        // zero-virtual-cost setup messages.
+        let me = self.my_idx;
+        let size = self.size();
+        // Gather all (color, key) at comm rank 0, then broadcast the
+        // decisions. Uses raw sends with arrival = -inf so no virtual time
+        // is consumed and FIFO stamps are unaffected.
+        let tag = COLLECTIVE_TAG_BASE + 1;
+        if me == 0 {
+            let mut triples: Vec<(usize, usize, usize)> = vec![(color, key, 0)];
+            for _ in 1..size {
+                let m = self.recv_raw(None, Some(tag));
+                triples.push((m.payload[0] as usize, m.payload[1] as usize, m.src));
+            }
+            // Allocate one id block for this split operation.
+            let base = self.shared.next_comm_id.fetch_add(size as u64, Ordering::Relaxed);
+            // Reply to each member: [base, color, key, ...] — members
+            // reconstruct their group from the full triple list.
+            let mut flat = Vec::with_capacity(3 * size + 1);
+            flat.push(base as f64);
+            for &(c, k, r) in &triples {
+                flat.push(c as f64);
+                flat.push(k as f64);
+                flat.push(r as f64);
+            }
+            for dst in 1..size {
+                self.send_setup(dst, tag + 1, &flat);
+            }
+            self.build_split_comm(&flat, color)
+        } else {
+            self.send_setup(0, tag, &[color as f64, key as f64]);
+            let m = self.recv_raw(Some(0), Some(tag + 1));
+            self.build_split_comm(&m.payload, color)
+        }
+    }
+
+    /// Zero-virtual-cost setup send (used by `split`).
+    fn send_setup(&self, dst: usize, tag: u64, payload: &[f64]) {
+        let dst_world = self.members[dst];
+        let msg = Msg {
+            comm_id: self.id,
+            src: self.my_idx as u32,
+            tag,
+            arrival: f64::NEG_INFINITY,
+            payload: payload.into(),
+        };
+        let mb = &self.shared.mailboxes[dst_world as usize];
+        mb.queue.lock().push(msg);
+        mb.cv.notify_all();
+    }
+
+    fn build_split_comm(&self, flat: &[f64], my_color: usize) -> Comm {
+        let base = flat[0] as u64;
+        let mut group: Vec<(usize, usize)> = Vec::new(); // (key, comm_rank_in_parent)
+        let mut colors_seen: Vec<usize> = Vec::new();
+        for chunk in flat[1..].chunks(3) {
+            let (c, k, r) = (chunk[0] as usize, chunk[1] as usize, chunk[2] as usize);
+            if !colors_seen.contains(&c) {
+                colors_seen.push(c);
+            }
+            if c == my_color {
+                group.push((k, r));
+            }
+        }
+        colors_seen.sort_unstable();
+        let color_idx = colors_seen
+            .iter()
+            .position(|&c| c == my_color)
+            .expect("own color present");
+        group.sort_unstable();
+        let members: Vec<u32> = group
+            .iter()
+            .map(|&(_, pr)| self.members[pr])
+            .collect();
+        let my_world = self.ctx.world_rank as u32;
+        let my_idx = members
+            .iter()
+            .position(|&w| w == my_world)
+            .expect("self in group");
+        Comm {
+            shared: Arc::clone(&self.shared),
+            ctx: Arc::clone(&self.ctx),
+            id: base + color_idx as u64,
+            members: Arc::new(members),
+            my_idx,
+        }
+    }
+
+    /// Barrier: binomial fan-in to rank 0, binomial fan-out. All clocks end
+    /// at a common time plus the fan-out latency skew.
+    pub fn barrier(&self, cat: Category) {
+        let mut token = [0.0f64];
+        self.reduce_bcast(&mut token, cat);
+    }
+
+    /// Allreduce (sum) over `data`: binomial reduction to rank 0 followed by
+    /// a binomial broadcast.
+    pub fn allreduce_sum(&self, data: &mut [f64], cat: Category) {
+        self.reduce_bcast(data, cat);
+    }
+
+    fn reduce_bcast(&self, data: &mut [f64], cat: Category) {
+        let size = self.size();
+        let me = self.my_idx;
+        let tag = COLLECTIVE_TAG_BASE + 10;
+        // Reduce.
+        let mut d = 1;
+        while d < size {
+            if me % (2 * d) == d {
+                self.send(me - d, tag, data, cat);
+                break;
+            } else if me % (2 * d) == 0 && me + d < size {
+                let m = self.recv(Some(me + d), Some(tag), cat);
+                for (a, b) in data.iter_mut().zip(m.payload.iter()) {
+                    *a += *b;
+                }
+            }
+            d *= 2;
+        }
+        // Broadcast back down the same binomial tree, top-down.
+        let mut levels = Vec::new();
+        let mut d = 1;
+        while d < size {
+            levels.push(d);
+            d *= 2;
+        }
+        for &d in levels.iter().rev() {
+            if me % (2 * d) == 0 && me + d < size {
+                self.send(me + d, tag + 1, data, cat);
+            } else if me % (2 * d) == d {
+                let m = self.recv(Some(me - d), Some(tag + 1), cat);
+                data.copy_from_slice(&m.payload);
+            }
+        }
+    }
+
+    /// Broadcast `data` from `root` to all ranks (binomial tree).
+    pub fn bcast(&self, root: usize, data: &mut [f64], cat: Category) {
+        let size = self.size();
+        let vrank = |r: usize| (r + size - root) % size;
+        let unrot = |v: usize| (v + root) % size;
+        let me = vrank(self.my_idx);
+        let tag = COLLECTIVE_TAG_BASE + 20;
+        let mut levels = Vec::new();
+        let mut d = 1;
+        while d < size {
+            levels.push(d);
+            d *= 2;
+        }
+        for &d in levels.iter().rev() {
+            if me % (2 * d) == 0 && me + d < size {
+                self.send(unrot(me + d), tag, data, cat);
+            } else if me % (2 * d) == d {
+                let m = self.recv(Some(unrot(me - d)), Some(tag), cat);
+                data.copy_from_slice(&m.payload);
+            }
+        }
+    }
+}
+
+/// Options for a cluster run.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterOptions {
+    /// When nonzero, any-source receives pick a random (seeded) matching
+    /// message instead of the earliest arrival — failure injection for
+    /// message-ordering assumptions.
+    pub chaos_seed: u64,
+    /// Record per-rank event timelines (see [`trace`]).
+    pub trace: bool,
+}
+
+/// Run `f` on `nranks` simulated ranks of the given machine and collect the
+/// per-rank results and statistics.
+pub fn run<F, R>(nranks: usize, model: MachineModel, opts: &ClusterOptions, f: F) -> RunReport<R>
+where
+    F: Fn(Comm) -> R + Send + Sync,
+    R: Send,
+{
+    assert!(nranks > 0);
+    let shared = Arc::new(ClusterShared {
+        mailboxes: (0..nranks)
+            .map(|_| Mailbox {
+                queue: Mutex::new(Vec::new()),
+                cv: Condvar::new(),
+            })
+            .collect(),
+        model: Arc::new(model),
+        next_comm_id: AtomicU64::new(1),
+        chaos_seed: opts.chaos_seed,
+    });
+    let world_members: Arc<Vec<u32>> = Arc::new((0..nranks as u32).collect());
+
+    let trace_on = opts.trace;
+    let mut out: Vec<Option<(RankStats, R, Vec<TraceEvent>)>> = (0..nranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let shared = Arc::clone(&shared);
+            let members = Arc::clone(&world_members);
+            let f = &f;
+            let h = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(1 << 20)
+                .spawn_scoped(scope, move || {
+                    let ctx = Arc::new(RankCtx {
+                        world_rank: rank,
+                        clock: Cell::new(0.0),
+                        stats: RefCell::new(RankStats::new(rank)),
+                        fifo: RefCell::new(HashMap::new()),
+                        chaos: Cell::new(if shared.chaos_seed == 0 {
+                            0
+                        } else {
+                            shared.chaos_seed.wrapping_mul(rank as u64 + 1) | 1
+                        }),
+                        trace: trace_on.then(|| RefCell::new(Vec::new())),
+                    });
+                    let world = Comm {
+                        shared,
+                        ctx: Arc::clone(&ctx),
+                        id: 0,
+                        members,
+                        my_idx: rank,
+                    };
+                    let r = f(world);
+                    let mut stats = ctx.stats.borrow().clone();
+                    stats.final_clock = ctx.clock.get();
+                    let tr = ctx
+                        .trace
+                        .as_ref()
+                        .map(|t| t.borrow().clone())
+                        .unwrap_or_default();
+                    (stats, r, tr)
+                })
+                .expect("spawn rank thread");
+            handles.push(h);
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            let (stats, r, tr) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            out[rank] = Some((stats, r, tr));
+        }
+    });
+
+    let mut stats = Vec::with_capacity(nranks);
+    let mut results = Vec::with_capacity(nranks);
+    let mut traces = Vec::with_capacity(nranks);
+    for slot in out {
+        let (s, r, t) = slot.expect("every rank completed");
+        stats.push(s);
+        results.push(r);
+        traces.push(t);
+    }
+    let mut rep = RunReport::new(stats, results);
+    rep.traces = traces;
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineModel;
+
+    fn toy_model() -> MachineModel {
+        MachineModel::uniform("toy", 1e9, 1e-6, 1e9, 4)
+    }
+
+    #[test]
+    fn ping_pong_advances_clocks() {
+        let rep = run(2, toy_model(), &ClusterOptions::default(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, &[1.0, 2.0], Category::XyComm);
+                let m = c.recv(Some(1), Some(8), Category::XyComm);
+                assert_eq!(&m.payload[..], &[3.0]);
+            } else {
+                let m = c.recv(Some(0), Some(7), Category::XyComm);
+                assert_eq!(&m.payload[..], &[1.0, 2.0]);
+                c.send(0, 8, &[3.0], Category::XyComm);
+            }
+            c.now()
+        });
+        assert!(rep.results[0] > 0.0);
+        assert!(rep.results[1] > 0.0);
+        // Round trip at rank 0 covers two latencies.
+        assert!(rep.results[0] >= 2e-6);
+    }
+
+    #[test]
+    fn compute_advances_only_own_clock() {
+        let rep = run(2, toy_model(), &ClusterOptions::default(), |c| {
+            if c.rank() == 0 {
+                c.compute(1.0, Category::Flop);
+            }
+            c.now()
+        });
+        assert!(rep.results[0] >= 1.0);
+        assert_eq!(rep.results[1], 0.0);
+    }
+
+    #[test]
+    fn recv_any_takes_earliest_arrival() {
+        let rep = run(3, toy_model(), &ClusterOptions::default(), |c| {
+            match c.rank() {
+                1 => {
+                    c.compute(5.0, Category::Flop); // late sender
+                    c.send(0, 1, &[1.0], Category::XyComm);
+                }
+                2 => {
+                    c.send(0, 1, &[2.0], Category::XyComm); // early sender
+                }
+                0 => {
+                    // Wait until both messages are definitely queued.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    let m1 = c.recv(None, Some(1), Category::XyComm);
+                    let m2 = c.recv(None, Some(1), Category::XyComm);
+                    assert_eq!(m1.payload[0], 2.0, "earliest virtual arrival first");
+                    assert_eq!(m2.payload[0], 1.0);
+                    assert!(m1.arrival < m2.arrival);
+                }
+                _ => unreachable!(),
+            }
+            c.now()
+        });
+        assert!(rep.results[0] >= 5.0, "rank 0 waited for the late message");
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let rep = run(p, toy_model(), &ClusterOptions::default(), |c| {
+                let mut v = [c.rank() as f64, 1.0];
+                c.allreduce_sum(&mut v, Category::ZComm);
+                v
+            });
+            let want0 = (p * (p - 1) / 2) as f64;
+            for r in &rep.results {
+                assert_eq!(r[0], want0);
+                assert_eq!(r[1], p as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let rep = run(5, toy_model(), &ClusterOptions::default(), |c| {
+            let mut v = if c.rank() == 3 { [42.0] } else { [0.0] };
+            c.bcast(3, &mut v, Category::XyComm);
+            v[0]
+        });
+        assert!(rep.results.iter().all(|&v| v == 42.0));
+    }
+
+    #[test]
+    fn split_creates_disjoint_comms() {
+        let rep = run(6, toy_model(), &ClusterOptions::default(), |c| {
+            let color = c.rank() % 2;
+            let sub = c.split(color, c.rank());
+            // Sum my world rank within the subcomm.
+            let mut v = [c.rank() as f64];
+            sub.allreduce_sum(&mut v, Category::ZComm);
+            (sub.rank(), sub.size(), v[0])
+        });
+        // color 0: world {0,2,4} sum 6; color 1: {1,3,5} sum 9.
+        for wr in 0..6 {
+            let (sr, ss, sum) = rep.results[wr];
+            assert_eq!(ss, 3);
+            assert_eq!(sr, wr / 2);
+            assert_eq!(sum, if wr % 2 == 0 { 6.0 } else { 9.0 });
+        }
+    }
+
+    #[test]
+    fn nested_split_rows_and_cols() {
+        // 2x3 grid: split world into rows, then the rows into columns.
+        let rep = run(6, toy_model(), &ClusterOptions::default(), |c| {
+            let (px, py) = (2usize, 3usize);
+            let (x, y) = (c.rank() / py, c.rank() % py);
+            let row = c.split(x, y);
+            let col = c.split(y, x);
+            assert_eq!(row.size(), py);
+            assert_eq!(col.size(), px);
+            let mut rv = [c.rank() as f64];
+            row.allreduce_sum(&mut rv, Category::XyComm);
+            let mut cv = [c.rank() as f64];
+            col.allreduce_sum(&mut cv, Category::XyComm);
+            (rv[0], cv[0])
+        });
+        assert_eq!(rep.results[0].0, 0.0 + 1.0 + 2.0);
+        assert_eq!(rep.results[3].0, 3.0 + 4.0 + 5.0);
+        assert_eq!(rep.results[0].1, 0.0 + 3.0);
+        assert_eq!(rep.results[5].1, 2.0 + 5.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_time() {
+        let rep = run(4, toy_model(), &ClusterOptions::default(), |c| {
+            if c.rank() == 2 {
+                c.compute(3.0, Category::Flop);
+            }
+            c.barrier(Category::ZComm);
+            c.now()
+        });
+        for r in &rep.results {
+            assert!(*r >= 3.0, "barrier must not complete before slowest rank");
+        }
+    }
+
+    #[test]
+    fn fifo_non_overtaking_per_destination() {
+        let rep = run(2, toy_model(), &ClusterOptions::default(), |c| {
+            if c.rank() == 0 {
+                // Large then tiny message, same tag: arrival order must hold.
+                let big = vec![0.5; 100_000];
+                c.send(1, 5, &big, Category::XyComm);
+                c.send(1, 5, &[9.0], Category::XyComm);
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let m1 = c.recv(Some(0), Some(5), Category::XyComm);
+                let m2 = c.recv(Some(0), Some(5), Category::XyComm);
+                assert_eq!(m1.payload.len(), 100_000);
+                assert_eq!(m2.payload[0], 9.0);
+                assert!(m1.arrival <= m2.arrival);
+            }
+        });
+        drop(rep);
+    }
+
+    #[test]
+    fn stats_track_bytes_and_messages() {
+        let rep = run(2, toy_model(), &ClusterOptions::default(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[1.0; 10], Category::ZComm);
+            } else {
+                c.recv(Some(0), Some(1), Category::ZComm);
+            }
+        });
+        let s0 = &rep.stats[0];
+        assert_eq!(s0.msgs_sent[Category::ZComm as usize], 1);
+        assert!(s0.bytes_sent[Category::ZComm as usize] >= 80);
+    }
+
+    #[test]
+    fn chaos_mode_still_delivers_everything() {
+        let rep = run(
+            4,
+            toy_model(),
+            &ClusterOptions {
+                chaos_seed: 1234,
+                ..ClusterOptions::default()
+            },
+            |c| {
+                if c.rank() == 0 {
+                    let mut sum = 0.0;
+                    for _ in 0..3 {
+                        let m = c.recv(None, Some(2), Category::XyComm);
+                        sum += m.payload[0];
+                    }
+                    sum
+                } else {
+                    c.send(0, 2, &[c.rank() as f64], Category::XyComm);
+                    0.0
+                }
+            },
+        );
+        assert_eq!(rep.results[0], 6.0);
+    }
+}

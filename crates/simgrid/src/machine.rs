@@ -1,0 +1,288 @@
+//! Machine models: calibrated α–β cost parameters for the paper's systems.
+//!
+//! The absolute constants are order-of-magnitude figures from public system
+//! documentation and the paper itself (e.g. Perlmutter's 300 GB/s NVLink vs
+//! 12.5 GB/s per-direction per-GPU Slingshot injection, §4.2.2). They are
+//! not meant to match the paper's absolute runtimes — only the *relative*
+//! behaviour: who wins, by roughly what factor, where scaling stops.
+
+/// GPU cost parameters (per device).
+#[derive(Clone, Debug)]
+pub struct GpuModel {
+    /// Peak-ish f64 throughput for the dense panel kernels (flops/s).
+    pub flop_rate: f64,
+    /// HBM bandwidth (bytes/s) — the binding resource for GEMV.
+    pub hbm_bw: f64,
+    /// Host-side kernel-launch overhead (s); paid once per solve kernel.
+    pub kernel_launch: f64,
+    /// Per-thread-block scheduling overhead (s); paid once per supernode
+    /// task (the paper maps one thread block per supernode column).
+    pub block_overhead: f64,
+    /// Concurrently resident thread blocks (≈ #SMs × blocks/SM); bounds the
+    /// task-level parallelism of the sync-free solve kernel.
+    pub concurrency: usize,
+    /// GPU-initiated one-sided put latency within a node (s).
+    pub put_latency_intra: f64,
+    /// GPU-initiated one-sided put latency across nodes (s).
+    pub put_latency_inter: f64,
+    /// Intra-node GPU-GPU bandwidth (NVLink / Infinity Fabric), bytes/s.
+    pub put_bw_intra: f64,
+    /// Inter-node per-GPU injection bandwidth, bytes/s.
+    pub put_bw_inter: f64,
+    /// GPUs per node (for link selection).
+    pub gpus_per_node: usize,
+}
+
+impl GpuModel {
+    /// Time for a dense `m × k` GEMV/GEMM against `nrhs` RHS columns on the
+    /// GPU: max of the compute and memory-bandwidth bounds (the panel must
+    /// stream from HBM once).
+    pub fn panel_op_time(&self, m: usize, k: usize, nrhs: usize) -> f64 {
+        let flops = 2.0 * m as f64 * k as f64 * nrhs as f64;
+        let bytes = 8.0 * (m as f64 * k as f64 + (m + k) as f64 * nrhs as f64);
+        (flops / self.flop_rate).max(bytes / self.hbm_bw)
+    }
+
+    /// One-sided put cost `(latency, wire_time)` between two GPUs.
+    pub fn put_cost(&self, src_gpu: usize, dst_gpu: usize, bytes: usize) -> (f64, f64) {
+        let same_node = src_gpu / self.gpus_per_node == dst_gpu / self.gpus_per_node;
+        if same_node {
+            (self.put_latency_intra, bytes as f64 / self.put_bw_intra)
+        } else {
+            (self.put_latency_inter, bytes as f64 / self.put_bw_inter)
+        }
+    }
+}
+
+/// Cluster cost model: per-rank CPU compute rate plus a two-level
+/// (intra-node / inter-node) α–β network.
+#[derive(Clone, Debug)]
+pub struct MachineModel {
+    /// Human-readable system name.
+    pub name: &'static str,
+    /// Effective f64 throughput of the solve kernels on one rank (flops/s).
+    /// SpTRSV GEMVs are memory-bound, so this is far below peak.
+    pub flop_rate: f64,
+    /// Software + injection overhead paid by the sender per message (s).
+    pub send_overhead: f64,
+    /// Software overhead paid by the receiver per matched message (s) —
+    /// the cost that makes flat (star) reductions serialize at the root
+    /// and motivates the paper's binary communication trees.
+    pub recv_overhead: f64,
+    /// Remaining latency to an intra-node peer (s).
+    pub latency_intra: f64,
+    /// Remaining latency to an inter-node peer (s).
+    pub latency_inter: f64,
+    /// Intra-node bandwidth per rank (bytes/s).
+    pub bw_intra: f64,
+    /// Inter-node bandwidth per rank (bytes/s).
+    pub bw_inter: f64,
+    /// MPI ranks per node (for link selection).
+    pub ranks_per_node: usize,
+    /// How much faster (per flop) multi-RHS GEMM runs than single-RHS GEMV
+    /// on this CPU (cache reuse): effective rate = `flop_rate · min(this,
+    /// 1 + 0.2·(nrhs − 1))`.
+    pub gemm_peak_ratio: f64,
+    /// GPU parameters when the system has one GPU per rank.
+    pub gpu: Option<GpuModel>,
+}
+
+impl MachineModel {
+    /// A flat single-level network, mainly for tests.
+    pub fn uniform(
+        name: &'static str,
+        flop_rate: f64,
+        latency: f64,
+        bandwidth: f64,
+        ranks_per_node: usize,
+    ) -> Self {
+        MachineModel {
+            name,
+            flop_rate,
+            send_overhead: latency * 0.3,
+            recv_overhead: latency * 0.3,
+            latency_intra: latency * 0.7,
+            latency_inter: latency * 0.7,
+            bw_intra: bandwidth,
+            bw_inter: bandwidth,
+            ranks_per_node,
+            gemm_peak_ratio: 6.0,
+            gpu: None,
+        }
+    }
+
+    /// `(sender_overhead, wire_time)` for a point-to-point message.
+    pub fn p2p_cost(&self, src: usize, dst: usize, bytes: usize) -> (f64, f64) {
+        if src == dst {
+            // Self-message: memcpy through the local memory system.
+            return (0.0, bytes as f64 / (2.0 * self.bw_intra));
+        }
+        let same_node = src / self.ranks_per_node == dst / self.ranks_per_node;
+        if same_node {
+            (self.send_overhead, self.latency_intra + bytes as f64 / self.bw_intra)
+        } else {
+            (self.send_overhead, self.latency_inter + bytes as f64 / self.bw_inter)
+        }
+    }
+
+    /// Time to perform a dense `m × k` panel operation with `nrhs` RHSs on
+    /// the CPU: max of flop and memory-bandwidth bounds, modelled through
+    /// the single effective `flop_rate` (already memory-bound calibrated).
+    pub fn cpu_panel_op_time(&self, m: usize, k: usize, nrhs: usize) -> f64 {
+        let eff = self
+            .gemm_peak_ratio
+            .min(1.0 + 0.2 * (nrhs as f64 - 1.0))
+            .max(1.0);
+        2.0 * m as f64 * k as f64 * nrhs as f64 / (self.flop_rate * eff)
+    }
+
+    /// Cori Haswell (Cray XC40, Aries): the paper's CPU testbed (Fig. 4–8).
+    /// 32 ranks/node; effective per-core GEMV rate ~2 GF/s (memory bound);
+    /// Aries MPI latency ~1.3/2.5 µs, per-rank bandwidth shares of
+    /// ~100 GB/s DDR and ~10 GB/s NIC.
+    pub fn cori_haswell() -> Self {
+        MachineModel {
+            name: "cori-haswell",
+            recv_overhead: 0.7e-6,
+            flop_rate: 2.0e9,
+            send_overhead: 0.7e-6,
+            latency_intra: 0.4e-6,
+            latency_inter: 1.6e-6,
+            bw_intra: 3.0e9,
+            bw_inter: 0.6e9,
+            ranks_per_node: 32,
+            gemm_peak_ratio: 6.0,
+            gpu: None,
+        }
+    }
+
+    /// Perlmutter GPU node, CPU side (AMD EPYC 7763; used for the "CPU"
+    /// curves of Fig. 9–11 when run with `Pz` ranks on CPU cores).
+    pub fn perlmutter_cpu() -> Self {
+        MachineModel {
+            name: "perlmutter-cpu",
+            recv_overhead: 0.6e-6,
+            flop_rate: 5.5e9,
+            send_overhead: 0.6e-6,
+            latency_intra: 0.3e-6,
+            latency_inter: 1.4e-6,
+            bw_intra: 6.0e9,
+            bw_inter: 1.5e9,
+            ranks_per_node: 64,
+            gemm_peak_ratio: 7.0,
+            gpu: None,
+        }
+    }
+
+    /// Perlmutter GPU partition: 4 × A100 per node, NVSHMEM over NVLink
+    /// (300 GB/s) intra-node and Slingshot-11 (12.5 GB/s per direction per
+    /// GPU) inter-node — the §4.2.2 bandwidth cliff.
+    pub fn perlmutter_gpu() -> Self {
+        MachineModel {
+            name: "perlmutter-gpu",
+            // Host ranks drive setup + the MPI sparse allreduce.
+            flop_rate: 5.5e9,
+            recv_overhead: 0.6e-6,
+            send_overhead: 0.6e-6,
+            latency_intra: 0.3e-6,
+            latency_inter: 1.4e-6,
+            bw_intra: 6.0e9,
+            bw_inter: 1.5e9,
+            ranks_per_node: 4, // one rank per GPU
+            gemm_peak_ratio: 7.0,
+            gpu: Some(GpuModel {
+                flop_rate: 9.0e12,
+                hbm_bw: 1.4e12,
+                kernel_launch: 10.0e-6,
+                block_overhead: 1.6e-6,
+                concurrency: 216, // 108 SMs × 2 resident blocks
+                put_latency_intra: 1.5e-6,
+                put_latency_inter: 3.0e-6,
+                put_bw_intra: 300.0e9,
+                put_bw_inter: 12.5e9,
+                gpus_per_node: 4,
+            }),
+        }
+    }
+
+    /// Crusher (Frontier testbed): 8 MI250X GCDs per node. ROC-SHMEM lacks
+    /// subcommunicator support (paper §3.4), so only `Px = Py = 1` runs use
+    /// the GPU path; higher software overheads give the smaller CPU→GPU
+    /// speedups the paper reports on this system.
+    pub fn crusher_gpu() -> Self {
+        MachineModel {
+            name: "crusher-gpu",
+            recv_overhead: 0.7e-6,
+            flop_rate: 4.5e9,
+            send_overhead: 0.7e-6,
+            latency_intra: 0.4e-6,
+            latency_inter: 1.6e-6,
+            bw_intra: 5.0e9,
+            bw_inter: 1.5e9,
+            ranks_per_node: 8,
+            gemm_peak_ratio: 6.0,
+            gpu: Some(GpuModel {
+                flop_rate: 8.0e12,
+                hbm_bw: 1.3e12,
+                kernel_launch: 25.0e-6,
+                block_overhead: 4.5e-6,
+                concurrency: 220,
+                put_latency_intra: 2.5e-6,
+                put_latency_inter: 4.0e-6,
+                put_bw_intra: 200.0e9,
+                put_bw_inter: 12.5e9,
+                gpus_per_node: 8,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_node_is_cheaper() {
+        let m = MachineModel::cori_haswell();
+        let (_, wi) = m.p2p_cost(0, 1, 1024);
+        let (_, we) = m.p2p_cost(0, 32, 1024);
+        assert!(wi < we);
+    }
+
+    #[test]
+    fn self_message_is_cheapest() {
+        let m = MachineModel::cori_haswell();
+        let (o, w) = m.p2p_cost(3, 3, 1024);
+        assert_eq!(o, 0.0);
+        let (_, wi) = m.p2p_cost(0, 1, 1024);
+        assert!(w < wi);
+    }
+
+    #[test]
+    fn gpu_put_bandwidth_cliff() {
+        let g = MachineModel::perlmutter_gpu().gpu.unwrap();
+        let bytes = 1 << 20;
+        let (_, intra) = g.put_cost(0, 1, bytes);
+        let (_, inter) = g.put_cost(0, 4, bytes);
+        // Paper: 300 GB/s vs 12.5 GB/s => ~24x wire-time gap.
+        assert!(inter / intra > 10.0);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_large_panels() {
+        let m = MachineModel::perlmutter_gpu();
+        let g = m.gpu.as_ref().unwrap();
+        let cpu = m.cpu_panel_op_time(512, 64, 50);
+        let gpu = g.panel_op_time(512, 64, 50);
+        assert!(gpu < cpu / 10.0);
+    }
+
+    #[test]
+    fn gemv_on_gpu_is_memory_bound() {
+        let g = MachineModel::perlmutter_gpu().gpu.unwrap();
+        // Single RHS: bytes dominate flops.
+        let t = g.panel_op_time(100, 100, 1);
+        let mem = 8.0 * (100.0 * 100.0 + 200.0) / g.hbm_bw;
+        assert!((t - mem).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-rank and per-run statistics: the paper's time-breakdown categories.
+
+/// Time/traffic category, matching the breakdown of the paper's Fig. 5/6:
+/// `ZComm` is inter-grid communication, `XyComm` intra-grid communication,
+/// `Flop` the floating-point operation time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[repr(usize)]
+pub enum Category {
+    /// Floating-point (GEMV/GEMM/TRSV) time.
+    Flop = 0,
+    /// Intra-grid (2D solve) communication, including waiting.
+    XyComm = 1,
+    /// Inter-grid (across `Pz`) communication, including waiting.
+    ZComm = 2,
+    /// Setup work excluded from solve timings.
+    Setup = 3,
+    /// Anything else.
+    Other = 4,
+}
+
+/// Number of categories (array sizing).
+pub const N_CATEGORIES: usize = 5;
+
+/// All categories, in index order.
+pub const CATEGORIES: [Category; N_CATEGORIES] = [
+    Category::Flop,
+    Category::XyComm,
+    Category::ZComm,
+    Category::Setup,
+    Category::Other,
+];
+
+impl Category {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Flop => "FP-Operation",
+            Category::XyComm => "XY-Comm",
+            Category::ZComm => "Z-Comm",
+            Category::Setup => "Setup",
+            Category::Other => "Other",
+        }
+    }
+}
+
+/// Statistics of a single rank over one run.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct RankStats {
+    /// World rank.
+    pub rank: usize,
+    /// Seconds attributed to each category.
+    pub time: [f64; N_CATEGORIES],
+    /// Bytes sent per category.
+    pub bytes_sent: [u64; N_CATEGORIES],
+    /// Messages sent per category.
+    pub msgs_sent: [u64; N_CATEGORIES],
+    /// Rank clock at the end of the run.
+    pub final_clock: f64,
+}
+
+impl RankStats {
+    /// Fresh zeroed statistics for `rank`.
+    pub fn new(rank: usize) -> Self {
+        RankStats {
+            rank,
+            time: [0.0; N_CATEGORIES],
+            bytes_sent: [0; N_CATEGORIES],
+            msgs_sent: [0; N_CATEGORIES],
+            final_clock: 0.0,
+        }
+    }
+
+    /// Total attributed time across all categories.
+    pub fn total_time(&self) -> f64 {
+        self.time.iter().sum()
+    }
+}
+
+/// Aggregated result of a cluster run.
+pub struct RunReport<R> {
+    /// Per-rank statistics, indexed by world rank.
+    pub stats: Vec<RankStats>,
+    /// Per-rank return values of the rank program.
+    pub results: Vec<R>,
+    /// Maximum final clock over all ranks: the simulated wall time.
+    pub makespan: f64,
+    /// Per-rank event timelines (empty unless tracing was enabled).
+    pub traces: Vec<Vec<crate::trace::TraceEvent>>,
+}
+
+impl<R> RunReport<R> {
+    /// Build a report, computing the makespan.
+    pub fn new(stats: Vec<RankStats>, results: Vec<R>) -> Self {
+        let makespan = stats.iter().map(|s| s.final_clock).fold(0.0, f64::max);
+        RunReport {
+            stats,
+            results,
+            makespan,
+            traces: Vec::new(),
+        }
+    }
+
+    /// Mean over ranks of the time in `cat` — the paper's "averaged over
+    /// all MPI ranks" breakdown quantity.
+    pub fn mean_time(&self, cat: Category) -> f64 {
+        self.stats.iter().map(|s| s.time[cat as usize]).sum::<f64>() / self.stats.len() as f64
+    }
+
+    /// `(min, mean, max)` over ranks of the time in `cat` — the paper's
+    /// load-balance error bars (Fig. 7/8).
+    pub fn min_mean_max(&self, cat: Category) -> (f64, f64, f64) {
+        let mut mn = f64::INFINITY;
+        let mut mx = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for s in &self.stats {
+            let t = s.time[cat as usize];
+            mn = mn.min(t);
+            mx = mx.max(t);
+            sum += t;
+        }
+        (mn, sum / self.stats.len() as f64, mx)
+    }
+
+    /// Total bytes sent in `cat` across all ranks.
+    pub fn total_bytes(&self, cat: Category) -> u64 {
+        self.stats.iter().map(|s| s.bytes_sent[cat as usize]).sum()
+    }
+
+    /// Total messages sent in `cat` across all ranks.
+    pub fn total_msgs(&self, cat: Category) -> u64 {
+        self.stats.iter().map(|s| s.msgs_sent[cat as usize]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates() {
+        let mut s0 = RankStats::new(0);
+        s0.time[Category::Flop as usize] = 1.0;
+        s0.final_clock = 2.0;
+        let mut s1 = RankStats::new(1);
+        s1.time[Category::Flop as usize] = 3.0;
+        s1.final_clock = 5.0;
+        let rep = RunReport::new(vec![s0, s1], vec![(), ()]);
+        assert_eq!(rep.makespan, 5.0);
+        assert_eq!(rep.mean_time(Category::Flop), 2.0);
+        assert_eq!(rep.min_mean_max(Category::Flop), (1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn labels_are_paper_terms() {
+        assert_eq!(Category::ZComm.label(), "Z-Comm");
+        assert_eq!(Category::XyComm.label(), "XY-Comm");
+        assert_eq!(Category::Flop.label(), "FP-Operation");
+    }
+}

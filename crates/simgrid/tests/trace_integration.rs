@@ -1,0 +1,104 @@
+//! Integration tests of the tracing facility.
+
+use simgrid::{render_timeline, Category, ClusterOptions, EventKind, MachineModel};
+
+fn traced_opts() -> ClusterOptions {
+    ClusterOptions {
+        chaos_seed: 0,
+        trace: true,
+    }
+}
+
+#[test]
+fn traces_cover_all_activity() {
+    let rep = simgrid::run(
+        3,
+        MachineModel::uniform("t", 1e9, 1e-6, 1e9, 4),
+        &traced_opts(),
+        |c| {
+            c.compute(1e-5, Category::Flop);
+            if c.rank() == 0 {
+                c.send(1, 0, &[1.0; 8], Category::XyComm);
+                c.send(2, 0, &[2.0; 4], Category::ZComm);
+            } else {
+                c.recv(Some(0), Some(0), Category::XyComm);
+            }
+        },
+    );
+    assert_eq!(rep.traces.len(), 3);
+    // Rank 0: one compute + two sends.
+    let kinds: Vec<EventKind> = rep.traces[0].iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![EventKind::Compute, EventKind::Send, EventKind::Send]
+    );
+    assert_eq!(rep.traces[0][1].peer, 1);
+    assert_eq!(rep.traces[0][1].bytes, 8 * 8 + 64);
+    // Rank 1: compute then recv from 0.
+    let r1 = &rep.traces[1];
+    assert_eq!(r1.last().unwrap().kind, EventKind::Recv);
+    assert_eq!(r1.last().unwrap().peer, 0);
+    // Events on each rank are time-ordered and within the makespan.
+    for tl in &rep.traces {
+        let mut last = 0.0;
+        for e in tl {
+            assert!(e.t0 >= last - 1e-15);
+            assert!(e.t1 >= e.t0);
+            assert!(e.t1 <= rep.makespan + 1e-15);
+            last = e.t0;
+        }
+    }
+}
+
+#[test]
+fn tracing_off_by_default() {
+    let rep = simgrid::run(
+        2,
+        MachineModel::uniform("t", 1e9, 1e-6, 1e9, 4),
+        &ClusterOptions::default(),
+        |c| c.compute(1e-6, Category::Flop),
+    );
+    assert!(rep.traces.iter().all(|t| t.is_empty()));
+}
+
+#[test]
+fn timeline_renders_one_row_per_rank() {
+    let rep = simgrid::run(
+        4,
+        MachineModel::uniform("t", 1e9, 1e-6, 1e9, 4),
+        &traced_opts(),
+        |c| c.compute(1e-6 * (c.rank() + 1) as f64, Category::Flop),
+    );
+    let s = render_timeline(&rep.traces, rep.makespan, 40);
+    assert_eq!(s.lines().count(), 4);
+    // The longest-running rank's row has the most compute glyphs.
+    let counts: Vec<usize> = s.lines().map(|l| l.matches('#').count()).collect();
+    assert!(counts[3] >= counts[0]);
+}
+
+#[test]
+fn tracing_does_not_change_virtual_time() {
+    let prog = |c: &simgrid::Comm| {
+        if c.rank() == 0 {
+            c.compute(2e-6, Category::Flop);
+            c.send(1, 0, &[0.0; 16], Category::XyComm);
+        } else {
+            c.recv(Some(0), Some(0), Category::XyComm);
+        }
+        c.now()
+    };
+    let a = simgrid::run(
+        2,
+        MachineModel::uniform("t", 1e9, 1e-6, 1e9, 4),
+        &ClusterOptions::default(),
+        |c| prog(&c),
+    );
+    let b = simgrid::run(
+        2,
+        MachineModel::uniform("t", 1e9, 1e-6, 1e9, 4),
+        &traced_opts(),
+        |c| prog(&c),
+    );
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.makespan, b.makespan);
+}

@@ -1,0 +1,159 @@
+//! Triplet (COO) assembly format.
+
+use crate::csr::CsrMatrix;
+
+/// A square sparse matrix under assembly, stored as `(row, col, value)`
+/// triplets. Duplicate entries are summed on conversion, matching the usual
+/// finite-element assembly convention.
+#[derive(Clone, Debug, Default)]
+pub struct CooMatrix {
+    n: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Create an empty `n × n` triplet matrix.
+    pub fn new(n: usize) -> Self {
+        CooMatrix {
+            n,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Create an empty matrix with room for `cap` triplets.
+    pub fn with_capacity(n: usize, cap: usize) -> Self {
+        CooMatrix {
+            n,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored triplets (before duplicate summation).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Append one entry. Panics if out of range.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(row < self.n && col < self.n, "entry out of range");
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Append `val` at `(row, col)` and `(col, row)`; off-diagonal helper for
+    /// structurally (and here numerically) symmetric assembly.
+    pub fn push_sym(&mut self, row: usize, col: usize, val: f64) {
+        self.push(row, col, val);
+        if row != col {
+            self.push(col, row, val);
+        }
+    }
+
+    /// Convert to CSR, summing duplicates and sorting column indices within
+    /// each row.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n = self.n;
+        let mut row_counts = vec![0usize; n + 1];
+        for &r in &self.rows {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..n {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let nnz = self.vals.len();
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut cursor = row_counts.clone();
+        for k in 0..nnz {
+            let r = self.rows[k];
+            let p = cursor[r];
+            col_idx[p] = self.cols[k];
+            values[p] = self.vals[k];
+            cursor[r] += 1;
+        }
+        // Sort each row by column and merge duplicates in place.
+        let mut out_ptr = vec![0usize; n + 1];
+        let mut out_cols = Vec::with_capacity(nnz);
+        let mut out_vals = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for i in 0..n {
+            scratch.clear();
+            for p in row_counts[i]..row_counts[i + 1] {
+                scratch.push((col_idx[p], values[p]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut last: Option<usize> = None;
+            for &(c, v) in scratch.iter() {
+                if last == Some(c) {
+                    *out_vals.last_mut().expect("duplicate follows an entry") += v;
+                } else {
+                    out_cols.push(c);
+                    out_vals.push(v);
+                    last = Some(c);
+                }
+            }
+            out_ptr[i + 1] = out_cols.len();
+        }
+        CsrMatrix::from_parts(n, out_ptr, out_cols, out_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 0, -1.0);
+        let a = coo.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 1), 3.5);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn rows_are_sorted() {
+        let mut coo = CooMatrix::new(3);
+        coo.push(0, 2, 1.0);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 1, 3.0);
+        let a = coo.to_csr();
+        let cols: Vec<usize> = a.row_iter(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn push_sym_mirrors_offdiagonal() {
+        let mut coo = CooMatrix::new(3);
+        coo.push_sym(0, 2, 4.0);
+        coo.push_sym(1, 1, 7.0);
+        let a = coo.to_csr();
+        assert_eq!(a.get(0, 2), 4.0);
+        assert_eq!(a.get(2, 0), 4.0);
+        assert_eq!(a.get(1, 1), 7.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut coo = CooMatrix::new(2);
+        coo.push(2, 0, 1.0);
+    }
+}

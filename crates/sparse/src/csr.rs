@@ -1,0 +1,293 @@
+//! Compressed sparse row storage.
+
+/// A square sparse matrix in CSR form with sorted, duplicate-free column
+/// indices in each row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from raw parts, validating the CSR invariants (monotone row
+    /// pointers, in-range and strictly increasing column indices per row).
+    pub fn from_parts(
+        n: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), n + 1, "row_ptr length must be n+1");
+        assert_eq!(row_ptr[0], 0);
+        assert_eq!(*row_ptr.last().expect("nonempty row_ptr"), col_idx.len());
+        assert_eq!(col_idx.len(), values.len());
+        for i in 0..n {
+            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "columns must be strictly increasing");
+            }
+            if let Some(&last) = row.last() {
+                assert!(last < n, "column index out of range");
+            }
+        }
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// The identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Matrix dimension (rows == cols).
+    pub fn nrows(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix dimension (rows == cols).
+    pub fn ncols(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointer array (length `n + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, concatenated row by row.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Values, concatenated row by row.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Column indices of row `i`.
+    pub fn row_cols(&self, i: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    pub fn row_vals(&self, i: usize) -> &[f64] {
+        &self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Iterate `(col, value)` over row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.row_cols(i)
+            .iter()
+            .copied()
+            .zip(self.row_vals(i).iter().copied())
+    }
+
+    /// Entry lookup by binary search; zero if not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let cols = self.row_cols(i);
+        match cols.binary_search(&j) {
+            Ok(p) => self.row_vals(i)[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Transpose (for a structurally symmetric matrix this permutes values
+    /// only).
+    pub fn transpose(&self) -> CsrMatrix {
+        let n = self.n;
+        let mut cnt = vec![0usize; n + 1];
+        for &c in &self.col_idx {
+            cnt[c + 1] += 1;
+        }
+        for i in 0..n {
+            cnt[i + 1] += cnt[i];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut cur = cnt.clone();
+        for i in 0..n {
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let c = self.col_idx[p];
+                let q = cur[c];
+                col_idx[q] = i;
+                values[q] = self.values[p];
+                cur[c] += 1;
+            }
+        }
+        CsrMatrix::from_parts(n, cnt, col_idx, values)
+    }
+
+    /// True if the *pattern* is symmetric (values may differ).
+    pub fn pattern_is_symmetric(&self) -> bool {
+        let t = self.transpose();
+        self.row_ptr == t.row_ptr && self.col_idx == t.col_idx
+    }
+
+    /// Symmetrize the pattern: return a matrix with pattern `A ∪ Aᵀ`, where
+    /// entries present only in `Aᵀ` get value zero.
+    pub fn symmetrized_pattern(&self) -> CsrMatrix {
+        let t = self.transpose();
+        let n = self.n;
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for i in 0..n {
+            let (ac, av) = (self.row_cols(i), self.row_vals(i));
+            let tc = t.row_cols(i);
+            let (mut p, mut q) = (0, 0);
+            while p < ac.len() || q < tc.len() {
+                let a = ac.get(p).copied().unwrap_or(usize::MAX);
+                let b = tc.get(q).copied().unwrap_or(usize::MAX);
+                if a < b {
+                    col_idx.push(a);
+                    values.push(av[p]);
+                    p += 1;
+                } else if b < a {
+                    col_idx.push(b);
+                    values.push(0.0);
+                    q += 1;
+                } else {
+                    col_idx.push(a);
+                    values.push(av[p]);
+                    p += 1;
+                    q += 1;
+                }
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+        CsrMatrix::from_parts(n, row_ptr, col_idx, values)
+    }
+
+    /// Apply a symmetric permutation: `B = P A Pᵀ`, i.e.
+    /// `B[perm_inv[i]][perm_inv[j]] = A[i][j]` where `perm[new] = old`.
+    pub fn permute_sym(&self, perm: &[usize]) -> CsrMatrix {
+        let n = self.n;
+        assert_eq!(perm.len(), n);
+        let mut inv = vec![0usize; n];
+        for (newi, &oldi) in perm.iter().enumerate() {
+            inv[oldi] = newi;
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        for newi in 0..n {
+            let oldi = perm[newi];
+            row_ptr[newi + 1] = row_ptr[newi] + (self.row_ptr[oldi + 1] - self.row_ptr[oldi]);
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for newi in 0..n {
+            let oldi = perm[newi];
+            scratch.clear();
+            for (c, v) in self.row_iter(oldi) {
+                scratch.push((inv[c], v));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let base = row_ptr[newi];
+            for (k, &(c, v)) in scratch.iter().enumerate() {
+                col_idx[base + k] = c;
+                values[base + k] = v;
+            }
+        }
+        CsrMatrix::from_parts(n, row_ptr, col_idx, values)
+    }
+
+    /// Fill density `nnz / n²`.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.n as f64 * self.n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 2 0 ]
+        // [ 0 3 4 ]
+        // [ 5 0 6 ]
+        let mut c = CooMatrix::new(3);
+        c.push(0, 0, 1.0);
+        c.push(0, 1, 2.0);
+        c.push(1, 1, 3.0);
+        c.push(1, 2, 4.0);
+        c.push(2, 0, 5.0);
+        c.push(2, 2, 6.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = sample();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let a = sample().transpose();
+        assert_eq!(a.get(1, 0), 2.0);
+        assert_eq!(a.get(0, 2), 5.0);
+        assert_eq!(a.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn pattern_symmetry_detection() {
+        assert!(!sample().pattern_is_symmetric());
+        let s = sample().symmetrized_pattern();
+        assert!(s.pattern_is_symmetric());
+        // Symmetrization preserves original values and adds explicit zeros.
+        assert_eq!(s.get(0, 1), 2.0);
+        assert_eq!(s.get(1, 0), 0.0);
+        assert_eq!(s.get(2, 0), 5.0);
+        assert_eq!(s.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn permute_sym_identity_is_noop() {
+        let a = sample();
+        let p: Vec<usize> = (0..3).collect();
+        assert_eq!(a.permute_sym(&p), a);
+    }
+
+    #[test]
+    fn permute_sym_swap() {
+        let a = sample();
+        // perm[new] = old: new order (2, 1, 0)
+        let b = a.permute_sym(&[2, 1, 0]);
+        assert_eq!(b.get(0, 0), 6.0); // old (2,2)
+        assert_eq!(b.get(0, 2), 5.0); // old (2,0)
+        assert_eq!(b.get(2, 1), 2.0); // old (0,1)
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        for k in 0..4 {
+            assert_eq!(i.get(k, k), 1.0);
+        }
+    }
+
+    #[test]
+    fn get_missing_entry_is_zero() {
+        assert_eq!(sample().get(0, 2), 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Column-major dense block kernels.
+//!
+//! Supernodal solvers spend their floating-point time in small dense
+//! GEMV/GEMM/TRSM operations on supernode panels. These kernels are written
+//! against raw column-major slices so the factorization and the distributed
+//! solvers can call them on sub-panels without copying.
+
+/// A small owned column-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMat {
+    nrow: usize,
+    ncol: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(nrow: usize, ncol: usize) -> Self {
+        DenseMat {
+            nrow,
+            ncol,
+            data: vec![0.0; nrow * ncol],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMat::zeros(n, n);
+        for i in 0..n {
+            m.data[i + i * n] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a column-major data vector.
+    pub fn from_col_major(nrow: usize, ncol: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrow * ncol);
+        DenseMat { nrow, ncol, data }
+    }
+
+    /// Number of rows.
+    pub fn nrow(&self) -> usize {
+        self.nrow
+    }
+
+    /// Number of columns.
+    pub fn ncol(&self) -> usize {
+        self.ncol
+    }
+
+    /// Column-major backing slice.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable column-major backing slice.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nrow && j < self.ncol);
+        self.data[i + j * self.nrow]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrow && j < self.ncol);
+        self.data[i + j * self.nrow] = v;
+    }
+
+    /// Invert a small square matrix by Gauss–Jordan elimination with partial
+    /// pivoting. Returns `None` if the matrix is numerically singular.
+    ///
+    /// The paper precomputes `L(K,K)⁻¹` / `U(K,K)⁻¹` for all diagonal blocks;
+    /// this is the kernel that does it.
+    pub fn inverse(&self) -> Option<DenseMat> {
+        assert_eq!(self.nrow, self.ncol, "inverse requires a square matrix");
+        let n = self.nrow;
+        let mut a = self.data.clone();
+        let mut inv = DenseMat::identity(n);
+        for col in 0..n {
+            // Partial pivot.
+            let mut piv = col;
+            let mut best = a[col + col * n].abs();
+            for r in col + 1..n {
+                let v = a[r + col * n].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < f64::MIN_POSITIVE.sqrt() {
+                return None;
+            }
+            if piv != col {
+                for j in 0..n {
+                    a.swap(col + j * n, piv + j * n);
+                    inv.data.swap(col + j * n, piv + j * n);
+                }
+            }
+            let d = a[col + col * n];
+            let dinv = 1.0 / d;
+            for j in 0..n {
+                a[col + j * n] *= dinv;
+                inv.data[col + j * n] *= dinv;
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a[r + col * n];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    a[r + j * n] -= f * a[col + j * n];
+                    inv.data[r + j * n] -= f * inv.data[col + j * n];
+                }
+            }
+        }
+        Some(inv)
+    }
+}
+
+/// `y ← y + alpha * A x` with `A` column-major `m × n`.
+pub fn gemv(alpha: f64, a: &[f64], m: usize, n: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(y.len(), m);
+    for j in 0..n {
+        let xv = alpha * x[j];
+        if xv == 0.0 {
+            continue;
+        }
+        let col = &a[j * m..(j + 1) * m];
+        for i in 0..m {
+            y[i] += xv * col[i];
+        }
+    }
+}
+
+/// `C ← C + alpha * A B` with `A` col-major `m × k`, `B` col-major `k × n`,
+/// `C` col-major `m × n`. This is the multi-RHS (GEMM) path of the paper.
+pub fn gemm(alpha: f64, a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for j in 0..n {
+        let bcol = &b[j * k..(j + 1) * k];
+        let ccol = &mut c[j * m..(j + 1) * m];
+        for p in 0..k {
+            let bv = alpha * bcol[p];
+            if bv == 0.0 {
+                continue;
+            }
+            let acol = &a[p * m..(p + 1) * m];
+            for i in 0..m {
+                ccol[i] += bv * acol[i];
+            }
+        }
+    }
+}
+
+/// Solve `L X = B` in place, with `L` col-major `n × n` lower-triangular
+/// (non-unit diagonal) and `B` col-major `n × nrhs`.
+pub fn trsm_lower(l: &[f64], n: usize, b: &mut [f64], nrhs: usize) {
+    debug_assert_eq!(l.len(), n * n);
+    debug_assert_eq!(b.len(), n * nrhs);
+    for r in 0..nrhs {
+        let x = &mut b[r * n..(r + 1) * n];
+        for j in 0..n {
+            let xj = x[j] / l[j + j * n];
+            x[j] = xj;
+            if xj == 0.0 {
+                continue;
+            }
+            let col = &l[j * n..(j + 1) * n];
+            for i in j + 1..n {
+                x[i] -= xj * col[i];
+            }
+        }
+    }
+}
+
+/// Solve `U X = B` in place, with `U` col-major `n × n` upper-triangular
+/// (non-unit diagonal) and `B` col-major `n × nrhs`.
+pub fn trsm_upper(u: &[f64], n: usize, b: &mut [f64], nrhs: usize) {
+    debug_assert_eq!(u.len(), n * n);
+    debug_assert_eq!(b.len(), n * nrhs);
+    for r in 0..nrhs {
+        let x = &mut b[r * n..(r + 1) * n];
+        for j in (0..n).rev() {
+            let xj = x[j] / u[j + j * n];
+            x[j] = xj;
+            if xj == 0.0 {
+                continue;
+            }
+            let col = &u[j * n..(j + 1) * n];
+            for i in 0..j {
+                x[i] -= xj * col[i];
+            }
+        }
+    }
+}
+
+/// `Y ← alpha * A X + Y` where `A` is `m × k` col-major and `X`, `Y` are
+/// multi-RHS col-major blocks (`k × nrhs` and `m × nrhs`).
+pub fn gemm_nrhs(alpha: f64, a: &[f64], m: usize, k: usize, x: &[f64], y: &mut [f64], nrhs: usize) {
+    gemm(alpha, a, m, k, x, nrhs, y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn gemv_small() {
+        // A = [1 3; 2 4] col-major [1,2,3,4]; x = [1, 1]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let x = [1.0, 1.0];
+        let mut y = [0.5, 0.5];
+        gemv(2.0, &a, 2, 2, &x, &mut y);
+        assert!(approx(y[0], 0.5 + 2.0 * 4.0));
+        assert!(approx(y[1], 0.5 + 2.0 * 6.0));
+    }
+
+    #[test]
+    fn gemm_matches_repeated_gemv() {
+        let m = 3;
+        let k = 2;
+        let n = 2;
+        let a: Vec<f64> = (0..m * k).map(|i| i as f64 * 0.7 - 1.0).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| (i as f64).cos()).collect();
+        let mut c1 = vec![0.0; m * n];
+        gemm(1.5, &a, m, k, &b, n, &mut c1);
+        let mut c2 = vec![0.0; m * n];
+        for j in 0..n {
+            gemv(1.5, &a, m, k, &b[j * k..(j + 1) * k], &mut c2[j * m..(j + 1) * m]);
+        }
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!(approx(*x, *y));
+        }
+    }
+
+    #[test]
+    fn trsm_lower_solves() {
+        // L = [2 0; 1 4]
+        let l = [2.0, 1.0, 0.0, 4.0];
+        let mut b = [2.0, 9.0]; // x = [1, 2]
+        trsm_lower(&l, 2, &mut b, 1);
+        assert!(approx(b[0], 1.0));
+        assert!(approx(b[1], 2.0));
+    }
+
+    #[test]
+    fn trsm_upper_solves() {
+        // U = [2 1; 0 4] col-major [2,0,1,4]
+        let u = [2.0, 0.0, 1.0, 4.0];
+        let mut b = [4.0, 8.0]; // x = [1, 2]
+        trsm_upper(&u, 2, &mut b, 1);
+        assert!(approx(b[0], 1.0));
+        assert!(approx(b[1], 2.0));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let m = DenseMat::from_col_major(3, 3, vec![4.0, 1.0, 0.5, 1.0, 5.0, 1.0, 0.0, 1.0, 6.0]);
+        let inv = m.inverse().expect("nonsingular");
+        let mut prod = vec![0.0; 9];
+        gemm(1.0, inv.data(), 3, 3, m.data(), 3, &mut prod);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[i + j * 3] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_of_singular_is_none() {
+        let m = DenseMat::zeros(2, 2);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let m = DenseMat::from_col_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let inv = m.inverse().expect("permutation is invertible");
+        assert!(approx(inv.get(0, 1), 1.0));
+        assert!(approx(inv.get(1, 0), 1.0));
+        assert!(approx(inv.get(0, 0), 0.0));
+    }
+
+    #[test]
+    fn trsm_multi_rhs() {
+        let l = [3.0, 1.0, 0.0, 2.0];
+        let mut b = [3.0, 3.0, 6.0, 4.0]; // rhs0 x=[1,1], rhs1 x=[2,1]
+        trsm_lower(&l, 2, &mut b, 2);
+        assert!(approx(b[0], 1.0) && approx(b[1], 1.0));
+        assert!(approx(b[2], 2.0) && approx(b[3], 1.0));
+    }
+}

@@ -1,0 +1,244 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The paper's public matrices live in the SuiteSparse collection as Matrix
+//! Market files. This module lets a user of this library run the solver on
+//! the *real* matrices when they have them (`coordinate real
+//! general|symmetric` formats), instead of the offline synthetic analogs.
+
+use crate::{CooMatrix, CsrMatrix};
+use std::io::{BufRead, Write};
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid file, with a human-readable reason.
+    Parse(String),
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "I/O error: {e}"),
+            MtxError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MtxError {
+    MtxError::Parse(msg.into())
+}
+
+/// Read a square sparse matrix in Matrix Market coordinate format
+/// (`real`/`integer`/`pattern`, `general` or `symmetric`). Pattern entries
+/// get value 1. Symmetric storage is expanded to both triangles.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MtxError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let h: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if h.len() < 4 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
+        return Err(parse_err("missing %%MatrixMarket matrix header"));
+    }
+    if h[2] != "coordinate" {
+        return Err(parse_err("only coordinate format is supported"));
+    }
+    let field = h[3].as_str();
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(parse_err(format!("unsupported field type {field}")));
+    }
+    let symmetry = h.get(4).map(|s| s.as_str()).unwrap_or("general");
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(parse_err(format!("unsupported symmetry {symmetry}")));
+    }
+
+    // Size line (skipping comments).
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err("bad size line")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must be 'rows cols nnz'"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    if nrows != ncols {
+        return Err(parse_err("only square matrices are supported"));
+    }
+
+    let mut coo = CooMatrix::with_capacity(nrows, if symmetry == "symmetric" { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing row index"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing col index"))?
+            .parse()
+            .map_err(|_| parse_err("bad col index"))?;
+        let v: f64 = match field {
+            "pattern" => 1.0,
+            _ => it
+                .next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?,
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("entry ({i},{j}) out of range")));
+        }
+        coo.push(i - 1, j - 1, v);
+        if symmetry == "symmetric" && i != j {
+            coo.push(j - 1, i - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Read a Matrix Market file from disk.
+pub fn read_matrix_market_file(path: &std::path::Path) -> Result<CsrMatrix, MtxError> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(std::io::BufReader::new(f))
+}
+
+/// Write a matrix in Matrix Market coordinate real general format.
+pub fn write_matrix_market<W: Write>(mut w: W, a: &CsrMatrix) -> Result<(), MtxError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by sptrsv3d")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for i in 0..a.nrows() {
+        for (j, v) in a.row_iter(i) {
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write a Matrix Market file to disk.
+pub fn write_matrix_market_file(path: &std::path::Path, a: &CsrMatrix) -> Result<(), MtxError> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(std::io::BufWriter::new(f), a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_general() {
+        let a = gen::poisson2d_9pt(6, 5);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_storage_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 4\n\
+                    1 1 2.0\n\
+                    2 2 2.0\n\
+                    3 3 2.0\n\
+                    3 1 -1.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(2, 0), -1.0);
+        assert_eq!(a.get(0, 2), -1.0);
+        assert_eq!(a.nnz(), 5);
+    }
+
+    #[test]
+    fn pattern_entries_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % a comment\n\
+                    2 2 3\n\
+                    1 1\n\
+                    2 2\n\
+                    1 2\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % header comment\n\
+                    \n\
+                    2 2 2\n\
+                    % entry comment\n\
+                    1 1 1.0\n\
+                    2 2 4.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(read_matrix_market("1 1 1\n1 1 1.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = gen::fusion_band(40, 3, 5, 1);
+        let dir = std::env::temp_dir().join("sptrsv_mtx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.mtx");
+        write_matrix_market_file(&path, &a).unwrap();
+        let b = read_matrix_market_file(&path).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+}

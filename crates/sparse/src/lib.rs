@@ -1,0 +1,127 @@
+//! Sparse-matrix substrate for the SpTRSV reproduction.
+//!
+//! This crate provides the data-structure layer everything else is built on:
+//!
+//! * [`CooMatrix`] — triplet assembly format used by the generators.
+//! * [`CsrMatrix`] — compressed sparse rows, the workhorse exchange format
+//!   (the symmetric matrices used throughout the paper make CSR and CSC
+//!   interchangeable up to transposition).
+//! * [`dense`] — column-major dense block kernels (GEMV/GEMM/TRSM and small
+//!   inverses) used by the supernodal factorization and the solvers.
+//! * [`gen`] — synthetic analogs of the paper's Table 1 test matrices
+//!   (SuiteSparse is not available offline; see DESIGN.md §2 for the
+//!   substitution argument).
+//! * [`io`] — Matrix Market reader/writer, so the solver runs on the real
+//!   SuiteSparse files when they are available.
+//!
+//! All matrices are square, real (`f64`), zero-indexed, and — matching the
+//! paper's simplifying assumption — structurally symmetric.
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod gen;
+pub mod io;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMat;
+
+/// Multiply `y = A * x` for CSR `A` and a single dense vector.
+///
+/// Panics if dimensions disagree.
+pub fn spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.ncols(), x.len());
+    assert_eq!(a.nrows(), y.len());
+    for i in 0..a.nrows() {
+        let mut acc = 0.0;
+        for (j, v) in a.row_iter(i) {
+            acc += v * x[j];
+        }
+        y[i] = acc;
+    }
+}
+
+/// Multiply `Y = A * X` for CSR `A` and `nrhs` right-hand sides stored
+/// column-major in `x` (`n * nrhs` entries).
+pub fn spmm(a: &CsrMatrix, x: &[f64], y: &mut [f64], nrhs: usize) {
+    let n = a.nrows();
+    assert_eq!(x.len(), a.ncols() * nrhs);
+    assert_eq!(y.len(), n * nrhs);
+    for r in 0..nrhs {
+        spmv(a, &x[r * n..(r + 1) * n], &mut y[r * n..(r + 1) * n]);
+    }
+}
+
+/// Relative residual `‖Ax − b‖∞ / ‖b‖∞` for one or more column-major RHSs.
+pub fn rel_residual_inf(a: &CsrMatrix, x: &[f64], b: &[f64], nrhs: usize) -> f64 {
+    let n = a.nrows();
+    let mut ax = vec![0.0; n * nrhs];
+    spmm(a, x, &mut ax, nrhs);
+    let mut num: f64 = 0.0;
+    let mut den: f64 = 0.0;
+    for k in 0..n * nrhs {
+        num = num.max((ax[k] - b[k]).abs());
+        den = den.max(b[k].abs());
+    }
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
+
+/// Maximum absolute entrywise difference between two equally sized vectors.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmv_identity() {
+        let mut coo = CooMatrix::new(3);
+        for i in 0..3 {
+            coo.push(i, i, 1.0);
+        }
+        let a = coo.to_csr();
+        let x = vec![3.0, -1.0, 2.0];
+        let mut y = vec![0.0; 3];
+        spmv(&a, &x, &mut y);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let mut coo = CooMatrix::new(2);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 4.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = coo.to_csr();
+        // x = [1, 1] => b = [3, 5]
+        let x = vec![1.0, 1.0];
+        let b = vec![3.0, 5.0];
+        assert!(rel_residual_inf(&a, &x, &b, 1) < 1e-15);
+    }
+
+    #[test]
+    fn spmm_matches_spmv_per_column() {
+        let a = gen::poisson2d_5pt(4, 4);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..2 * n).map(|k| (k as f64).sin()).collect();
+        let mut y = vec![0.0; 2 * n];
+        spmm(&a, &x, &mut y, 2);
+        for r in 0..2 {
+            let mut yr = vec![0.0; n];
+            spmv(&a, &x[r * n..(r + 1) * n], &mut yr);
+            assert_eq!(&y[r * n..(r + 1) * n], &yr[..]);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the sparse/dense substrate.
+
+use proptest::prelude::*;
+use sparse::dense::{gemm, gemv, trsm_lower, trsm_upper, DenseMat};
+use sparse::{CooMatrix, CsrMatrix};
+
+fn coo_strategy(n: usize, nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec((0..n, 0..n, -5.0f64..5.0), 0..nnz).prop_map(move |trips| {
+        let mut coo = CooMatrix::new(n);
+        for i in 0..n {
+            coo.push(i, i, 10.0);
+        }
+        for (i, j, v) in trips {
+            coo.push(i, j, v);
+        }
+        coo.to_csr()
+    })
+}
+
+proptest! {
+    /// Transposing twice is the identity; transposition preserves every
+    /// entry with indices swapped.
+    #[test]
+    fn transpose_involution(a in coo_strategy(12, 40)) {
+        let t = a.transpose();
+        prop_assert_eq!(&t.transpose(), &a);
+        for i in 0..a.nrows() {
+            for (j, v) in a.row_iter(i) {
+                prop_assert_eq!(t.get(j, i), v);
+            }
+        }
+    }
+
+    /// Symmetric permutation preserves entries: B[inv(i)][inv(j)] = A[i][j].
+    #[test]
+    fn permute_sym_preserves_entries(a in coo_strategy(10, 30), seed in 0u64..500) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = a.nrows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+        let b = a.permute_sym(&perm);
+        let mut inv = vec![0usize; n];
+        for (newi, &oldi) in perm.iter().enumerate() {
+            inv[oldi] = newi;
+        }
+        for i in 0..n {
+            for (j, v) in a.row_iter(i) {
+                prop_assert_eq!(b.get(inv[i], inv[j]), v);
+            }
+        }
+    }
+
+    /// spmv of the symmetrized pattern equals spmv of the original (added
+    /// entries are explicit zeros).
+    #[test]
+    fn symmetrized_pattern_is_numerically_equal(a in coo_strategy(9, 25)) {
+        let s = a.symmetrized_pattern();
+        let x: Vec<f64> = (0..9).map(|i| (i as f64).sin() + 2.0).collect();
+        let mut y1 = vec![0.0; 9];
+        let mut y2 = vec![0.0; 9];
+        sparse::spmv(&a, &x, &mut y1);
+        sparse::spmv(&s, &x, &mut y2);
+        prop_assert!(sparse::max_abs_diff(&y1, &y2) < 1e-12);
+    }
+
+    /// GEMM equals the naive triple loop.
+    #[test]
+    fn gemm_matches_naive(
+        m in 1usize..6, k in 1usize..6, n in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut c = vec![0.0; m * n];
+        gemm(1.0, &a, m, k, &b, n, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0.0;
+                for t in 0..k {
+                    want += a[i + t * m] * b[t + j * k];
+                }
+                prop_assert!((c[i + j * m] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// trsm ∘ multiply round-trips for both triangles.
+    #[test]
+    fn triangular_solve_roundtrip(n in 1usize..8, seed in 0u64..1000) {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut l = vec![0.0; n * n];
+        let mut u = vec![0.0; n * n];
+        for j in 0..n {
+            l[j + j * n] = 2.0 + rng.gen::<f64>();
+            u[j + j * n] = 2.0 + rng.gen::<f64>();
+            for i in j + 1..n {
+                l[i + j * n] = rng.gen_range(-1.0..1.0);
+                u[j + i * n] = rng.gen_range(-1.0..1.0);
+            }
+        }
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        // b = L x, then solve.
+        let mut b = vec![0.0; n];
+        gemv(1.0, &l, n, n, &x, &mut b);
+        trsm_lower(&l, n, &mut b, 1);
+        prop_assert!(sparse::max_abs_diff(&b, &x) < 1e-9);
+        let mut b = vec![0.0; n];
+        gemv(1.0, &u, n, n, &x, &mut b);
+        trsm_upper(&u, n, &mut b, 1);
+        prop_assert!(sparse::max_abs_diff(&b, &x) < 1e-9);
+    }
+
+    /// inverse(M) · M = I for random diagonally dominant matrices.
+    #[test]
+    fn inverse_roundtrip(n in 1usize..8, seed in 0u64..1000) {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut m = DenseMat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                m.set(i, j, if i == j { n as f64 + 1.0 } else { rng.gen_range(-1.0..1.0) });
+            }
+        }
+        let inv = m.inverse().unwrap();
+        let mut prod = vec![0.0; n * n];
+        gemm(1.0, inv.data(), n, n, m.data(), n, &mut prod);
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod[i + j * n] - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Matrix Market round-trip for arbitrary matrices.
+    #[test]
+    fn mtx_roundtrip(a in coo_strategy(8, 20)) {
+        let mut buf = Vec::new();
+        sparse::io::write_matrix_market(&mut buf, &a).unwrap();
+        let b = sparse::io::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,67 @@
+//! Anatomy of the inter-grid communication: sparse allreduce vs the naive
+//! per-node allreduce, and tree vs flat intra-grid communication.
+//!
+//! Runs the proposed 3D solver in its three ablated variants on the same
+//! KKT optimization matrix (nlpkkt analog) and prints the message counts
+//! and byte volumes per category — making the paper's §3.2/§3.3 arguments
+//! concrete.
+//!
+//! ```text
+//! cargo run --release --example allreduce_anatomy
+//! ```
+
+use simgrid::Category;
+use sptrsv_repro::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let a = gen::kkt3d(8, 8, 8);
+    println!("KKT matrix: n = {}, nnz = {}", a.nrows(), a.nnz());
+    let fact = Arc::new(factorize(&a, 8, &SymbolicOptions::default()).expect("factorize"));
+    let b = gen::standard_rhs(a.nrows(), 1);
+
+    println!(
+        "\n{:<34} {:>11} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "time (µs)", "XY msgs", "XY MiB", "Z msgs", "Z MiB"
+    );
+    for (label, algorithm) in [
+        ("proposed (trees + sparse ARed)", Algorithm::New3d),
+        ("ablation: flat intra-grid comm", Algorithm::New3dFlat),
+        ("ablation: naive per-node ARed", Algorithm::New3dNaiveAllreduce),
+        ("baseline 3D [ICS'19]", Algorithm::Baseline3d),
+    ] {
+        let cfg = SolverConfig {
+            px: 2,
+            py: 4,
+            pz: 8,
+            nrhs: 1,
+            algorithm,
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: 0,
+        };
+        let out = solve_distributed(&fact, &b, &cfg);
+        let res = sparse::rel_residual_inf(&a, &out.x, &b, 1);
+        assert!(res < 1e-9, "residual {res}");
+        let (xym, xyb, zm, zb) = out.stats.iter().fold((0u64, 0u64, 0u64, 0u64), |acc, s| {
+            (
+                acc.0 + s.msgs_sent[Category::XyComm as usize],
+                acc.1 + s.bytes_sent[Category::XyComm as usize],
+                acc.2 + s.msgs_sent[Category::ZComm as usize],
+                acc.3 + s.bytes_sent[Category::ZComm as usize],
+            )
+        });
+        println!(
+            "{:<34} {:>11.1} {:>10} {:>10.3} {:>10} {:>10.3}",
+            label,
+            out.makespan * 1e6,
+            xym,
+            xyb as f64 / (1 << 20) as f64,
+            zm,
+            zb as f64 / (1 << 20) as f64
+        );
+    }
+    println!("\n(read the Z columns: the sparse allreduce moves the fewest inter-grid");
+    println!(" messages and bytes; the baseline's pairwise lsum reduction moves ~2x the");
+    println!(" bytes, and the naive per-node allreduce ~2.4x the messages)");
+}

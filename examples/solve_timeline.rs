@@ -1,0 +1,49 @@
+//! Visualize a distributed solve: per-rank event timelines of the proposed
+//! 3D SpTRSV rendered as an ASCII Gantt chart (`#` compute, `>` send,
+//! `.` receive/wait). The L phase, the sparse-allreduce hourglass, and the
+//! U phase are all visible, as is the idle-grid pattern when the same
+//! solve runs with the baseline algorithm.
+//!
+//! ```text
+//! cargo run --release --example solve_timeline
+//! ```
+
+use simgrid::render_timeline;
+use sptrsv_repro::prelude::*;
+use sptrsv::{solve_traced, Plan};
+use std::sync::Arc;
+
+fn main() {
+    let a = gen::poisson2d_9pt(24, 24);
+    let (px, py, pz) = (2, 2, 4);
+    let fact = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).expect("factorize"));
+    let b = gen::standard_rhs(a.nrows(), 1);
+
+    for (label, algorithm) in [
+        ("proposed 3D [SC'23]", Algorithm::New3d),
+        ("baseline 3D [ICS'19]", Algorithm::Baseline3d),
+    ] {
+        let cfg = SolverConfig {
+            px,
+            py,
+            pz,
+            nrhs: 1,
+            algorithm,
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: 0,
+        };
+        let plan = Arc::new(Plan::new(Arc::clone(&fact), px, py, pz));
+        let out = solve_traced(&plan, &b, &cfg, true);
+        assert!(sparse::rel_residual_inf(&a, &out.x, &b, 1) < 1e-10);
+        println!(
+            "\n=== {label}: {} ranks, simulated {:.1} µs ===",
+            px * py * pz,
+            out.makespan * 1e6
+        );
+        println!("    (#' compute, '>' send, '.' recv/wait; one row per rank)");
+        print!("{}", render_timeline(&out.traces, out.makespan, 100));
+    }
+    println!("\nNote the baseline's trailing idle rows (grids that finished their");
+    println!("subtree and wait) versus the proposed algorithm's uniform activity.");
+}

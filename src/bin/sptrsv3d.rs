@@ -1,0 +1,289 @@
+//! `sptrsv3d` — command-line driver for the 3D SpTRSV reproduction.
+//!
+//! Solves `A x = b` for a Matrix Market file (e.g. a real SuiteSparse
+//! matrix) or a named synthetic analog, on a simulated CPU/GPU cluster,
+//! and prints the paper-style timing breakdown.
+//!
+//! ```text
+//! sptrsv3d --matrix path/to/matrix.mtx --px 4 --py 4 --pz 8 --machine cori
+//! sptrsv3d --gen s2D9pt2048 --scale medium --pz 16 --arch gpu --machine perlmutter
+//! ```
+
+use simgrid::{Category, MachineModel};
+use sptrsv_repro::prelude::*;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    matrix: Option<String>,
+    gen_name: Option<String>,
+    scale: gen::Scale,
+    px: usize,
+    py: usize,
+    pz: usize,
+    nrhs: usize,
+    algorithm: Algorithm,
+    arch: Arch,
+    machine: MachineModel,
+    symmetrize: bool,
+    json: bool,
+}
+
+const USAGE: &str = "\
+sptrsv3d — 3D communication-avoiding sparse triangular solve (simulated cluster)
+
+USAGE:
+    sptrsv3d [--matrix FILE.mtx | --gen NAME] [OPTIONS]
+
+INPUT:
+    --matrix FILE     Matrix Market file (coordinate real/integer/pattern,
+                      general or symmetric); pattern is symmetrized if needed
+    --gen NAME        synthetic Table 1 analog: s2D9pt2048 | nlpkkt80 | ldoor |
+                      dielFilterV3real | Ga19As19H42 | s1_mat_0_253872
+    --scale TIER      tiny | small | medium (for --gen; default small)
+
+LAYOUT:
+    --px N --py N     2D grid extents (default 2 x 2)
+    --pz N            number of 2D grids, power of two (default 4)
+    --nrhs N          right-hand sides (default 1)
+
+EXECUTION:
+    --alg A           new3d (default) | new3d-flat | new3d-naive-allreduce |
+                      baseline3d
+    --arch A          cpu (default) | gpu
+    --machine M       cori (default) | perlmutter | perlmutter-cpu | crusher
+
+OUTPUT:
+    --json            machine-readable summary on stdout instead of the table
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        matrix: None,
+        gen_name: None,
+        scale: gen::Scale::Small,
+        px: 2,
+        py: 2,
+        pz: 4,
+        nrhs: 1,
+        algorithm: Algorithm::New3d,
+        arch: Arch::Cpu,
+        machine: MachineModel::cori_haswell(),
+        symmetrize: false,
+        json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i - 1)
+            .cloned()
+            .ok_or_else(|| "missing argument value".to_string())
+    };
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        i += 1;
+        match flag.as_str() {
+            "--matrix" => a.matrix = Some(next(&mut i)?),
+            "--gen" => a.gen_name = Some(next(&mut i)?),
+            "--scale" => {
+                a.scale = match next(&mut i)?.as_str() {
+                    "tiny" => gen::Scale::Tiny,
+                    "small" => gen::Scale::Small,
+                    "medium" => gen::Scale::Medium,
+                    other => return Err(format!("unknown scale {other}")),
+                }
+            }
+            "--px" => a.px = next(&mut i)?.parse().map_err(|e| format!("--px: {e}"))?,
+            "--py" => a.py = next(&mut i)?.parse().map_err(|e| format!("--py: {e}"))?,
+            "--pz" => a.pz = next(&mut i)?.parse().map_err(|e| format!("--pz: {e}"))?,
+            "--nrhs" => a.nrhs = next(&mut i)?.parse().map_err(|e| format!("--nrhs: {e}"))?,
+            "--alg" => {
+                a.algorithm = match next(&mut i)?.as_str() {
+                    "new3d" => Algorithm::New3d,
+                    "new3d-flat" => Algorithm::New3dFlat,
+                    "new3d-naive-allreduce" => Algorithm::New3dNaiveAllreduce,
+                    "baseline3d" => Algorithm::Baseline3d,
+                    other => return Err(format!("unknown algorithm {other}")),
+                }
+            }
+            "--arch" => {
+                a.arch = match next(&mut i)?.as_str() {
+                    "cpu" => Arch::Cpu,
+                    "gpu" => Arch::Gpu,
+                    other => return Err(format!("unknown arch {other}")),
+                }
+            }
+            "--machine" => {
+                a.machine = match next(&mut i)?.as_str() {
+                    "cori" => MachineModel::cori_haswell(),
+                    "perlmutter" => MachineModel::perlmutter_gpu(),
+                    "perlmutter-cpu" => MachineModel::perlmutter_cpu(),
+                    "crusher" => MachineModel::crusher_gpu(),
+                    other => return Err(format!("unknown machine {other}")),
+                }
+            }
+            "--symmetrize" => a.symmetrize = true,
+            "--json" => a.json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if a.matrix.is_none() && a.gen_name.is_none() {
+        return Err("one of --matrix or --gen is required".into());
+    }
+    if !a.pz.is_power_of_two() {
+        return Err("--pz must be a power of two".into());
+    }
+    Ok(a)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let a = if let Some(path) = &args.matrix {
+        match sparse::io::read_matrix_market_file(std::path::Path::new(path)) {
+            Ok(m) => {
+                if args.symmetrize || !m.pattern_is_symmetric() {
+                    eprintln!("note: symmetrizing the sparsity pattern");
+                    m.symmetrized_pattern()
+                } else {
+                    m
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let name = args.gen_name.as_deref().unwrap();
+        match gen::by_name(name, args.scale) {
+            Some(m) => m,
+            None => {
+                eprintln!("error: unknown generator matrix {name}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!("matrix: n = {}, nnz = {}", a.nrows(), a.nnz());
+
+    let t0 = std::time::Instant::now();
+    let fact = match factorize(&a, args.pz, &SymbolicOptions::default()) {
+        Ok(f) => Arc::new(f),
+        Err(e) => {
+            eprintln!("error: factorization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sym = fact.lu.sym();
+    println!(
+        "factorized in {:.2}s: {} supernodes, nnz(LU) = {} ({:.4}% dense)",
+        t0.elapsed().as_secs_f64(),
+        sym.n_supernodes(),
+        sym.nnz_lu(),
+        100.0 * sym.nnz_lu() as f64 / (a.nrows() as f64 * a.nrows() as f64)
+    );
+
+    let b = gen::standard_rhs(a.nrows(), args.nrhs);
+    let cfg = SolverConfig {
+        px: args.px,
+        py: args.py,
+        pz: args.pz,
+        nrhs: args.nrhs,
+        algorithm: args.algorithm,
+        arch: args.arch,
+        machine: args.machine.clone(),
+        chaos_seed: 0,
+    };
+    let out = solve_distributed(&fact, &b, &cfg);
+    let res = sparse::rel_residual_inf(&a, &out.x, &b, args.nrhs);
+
+    if args.json {
+        #[derive(serde::Serialize)]
+        struct Summary<'a> {
+            n: usize,
+            nnz_lu: usize,
+            supernodes: usize,
+            ranks: usize,
+            machine: &'a str,
+            simulated_seconds: f64,
+            l_solve_mean: f64,
+            u_solve_mean: f64,
+            z_comm_mean: f64,
+            residual: f64,
+            phases: &'a [sptrsv::PhaseTimes],
+        }
+        let summary = Summary {
+            n: a.nrows(),
+            nnz_lu: sym.nnz_lu(),
+            supernodes: sym.n_supernodes(),
+            ranks: args.px * args.py * args.pz,
+            machine: args.machine.name,
+            simulated_seconds: out.makespan,
+            l_solve_mean: out.mean(|p| p.l_wall),
+            u_solve_mean: out.mean(|p| p.u_wall),
+            z_comm_mean: out.mean(|p| p.z_time),
+            residual: res,
+            phases: &out.phases,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("serializable summary")
+        );
+        return if res > 1e-8 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    println!(
+        "\nsolve on {} ({} ranks, {:?} {:?}, machine {}):",
+        format_args!("{}x{}x{}", args.px, args.py, args.pz),
+        args.px * args.py * args.pz,
+        args.algorithm,
+        args.arch,
+        args.machine.name
+    );
+    println!("  simulated time : {:>12.3} µs", out.makespan * 1e6);
+    println!(
+        "  L-solve (mean) : {:>12.3} µs",
+        out.mean(|p| p.l_wall) * 1e6
+    );
+    println!(
+        "  U-solve (mean) : {:>12.3} µs",
+        out.mean(|p| p.u_wall) * 1e6
+    );
+    println!(
+        "  Z-comm  (mean) : {:>12.3} µs",
+        out.mean(|p| p.z_time) * 1e6
+    );
+    let msgs: u64 = out
+        .stats
+        .iter()
+        .map(|s| s.msgs_sent.iter().sum::<u64>())
+        .sum();
+    let bytes: u64 = out
+        .stats
+        .iter()
+        .map(|s| s.bytes_sent[Category::XyComm as usize] + s.bytes_sent[Category::ZComm as usize])
+        .sum();
+    println!("  messages       : {msgs}");
+    println!("  comm volume    : {:.3} MiB", bytes as f64 / (1 << 20) as f64);
+    println!("  residual       : {res:.3e}");
+    if res > 1e-8 {
+        eprintln!("error: residual too large — solve failed verification");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

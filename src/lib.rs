@@ -1,0 +1,55 @@
+//! Umbrella crate for the SpTRSV-3D reproduction.
+//!
+//! Re-exports the workspace crates under one roof for the examples and
+//! integration tests:
+//!
+//! * [`sparse`] — matrix formats, generators, dense kernels.
+//! * [`ordering`] — nested dissection, elimination tree, symbolic analysis.
+//! * [`lufactor`] — supernodal numeric LU + sequential reference solves.
+//! * [`simgrid`] — virtual-time cluster simulator and machine models.
+//! * [`sptrsv`] — the paper's 3D SpTRSV algorithms and driver.
+//!
+//! Quickstart:
+//!
+//! ```
+//! use sptrsv_repro::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 1. A test matrix (analog of the paper's s2D9pt2048) and its LU.
+//! let a = sparse::gen::poisson2d_9pt(16, 16);
+//! let fact = Arc::new(
+//!     lufactor::factorize(&a, 4, &Default::default()).unwrap(),
+//! );
+//!
+//! // 2. Solve on a simulated 2 × 2 × 4 grid with the proposed algorithm.
+//! let b = sparse::gen::standard_rhs(a.nrows(), 1);
+//! let cfg = SolverConfig {
+//!     px: 2, py: 2, pz: 4, nrhs: 1,
+//!     algorithm: Algorithm::New3d,
+//!     arch: Arch::Cpu,
+//!     machine: MachineModel::cori_haswell(),
+//!     chaos_seed: 0,
+//! };
+//! let out = solve_distributed(&fact, &b, &cfg);
+//!
+//! // 3. Verified against the sequential reference.
+//! assert!(sparse::rel_residual_inf(&a, &out.x, &b, 1) < 1e-10);
+//! println!("simulated solve time: {:.3} ms", out.makespan * 1e3);
+//! ```
+
+pub use lufactor;
+pub use ordering;
+pub use simgrid;
+pub use sparse;
+pub use sptrsv;
+
+/// One-stop imports for examples and tests.
+pub mod prelude {
+    pub use lufactor::{factorize, Factorized};
+    pub use ordering::SymbolicOptions;
+    pub use simgrid::{Category, MachineModel};
+    pub use sparse::{self, gen, CsrMatrix};
+    pub use sptrsv::{
+        solve_distributed, Algorithm, Arch, SolveOutcome, Solver3d, SolverConfig,
+    };
+}

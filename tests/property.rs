@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) on the core invariants: random sparse
+//! systems, random grid shapes, and the building blocks (nested dissection,
+//! sparse allreduce semantics, block-cyclic coverage).
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sptrsv_repro::prelude::*;
+use std::sync::Arc;
+
+/// A random structurally symmetric, strictly diagonally dominant matrix.
+fn random_sym_dd(n: usize, extra_edges: usize, seed: u64) -> CsrMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut coo = sparse::CooMatrix::new(n);
+    let mut rowsum = vec![0.0f64; n];
+    let push_sym = |coo: &mut sparse::CooMatrix, rowsum: &mut Vec<f64>, i: usize, j: usize, v: f64| {
+        coo.push(i, j, v);
+        coo.push(j, i, v);
+        rowsum[i] += v.abs();
+        rowsum[j] += v.abs();
+    };
+    // Chain for irreducibility.
+    for i in 0..n - 1 {
+        let v = -(0.2 + rng.gen::<f64>());
+        push_sym(&mut coo, &mut rowsum, i, i + 1, v);
+    }
+    for _ in 0..extra_edges {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let v = -(0.1 + rng.gen::<f64>());
+        push_sym(&mut coo, &mut rowsum, i.min(j), i.max(j), v);
+    }
+    for (i, &s) in rowsum.iter().enumerate() {
+        coo.push(i, i, 1.0 + s);
+    }
+    coo.to_csr().symmetrized_pattern()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Any random system, any (small) grid shape, both 3D algorithms:
+    /// distributed solutions must match the sequential reference.
+    #[test]
+    fn distributed_solves_match_reference(
+        n in 24usize..90,
+        extra in 10usize..80,
+        seed in 0u64..1000,
+        px in 1usize..4,
+        py in 1usize..4,
+        logpz in 0u32..3,
+        baseline in proptest::bool::ANY,
+    ) {
+        let pz = 1usize << logpz;
+        let a = random_sym_dd(n, extra, seed);
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+        let b = gen::standard_rhs(n, 1);
+        let want = f.solve(&b, 1);
+        let cfg = SolverConfig {
+            px, py, pz,
+            nrhs: 1,
+            algorithm: if baseline { Algorithm::Baseline3d } else { Algorithm::New3d },
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: seed,
+        };
+        let out = solve_distributed(&f, &b, &cfg);
+        prop_assert!(sparse::max_abs_diff(&out.x, &want) < 1e-9);
+        prop_assert!(sparse::rel_residual_inf(&a, &out.x, &b, 1) < 1e-9);
+    }
+
+    /// The GPU execution model must compute the same numbers as the CPU
+    /// path (only its virtual timing differs).
+    #[test]
+    fn gpu_numerics_equal_cpu(
+        n in 24usize..70,
+        extra in 10usize..50,
+        seed in 0u64..1000,
+        px in 1usize..4,
+        logpz in 0u32..3,
+    ) {
+        let pz = 1usize << logpz;
+        let a = random_sym_dd(n, extra, seed);
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+        let b = gen::standard_rhs(n, 2);
+        let mk = |arch| SolverConfig {
+            px, py: 1, pz,
+            nrhs: 2,
+            algorithm: Algorithm::New3d,
+            arch,
+            machine: MachineModel::perlmutter_gpu(),
+            chaos_seed: 0,
+        };
+        let cpu = solve_distributed(&f, &b, &mk(Arch::Cpu));
+        let gpu = solve_distributed(&f, &b, &mk(Arch::Gpu));
+        prop_assert!(sparse::max_abs_diff(&cpu.x, &gpu.x) < 1e-10);
+    }
+
+    /// Nested dissection on random graphs: valid permutation, separators
+    /// disconnect, spans nest.
+    #[test]
+    fn nested_dissection_invariants(
+        n in 10usize..150,
+        extra in 5usize..120,
+        seed in 0u64..1000,
+        forced in 0usize..3,
+    ) {
+        let a = random_sym_dd(n, extra, seed);
+        let g = ordering::Graph::from_csr_pattern(&a);
+        let nd = ordering::nd::nested_dissection(&g, &ordering::NdOptions {
+            forced_depth: forced,
+            ..Default::default()
+        });
+        // Permutation validity.
+        let mut seen = vec![false; n];
+        for &v in &nd.perm {
+            prop_assert!(!seen[v]);
+            seen[v] = true;
+        }
+        // Separator property: children spans never share an edge.
+        let mut newidx = vec![0usize; n];
+        for (new, &old) in nd.perm.iter().enumerate() {
+            newidx[old] = new;
+        }
+        for node in &nd.tree.nodes {
+            if let Some((l, r)) = node.children {
+                let ls = nd.tree.nodes[l].span.clone();
+                let rs = nd.tree.nodes[r].span.clone();
+                for old in 0..n {
+                    if !ls.contains(&newidx[old]) { continue; }
+                    for &w in g.neighbors(old) {
+                        prop_assert!(!rs.contains(&newidx[w as usize]));
+                    }
+                }
+            }
+        }
+        // Layout covers all columns exactly once.
+        let layout = nd.tree.layout(forced);
+        let total: usize = layout.iter().map(|t| t.cols.len()).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    /// The symbolic pattern contains A and every solve-relevant block; the
+    /// numeric factorization then reproduces A = L·U through the reference
+    /// solve with small residual.
+    #[test]
+    fn factorization_residual(
+        n in 20usize..100,
+        extra in 10usize..90,
+        seed in 0u64..1000,
+        nrhs in 1usize..4,
+    ) {
+        let a = random_sym_dd(n, extra, seed);
+        let f = factorize(&a, 1, &SymbolicOptions::default()).unwrap();
+        let b = gen::standard_rhs(n, nrhs);
+        let x = f.solve(&b, nrhs);
+        prop_assert!(sparse::rel_residual_inf(&a, &x, &b, nrhs) < 1e-9);
+    }
+
+    /// Simulator allreduce (binomial) equals the dense sum for any size.
+    #[test]
+    fn simulator_allreduce_sums(p in 1usize..12, len in 1usize..20) {
+        let rep = simgrid::run(
+            p,
+            MachineModel::uniform("t", 1e9, 1e-6, 1e9, 4),
+            &simgrid::ClusterOptions::default(),
+            move |c| {
+                let mut v: Vec<f64> = (0..len).map(|k| (c.rank() * 31 + k) as f64).collect();
+                c.allreduce_sum(&mut v, Category::ZComm);
+                v
+            },
+        );
+        for k in 0..len {
+            let want: f64 = (0..p).map(|r| (r * 31 + k) as f64).sum();
+            for r in &rep.results {
+                prop_assert_eq!(r[k], want);
+            }
+        }
+    }
+}

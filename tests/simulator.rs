@@ -1,0 +1,146 @@
+//! Integration tests of the virtual-time simulator semantics that the
+//! SpTRSV experiments rely on.
+
+use simgrid::{Category, ClusterOptions, MachineModel};
+
+fn toy(latency: f64) -> MachineModel {
+    MachineModel::uniform("toy", 1e9, latency, 1e9, 4)
+}
+
+/// Virtual time must be independent of real thread scheduling: repeated
+/// runs of a nondeterministic-looking program give identical makespans.
+#[test]
+fn virtual_time_is_reproducible() {
+    let run = || {
+        simgrid::run(8, toy(1e-6), &ClusterOptions::default(), |c| {
+            // All-to-one with deterministic per-rank compute.
+            if c.rank() > 0 {
+                c.compute(1e-6 * c.rank() as f64, Category::Flop);
+                c.send(0, 1, &[c.rank() as f64], Category::XyComm);
+            } else {
+                for _ in 1..8 {
+                    c.recv(None, Some(1), Category::XyComm);
+                }
+            }
+            c.now()
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.makespan, b.makespan);
+}
+
+/// Higher latency must never make a communication-bound program faster.
+#[test]
+fn makespan_monotone_in_latency() {
+    let mk = |lat: f64| {
+        simgrid::run(4, toy(lat), &ClusterOptions::default(), |c| {
+            // Ring of dependent messages.
+            let next = (c.rank() + 1) % 4;
+            let prev = (c.rank() + 3) % 4;
+            if c.rank() == 0 {
+                c.send(next, 0, &[1.0], Category::XyComm);
+                c.recv(Some(prev), Some(0), Category::XyComm);
+            } else {
+                let m = c.recv(Some(prev), Some(0), Category::XyComm);
+                c.send(next, 0, &m.payload, Category::XyComm);
+            }
+        })
+        .makespan
+    };
+    let fast = mk(1e-6);
+    let slow = mk(1e-5);
+    assert!(slow > fast, "slow {slow} must exceed fast {fast}");
+}
+
+/// Intra-node messages must be cheaper than inter-node ones end to end.
+#[test]
+fn node_topology_affects_cost() {
+    let m = MachineModel::cori_haswell();
+    let mk = |dst: usize| {
+        simgrid::run(64, m.clone(), &ClusterOptions::default(), move |c| {
+            if c.rank() == 0 {
+                c.send(dst, 0, &[0.0; 1000], Category::XyComm);
+            } else if c.rank() == dst {
+                c.recv(Some(0), Some(0), Category::XyComm);
+            }
+            c.now()
+        })
+    };
+    let intra = mk(1); // same 32-rank node
+    let inter = mk(63); // different node
+    assert!(inter.makespan > intra.makespan);
+}
+
+/// Bytes and message counters must account exactly for what was sent.
+#[test]
+fn counters_are_exact() {
+    let rep = simgrid::run(2, toy(1e-6), &ClusterOptions::default(), |c| {
+        if c.rank() == 0 {
+            c.send(1, 0, &[1.0; 10], Category::XyComm);
+            c.send(1, 0, &[2.0; 20], Category::ZComm);
+        } else {
+            c.recv(Some(0), Some(0), Category::XyComm);
+            c.recv(Some(0), Some(0), Category::ZComm);
+        }
+    });
+    assert_eq!(rep.total_msgs(Category::XyComm), 1);
+    assert_eq!(rep.total_msgs(Category::ZComm), 1);
+    assert_eq!(rep.total_bytes(Category::XyComm), 8 * 10 + 64);
+    assert_eq!(rep.total_bytes(Category::ZComm), 8 * 20 + 64);
+}
+
+/// Epoch-masked receives must leave messages of other epochs queued: a
+/// rank can run ahead into the next phase without its early messages being
+/// consumed by slower peers still in the previous phase.
+#[test]
+fn tag_masked_recv_preserves_other_epochs() {
+    const EPOCH_MASK: u64 = !((1 << 48) - 1);
+    let rep = simgrid::run(2, toy(1e-6), &ClusterOptions::default(), |c| {
+        if c.rank() == 0 {
+            // Send epoch-1 first, then epoch-0: receiver asks for epoch 0.
+            c.send(1, 1 << 48 | 7, &[1.0], Category::XyComm);
+            c.send(1, 7, &[0.0], Category::XyComm);
+            0.0
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let m0 = c.recv_tag_masked(EPOCH_MASK, 0, Category::XyComm);
+            let m1 = c.recv_tag_masked(EPOCH_MASK, 1 << 48, Category::XyComm);
+            assert_eq!(m0.payload[0], 0.0);
+            assert_eq!(m1.payload[0], 1.0);
+            m0.payload[0] + m1.payload[0]
+        }
+    });
+    assert_eq!(rep.results[1], 1.0);
+}
+
+/// The GPU executor's lane model must bound speedup by the concurrency.
+#[test]
+fn gpu_executor_concurrency_bound() {
+    let mut gpu = MachineModel::perlmutter_gpu().gpu.unwrap();
+    gpu.block_overhead = 0.0;
+    gpu.concurrency = 4;
+    let mut ex = simgrid::GpuExecutor::new(&gpu, 0.0);
+    for _ in 0..16 {
+        ex.schedule(0.0, 1.0);
+    }
+    // 16 unit tasks on 4 lanes: last finish = 4.
+    assert_eq!(ex.last_finish(), 4.0);
+    assert_eq!(ex.busy_time(), 16.0);
+}
+
+/// Barriers align clocks: after a barrier no rank's clock may precede the
+/// slowest rank's pre-barrier clock.
+#[test]
+fn barrier_is_a_synchronization_point() {
+    let rep = simgrid::run(6, toy(1e-6), &ClusterOptions::default(), |c| {
+        c.compute(1e-3 * (c.rank() as f64), Category::Flop);
+        c.barrier(Category::ZComm);
+        c.now()
+    });
+    let slowest_work = 1e-3 * 5.0;
+    for t in &rep.results {
+        assert!(*t >= slowest_work);
+    }
+}
