@@ -34,11 +34,40 @@ fn main() {
             (Algorithm::New3dNaiveAllreduce, "trees + naive allreduce"),
             (Algorithm::Baseline3d, "baseline [ICS'19]"),
         ] {
-            let m = run_once(&fact, MachineModel::cori_haswell(), alg, Arch::Cpu, px, py, pz, 1);
-            let xym = m.out.stats.iter().map(|s| s.msgs_sent[Category::XyComm as usize]).sum::<u64>();
-            let xyb = m.out.stats.iter().map(|s| s.bytes_sent[Category::XyComm as usize]).sum::<u64>();
-            let zm = m.out.stats.iter().map(|s| s.msgs_sent[Category::ZComm as usize]).sum::<u64>();
-            let zb = m.out.stats.iter().map(|s| s.bytes_sent[Category::ZComm as usize]).sum::<u64>();
+            let m = run_once(
+                &fact,
+                MachineModel::cori_haswell(),
+                alg,
+                Arch::Cpu,
+                px,
+                py,
+                pz,
+                1,
+            );
+            let xym = m
+                .out
+                .stats
+                .iter()
+                .map(|s| s.msgs_sent[Category::XyComm as usize])
+                .sum::<u64>();
+            let xyb = m
+                .out
+                .stats
+                .iter()
+                .map(|s| s.bytes_sent[Category::XyComm as usize])
+                .sum::<u64>();
+            let zm = m
+                .out
+                .stats
+                .iter()
+                .map(|s| s.msgs_sent[Category::ZComm as usize])
+                .sum::<u64>();
+            let zb = m
+                .out
+                .stats
+                .iter()
+                .map(|s| s.bytes_sent[Category::ZComm as usize])
+                .sum::<u64>();
             println!(
                 "{label:<28} {pz:>4} {:>12.4e} {xym:>9} {xyb:>10} {zm:>9} {zb:>10}",
                 m.out.makespan
@@ -57,7 +86,10 @@ fn main() {
         }
         println!();
     }
-    println!("sparse allreduce Z bytes {sparse_z_bytes} vs naive {} ({} msgs)", naive_z.1, naive_z.0);
+    println!(
+        "sparse allreduce Z bytes {sparse_z_bytes} vs naive {} ({} msgs)",
+        naive_z.1, naive_z.0
+    );
     println!("tree vs flat time at Pz=16: {tree_time:.4e} vs {flat_time:.4e}");
     assert!(
         sparse_z_bytes <= naive_z.1,

@@ -9,14 +9,17 @@ fn main() {
     println!("== Fig. 10: Perlmutter 1x1xPz, CPU vs GPU, proposed 3D SpTRSV ==\n");
     let best = benchkit::gpu_1x1xpz_figure(
         simgrid::MachineModel::perlmutter_gpu(),
-        &["s1_mat_0_253872", "s2D9pt2048", "nlpkkt80", "dielFilterV3real"],
+        &[
+            "s1_mat_0_253872",
+            "s2D9pt2048",
+            "nlpkkt80",
+            "dielFilterV3real",
+        ],
     );
     // Cross-system check mirroring the paper: Perlmutter's best CPU->GPU
     // speedup exceeds Crusher's on the shared matrices.
-    let crusher = benchkit::gpu_1x1xpz_best_speedup(
-        simgrid::MachineModel::crusher_gpu(),
-        "s2D9pt2048",
-    );
+    let crusher =
+        benchkit::gpu_1x1xpz_best_speedup(simgrid::MachineModel::crusher_gpu(), "s2D9pt2048");
     let perl = best
         .iter()
         .find(|(m, _)| *m == "s2D9pt2048")

@@ -17,7 +17,12 @@ use sptrsv::{Algorithm, Arch};
 
 fn main() {
     println!("== Fig. 11: Perlmutter Px x 1 x Pz, GPU (and CPU reference) ==\n");
-    let matrices = ["s1_mat_0_253872", "nlpkkt80", "Ga19As19H42", "dielFilterV3real"];
+    let matrices = [
+        "s1_mat_0_253872",
+        "nlpkkt80",
+        "Ga19As19H42",
+        "dielFilterV3real",
+    ];
     let machine = MachineModel::perlmutter_gpu();
     let max_pz = 64.min(max_p() / 4);
     let mut ok_2d_stops = 0usize;
@@ -32,8 +37,20 @@ fn main() {
         // 2D NVSHMEM curve: Pz = 1, Px across and beyond the node boundary.
         let mut curve_2d = Vec::new();
         for px in [1usize, 2, 4, 8, 16] {
-            let m = run_once(&fact, machine.clone(), Algorithm::New3d, Arch::Gpu, px, 1, 1, 1);
-            println!("{:>10} {px:>5} {:>5} {px:>6} {:>12.4e}", "2D [12]", 1, m.out.makespan);
+            let m = run_once(
+                &fact,
+                machine.clone(),
+                Algorithm::New3d,
+                Arch::Gpu,
+                px,
+                1,
+                1,
+                1,
+            );
+            println!(
+                "{:>10} {px:>5} {:>5} {px:>6} {:>12.4e}",
+                "2D [12]", 1, m.out.makespan
+            );
             curve_2d.push(m.out.makespan);
         }
         // 3D curves: Px in {1, 2, 4} (intra-node), Pz up to 64.
@@ -42,7 +59,16 @@ fn main() {
         for px in [1usize, 2, 4] {
             let mut pz = 2;
             while pz <= max_pz {
-                let m = run_once(&fact, machine.clone(), Algorithm::New3d, Arch::Gpu, px, 1, pz, 1);
+                let m = run_once(
+                    &fact,
+                    machine.clone(),
+                    Algorithm::New3d,
+                    Arch::Gpu,
+                    px,
+                    1,
+                    pz,
+                    1,
+                );
                 println!(
                     "{:>10} {px:>5} {pz:>5} {:>6} {:>12.4e}",
                     "3D GPU",
@@ -58,10 +84,22 @@ fn main() {
             }
         }
         // CPU reference at the largest layout.
-        let mcpu = run_once(&fact, machine.clone(), Algorithm::New3d, Arch::Cpu, 4, 1, max_pz, 1);
+        let mcpu = run_once(
+            &fact,
+            machine.clone(),
+            Algorithm::New3d,
+            Arch::Cpu,
+            4,
+            1,
+            max_pz,
+            1,
+        );
         println!(
             "{:>10} {:>5} {max_pz:>5} {:>6} {:>12.4e}",
-            "3D CPU", 4, 4 * max_pz, mcpu.out.makespan
+            "3D CPU",
+            4,
+            4 * max_pz,
+            mcpu.out.makespan
         );
 
         // Shape checks mirroring the paper's conclusions:

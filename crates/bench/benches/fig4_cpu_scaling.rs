@@ -26,7 +26,10 @@ fn main() {
     for name in matrices {
         let fact = factorized(name, 32);
         println!("--- {name} ---");
-        print_header("alg / Pz \\ P", &ps.iter().map(|p| p.to_string()).collect::<Vec<_>>());
+        print_header(
+            "alg / Pz \\ P",
+            &ps.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+        );
         let mut table: Vec<Vec<Option<f64>>> = Vec::new();
         for (alg, label) in [
             (Algorithm::Baseline3d, "Baseline"),
@@ -60,8 +63,8 @@ fn main() {
         let half = table.len() / 2;
         let mut best = 0.0f64;
         for r in 0..half {
-            for c in 0..ps.len() {
-                if let (Some(b), Some(n)) = (table[r][c], table[half + r][c]) {
+            for (c, &base) in table[r].iter().enumerate().take(ps.len()) {
+                if let (Some(b), Some(n)) = (base, table[half + r][c]) {
                     best = best.max(b / n);
                 }
             }

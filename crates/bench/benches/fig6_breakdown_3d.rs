@@ -14,8 +14,18 @@ fn main() {
         .filter(|r| r.algorithm == "New")
         .map(|r| (r.pz, r.fp))
         .collect();
-    let lo = new_fp.iter().filter(|(pz, _)| *pz == 1).map(|(_, f)| *f).fold(0.0, f64::max);
+    let lo = new_fp
+        .iter()
+        .filter(|(pz, _)| *pz == 1)
+        .map(|(_, f)| *f)
+        .fold(0.0, f64::max);
     let hi = new_fp.iter().map(|(_, f)| *f).fold(0.0, f64::max);
-    println!("replicated FP growth (max over configs / Pz=1): {:.2}x", hi / lo);
-    assert!(hi > lo, "3D-PDE regime must show replicated-computation growth");
+    println!(
+        "replicated FP growth (max over configs / Pz=1): {:.2}x",
+        hi / lo
+    );
+    assert!(
+        hi > lo,
+        "3D-PDE regime must show replicated-computation growth"
+    );
 }

@@ -12,9 +12,13 @@ fn bench_gemv(c: &mut Criterion) {
         let a: Vec<f64> = (0..m * k).map(|i| (i as f64).sin()).collect();
         let x: Vec<f64> = (0..k).map(|i| (i as f64).cos()).collect();
         let mut y = vec![0.0; m];
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}")), &(), |b, _| {
-            b.iter(|| gemv(1.0, black_box(&a), m, k, black_box(&x), &mut y));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}")),
+            &(),
+            |b, _| {
+                b.iter(|| gemv(1.0, black_box(&a), m, k, black_box(&x), &mut y));
+            },
+        );
     }
     g.finish();
 }
@@ -26,9 +30,13 @@ fn bench_gemm_multi_rhs(c: &mut Criterion) {
         let a: Vec<f64> = (0..m * k).map(|i| (i as f64).sin()).collect();
         let x: Vec<f64> = (0..k * nrhs).map(|i| (i as f64).cos()).collect();
         let mut y = vec![0.0; m * nrhs];
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}")), &(), |b, _| {
-            b.iter(|| gemm(1.0, black_box(&a), m, k, black_box(&x), nrhs, &mut y));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}")),
+            &(),
+            |b, _| {
+                b.iter(|| gemm(1.0, black_box(&a), m, k, black_box(&x), nrhs, &mut y));
+            },
+        );
     }
     g.finish();
 }
@@ -78,7 +86,15 @@ fn bench_inverse(c: &mut Criterion) {
         let mut m = DenseMat::zeros(n, n);
         for j in 0..n {
             for i in 0..n {
-                m.set(i, j, if i == j { 4.0 } else { -1.0 / (1.0 + (i + j) as f64) });
+                m.set(
+                    i,
+                    j,
+                    if i == j {
+                        4.0
+                    } else {
+                        -1.0 / (1.0 + (i + j) as f64)
+                    },
+                );
             }
         }
         g.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {

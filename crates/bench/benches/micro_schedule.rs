@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the "compile once, solve many" split:
+//! how much one-time work planning + schedule compilation costs, and how
+//! much the hot solve path gains from skipping it. The final group prints
+//! the measured solve-many speedup of a planned [`sptrsv::Solver3d`] over
+//! replanning with `solve_distributed` on every call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ordering::SymbolicOptions;
+use sptrsv::schedule::{Schedule, ScheduleKey};
+use sptrsv::{Plan, Solver3d, SolverConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const KEY: ScheduleKey = ScheduleKey {
+    baseline: false,
+    tree_comm: true,
+};
+
+fn fixture() -> (Arc<lufactor::Factorized>, Vec<f64>, SolverConfig) {
+    let a = sparse::gen::poisson2d_9pt(32, 32);
+    let f = Arc::new(lufactor::factorize(&a, 4, &SymbolicOptions::default()).unwrap());
+    let b = sparse::gen::standard_rhs(a.nrows(), 1);
+    let cfg = SolverConfig {
+        px: 2,
+        py: 2,
+        pz: 4,
+        nrhs: 1,
+        algorithm: sptrsv::Algorithm::New3d,
+        arch: sptrsv::Arch::Cpu,
+        machine: simgrid::MachineModel::cori_haswell(),
+        chaos_seed: 0,
+    };
+    (f, b, cfg)
+}
+
+/// One-time cost: 3D layout + grid membership.
+fn bench_plan_build(c: &mut Criterion) {
+    let (f, _, _) = fixture();
+    c.bench_function("plan_build_16ranks_1024", |b| {
+        b.iter(|| Plan::new(black_box(Arc::clone(&f)), 2, 2, 4));
+    });
+}
+
+/// One-time cost: compiling the full communication-schedule IR for a
+/// prebuilt plan (all tree links, fmod counters, pack layouts).
+fn bench_schedule_compile(c: &mut Criterion) {
+    let (f, _, _) = fixture();
+    let plan = Plan::new(f, 2, 2, 4);
+    c.bench_function("schedule_compile_16ranks_1024", |b| {
+        b.iter(|| Schedule::compile(black_box(&plan), KEY));
+    });
+}
+
+/// Hot path: a planned solver's solve (zero schedule setup) vs replanning
+/// everything on each call.
+fn bench_solve_paths(c: &mut Criterion) {
+    let (f, b0, cfg) = fixture();
+    let solver = Solver3d::new(Arc::clone(&f), cfg.clone());
+    c.bench_function("solve_hot_planned_16ranks_1024", |b| {
+        b.iter(|| solver.solve(black_box(&b0), 1));
+    });
+    c.bench_function("solve_cold_replanned_16ranks_1024", |b| {
+        b.iter(|| sptrsv::solve_distributed(black_box(&f), &b0, &cfg));
+    });
+}
+
+/// Report the solve-many amortization directly: wall time of N solves
+/// through one planned solver vs N replanned solves.
+fn report_solve_many_speedup(c: &mut Criterion) {
+    let (f, b0, cfg) = fixture();
+    let n = 20;
+    let solver = Solver3d::new(Arc::clone(&f), cfg.clone());
+    let t = Instant::now();
+    for _ in 0..n {
+        black_box(solver.solve(&b0, 1));
+    }
+    let hot = t.elapsed();
+    let t = Instant::now();
+    for _ in 0..n {
+        black_box(sptrsv::solve_distributed(&f, &b0, &cfg));
+    }
+    let cold = t.elapsed();
+    println!(
+        "solve-many ({n} solves): planned {hot:.2?} vs replanned {cold:.2?} \
+         -> {:.2}x speedup from the compiled schedule",
+        cold.as_secs_f64() / hot.as_secs_f64()
+    );
+    // Keep criterion happy with a trivial registered benchmark so the
+    // group runs this reporter exactly once.
+    c.bench_function("schedule_cache_hit", |b| {
+        let plan = solver.plan();
+        b.iter(|| black_box(plan.schedule(KEY)));
+    });
+}
+
+criterion_group!(
+    name = schedule;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_plan_build, bench_schedule_compile, bench_solve_paths, report_solve_many_speedup
+);
+criterion_main!(schedule);

@@ -58,8 +58,7 @@ pub fn factorized(name: &str, max_pz: usize) -> Arc<Factorized> {
     if let Some(f) = fact_cache().lock().unwrap().get(&key) {
         return Arc::clone(f);
     }
-    let a = gen::by_name(name, scale())
-        .unwrap_or_else(|| panic!("unknown test matrix {name}"));
+    let a = gen::by_name(name, scale()).unwrap_or_else(|| panic!("unknown test matrix {name}"));
     eprintln!(
         "# factorizing {name}: n = {}, nnz(A) = {} (scale {:?}, Pz ≤ {max_pz})",
         a.nrows(),
@@ -70,10 +69,7 @@ pub fn factorized(name: &str, max_pz: usize) -> Arc<Factorized> {
         lufactor::factorize(&a, max_pz, &SymbolicOptions::default())
             .expect("generator matrices are diagonally dominant"),
     );
-    fact_cache()
-        .lock()
-        .unwrap()
-        .insert(key, Arc::clone(&f));
+    fact_cache().lock().unwrap().insert(key, Arc::clone(&f));
     f
 }
 
@@ -86,7 +82,7 @@ pub fn matrix(name: &str) -> sparse::CsrMatrix {
 /// as square as possible" with `px ≤ py`... the paper sets `Px ≈ Py`).
 pub fn near_square(p: usize) -> (usize, usize) {
     let mut px = (p as f64).sqrt() as usize;
-    while px > 1 && p % px != 0 {
+    while px > 1 && !p.is_multiple_of(px) {
         px -= 1;
     }
     (px.max(1), p / px.max(1))
@@ -101,6 +97,7 @@ pub struct Measurement {
 }
 
 /// Run one configuration of a solver on a factorized matrix.
+#[allow(clippy::too_many_arguments)]
 pub fn run_once(
     fact: &Arc<Factorized>,
     machine: MachineModel,
@@ -185,10 +182,13 @@ pub fn breakdown_figure(name: &str) -> Vec<BreakdownRow> {
                     1,
                 );
                 let nr = m.out.stats.len() as f64;
-                let mean = |c: Category| {
-                    m.out.stats.iter().map(|s| s.time[c as usize]).sum::<f64>() / nr
-                };
-                let (z, xy, fp) = (mean(Category::ZComm), mean(Category::XyComm), mean(Category::Flop));
+                let mean =
+                    |c: Category| m.out.stats.iter().map(|s| s.time[c as usize]).sum::<f64>() / nr;
+                let (z, xy, fp) = (
+                    mean(Category::ZComm),
+                    mean(Category::XyComm),
+                    mean(Category::Flop),
+                );
                 println!("{label:>10} {pz:>4} {p:>8} {z:>12.4e} {xy:>12.4e} {fp:>12.4e}");
                 rows.push(BreakdownRow {
                     algorithm: label,
@@ -254,8 +254,11 @@ pub fn load_balance_figure(name: &str) -> Vec<(&'static str, usize, usize, &'sta
                     1,
                 );
                 for (phase, get) in [
-                    ("L", Box::new(|ph: &sptrsv::PhaseTimes| ph.l_busy)
-                        as Box<dyn Fn(&sptrsv::PhaseTimes) -> f64>),
+                    (
+                        "L",
+                        Box::new(|ph: &sptrsv::PhaseTimes| ph.l_busy)
+                            as Box<dyn Fn(&sptrsv::PhaseTimes) -> f64>,
+                    ),
                     ("U", Box::new(|ph: &sptrsv::PhaseTimes| ph.u_busy)),
                 ] {
                     let (mn, mean, mx) = m.out.min_mean_max(&get);
@@ -293,14 +296,29 @@ pub fn gpu_1x1xpz_figure(
             // The 50-RHS runs execute 50x the real arithmetic; sample the
             // Pz sweep more coarsely there (the paper's curves are smooth).
             let pzs: Vec<usize> = if nrhs == 1 {
-                (0..7).map(|e| 1usize << e).filter(|&z| z <= max_pz).collect()
+                (0..7)
+                    .map(|e| 1usize << e)
+                    .filter(|&z| z <= max_pz)
+                    .collect()
             } else {
-                [1usize, 4, 16, 64].into_iter().filter(|&z| z <= max_pz).collect()
+                [1usize, 4, 16, 64]
+                    .into_iter()
+                    .filter(|&z| z <= max_pz)
+                    .collect()
             };
             let mut cpu_times = Vec::new();
             for arch in [Arch::Cpu, Arch::Gpu] {
                 for (pi, &pz) in pzs.iter().enumerate() {
-                    let m = run_once(&fact, machine.clone(), Algorithm::New3d, arch, 1, 1, pz, nrhs);
+                    let m = run_once(
+                        &fact,
+                        machine.clone(),
+                        Algorithm::New3d,
+                        arch,
+                        1,
+                        1,
+                        pz,
+                        nrhs,
+                    );
                     let l = m.out.mean(|p| p.l_wall);
                     let u = m.out.mean(|p| p.u_wall);
                     let z = m.out.mean(|p| p.z_time);
@@ -331,8 +349,26 @@ pub fn gpu_1x1xpz_best_speedup(machine: MachineModel, name: &'static str) -> f64
     let mut best = 0.0f64;
     let mut pz = 1;
     while pz <= max_pz {
-        let cpu = run_once(&fact, machine.clone(), Algorithm::New3d, Arch::Cpu, 1, 1, pz, 1);
-        let gpu = run_once(&fact, machine.clone(), Algorithm::New3d, Arch::Gpu, 1, 1, pz, 1);
+        let cpu = run_once(
+            &fact,
+            machine.clone(),
+            Algorithm::New3d,
+            Arch::Cpu,
+            1,
+            1,
+            pz,
+            1,
+        );
+        let gpu = run_once(
+            &fact,
+            machine.clone(),
+            Algorithm::New3d,
+            Arch::Gpu,
+            1,
+            1,
+            pz,
+            1,
+        );
         best = best.max(cpu.out.makespan / gpu.out.makespan);
         pz *= 2;
     }

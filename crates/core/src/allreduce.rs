@@ -11,31 +11,21 @@
 //! the supernode pieces it owns diagonally (the 2D layout of `y` matches
 //! `L`, so partners pack identical supernode lists).
 //!
+//! The partner and pack list of every step come precompiled in the plan's
+//! schedule IR ([`crate::schedule::ZStep`]); this module only packs,
+//! sends, and unpacks.
+//!
 //! The naive alternative the paper compares against — one `MPI_Allreduce`
 //! per elimination-tree node — is provided as [`naive_allreduce`] for the
 //! ablation benchmark.
 
 use crate::plan::Plan;
+use crate::schedule::{NaiveNode, ZStep};
 use simgrid::{Category, Comm};
 use std::collections::HashMap;
 
-/// Supernodes exchanged by grid `z` at step `l`: all supernodes of path
-/// nodes at levels `0 .. depth − l − 1` (the ancestors shared with the
-/// step-`l` partner) whose diagonal owner is `(x, y)`. Ascending, identical
-/// on both partners.
-fn shared_sups(plan: &Plan, z: usize, l: usize, x: usize, y: usize) -> Vec<u32> {
-    let mut out = Vec::new();
-    let path = &plan.grids[z].path;
-    for &t in path.iter().take(plan.depth - l) {
-        for k in plan.node_supers(t) {
-            let ku = k as usize;
-            if ku % plan.px == x && ku % plan.py == y {
-                out.push(k);
-            }
-        }
-    }
-    out
-}
+const TAG_R: u64 = 7 << 40;
+const TAG_B: u64 = 8 << 40;
 
 fn pack(plan: &Plan, sups: &[u32], vals: &HashMap<u32, Vec<f64>>, nrhs: usize) -> Vec<f64> {
     let sym = plan.fact.lu.sym();
@@ -45,7 +35,7 @@ fn pack(plan: &Plan, sups: &[u32], vals: &HashMap<u32, Vec<f64>>, nrhs: usize) -
         let w = sym.sup_width(k as usize) * nrhs;
         match vals.get(&k) {
             Some(v) => buf.extend_from_slice(v),
-            None => buf.extend(std::iter::repeat(0.0).take(w)),
+            None => buf.extend(std::iter::repeat_n(0.0, w)),
         }
     }
     buf
@@ -88,74 +78,70 @@ fn unpack_set(
     debug_assert_eq!(off, buf.len());
 }
 
-/// Run the sparse allreduce over `y_vals` for rank `(x, y, z)`. `zcomm` is
-/// the communicator over the `Pz` grids at fixed `(x, y)`, ranked by `z`.
-/// On return, every diagonal owner holds the fully reduced `y(K)` for all
-/// its (replicated) supernodes.
+/// Run the sparse allreduce over `y_vals` from my compiled step roles
+/// (`zsteps[l]` is my role at step `l`, `None` when I sit out). `zcomm`
+/// is the communicator over the `Pz` grids at fixed `(x, y)`, ranked by
+/// `z`. On return, every diagonal owner holds the fully reduced `y(K)`
+/// for all its (replicated) supernodes.
 pub fn sparse_allreduce(
     plan: &Plan,
     zcomm: &Comm,
-    x: usize,
-    y: usize,
-    z: usize,
+    zsteps: &[Option<ZStep>],
     nrhs: usize,
     y_vals: &mut HashMap<u32, Vec<f64>>,
 ) {
-    let d = plan.depth;
-    const TAG_R: u64 = 7 << 40;
-    const TAG_B: u64 = 8 << 40;
     // Sparse reduce: leaf to root, partial sums flow toward smaller z.
-    for l in 0..d {
-        let sups = shared_sups(plan, z, l, x, y);
-        if z % (1 << (l + 1)) == (1 << l) {
-            let buf = pack(plan, &sups, y_vals, nrhs);
-            zcomm.send(z - (1 << l), TAG_R + l as u64, &buf, Category::ZComm);
-        } else if z % (1 << (l + 1)) == 0 {
-            let msg = zcomm.recv(Some(z + (1 << l)), Some(TAG_R + l as u64), Category::ZComm);
-            unpack_add(plan, &sups, &msg.payload, y_vals, nrhs);
+    for (l, step) in zsteps.iter().enumerate() {
+        let Some(step) = step else { continue };
+        if step.to_smaller {
+            let buf = pack(plan, &step.sups, y_vals, nrhs);
+            zcomm.send(step.peer as usize, TAG_R + l as u64, &buf, Category::ZComm);
+        } else {
+            let msg = zcomm.recv(
+                Some(step.peer as usize),
+                Some(TAG_R + l as u64),
+                Category::ZComm,
+            );
+            unpack_add(plan, &step.sups, &msg.payload, y_vals, nrhs);
         }
     }
-    // Sparse broadcast: root to leaf.
-    for l in (0..d).rev() {
-        let sups = shared_sups(plan, z, l, x, y);
-        if z % (1 << (l + 1)) == 0 {
-            let buf = pack(plan, &sups, y_vals, nrhs);
-            zcomm.send(z + (1 << l), TAG_B + l as u64, &buf, Category::ZComm);
-        } else if z % (1 << (l + 1)) == (1 << l) {
-            let msg = zcomm.recv(Some(z - (1 << l)), Some(TAG_B + l as u64), Category::ZComm);
-            unpack_set(plan, &sups, &msg.payload, y_vals, nrhs);
+    // Sparse broadcast: root to leaf, roles mirrored.
+    for (l, step) in zsteps.iter().enumerate().rev() {
+        let Some(step) = step else { continue };
+        if step.to_smaller {
+            let msg = zcomm.recv(
+                Some(step.peer as usize),
+                Some(TAG_B + l as u64),
+                Category::ZComm,
+            );
+            unpack_set(plan, &step.sups, &msg.payload, y_vals, nrhs);
+        } else {
+            let buf = pack(plan, &step.sups, y_vals, nrhs);
+            zcomm.send(step.peer as usize, TAG_B + l as u64, &buf, Category::ZComm);
         }
     }
 }
 
 /// The straightforward alternative (paper §3.2): one dense `MPI_Allreduce`
-/// over the replicating grids for every ancestor layout node. Used by the
-/// ablation bench to show why the sparse scheme wins.
+/// over the replicating grids for every ancestor layout node (pack lists
+/// precompiled root-first in `naive`). Used by the ablation bench to show
+/// why the sparse scheme wins.
 pub fn naive_allreduce(
     plan: &Plan,
     zcomm: &Comm,
-    x: usize,
-    y: usize,
+    naive: &[NaiveNode],
     z: usize,
     nrhs: usize,
     y_vals: &mut HashMap<u32, Vec<f64>>,
 ) {
-    let d = plan.depth;
-    let path = plan.grids[z].path.clone();
-    // For each ancestor node (level < d), allreduce over its replicating
-    // grids. All grids of a subtree call in the same order (root first).
-    for (lev, &t) in path.iter().enumerate().take(d) {
-        let sups: Vec<u32> = plan
-            .node_supers(t)
-            .into_iter()
-            .filter(|&k| k as usize % plan.px == x && k as usize % plan.py == y)
-            .collect();
-        let mut buf = pack(plan, &sups, y_vals, nrhs);
-        // Subcommunicator of the grids replicating t.
-        let sub = zcomm.split(t, z);
-        debug_assert_eq!(sub.size(), plan.n_grids_of(t), "level {lev}");
+    // All grids of a subtree call in the same order (root first).
+    for nn in naive {
+        let mut buf = pack(plan, &nn.sups, y_vals, nrhs);
+        // Subcommunicator of the grids replicating the node.
+        let sub = zcomm.split(nn.node as usize, z);
+        debug_assert_eq!(sub.size(), plan.n_grids_of(nn.node as usize));
         sub.allreduce_sum(&mut buf, Category::ZComm);
-        unpack_set(plan, &sups, &buf, y_vals, nrhs);
+        unpack_set(plan, &nn.sups, &buf, y_vals, nrhs);
     }
 }
 
@@ -163,6 +149,7 @@ pub fn naive_allreduce(
 mod tests {
     use super::*;
     use crate::plan::Plan;
+    use crate::schedule::ScheduleKey;
     use lufactor::factorize;
     use ordering::SymbolicOptions;
     use simgrid::{Category, ClusterOptions, MachineModel};
@@ -176,6 +163,10 @@ mod tests {
         let a = gen::poisson2d_9pt(12, 12);
         let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
         let plan = Arc::new(Plan::new(Arc::clone(&f), 2, 2, pz));
+        let sched = plan.schedule(ScheduleKey {
+            baseline: false,
+            tree_comm: true,
+        });
         let nrhs = 2;
         let plan2 = Arc::clone(&plan);
         let rep = simgrid::run(
@@ -185,6 +176,7 @@ mod tests {
             move |world| {
                 let plan = &plan2;
                 let (x, y, z) = plan.coords(world.rank());
+                let rs = &sched.ranks[plan.rank_of(x, y, z)];
                 let _grid = world.split(z, x + plan.px * y);
                 let zcomm = world.split(x + plan.px * y, z);
                 // Synthetic partials: supernode k contributes (k + z·1000)
@@ -199,9 +191,9 @@ mod tests {
                     }
                 }
                 if naive {
-                    naive_allreduce(plan, &zcomm, x, y, z, nrhs, &mut y_vals);
+                    naive_allreduce(plan, &zcomm, &rs.naive, z, nrhs, &mut y_vals);
                 } else {
-                    sparse_allreduce(plan, &zcomm, x, y, z, nrhs, &mut y_vals);
+                    sparse_allreduce(plan, &zcomm, &rs.zsteps, nrhs, &mut y_vals);
                 }
                 (z, y_vals)
             },
@@ -215,8 +207,7 @@ mod tests {
                     .filter(|&g| plan.grids[g].path.contains(&node))
                     .collect();
                 assert!(zs.contains(&z));
-                let want: f64 =
-                    zs.iter().map(|&g| k as f64 + g as f64 * 1000.0).sum();
+                let want: f64 = zs.iter().map(|&g| k as f64 + g as f64 * 1000.0).sum();
                 let w = sym.sup_width(k as usize) * nrhs;
                 assert_eq!(v.len(), w);
                 for &x in v {
@@ -252,6 +243,10 @@ mod tests {
         let nrhs = 1;
         let vol = |naive: bool| {
             let plan2 = Arc::clone(&plan);
+            let sched = plan.schedule(ScheduleKey {
+                baseline: false,
+                tree_comm: true,
+            });
             let rep = simgrid::run(
                 pz,
                 MachineModel::cori_haswell(),
@@ -259,6 +254,7 @@ mod tests {
                 move |world| {
                     let plan = &plan2;
                     let z = world.rank();
+                    let rs = &sched.ranks[plan.rank_of(0, 0, z)];
                     let _grid = world.split(z, 0);
                     let zcomm = world.split(0, z);
                     let sym = plan.fact.lu.sym();
@@ -268,9 +264,9 @@ mod tests {
                         y_vals.insert(k, vec![1.0; w]);
                     }
                     if naive {
-                        naive_allreduce(plan, &zcomm, 0, 0, z, nrhs, &mut y_vals);
+                        naive_allreduce(plan, &zcomm, &rs.naive, z, nrhs, &mut y_vals);
                     } else {
-                        sparse_allreduce(plan, &zcomm, 0, 0, z, nrhs, &mut y_vals);
+                        sparse_allreduce(plan, &zcomm, &rs.zsteps, nrhs, &mut y_vals);
                     }
                 },
             );

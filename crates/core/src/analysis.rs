@@ -9,7 +9,7 @@
 //! measurements (see the tests and the ablation benches).
 
 use crate::plan::Plan;
-use crate::solve2d::{member_list, TREE_THRESHOLD};
+use crate::schedule::ScheduleKey;
 
 /// Exact per-category communication volumes of one solve of the proposed
 /// 3D algorithm (L + U triangles), in payload bytes (headers excluded).
@@ -25,71 +25,44 @@ pub struct CommVolume {
     pub z_msgs: u64,
 }
 
-/// Predict the communication of the proposed 3D SpTRSV exactly from the
-/// symbolic structure. Broadcast and reduction volumes are independent of
-/// tree shape (every member receives/sends each vector exactly once), so
-/// the prediction matches both the tree and flat variants.
+/// Predict the communication of the proposed 3D SpTRSV exactly, by
+/// walking the same compiled schedule the executors interpret: every
+/// broadcast child link and reduction parent link is one intra-grid
+/// message, every non-idle sparse-allreduce role is one inter-grid
+/// message per phase. Volumes are independent of tree shape (trees only
+/// re-route whole payloads — every non-root member still receives each
+/// vector exactly once), so the prediction matches both the tree and
+/// flat variants.
 pub fn predict_new3d_volume(plan: &Plan, nrhs: usize) -> CommVolume {
     let sym = plan.fact.lu.sym();
-    let (px, py) = (plan.px, plan.py);
+    let sched = plan.schedule(ScheduleKey {
+        baseline: false,
+        tree_comm: true,
+    });
     let mut v = CommVolume::default();
+    let payload = |k: u32| (8 * sym.sup_width(k as usize) * nrhs) as u64;
 
-    for grid in &plan.grids {
-        for &k in &grid.supers {
-            let ku = k as usize;
-            let w = sym.sup_width(ku);
-            let bytes = (8 * w * nrhs) as u64;
-            // Every non-root member receives a broadcast once and sends a
-            // reduction contribution once (tree hops forward the same
-            // payload, so tree and star volumes coincide). The four member
-            // sets per supernode:
-            //   L bcast  y(K): process rows of blocks_below(K);
-            //   L reduce lsum(K): process cols of blocks_left(K);
-            //   U bcast  x(K): process rows of blocks_left(K);
-            //   U reduce usum(K): process cols of blocks_below(K).
-            let members = |blocks: &[u32], root: usize, modulus: usize| {
-                member_list(
-                    root,
-                    blocks
-                        .iter()
-                        .filter(|&&b| grid.member.contains(b as usize))
-                        .map(|&b| b as usize % modulus),
-                )
-                .len() as u64
-                    - 1
-            };
-            let l_b = members(sym.blocks_below(ku), ku % px, px);
-            let l_r = members(sym.blocks_left(ku), ku % py, py);
-            let u_b = members(sym.blocks_left(ku), ku % px, px);
-            let u_r = members(sym.blocks_below(ku), ku % py, py);
-            let total = l_b + l_r + u_b + u_r;
-            v.xy_msgs += total;
-            v.xy_bytes += total * bytes;
-        }
-    }
-
-    // Sparse allreduce: at step l, the pair exchanges the diagonal pieces
-    // of all shared ancestors once in the reduce and once in the broadcast
-    // phase; summed over all (x, y) positions this is just the ancestor
-    // supernode sizes.
-    for l in 0..plan.depth {
-        let pairs = (plan.pz / (1 << (l + 1))) as u64;
-        let mut shared_bytes = 0u64;
-        // Shared set of a pair at step l: path nodes at levels 0..depth-l-1
-        // of any grid in the pair (identical for all pairs by symmetry of
-        // the heap layout? No — separator sizes differ; sum per pair).
-        for pair in 0..pairs {
-            let z = (pair as usize) * (1 << (l + 1));
-            let path = &plan.grids[z].path;
-            for &t in path.iter().take(plan.depth - l) {
-                for k in plan.node_supers(t) {
-                    shared_bytes += (8 * sym.sup_width(k as usize) * nrhs) as u64;
+    for rs in &sched.ranks {
+        for step in rs.l_steps.iter().chain(&rs.u_steps) {
+            let Some(pass) = &step.pass else { continue };
+            for c in &pass.cols {
+                v.xy_msgs += c.children.len() as u64;
+                v.xy_bytes += c.children.len() as u64 * payload(c.sup);
+            }
+            for r in &pass.rows {
+                if r.parent.is_some() {
+                    v.xy_msgs += 1;
+                    v.xy_bytes += payload(r.sup);
                 }
             }
         }
-        v.z_bytes += 2 * shared_bytes; // reduce + broadcast phases
-        // One message per (x, y) position per direction per pair.
-        v.z_msgs += 2 * pairs * (px * py) as u64;
+        // Sparse allreduce: each participating rank sends exactly one
+        // packed message per step — in the reduce phase if its partial
+        // flows toward the smaller grid, else in the mirrored broadcast.
+        for zs in rs.zsteps.iter().flatten() {
+            v.z_msgs += 1;
+            v.z_bytes += zs.sups.iter().map(|&k| payload(k)).sum::<u64>();
+        }
     }
     v
 }
@@ -178,10 +151,6 @@ impl Plan {
     }
 }
 
-// Re-exported so the volume prediction can talk about tree thresholds in
-// its docs without a direct dependency.
-const _: usize = TREE_THRESHOLD;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,7 +161,12 @@ mod tests {
     use sparse::gen;
     use std::sync::Arc;
 
-    fn plan_for(a: &sparse::CsrMatrix, px: usize, py: usize, pz: usize) -> (Arc<lufactor::Factorized>, Plan) {
+    fn plan_for(
+        a: &sparse::CsrMatrix,
+        px: usize,
+        py: usize,
+        pz: usize,
+    ) -> (Arc<lufactor::Factorized>, Plan) {
         let f = Arc::new(factorize(a, pz, &SymbolicOptions::default()).unwrap());
         let p = Plan::new(Arc::clone(&f), px, py, pz);
         (f, p)
@@ -218,14 +192,38 @@ mod tests {
             chaos_seed: 0,
         };
         let out = solve_distributed(&f, &b, &cfg);
-        let xy_msgs: u64 = out.stats.iter().map(|s| s.msgs_sent[Category::XyComm as usize]).sum();
-        let xy_bytes: u64 = out.stats.iter().map(|s| s.bytes_sent[Category::XyComm as usize]).sum();
-        let z_msgs: u64 = out.stats.iter().map(|s| s.msgs_sent[Category::ZComm as usize]).sum();
-        let z_bytes: u64 = out.stats.iter().map(|s| s.bytes_sent[Category::ZComm as usize]).sum();
+        let xy_msgs: u64 = out
+            .stats
+            .iter()
+            .map(|s| s.msgs_sent[Category::XyComm as usize])
+            .sum();
+        let xy_bytes: u64 = out
+            .stats
+            .iter()
+            .map(|s| s.bytes_sent[Category::XyComm as usize])
+            .sum();
+        let z_msgs: u64 = out
+            .stats
+            .iter()
+            .map(|s| s.msgs_sent[Category::ZComm as usize])
+            .sum();
+        let z_bytes: u64 = out
+            .stats
+            .iter()
+            .map(|s| s.bytes_sent[Category::ZComm as usize])
+            .sum();
         assert_eq!(pred.xy_msgs, xy_msgs, "intra-grid message count");
-        assert_eq!(pred.xy_bytes, xy_bytes - 64 * xy_msgs, "intra-grid payload bytes");
+        assert_eq!(
+            pred.xy_bytes,
+            xy_bytes - 64 * xy_msgs,
+            "intra-grid payload bytes"
+        );
         assert_eq!(pred.z_msgs, z_msgs, "inter-grid message count");
-        assert_eq!(pred.z_bytes, z_bytes - 64 * z_msgs, "inter-grid payload bytes");
+        assert_eq!(
+            pred.z_bytes,
+            z_bytes - 64 * z_msgs,
+            "inter-grid payload bytes"
+        );
     }
 
     /// Tree and flat variants move the same volume (only hop counts differ
@@ -248,7 +246,10 @@ mod tests {
         let t = solve_distributed(&f, &b, &mk(Algorithm::New3d));
         let fl = solve_distributed(&f, &b, &mk(Algorithm::New3dFlat));
         let bytes = |o: &crate::driver::SolveOutcome| {
-            o.stats.iter().map(|s| s.bytes_sent[Category::XyComm as usize]).sum::<u64>()
+            o.stats
+                .iter()
+                .map(|s| s.bytes_sent[Category::XyComm as usize])
+                .sum::<u64>()
         };
         // With member sets at or below the tree threshold the schedules
         // coincide exactly; in general trees only re-route, so totals match.

@@ -10,32 +10,29 @@
 //! imbalance of the paper's Fig. 8 — and `O(log Pz)` inter-grid
 //! synchronizations are paid per triangle. The U phase mirrors this
 //! top-down with pairwise broadcasts of the solved ancestor pieces.
+//!
+//! The per-level activation tests, pass specs, pack lists, and partners
+//! all come precompiled in the plan's schedule (`l_steps`/`u_steps` with
+//! their [`ZExchange`]s); the rank program just walks the step list.
 
-use crate::new3d::RankOutput;
 use crate::driver::PhaseTimes;
-use crate::plan::{Plan, SupSet};
-use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, LPassSpec, SolveState, UPassSpec};
+use crate::new3d::RankOutput;
+use crate::plan::Plan;
+use crate::schedule::{ScheduleKey, ZExchange};
+use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, SolveState};
 use simgrid::{Category, Comm};
 use std::collections::HashMap;
 
-const TAG_ZRED: u64 = 9 << 40;
-const TAG_ZBC: u64 = 10 << 40;
-
 /// Pack per-rank partial `lsum` rows `I` (ancestor supernodes with
 /// `I mod Px == x`) into one buffer. Zeros for rows this rank never touched.
-fn pack_lsums(
-    plan: &Plan,
-    sups: &[u32],
-    lsum: &HashMap<u32, Vec<f64>>,
-    nrhs: usize,
-) -> Vec<f64> {
+fn pack_lsums(plan: &Plan, sups: &[u32], lsum: &HashMap<u32, Vec<f64>>, nrhs: usize) -> Vec<f64> {
     let sym = plan.fact.lu.sym();
     let mut buf = Vec::new();
     for &i in sups {
         let w = sym.sup_width(i as usize) * nrhs;
         match lsum.get(&i) {
             Some(v) => buf.extend_from_slice(v),
-            None => buf.extend(std::iter::repeat(0.0).take(w)),
+            None => buf.extend(std::iter::repeat_n(0.0, w)),
         }
     }
     buf
@@ -61,7 +58,52 @@ fn unpack_add_lsums(
     debug_assert_eq!(off, buf.len());
 }
 
+/// Pairwise reduce of the ancestor partial sums toward the smaller grid
+/// of each pair (precompiled direction and pack list).
+fn exchange_lsums(plan: &Plan, zcomm: &Comm, xch: &ZExchange, nrhs: usize, state: &mut SolveState) {
+    if xch.send {
+        let buf = pack_lsums(plan, &xch.sups, &state.lsum, nrhs);
+        zcomm.send(xch.peer as usize, xch.tag, &buf, Category::ZComm);
+    } else {
+        let msg = zcomm.recv(Some(xch.peer as usize), Some(xch.tag), Category::ZComm);
+        unpack_add_lsums(plan, &xch.sups, &msg.payload, &mut state.lsum, nrhs);
+    }
+}
+
+/// Pairwise broadcast of all solved pieces to the newly activated grids.
+fn exchange_solved(
+    plan: &Plan,
+    zcomm: &Comm,
+    xch: &ZExchange,
+    nrhs: usize,
+    state: &mut SolveState,
+) {
+    let sym = plan.fact.lu.sym();
+    if xch.send {
+        let mut buf = Vec::new();
+        for &k in &xch.sups {
+            buf.extend_from_slice(
+                state
+                    .x_vals
+                    .get(&k)
+                    .expect("active grid solved its ancestors"),
+            );
+        }
+        zcomm.send(xch.peer as usize, xch.tag, &buf, Category::ZComm);
+    } else {
+        let msg = zcomm.recv(Some(xch.peer as usize), Some(xch.tag), Category::ZComm);
+        let mut off = 0;
+        for &k in &xch.sups {
+            let w = sym.sup_width(k as usize) * nrhs;
+            state.x_vals.insert(k, msg.payload[off..off + w].to_vec());
+            off += w;
+        }
+        debug_assert_eq!(off, msg.payload.len());
+    }
+}
+
 /// Run the baseline 3D SpTRSV as the rank program of `(x, y, z)`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_rank(
     plan: &Plan,
     grid_comm: &Comm,
@@ -73,9 +115,11 @@ pub fn run_rank(
     nrhs: usize,
 ) -> RankOutput {
     let grid = &plan.grids[z];
-    let d = plan.depth;
-    let sym = plan.fact.lu.sym();
-    let nsup = sym.n_supernodes();
+    let sched = plan.schedule(ScheduleKey {
+        baseline: true,
+        tree_comm: false,
+    });
+    let rs = &sched.ranks[plan.rank_of(x, y, z)];
     let ctx = Ctx {
         plan,
         grid,
@@ -98,114 +142,23 @@ pub fn run_rank(
     let (t0, b0, z0) = snapshot(grid_comm);
 
     // ---------------- L phase: leaves to root ----------------
-    for lev in (0..=d).rev() {
-        let active = z % (1 << (d - lev)) == 0;
-        if active {
-            let cols = plan.node_supers(grid.path[lev]);
-            if !cols.is_empty() {
-                l_solve_pass(
-                    &ctx,
-                    &LPassSpec {
-                        cols: &cols,
-                        contrib_all: true,
-                        tree_comm: false,
-                        epoch: (d - lev) as u64,
-                    },
-                    &mut state,
-                );
-            }
+    for step in &rs.l_steps {
+        if let Some(pass) = &step.pass {
+            l_solve_pass(&ctx, pass, &mut state);
         }
-        if lev > 0 {
-            // Pairwise reduce of the ancestor partial sums toward the
-            // smaller grid of each pair.
-            let step = d - lev;
-            let ancestors: Vec<u32> = grid
-                .path
-                .iter()
-                .take(lev)
-                .flat_map(|&t| plan.node_supers(t))
-                .filter(|&i| i as usize % plan.px == x)
-                .collect();
-            if z % (1 << (step + 1)) == (1 << step) {
-                let buf = pack_lsums(plan, &ancestors, &state.lsum, nrhs);
-                zcomm.send(z - (1 << step), TAG_ZRED + lev as u64, &buf, Category::ZComm);
-            } else if z % (1 << (step + 1)) == 0 {
-                let msg = zcomm.recv(
-                    Some(z + (1 << step)),
-                    Some(TAG_ZRED + lev as u64),
-                    Category::ZComm,
-                );
-                unpack_add_lsums(plan, &ancestors, &msg.payload, &mut state.lsum, nrhs);
-            }
+        if let Some(xch) = &step.exchange {
+            exchange_lsums(plan, zcomm, xch, nrhs, &mut state);
         }
     }
     let (t1, b1, _) = snapshot(grid_comm);
 
     // ---------------- U phase: root to leaves ----------------
-    for lev in 0..=d {
-        let active = z % (1 << (d - lev)) == 0;
-        if active {
-            let rows = plan.node_supers(grid.path[lev]);
-            let ext: Vec<u32> = grid
-                .path
-                .iter()
-                .take(lev)
-                .flat_map(|&t| plan.node_supers(t))
-                .collect();
-            if !rows.is_empty() {
-                let mut row_set = SupSet::new(nsup);
-                for &k in &rows {
-                    row_set.insert(k as usize);
-                }
-                u_solve_pass(
-                    &ctx,
-                    &UPassSpec {
-                        rows: &rows,
-                        row_set: &row_set,
-                        ext_cols: &ext,
-                        tree_comm: false,
-                        epoch: (d + 1 + lev) as u64,
-                    },
-                    &mut state,
-                );
-            }
+    for step in &rs.u_steps {
+        if let Some(pass) = &step.pass {
+            u_solve_pass(&ctx, pass, &mut state);
         }
-        if lev < d {
-            // Pairwise broadcast of all solved pieces (levels 0..=lev) to
-            // the newly activated grids.
-            let step = d - lev - 1;
-            let solved: Vec<u32> = grid
-                .path
-                .iter()
-                .take(lev + 1)
-                .flat_map(|&t| plan.node_supers(t))
-                .filter(|&k| k as usize % plan.px == x && k as usize % plan.py == y)
-                .collect();
-            if z % (1 << (step + 1)) == 0 {
-                let mut buf = Vec::new();
-                for &k in &solved {
-                    buf.extend_from_slice(
-                        state
-                            .x_vals
-                            .get(&k)
-                            .expect("active grid solved its ancestors"),
-                    );
-                }
-                zcomm.send(z + (1 << step), TAG_ZBC + lev as u64, &buf, Category::ZComm);
-            } else if z % (1 << (step + 1)) == (1 << step) {
-                let msg = zcomm.recv(
-                    Some(z - (1 << step)),
-                    Some(TAG_ZBC + lev as u64),
-                    Category::ZComm,
-                );
-                let mut off = 0;
-                for &k in &solved {
-                    let w = sym.sup_width(k as usize) * nrhs;
-                    state.x_vals.insert(k, msg.payload[off..off + w].to_vec());
-                    off += w;
-                }
-                debug_assert_eq!(off, msg.payload.len());
-            }
+        if let Some(xch) = &step.exchange {
+            exchange_solved(plan, zcomm, xch, nrhs, &mut state);
         }
     }
     let (t2, b2, z2) = snapshot(grid_comm);
@@ -213,7 +166,7 @@ pub fn run_rank(
     let x_pieces = state
         .x_vals
         .iter()
-        .filter(|(&k, _)| k as usize % plan.px == x && k as usize % plan.py == y)
+        .filter(|(&k, _)| plan.owner_xy(k as usize) == (x, y))
         .map(|(&k, v)| (k, v.clone()))
         .collect();
 

@@ -10,11 +10,18 @@
 //!   HBM-bandwidth-bound panel time, and pays a per-block overhead. The
 //!   numerics are executed for real.
 //! * **Multi-GPU solve** (Alg. 5): the same message-driven structure as the
-//!   CPU Alg. 3 (binary broadcast/reduction trees, `fmod` counters, WAIT
-//!   kernel), but communication uses GPU-initiated one-sided puts with
-//!   NVLink intra-node vs Slingshot inter-node cost (the §4.2.2 bandwidth
-//!   cliff), and computation runs on the bounded-lane executor at arbitrary
-//!   virtual event times rather than on the rank's serial clock.
+//!   CPU Alg. 3 — literally the same [`run_pass`] traversal over the same
+//!   compiled [`PassSched`], with GPU cost hooks — but communication uses
+//!   GPU-initiated one-sided puts with NVLink intra-node vs Slingshot
+//!   inter-node cost (the §4.2.2 bandwidth cliff), and computation runs on
+//!   the bounded-lane executor at arbitrary virtual event times rather
+//!   than on the rank's serial clock.
+//!
+//! Both paths interpret the plan's precompiled schedule: the single-GPU
+//! solve walks the L pass's column schedules (whose block lists double as
+//! the U dependencies, since `block_range(K, J)` is symmetric in use),
+//! and the multi-GPU engine inherits tree links, `fmod0`, and expected
+//! counts straight from the IR.
 //!
 //! The 3D driver pairs either kernel with the MPI-based sparse allreduce,
 //! exactly as the paper does (Alg. 1 lines 13–19).
@@ -24,7 +31,7 @@ use crate::driver::PhaseTimes;
 use crate::kernels;
 use crate::new3d::RankOutput;
 use crate::plan::Plan;
-use crate::solve2d::{member_list, tree_links};
+use crate::schedule::{run_pass, ColSched, PassEngine, PassSched, RowSched, ScheduleKey};
 use simgrid::{Category, Comm, GpuExecutor, GpuModel};
 use std::collections::HashMap;
 
@@ -64,38 +71,65 @@ pub fn run_rank(
         .clone()
         .expect("GPU solve requires a machine model with GPU parameters");
     let single = plan.px * plan.py == 1;
+    let sched = plan.schedule(ScheduleKey {
+        baseline: false,
+        tree_comm: true,
+    });
+    let rs = &sched.ranks[plan.rank_of(x, y, z)];
+    let l_pass = rs.l_steps[0].pass.as_ref().expect("compiled L pass");
+    let u_pass = rs.u_steps[0].pass.as_ref().expect("compiled U pass");
 
     let t0 = grid_comm.now();
     let mut y_vals: HashMap<u32, Vec<f64>> = HashMap::new();
     let mut x_vals: HashMap<u32, Vec<f64>> = HashMap::new();
 
     if single {
-        single_gpu_l(plan, grid_comm, &gpu, z, pb, nrhs, &mut y_vals);
+        single_gpu_l(plan, grid_comm, &gpu, l_pass, z, pb, nrhs, &mut y_vals);
     } else {
-        multi_gpu_l(plan, grid_comm, &gpu, x, y, z, pb, nrhs, &mut y_vals);
+        multi_gpu_pass(
+            plan,
+            grid_comm,
+            &gpu,
+            l_pass,
+            z,
+            pb,
+            nrhs,
+            None,
+            &mut y_vals,
+        );
     }
     let t1 = grid_comm.now();
 
     // Inter-grid sparse allreduce runs over MPI on the host (paper: the
     // SparseAllReduce of Alg. 1 line 20 is implemented with MPI).
     if use_naive_allreduce {
-        allreduce::naive_allreduce(plan, zcomm, x, y, z, nrhs, &mut y_vals);
+        allreduce::naive_allreduce(plan, zcomm, &rs.naive, z, nrhs, &mut y_vals);
     } else {
-        allreduce::sparse_allreduce(plan, zcomm, x, y, z, nrhs, &mut y_vals);
+        allreduce::sparse_allreduce(plan, zcomm, &rs.zsteps, nrhs, &mut y_vals);
     }
     let t2 = grid_comm.now();
 
     if single {
-        single_gpu_u(plan, grid_comm, &gpu, z, nrhs, &y_vals, &mut x_vals);
+        single_gpu_u(plan, grid_comm, &gpu, l_pass, nrhs, &y_vals, &mut x_vals);
     } else {
-        multi_gpu_u(plan, grid_comm, &gpu, x, y, z, nrhs, &y_vals, &mut x_vals);
+        multi_gpu_pass(
+            plan,
+            grid_comm,
+            &gpu,
+            u_pass,
+            z,
+            pb,
+            nrhs,
+            Some(&y_vals),
+            &mut x_vals,
+        );
     }
     let t3 = grid_comm.now();
 
     let snap = grid_comm.time_snapshot();
     let x_pieces = x_vals
         .into_iter()
-        .filter(|(k, _)| *k as usize % plan.px == x && *k as usize % plan.py == y)
+        .filter(|(k, _)| plan.owner_xy(*k as usize) == (x, y))
         .collect();
 
     RankOutput {
@@ -112,24 +146,27 @@ pub fn run_rank(
     }
 }
 
-/// Single-GPU 2D L-solve (Alg. 4): the whole `L^z` on one device.
+/// Single-GPU 2D L-solve (Alg. 4): the whole `L^z` on one device,
+/// interpreting the compiled column schedules in ascending order.
+#[allow(clippy::too_many_arguments)]
 fn single_gpu_l(
     plan: &Plan,
     comm: &Comm,
     gpu: &GpuModel,
+    pass: &PassSched,
     z: usize,
     pb: &[f64],
     nrhs: usize,
     y_vals: &mut HashMap<u32, Vec<f64>>,
 ) {
-    let grid = &plan.grids[z];
     let sym = plan.fact.lu.sym();
     let t0 = comm.now() + gpu.kernel_launch;
     let mut ex = GpuExecutor::new(gpu, t0);
     let mut lsum: HashMap<u32, Vec<f64>> = HashMap::new();
     let mut row_ready: HashMap<u32, f64> = HashMap::new();
 
-    for &k in &grid.supers {
+    for col in &pass.cols {
+        let k = col.sup;
         let ku = k as usize;
         let w = sym.sup_width(ku);
         // Ready when every in-grid dependency task has finished.
@@ -137,20 +174,26 @@ fn single_gpu_l(
         // Numerics: diagonal solve + off-diagonal GEMVs of column K.
         let active = plan.rhs_active(z, ku);
         let b_k = kernels::masked_rhs(&plan.fact, ku, pb, nrhs, active);
-        let (y_k, _) = kernels::diag_solve_l(&plan.fact, ku, &b_k, lsum.get(&k).map(|v| &v[..]), nrhs);
+        let (y_k, _) =
+            kernels::diag_solve_l(&plan.fact, ku, &b_k, lsum.get(&k).map(|v| &v[..]), nrhs);
         let mut dur = gpu.panel_op_time(w, w, nrhs);
-        let mut total_rows = 0usize;
-        for &i in sym.blocks_below(ku) {
-            debug_assert!(grid.member.contains(i as usize));
-            let (lo, hi) = kernels::block_range(&plan.fact, ku, i as usize);
+        for &(i, lo, hi) in &col.blocks {
             let wi = sym.sup_width(i as usize);
             let acc = lsum.entry(i).or_insert_with(|| vec![0.0; wi * nrhs]);
-            kernels::apply_l_block(&plan.fact, ku, i as usize, lo, hi, &y_k, acc, nrhs);
-            total_rows += hi - lo;
+            kernels::apply_l_block(
+                &plan.fact,
+                ku,
+                i as usize,
+                lo as usize,
+                hi as usize,
+                &y_k,
+                acc,
+                nrhs,
+            );
         }
-        dur += gpu.panel_op_time(total_rows, w, nrhs);
+        dur += gpu.panel_op_time(col.total_rows as usize, w, nrhs);
         let finish = ex.schedule(ready, dur);
-        for &i in sym.blocks_below(ku) {
+        for &(i, _, _) in &col.blocks {
             let e = row_ready.entry(i).or_insert(t0);
             if finish > *e {
                 *e = finish;
@@ -163,41 +206,43 @@ fn single_gpu_l(
     comm.advance_to(end);
 }
 
-/// Single-GPU 2D U-solve (Alg. 4 mirror), pull-model tasks.
+/// Single-GPU 2D U-solve (Alg. 4 mirror), pull-model tasks. Reuses the L
+/// pass's column schedules: the blocks of column `K` are exactly the
+/// dependency columns `J` of the U task for `K` (`block_range(K, J)` is
+/// the same symbolic range both triangles address).
 fn single_gpu_u(
     plan: &Plan,
     comm: &Comm,
     gpu: &GpuModel,
-    z: usize,
+    pass: &PassSched,
     nrhs: usize,
     y_vals: &HashMap<u32, Vec<f64>>,
     x_vals: &mut HashMap<u32, Vec<f64>>,
 ) {
-    let grid = &plan.grids[z];
     let sym = plan.fact.lu.sym();
     let t0 = comm.now() + gpu.kernel_launch;
     let mut ex = GpuExecutor::new(gpu, t0);
     let mut finish: HashMap<u32, f64> = HashMap::new();
 
-    for &k in grid.supers.iter().rev() {
+    for col in pass.cols.iter().rev() {
+        let k = col.sup;
         let ku = k as usize;
         let w = sym.sup_width(ku);
         let mut ready = t0;
         let mut dur = gpu.panel_op_time(w, w, nrhs);
         let mut usum = vec![0.0; w * nrhs];
-        for &j in sym.blocks_below(ku) {
-            let (qlo, qhi) = kernels::block_range(&plan.fact, ku, j as usize);
+        for &(j, qlo, qhi) in &col.blocks {
             kernels::apply_u_block(
                 &plan.fact,
                 ku,
                 j as usize,
-                qlo,
-                qhi,
+                qlo as usize,
+                qhi as usize,
                 &x_vals[&j],
                 &mut usum,
                 nrhs,
             );
-            dur += gpu.panel_op_time(w, qhi - qlo, nrhs);
+            dur += gpu.panel_op_time(w, (qhi - qlo) as usize, nrhs);
             ready = ready.max(finish[&j]);
         }
         let y_k = y_vals
@@ -213,513 +258,257 @@ fn single_gpu_u(
     comm.advance_to(end);
 }
 
-/// Per-owned-column info for the multi-GPU passes.
-struct GCol {
-    children: Vec<usize>,
-    blocks: Vec<(u32, u32, u32)>,
-    /// Sum of block row counts (one fused GEMV task per column).
-    total_rows: usize,
-}
-
-struct GRow {
-    fmod: u32,
-    parent: Option<usize>,
-}
-
-/// NVSHMEM-style multi-GPU 2D L-solve (Alg. 5) over the whole `L^z`.
+/// Run one compiled pass with the NVSHMEM-style multi-GPU engine
+/// (Alg. 5) and settle the rank clock to the pass's last event.
 #[allow(clippy::too_many_arguments)]
-fn multi_gpu_l(
+fn multi_gpu_pass(
     plan: &Plan,
     comm: &Comm,
     gpu: &GpuModel,
-    x: usize,
-    y: usize,
+    pass: &PassSched,
     z: usize,
     pb: &[f64],
     nrhs: usize,
-    y_vals: &mut HashMap<u32, Vec<f64>>,
+    vals_in: Option<&HashMap<u32, Vec<f64>>>,
+    vals_out: &mut HashMap<u32, Vec<f64>>,
 ) {
-    let grid = &plan.grids[z];
-    let sym = plan.fact.lu.sym();
-    let (px, py) = (plan.px, plan.py);
-    let me_world = comm.world_rank(comm.rank());
-
-    // --- Setup (trees and fmod precomputed on the CPU, paper §3.4) ---
-    let mut cols: HashMap<u32, GCol> = HashMap::new();
-    let mut rows: HashMap<u32, GRow> = HashMap::new();
-    let mut expected = 0usize;
-    for &k in &grid.supers {
-        let ku = k as usize;
-        if ku % py != y {
-            continue;
-        }
-        let members = member_list(
-            ku % px,
-            sym.blocks_below(ku)
-                .iter()
-                .filter(|&&i| grid.member.contains(i as usize))
-                .map(|&i| i as usize % px),
-        );
-        let Some(links) = tree_links(&members, x, true) else {
-            continue;
-        };
-        let mut blocks = Vec::new();
-        let mut total_rows = 0usize;
-        for &i in sym.blocks_below(ku) {
-            if i as usize % px == x && grid.member.contains(i as usize) {
-                let (lo, hi) = kernels::block_range(&plan.fact, ku, i as usize);
-                blocks.push((i, lo as u32, hi as u32));
-                total_rows += hi - lo;
-            }
-        }
-        if !links.is_root {
-            expected += 1;
-        }
-        cols.insert(
-            k,
-            GCol {
-                children: links.children.iter().map(|&r| r + px * y).collect(),
-                blocks,
-                total_rows,
-            },
-        );
-    }
-    let mut local_pending: HashMap<u32, u32> = HashMap::new();
-    for c in cols.values() {
-        for &(i, _, _) in &c.blocks {
-            *local_pending.entry(i).or_insert(0) += 1;
-        }
-    }
-    for &i in &grid.supers {
-        let iu = i as usize;
-        if iu % px != x {
-            continue;
-        }
-        let members = member_list(
-            iu % py,
-            sym.blocks_left(iu)
-                .iter()
-                .filter(|&&k| grid.member.contains(k as usize))
-                .map(|&k| k as usize % py),
-        );
-        let Some(links) = tree_links(&members, y, true) else {
-            continue;
-        };
-        expected += links.children.len();
-        rows.insert(
-            i,
-            GRow {
-                fmod: local_pending.get(&i).copied().unwrap_or(0) + links.children.len() as u32,
-                parent: links.parent.map(|c| x + px * c),
-            },
-        );
-    }
-
-    // --- Event-driven solve ---
     let t0 = comm.now() + gpu.kernel_launch;
-    let mut ex = GpuExecutor::new(gpu, t0);
-    let mut lsum: HashMap<u32, Vec<f64>> = HashMap::new();
-    let mut row_ready: HashMap<u32, f64> = HashMap::new();
-    let mut work: Vec<u32> = rows
-        .iter()
-        .filter(|(_, r)| r.fmod == 0)
-        .map(|(&i, _)| i)
-        .collect();
-    work.sort_unstable();
-    work.reverse();
-    let mut received = 0usize;
-    let mut last_event = t0;
-
-    let put = |depart: f64, dst: usize, t: u64, payload: &[f64]| {
-        let bytes = 8 * payload.len() + 64;
-        let dst_world = comm.world_rank(dst);
-        let (lat, wire) = gpu.put_cost(me_world, dst_world, bytes);
-        comm.send_timed(depart, lat + wire, dst, t, payload, Category::XyComm);
+    let mut engine = GpuEngine {
+        plan,
+        comm,
+        gpu,
+        nrhs,
+        z,
+        lower: pass.lower,
+        epoch: pass.epoch,
+        me_world: comm.world_rank(comm.rank()),
+        t0,
+        ex: GpuExecutor::new(gpu, t0),
+        sums: HashMap::new(),
+        row_ready: HashMap::new(),
+        last_event: t0,
+        avail: t0,
+        pb,
+        vals_in,
+        vals_out,
     };
-
-    loop {
-        while let Some(i) = work.pop() {
-            let iu = i as usize;
-            let info = rows.get(&i).expect("trigger row");
-            let ready = row_ready.get(&i).copied().unwrap_or(t0);
-            match info.parent {
-                None => {
-                    // Diagonal thread block: y(I), then forward + local GEMV.
-                    let w = sym.sup_width(iu);
-                    let active = plan.rhs_active(z, iu);
-                    let b_i = kernels::masked_rhs(&plan.fact, iu, pb, nrhs, active);
-                    let (y_i, _) = kernels::diag_solve_l(
-                        &plan.fact,
-                        iu,
-                        &b_i,
-                        lsum.get(&i).map(|v| &v[..]),
-                        nrhs,
-                    );
-                    let f = ex.schedule(ready, gpu.panel_op_time(w, w, nrhs));
-                    handle_y_gpu(
-                        plan, gpu, &cols, &mut rows, &mut lsum, &mut row_ready, &mut ex, &put,
-                        i, &y_i, f, nrhs, &mut work,
-                    );
-                    last_event = last_event.max(f);
-                    y_vals.insert(i, y_i);
-                }
-                Some(p) => {
-                    let w = sym.sup_width(iu);
-                    let zeros;
-                    let payload = match lsum.get(&i) {
-                        Some(v) => &v[..],
-                        None => {
-                            zeros = vec![0.0; w * nrhs];
-                            &zeros[..]
-                        }
-                    };
-                    put(ready, p, tag(0, KIND_LSUM, i), payload);
-                    last_event = last_event.max(ready);
-                }
-            }
-        }
-        if received >= expected {
-            break;
-        }
-        let msg = comm.recv_raw_tag_masked(EPOCH_MASK, 0);
-        received += 1;
-        let sup = (msg.tag & SUP_MASK) as u32;
-        last_event = last_event.max(msg.arrival);
-        match msg.tag & KIND_MASK {
-            KIND_Y => {
-                handle_y_gpu(
-                    plan, gpu, &cols, &mut rows, &mut lsum, &mut row_ready, &mut ex, &put,
-                    sup, &msg.payload, msg.arrival, nrhs, &mut work,
-                );
-                y_vals
-                    .entry(sup)
-                    .or_insert_with(|| msg.payload.to_vec());
-            }
-            KIND_LSUM => {
-                let w = sym.sup_width(sup as usize);
-                let acc = lsum.entry(sup).or_insert_with(|| vec![0.0; w * nrhs]);
-                for (a, &v) in acc.iter_mut().zip(msg.payload.iter()) {
-                    *a += v;
-                }
-                let e = row_ready.entry(sup).or_insert(t0);
-                if msg.arrival > *e {
-                    *e = msg.arrival;
-                }
-                let r = rows.get_mut(&sup).expect("lsum targets trigger row");
-                r.fmod -= 1;
-                if r.fmod == 0 {
-                    work.push(sup);
-                }
-            }
-            _ => unreachable!("unexpected kind in GPU L pass"),
-        }
-    }
-    let end = last_event.max(ex.last_finish());
-    comm.account(ex.busy_time(), Category::Flop);
-    comm.account((end - comm.now() - ex.busy_time()).max(0.0), Category::XyComm);
+    run_pass(&mut engine, pass);
+    let end = engine.last_event.max(engine.ex.last_finish());
+    comm.account(engine.ex.busy_time(), Category::Flop);
+    comm.account(
+        (end - comm.now() - engine.ex.busy_time()).max(0.0),
+        Category::XyComm,
+    );
     comm.advance_to(end);
 }
 
-/// `y(K)` available at `t_avail` on this GPU: forward along the tree
-/// (one-sided puts), then run the fused column GEMV task.
-#[allow(clippy::too_many_arguments)]
-fn handle_y_gpu(
-    plan: &Plan,
-    gpu: &GpuModel,
-    cols: &HashMap<u32, GCol>,
-    rows: &mut HashMap<u32, GRow>,
-    lsum: &mut HashMap<u32, Vec<f64>>,
-    row_ready: &mut HashMap<u32, f64>,
-    ex: &mut GpuExecutor,
-    put: &impl Fn(f64, usize, u64, &[f64]),
-    k: u32,
-    y_k: &[f64],
-    t_avail: f64,
+/// GPU cost hooks for [`run_pass`]: fused column tasks on the bounded-lane
+/// executor, one-sided puts departing at the producing task's finish time,
+/// per-row readiness tracked as virtual timestamps.
+struct GpuEngine<'a, 'b> {
+    plan: &'a Plan,
+    comm: &'a Comm,
+    gpu: &'a GpuModel,
     nrhs: usize,
-    work: &mut Vec<u32>,
-) {
-    let Some(info) = cols.get(&k) else {
-        return;
-    };
-    for &child in &info.children {
-        put(t_avail, child, tag(0, KIND_Y, k), y_k);
-    }
-    if info.blocks.is_empty() {
-        return;
-    }
-    let sym = plan.fact.lu.sym();
-    let w = sym.sup_width(k as usize);
-    let f = ex.schedule(t_avail, gpu.panel_op_time(info.total_rows, w, nrhs));
-    for &(i, lo, hi) in &info.blocks {
-        let wi = sym.sup_width(i as usize);
-        let acc = lsum.entry(i).or_insert_with(|| vec![0.0; wi * nrhs]);
-        kernels::apply_l_block(
-            &plan.fact,
-            k as usize,
-            i as usize,
-            lo as usize,
-            hi as usize,
-            y_k,
-            acc,
-            nrhs,
-        );
-        let e = row_ready.entry(i).or_insert(f);
-        if f > *e {
-            *e = f;
-        }
-        if let Some(r) = rows.get_mut(&i) {
-            r.fmod -= 1;
-            if r.fmod == 0 {
-                work.push(i);
-            }
-        }
-    }
-}
-
-/// NVSHMEM-style multi-GPU 2D U-solve (Alg. 5 mirror).
-#[allow(clippy::too_many_arguments)]
-fn multi_gpu_u(
-    plan: &Plan,
-    comm: &Comm,
-    gpu: &GpuModel,
-    x: usize,
-    y: usize,
     z: usize,
-    nrhs: usize,
-    y_vals: &HashMap<u32, Vec<f64>>,
-    x_vals: &mut HashMap<u32, Vec<f64>>,
-) {
-    let grid = &plan.grids[z];
-    let sym = plan.fact.lu.sym();
-    let (px, py) = (plan.px, plan.py);
-    let me_world = comm.world_rank(comm.rank());
-
-    // --- Setup ---
-    let mut cols: HashMap<u32, GCol> = HashMap::new();
-    let mut rows: HashMap<u32, GRow> = HashMap::new();
-    let mut expected = 0usize;
-    for &j in &grid.supers {
-        let ju = j as usize;
-        if ju % py != y {
-            continue;
-        }
-        let members = member_list(
-            ju % px,
-            sym.blocks_left(ju)
-                .iter()
-                .filter(|&&k| grid.member.contains(k as usize))
-                .map(|&k| k as usize % px),
-        );
-        let Some(links) = tree_links(&members, x, true) else {
-            continue;
-        };
-        let mut blocks = Vec::new();
-        let mut total_rows = 0usize;
-        for &k in sym.blocks_left(ju) {
-            if k as usize % px == x && grid.member.contains(k as usize) {
-                let (qlo, qhi) = kernels::block_range(&plan.fact, k as usize, ju);
-                blocks.push((k, qlo as u32, qhi as u32));
-                total_rows += qhi - qlo;
-            }
-        }
-        if !links.is_root {
-            expected += 1;
-        }
-        cols.insert(
-            j,
-            GCol {
-                children: links.children.iter().map(|&r| r + px * y).collect(),
-                blocks,
-                total_rows,
-            },
-        );
-    }
-    let mut local_pending: HashMap<u32, u32> = HashMap::new();
-    for c in cols.values() {
-        for &(k, _, _) in &c.blocks {
-            *local_pending.entry(k).or_insert(0) += 1;
-        }
-    }
-    for &k in &grid.supers {
-        let ku = k as usize;
-        if ku % px != x {
-            continue;
-        }
-        let members = member_list(
-            ku % py,
-            sym.blocks_below(ku)
-                .iter()
-                .filter(|&&j| grid.member.contains(j as usize))
-                .map(|&j| j as usize % py),
-        );
-        let Some(links) = tree_links(&members, y, true) else {
-            continue;
-        };
-        expected += links.children.len();
-        rows.insert(
-            k,
-            GRow {
-                fmod: local_pending.get(&k).copied().unwrap_or(0) + links.children.len() as u32,
-                parent: links.parent.map(|c| x + px * c),
-            },
-        );
-    }
-
-    // --- Event-driven solve ---
-    let t0 = comm.now() + gpu.kernel_launch;
-    let mut ex = GpuExecutor::new(gpu, t0);
-    let mut usum: HashMap<u32, Vec<f64>> = HashMap::new();
-    let mut row_ready: HashMap<u32, f64> = HashMap::new();
-    let mut work: Vec<u32> = rows
-        .iter()
-        .filter(|(_, r)| r.fmod == 0)
-        .map(|(&k, _)| k)
-        .collect();
-    work.sort_unstable();
-    let mut received = 0usize;
-    let mut last_event = t0;
-
-    let put = |depart: f64, dst: usize, t: u64, payload: &[f64]| {
-        let bytes = 8 * payload.len() + 64;
-        let dst_world = comm.world_rank(dst);
-        let (lat, wire) = gpu.put_cost(me_world, dst_world, bytes);
-        comm.send_timed(depart, lat + wire, dst, t, payload, Category::XyComm);
-    };
-
-    loop {
-        while let Some(k) = work.pop() {
-            let ku = k as usize;
-            let info = rows.get(&k).expect("trigger row");
-            let ready = row_ready.get(&k).copied().unwrap_or(t0);
-            match info.parent {
-                None => {
-                    let w = sym.sup_width(ku);
-                    let y_k = y_vals.get(&k).expect("y present at diagonal owner");
-                    let (x_k, _) = kernels::diag_solve_u(
-                        &plan.fact,
-                        ku,
-                        y_k,
-                        usum.get(&k).map(|v| &v[..]),
-                        nrhs,
-                    );
-                    let f = ex.schedule(ready, gpu.panel_op_time(w, w, nrhs));
-                    handle_x_gpu(
-                        plan, gpu, &cols, &mut rows, &mut usum, &mut row_ready, &mut ex, &put,
-                        k, &x_k, f, nrhs, &mut work,
-                    );
-                    last_event = last_event.max(f);
-                    x_vals.insert(k, x_k);
-                }
-                Some(p) => {
-                    let w = sym.sup_width(ku);
-                    let zeros;
-                    let payload = match usum.get(&k) {
-                        Some(v) => &v[..],
-                        None => {
-                            zeros = vec![0.0; w * nrhs];
-                            &zeros[..]
-                        }
-                    };
-                    put(ready, p, tag(1, KIND_USUM, k), payload);
-                    last_event = last_event.max(ready);
-                }
-            }
-        }
-        if received >= expected {
-            break;
-        }
-        let msg = comm.recv_raw_tag_masked(EPOCH_MASK, 1 << 48);
-        received += 1;
-        let sup = (msg.tag & SUP_MASK) as u32;
-        last_event = last_event.max(msg.arrival);
-        match msg.tag & KIND_MASK {
-            KIND_X => {
-                handle_x_gpu(
-                    plan, gpu, &cols, &mut rows, &mut usum, &mut row_ready, &mut ex, &put,
-                    sup, &msg.payload, msg.arrival, nrhs, &mut work,
-                );
-                x_vals.entry(sup).or_insert_with(|| msg.payload.to_vec());
-            }
-            KIND_USUM => {
-                let w = sym.sup_width(sup as usize);
-                let acc = usum.entry(sup).or_insert_with(|| vec![0.0; w * nrhs]);
-                for (a, &v) in acc.iter_mut().zip(msg.payload.iter()) {
-                    *a += v;
-                }
-                let e = row_ready.entry(sup).or_insert(t0);
-                if msg.arrival > *e {
-                    *e = msg.arrival;
-                }
-                let r = rows.get_mut(&sup).expect("usum targets trigger row");
-                r.fmod -= 1;
-                if r.fmod == 0 {
-                    work.push(sup);
-                }
-            }
-            _ => unreachable!("unexpected kind in GPU U pass"),
-        }
-    }
-    let end = last_event.max(ex.last_finish());
-    comm.account(ex.busy_time(), Category::Flop);
-    comm.account((end - comm.now() - ex.busy_time()).max(0.0), Category::XyComm);
-    comm.advance_to(end);
+    lower: bool,
+    epoch: u64,
+    me_world: usize,
+    t0: f64,
+    ex: GpuExecutor,
+    /// Partial sums (`lsum` in L, `usum` in U), pass-local.
+    sums: HashMap<u32, Vec<f64>>,
+    /// Earliest virtual time each row's dependencies are satisfied.
+    row_ready: HashMap<u32, f64>,
+    last_event: f64,
+    /// Availability time of the vector most recently produced/received.
+    avail: f64,
+    /// Global permuted RHS (L pass only).
+    pb: &'a [f64],
+    /// `y` values from the allreduce (U pass only).
+    vals_in: Option<&'b HashMap<u32, Vec<f64>>>,
+    /// Solved vectors: `y_vals` (L) or `x_vals` (U).
+    vals_out: &'b mut HashMap<u32, Vec<f64>>,
 }
 
-/// `x(J)` available at `t_avail`: forward along the tree, fused GEMV task.
-#[allow(clippy::too_many_arguments)]
-fn handle_x_gpu(
-    plan: &Plan,
-    gpu: &GpuModel,
-    cols: &HashMap<u32, GCol>,
-    rows: &mut HashMap<u32, GRow>,
-    usum: &mut HashMap<u32, Vec<f64>>,
-    row_ready: &mut HashMap<u32, f64>,
-    ex: &mut GpuExecutor,
-    put: &impl Fn(f64, usize, u64, &[f64]),
-    j: u32,
-    x_j: &[f64],
-    t_avail: f64,
-    nrhs: usize,
-    work: &mut Vec<u32>,
-) {
-    let Some(info) = cols.get(&j) else {
-        return;
-    };
-    for &child in &info.children {
-        put(t_avail, child, tag(1, KIND_X, j), x_j);
+impl GpuEngine<'_, '_> {
+    fn put(&self, depart: f64, dst: usize, t: u64, payload: &[f64]) {
+        let bytes = 8 * payload.len() + 64;
+        let dst_world = self.comm.world_rank(dst);
+        let (lat, wire) = self.gpu.put_cost(self.me_world, dst_world, bytes);
+        self.comm
+            .send_timed(depart, lat + wire, dst, t, payload, Category::XyComm);
     }
-    if info.blocks.is_empty() {
-        return;
-    }
-    let sym = plan.fact.lu.sym();
-    // Fused task: all my U(K, J) GEMVs for this column.
-    let mut maxw = 1usize;
-    for &(k, _, _) in &info.blocks {
-        maxw = maxw.max(sym.sup_width(k as usize));
-    }
-    let f = ex.schedule(t_avail, gpu.panel_op_time(maxw, info.total_rows, nrhs));
-    for &(k, qlo, qhi) in &info.blocks {
-        let w = sym.sup_width(k as usize);
-        let acc = usum.entry(k).or_insert_with(|| vec![0.0; w * nrhs]);
-        kernels::apply_u_block(
-            &plan.fact,
-            k as usize,
-            j as usize,
-            qlo as usize,
-            qhi as usize,
-            x_j,
-            acc,
-            nrhs,
-        );
-        let e = row_ready.entry(k).or_insert(f);
-        if f > *e {
-            *e = f;
+
+    fn vec_kind(&self) -> u64 {
+        if self.lower {
+            KIND_Y
+        } else {
+            KIND_X
         }
-        let r = rows.get_mut(&k).expect("U blocks target trigger rows");
-        r.fmod -= 1;
-        if r.fmod == 0 {
-            work.push(k);
+    }
+
+    fn sum_kind(&self) -> u64 {
+        if self.lower {
+            KIND_LSUM
+        } else {
+            KIND_USUM
         }
+    }
+}
+
+impl PassEngine for GpuEngine<'_, '_> {
+    fn solve_diag(&mut self, row: &RowSched) -> Vec<f64> {
+        let iu = row.sup as usize;
+        let sym = self.plan.fact.lu.sym();
+        let w = sym.sup_width(iu);
+        let ready = self.row_ready.get(&row.sup).copied().unwrap_or(self.t0);
+        let v = if self.lower {
+            // Diagonal thread block: y(I) from the masked RHS.
+            let active = self.plan.rhs_active(self.z, iu);
+            let b_i = kernels::masked_rhs(&self.plan.fact, iu, self.pb, self.nrhs, active);
+            kernels::diag_solve_l(
+                &self.plan.fact,
+                iu,
+                &b_i,
+                self.sums.get(&row.sup).map(|v| &v[..]),
+                self.nrhs,
+            )
+            .0
+        } else {
+            let y_k = self
+                .vals_in
+                .expect("U pass has y values")
+                .get(&row.sup)
+                .expect("y present at diagonal owner");
+            kernels::diag_solve_u(
+                &self.plan.fact,
+                iu,
+                y_k,
+                self.sums.get(&row.sup).map(|v| &v[..]),
+                self.nrhs,
+            )
+            .0
+        };
+        let f = self
+            .ex
+            .schedule(ready, self.gpu.panel_op_time(w, w, self.nrhs));
+        self.avail = f;
+        self.last_event = self.last_event.max(f);
+        v
+    }
+
+    fn store_solved(&mut self, sup: u32, v: &[f64]) {
+        self.vals_out.entry(sup).or_insert_with(|| v.to_vec());
+    }
+
+    fn solved(&self, _sup: u32) -> Vec<f64> {
+        unreachable!("GPU passes have no external root columns")
+    }
+
+    fn forward(&mut self, col: &ColSched, v: &[f64]) {
+        let t = tag(self.epoch, self.vec_kind(), col.sup);
+        for &child in &col.children {
+            self.put(self.avail, child as usize, t, v);
+        }
+    }
+
+    fn send_partial(&mut self, row: &RowSched, parent: u32) {
+        let w = self.plan.fact.lu.sym().sup_width(row.sup as usize);
+        let ready = self.row_ready.get(&row.sup).copied().unwrap_or(self.t0);
+        let zeros;
+        let payload = match self.sums.get(&row.sup) {
+            Some(v) => &v[..],
+            None => {
+                zeros = vec![0.0; w * self.nrhs];
+                &zeros[..]
+            }
+        };
+        let t = tag(self.epoch, self.sum_kind(), row.sup);
+        self.put(ready, parent as usize, t, payload);
+        self.last_event = self.last_event.max(ready);
+    }
+
+    fn apply_column(&mut self, col: &ColSched, v: &[f64]) {
+        if col.blocks.is_empty() {
+            return;
+        }
+        let sym = self.plan.fact.lu.sym();
+        // Fused task: all my blocks of this column in one kernel.
+        let dur = if self.lower {
+            let w = sym.sup_width(col.sup as usize);
+            self.gpu
+                .panel_op_time(col.total_rows as usize, w, self.nrhs)
+        } else {
+            self.gpu
+                .panel_op_time(col.maxw as usize, col.total_rows as usize, self.nrhs)
+        };
+        let f = self.ex.schedule(self.avail, dur);
+        for &(i, lo, hi) in &col.blocks {
+            let wi = sym.sup_width(i as usize);
+            let acc = self
+                .sums
+                .entry(i)
+                .or_insert_with(|| vec![0.0; wi * self.nrhs]);
+            if self.lower {
+                kernels::apply_l_block(
+                    &self.plan.fact,
+                    col.sup as usize,
+                    i as usize,
+                    lo as usize,
+                    hi as usize,
+                    v,
+                    acc,
+                    self.nrhs,
+                );
+            } else {
+                kernels::apply_u_block(
+                    &self.plan.fact,
+                    i as usize,
+                    col.sup as usize,
+                    lo as usize,
+                    hi as usize,
+                    v,
+                    acc,
+                    self.nrhs,
+                );
+            }
+            let e = self.row_ready.entry(i).or_insert(f);
+            if f > *e {
+                *e = f;
+            }
+        }
+    }
+
+    fn add_partial(&mut self, row: &RowSched, payload: &[f64]) {
+        let w = self.plan.fact.lu.sym().sup_width(row.sup as usize);
+        let acc = self
+            .sums
+            .entry(row.sup)
+            .or_insert_with(|| vec![0.0; w * self.nrhs]);
+        for (a, &v) in acc.iter_mut().zip(payload.iter()) {
+            *a += v;
+        }
+        let e = self.row_ready.entry(row.sup).or_insert(self.t0);
+        if self.avail > *e {
+            *e = self.avail;
+        }
+    }
+
+    fn recv(&mut self, _epoch: u64) -> (bool, u32, Vec<f64>) {
+        let msg = self.comm.recv_raw_tag_masked(EPOCH_MASK, self.epoch << 48);
+        let sup = (msg.tag & SUP_MASK) as u32;
+        let kind = msg.tag & KIND_MASK;
+        self.avail = msg.arrival;
+        self.last_event = self.last_event.max(msg.arrival);
+        let is_vec = if kind == self.vec_kind() {
+            true
+        } else if kind == self.sum_kind() {
+            false
+        } else {
+            unreachable!("unexpected kind in GPU pass");
+        };
+        (is_vec, sup, msg.payload.to_vec())
     }
 }
 

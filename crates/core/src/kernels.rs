@@ -20,6 +20,7 @@ pub fn block_range(fact: &Factorized, k: usize, i: usize) -> (usize, usize) {
 /// `lsum(I) += L(I, K) · y(K)` for the block at row positions `[lo, hi)` of
 /// column-supernode `k`. `y_k` is `w_k × nrhs` col-major; `lsum_i` is
 /// `w_i × nrhs` col-major. Returns the flop count.
+#[allow(clippy::too_many_arguments)]
 pub fn apply_l_block(
     fact: &Factorized,
     k: usize,
@@ -58,6 +59,7 @@ pub fn apply_l_block(
 /// `usum(K) += U(K, J) · x(J)` for the block at column positions `[qlo,
 /// qhi)` of row-supernode `k`. `x_j` is `w_j × nrhs` col-major; `usum_k` is
 /// `w_k × nrhs` col-major. Returns the flop count.
+#[allow(clippy::too_many_arguments)]
 pub fn apply_u_block(
     fact: &Factorized,
     k: usize,
@@ -216,12 +218,12 @@ mod tests {
             }
             y.push(yk);
         }
-        for k in 0..nsup {
+        for (k, yk) in y.iter().enumerate().take(nsup) {
             let cols = sym.sup_cols(k);
             let w = cols.len();
             for r in 0..nrhs {
                 for j in 0..w {
-                    let got = y[k][r * w + j];
+                    let got = yk[r * w + j];
                     let exp = want[r * n + cols.start + j];
                     assert!((got - exp).abs() < 1e-12, "y mismatch at sup {k}");
                 }
@@ -257,11 +259,11 @@ mod tests {
             x[k] = xk;
         }
         let _ = &mut y;
-        for k in 0..nsup {
+        for (k, xk) in x.iter().enumerate().take(nsup) {
             let cols = sym.sup_cols(k);
             let w = cols.len();
             for j in 0..w {
-                assert!((x[k][j] - want[cols.start + j]).abs() < 1e-12);
+                assert!((xk[j] - want[cols.start + j]).abs() < 1e-12);
             }
         }
     }
@@ -286,8 +288,8 @@ mod tests {
                 assert!(lo < hi, "block must be nonempty");
                 let rows = sym.rows_below(k);
                 let icols = sym.sup_cols(i as usize);
-                for q in lo..hi {
-                    assert!(icols.contains(&(rows[q] as usize)));
+                for &row in &rows[lo..hi] {
+                    assert!(icols.contains(&(row as usize)));
                 }
             }
         }

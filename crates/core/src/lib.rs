@@ -34,6 +34,7 @@ pub mod gpusolve;
 pub mod kernels;
 pub mod new3d;
 pub mod plan;
+pub mod schedule;
 pub mod solve2d;
 
 pub use driver::{

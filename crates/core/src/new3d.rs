@@ -5,11 +5,16 @@
 //! smallest replicating grid), one sparse allreduce of the partial ancestor
 //! solutions, one 2D U-solve. Exactly one inter-grid synchronization, in
 //! contrast to the baseline's `O(log Pz)`.
+//!
+//! The rank program is a thin interpreter over the plan's compiled
+//! schedule ([`crate::schedule`]): all tree links, counters, and pack
+//! lists were resolved at plan time, so repeated solves touch none of it.
 
-use crate::allreduce::sparse_allreduce;
+use crate::allreduce::{naive_allreduce, sparse_allreduce};
 use crate::driver::PhaseTimes;
 use crate::plan::Plan;
-use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, LPassSpec, SolveState, UPassSpec};
+use crate::schedule::{RankSchedule, ScheduleKey};
+use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, SolveState};
 use simgrid::{Category, Comm};
 
 /// Per-rank output of a distributed solve.
@@ -47,6 +52,11 @@ pub fn run_rank(
     use_naive_allreduce: bool,
 ) -> RankOutput {
     let grid = &plan.grids[z];
+    let sched = plan.schedule(ScheduleKey {
+        baseline: false,
+        tree_comm,
+    });
+    let rs: &RankSchedule = &sched.ranks[plan.rank_of(x, y, z)];
     let ctx = Ctx {
         plan,
         grid,
@@ -59,45 +69,34 @@ pub fn run_rank(
     let mut state = SolveState::default();
 
     let (t0, b0, z0) = snap(grid_comm);
-    l_solve_pass(
-        &ctx,
-        &LPassSpec {
-            cols: &grid.supers,
-            contrib_all: false,
-            tree_comm,
-            epoch: 0,
-        },
-        &mut state,
-    );
+    for step in &rs.l_steps {
+        if let Some(pass) = &step.pass {
+            l_solve_pass(&ctx, pass, &mut state);
+        }
+    }
     let (t1, b1, _) = snap(grid_comm);
 
     // Inter-grid synchronization: the only one in the algorithm.
     if use_naive_allreduce {
-        crate::allreduce::naive_allreduce(plan, zcomm, x, y, z, nrhs, &mut state.y_vals);
+        naive_allreduce(plan, zcomm, &rs.naive, z, nrhs, &mut state.y_vals);
     } else {
-        sparse_allreduce(plan, zcomm, x, y, z, nrhs, &mut state.y_vals);
+        sparse_allreduce(plan, zcomm, &rs.zsteps, nrhs, &mut state.y_vals);
     }
     // Grids re-synchronize here implicitly through the reduce/broadcast
     // pattern; advance to the communicator's view of now.
     let (t2, b2, _z2) = snap(grid_comm);
 
-    u_solve_pass(
-        &ctx,
-        &UPassSpec {
-            rows: &grid.supers,
-            row_set: &grid.member,
-            ext_cols: &[],
-            tree_comm,
-            epoch: 1,
-        },
-        &mut state,
-    );
+    for step in &rs.u_steps {
+        if let Some(pass) = &step.pass {
+            u_solve_pass(&ctx, pass, &mut state);
+        }
+    }
     let (t3, b3, z3) = snap(grid_comm);
 
     let x_pieces = state
         .x_vals
         .iter()
-        .filter(|(&k, _)| k as usize % plan.px == x && k as usize % plan.py == y)
+        .filter(|(&k, _)| plan.owner_xy(k as usize) == (x, y))
         .map(|(&k, v)| (k, v.clone()))
         .collect();
 
@@ -124,13 +123,7 @@ mod tests {
     use sparse::gen;
     use std::sync::Arc;
 
-    fn check(
-        a: &sparse::CsrMatrix,
-        px: usize,
-        py: usize,
-        pz: usize,
-        nrhs: usize,
-    ) {
+    fn check(a: &sparse::CsrMatrix, px: usize, py: usize, pz: usize, nrhs: usize) {
         let f = Arc::new(factorize(a, pz, &SymbolicOptions::default()).unwrap());
         let b = gen::standard_rhs(a.nrows(), nrhs);
         let want = f.solve(&b, nrhs);

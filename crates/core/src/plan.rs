@@ -7,9 +7,12 @@
 //! replicated across grids). Supernode block `(I, K)` lives at process
 //! `(I mod Px, K mod Py)` of each replicating grid.
 
+use crate::schedule::{Schedule, ScheduleKey};
 use lufactor::Factorized;
 use ordering::nd::LayoutNode;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Membership bitset over supernodes.
 #[derive(Clone, Debug)]
@@ -68,6 +71,10 @@ pub struct Plan {
     pub sup_node: Vec<u32>,
     /// Per-grid membership.
     pub grids: Vec<GridSet>,
+    /// Compiled communication schedules, one per algorithm family.
+    schedules: Mutex<HashMap<ScheduleKey, Arc<Schedule>>>,
+    /// Number of schedule compilations performed (cache misses).
+    compile_count: AtomicUsize,
 }
 
 impl Plan {
@@ -93,10 +100,10 @@ impl Plan {
             }
             let k0 = sym.col_sup(node.cols.start);
             let k1 = sym.col_sup(node.cols.end - 1);
-            for k in k0..=k1 {
+            for (k, owner) in sup_node.iter_mut().enumerate().take(k1 + 1).skip(k0) {
                 debug_assert!(node.cols.contains(&sym.sup_cols(k).start));
                 debug_assert!(node.cols.contains(&(sym.sup_cols(k).end - 1)));
-                sup_node[k] = node.id as u32;
+                *owner = node.id as u32;
             }
         }
         debug_assert!(sup_node.iter().all(|&t| t != u32::MAX));
@@ -144,7 +151,30 @@ impl Plan {
             layout,
             sup_node,
             grids,
+            schedules: Mutex::new(HashMap::new()),
+            compile_count: AtomicUsize::new(0),
         }
+    }
+
+    /// The compiled communication schedule for `key`, compiling and
+    /// caching it on first use. Executors call this from their rank
+    /// programs; `Solver3d` pre-warms the cache at planning time so
+    /// solves perform zero schedule setup.
+    pub fn schedule(&self, key: ScheduleKey) -> Arc<Schedule> {
+        let mut cache = self.schedules.lock().unwrap();
+        if let Some(s) = cache.get(&key) {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(Schedule::compile(self, key));
+        cache.insert(key, Arc::clone(&s));
+        self.compile_count.fetch_add(1, Ordering::Relaxed);
+        s
+    }
+
+    /// How many schedule compilations this plan has performed — the
+    /// "compile once, solve many" telltale asserted by the tests.
+    pub fn schedule_compiles(&self) -> usize {
+        self.compile_count.load(Ordering::Relaxed)
     }
 
     /// Total rank count.
@@ -313,10 +343,7 @@ mod tests {
     fn pz_one_single_grid_owns_everything() {
         let p = plan(3, 2, 1);
         assert_eq!(p.grids.len(), 1);
-        assert_eq!(
-            p.grids[0].supers.len(),
-            p.fact.lu.sym().n_supernodes()
-        );
+        assert_eq!(p.grids[0].supers.len(), p.fact.lu.sym().n_supernodes());
         for k in 0..p.fact.lu.sym().n_supernodes() {
             assert!(p.rhs_active(0, k));
         }

@@ -1,0 +1,883 @@
+//! The compiled per-rank communication-schedule IR.
+//!
+//! Every distributed solver in this crate — the proposed 3D algorithm
+//! (CPU and GPU), its flat-communication ablation, and the ICS'19
+//! baseline — used to rebuild the same per-pass data structures at the
+//! start of every solve: broadcast/reduction tree links, `fmod`
+//! dependency counters, expected-message counts, symbolic block lists,
+//! and the pack layouts of the inter-grid exchanges. This module
+//! precomputes all of it once per [`Plan`] into a serializable
+//! [`Schedule`], and the executors become thin interpreters over it
+//! (see [`run_pass`]). Repeated `Solver3d::solve` calls then perform no
+//! schedule setup at all — the paper's "setup once, solve many
+//! right-hand sides" usage.
+//!
+//! One schedule is compiled per [`ScheduleKey`] (algorithm family ×
+//! communication shape) and cached inside the plan; ranks are compiled
+//! independently and in parallel.
+
+use crate::kernels;
+use crate::plan::{GridSet, Plan, SupSet};
+use crate::solve2d::{member_list, tree_links};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Baseline inter-grid tags (`TAG + lev` stamped at compile time).
+const TAG_ZRED: u64 = 9 << 40;
+const TAG_ZBC: u64 = 10 << 40;
+
+/// Which schedule family to compile. The proposed algorithm (CPU tree,
+/// GPU, and the naive-allreduce ablation) shares `{baseline: false,
+/// tree_comm: true}`; the flat-communication ablation drops the trees;
+/// the baseline runs level-by-level passes with flat communication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScheduleKey {
+    /// Level-by-level baseline traversal vs the proposed single pass.
+    pub baseline: bool,
+    /// Binary broadcast/reduction trees vs flat stars.
+    pub tree_comm: bool,
+}
+
+/// Compiled broadcast state of one locally known supernode column.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ColSched {
+    /// Supernode index.
+    pub sup: u32,
+    /// Grid ranks to forward the column's solved vector to.
+    pub children: Vec<u32>,
+    /// Whether this rank roots the broadcast (diagonal owner).
+    pub is_root: bool,
+    /// Local blocks `(row_sup, lo, hi)` touched by this column, with the
+    /// symbolic block range resolved at compile time.
+    pub blocks: Vec<(u32, u32, u32)>,
+    /// Sum of block row counts (the GPU's fused column task size).
+    pub total_rows: u32,
+    /// Max supernode width over the block rows (GPU U task height), ≥ 1.
+    pub maxw: u32,
+}
+
+/// Compiled reduction state of one trigger row this rank participates in.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RowSched {
+    /// Supernode index.
+    pub sup: u32,
+    /// Initial dependency count: local block updates + child partials.
+    pub fmod0: u32,
+    /// Reduction parent (grid rank); `None` at the diagonal owner.
+    pub parent: Option<u32>,
+}
+
+/// One compiled 2D solve pass (the unit both CPU and GPU interpret).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PassSched {
+    /// Epoch stamped into message tags (unique per pass within a grid).
+    pub epoch: u64,
+    /// Lower (L) vs upper (U) triangle; selects work-queue order.
+    pub lower: bool,
+    /// Number of messages this rank must receive before the pass ends.
+    pub expected: u32,
+    /// Locally known columns, sorted by supernode.
+    pub cols: Vec<ColSched>,
+    /// Trigger rows this rank reduces, sorted by supernode.
+    pub rows: Vec<RowSched>,
+    /// Externally solved columns this rank roots, announced at pass
+    /// start in this order (baseline U passes only).
+    pub ext_roots: Vec<u32>,
+}
+
+impl PassSched {
+    /// Column schedule of `sup`, if this rank knows the column.
+    pub fn col(&self, sup: u32) -> Option<&ColSched> {
+        self.cols
+            .binary_search_by_key(&sup, |c| c.sup)
+            .ok()
+            .map(|i| &self.cols[i])
+    }
+
+    /// Index into `rows` of trigger row `sup`.
+    pub fn row_index(&self, sup: u32) -> Option<usize> {
+        self.rows.binary_search_by_key(&sup, |r| r.sup).ok()
+    }
+}
+
+/// One pairwise inter-grid exchange of the baseline traversal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ZExchange {
+    /// Partner grid (z index within the z-communicator).
+    pub peer: u32,
+    /// Message tag (level-stamped at compile time).
+    pub tag: u64,
+    /// Whether this rank sends (vs receives) the packed buffer.
+    pub send: bool,
+    /// Supernodes packed into the buffer, in order.
+    pub sups: Vec<u32>,
+}
+
+/// One baseline step: an optional 2D pass plus an optional z exchange.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SolveStep {
+    /// The 2D pass of this step (absent on inactive grids/empty nodes).
+    pub pass: Option<PassSched>,
+    /// The pairwise reduce/broadcast following (L) or preceding (U) the
+    /// next activation.
+    pub exchange: Option<ZExchange>,
+}
+
+/// My role at one step of the sparse allreduce (paper Alg. 2). A `Some`
+/// entry at index `l` means: exchange the packed `sups` with `peer`
+/// (send in the reduce phase iff `to_smaller`, mirrored in broadcast).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ZStep {
+    /// Partner grid (z index).
+    pub peer: u32,
+    /// Whether my partial flows toward the smaller grid in the reduce.
+    pub to_smaller: bool,
+    /// Diagonally owned shared-ancestor supernodes, ascending.
+    pub sups: Vec<u32>,
+}
+
+/// One ancestor layout node of the naive per-node dense allreduce.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NaiveNode {
+    /// Layout-node heap id.
+    pub node: u32,
+    /// Diagonally owned supernodes of the node, ascending.
+    pub sups: Vec<u32>,
+}
+
+/// The complete compiled program of one world rank.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RankSchedule {
+    /// L-phase steps, in execution order.
+    pub l_steps: Vec<SolveStep>,
+    /// U-phase steps, in execution order.
+    pub u_steps: Vec<SolveStep>,
+    /// Sparse-allreduce roles, index = step `l` (proposed algorithm).
+    pub zsteps: Vec<Option<ZStep>>,
+    /// Naive-allreduce pack lists, root-first (ablation variant).
+    pub naive: Vec<NaiveNode>,
+}
+
+/// A compiled schedule: one [`RankSchedule`] per world rank.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// The family this schedule was compiled for.
+    pub key: ScheduleKey,
+    /// Per-rank programs, indexed by world rank (`Plan::rank_of`).
+    pub ranks: Vec<RankSchedule>,
+}
+
+impl Schedule {
+    /// Compile the schedule for every rank of `plan` (rayon-parallel).
+    pub fn compile(plan: &Plan, key: ScheduleKey) -> Schedule {
+        use rayon::prelude::*;
+        let ranks: Vec<RankSchedule> = (0..plan.nranks())
+            .into_par_iter()
+            .map(|r| compile_rank(plan, key, r))
+            .collect();
+        Schedule { key, ranks }
+    }
+}
+
+fn compile_rank(plan: &Plan, key: ScheduleKey, rank: usize) -> RankSchedule {
+    let (x, y, z) = plan.coords(rank);
+    let grid = &plan.grids[z];
+    let d = plan.depth;
+
+    let (l_steps, u_steps) = if key.baseline {
+        compile_baseline_steps(plan, grid, x, y, z)
+    } else {
+        let l = PassSched::compile_l(plan, grid, x, y, &grid.supers, false, key.tree_comm, 0);
+        let u = PassSched::compile_u(
+            plan,
+            grid,
+            x,
+            y,
+            &grid.supers,
+            &grid.member,
+            &[],
+            key.tree_comm,
+            1,
+        );
+        (
+            vec![SolveStep {
+                pass: Some(l),
+                exchange: None,
+            }],
+            vec![SolveStep {
+                pass: Some(u),
+                exchange: None,
+            }],
+        )
+    };
+
+    // The inter-grid roles are key-independent (the allreduce variants
+    // are selected at run time) and cheap; compile them always.
+    let zsteps = (0..d)
+        .map(|l| {
+            let m = z % (1 << (l + 1));
+            if m == (1 << l) {
+                Some(ZStep {
+                    peer: (z - (1 << l)) as u32,
+                    to_smaller: true,
+                    sups: shared_sups(plan, grid, l, x, y),
+                })
+            } else if m == 0 {
+                Some(ZStep {
+                    peer: (z + (1 << l)) as u32,
+                    to_smaller: false,
+                    sups: shared_sups(plan, grid, l, x, y),
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    let naive = grid
+        .path
+        .iter()
+        .take(d)
+        .map(|&t| NaiveNode {
+            node: t as u32,
+            sups: plan
+                .node_supers(t)
+                .into_iter()
+                .filter(|&k| plan.owner_xy(k as usize) == (x, y))
+                .collect(),
+        })
+        .collect();
+
+    RankSchedule {
+        l_steps,
+        u_steps,
+        zsteps,
+        naive,
+    }
+}
+
+/// Supernodes grid `z` exchanges at sparse-allreduce step `l`: the path
+/// nodes shared with the step-`l` partner (levels `0 .. depth − l − 1`)
+/// restricted to diagonal owner `(x, y)`. Identical on both partners.
+fn shared_sups(plan: &Plan, grid: &GridSet, l: usize, x: usize, y: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    for &t in grid.path.iter().take(plan.depth - l) {
+        for k in plan.node_supers(t) {
+            if plan.owner_xy(k as usize) == (x, y) {
+                out.push(k);
+            }
+        }
+    }
+    out
+}
+
+/// The baseline's level-by-level step lists (ICS'19 traversal).
+fn compile_baseline_steps(
+    plan: &Plan,
+    grid: &GridSet,
+    x: usize,
+    y: usize,
+    z: usize,
+) -> (Vec<SolveStep>, Vec<SolveStep>) {
+    let d = plan.depth;
+    let nsup = plan.fact.lu.sym().n_supernodes();
+
+    // L phase: leaves to root; partials pairwise-reduced toward the
+    // smaller grid of each pair after every level.
+    let mut l_steps = Vec::with_capacity(d + 1);
+    for lev in (0..=d).rev() {
+        let active = z.is_multiple_of(1 << (d - lev));
+        let pass = if active {
+            let cols = plan.node_supers(grid.path[lev]);
+            (!cols.is_empty()).then(|| {
+                PassSched::compile_l(plan, grid, x, y, &cols, true, false, (d - lev) as u64)
+            })
+        } else {
+            None
+        };
+        let exchange = (lev > 0)
+            .then(|| {
+                let step = d - lev;
+                let sups: Vec<u32> = grid
+                    .path
+                    .iter()
+                    .take(lev)
+                    .flat_map(|&t| plan.node_supers(t))
+                    .filter(|&i| i as usize % plan.px == x)
+                    .collect();
+                let m = z % (1 << (step + 1));
+                if m == (1 << step) {
+                    Some(ZExchange {
+                        peer: (z - (1 << step)) as u32,
+                        tag: TAG_ZRED + lev as u64,
+                        send: true,
+                        sups,
+                    })
+                } else if m == 0 {
+                    Some(ZExchange {
+                        peer: (z + (1 << step)) as u32,
+                        tag: TAG_ZRED + lev as u64,
+                        send: false,
+                        sups,
+                    })
+                } else {
+                    None
+                }
+            })
+            .flatten();
+        l_steps.push(SolveStep { pass, exchange });
+    }
+
+    // U phase: root to leaves; solved pieces pairwise-broadcast to the
+    // grids activating at the next level.
+    let mut u_steps = Vec::with_capacity(d + 1);
+    for lev in 0..=d {
+        let active = z.is_multiple_of(1 << (d - lev));
+        let pass = if active {
+            let rows = plan.node_supers(grid.path[lev]);
+            let ext: Vec<u32> = grid
+                .path
+                .iter()
+                .take(lev)
+                .flat_map(|&t| plan.node_supers(t))
+                .collect();
+            (!rows.is_empty()).then(|| {
+                let mut row_set = SupSet::new(nsup);
+                for &k in &rows {
+                    row_set.insert(k as usize);
+                }
+                PassSched::compile_u(
+                    plan,
+                    grid,
+                    x,
+                    y,
+                    &rows,
+                    &row_set,
+                    &ext,
+                    false,
+                    (d + 1 + lev) as u64,
+                )
+            })
+        } else {
+            None
+        };
+        let exchange = (lev < d)
+            .then(|| {
+                let step = d - lev - 1;
+                let sups: Vec<u32> = grid
+                    .path
+                    .iter()
+                    .take(lev + 1)
+                    .flat_map(|&t| plan.node_supers(t))
+                    .filter(|&k| plan.owner_xy(k as usize) == (x, y))
+                    .collect();
+                let m = z % (1 << (step + 1));
+                if m == 0 {
+                    Some(ZExchange {
+                        peer: (z + (1 << step)) as u32,
+                        tag: TAG_ZBC + lev as u64,
+                        send: true,
+                        sups,
+                    })
+                } else if m == (1 << step) {
+                    Some(ZExchange {
+                        peer: (z - (1 << step)) as u32,
+                        tag: TAG_ZBC + lev as u64,
+                        send: false,
+                        sups,
+                    })
+                } else {
+                    None
+                }
+            })
+            .flatten();
+        u_steps.push(SolveStep { pass, exchange });
+    }
+    (l_steps, u_steps)
+}
+
+impl PassSched {
+    /// Compile one L pass: per-column broadcast links + blocks for my
+    /// owned columns, per-row reduction links + `fmod0` for my rows.
+    /// `contrib_all` widens the row-contributor closure to every
+    /// `blocks_left` entry (baseline: merged-in descendant partials also
+    /// count).
+    #[allow(clippy::too_many_arguments)]
+    fn compile_l(
+        plan: &Plan,
+        grid: &GridSet,
+        x: usize,
+        y: usize,
+        cols_in: &[u32],
+        contrib_all: bool,
+        tree_comm: bool,
+        epoch: u64,
+    ) -> PassSched {
+        let sym = plan.fact.lu.sym();
+        let (px, py) = (plan.px, plan.py);
+        let mut cols = Vec::new();
+        let mut expected = 0u32;
+
+        for &k in cols_in {
+            let ku = k as usize;
+            if ku % py != y {
+                continue;
+            }
+            let members = member_list(
+                ku % px,
+                sym.blocks_below(ku)
+                    .iter()
+                    .filter(|&&i| grid.member.contains(i as usize))
+                    .map(|&i| i as usize % px),
+            );
+            let Some(links) = tree_links(&members, x, tree_comm) else {
+                continue;
+            };
+            let mut blocks = Vec::new();
+            let mut total_rows = 0u32;
+            let mut maxw = 1u32;
+            for &i in sym.blocks_below(ku) {
+                if i as usize % px == x && grid.member.contains(i as usize) {
+                    let (lo, hi) = kernels::block_range(&plan.fact, ku, i as usize);
+                    blocks.push((i, lo as u32, hi as u32));
+                    total_rows += (hi - lo) as u32;
+                    maxw = maxw.max(sym.sup_width(i as usize) as u32);
+                }
+            }
+            if !links.is_root {
+                expected += 1;
+            }
+            cols.push(ColSched {
+                sup: k,
+                children: links
+                    .children
+                    .iter()
+                    .map(|&r| (r + px * y) as u32)
+                    .collect(),
+                is_root: links.is_root,
+                blocks,
+                total_rows,
+                maxw,
+            });
+        }
+
+        let rows = compile_rows(
+            plan,
+            &cols,
+            cols_in,
+            x,
+            y,
+            &mut expected,
+            |iu| {
+                sym.blocks_left(iu)
+                    .iter()
+                    .filter(|&&k| contrib_all || grid.member.contains(k as usize))
+                    .map(|&k| k as usize % py)
+                    .collect()
+            },
+            tree_comm,
+        );
+
+        PassSched {
+            epoch,
+            lower: true,
+            expected,
+            cols,
+            rows,
+            ext_roots: Vec::new(),
+        }
+    }
+
+    /// Compile one U pass. `rows_in` are the supernodes solved here,
+    /// `row_set` their membership set, `ext` the already-solved ancestor
+    /// columns announced at pass start (baseline only).
+    #[allow(clippy::too_many_arguments)]
+    fn compile_u(
+        plan: &Plan,
+        grid: &GridSet,
+        x: usize,
+        y: usize,
+        rows_in: &[u32],
+        row_set: &SupSet,
+        ext: &[u32],
+        tree_comm: bool,
+        epoch: u64,
+    ) -> PassSched {
+        let sym = plan.fact.lu.sym();
+        let (px, py) = (plan.px, plan.py);
+        let mut cols = Vec::new();
+        let mut ext_roots = Vec::new();
+        let mut expected = 0u32;
+
+        let push_col = |j: u32,
+                        is_ext: bool,
+                        cols: &mut Vec<ColSched>,
+                        expected: &mut u32,
+                        ext_roots: &mut Vec<u32>| {
+            let ju = j as usize;
+            if ju % py != y {
+                return;
+            }
+            // Receivers of x(J): ranks owning U(K, J) with K solved here.
+            let members = member_list(
+                ju % px,
+                sym.blocks_left(ju)
+                    .iter()
+                    .filter(|&&k| row_set.contains(k as usize))
+                    .map(|&k| k as usize % px),
+            );
+            let Some(links) = tree_links(&members, x, tree_comm) else {
+                return;
+            };
+            let mut blocks = Vec::new();
+            let mut total_rows = 0u32;
+            let mut maxw = 1u32;
+            for &k in sym.blocks_left(ju) {
+                if k as usize % px == x && row_set.contains(k as usize) {
+                    let (qlo, qhi) = kernels::block_range(&plan.fact, k as usize, ju);
+                    blocks.push((k, qlo as u32, qhi as u32));
+                    total_rows += (qhi - qlo) as u32;
+                    maxw = maxw.max(sym.sup_width(k as usize) as u32);
+                }
+            }
+            if !links.is_root {
+                *expected += 1;
+            }
+            if is_ext && links.is_root {
+                ext_roots.push(j);
+            }
+            cols.push(ColSched {
+                sup: j,
+                children: links
+                    .children
+                    .iter()
+                    .map(|&r| (r + px * y) as u32)
+                    .collect(),
+                is_root: links.is_root,
+                blocks,
+                total_rows,
+                maxw,
+            });
+        };
+        for &j in rows_in {
+            push_col(j, false, &mut cols, &mut expected, &mut ext_roots);
+        }
+        for &j in ext {
+            push_col(j, true, &mut cols, &mut expected, &mut ext_roots);
+        }
+        cols.sort_by_key(|c| c.sup);
+
+        let rows = compile_rows(
+            plan,
+            &cols,
+            rows_in,
+            x,
+            y,
+            &mut expected,
+            |ku| {
+                // usum reduction over process columns owning U(K, ·).
+                sym.blocks_below(ku)
+                    .iter()
+                    .filter(|&&j| grid.member.contains(j as usize))
+                    .map(|&j| j as usize % py)
+                    .collect()
+            },
+            tree_comm,
+        );
+
+        PassSched {
+            epoch,
+            lower: false,
+            expected,
+            cols,
+            rows,
+            ext_roots,
+        }
+    }
+}
+
+/// Shared row-side compilation: reduction links and `fmod0` counters for
+/// every trigger row of `rows_in` this rank owns a piece of.
+#[allow(clippy::too_many_arguments)]
+fn compile_rows(
+    plan: &Plan,
+    cols: &[ColSched],
+    rows_in: &[u32],
+    x: usize,
+    y: usize,
+    expected: &mut u32,
+    contributors: impl Fn(usize) -> Vec<usize>,
+    tree_comm: bool,
+) -> Vec<RowSched> {
+    let (px, py) = (plan.px, plan.py);
+    let mut local_pending: HashMap<u32, u32> = HashMap::new();
+    for c in cols {
+        for &(i, _, _) in &c.blocks {
+            *local_pending.entry(i).or_insert(0) += 1;
+        }
+    }
+    let mut rows = Vec::new();
+    for &i in rows_in {
+        let iu = i as usize;
+        if iu % px != x {
+            continue;
+        }
+        let members = member_list(iu % py, contributors(iu).into_iter());
+        let Some(links) = tree_links(&members, y, tree_comm) else {
+            continue;
+        };
+        let n_children = links.children.len() as u32;
+        *expected += n_children;
+        rows.push(RowSched {
+            sup: i,
+            fmod0: local_pending.get(&i).copied().unwrap_or(0) + n_children,
+            parent: links.parent.map(|c| (x + px * c) as u32),
+        });
+    }
+    rows
+}
+
+/// Cost hooks parameterizing the shared pass traversal: the CPU engine
+/// advances its rank's serial clock per kernel; the GPU engine schedules
+/// fused tasks on a bounded-lane executor and tracks per-row readiness.
+/// All *structure* — work-queue order, `fmod` counting, receive loop,
+/// external announcements — lives once in [`run_pass`].
+pub trait PassEngine {
+    /// Solve the diagonal block of trigger row `row`; return the solved
+    /// vector (its availability time is engine-internal state).
+    fn solve_diag(&mut self, row: &RowSched) -> Vec<f64>;
+    /// Record a solved vector (diagonal result or broadcast reception).
+    fn store_solved(&mut self, sup: u32, v: &[f64]);
+    /// Fetch a vector solved in an earlier pass (U external columns).
+    fn solved(&self, sup: u32) -> Vec<f64>;
+    /// Forward a solved vector to my broadcast children.
+    fn forward(&mut self, col: &ColSched, v: &[f64]);
+    /// Send my partial sum for `row` to its reduction `parent`.
+    fn send_partial(&mut self, row: &RowSched, parent: u32);
+    /// Apply my local blocks of `col` to the partial sums.
+    fn apply_column(&mut self, col: &ColSched, v: &[f64]);
+    /// Accumulate a received partial-sum payload into `row`.
+    fn add_partial(&mut self, row: &RowSched, payload: &[f64]);
+    /// Blocking epoch-matched receive: `(is_solved_vector, sup, payload)`.
+    fn recv(&mut self, epoch: u64) -> (bool, u32, Vec<f64>);
+}
+
+/// Interpret one compiled 2D pass: the message-driven traversal shared
+/// by the CPU (Alg. 3) and multi-GPU (Alg. 5) executors.
+pub fn run_pass<E: PassEngine>(engine: &mut E, pass: &PassSched) {
+    let mut fmod: Vec<u32> = pass.rows.iter().map(|r| r.fmod0).collect();
+    let mut work: Vec<u32> = pass
+        .rows
+        .iter()
+        .filter(|r| r.fmod0 == 0)
+        .map(|r| r.sup)
+        .collect();
+    // `rows` is ascending; L pops ascending, U pops descending.
+    if pass.lower {
+        work.reverse();
+    }
+
+    // Announce externally solved columns I root (baseline U passes).
+    for &j in &pass.ext_roots {
+        let v = engine.solved(j);
+        let col = pass.col(j).expect("ext root column compiled");
+        engine.forward(col, &v);
+        apply_and_complete(engine, pass, col, &v, &mut fmod, &mut work);
+    }
+
+    let mut received = 0u32;
+    loop {
+        while let Some(s) = work.pop() {
+            let idx = pass.row_index(s).expect("trigger row compiled");
+            let row = &pass.rows[idx];
+            match row.parent {
+                None => {
+                    let v = engine.solve_diag(row);
+                    if let Some(col) = pass.col(s) {
+                        engine.forward(col, &v);
+                        apply_and_complete(engine, pass, col, &v, &mut fmod, &mut work);
+                    }
+                    engine.store_solved(s, &v);
+                }
+                Some(p) => engine.send_partial(row, p),
+            }
+        }
+        if received >= pass.expected {
+            break;
+        }
+        let (is_vec, sup, payload) = engine.recv(pass.epoch);
+        received += 1;
+        if is_vec {
+            if let Some(col) = pass.col(sup) {
+                engine.forward(col, &payload);
+                apply_and_complete(engine, pass, col, &payload, &mut fmod, &mut work);
+            }
+            engine.store_solved(sup, &payload);
+        } else {
+            let idx = pass.row_index(sup).expect("partial targets a trigger row");
+            engine.add_partial(&pass.rows[idx], &payload);
+            fmod[idx] -= 1;
+            if fmod[idx] == 0 {
+                work.push(sup);
+            }
+        }
+    }
+    debug_assert!(work.is_empty());
+}
+
+/// A column's vector became available: apply its blocks and retire the
+/// dependency from every trigger row it touches. Rows outside the pass
+/// just accumulate (baseline ancestor rows).
+fn apply_and_complete<E: PassEngine>(
+    engine: &mut E,
+    pass: &PassSched,
+    col: &ColSched,
+    v: &[f64],
+    fmod: &mut [u32],
+    work: &mut Vec<u32>,
+) {
+    engine.apply_column(col, v);
+    for &(i, _, _) in &col.blocks {
+        if let Some(idx) = pass.row_index(i) {
+            fmod[idx] -= 1;
+            if fmod[idx] == 0 {
+                work.push(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lufactor::factorize;
+    use ordering::SymbolicOptions;
+    use sparse::gen;
+    use std::sync::Arc;
+
+    fn plan(px: usize, py: usize, pz: usize) -> Plan {
+        let a = gen::poisson2d_9pt(12, 12);
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+        Plan::new(f, px, py, pz)
+    }
+
+    const KEYS: [ScheduleKey; 3] = [
+        ScheduleKey {
+            baseline: false,
+            tree_comm: true,
+        },
+        ScheduleKey {
+            baseline: false,
+            tree_comm: false,
+        },
+        ScheduleKey {
+            baseline: true,
+            tree_comm: false,
+        },
+    ];
+
+    #[test]
+    fn compile_is_deterministic() {
+        let p = plan(2, 3, 4);
+        for key in KEYS {
+            assert_eq!(Schedule::compile(&p, key), Schedule::compile(&p, key));
+        }
+    }
+
+    /// Per grid and per pass epoch, the expected receive counts must
+    /// equal the send counts implied by the tree links (otherwise a
+    /// solve would deadlock or terminate early).
+    #[test]
+    fn expected_receives_match_sends() {
+        let p = plan(2, 2, 4);
+        for key in KEYS {
+            let s = Schedule::compile(&p, key);
+            for z in 0..p.pz {
+                use std::collections::HashMap;
+                // epoch -> (sum expected, sum sends)
+                let mut per_epoch: HashMap<u64, (u64, u64)> = HashMap::new();
+                for x in 0..p.px {
+                    for y in 0..p.py {
+                        let rs = &s.ranks[p.rank_of(x, y, z)];
+                        for step in rs.l_steps.iter().chain(&rs.u_steps) {
+                            let Some(pass) = &step.pass else { continue };
+                            let e = per_epoch.entry(pass.epoch).or_default();
+                            e.0 += pass.expected as u64;
+                            for c in &pass.cols {
+                                e.1 += c.children.len() as u64;
+                            }
+                            for r in &pass.rows {
+                                if r.parent.is_some() {
+                                    e.1 += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                for (epoch, (exp, sent)) in per_epoch {
+                    assert_eq!(exp, sent, "key {key:?} grid {z} epoch {epoch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_is_identity() {
+        let p = plan(2, 2, 2);
+        for key in KEYS {
+            let s = Schedule::compile(&p, key);
+            let js = serde_json::to_string(&s).unwrap();
+            let back: Schedule = serde_json::from_str(&js).unwrap();
+            assert_eq!(s, back);
+        }
+    }
+
+    /// The plan-level cache compiles each key once and returns shared
+    /// references thereafter.
+    #[test]
+    fn plan_cache_compiles_once_per_key() {
+        let p = plan(2, 2, 2);
+        assert_eq!(p.schedule_compiles(), 0);
+        let key = KEYS[0];
+        let a = p.schedule(key);
+        let b = p.schedule(key);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(p.schedule_compiles(), 1);
+        let _ = p.schedule(KEYS[2]);
+        assert_eq!(p.schedule_compiles(), 2);
+    }
+
+    /// Baseline steps must pair every send with the partner's receive.
+    #[test]
+    fn baseline_exchanges_pair_up() {
+        let p = plan(2, 2, 8);
+        let s = Schedule::compile(
+            &p,
+            ScheduleKey {
+                baseline: true,
+                tree_comm: false,
+            },
+        );
+        for x in 0..p.px {
+            for y in 0..p.py {
+                for z in 0..p.pz {
+                    let rs = &s.ranks[p.rank_of(x, y, z)];
+                    for (si, step) in rs.l_steps.iter().chain(&rs.u_steps).enumerate() {
+                        let Some(xch) = &step.exchange else { continue };
+                        let peer = &s.ranks[p.rank_of(x, y, xch.peer as usize)];
+                        let mirror = peer
+                            .l_steps
+                            .iter()
+                            .chain(&peer.u_steps)
+                            .nth(si)
+                            .and_then(|st| st.exchange.as_ref())
+                            .expect("partner has a mirrored exchange");
+                        assert_eq!(mirror.peer as usize, z);
+                        assert_eq!(mirror.tag, xch.tag);
+                        assert_ne!(mirror.send, xch.send);
+                        assert_eq!(mirror.sups.len(), xch.sups.len());
+                    }
+                }
+            }
+        }
+    }
+}

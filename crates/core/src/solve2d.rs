@@ -11,19 +11,21 @@
 //! limited to). The U-solve mirrors this with `x(J)` broadcasts down
 //! process columns and `usum(K)` reductions across process rows.
 //!
-//! The engine is *pass-based* so both 3D algorithms can reuse it:
-//!
-//! * the proposed algorithm runs **one** pass per triangle over the whole
-//!   grid matrix `L^z`/`U^z`;
-//! * the baseline algorithm runs one pass per elimination-tree level, with
-//!   persistent `lsum` carry-over and externally-known ancestor solutions.
+//! The tree links, dependency counters, and expected message counts are
+//! *not* built here: they come precompiled in a [`PassSched`] from the
+//! plan's schedule IR (see [`crate::schedule`]). This module contributes
+//! only the CPU cost hooks — serial per-kernel clock advancement and
+//! epoch-tagged two-sided messaging — plugged into the shared
+//! [`crate::schedule::run_pass`] traversal that the GPU executor reuses
+//! with its own hooks.
 //!
 //! Every rank executes a blocking any-source receive loop until its
-//! precomputed expected message count is met — exactly the structure of
+//! precompiled expected message count is met — exactly the structure of
 //! the paper's Algorithm 3 (`fmod`/`bmod` dependency counters included).
 
 use crate::kernels;
-use crate::plan::{GridSet, Plan, SupSet};
+use crate::plan::{GridSet, Plan};
+use crate::schedule::{run_pass, ColSched, PassEngine, PassSched, RowSched};
 use simgrid::{Category, Comm};
 use std::collections::HashMap;
 
@@ -142,545 +144,220 @@ pub struct Ctx<'a> {
 
 impl Ctx<'_> {
     #[inline]
-    fn grid_rank(&self, x: usize, y: usize) -> usize {
-        x + self.plan.px * y
-    }
-
-    #[inline]
     fn flop_time(&self, flops: usize) -> f64 {
         flops as f64 / self.comm.model().flop_rate
     }
 }
 
-/// Specification of one L-solve pass.
-pub struct LPassSpec<'a> {
-    /// Supernodes solved in this pass (ascending).
-    pub cols: &'a [u32],
-    /// Contributor closure for row reductions: `false` restricts to blocks
-    /// whose column supernode is in this grid (proposed algorithm); `true`
-    /// counts every `blocks_left` entry (baseline: descendant partials
-    /// merged in from other grids also contribute).
-    pub contrib_all: bool,
-    /// Binary communication trees vs flat star.
-    pub tree_comm: bool,
-    /// Pass epoch (unique per pass within a grid, consistent across its
-    /// ranks); stamped into the message tags.
-    pub epoch: u64,
+/// Run one compiled 2D L-solve pass. Partial sums for rows outside the
+/// pass persist in `state.lsum` for later passes (baseline ancestors);
+/// solved `y(K)` land in `state.y_vals`.
+pub fn l_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
+    debug_assert!(pass.lower);
+    let mut engine = CpuEngine {
+        ctx,
+        state,
+        usum: HashMap::new(),
+        lower: true,
+        epoch: pass.epoch,
+    };
+    run_pass(&mut engine, pass);
 }
 
-/// Per-owned-column broadcast info.
-struct ColInfo {
-    /// Grid ranks to forward the column's vector to.
-    children: Vec<usize>,
-    /// Local blocks `(row_sup, lo, hi)` of this column.
-    blocks: Vec<(u32, u32, u32)>,
+/// Run one compiled 2D U-solve pass. Solved `x(K)` land in
+/// `state.x_vals`; `state.y_vals` must hold `y(K)` for every row solved
+/// here at its diagonal owner.
+pub fn u_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
+    debug_assert!(!pass.lower);
+    let mut engine = CpuEngine {
+        ctx,
+        state,
+        usum: HashMap::new(),
+        lower: false,
+        epoch: pass.epoch,
+    };
+    run_pass(&mut engine, pass);
 }
 
-/// Per-trigger-row reduction info.
-struct RowInfo {
-    /// Remaining local updates + pending child contributions.
-    fmod: u32,
-    /// Reduction parent (grid rank), `None` at the root (diagonal owner).
-    parent: Option<usize>,
-}
-
-/// Run one message-driven 2D L-solve pass. Partial sums for rows outside
-/// `spec.cols` persist in `state.lsum` for later passes; solved `y(K)` land
-/// in `state.y_vals`.
-pub fn l_solve_pass(ctx: &Ctx, spec: &LPassSpec, state: &mut SolveState) {
-    let plan = ctx.plan;
-    let sym = plan.fact.lu.sym();
-    let (px, py) = (plan.px, plan.py);
-    let (x, y) = (ctx.x, ctx.y);
-    let nrhs = ctx.nrhs;
-
-    // --- Setup: trees and counters (precomputed, untimed — see paper) ---
-    let mut cols: HashMap<u32, ColInfo> = HashMap::new();
-    let mut rows: HashMap<u32, RowInfo> = HashMap::new();
-    let mut expected: usize = 0;
-
-    for &k in spec.cols {
-        let ku = k as usize;
-        if ku % py != y {
-            continue;
-        }
-        let members = member_list(
-            ku % px,
-            sym.blocks_below(ku)
-                .iter()
-                .filter(|&&i| ctx.grid.member.contains(i as usize))
-                .map(|&i| i as usize % px),
-        );
-        let Some(links) = tree_links(&members, x, spec.tree_comm) else {
-            continue;
-        };
-        let mut blocks = Vec::new();
-        for &i in sym.blocks_below(ku) {
-            if i as usize % px == x && ctx.grid.member.contains(i as usize) {
-                let (lo, hi) = kernels::block_range(&plan.fact, ku, i as usize);
-                blocks.push((i, lo as u32, hi as u32));
-            }
-        }
-        if !links.is_root {
-            expected += 1;
-        }
-        cols.insert(
-            k,
-            ColInfo {
-                children: links.children.iter().map(|&r| ctx.grid_rank(r, y)).collect(),
-                blocks,
-            },
-        );
-    }
-
-    // Local pending update counts per row (from my owned columns).
-    let mut local_pending: HashMap<u32, u32> = HashMap::new();
-    for info in cols.values() {
-        for &(i, _, _) in &info.blocks {
-            *local_pending.entry(i).or_insert(0) += 1;
-        }
-    }
-
-    for &i in spec.cols {
-        let iu = i as usize;
-        if iu % px != x {
-            continue;
-        }
-        let members = member_list(
-            iu % py,
-            sym.blocks_left(iu)
-                .iter()
-                .filter(|&&k| spec.contrib_all || ctx.grid.member.contains(k as usize))
-                .map(|&k| k as usize % py),
-        );
-        let Some(links) = tree_links(&members, y, spec.tree_comm) else {
-            continue;
-        };
-        let n_children = links.children.len() as u32;
-        expected += n_children as usize;
-        rows.insert(
-            i,
-            RowInfo {
-                fmod: local_pending.get(&i).copied().unwrap_or(0) + n_children,
-                parent: links.parent.map(|c| ctx.grid_rank(x, c)),
-            },
-        );
-    }
-
-    // --- Solve loop (timed) ---
-    let mut work: Vec<u32> = rows
-        .iter()
-        .filter(|(_, info)| info.fmod == 0)
-        .map(|(&i, _)| i)
-        .collect();
-    work.sort_unstable();
-    work.reverse(); // pop from the front of the ordering
-    let mut received = 0usize;
-
-    loop {
-        while let Some(i) = work.pop() {
-            complete_l_row(ctx, &cols, &mut rows, state, spec.epoch, i, &mut work);
-        }
-        if received >= expected {
-            break;
-        }
-        let msg = ctx
-            .comm
-            .recv_tag_masked(EPOCH_MASK, spec.epoch << 48, Category::XyComm);
-        received += 1;
-        let sup = (msg.tag & SUP_MASK) as u32;
-        match msg.tag & KIND_MASK {
-            KIND_Y => {
-                apply_y(ctx, &cols, &mut rows, state, spec.epoch, sup, &msg.payload, &mut work);
-                state
-                    .y_vals
-                    .entry(sup)
-                    .or_insert_with(|| msg.payload.to_vec());
-            }
-            KIND_LSUM => {
-                let w = sym.sup_width(sup as usize);
-                let acc = state
-                    .lsum
-                    .entry(sup)
-                    .or_insert_with(|| vec![0.0; w * nrhs]);
-                for (a, &v) in acc.iter_mut().zip(msg.payload.iter()) {
-                    *a += v;
-                }
-                let info = rows.get_mut(&sup).expect("lsum targets a trigger row");
-                info.fmod -= 1;
-                if info.fmod == 0 {
-                    work.push(sup);
-                }
-            }
-            _ => unreachable!("unexpected message kind in L pass"),
-        }
-    }
-    debug_assert!(work.is_empty());
-}
-
-/// A trigger row's dependencies are met: diagonal owners solve and
-/// broadcast; other reduction members forward their partial upward.
-#[allow(clippy::too_many_arguments)]
-fn complete_l_row(
-    ctx: &Ctx,
-    cols: &HashMap<u32, ColInfo>,
-    rows: &mut HashMap<u32, RowInfo>,
-    state: &mut SolveState,
+/// CPU cost hooks for [`run_pass`]: every kernel advances this rank's
+/// serial clock; messages are epoch-tagged two-sided sends.
+struct CpuEngine<'a, 'b> {
+    ctx: &'b Ctx<'a>,
+    state: &'b mut SolveState,
+    /// U-phase partial sums (per-pass lifetime, unlike `state.lsum`).
+    usum: HashMap<u32, Vec<f64>>,
+    lower: bool,
     epoch: u64,
-    i: u32,
-    work: &mut Vec<u32>,
-) {
-    let plan = ctx.plan;
-    let sym = plan.fact.lu.sym();
-    let iu = i as usize;
-    let parent = rows.get(&i).expect("trigger row").parent;
-    match parent {
-        None => {
-            // Diagonal owner: y(I) = L(I,I)⁻¹ (b(I) − lsum(I)), Eq. (1).
-            let active = plan.rhs_active(ctx.grid.z, iu);
-            let b_i = kernels::masked_rhs(&plan.fact, iu, ctx.pb, ctx.nrhs, active);
-            let (y_i, fl) = kernels::diag_solve_l(
+}
+
+impl CpuEngine<'_, '_> {
+    /// The partial-sum accumulator of the current triangle.
+    fn sums(&mut self) -> &mut HashMap<u32, Vec<f64>> {
+        if self.lower {
+            &mut self.state.lsum
+        } else {
+            &mut self.usum
+        }
+    }
+
+    fn vec_kind(&self) -> u64 {
+        if self.lower {
+            KIND_Y
+        } else {
+            KIND_X
+        }
+    }
+
+    fn sum_kind(&self) -> u64 {
+        if self.lower {
+            KIND_LSUM
+        } else {
+            KIND_USUM
+        }
+    }
+}
+
+impl PassEngine for CpuEngine<'_, '_> {
+    fn solve_diag(&mut self, row: &RowSched) -> Vec<f64> {
+        let plan = self.ctx.plan;
+        let iu = row.sup as usize;
+        let (v, fl) = if self.lower {
+            // y(I) = L(I,I)⁻¹ (b(I) − lsum(I)), Eq. (1).
+            let active = plan.rhs_active(self.ctx.grid.z, iu);
+            let b_i = kernels::masked_rhs(&plan.fact, iu, self.ctx.pb, self.ctx.nrhs, active);
+            kernels::diag_solve_l(
                 &plan.fact,
                 iu,
                 &b_i,
-                state.lsum.get(&i).map(|v| &v[..]),
-                ctx.nrhs,
-            );
-            ctx.comm.compute(ctx.flop_time(fl), Category::Flop);
-            apply_y(ctx, cols, rows, state, epoch, i, &y_i, work);
-            state.y_vals.insert(i, y_i);
-        }
-        Some(p) => {
-            let w = sym.sup_width(iu);
-            let zeros;
-            let payload = match state.lsum.get(&i) {
-                Some(v) => &v[..],
-                None => {
-                    zeros = vec![0.0; w * ctx.nrhs];
-                    &zeros[..]
-                }
-            };
-            ctx.comm
-                .send(p, tag(epoch, KIND_LSUM, i), payload, Category::XyComm);
-        }
-    }
-}
-
-/// `y(K)` became available locally: forward along the broadcast tree and
-/// apply my local GEMVs for column K, possibly completing further rows.
-#[allow(clippy::too_many_arguments)]
-fn apply_y(
-    ctx: &Ctx,
-    cols: &HashMap<u32, ColInfo>,
-    rows: &mut HashMap<u32, RowInfo>,
-    state: &mut SolveState,
-    epoch: u64,
-    k: u32,
-    y_k: &[f64],
-    work: &mut Vec<u32>,
-) {
-    let Some(info) = cols.get(&k) else {
-        return;
-    };
-    for &child in &info.children {
-        ctx.comm
-            .send(child, tag(epoch, KIND_Y, k), y_k, Category::XyComm);
-    }
-    let sym = ctx.plan.fact.lu.sym();
-    for &(i, lo, hi) in &info.blocks {
-        let wi = sym.sup_width(i as usize);
-        let acc = state
-            .lsum
-            .entry(i)
-            .or_insert_with(|| vec![0.0; wi * ctx.nrhs]);
-        let fl = kernels::apply_l_block(
-            &ctx.plan.fact,
-            k as usize,
-            i as usize,
-            lo as usize,
-            hi as usize,
-            y_k,
-            acc,
-            ctx.nrhs,
-        );
-        ctx.comm.compute(ctx.flop_time(fl), Category::Flop);
-        if let Some(rinfo) = rows.get_mut(&i) {
-            rinfo.fmod -= 1;
-            if rinfo.fmod == 0 {
-                work.push(i);
-            }
-        }
-        // Rows outside this pass just accumulate (baseline ancestors).
-    }
-}
-
-/// Specification of one U-solve pass.
-pub struct UPassSpec<'a> {
-    /// Supernodes whose `x` is solved in this pass (ascending).
-    pub rows: &'a [u32],
-    /// Membership set equal to `rows`.
-    pub row_set: &'a SupSet,
-    /// Already-solved supernodes whose `x` is broadcast at pass start
-    /// (baseline: ancestors above the current node; empty for the proposed
-    /// algorithm's single pass).
-    pub ext_cols: &'a [u32],
-    /// Binary communication trees vs flat star.
-    pub tree_comm: bool,
-    /// Pass epoch (see [`LPassSpec::epoch`]).
-    pub epoch: u64,
-}
-
-/// Per-announced-column x-broadcast info (U phase).
-struct UColInfo {
-    children: Vec<usize>,
-    /// Local U blocks `(row_sup, qlo, qhi)` depending on this column.
-    blocks: Vec<(u32, u32, u32)>,
-    /// Whether I am the broadcast root (diagonal owner of the column).
-    is_root: bool,
-}
-
-/// Run one message-driven 2D U-solve pass. Solved `x(K)` land in
-/// `state.x_vals`; `state.y_vals` must hold `y(K)` for every row solved
-/// here at its diagonal owner.
-pub fn u_solve_pass(ctx: &Ctx, spec: &UPassSpec, state: &mut SolveState) {
-    let plan = ctx.plan;
-    let sym = plan.fact.lu.sym();
-    let (px, py) = (plan.px, plan.py);
-    let (x, y) = (ctx.x, ctx.y);
-    let nrhs = ctx.nrhs;
-
-    // --- Setup ---
-    let mut cols: HashMap<u32, UColInfo> = HashMap::new();
-    let mut rows: HashMap<u32, RowInfo> = HashMap::new();
-    let mut expected: usize = 0;
-
-    let setup_col = |j: u32, cols: &mut HashMap<u32, UColInfo>, expected: &mut usize| {
-        let ju = j as usize;
-        if ju % py != y {
-            return;
-        }
-        // Receivers of x(J): ranks owning U(K, J) with K solved this pass.
-        let members = member_list(
-            ju % px,
-            sym.blocks_left(ju)
-                .iter()
-                .filter(|&&k| spec.row_set.contains(k as usize))
-                .map(|&k| k as usize % px),
-        );
-        let Some(links) = tree_links(&members, x, spec.tree_comm) else {
-            return;
-        };
-        let mut blocks = Vec::new();
-        for &k in sym.blocks_left(ju) {
-            if k as usize % px == x && spec.row_set.contains(k as usize) {
-                let (qlo, qhi) = kernels::block_range(&plan.fact, k as usize, ju);
-                blocks.push((k, qlo as u32, qhi as u32));
-            }
-        }
-        if !links.is_root {
-            *expected += 1;
-        }
-        cols.insert(
-            j,
-            UColInfo {
-                children: links.children.iter().map(|&r| ctx.grid_rank(r, y)).collect(),
-                blocks,
-                is_root: links.is_root,
-            },
-        );
-    };
-    for &j in spec.rows {
-        setup_col(j, &mut cols, &mut expected);
-    }
-    for &j in spec.ext_cols {
-        setup_col(j, &mut cols, &mut expected);
-    }
-
-    let mut local_pending: HashMap<u32, u32> = HashMap::new();
-    for info in cols.values() {
-        for &(k, _, _) in &info.blocks {
-            *local_pending.entry(k).or_insert(0) += 1;
-        }
-    }
-
-    for &k in spec.rows {
-        let ku = k as usize;
-        if ku % px != x {
-            continue;
-        }
-        // usum reduction over process columns owning U(K, ·) blocks.
-        let members = member_list(
-            ku % py,
-            sym.blocks_below(ku)
-                .iter()
-                .filter(|&&j| ctx.grid.member.contains(j as usize))
-                .map(|&j| j as usize % py),
-        );
-        let Some(links) = tree_links(&members, y, spec.tree_comm) else {
-            continue;
-        };
-        let n_children = links.children.len() as u32;
-        expected += n_children as usize;
-        rows.insert(
-            k,
-            RowInfo {
-                fmod: local_pending.get(&k).copied().unwrap_or(0) + n_children,
-                parent: links.parent.map(|c| ctx.grid_rank(x, c)),
-            },
-        );
-    }
-
-    // --- Solve loop ---
-    let mut usum: HashMap<u32, Vec<f64>> = HashMap::new();
-    let mut work: Vec<u32> = rows
-        .iter()
-        .filter(|(_, info)| info.fmod == 0)
-        .map(|(&k, _)| k)
-        .collect();
-    work.sort_unstable(); // pop() takes the highest supernode first
-    let mut received = 0usize;
-
-    // Announce externally known columns I own as diagonal root.
-    let ext_to_announce: Vec<u32> = spec
-        .ext_cols
-        .iter()
-        .copied()
-        .filter(|&j| {
-            cols.get(&j).map_or(false, |c| c.is_root)
-        })
-        .collect();
-    for j in ext_to_announce {
-        let x_j = state
-            .x_vals
-            .get(&j)
-            .expect("external column solved in an earlier pass")
-            .clone();
-        apply_x(ctx, &cols, &mut rows, &mut usum, spec.epoch, j, &x_j, &mut work);
-    }
-
-    loop {
-        while let Some(k) = work.pop() {
-            complete_u_row(ctx, &cols, &mut rows, state, &mut usum, spec.epoch, k, &mut work);
-        }
-        if received >= expected {
-            break;
-        }
-        let msg = ctx
-            .comm
-            .recv_tag_masked(EPOCH_MASK, spec.epoch << 48, Category::XyComm);
-        received += 1;
-        let sup = (msg.tag & SUP_MASK) as u32;
-        match msg.tag & KIND_MASK {
-            KIND_X => {
-                apply_x(ctx, &cols, &mut rows, &mut usum, spec.epoch, sup, &msg.payload, &mut work);
-                state
-                    .x_vals
-                    .entry(sup)
-                    .or_insert_with(|| msg.payload.to_vec());
-            }
-            KIND_USUM => {
-                let w = sym.sup_width(sup as usize);
-                let acc = usum.entry(sup).or_insert_with(|| vec![0.0; w * nrhs]);
-                for (a, &v) in acc.iter_mut().zip(msg.payload.iter()) {
-                    *a += v;
-                }
-                let info = rows.get_mut(&sup).expect("usum targets a trigger row");
-                info.fmod -= 1;
-                if info.fmod == 0 {
-                    work.push(sup);
-                }
-            }
-            _ => unreachable!("unexpected message kind in U pass"),
-        }
-    }
-    debug_assert!(work.is_empty());
-}
-
-/// A U-phase trigger row's dependencies are met.
-#[allow(clippy::too_many_arguments)]
-fn complete_u_row(
-    ctx: &Ctx,
-    cols: &HashMap<u32, UColInfo>,
-    rows: &mut HashMap<u32, RowInfo>,
-    state: &mut SolveState,
-    usum: &mut HashMap<u32, Vec<f64>>,
-    epoch: u64,
-    k: u32,
-    work: &mut Vec<u32>,
-) {
-    let plan = ctx.plan;
-    let sym = plan.fact.lu.sym();
-    let ku = k as usize;
-    let parent = rows.get(&k).expect("trigger row").parent;
-    match parent {
-        None => {
-            // Diagonal owner: x(K) = U(K,K)⁻¹ (y(K) − usum(K)), Eq. (2).
-            let y_k = state
+                self.state.lsum.get(&row.sup).map(|v| &v[..]),
+                self.ctx.nrhs,
+            )
+        } else {
+            // x(K) = U(K,K)⁻¹ (y(K) − usum(K)), Eq. (2).
+            let y_k = self
+                .state
                 .y_vals
-                .get(&k)
+                .get(&row.sup)
                 .expect("y(K) available at diagonal owner before U-solve");
-            let (x_k, fl) =
-                kernels::diag_solve_u(&plan.fact, ku, y_k, usum.get(&k).map(|v| &v[..]), ctx.nrhs);
-            ctx.comm.compute(ctx.flop_time(fl), Category::Flop);
-            apply_x(ctx, cols, rows, usum, epoch, k, &x_k, work);
-            state.x_vals.insert(k, x_k);
-        }
-        Some(p) => {
-            let w = sym.sup_width(ku);
-            let zeros;
-            let payload = match usum.get(&k) {
-                Some(v) => &v[..],
-                None => {
-                    zeros = vec![0.0; w * ctx.nrhs];
-                    &zeros[..]
-                }
-            };
-            ctx.comm
-                .send(p, tag(epoch, KIND_USUM, k), payload, Category::XyComm);
-        }
+            kernels::diag_solve_u(
+                &plan.fact,
+                iu,
+                y_k,
+                self.usum.get(&row.sup).map(|v| &v[..]),
+                self.ctx.nrhs,
+            )
+        };
+        self.ctx
+            .comm
+            .compute(self.ctx.flop_time(fl), Category::Flop);
+        v
     }
-}
 
-/// `x(J)` became available locally: forward along the broadcast tree and
-/// apply my local U-block GEMVs.
-#[allow(clippy::too_many_arguments)]
-fn apply_x(
-    ctx: &Ctx,
-    cols: &HashMap<u32, UColInfo>,
-    rows: &mut HashMap<u32, RowInfo>,
-    usum: &mut HashMap<u32, Vec<f64>>,
-    epoch: u64,
-    j: u32,
-    x_j: &[f64],
-    work: &mut Vec<u32>,
-) {
-    let Some(info) = cols.get(&j) else {
-        return;
-    };
-    for &child in &info.children {
-        ctx.comm
-            .send(child, tag(epoch, KIND_X, j), x_j, Category::XyComm);
+    fn store_solved(&mut self, sup: u32, v: &[f64]) {
+        let vals = if self.lower {
+            &mut self.state.y_vals
+        } else {
+            &mut self.state.x_vals
+        };
+        vals.entry(sup).or_insert_with(|| v.to_vec());
     }
-    let sym = ctx.plan.fact.lu.sym();
-    for &(k, qlo, qhi) in &info.blocks {
-        let w = sym.sup_width(k as usize);
-        let acc = usum.entry(k).or_insert_with(|| vec![0.0; w * ctx.nrhs]);
-        let fl = kernels::apply_u_block(
-            &ctx.plan.fact,
-            k as usize,
-            j as usize,
-            qlo as usize,
-            qhi as usize,
-            x_j,
-            acc,
-            ctx.nrhs,
-        );
-        ctx.comm.compute(ctx.flop_time(fl), Category::Flop);
-        let rinfo = rows.get_mut(&k).expect("U blocks only target trigger rows");
-        rinfo.fmod -= 1;
-        if rinfo.fmod == 0 {
-            work.push(k);
+
+    fn solved(&self, sup: u32) -> Vec<f64> {
+        self.state
+            .x_vals
+            .get(&sup)
+            .expect("external column solved in an earlier pass")
+            .clone()
+    }
+
+    fn forward(&mut self, col: &ColSched, v: &[f64]) {
+        let t = tag(self.epoch, self.vec_kind(), col.sup);
+        for &child in &col.children {
+            self.ctx.comm.send(child as usize, t, v, Category::XyComm);
         }
+    }
+
+    fn send_partial(&mut self, row: &RowSched, parent: u32) {
+        let w = self.ctx.plan.fact.lu.sym().sup_width(row.sup as usize);
+        let nrhs = self.ctx.nrhs;
+        let t = tag(self.epoch, self.sum_kind(), row.sup);
+        let comm = self.ctx.comm;
+        let zeros;
+        let payload = match self.sums().get(&row.sup) {
+            Some(v) => &v[..],
+            None => {
+                zeros = vec![0.0; w * nrhs];
+                &zeros[..]
+            }
+        };
+        comm.send(parent as usize, t, payload, Category::XyComm);
+    }
+
+    fn apply_column(&mut self, col: &ColSched, v: &[f64]) {
+        let plan = self.ctx.plan;
+        let sym = plan.fact.lu.sym();
+        let nrhs = self.ctx.nrhs;
+        let lower = self.lower;
+        let ju = col.sup as usize;
+        for &(i, lo, hi) in &col.blocks {
+            let wi = sym.sup_width(i as usize);
+            let acc = self.sums().entry(i).or_insert_with(|| vec![0.0; wi * nrhs]);
+            let fl = if lower {
+                kernels::apply_l_block(
+                    &plan.fact,
+                    ju,
+                    i as usize,
+                    lo as usize,
+                    hi as usize,
+                    v,
+                    acc,
+                    nrhs,
+                )
+            } else {
+                kernels::apply_u_block(
+                    &plan.fact,
+                    i as usize,
+                    ju,
+                    lo as usize,
+                    hi as usize,
+                    v,
+                    acc,
+                    nrhs,
+                )
+            };
+            self.ctx
+                .comm
+                .compute(self.ctx.flop_time(fl), Category::Flop);
+        }
+    }
+
+    fn add_partial(&mut self, row: &RowSched, payload: &[f64]) {
+        let w = self.ctx.plan.fact.lu.sym().sup_width(row.sup as usize);
+        let nrhs = self.ctx.nrhs;
+        let acc = self
+            .sums()
+            .entry(row.sup)
+            .or_insert_with(|| vec![0.0; w * nrhs]);
+        for (a, &v) in acc.iter_mut().zip(payload.iter()) {
+            *a += v;
+        }
+    }
+
+    fn recv(&mut self, epoch: u64) -> (bool, u32, Vec<f64>) {
+        let msg = self
+            .ctx
+            .comm
+            .recv_tag_masked(EPOCH_MASK, epoch << 48, Category::XyComm);
+        let sup = (msg.tag & SUP_MASK) as u32;
+        let kind = msg.tag & KIND_MASK;
+        let is_vec = if kind == self.vec_kind() {
+            true
+        } else if kind == self.sum_kind() {
+            false
+        } else {
+            unreachable!("unexpected message kind in 2D pass");
+        };
+        (is_vec, sup, msg.payload.to_vec())
     }
 }
 

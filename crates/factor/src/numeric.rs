@@ -15,7 +15,10 @@ impl std::fmt::Display for FactorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FactorError::SingularDiagonal { supernode } => {
-                write!(f, "numerically singular diagonal block in supernode {supernode}")
+                write!(
+                    f,
+                    "numerically singular diagonal block in supernode {supernode}"
+                )
             }
         }
     }
@@ -99,8 +102,8 @@ pub fn factorize_numeric(pa: &CsrMatrix, sym: SymbolicLU) -> Result<LuFactors, F
         let rows = sym.rows_below(k);
         let r = rows.len();
 
-        for j in s..e {
-            map[j] = (j - s) as u32;
+        for (off, m) in map[s..e].iter_mut().enumerate() {
+            *m = off as u32;
         }
         for (p, &i) in rows.iter().enumerate() {
             map[i as usize] = (w + p) as u32;
@@ -271,9 +274,7 @@ pub fn factorize_numeric(pa: &CsrMatrix, sym: SymbolicLU) -> Result<LuFactors, F
         });
 
         // Reset the scatter map.
-        for j in s..e {
-            map[j] = u32::MAX;
-        }
+        map[s..e].fill(u32::MAX);
         for &i in rows {
             map[i as usize] = u32::MAX;
         }

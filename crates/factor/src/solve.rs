@@ -150,8 +150,14 @@ mod tests {
     #[test]
     fn tiny_supernodes_still_solve() {
         let a = gen::poisson2d_5pt(8, 8);
-        let (nd, sym) =
-            ordering::analyze(&a, 2, &SymbolicOptions { max_supernode: 1, relax_size: 0 });
+        let (nd, sym) = ordering::analyze(
+            &a,
+            2,
+            &SymbolicOptions {
+                max_supernode: 1,
+                relax_size: 0,
+            },
+        );
         let pa = a.permute_sym(&nd.perm);
         let lu = crate::factorize_numeric(&pa, sym).unwrap();
         let b = gen::standard_rhs(64, 1);

@@ -27,11 +27,7 @@ pub use symbolic::{SymbolicLU, SymbolicOptions};
 /// symbolic factorization of the permuted matrix.
 ///
 /// Returns the ND result (permutation + separator tree) and the symbolic LU.
-pub fn analyze(
-    a: &sparse::CsrMatrix,
-    pz: usize,
-    opts: &SymbolicOptions,
-) -> (NdResult, SymbolicLU) {
+pub fn analyze(a: &sparse::CsrMatrix, pz: usize, opts: &SymbolicOptions) -> (NdResult, SymbolicLU) {
     assert!(pz.is_power_of_two(), "Pz must be a power of two");
     let g = Graph::from_csr_pattern(a);
     let ndo = NdOptions {

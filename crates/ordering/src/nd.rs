@@ -207,9 +207,9 @@ impl<'a> Dissector<'a> {
         }
         let stamp = &self.stamp;
         let in_set = |v: usize| stamp[v] == gen;
-        let root = self
-            .g
-            .pseudo_peripheral(verts[0] as usize, in_set, &mut self.levels, &mut self.order);
+        let root =
+            self.g
+                .pseudo_peripheral(verts[0] as usize, in_set, &mut self.levels, &mut self.order);
         let stamp = &self.stamp;
         let in_set = |v: usize| stamp[v] == gen;
         self.g

@@ -74,7 +74,7 @@ impl SymbolicLU {
             }
         }
         let mut buf: Vec<u32> = Vec::new();
-        for j in 0..n {
+        for (j, ch) in children.iter().enumerate() {
             buf.clear();
             // A's below-diagonal column pattern = row j entries right of the
             // diagonal (symmetric pattern).
@@ -83,7 +83,7 @@ impl SymbolicLU {
                     buf.push(c as u32);
                 }
             }
-            for &c in &children[j] {
+            for &c in ch {
                 for &i in &colpat[c as usize] {
                     if i as usize > j {
                         buf.push(i);
@@ -140,9 +140,7 @@ impl SymbolicLU {
         }
         let nsup = sup_starts.len() - 1;
         for k in 0..nsup {
-            for j in sup_starts[k]..sup_starts[k + 1] {
-                col_to_sup[j] = k as u32;
-            }
+            col_to_sup[sup_starts[k]..sup_starts[k + 1]].fill(k as u32);
         }
 
         // Supernodal symbolic factorization: row sets via the first-row
@@ -434,7 +432,14 @@ mod tests {
         let g = Graph::from_csr_pattern(&a);
         let nd = nested_dissection(&g, &NdOptions::default());
         let pa = a.permute_sym(&nd.perm);
-        let sym = SymbolicLU::analyze(&pa, &nd.tree, &SymbolicOptions { max_supernode: 3, relax_size: 3 });
+        let sym = SymbolicLU::analyze(
+            &pa,
+            &nd.tree,
+            &SymbolicOptions {
+                max_supernode: 3,
+                relax_size: 3,
+            },
+        );
         for k in 0..sym.n_supernodes() {
             assert!(sym.sup_width(k) <= 3);
         }

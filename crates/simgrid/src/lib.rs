@@ -31,6 +31,7 @@ pub use trace::{render_timeline, EventKind, TraceEvent};
 use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -105,7 +106,7 @@ impl RankCtx {
 /// thread; not shareable across threads.
 pub struct Comm {
     shared: Arc<ClusterShared>,
-    ctx: Arc<RankCtx>,
+    ctx: Rc<RankCtx>,
     id: u64,
     /// World ranks of the members, ordered by communicator rank.
     members: Arc<Vec<u32>>,
@@ -116,7 +117,7 @@ impl Clone for Comm {
     fn clone(&self) -> Self {
         Comm {
             shared: Arc::clone(&self.shared),
-            ctx: Arc::clone(&self.ctx),
+            ctx: Rc::clone(&self.ctx),
             id: self.id,
             members: Arc::clone(&self.members),
             my_idx: self.my_idx,
@@ -183,11 +184,10 @@ impl Comm {
     /// model. The sender pays the software overhead on its own clock.
     pub fn send(&self, dst: usize, tag: u64, payload: &[f64], cat: Category) {
         let bytes = 8 * payload.len() + 64;
-        let (overhead, wire) = self.shared.model.p2p_cost(
-            self.world_rank(self.my_idx),
-            self.world_rank(dst),
-            bytes,
-        );
+        let (overhead, wire) =
+            self.shared
+                .model
+                .p2p_cost(self.world_rank(self.my_idx), self.world_rank(dst), bytes);
         let t0 = self.ctx.clock.get();
         self.ctx.clock.set(t0 + overhead);
         {
@@ -239,7 +239,9 @@ impl Comm {
         // Non-overtaking: per (comm, dst) FIFO on arrival times.
         if fifo {
             let mut fifo = self.ctx.fifo.borrow_mut();
-            let last = fifo.entry((self.id, dst_world)).or_insert(f64::NEG_INFINITY);
+            let last = fifo
+                .entry((self.id, dst_world))
+                .or_insert(f64::NEG_INFINITY);
             if arrival <= *last {
                 arrival = *last + 1e-12;
             }
@@ -309,7 +311,7 @@ impl Comm {
     /// The GPU path uses this and performs its own time accounting.
     pub fn recv_raw(&self, src: Option<usize>, tag: Option<u64>) -> RecvMsg {
         self.recv_raw_matching(|s, t| {
-            src.map_or(true, |want| s == want) && tag.map_or(true, |want| t == want)
+            src.is_none_or(|want| s == want) && tag.is_none_or(|want| t == want)
         })
     }
 
@@ -324,7 +326,7 @@ impl Comm {
                     continue;
                 }
                 n_match += 1;
-                if best.map_or(true, |(_, a)| m.arrival < a) {
+                if best.is_none_or(|(_, a)| m.arrival < a) {
                     best = Some((i, m.arrival));
                 }
             }
@@ -386,7 +388,10 @@ impl Comm {
                 triples.push((m.payload[0] as usize, m.payload[1] as usize, m.src));
             }
             // Allocate one id block for this split operation.
-            let base = self.shared.next_comm_id.fetch_add(size as u64, Ordering::Relaxed);
+            let base = self
+                .shared
+                .next_comm_id
+                .fetch_add(size as u64, Ordering::Relaxed);
             // Reply to each member: [base, color, key, ...] — members
             // reconstruct their group from the full triple list.
             let mut flat = Vec::with_capacity(3 * size + 1);
@@ -441,10 +446,7 @@ impl Comm {
             .position(|&c| c == my_color)
             .expect("own color present");
         group.sort_unstable();
-        let members: Vec<u32> = group
-            .iter()
-            .map(|&(_, pr)| self.members[pr])
-            .collect();
+        let members: Vec<u32> = group.iter().map(|&(_, pr)| self.members[pr]).collect();
         let my_world = self.ctx.world_rank as u32;
         let my_idx = members
             .iter()
@@ -452,7 +454,7 @@ impl Comm {
             .expect("self in group");
         Comm {
             shared: Arc::clone(&self.shared),
-            ctx: Arc::clone(&self.ctx),
+            ctx: Rc::clone(&self.ctx),
             id: base + color_idx as u64,
             members: Arc::new(members),
             my_idx,
@@ -482,7 +484,7 @@ impl Comm {
             if me % (2 * d) == d {
                 self.send(me - d, tag, data, cat);
                 break;
-            } else if me % (2 * d) == 0 && me + d < size {
+            } else if me.is_multiple_of(2 * d) && me + d < size {
                 let m = self.recv(Some(me + d), Some(tag), cat);
                 for (a, b) in data.iter_mut().zip(m.payload.iter()) {
                     *a += *b;
@@ -498,7 +500,7 @@ impl Comm {
             d *= 2;
         }
         for &d in levels.iter().rev() {
-            if me % (2 * d) == 0 && me + d < size {
+            if me.is_multiple_of(2 * d) && me + d < size {
                 self.send(me + d, tag + 1, data, cat);
             } else if me % (2 * d) == d {
                 let m = self.recv(Some(me - d), Some(tag + 1), cat);
@@ -521,7 +523,7 @@ impl Comm {
             d *= 2;
         }
         for &d in levels.iter().rev() {
-            if me % (2 * d) == 0 && me + d < size {
+            if me.is_multiple_of(2 * d) && me + d < size {
                 self.send(unrot(me + d), tag, data, cat);
             } else if me % (2 * d) == d {
                 let m = self.recv(Some(unrot(me - d)), Some(tag), cat);
@@ -575,7 +577,7 @@ where
                 .name(format!("rank-{rank}"))
                 .stack_size(1 << 20)
                 .spawn_scoped(scope, move || {
-                    let ctx = Arc::new(RankCtx {
+                    let ctx = Rc::new(RankCtx {
                         world_rank: rank,
                         clock: Cell::new(0.0),
                         stats: RefCell::new(RankStats::new(rank)),
@@ -589,7 +591,7 @@ where
                     });
                     let world = Comm {
                         shared,
-                        ctx: Arc::clone(&ctx),
+                        ctx: Rc::clone(&ctx),
                         id: 0,
                         members,
                         my_idx: rank,

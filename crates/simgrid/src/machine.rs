@@ -119,9 +119,15 @@ impl MachineModel {
         }
         let same_node = src / self.ranks_per_node == dst / self.ranks_per_node;
         if same_node {
-            (self.send_overhead, self.latency_intra + bytes as f64 / self.bw_intra)
+            (
+                self.send_overhead,
+                self.latency_intra + bytes as f64 / self.bw_intra,
+            )
         } else {
-            (self.send_overhead, self.latency_inter + bytes as f64 / self.bw_inter)
+            (
+                self.send_overhead,
+                self.latency_inter + bytes as f64 / self.bw_inter,
+            )
         }
     }
 

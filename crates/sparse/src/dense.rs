@@ -243,7 +243,14 @@ mod tests {
         gemm(1.5, &a, m, k, &b, n, &mut c1);
         let mut c2 = vec![0.0; m * n];
         for j in 0..n {
-            gemv(1.5, &a, m, k, &b[j * k..(j + 1) * k], &mut c2[j * m..(j + 1) * m]);
+            gemv(
+                1.5,
+                &a,
+                m,
+                k,
+                &b[j * k..(j + 1) * k],
+                &mut c2[j * m..(j + 1) * m],
+            );
         }
         for (x, y) in c1.iter().zip(&c2) {
             assert!(approx(*x, *y));

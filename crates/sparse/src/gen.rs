@@ -212,8 +212,7 @@ pub fn wave3d_27pt(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
                             if (dx, dy, dz) <= (0, 0, 0) {
                                 continue; // lexicographically later neighbours only
                             }
-                            let (x2, y2, z2) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (x2, y2, z2) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if x2 < 0
                                 || y2 < 0
                                 || z2 < 0

@@ -43,10 +43,11 @@ fn parse_err(msg: impl Into<String>) -> MtxError {
 /// get value 1. Symmetric storage is expanded to both triangles.
 pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MtxError> {
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
-    let h: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if h.len() < 4 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
         return Err(parse_err("missing %%MatrixMarket matrix header"));
     }
@@ -86,7 +87,14 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix, MtxError> 
         return Err(parse_err("only square matrices are supported"));
     }
 
-    let mut coo = CooMatrix::with_capacity(nrows, if symmetry == "symmetric" { 2 * nnz } else { nnz });
+    let mut coo = CooMatrix::with_capacity(
+        nrows,
+        if symmetry == "symmetric" {
+            2 * nnz
+        } else {
+            nnz
+        },
+    );
     let mut seen = 0usize;
     for line in lines {
         let line = line?;

@@ -33,12 +33,12 @@ pub use dense::DenseMat;
 pub fn spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
     assert_eq!(a.ncols(), x.len());
     assert_eq!(a.nrows(), y.len());
-    for i in 0..a.nrows() {
+    for (i, yi) in y.iter_mut().enumerate() {
         let mut acc = 0.0;
         for (j, v) in a.row_iter(i) {
             acc += v * x[j];
         }
-        y[i] = acc;
+        *yi = acc;
     }
 }
 

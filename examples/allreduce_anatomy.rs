@@ -27,7 +27,10 @@ fn main() {
     for (label, algorithm) in [
         ("proposed (trees + sparse ARed)", Algorithm::New3d),
         ("ablation: flat intra-grid comm", Algorithm::New3dFlat),
-        ("ablation: naive per-node ARed", Algorithm::New3dNaiveAllreduce),
+        (
+            "ablation: naive per-node ARed",
+            Algorithm::New3dNaiveAllreduce,
+        ),
         ("baseline 3D [ICS'19]", Algorithm::Baseline3d),
     ] {
         let cfg = SolverConfig {

@@ -9,8 +9,8 @@
 //! ```
 
 use simgrid::render_timeline;
-use sptrsv_repro::prelude::*;
 use sptrsv::{solve_traced, Plan};
+use sptrsv_repro::prelude::*;
 use std::sync::Arc;
 
 fn main() {

@@ -138,6 +138,9 @@ fn parse_args() -> Result<Args, String> {
     if !a.pz.is_power_of_two() {
         return Err("--pz must be a power of two".into());
     }
+    if a.px == 0 || a.py == 0 {
+        return Err("--px and --py must be at least 1".into());
+    }
     Ok(a)
 }
 
@@ -279,7 +282,10 @@ fn main() -> ExitCode {
         .map(|s| s.bytes_sent[Category::XyComm as usize] + s.bytes_sent[Category::ZComm as usize])
         .sum();
     println!("  messages       : {msgs}");
-    println!("  comm volume    : {:.3} MiB", bytes as f64 / (1 << 20) as f64);
+    println!(
+        "  comm volume    : {:.3} MiB",
+        bytes as f64 / (1 << 20) as f64
+    );
     println!("  residual       : {res:.3e}");
     if res > 1e-8 {
         eprintln!("error: residual too large — solve failed verification");

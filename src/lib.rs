@@ -49,7 +49,5 @@ pub mod prelude {
     pub use ordering::SymbolicOptions;
     pub use simgrid::{Category, MachineModel};
     pub use sparse::{self, gen, CsrMatrix};
-    pub use sptrsv::{
-        solve_distributed, Algorithm, Arch, SolveOutcome, Solver3d, SolverConfig,
-    };
+    pub use sptrsv::{solve_distributed, Algorithm, Arch, SolveOutcome, Solver3d, SolverConfig};
 }

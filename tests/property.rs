@@ -5,6 +5,8 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use sptrsv::schedule::{Schedule, ScheduleKey};
+use sptrsv::Plan;
 use sptrsv_repro::prelude::*;
 use std::sync::Arc;
 
@@ -13,12 +15,13 @@ fn random_sym_dd(n: usize, extra_edges: usize, seed: u64) -> CsrMatrix {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut coo = sparse::CooMatrix::new(n);
     let mut rowsum = vec![0.0f64; n];
-    let push_sym = |coo: &mut sparse::CooMatrix, rowsum: &mut Vec<f64>, i: usize, j: usize, v: f64| {
-        coo.push(i, j, v);
-        coo.push(j, i, v);
-        rowsum[i] += v.abs();
-        rowsum[j] += v.abs();
-    };
+    let push_sym =
+        |coo: &mut sparse::CooMatrix, rowsum: &mut Vec<f64>, i: usize, j: usize, v: f64| {
+            coo.push(i, j, v);
+            coo.push(j, i, v);
+            rowsum[i] += v.abs();
+            rowsum[j] += v.abs();
+        };
     // Chain for irreducibility.
     for i in 0..n - 1 {
         let v = -(0.2 + rng.gen::<f64>());
@@ -161,6 +164,80 @@ proptest! {
         let b = gen::standard_rhs(n, nrhs);
         let x = f.solve(&b, nrhs);
         prop_assert!(sparse::rel_residual_inf(&a, &x, &b, nrhs) < 1e-9);
+    }
+
+    /// Compiled-schedule execution is layout-complete: for a fixed world
+    /// of P = 8 ranks, *every* (Px, Py, Pz) factorization with power-of-two
+    /// Pz must reproduce the sequential reference — on the CPU path and on
+    /// the GPU execution model alike. All ten layouts interpret schedule
+    /// IRs compiled by the same `Schedule::compile`, so this sweeps each
+    /// degenerate corner (pure-2D Pz = 1, pure-Z 1x1x8, single-column
+    /// Px = 1, single-row Py = 1) per random matrix.
+    #[test]
+    fn all_p8_layouts_match_reference(
+        n in 24usize..56,
+        extra in 10usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a = random_sym_dd(n, extra, seed);
+        let b = gen::standard_rhs(n, 1);
+        for logpz in 0u32..4 {
+            let pz = 1usize << logpz;
+            let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+            let want = f.solve(&b, 1);
+            let grid = 8 / pz;
+            for px in 1..=grid {
+                if !grid.is_multiple_of(px) {
+                    continue;
+                }
+                let py = grid / px;
+                for arch in [Arch::Cpu, Arch::Gpu] {
+                    let cfg = SolverConfig {
+                        px, py, pz,
+                        nrhs: 1,
+                        algorithm: Algorithm::New3d,
+                        arch,
+                        machine: MachineModel::perlmutter_gpu(),
+                        chaos_seed: seed,
+                    };
+                    let out = solve_distributed(&f, &b, &cfg);
+                    let err = sparse::max_abs_diff(&out.x, &want);
+                    prop_assert!(
+                        err < 1e-9,
+                        "layout {px}x{py}x{pz} ({arch:?}) diverged: max |dx| = {err:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The schedule IR survives serialization: for random systems and grid
+    /// shapes, every compiled variant round-trips through JSON to an
+    /// identical `Schedule` (the IR is pure data — no closures, no
+    /// pointers into the plan).
+    #[test]
+    fn schedule_serde_roundtrip_is_identity(
+        n in 24usize..70,
+        extra in 10usize..60,
+        seed in 0u64..1000,
+        px in 1usize..4,
+        py in 1usize..3,
+        logpz in 0u32..3,
+    ) {
+        let pz = 1usize << logpz;
+        let a = random_sym_dd(n, extra, seed);
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+        let plan = Plan::new(Arc::clone(&f), px, py, pz);
+        for key in [
+            ScheduleKey { baseline: true, tree_comm: false },
+            ScheduleKey { baseline: false, tree_comm: false },
+            ScheduleKey { baseline: false, tree_comm: true },
+        ] {
+            let s = plan.schedule(key);
+            let json = serde_json::to_string(&*s).unwrap();
+            let back: Schedule = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&*s, &back);
+        }
     }
 
     /// Simulator allreduce (binomial) equals the dense sum for any size.

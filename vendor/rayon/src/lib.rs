@@ -1,0 +1,126 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses:
+//! `(range | vec).into_par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Work is genuinely parallel: items are split into one contiguous chunk
+//! per available core and mapped on scoped OS threads, preserving input
+//! order in the collected output.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Marker trait mirroring rayon's `ParallelIterator` (methods here are
+/// inherent on the concrete types; the trait exists for `use` parity).
+pub trait ParallelIterator {}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T> ParallelIterator for ParIter<T> {}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<T, U, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+pub struct ParMap<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<T, U, F> ParallelIterator for ParMap<T, U, F> {}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, U, F> {
+    pub fn collect<C>(self) -> C
+    where
+        C: From<Vec<U>>,
+    {
+        C::from(par_map(self.items, &self.f))
+    }
+}
+
+fn par_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    let nthreads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if n <= 1 || nthreads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(nthreads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(nthreads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_parallel_map_over_range_and_vec() {
+        let got: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        let want: Vec<usize> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(got, want);
+        let got: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|i: i32| format!("{i}"))
+            .collect();
+        assert_eq!(got, vec!["1", "2", "3"]);
+    }
+}

@@ -1,0 +1,372 @@
+//! Offline stand-in for `serde_derive`, written directly against
+//! `proc_macro` (no syn/quote available offline). It supports exactly the
+//! shapes this workspace derives:
+//!
+//! - structs with named fields (including lifetime/type generics without
+//!   `where` clauses),
+//! - unit structs,
+//! - enums whose variants are all unit variants (discriminants allowed).
+//!
+//! Anything else produces a `compile_error!` naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct (possibly with zero fields) or unit struct.
+    Struct { fields: Vec<String> },
+    /// Enum whose variants are all unit variants.
+    UnitEnum { variants: Vec<String> },
+}
+
+struct Input {
+    name: String,
+    /// Raw generic parameters, split on top-level commas (e.g. `["'a", "T"]`).
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok(item) => generate(&item, mode)
+            .parse()
+            .expect("generated code parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+// --- Parsing -------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "serde derive stub: expected struct/enum, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive stub: expected name, found {other:?}")),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i)?;
+
+    if kind == "enum" {
+        let body = expect_brace(&tokens, &mut i)?;
+        let variants = parse_unit_variants(&body)?;
+        return Ok(Input {
+            name,
+            generics,
+            shape: Shape::UnitEnum { variants },
+        });
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let fields = parse_named_fields(&body)?;
+            Ok(Input {
+                name,
+                generics,
+                shape: Shape::Struct { fields },
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+            name,
+            generics,
+            shape: Shape::Struct { fields: Vec::new() },
+        }),
+        _ => Err(format!(
+            "serde derive stub: tuple structs are not supported (deriving for {name})"
+        )),
+    }
+}
+
+/// Skip any leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<...>` after the type name, returning params split on top-level
+/// commas. Leaves `i` after the closing `>`.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(Vec::new()),
+    }
+    *i += 1;
+    let mut depth = 0usize;
+    let mut params = Vec::new();
+    let mut cur = String::new();
+    loop {
+        let tok = tokens
+            .get(*i)
+            .ok_or_else(|| "serde derive stub: unterminated generics".to_string())?;
+        *i += 1;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                cur.push('<');
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => {
+                depth -= 1;
+                cur.push('>');
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                if !cur.trim().is_empty() {
+                    params.push(cur.trim().to_string());
+                }
+                return Ok(params);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                params.push(cur.trim().to_string());
+                cur.clear();
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Keep lifetimes as a single `'name` token when re-lexed.
+                cur.push('\'');
+            }
+            other => {
+                cur.push_str(&other.to_string());
+                cur.push(' ');
+            }
+        }
+    }
+}
+
+fn expect_brace(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<TokenTree>, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            *i += 1;
+            Ok(g.stream().into_iter().collect())
+        }
+        other => Err(format!("serde derive stub: expected body, found {other:?}")),
+    }
+}
+
+/// Parse `name: Type, ...` out of a struct body, skipping attributes,
+/// visibility, and the type tokens themselves.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        let name = match body.get(i) {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde derive stub: expected field name, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde derive stub: expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_to_top_level_comma(body, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advance past tokens until (and including) the next comma at angle-bracket
+/// depth zero, or the end of the token list.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        *i += 1;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        let name = match body.get(i) {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde derive stub: expected variant name, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        if let Some(TokenTree::Group(_)) = body.get(i) {
+            return Err(format!(
+                "serde derive stub: variant `{name}` carries data; only unit enums are supported"
+            ));
+        }
+        skip_to_top_level_comma(body, &mut i);
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+// --- Code generation -----------------------------------------------------
+
+fn generate(item: &Input, mode: Mode) -> String {
+    let name = &item.name;
+    let (impl_generics, ty_generics) = render_generics(&item.generics, mode);
+    let header = match mode {
+        Mode::Serialize => {
+            format!("impl{impl_generics} ::serde::Serialize for {name}{ty_generics}")
+        }
+        Mode::Deserialize => {
+            format!("impl{impl_generics} ::serde::Deserialize for {name}{ty_generics}")
+        }
+    };
+    let body = match (&item.shape, mode) {
+        (Shape::Struct { fields }, Mode::Serialize) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "fn to_value(&self) -> ::serde::Value {{\
+                     ::serde::Value::Object(vec![{pushes}])\
+                 }}"
+            )
+        }
+        (Shape::Struct { fields }, Mode::Deserialize) => {
+            let builds: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")\
+                             .ok_or_else(|| ::serde::Error::msg(\
+                                 \"missing field `{f}` in {name}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "fn from_value(v: &::serde::Value) \
+                     -> ::core::result::Result<Self, ::serde::Error> {{\
+                     ::core::result::Result::Ok({name} {{ {builds} }})\
+                 }}"
+            )
+        }
+        (Shape::UnitEnum { variants }, Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "fn to_value(&self) -> ::serde::Value {{\
+                     ::serde::Value::Str(match self {{ {arms} }}.to_string())\
+                 }}"
+            )
+        }
+        (Shape::UnitEnum { variants }, Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "fn from_value(v: &::serde::Value) \
+                     -> ::core::result::Result<Self, ::serde::Error> {{\
+                     match v {{\
+                         ::serde::Value::Str(s) => match s.as_str() {{\
+                             {arms}\
+                             other => ::core::result::Result::Err(::serde::Error::msg(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\
+                         }},\
+                         other => ::core::result::Result::Err(::serde::Error::msg(\
+                             format!(\"expected string for {name}, found {{other:?}}\"))),\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    format!("{header} {{ {body} }}")
+}
+
+/// Build `impl<...>` and `Name<...>` generic argument lists. Type params
+/// get a `Serialize`/`Deserialize` bound; lifetimes pass through.
+fn render_generics(params: &[String], mode: Mode) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let bound = match mode {
+        Mode::Serialize => "::serde::Serialize",
+        Mode::Deserialize => "::serde::Deserialize",
+    };
+    let mut impl_parts = Vec::new();
+    let mut ty_parts = Vec::new();
+    for p in params {
+        let ident = p
+            .split([':', ' '])
+            .find(|s| !s.is_empty())
+            .unwrap_or(p)
+            .to_string();
+        if p.starts_with('\'') {
+            impl_parts.push(p.clone());
+            ty_parts.push(ident);
+        } else if p.contains(':') {
+            impl_parts.push(format!("{p} + {bound}"));
+            ty_parts.push(ident);
+        } else {
+            impl_parts.push(format!("{p}: {bound}"));
+            ty_parts.push(ident);
+        }
+    }
+    (
+        format!("<{}>", impl_parts.join(", ")),
+        format!("<{}>", ty_parts.join(", ")),
+    )
+}
