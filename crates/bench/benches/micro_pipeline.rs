@@ -66,6 +66,7 @@ fn bench_simulated_solve(c: &mut Criterion) {
         arch: sptrsv::Arch::Cpu,
         machine: simgrid::MachineModel::cori_haswell(),
         chaos_seed: 0,
+        fault: Default::default(),
     };
     c.bench_function("simulated_new3d_16ranks_1024", |b| {
         b.iter(|| sptrsv::solve_distributed(black_box(&f), &b0, &cfg));

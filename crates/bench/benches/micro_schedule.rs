@@ -30,6 +30,7 @@ fn fixture() -> (Arc<lufactor::Factorized>, Vec<f64>, SolverConfig) {
         arch: sptrsv::Arch::Cpu,
         machine: simgrid::MachineModel::cori_haswell(),
         chaos_seed: 0,
+        fault: Default::default(),
     };
     (f, b, cfg)
 }

@@ -119,6 +119,7 @@ pub fn run_once(
         arch,
         machine,
         chaos_seed: 0,
+        fault: Default::default(),
     };
     let out = solve_distributed(fact, &b, &cfg);
     assert!(

@@ -41,6 +41,25 @@ fn pack(plan: &Plan, sups: &[u32], vals: &HashMap<u32, Vec<f64>>, nrhs: usize) -
     buf
 }
 
+/// Defensive pack-layout validation on receipt: the received buffer must
+/// be exactly as wide as the local sup list implies, or sender and
+/// receiver compiled different pack lists for this step — fail loudly
+/// with a layout diagnostic instead of silently mis-assigning values.
+fn check_layout(plan: &Plan, sups: &[u32], buf: &[f64], nrhs: usize, what: &str) {
+    let sym = plan.fact.lu.sym();
+    let want: usize = sups.iter().map(|&k| sym.sup_width(k as usize) * nrhs).sum();
+    assert_eq!(
+        buf.len(),
+        want,
+        "sparse-allreduce {what} layout mismatch: got {} doubles, want {} \
+         ({} sups, nrhs {nrhs}, first sups {:?})",
+        buf.len(),
+        want,
+        sups.len(),
+        &sups[..sups.len().min(8)],
+    );
+}
+
 fn unpack_add(
     plan: &Plan,
     sups: &[u32],
@@ -48,6 +67,7 @@ fn unpack_add(
     vals: &mut HashMap<u32, Vec<f64>>,
     nrhs: usize,
 ) {
+    check_layout(plan, sups, buf, nrhs, "reduce pack");
     let sym = plan.fact.lu.sym();
     let mut off = 0;
     for &k in sups {
@@ -58,7 +78,6 @@ fn unpack_add(
         }
         off += w;
     }
-    debug_assert_eq!(off, buf.len());
 }
 
 fn unpack_set(
@@ -68,6 +87,7 @@ fn unpack_set(
     vals: &mut HashMap<u32, Vec<f64>>,
     nrhs: usize,
 ) {
+    check_layout(plan, sups, buf, nrhs, "broadcast pack");
     let sym = plan.fact.lu.sym();
     let mut off = 0;
     for &k in sups {
@@ -75,7 +95,6 @@ fn unpack_set(
         vals.insert(k, buf[off..off + w].to_vec());
         off += w;
     }
-    debug_assert_eq!(off, buf.len());
 }
 
 /// Run the sparse allreduce over `y_vals` from my compiled step roles

@@ -190,6 +190,7 @@ mod tests {
             arch: Arch::Cpu,
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
+            fault: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let xy_msgs: u64 = out
@@ -242,6 +243,7 @@ mod tests {
             arch: Arch::Cpu,
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
+            fault: Default::default(),
         };
         let t = solve_distributed(&f, &b, &mk(Algorithm::New3d));
         let fl = solve_distributed(&f, &b, &mk(Algorithm::New3dFlat));
@@ -293,6 +295,7 @@ mod tests {
             arch: Arch::Cpu,
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
+            fault: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         assert!(

@@ -19,19 +19,18 @@ use crate::driver::PhaseTimes;
 use crate::new3d::RankOutput;
 use crate::plan::Plan;
 use crate::schedule::{ScheduleKey, ZExchange};
-use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, SolveState};
+use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, Ledger, SolveState};
 use simgrid::{Category, Comm};
-use std::collections::HashMap;
 
 /// Pack per-rank partial `lsum` rows `I` (ancestor supernodes with
 /// `I mod Px == x`) into one buffer. Zeros for rows this rank never touched.
-fn pack_lsums(plan: &Plan, sups: &[u32], lsum: &HashMap<u32, Vec<f64>>, nrhs: usize) -> Vec<f64> {
+fn pack_lsums(plan: &Plan, sups: &[u32], lsum: &Ledger, nrhs: usize) -> Vec<f64> {
     let sym = plan.fact.lu.sym();
     let mut buf = Vec::new();
     for &i in sups {
         let w = sym.sup_width(i as usize) * nrhs;
-        match lsum.get(&i) {
-            Some(v) => buf.extend_from_slice(v),
+        match lsum.fold(i) {
+            Some(v) => buf.extend_from_slice(&v),
             None => buf.extend(std::iter::repeat_n(0.0, w)),
         }
     }
@@ -41,21 +40,31 @@ fn pack_lsums(plan: &Plan, sups: &[u32], lsum: &HashMap<u32, Vec<f64>>, nrhs: us
 fn unpack_add_lsums(
     plan: &Plan,
     sups: &[u32],
+    tag: u64,
     buf: &[f64],
-    lsum: &mut HashMap<u32, Vec<f64>>,
+    lsum: &mut Ledger,
     nrhs: usize,
 ) {
     let sym = plan.fact.lu.sym();
+    let want: usize = sups.iter().map(|&i| sym.sup_width(i as usize) * nrhs).sum();
+    // Defensive pack-layout validation: a wrong-length buffer means the
+    // sender and receiver disagree on the exchange's sup list — corrupt
+    // the diagnosis, not the solution.
+    assert_eq!(
+        buf.len(),
+        want,
+        "z-exchange pack layout mismatch (tag {tag:#x}): got {} doubles, want {} \
+         ({} sups x nrhs {nrhs})",
+        buf.len(),
+        want,
+        sups.len(),
+    );
     let mut off = 0;
     for &i in sups {
         let w = sym.sup_width(i as usize) * nrhs;
-        let acc = lsum.entry(i).or_insert_with(|| vec![0.0; w]);
-        for (a, &v) in acc.iter_mut().zip(&buf[off..off + w]) {
-            *a += v;
-        }
+        lsum.add(i, Ledger::key_exchange(tag), &buf[off..off + w]);
         off += w;
     }
-    debug_assert_eq!(off, buf.len());
 }
 
 /// Pairwise reduce of the ancestor partial sums toward the smaller grid
@@ -66,7 +75,14 @@ fn exchange_lsums(plan: &Plan, zcomm: &Comm, xch: &ZExchange, nrhs: usize, state
         zcomm.send(xch.peer as usize, xch.tag, &buf, Category::ZComm);
     } else {
         let msg = zcomm.recv(Some(xch.peer as usize), Some(xch.tag), Category::ZComm);
-        unpack_add_lsums(plan, &xch.sups, &msg.payload, &mut state.lsum, nrhs);
+        unpack_add_lsums(
+            plan,
+            &xch.sups,
+            xch.tag,
+            &msg.payload,
+            &mut state.lsum,
+            nrhs,
+        );
     }
 }
 
@@ -206,6 +222,7 @@ mod tests {
             arch: Arch::Cpu,
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
+            fault: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let diff = sparse::max_abs_diff(&out.x, &want);

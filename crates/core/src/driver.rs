@@ -54,6 +54,8 @@ pub struct SolverConfig {
     pub machine: MachineModel,
     /// Nonzero: chaotic any-source message selection (failure injection).
     pub chaos_seed: u64,
+    /// Fault-injection plan for the simulated network (inert by default).
+    pub fault: simgrid::FaultPlan,
 }
 
 /// Per-rank phase timing, in simulated seconds.
@@ -198,6 +200,8 @@ pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool
     let opts = ClusterOptions {
         chaos_seed: cfg.chaos_seed,
         trace,
+        fault: cfg.fault.clone(),
+        ..ClusterOptions::default()
     };
     let plan2 = Arc::clone(plan);
     let pb2 = Arc::clone(&pb);
@@ -334,6 +338,7 @@ mod tests {
             arch: Arch::Cpu,
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
+            fault: Default::default(),
         };
         let solver = Solver3d::new(Arc::clone(&f), cfg);
         assert_eq!(solver.plan().schedule_compiles(), 1);

@@ -31,7 +31,10 @@ use crate::driver::PhaseTimes;
 use crate::kernels;
 use crate::new3d::RankOutput;
 use crate::plan::Plan;
-use crate::schedule::{run_pass, ColSched, PassEngine, PassSched, RowSched, ScheduleKey};
+use crate::schedule::{
+    run_pass, ColSched, PassEngine, PassSched, RecvEvent, RowSched, ScheduleKey,
+};
+use crate::solve2d::Ledger;
 use simgrid::{Category, Comm, GpuExecutor, GpuModel};
 use std::collections::HashMap;
 
@@ -284,7 +287,7 @@ fn multi_gpu_pass(
         me_world: comm.world_rank(comm.rank()),
         t0,
         ex: GpuExecutor::new(gpu, t0),
-        sums: HashMap::new(),
+        sums: Ledger::default(),
         row_ready: HashMap::new(),
         last_event: t0,
         avail: t0,
@@ -316,8 +319,9 @@ struct GpuEngine<'a, 'b> {
     me_world: usize,
     t0: f64,
     ex: GpuExecutor,
-    /// Partial sums (`lsum` in L, `usum` in U), pass-local.
-    sums: HashMap<u32, Vec<f64>>,
+    /// Partial sums (`lsum` in L, `usum` in U), pass-local, buffered per
+    /// contribution source for order-independent folding.
+    sums: Ledger,
     /// Earliest virtual time each row's dependencies are satisfied.
     row_ready: HashMap<u32, f64>,
     last_event: f64,
@@ -363,32 +367,19 @@ impl PassEngine for GpuEngine<'_, '_> {
         let sym = self.plan.fact.lu.sym();
         let w = sym.sup_width(iu);
         let ready = self.row_ready.get(&row.sup).copied().unwrap_or(self.t0);
+        let folded = self.sums.fold(row.sup);
         let v = if self.lower {
             // Diagonal thread block: y(I) from the masked RHS.
             let active = self.plan.rhs_active(self.z, iu);
             let b_i = kernels::masked_rhs(&self.plan.fact, iu, self.pb, self.nrhs, active);
-            kernels::diag_solve_l(
-                &self.plan.fact,
-                iu,
-                &b_i,
-                self.sums.get(&row.sup).map(|v| &v[..]),
-                self.nrhs,
-            )
-            .0
+            kernels::diag_solve_l(&self.plan.fact, iu, &b_i, folded.as_deref(), self.nrhs).0
         } else {
             let y_k = self
                 .vals_in
                 .expect("U pass has y values")
                 .get(&row.sup)
                 .expect("y present at diagonal owner");
-            kernels::diag_solve_u(
-                &self.plan.fact,
-                iu,
-                y_k,
-                self.sums.get(&row.sup).map(|v| &v[..]),
-                self.nrhs,
-            )
-            .0
+            kernels::diag_solve_u(&self.plan.fact, iu, y_k, folded.as_deref(), self.nrhs).0
         };
         let f = self
             .ex
@@ -416,16 +407,12 @@ impl PassEngine for GpuEngine<'_, '_> {
     fn send_partial(&mut self, row: &RowSched, parent: u32) {
         let w = self.plan.fact.lu.sym().sup_width(row.sup as usize);
         let ready = self.row_ready.get(&row.sup).copied().unwrap_or(self.t0);
-        let zeros;
-        let payload = match self.sums.get(&row.sup) {
-            Some(v) => &v[..],
-            None => {
-                zeros = vec![0.0; w * self.nrhs];
-                &zeros[..]
-            }
-        };
+        let payload = self
+            .sums
+            .fold(row.sup)
+            .unwrap_or_else(|| vec![0.0; w * self.nrhs]);
         let t = tag(self.epoch, self.sum_kind(), row.sup);
-        self.put(ready, parent as usize, t, payload);
+        self.put(ready, parent as usize, t, &payload);
         self.last_event = self.last_event.max(ready);
     }
 
@@ -448,8 +435,7 @@ impl PassEngine for GpuEngine<'_, '_> {
             let wi = sym.sup_width(i as usize);
             let acc = self
                 .sums
-                .entry(i)
-                .or_insert_with(|| vec![0.0; wi * self.nrhs]);
+                .accum(i, Ledger::key_local(col.sup), wi * self.nrhs);
             if self.lower {
                 kernels::apply_l_block(
                     &self.plan.fact,
@@ -480,22 +466,15 @@ impl PassEngine for GpuEngine<'_, '_> {
         }
     }
 
-    fn add_partial(&mut self, row: &RowSched, payload: &[f64]) {
-        let w = self.plan.fact.lu.sym().sup_width(row.sup as usize);
-        let acc = self
-            .sums
-            .entry(row.sup)
-            .or_insert_with(|| vec![0.0; w * self.nrhs]);
-        for (a, &v) in acc.iter_mut().zip(payload.iter()) {
-            *a += v;
-        }
+    fn add_partial(&mut self, row: &RowSched, src: u32, payload: &[f64]) {
+        self.sums.add(row.sup, Ledger::key_partial(src), payload);
         let e = self.row_ready.entry(row.sup).or_insert(self.t0);
         if self.avail > *e {
             *e = self.avail;
         }
     }
 
-    fn recv(&mut self, _epoch: u64) -> (bool, u32, Vec<f64>) {
+    fn recv(&mut self, _epoch: u64) -> RecvEvent {
         let msg = self.comm.recv_raw_tag_masked(EPOCH_MASK, self.epoch << 48);
         let sup = (msg.tag & SUP_MASK) as u32;
         let kind = msg.tag & KIND_MASK;
@@ -508,7 +487,12 @@ impl PassEngine for GpuEngine<'_, '_> {
         } else {
             unreachable!("unexpected kind in GPU pass");
         };
-        (is_vec, sup, msg.payload.to_vec())
+        RecvEvent {
+            vector: is_vec,
+            sup,
+            src: msg.src as u32,
+            payload: msg.payload.to_vec(),
+        }
     }
 }
 
@@ -534,6 +518,7 @@ mod tests {
             arch: Arch::Gpu,
             machine: MachineModel::perlmutter_gpu(),
             chaos_seed: 0,
+            fault: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let diff = sparse::max_abs_diff(&out.x, &want);
@@ -589,6 +574,7 @@ mod tests {
             arch: Arch::Gpu,
             machine: MachineModel::crusher_gpu(),
             chaos_seed: 0,
+            fault: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         assert!(sparse::max_abs_diff(&out.x, &want) < 1e-11);

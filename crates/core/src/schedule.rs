@@ -20,7 +20,7 @@ use crate::kernels;
 use crate::plan::{GridSet, Plan, SupSet};
 use crate::solve2d::{member_list, tree_links};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Baseline inter-grid tags (`TAG + lev` stamped at compile time).
 const TAG_ZRED: u64 = 9 << 40;
@@ -655,15 +655,47 @@ pub trait PassEngine {
     fn send_partial(&mut self, row: &RowSched, parent: u32);
     /// Apply my local blocks of `col` to the partial sums.
     fn apply_column(&mut self, col: &ColSched, v: &[f64]);
-    /// Accumulate a received partial-sum payload into `row`.
-    fn add_partial(&mut self, row: &RowSched, payload: &[f64]);
-    /// Blocking epoch-matched receive: `(is_solved_vector, sup, payload)`.
-    fn recv(&mut self, epoch: u64) -> (bool, u32, Vec<f64>);
+    /// Accumulate a received partial-sum payload into `row`. `src` is the
+    /// sending grid rank (used for order-independent accumulation).
+    fn add_partial(&mut self, row: &RowSched, src: u32, payload: &[f64]);
+    /// Blocking epoch-matched receive.
+    fn recv(&mut self, epoch: u64) -> RecvEvent;
+}
+
+/// One message delivered to a pass: a solved column vector (broadcast
+/// tree) or a partial sum (reduction tree), with its origin rank so the
+/// interpreter can detect duplicated deliveries.
+#[derive(Clone, Debug)]
+pub struct RecvEvent {
+    /// True for a solved vector, false for a partial sum.
+    pub vector: bool,
+    /// Supernode the message concerns.
+    pub sup: u32,
+    /// Sending grid rank.
+    pub src: u32,
+    /// Message data.
+    pub payload: Vec<f64>,
 }
 
 /// Interpret one compiled 2D pass: the message-driven traversal shared
 /// by the CPU (Alg. 3) and multi-GPU (Alg. 5) executors.
+///
+/// Duplicated deliveries (fault injection, or a retransmitting network)
+/// are detected by `(kind, sup, src)` and dropped idempotently, so an
+/// `fmod` counter is never decremented twice for one logical message.
 pub fn run_pass<E: PassEngine>(engine: &mut E, pass: &PassSched) {
+    run_pass_impl(engine, pass, true)
+}
+
+/// `run_pass` with duplicate detection disabled. Exists only so tests can
+/// prove the dedup matters: under duplicated deliveries this variant must
+/// fail the end-of-pass validation (a mutation check).
+#[doc(hidden)]
+pub fn run_pass_no_dedup<E: PassEngine>(engine: &mut E, pass: &PassSched) {
+    run_pass_impl(engine, pass, false)
+}
+
+fn run_pass_impl<E: PassEngine>(engine: &mut E, pass: &PassSched, dedup: bool) {
     let mut fmod: Vec<u32> = pass.rows.iter().map(|r| r.fmod0).collect();
     let mut work: Vec<u32> = pass
         .rows
@@ -685,6 +717,7 @@ pub fn run_pass<E: PassEngine>(engine: &mut E, pass: &PassSched) {
     }
 
     let mut received = 0u32;
+    let mut seen: HashSet<(bool, u32, u32)> = HashSet::new();
     loop {
         while let Some(s) = work.pop() {
             let idx = pass.row_index(s).expect("trigger row compiled");
@@ -704,24 +737,98 @@ pub fn run_pass<E: PassEngine>(engine: &mut E, pass: &PassSched) {
         if received >= pass.expected {
             break;
         }
-        let (is_vec, sup, payload) = engine.recv(pass.epoch);
-        received += 1;
-        if is_vec {
-            if let Some(col) = pass.col(sup) {
-                engine.forward(col, &payload);
-                apply_and_complete(engine, pass, col, &payload, &mut fmod, &mut work);
+        // A stalled receive panics in the simulator's watchdog; append the
+        // pass-level view (pending counters, tree positions) so the dump
+        // says *what* this rank was still waiting for.
+        let ev = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.recv(pass.epoch)
+        })) {
+            Ok(ev) => ev,
+            Err(cause) => {
+                let inner = cause
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| cause.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "receive panicked".to_string());
+                std::panic::resume_unwind(Box::new(format!(
+                    "{inner}{}",
+                    pass_report(pass, &fmod, received)
+                )));
             }
-            engine.store_solved(sup, &payload);
+        };
+        if dedup && !seen.insert((ev.vector, ev.sup, ev.src)) {
+            // Duplicate delivery: drop it without touching counters.
+            continue;
+        }
+        received += 1;
+        if ev.vector {
+            if let Some(col) = pass.col(ev.sup) {
+                engine.forward(col, &ev.payload);
+                apply_and_complete(engine, pass, col, &ev.payload, &mut fmod, &mut work);
+            }
+            engine.store_solved(ev.sup, &ev.payload);
         } else {
-            let idx = pass.row_index(sup).expect("partial targets a trigger row");
-            engine.add_partial(&pass.rows[idx], &payload);
+            let idx = pass
+                .row_index(ev.sup)
+                .expect("partial targets a trigger row");
+            if fmod[idx] == 0 {
+                panic!(
+                    "excess partial sum for already-complete trigger row sup {} (src {}){}",
+                    ev.sup,
+                    ev.src,
+                    pass_report(pass, &fmod, received)
+                );
+            }
+            engine.add_partial(&pass.rows[idx], ev.src, &ev.payload);
             fmod[idx] -= 1;
             if fmod[idx] == 0 {
-                work.push(sup);
+                work.push(ev.sup);
             }
         }
     }
-    debug_assert!(work.is_empty());
+    if !work.is_empty() || fmod.iter().any(|&c| c != 0) {
+        panic!(
+            "pass exhausted its receive budget with unmet dependencies{}",
+            pass_report(pass, &fmod, received)
+        );
+    }
+}
+
+/// Per-pass diagnostic appended to stall/validation panics: which trigger
+/// rows are still pending, their remaining counters, and their reduction
+/// tree position.
+fn pass_report(pass: &PassSched, fmod: &[u32], received: u32) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "pass diagnostics: epoch {:#x} ({}-solve), received {received}/{} expected",
+        pass.epoch,
+        if pass.lower { "L" } else { "U" },
+        pass.expected,
+    );
+    let pending: Vec<(usize, &RowSched)> = pass
+        .rows
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| fmod[i] != 0)
+        .collect();
+    let _ = writeln!(s, "  pending trigger rows: {}", pending.len());
+    for (i, row) in pending {
+        let _ = writeln!(
+            s,
+            "    sup {:>6}: {}/{} contributions outstanding, tree position: {}",
+            row.sup,
+            fmod[i],
+            row.fmod0,
+            match row.parent {
+                None => "reduction root (diagonal owner)".to_string(),
+                Some(p) => format!("leaf/inner, parent grid rank {p}"),
+            },
+        );
+    }
+    s
 }
 
 /// A column's vector became available: apply its blocks and retire the
@@ -879,5 +986,152 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Script-driven engine for exercising `run_pass` without a cluster.
+    struct MockEngine {
+        script: Vec<RecvEvent>,
+        next: usize,
+        diag_solved: Vec<u32>,
+        partials: Vec<(u32, u32)>,
+        sent: Vec<u32>,
+    }
+
+    impl MockEngine {
+        fn new(script: Vec<RecvEvent>) -> Self {
+            MockEngine {
+                script,
+                next: 0,
+                diag_solved: Vec::new(),
+                partials: Vec::new(),
+                sent: Vec::new(),
+            }
+        }
+    }
+
+    impl PassEngine for MockEngine {
+        fn solve_diag(&mut self, row: &RowSched) -> Vec<f64> {
+            self.diag_solved.push(row.sup);
+            vec![0.0]
+        }
+        fn store_solved(&mut self, _sup: u32, _v: &[f64]) {}
+        fn solved(&self, _sup: u32) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn forward(&mut self, _col: &ColSched, _v: &[f64]) {}
+        fn send_partial(&mut self, row: &RowSched, _parent: u32) {
+            self.sent.push(row.sup);
+        }
+        fn apply_column(&mut self, _col: &ColSched, _v: &[f64]) {}
+        fn add_partial(&mut self, row: &RowSched, src: u32, _payload: &[f64]) {
+            self.partials.push((row.sup, src));
+        }
+        fn recv(&mut self, _epoch: u64) -> RecvEvent {
+            let ev = self.script[self.next].clone();
+            self.next += 1;
+            ev
+        }
+    }
+
+    /// A pass where a duplicated vector delivery precedes the one real
+    /// partial sum. With dedup the duplicate is dropped and the pass
+    /// completes; see the mutation check below for the broken variant.
+    fn duplicated_delivery_pass() -> (PassSched, Vec<RecvEvent>) {
+        let pass = PassSched {
+            epoch: 0x7 << 48,
+            lower: true,
+            expected: 2,
+            cols: vec![ColSched {
+                sup: 7,
+                children: vec![],
+                is_root: false,
+                blocks: vec![],
+                total_rows: 0,
+                maxw: 1,
+            }],
+            rows: vec![RowSched {
+                sup: 5,
+                fmod0: 1,
+                parent: None,
+            }],
+            ext_roots: vec![],
+        };
+        let vec_ev = RecvEvent {
+            vector: true,
+            sup: 7,
+            src: 1,
+            payload: vec![0.0],
+        };
+        let script = vec![
+            vec_ev.clone(),
+            vec_ev, // duplicated delivery of the same vector
+            RecvEvent {
+                vector: false,
+                sup: 5,
+                src: 2,
+                payload: vec![0.0],
+            },
+        ];
+        (pass, script)
+    }
+
+    /// Duplicate deliveries are dropped idempotently: the duplicate does
+    /// not consume receive budget, and the real partial still lands.
+    #[test]
+    fn run_pass_dedup_survives_duplicated_delivery() {
+        let (pass, script) = duplicated_delivery_pass();
+        let mut eng = MockEngine::new(script);
+        run_pass(&mut eng, &pass);
+        assert_eq!(eng.next, 3, "all three deliveries consumed");
+        assert_eq!(eng.partials, vec![(5, 2)]);
+        assert_eq!(eng.diag_solved, vec![5]);
+    }
+
+    /// Mutation check: with dedup disabled, the duplicate eats the receive
+    /// budget, the real partial is never consumed, and the end-of-pass
+    /// validation must fire with a diagnostic dump — not a hang and not a
+    /// silent wrong answer.
+    #[test]
+    fn run_pass_without_dedup_is_caught_by_validation() {
+        let (pass, script) = duplicated_delivery_pass();
+        let mut eng = MockEngine::new(script);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_pass_no_dedup(&mut eng, &pass);
+        }))
+        .expect_err("broken dedup must be detected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("unmet dependencies"), "got: {msg}");
+        assert!(msg.contains("sup      5"), "dump must name the row: {msg}");
+        assert!(msg.contains("1/1 contributions outstanding"), "got: {msg}");
+    }
+
+    /// A partial for a row whose counter already hit zero (e.g. a replayed
+    /// message from a hostile network that slipped past dedup keys) is a
+    /// hard error with diagnostics, not a u32 underflow.
+    #[test]
+    fn excess_partial_is_rejected_with_diagnostics() {
+        let (pass, _) = duplicated_delivery_pass();
+        // Two partials from *different* sources for a row expecting one.
+        let script = vec![
+            RecvEvent {
+                vector: false,
+                sup: 5,
+                src: 2,
+                payload: vec![0.0],
+            },
+            RecvEvent {
+                vector: false,
+                sup: 5,
+                src: 3,
+                payload: vec![0.0],
+            },
+        ];
+        let mut eng = MockEngine::new(script);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_pass(&mut eng, &pass);
+        }))
+        .expect_err("excess partial must be detected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("excess partial"), "got: {msg}");
     }
 }

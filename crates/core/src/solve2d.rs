@@ -25,9 +25,79 @@
 
 use crate::kernels;
 use crate::plan::{GridSet, Plan};
-use crate::schedule::{run_pass, ColSched, PassEngine, PassSched, RowSched};
+use crate::schedule::{run_pass, ColSched, PassEngine, PassSched, RecvEvent, RowSched};
 use simgrid::{Category, Comm};
 use std::collections::HashMap;
+
+/// Order-independent partial-sum accumulator.
+///
+/// Floating-point addition is not associative, so accumulating incoming
+/// contributions in arrival order makes the solve's bits depend on the
+/// message schedule. The ledger instead buffers each contribution under a
+/// stable source key and folds them in ascending key order on demand —
+/// the folded sum is bit-identical under *any* delivery order the network
+/// (or the fault injector) produces.
+#[derive(Default)]
+pub struct Ledger {
+    rows: HashMap<u32, Vec<(u64, Vec<f64>)>>,
+}
+
+impl Ledger {
+    /// Key of a local column contribution (`sup < 2^32` keeps these below
+    /// every partial/exchange key).
+    #[inline]
+    pub fn key_local(col_sup: u32) -> u64 {
+        col_sup as u64
+    }
+
+    /// Key of a reduction-tree partial sent by grid rank `src`.
+    #[inline]
+    pub fn key_partial(src: u32) -> u64 {
+        (1 << 32) | src as u64
+    }
+
+    /// Key of a baseline z-exchange contribution carried under `tag`.
+    #[inline]
+    pub fn key_exchange(tag: u64) -> u64 {
+        (2 << 32) | (tag & 0xffff)
+    }
+
+    /// The contribution buffer for `(sup, key)`, zero-initialized at `len`.
+    pub fn accum(&mut self, sup: u32, key: u64, len: usize) -> &mut Vec<f64> {
+        let entries = self.rows.entry(sup).or_default();
+        let pos = match entries.iter().position(|(k, _)| *k == key) {
+            Some(p) => p,
+            None => {
+                entries.push((key, vec![0.0; len]));
+                entries.len() - 1
+            }
+        };
+        &mut entries[pos].1
+    }
+
+    /// Add `payload` into the `(sup, key)` contribution elementwise.
+    pub fn add(&mut self, sup: u32, key: u64, payload: &[f64]) {
+        let acc = self.accum(sup, key, payload.len());
+        for (a, &v) in acc.iter_mut().zip(payload.iter()) {
+            *a += v;
+        }
+    }
+
+    /// Fold the contributions of `sup` in ascending key order; `None`
+    /// when nothing has been accumulated.
+    pub fn fold(&self, sup: u32) -> Option<Vec<f64>> {
+        let entries = self.rows.get(&sup)?;
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_unstable_by_key(|&i| entries[i].0);
+        let mut out = vec![0.0; entries[0].1.len()];
+        for i in order {
+            for (o, &v) in out.iter_mut().zip(entries[i].1.iter()) {
+                *o += v;
+            }
+        }
+        Some(out)
+    }
+}
 
 /// Message kinds, encoded in tag bits 40..47. Bits 48+ carry the pass
 /// *epoch*: ranks of one grid are not synchronized between passes, so a
@@ -116,8 +186,9 @@ pub fn member_list(root: usize, others: impl Iterator<Item = usize>) -> Vec<usiz
 /// Persistent per-grid solve state carried across passes.
 #[derive(Default)]
 pub struct SolveState {
-    /// Partial row sums `lsum(I)` (L phase), `w_I × nrhs` col-major.
-    pub lsum: HashMap<u32, Vec<f64>>,
+    /// Partial row sums `lsum(I)` (L phase), `w_I × nrhs` col-major,
+    /// buffered per contribution source for order-independent folding.
+    pub lsum: Ledger,
     /// Solved `y(K)` at diagonal owners (and broadcast recipients).
     pub y_vals: HashMap<u32, Vec<f64>>,
     /// Solved `x(K)` at diagonal owners.
@@ -157,7 +228,7 @@ pub fn l_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
     let mut engine = CpuEngine {
         ctx,
         state,
-        usum: HashMap::new(),
+        usum: Ledger::default(),
         lower: true,
         epoch: pass.epoch,
     };
@@ -172,7 +243,7 @@ pub fn u_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
     let mut engine = CpuEngine {
         ctx,
         state,
-        usum: HashMap::new(),
+        usum: Ledger::default(),
         lower: false,
         epoch: pass.epoch,
     };
@@ -185,14 +256,14 @@ struct CpuEngine<'a, 'b> {
     ctx: &'b Ctx<'a>,
     state: &'b mut SolveState,
     /// U-phase partial sums (per-pass lifetime, unlike `state.lsum`).
-    usum: HashMap<u32, Vec<f64>>,
+    usum: Ledger,
     lower: bool,
     epoch: u64,
 }
 
 impl CpuEngine<'_, '_> {
     /// The partial-sum accumulator of the current triangle.
-    fn sums(&mut self) -> &mut HashMap<u32, Vec<f64>> {
+    fn sums(&mut self) -> &mut Ledger {
         if self.lower {
             &mut self.state.lsum
         } else {
@@ -225,13 +296,8 @@ impl PassEngine for CpuEngine<'_, '_> {
             // y(I) = L(I,I)⁻¹ (b(I) − lsum(I)), Eq. (1).
             let active = plan.rhs_active(self.ctx.grid.z, iu);
             let b_i = kernels::masked_rhs(&plan.fact, iu, self.ctx.pb, self.ctx.nrhs, active);
-            kernels::diag_solve_l(
-                &plan.fact,
-                iu,
-                &b_i,
-                self.state.lsum.get(&row.sup).map(|v| &v[..]),
-                self.ctx.nrhs,
-            )
+            let lsum = self.state.lsum.fold(row.sup);
+            kernels::diag_solve_l(&plan.fact, iu, &b_i, lsum.as_deref(), self.ctx.nrhs)
         } else {
             // x(K) = U(K,K)⁻¹ (y(K) − usum(K)), Eq. (2).
             let y_k = self
@@ -239,13 +305,8 @@ impl PassEngine for CpuEngine<'_, '_> {
                 .y_vals
                 .get(&row.sup)
                 .expect("y(K) available at diagonal owner before U-solve");
-            kernels::diag_solve_u(
-                &plan.fact,
-                iu,
-                y_k,
-                self.usum.get(&row.sup).map(|v| &v[..]),
-                self.ctx.nrhs,
-            )
+            let usum = self.usum.fold(row.sup);
+            kernels::diag_solve_u(&plan.fact, iu, y_k, usum.as_deref(), self.ctx.nrhs)
         };
         self.ctx
             .comm
@@ -282,15 +343,11 @@ impl PassEngine for CpuEngine<'_, '_> {
         let nrhs = self.ctx.nrhs;
         let t = tag(self.epoch, self.sum_kind(), row.sup);
         let comm = self.ctx.comm;
-        let zeros;
-        let payload = match self.sums().get(&row.sup) {
-            Some(v) => &v[..],
-            None => {
-                zeros = vec![0.0; w * nrhs];
-                &zeros[..]
-            }
-        };
-        comm.send(parent as usize, t, payload, Category::XyComm);
+        let payload = self
+            .sums()
+            .fold(row.sup)
+            .unwrap_or_else(|| vec![0.0; w * nrhs]);
+        comm.send(parent as usize, t, &payload, Category::XyComm);
     }
 
     fn apply_column(&mut self, col: &ColSched, v: &[f64]) {
@@ -301,7 +358,7 @@ impl PassEngine for CpuEngine<'_, '_> {
         let ju = col.sup as usize;
         for &(i, lo, hi) in &col.blocks {
             let wi = sym.sup_width(i as usize);
-            let acc = self.sums().entry(i).or_insert_with(|| vec![0.0; wi * nrhs]);
+            let acc = self.sums().accum(i, Ledger::key_local(col.sup), wi * nrhs);
             let fl = if lower {
                 kernels::apply_l_block(
                     &plan.fact,
@@ -331,39 +388,67 @@ impl PassEngine for CpuEngine<'_, '_> {
         }
     }
 
-    fn add_partial(&mut self, row: &RowSched, payload: &[f64]) {
-        let w = self.ctx.plan.fact.lu.sym().sup_width(row.sup as usize);
-        let nrhs = self.ctx.nrhs;
-        let acc = self
-            .sums()
-            .entry(row.sup)
-            .or_insert_with(|| vec![0.0; w * nrhs]);
-        for (a, &v) in acc.iter_mut().zip(payload.iter()) {
-            *a += v;
-        }
+    fn add_partial(&mut self, row: &RowSched, src: u32, payload: &[f64]) {
+        self.sums().add(row.sup, Ledger::key_partial(src), payload);
     }
 
-    fn recv(&mut self, epoch: u64) -> (bool, u32, Vec<f64>) {
+    fn recv(&mut self, epoch: u64) -> RecvEvent {
         let msg = self
             .ctx
             .comm
             .recv_tag_masked(EPOCH_MASK, epoch << 48, Category::XyComm);
         let sup = (msg.tag & SUP_MASK) as u32;
         let kind = msg.tag & KIND_MASK;
-        let is_vec = if kind == self.vec_kind() {
+        let vector = if kind == self.vec_kind() {
             true
         } else if kind == self.sum_kind() {
             false
         } else {
             unreachable!("unexpected message kind in 2D pass");
         };
-        (is_vec, sup, msg.payload.to_vec())
+        RecvEvent {
+            vector,
+            sup,
+            src: msg.src as u32,
+            payload: msg.payload.to_vec(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The whole point of the ledger: sums whose value depends on the
+    /// addition order when accumulated naively must fold bit-identically
+    /// for every insertion (arrival) order.
+    #[test]
+    fn ledger_fold_is_order_independent() {
+        let contributions = [
+            (Ledger::key_partial(3), vec![0.1, 0.2]),
+            (Ledger::key_local(7), vec![1e16, -1.0]),
+            (Ledger::key_partial(1), vec![-1e16, 0.5]),
+            (Ledger::key_exchange(0x9042), vec![1.0, 1e-8]),
+        ];
+        let fold_in = |order: &[usize]| {
+            let mut l = Ledger::default();
+            for &i in order {
+                l.add(5, contributions[i].0, &contributions[i].1);
+            }
+            l.fold(5).unwrap()
+        };
+        let want = fold_in(&[0, 1, 2, 3]);
+        for perm in [[3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1], [0, 2, 1, 3]] {
+            assert_eq!(want, fold_in(&perm), "fold depends on arrival order");
+        }
+        assert!(Ledger::default().fold(5).is_none());
+    }
+
+    #[test]
+    fn ledger_keys_never_collide_across_kinds() {
+        assert!(Ledger::key_local(u32::MAX) < Ledger::key_partial(0));
+        assert!(Ledger::key_partial(u32::MAX) < Ledger::key_exchange(0));
+    }
 
     #[test]
     fn member_list_dedups_and_roots_first() {

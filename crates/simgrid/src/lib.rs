@@ -18,11 +18,13 @@
 //! in flight in real time with an earlier virtual arrival may be passed
 //! over. This mirrors the nondeterminism of real `MPI_ANY_SOURCE`.
 
+pub mod fault;
 pub mod gpu;
 pub mod machine;
 pub mod stats;
 pub mod trace;
 
+pub use fault::{FaultPlan, Reorder, PROFILE_NAMES};
 pub use gpu::GpuExecutor;
 pub use machine::{GpuModel, MachineModel};
 pub use stats::{Category, RankStats, RunReport, N_CATEGORIES};
@@ -34,6 +36,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Tags at or above this value are reserved for collectives.
 const COLLECTIVE_TAG_BASE: u64 = 1 << 60;
@@ -68,8 +71,10 @@ struct ClusterShared {
     mailboxes: Vec<Mailbox>,
     model: Arc<MachineModel>,
     next_comm_id: AtomicU64,
-    /// Seed for chaotic any-source selection (failure injection); 0 = off.
-    chaos_seed: u64,
+    /// Effective fault plan for this run (inert when fault injection is off).
+    fault: FaultPlan,
+    /// Real-time cap on a blocking receive before the watchdog fires.
+    stall_timeout: Option<Duration>,
 }
 
 /// Per-rank mutable context. Owned by the rank's thread; `Comm` handles on
@@ -80,8 +85,14 @@ struct RankCtx {
     stats: RefCell<RankStats>,
     /// Per-destination last arrival, enforcing MPI's non-overtaking rule.
     fifo: RefCell<HashMap<(u64, u32), f64>>,
-    /// xorshift state for chaotic any-source selection; 0 = disabled.
-    chaos: Cell<u64>,
+    /// xorshift state for this rank's fault-sampling stream; 0 = inert plan.
+    fault_rng: Cell<u64>,
+    /// Compute-time multiplier (straggler injection; 1.0 = normal).
+    compute_mult: f64,
+    /// Per-communicator collective sequence numbers, so successive
+    /// collectives on one communicator use distinct tags and a duplicated
+    /// delivery from an earlier collective can never satisfy a later one.
+    coll_seq: RefCell<HashMap<u64, u64>>,
     /// Event timeline, recorded when tracing is enabled.
     trace: Option<RefCell<Vec<TraceEvent>>>,
 }
@@ -99,6 +110,23 @@ impl RankCtx {
                 bytes,
             });
         }
+    }
+
+    /// Next value of this rank's fault stream (xorshift64; state nonzero).
+    #[inline]
+    fn draw(&self) -> u64 {
+        let mut s = self.fault_rng.get();
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        self.fault_rng.set(s);
+        s
+    }
+
+    /// Uniform sample in `[0, 1)` from the fault stream.
+    #[inline]
+    fn draw_unit(&self) -> f64 {
+        (self.draw() >> 11) as f64 / (1u64 << 53) as f64
     }
 }
 
@@ -153,9 +181,11 @@ impl Comm {
         }
     }
 
-    /// Spend `seconds` of computation, attributed to `cat`.
+    /// Spend `seconds` of computation, attributed to `cat`. Straggler
+    /// ranks (fault injection) pay a multiple of the nominal time.
     pub fn compute(&self, seconds: f64, cat: Category) {
         debug_assert!(seconds >= 0.0);
+        let seconds = seconds * self.ctx.compute_mult;
         let t0 = self.ctx.clock.get();
         self.ctx.clock.set(t0 + seconds);
         self.ctx.stats.borrow_mut().time[cat as usize] += seconds;
@@ -203,7 +233,7 @@ impl Comm {
             self.world_rank(dst),
             bytes,
         );
-        self.send_raw(depart + wire, dst, tag, payload, cat, bytes, true);
+        self.send_raw(depart, wire, dst, tag, payload, cat, bytes, true);
     }
 
     /// Send with an explicit departure time and wire cost (used by the GPU
@@ -221,13 +251,14 @@ impl Comm {
         cat: Category,
     ) {
         let bytes = 8 * payload.len() + 64;
-        self.send_raw(depart + wire, dst, tag, payload, cat, bytes, false);
+        self.send_raw(depart, wire, dst, tag, payload, cat, bytes, false);
     }
 
     #[allow(clippy::too_many_arguments)]
     fn send_raw(
         &self,
-        mut arrival: f64,
+        depart: f64,
+        mut wire: f64,
         dst: usize,
         tag: u64,
         payload: &[f64],
@@ -236,6 +267,21 @@ impl Comm {
         fifo: bool,
     ) {
         let dst_world = self.members[dst];
+        let fault = &self.shared.fault;
+        // Link degradation: inflate the wire time (β) and add latency (α)
+        // when either endpoint is a degraded rank.
+        if !fault.degraded_ranks.is_empty()
+            && fault.link_degraded(self.ctx.world_rank, dst_world as usize)
+        {
+            wire = wire * fault.degrade_wire_mult + fault.degrade_extra_latency;
+        }
+        let mut arrival = depart + wire;
+        // In-flight jitter, sampled in sender program order (deterministic
+        // per seed). Applied before the FIFO clamp so two-sided sends stay
+        // non-overtaking even under jitter.
+        if fault.jitter_max > 0.0 && self.ctx.fault_rng.get() != 0 {
+            arrival += self.ctx.draw_unit() * fault.jitter_max;
+        }
         // Non-overtaking: per (comm, dst) FIFO on arrival times.
         if fifo {
             let mut fifo = self.ctx.fifo.borrow_mut();
@@ -262,6 +308,28 @@ impl Comm {
         let mb = &self.shared.mailboxes[dst_world as usize];
         mb.queue.lock().push(msg);
         mb.cv.notify_all();
+        // Duplicate delivery: the copy arrives strictly after the original
+        // with fresh jitter, exercising receiver-side idempotence.
+        if fault.duplicate_prob > 0.0
+            && self.ctx.fault_rng.get() != 0
+            && self.ctx.draw_unit() < fault.duplicate_prob
+        {
+            let extra = self.ctx.draw_unit() * fault.jitter_max.max(1e-6);
+            let dup = Msg {
+                comm_id: self.id,
+                src: self.my_idx as u32,
+                tag,
+                arrival: arrival + 1e-12 + extra,
+                payload: payload.into(),
+            };
+            {
+                let mut st = self.ctx.stats.borrow_mut();
+                st.bytes_sent[cat as usize] += bytes as u64;
+                st.msgs_sent[cat as usize] += 1;
+            }
+            mb.queue.lock().push(dup);
+            mb.cv.notify_all();
+        }
     }
 
     /// Blocking receive. `src`/`tag` of `None` match anything (the paper's
@@ -318,40 +386,55 @@ impl Comm {
     fn recv_raw_matching(&self, matches: impl Fn(usize, u64) -> bool) -> RecvMsg {
         let mb = &self.shared.mailboxes[self.ctx.world_rank];
         let mut q = mb.queue.lock();
+        let started = self
+            .shared
+            .stall_timeout
+            .map(|limit| (Instant::now(), limit));
         loop {
-            let mut best: Option<(usize, f64)> = None;
-            let mut n_match = 0usize;
-            for (i, m) in q.iter().enumerate() {
-                if m.comm_id != self.id || !matches(m.src as usize, m.tag) {
-                    continue;
-                }
-                n_match += 1;
-                if best.is_none_or(|(_, a)| m.arrival < a) {
-                    best = Some((i, m.arrival));
-                }
-            }
-            if let Some((mut idx, _)) = best {
-                // Chaos mode: pick a uniformly random match instead of the
-                // earliest arrival (failure injection for ordering bugs).
-                if self.ctx.chaos.get() != 0 && n_match > 1 {
-                    let mut s = self.ctx.chaos.get();
-                    s ^= s << 13;
-                    s ^= s >> 7;
-                    s ^= s << 17;
-                    self.ctx.chaos.set(s);
-                    let want = (s % n_match as u64) as usize;
-                    let mut seen = 0usize;
+            let policy = if self.ctx.fault_rng.get() == 0 {
+                Reorder::EarliestArrival
+            } else {
+                self.shared.fault.reorder
+            };
+            let pick: Option<usize> = match policy {
+                Reorder::EarliestArrival => {
+                    // Faithful behavior: earliest virtual arrival among the
+                    // currently queued matches, no allocation.
+                    let mut best: Option<(usize, f64)> = None;
                     for (i, m) in q.iter().enumerate() {
                         if m.comm_id != self.id || !matches(m.src as usize, m.tag) {
                             continue;
                         }
-                        if seen == want {
-                            idx = i;
-                            break;
+                        if best.is_none_or(|(_, a)| m.arrival < a) {
+                            best = Some((i, m.arrival));
                         }
-                        seen += 1;
+                    }
+                    best.map(|(i, _)| i)
+                }
+                _ => {
+                    let idxs: Vec<usize> = q
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.comm_id == self.id && matches(m.src as usize, m.tag))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if idxs.is_empty() {
+                        None
+                    } else {
+                        Some(match policy {
+                            Reorder::NewestQueued => *idxs.last().unwrap(),
+                            Reorder::LatestArrival => idxs
+                                .iter()
+                                .copied()
+                                .max_by(|&a, &b| q[a].arrival.total_cmp(&q[b].arrival))
+                                .unwrap(),
+                            Reorder::Random => idxs[(self.ctx.draw() % idxs.len() as u64) as usize],
+                            Reorder::EarliestArrival => unreachable!(),
+                        })
                     }
                 }
+            };
+            if let Some(idx) = pick {
                 let m = q.swap_remove(idx);
                 return RecvMsg {
                     src: m.src as usize,
@@ -360,8 +443,56 @@ impl Comm {
                     payload: m.payload,
                 };
             }
-            mb.cv.wait(&mut q);
+            match started {
+                None => mb.cv.wait(&mut q),
+                Some((t0, limit)) => {
+                    let waited = t0.elapsed();
+                    if waited >= limit {
+                        panic!("{}", self.stall_report(&q, waited));
+                    }
+                    // Wake periodically so every stalled rank eventually
+                    // times out (not only the ones that get notified).
+                    let chunk = (limit - waited).min(Duration::from_millis(100));
+                    mb.cv.wait_for(&mut q, chunk);
+                }
+            }
         }
+    }
+
+    /// Watchdog diagnostic for a stalled receive: who we are, how long we
+    /// waited, the active fault plan, and every queued-but-unmatched
+    /// message in our mailbox.
+    fn stall_report(&self, q: &[Msg], waited: Duration) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "simgrid watchdog: world rank {} (comm {} rank {}/{}) stalled in recv for {:.2?}",
+            self.ctx.world_rank,
+            self.id,
+            self.my_idx,
+            self.size(),
+            waited,
+        );
+        let _ = writeln!(s, "  virtual clock: {:.6e} s", self.ctx.clock.get());
+        let _ = writeln!(s, "  fault plan: {:?}", self.shared.fault);
+        let _ = writeln!(s, "  queued-but-unmatched messages: {}", q.len());
+        const CAP: usize = 32;
+        for m in q.iter().take(CAP) {
+            let _ = writeln!(
+                s,
+                "    comm {:>3} src {:>4} tag {:#018x} arrival {:>12.6e} len {}",
+                m.comm_id,
+                m.src,
+                m.tag,
+                m.arrival,
+                m.payload.len(),
+            );
+        }
+        if q.len() > CAP {
+            let _ = writeln!(s, "    ... {} more", q.len() - CAP);
+        }
+        s
     }
 
     /// Split into disjoint subcommunicators by `color`; members are ordered
@@ -474,10 +605,22 @@ impl Comm {
         self.reduce_bcast(data, cat);
     }
 
+    /// Base tag for the next collective on this communicator. Each
+    /// collective call gets a fresh tag block so a duplicated delivery
+    /// from an earlier collective can never be consumed by a later one;
+    /// members agree because collectives are called in program order.
+    fn coll_tag(&self) -> u64 {
+        let mut seqs = self.ctx.coll_seq.borrow_mut();
+        let seq = seqs.entry(self.id).or_insert(0);
+        *seq += 1;
+        // seq * 4 >= 4 keeps clear of the fixed split tags (BASE+1, BASE+2).
+        COLLECTIVE_TAG_BASE + *seq * 4
+    }
+
     fn reduce_bcast(&self, data: &mut [f64], cat: Category) {
         let size = self.size();
         let me = self.my_idx;
-        let tag = COLLECTIVE_TAG_BASE + 10;
+        let tag = self.coll_tag();
         // Reduce.
         let mut d = 1;
         while d < size {
@@ -515,7 +658,7 @@ impl Comm {
         let vrank = |r: usize| (r + size - root) % size;
         let unrot = |v: usize| (v + root) % size;
         let me = vrank(self.my_idx);
-        let tag = COLLECTIVE_TAG_BASE + 20;
+        let tag = self.coll_tag();
         let mut levels = Vec::new();
         let mut d = 1;
         while d < size {
@@ -534,14 +677,32 @@ impl Comm {
 }
 
 /// Options for a cluster run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ClusterOptions {
-    /// When nonzero, any-source receives pick a random (seeded) matching
-    /// message instead of the earliest arrival — failure injection for
-    /// message-ordering assumptions.
+    /// Legacy knob: when nonzero and `fault` is inert, behaves like
+    /// `fault = FaultPlan::random_reorder(chaos_seed)` — any-source
+    /// receives pick a random (seeded) matching message instead of the
+    /// earliest arrival. Ignored when `fault` injects anything.
     pub chaos_seed: u64,
     /// Record per-rank event timelines (see [`trace`]).
     pub trace: bool,
+    /// Fault-injection plan; the default is inert (no faults).
+    pub fault: FaultPlan,
+    /// Real-time watchdog: a receive blocked longer than this panics with
+    /// a per-rank diagnostic dump instead of hanging the process. `None`
+    /// disables the watchdog.
+    pub stall_timeout: Option<Duration>,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            chaos_seed: 0,
+            trace: false,
+            fault: FaultPlan::default(),
+            stall_timeout: Some(Duration::from_secs(30)),
+        }
+    }
 }
 
 /// Run `f` on `nranks` simulated ranks of the given machine and collect the
@@ -552,6 +713,13 @@ where
     R: Send,
 {
     assert!(nranks > 0);
+    // Back-compat: a bare `chaos_seed` (no explicit plan) means the old
+    // random any-source reorder fault.
+    let fault = if opts.fault.is_inert() && opts.chaos_seed != 0 {
+        FaultPlan::random_reorder(opts.chaos_seed)
+    } else {
+        opts.fault.clone()
+    };
     let shared = Arc::new(ClusterShared {
         mailboxes: (0..nranks)
             .map(|_| Mailbox {
@@ -561,7 +729,8 @@ where
             .collect(),
         model: Arc::new(model),
         next_comm_id: AtomicU64::new(1),
-        chaos_seed: opts.chaos_seed,
+        fault,
+        stall_timeout: opts.stall_timeout,
     });
     let world_members: Arc<Vec<u32>> = Arc::new((0..nranks as u32).collect());
 
@@ -582,11 +751,9 @@ where
                         clock: Cell::new(0.0),
                         stats: RefCell::new(RankStats::new(rank)),
                         fifo: RefCell::new(HashMap::new()),
-                        chaos: Cell::new(if shared.chaos_seed == 0 {
-                            0
-                        } else {
-                            shared.chaos_seed.wrapping_mul(rank as u64 + 1) | 1
-                        }),
+                        fault_rng: Cell::new(shared.fault.rank_stream(rank)),
+                        compute_mult: shared.fault.compute_mult(rank),
+                        coll_seq: RefCell::new(HashMap::new()),
                         trace: trace_on.then(|| RefCell::new(Vec::new())),
                     });
                     let world = Comm {
@@ -836,5 +1003,184 @@ mod tests {
             },
         );
         assert_eq!(rep.results[0], 6.0);
+    }
+
+    fn faulty_opts(fault: FaultPlan) -> ClusterOptions {
+        ClusterOptions {
+            fault,
+            ..ClusterOptions::default()
+        }
+    }
+
+    #[test]
+    fn straggler_rank_is_slowed_by_the_multiplier() {
+        let fault = FaultPlan {
+            seed: 1,
+            straggler_ranks: vec![1],
+            straggler_factor: 8.0,
+            ..FaultPlan::default()
+        };
+        let rep = run(2, toy_model(), &faulty_opts(fault), |c| {
+            c.compute(1.0, Category::Flop);
+            c.now()
+        });
+        assert_eq!(rep.results[0], 1.0);
+        assert_eq!(rep.results[1], 8.0);
+    }
+
+    #[test]
+    fn degraded_link_inflates_arrival_times() {
+        let arrival_with = |fault: FaultPlan| {
+            let rep = run(2, toy_model(), &faulty_opts(fault), |c| {
+                if c.rank() == 0 {
+                    c.send(1, 1, &[1.0; 1000], Category::XyComm);
+                    0.0
+                } else {
+                    c.recv(Some(0), Some(1), Category::XyComm).arrival
+                }
+            });
+            rep.results[1]
+        };
+        let clean = arrival_with(FaultPlan::default());
+        let degraded = arrival_with(FaultPlan {
+            seed: 1,
+            degraded_ranks: vec![1],
+            degrade_wire_mult: 20.0,
+            degrade_extra_latency: 20e-6,
+            ..FaultPlan::default()
+        });
+        assert!(
+            degraded > clean + 19e-6,
+            "degraded {degraded:e} vs clean {clean:e}"
+        );
+    }
+
+    #[test]
+    fn duplicates_and_jitter_still_deliver_correct_payloads() {
+        let fault = FaultPlan {
+            seed: 99,
+            jitter_max: 5e-6,
+            duplicate_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let rep = run(4, toy_model(), &faulty_opts(fault), |c| {
+            if c.rank() == 0 {
+                let mut sum = 0.0;
+                for src in 1..4 {
+                    sum += c
+                        .recv(Some(src), Some(src as u64), Category::XyComm)
+                        .payload[0];
+                }
+                sum
+            } else {
+                c.send(0, c.rank() as u64, &[c.rank() as f64], Category::XyComm);
+                0.0
+            }
+        });
+        // Duplicates stay queued behind the src/tag-specific receives.
+        assert_eq!(rep.results[0], 6.0);
+    }
+
+    #[test]
+    fn fault_sampling_is_deterministic_per_seed() {
+        let arrivals = || {
+            let fault = FaultPlan {
+                seed: 4242,
+                jitter_max: 10e-6,
+                duplicate_prob: 0.5,
+                ..FaultPlan::default()
+            };
+            let rep = run(2, toy_model(), &faulty_opts(fault), |c| {
+                if c.rank() == 0 {
+                    for k in 0..20u64 {
+                        c.send(1, k, &[k as f64], Category::XyComm);
+                    }
+                    Vec::new()
+                } else {
+                    (0..20u64)
+                        .map(|k| c.recv(Some(0), Some(k), Category::XyComm).arrival)
+                        .collect::<Vec<f64>>()
+                }
+            });
+            rep.results[1].clone()
+        };
+        assert_eq!(arrivals(), arrivals());
+    }
+
+    #[test]
+    fn repeated_collectives_survive_duplicate_deliveries() {
+        // Without per-collective tag sequencing, a duplicated reduction
+        // message from the first allreduce would satisfy the second one
+        // with a stale payload.
+        let fault = FaultPlan {
+            seed: 7,
+            duplicate_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let rep = run(4, toy_model(), &faulty_opts(fault), |c| {
+            let mut a = [c.rank() as f64];
+            c.allreduce_sum(&mut a, Category::ZComm);
+            let mut b = [10.0 * c.rank() as f64];
+            c.allreduce_sum(&mut b, Category::ZComm);
+            (a[0], b[0])
+        });
+        for r in &rep.results {
+            assert_eq!(r.0, 6.0);
+            assert_eq!(r.1, 60.0);
+        }
+    }
+
+    #[test]
+    fn adversarial_reorder_policies_deliver_everything() {
+        for reorder in [
+            Reorder::Random,
+            Reorder::NewestQueued,
+            Reorder::LatestArrival,
+        ] {
+            let fault = FaultPlan {
+                seed: 31337,
+                reorder,
+                ..FaultPlan::default()
+            };
+            let rep = run(4, toy_model(), &faulty_opts(fault), |c| {
+                if c.rank() == 0 {
+                    let mut sum = 0.0;
+                    for _ in 0..3 {
+                        sum += c.recv(None, Some(2), Category::XyComm).payload[0];
+                    }
+                    sum
+                } else {
+                    c.send(0, 2, &[c.rank() as f64], Category::XyComm);
+                    0.0
+                }
+            });
+            assert_eq!(rep.results[0], 6.0, "reorder {reorder:?} lost a message");
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_stalled_ranks_instead_of_hanging() {
+        let opts = ClusterOptions {
+            stall_timeout: Some(Duration::from_millis(200)),
+            ..ClusterOptions::default()
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(2, toy_model(), &opts, |c| {
+                if c.rank() == 0 {
+                    c.send(1, 1, &[1.0], Category::XyComm);
+                    // Tag 99 is never sent: rank 0 stalls forever.
+                    c.recv(Some(1), Some(99), Category::XyComm);
+                }
+            });
+        }))
+        .expect_err("stalled run must panic, not hang");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("watchdog"), "diagnostic missing: {msg}");
+        assert!(msg.contains("world rank 0"), "diagnostic missing: {msg}");
+        assert!(msg.contains("fault plan"), "diagnostic missing: {msg}");
     }
 }

@@ -4,8 +4,8 @@ use simgrid::{render_timeline, Category, ClusterOptions, EventKind, MachineModel
 
 fn traced_opts() -> ClusterOptions {
     ClusterOptions {
-        chaos_seed: 0,
         trace: true,
+        ..ClusterOptions::default()
     }
 }
 

@@ -42,6 +42,7 @@ fn main() {
             arch: Arch::Cpu,
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
+            fault: Default::default(),
         };
         let out = solve_distributed(&fact, &b, &cfg);
         let res = sparse::rel_residual_inf(&a, &out.x, &b, 1);

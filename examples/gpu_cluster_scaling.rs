@@ -38,6 +38,7 @@ fn main() {
                 arch,
                 machine: MachineModel::perlmutter_gpu(),
                 chaos_seed: 0,
+                fault: Default::default(),
             };
             let out = solve_distributed(&fact, &b, &cfg);
             let res = sparse::rel_residual_inf(&a, &out.x, &b, 1);

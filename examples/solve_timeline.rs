@@ -32,6 +32,7 @@ fn main() {
             arch: Arch::Cpu,
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
+            fault: Default::default(),
         };
         let plan = Arc::new(Plan::new(Arc::clone(&fact), px, py, pz));
         let out = solve_traced(&plan, &b, &cfg, true);

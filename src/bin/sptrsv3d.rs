@@ -9,7 +9,7 @@
 //! sptrsv3d --gen s2D9pt2048 --scale medium --pz 16 --arch gpu --machine perlmutter
 //! ```
 
-use simgrid::{Category, MachineModel};
+use simgrid::{Category, FaultPlan, MachineModel, PROFILE_NAMES};
 use sptrsv_repro::prelude::*;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -27,6 +27,8 @@ struct Args {
     machine: MachineModel,
     symmetrize: bool,
     json: bool,
+    fault_profile: Option<String>,
+    chaos_seed: u64,
 }
 
 const USAGE: &str = "\
@@ -53,6 +55,12 @@ EXECUTION:
     --arch A          cpu (default) | gpu
     --machine M       cori (default) | perlmutter | perlmutter-cpu | crusher
 
+FAULT INJECTION:
+    --fault-profile P chaos profile: clean | jitter | duplicates | reorder |
+                      straggler | degraded-link | all (default: none)
+    --chaos-seed N    seed for the fault plan's deterministic sampling
+                      (default 7 when --fault-profile is given)
+
 OUTPUT:
     --json            machine-readable summary on stdout instead of the table
 ";
@@ -71,6 +79,8 @@ fn parse_args() -> Result<Args, String> {
         machine: MachineModel::cori_haswell(),
         symmetrize: false,
         json: false,
+        fault_profile: None,
+        chaos_seed: 7,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -123,6 +133,12 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown machine {other}")),
                 }
             }
+            "--fault-profile" => a.fault_profile = Some(next(&mut i)?),
+            "--chaos-seed" => {
+                a.chaos_seed = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?
+            }
             "--symmetrize" => a.symmetrize = true,
             "--json" => a.json = true,
             "--help" | "-h" => {
@@ -140,6 +156,15 @@ fn parse_args() -> Result<Args, String> {
     }
     if a.px == 0 || a.py == 0 {
         return Err("--px and --py must be at least 1".into());
+    }
+    if let Some(p) = &a.fault_profile {
+        let nranks = a.px * a.py * a.pz;
+        if FaultPlan::from_profile(p, a.chaos_seed, nranks).is_none() {
+            return Err(format!(
+                "unknown fault profile {p} (expected one of: {})",
+                PROFILE_NAMES.join(" | ")
+            ));
+        }
     }
     Ok(a)
 }
@@ -198,6 +223,16 @@ fn main() -> ExitCode {
     );
 
     let b = gen::standard_rhs(a.nrows(), args.nrhs);
+    let fault = match &args.fault_profile {
+        Some(p) => {
+            let nranks = args.px * args.py * args.pz;
+            let plan = FaultPlan::from_profile(p, args.chaos_seed, nranks)
+                .expect("profile validated in parse_args");
+            eprintln!("fault profile {p} (seed {}): {plan:?}", args.chaos_seed);
+            plan
+        }
+        None => FaultPlan::default(),
+    };
     let cfg = SolverConfig {
         px: args.px,
         py: args.py,
@@ -207,6 +242,7 @@ fn main() -> ExitCode {
         arch: args.arch,
         machine: args.machine.clone(),
         chaos_seed: 0,
+        fault,
     };
     let out = solve_distributed(&fact, &b, &cfg);
     let res = sparse::rel_residual_inf(&a, &out.x, &b, args.nrhs);

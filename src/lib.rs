@@ -29,6 +29,7 @@
 //!     arch: Arch::Cpu,
 //!     machine: MachineModel::cori_haswell(),
 //!     chaos_seed: 0,
+//!     fault: Default::default(),
 //! };
 //! let out = solve_distributed(&fact, &b, &cfg);
 //!
@@ -47,7 +48,7 @@ pub use sptrsv;
 pub mod prelude {
     pub use lufactor::{factorize, Factorized};
     pub use ordering::SymbolicOptions;
-    pub use simgrid::{Category, MachineModel};
+    pub use simgrid::{Category, FaultPlan, MachineModel, Reorder};
     pub use sparse::{self, gen, CsrMatrix};
     pub use sptrsv::{solve_distributed, Algorithm, Arch, SolveOutcome, Solver3d, SolverConfig};
 }

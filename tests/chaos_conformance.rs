@@ -1,0 +1,141 @@
+//! Chaos conformance harness: every solver must survive a hostile network.
+//!
+//! Sweeps {all four algorithms} × {every fault profile} × {seeds} and
+//! asserts three invariants for each cell:
+//!
+//! 1. **Numerics are bit-identical** to the same solver's clean run —
+//!    jitter, duplicate deliveries, adversarial any-source reordering,
+//!    stragglers, and degraded links may change *when* messages arrive,
+//!    never *what* is computed (order-independent ledger accumulation +
+//!    idempotent duplicate handling).
+//! 2. The clean run itself matches the sequential reference solve.
+//! 3. Virtual-time inflation stays bounded — faults slow the simulated
+//!    solve, they must not deadlock it (a stall would trip the simulator
+//!    watchdog and panic with per-rank diagnostics rather than hang).
+//!
+//! Seeds come from `common::seeds()`; CI pins a larger matrix via the
+//! `CHAOS_SEEDS` environment variable.
+
+mod common;
+
+use simgrid::{FaultPlan, MachineModel, PROFILE_NAMES};
+use sptrsv_repro::prelude::*;
+use std::sync::Arc;
+
+const NRHS: usize = 2;
+
+/// Generous ceiling on how much a fault profile may inflate the simulated
+/// makespan (the straggler profile slows one rank 8×; "all" composes every
+/// fault). Anything past this bound means livelock-grade retransmission,
+/// not honest slowdown.
+const MAKESPAN_INFLATION: f64 = 150.0;
+
+fn fixture(pz: usize) -> (Arc<Factorized>, Vec<f64>, Vec<f64>) {
+    let a = gen::poisson2d_9pt(12, 12);
+    let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).expect("factorize"));
+    let b = gen::standard_rhs(a.nrows(), NRHS);
+    let want = f.solve(&b, NRHS);
+    (f, b, want)
+}
+
+fn config(
+    alg: Algorithm,
+    arch: Arch,
+    (px, py, pz): (usize, usize, usize),
+    fault: FaultPlan,
+) -> SolverConfig {
+    SolverConfig {
+        px,
+        py,
+        pz,
+        nrhs: NRHS,
+        algorithm: alg,
+        arch,
+        machine: if arch == Arch::Gpu {
+            MachineModel::perlmutter_gpu()
+        } else {
+            MachineModel::cori_haswell()
+        },
+        chaos_seed: 0,
+        fault,
+    }
+}
+
+/// Run one solver through the full {profile} × {seed} sweep.
+fn conformance(alg: Algorithm, arch: Arch, grid: (usize, usize, usize), profiles: &[&str]) {
+    let (f, b, want) = fixture(grid.2);
+    let clean = solve_distributed(&f, &b, &config(alg, arch, grid, FaultPlan::default()));
+    let diff = sparse::max_abs_diff(&clean.x, &want);
+    assert!(
+        diff < 1e-9,
+        "{alg:?}/{arch:?} clean solve disagrees with the sequential reference: diff {diff}"
+    );
+
+    let nranks = grid.0 * grid.1 * grid.2;
+    for &profile in profiles {
+        for &seed in &common::seeds() {
+            let fault = FaultPlan::from_profile(profile, seed, nranks)
+                .unwrap_or_else(|| panic!("profile {profile} must resolve"));
+            let out = solve_distributed(&f, &b, &config(alg, arch, grid, fault.clone()));
+            assert!(
+                out.x == clean.x,
+                "{alg:?}/{arch:?} produced different bits under chaos\n  \
+                 profile: {profile}, seed: {seed}\n  fault plan: {fault:?}\n  \
+                 max |diff| vs clean run: {:e}",
+                sparse::max_abs_diff(&out.x, &clean.x)
+            );
+            let diff = sparse::max_abs_diff(&out.x, &want);
+            assert!(
+                diff < 1e-9,
+                "{alg:?}/{arch:?} diverged from the sequential reference under chaos\n  \
+                 profile: {profile}, seed: {seed}\n  fault plan: {fault:?}\n  diff: {diff:e}"
+            );
+            assert!(
+                out.makespan <= clean.makespan * MAKESPAN_INFLATION + 0.05,
+                "{alg:?}/{arch:?} virtual time blew up under chaos\n  \
+                 profile: {profile}, seed: {seed}\n  fault plan: {fault:?}\n  \
+                 makespan {:.3e}s vs clean {:.3e}s",
+                out.makespan,
+                clean.makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn new3d_survives_every_fault_profile() {
+    conformance(Algorithm::New3d, Arch::Cpu, (2, 2, 4), PROFILE_NAMES);
+}
+
+#[test]
+fn new3d_flat_survives_every_fault_profile() {
+    conformance(Algorithm::New3dFlat, Arch::Cpu, (2, 2, 4), PROFILE_NAMES);
+}
+
+#[test]
+fn new3d_naive_allreduce_survives_every_fault_profile() {
+    conformance(
+        Algorithm::New3dNaiveAllreduce,
+        Arch::Cpu,
+        (2, 2, 4),
+        PROFILE_NAMES,
+    );
+}
+
+#[test]
+fn baseline3d_survives_every_fault_profile() {
+    conformance(Algorithm::Baseline3d, Arch::Cpu, (2, 2, 4), PROFILE_NAMES);
+}
+
+/// GPU executor spot-check under the composed "all" profile (the GPU
+/// straggler knob only slows host-side compute, so the full sweep adds
+/// little beyond this).
+#[test]
+fn gpu_new3d_survives_composed_chaos() {
+    conformance(
+        Algorithm::New3d,
+        Arch::Gpu,
+        (2, 1, 4),
+        &["duplicates", "all"],
+    );
+}

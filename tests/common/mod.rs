@@ -1,0 +1,22 @@
+//! Shared support for the integration test suites (not a test crate
+//! itself — included via `mod common;` from the harnesses that need it).
+
+#![allow(dead_code)]
+
+/// Chaos seeds the conformance harness sweeps. Override with a
+/// comma-separated `CHAOS_SEEDS` environment variable (the CI chaos job
+/// pins a larger matrix this way).
+pub fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.parse()
+                    .unwrap_or_else(|e| panic!("CHAOS_SEEDS entry {t:?}: {e}"))
+            })
+            .collect(),
+        Err(_) => vec![7, 42, 1234],
+    }
+}

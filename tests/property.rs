@@ -3,11 +3,15 @@
 //! sparse allreduce semantics, block-cyclic coverage).
 
 use proptest::prelude::*;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sptrsv::schedule::{Schedule, ScheduleKey};
+use sptrsv::schedule::{
+    run_pass, PassEngine, PassSched, RecvEvent, RowSched, Schedule, ScheduleKey,
+};
 use sptrsv::Plan;
 use sptrsv_repro::prelude::*;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A random structurally symmetric, strictly diagonally dominant matrix.
@@ -72,6 +76,7 @@ proptest! {
             arch: Arch::Cpu,
             machine: MachineModel::cori_haswell(),
             chaos_seed: seed,
+            fault: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         prop_assert!(sparse::max_abs_diff(&out.x, &want) < 1e-9);
@@ -99,6 +104,7 @@ proptest! {
             arch,
             machine: MachineModel::perlmutter_gpu(),
             chaos_seed: 0,
+            fault: Default::default(),
         };
         let cpu = solve_distributed(&f, &b, &mk(Arch::Cpu));
         let gpu = solve_distributed(&f, &b, &mk(Arch::Gpu));
@@ -199,6 +205,7 @@ proptest! {
                         arch,
                         machine: MachineModel::perlmutter_gpu(),
                         chaos_seed: seed,
+                        fault: Default::default(),
                     };
                     let out = solve_distributed(&f, &b, &cfg);
                     let err = sparse::max_abs_diff(&out.x, &want);
@@ -237,6 +244,168 @@ proptest! {
             let json = serde_json::to_string(&*s).unwrap();
             let back: Schedule = serde_json::from_str(&json).unwrap();
             prop_assert_eq!(&*s, &back);
+        }
+    }
+
+    /// The paper's sparse allreduce must sum correctly even when every
+    /// message may be duplicated and the any-source queue is drained in an
+    /// adversarial order — for arbitrary (Pz, nrhs).
+    #[test]
+    fn sparse_allreduce_survives_duplicates_and_reorder(
+        logpz in 0u32..4,
+        nrhs in 1usize..4,
+        seed in 1u64..10_000,
+        reorder_idx in 0usize..4,
+    ) {
+        let pz = 1usize << logpz;
+        let a = gen::poisson2d_9pt(12, 12);
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+        let plan = Arc::new(Plan::new(Arc::clone(&f), 1, 1, pz));
+        let sched = plan.schedule(ScheduleKey { baseline: false, tree_comm: true });
+        let fault = FaultPlan {
+            seed,
+            reorder: [
+                Reorder::EarliestArrival,
+                Reorder::Random,
+                Reorder::NewestQueued,
+                Reorder::LatestArrival,
+            ][reorder_idx],
+            jitter_max: 20e-6,
+            duplicate_prob: 0.5,
+            ..Default::default()
+        };
+        let opts = simgrid::ClusterOptions { fault: fault.clone(), ..Default::default() };
+        let plan2 = Arc::clone(&plan);
+        let rep = simgrid::run(pz, MachineModel::cori_haswell(), &opts, move |world| {
+            let plan = &plan2;
+            let z = world.rank();
+            let rs = &sched.ranks[plan.rank_of(0, 0, z)];
+            let _grid = world.split(z, 0);
+            let zcomm = world.split(0, z);
+            // Synthetic partials: supernode k contributes (k + z·1000) per
+            // entry on its replicating grids (exact in f64, so the reduced
+            // sums admit equality checks).
+            let sym = plan.fact.lu.sym();
+            let mut y_vals: HashMap<u32, Vec<f64>> = HashMap::new();
+            for &k in &plan.grids[z].supers {
+                let w = sym.sup_width(k as usize) * nrhs;
+                y_vals.insert(k, vec![k as f64 + z as f64 * 1000.0; w]);
+            }
+            sptrsv::allreduce::sparse_allreduce(plan, &zcomm, &rs.zsteps, nrhs, &mut y_vals);
+            (z, y_vals)
+        });
+        for (z, y_vals) in rep.results {
+            for (&k, v) in &y_vals {
+                let node = plan.sup_node[k as usize] as usize;
+                let zs: Vec<usize> = (0..pz)
+                    .filter(|&g| plan.grids[g].path.contains(&node))
+                    .collect();
+                let want: f64 = zs.iter().map(|&g| k as f64 + g as f64 * 1000.0).sum();
+                for &got in v {
+                    prop_assert!(
+                        got == want,
+                        "sup {} grid {}: got {} want {} under fault plan {:?}",
+                        k, z, got, want, fault
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pass interpreter's duplicate detection must never decrement an
+    /// `fmod` counter twice for one logical message: for arbitrary trigger
+    /// rows, source sets, duplication factors, and delivery orders, every
+    /// `(row, src)` contribution is applied exactly once and every row
+    /// still completes exactly once.
+    #[test]
+    fn dedup_never_double_decrements_fmod(
+        nrows in 1usize..6,
+        srcs_per_row in 1u32..4,
+        extra_copies in 1usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let rows: Vec<RowSched> = (0..nrows as u32)
+            .map(|i| RowSched {
+                sup: i * 3,
+                fmod0: srcs_per_row,
+                parent: if i % 2 == 0 { None } else { Some(0) },
+            })
+            .collect();
+        // One logical partial per (row, src), plus adversarial duplicates,
+        // in a random delivery order.
+        let mut script: Vec<RecvEvent> = Vec::new();
+        let mut expected = 0u32;
+        for r in &rows {
+            for s in 0..srcs_per_row {
+                let ev = RecvEvent {
+                    vector: false,
+                    sup: r.sup,
+                    src: 10 + s,
+                    payload: vec![r.sup as f64],
+                };
+                expected += 1;
+                for _ in 0..=extra_copies {
+                    script.push(ev.clone());
+                }
+            }
+        }
+        script.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        let pass = PassSched {
+            epoch: 0x5 << 48,
+            lower: true,
+            expected,
+            cols: vec![],
+            rows: rows.clone(),
+            ext_roots: vec![],
+        };
+
+        #[derive(Default)]
+        struct CountingEngine {
+            script: Vec<RecvEvent>,
+            next: usize,
+            partial_adds: HashMap<(u32, u32), u32>,
+            diag_solved: Vec<u32>,
+            partials_sent: Vec<u32>,
+        }
+        impl PassEngine for CountingEngine {
+            fn solve_diag(&mut self, row: &RowSched) -> Vec<f64> {
+                self.diag_solved.push(row.sup);
+                vec![0.0]
+            }
+            fn store_solved(&mut self, _sup: u32, _v: &[f64]) {}
+            fn solved(&self, _sup: u32) -> Vec<f64> {
+                vec![]
+            }
+            fn forward(&mut self, _col: &sptrsv::schedule::ColSched, _v: &[f64]) {}
+            fn send_partial(&mut self, row: &RowSched, _parent: u32) {
+                self.partials_sent.push(row.sup);
+            }
+            fn apply_column(&mut self, _col: &sptrsv::schedule::ColSched, _v: &[f64]) {}
+            fn add_partial(&mut self, row: &RowSched, src: u32, _payload: &[f64]) {
+                *self.partial_adds.entry((row.sup, src)).or_insert(0) += 1;
+            }
+            fn recv(&mut self, _epoch: u64) -> RecvEvent {
+                let ev = self.script[self.next].clone();
+                self.next += 1;
+                ev
+            }
+        }
+
+        let mut eng = CountingEngine { script, ..Default::default() };
+        run_pass(&mut eng, &pass); // panics on unmet deps or excess partials
+        for r in &rows {
+            for s in 0..srcs_per_row {
+                prop_assert!(
+                    eng.partial_adds.get(&(r.sup, 10 + s)).copied() == Some(1),
+                    "contribution (sup {}, src {}) applied {:?} times, want exactly 1",
+                    r.sup, 10 + s, eng.partial_adds.get(&(r.sup, 10 + s))
+                );
+            }
+            if r.parent.is_none() {
+                prop_assert_eq!(eng.diag_solved.iter().filter(|&&s| s == r.sup).count(), 1);
+            } else {
+                prop_assert_eq!(eng.partials_sent.iter().filter(|&&s| s == r.sup).count(), 1);
+            }
         }
     }
 

@@ -1,0 +1,51 @@
+//! Golden snapshot of the compiled communication-schedule IR.
+//!
+//! The schedule is the contract between the compiler and all four solver
+//! interpreters: broadcast/reduction trees, pass specs, pack lists, and
+//! z-exchange roles. This test pins the full serde JSON of one small but
+//! non-trivial compile (2 × 2 × 2 grid, tree communication) against a
+//! committed fixture, so an accidental change to tag layout, tree shape,
+//! or pack ordering shows up as a readable JSON diff instead of a numeric
+//! mystery three layers downstream.
+//!
+//! Intentional IR changes: regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test schedule_golden` and commit the diff.
+
+use sptrsv::schedule::ScheduleKey;
+use sptrsv::Plan;
+use sptrsv_repro::prelude::*;
+use std::sync::Arc;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/schedule_new3d_2x2x2.json"
+);
+
+#[test]
+fn compiled_schedule_matches_golden_fixture() {
+    let a = gen::poisson2d_9pt(8, 8);
+    let f = Arc::new(factorize(&a, 2, &SymbolicOptions::default()).expect("factorize"));
+    let plan = Plan::new(Arc::clone(&f), 2, 2, 2);
+    let sched = plan.schedule(ScheduleKey {
+        baseline: false,
+        tree_comm: true,
+    });
+    let mut got = serde_json::to_string_pretty(&*sched).expect("schedule serializes");
+    got.push('\n');
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, &got).expect("write fixture");
+        eprintln!("updated {FIXTURE}");
+        return;
+    }
+
+    let want = std::fs::read_to_string(FIXTURE)
+        .unwrap_or_else(|e| panic!("cannot read {FIXTURE}: {e}\nrun with UPDATE_GOLDEN=1 once"));
+    assert!(
+        got == want,
+        "compiled schedule IR drifted from the golden fixture.\n\
+         If the change is intentional, regenerate with\n\
+         UPDATE_GOLDEN=1 cargo test --test schedule_golden\n\
+         and review the JSON diff. Fixture: {FIXTURE}"
+    );
+}

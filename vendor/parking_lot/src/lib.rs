@@ -83,6 +83,18 @@ impl Condvar {
         );
     }
 
+    /// Wait with a timeout; returns `true` if the wait timed out. Spurious
+    /// wakeups are possible, as with `wait`.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let inner = guard.inner.take().expect("guard present");
+        let (g, res) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        res.timed_out()
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }
