@@ -21,7 +21,7 @@
 
 use crate::plan::Plan;
 use crate::schedule::{NaiveNode, ZStep};
-use simgrid::{Category, Comm};
+use simgrid::{Category, Comm, SpanDetail, TreeRole};
 use std::collections::HashMap;
 
 const TAG_R: u64 = 7 << 40;
@@ -112,6 +112,10 @@ pub fn sparse_allreduce(
     // Sparse reduce: leaf to root, partial sums flow toward smaller z.
     for (l, step) in zsteps.iter().enumerate() {
         let Some(step) = step else { continue };
+        zcomm.set_span_detail(Some(SpanDetail::Allreduce {
+            round: l as u32,
+            role: TreeRole::Reduce,
+        }));
         if step.to_smaller {
             let buf = pack(plan, &step.sups, y_vals, nrhs);
             zcomm.send(step.peer as usize, TAG_R + l as u64, &buf, Category::ZComm);
@@ -127,6 +131,10 @@ pub fn sparse_allreduce(
     // Sparse broadcast: root to leaf, roles mirrored.
     for (l, step) in zsteps.iter().enumerate().rev() {
         let Some(step) = step else { continue };
+        zcomm.set_span_detail(Some(SpanDetail::Allreduce {
+            round: l as u32,
+            role: TreeRole::Bcast,
+        }));
         if step.to_smaller {
             let msg = zcomm.recv(
                 Some(step.peer as usize),
@@ -139,6 +147,7 @@ pub fn sparse_allreduce(
             zcomm.send(step.peer as usize, TAG_B + l as u64, &buf, Category::ZComm);
         }
     }
+    zcomm.set_span_detail(None);
 }
 
 /// The straightforward alternative (paper §3.2): one dense `MPI_Allreduce`
@@ -159,9 +168,11 @@ pub fn naive_allreduce(
         // Subcommunicator of the grids replicating the node.
         let sub = zcomm.split(nn.node as usize, z);
         debug_assert_eq!(sub.size(), plan.n_grids_of(nn.node as usize));
+        sub.set_span_detail(Some(SpanDetail::NaiveAllreduce { node: nn.node }));
         sub.allreduce_sum(&mut buf, Category::ZComm);
         unpack_set(plan, &nn.sups, &buf, y_vals, nrhs);
     }
+    zcomm.set_span_detail(None);
 }
 
 #[cfg(test)]

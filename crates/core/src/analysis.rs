@@ -10,6 +10,8 @@
 
 use crate::plan::Plan;
 use crate::schedule::ScheduleKey;
+use simgrid::{span_name, EventKind, SpanDetail, TraceEvent, CATEGORIES, N_CATEGORIES};
+use std::collections::HashMap;
 
 /// Exact per-category communication volumes of one solve of the proposed
 /// 3D algorithm (L + U triangles), in payload bytes (headers excluded).
@@ -140,6 +142,244 @@ pub fn memory_stats(plan: &Plan) -> MemoryStats {
     MemoryStats {
         base_bytes: base,
         replicated_bytes: repl,
+    }
+}
+
+/// One cross-rank dependency on the measured critical path: a receive
+/// that stalled waiting for a message, traced back to its send.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockingEdge {
+    /// World rank that sent the blocking message.
+    pub src: usize,
+    /// World rank whose receive stalled on it.
+    pub dst: usize,
+    /// On-wire message size (payload + envelope), bytes.
+    pub bytes: usize,
+    /// Message tag (solver encoding, see `solve2d`/`allreduce`).
+    pub tag: u64,
+    /// How long the receiver sat idle before the message arrived.
+    pub stall: f64,
+    /// Wire segment charged to the path: arrival minus send departure.
+    pub wire: f64,
+    /// Virtual arrival time of the message.
+    pub arrival: f64,
+    /// Solver semantics of the blocked receive span, if annotated.
+    pub detail: Option<SpanDetail>,
+}
+
+/// The measured critical path of one traced solve: the backward walk from
+/// the last span to time zero, alternating rank-local segments and
+/// cross-rank message edges.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// Makespan of the traced run (max final clock over ranks).
+    pub makespan: f64,
+    /// Total path length. Because per-rank spans tile each rank's clock
+    /// (see `simgrid::trace`), this telescopes to exactly the makespan.
+    pub length: f64,
+    /// Path time attributed to each [`simgrid::Category`], indexed as
+    /// [`CATEGORIES`]. Wire segments are charged to the sending span's
+    /// category.
+    pub by_category: [f64; N_CATEGORIES],
+    /// Total wire time (send departure to arrival) along the path.
+    pub wire_time: f64,
+    /// Untraced path time: gaps between spans and the initial ramp.
+    pub idle: f64,
+    /// Number of spans the path visits.
+    pub spans: usize,
+    /// Every cross-rank edge on the path, sorted by stall descending.
+    pub edges: Vec<BlockingEdge>,
+}
+
+/// Walk the span DAG backward from the makespan and measure the critical
+/// path. `traces` is [`RunReport::traces`][simgrid::RunReport] indexed by
+/// world rank; spans per rank must be time-ordered (the simulator records
+/// them that way). Receives are linked to their sends by message sequence
+/// id, so the walk hops ranks exactly where a receive actually stalled.
+pub fn critical_path(traces: &[Vec<TraceEvent>], makespan: f64) -> CriticalPath {
+    let mut cp = CriticalPath {
+        makespan,
+        length: 0.0,
+        by_category: [0.0; N_CATEGORIES],
+        wire_time: 0.0,
+        idle: 0.0,
+        spans: 0,
+        edges: Vec::new(),
+    };
+
+    // Sends indexed by sequence id. Setup-phase messages share seq 0 and
+    // are never traced, so every recorded seq is unique.
+    let mut send_at: HashMap<u64, (usize, usize)> = HashMap::new();
+    let mut total_spans = 0usize;
+    for (r, tl) in traces.iter().enumerate() {
+        total_spans += tl.len();
+        for (i, e) in tl.iter().enumerate() {
+            if e.kind == EventKind::Send {
+                if let Some(m) = &e.msg {
+                    if m.seq != 0 {
+                        send_at.insert(m.seq, (r, i));
+                    }
+                }
+            }
+        }
+    }
+
+    // Start at the globally latest span end.
+    let Some((mut rank, mut pos)) = traces
+        .iter()
+        .enumerate()
+        .filter_map(|(r, tl)| tl.last().map(|e| (r, tl.len() - 1, e.t1)))
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .map(|(r, i, _)| (r, i))
+    else {
+        return cp; // untraced run: all zeros
+    };
+    let mut t_hi = traces[rank][pos].t1;
+    cp.idle += (makespan - t_hi).max(0.0);
+
+    // Each step strictly lowers t_hi toward 0; fuel bounds a malformed
+    // trace (overlapping spans) instead of hanging.
+    let mut fuel = total_spans + send_at.len() + 8;
+    loop {
+        fuel -= 1;
+        if fuel == 0 {
+            debug_assert!(false, "critical-path walk did not converge");
+            break;
+        }
+        let e = &traces[rank][pos];
+        cp.spans += 1;
+
+        // A receive that stalled (arrival after the span began) hops the
+        // path to the sending rank.
+        if e.kind == EventKind::Recv {
+            if let Some(m) = &e.msg {
+                if m.arrival > e.t0 {
+                    if let Some(&(sr, si)) = send_at.get(&m.seq) {
+                        let send = &traces[sr][si];
+                        let arr = m.arrival.clamp(e.t0, t_hi.max(e.t0));
+                        cp.by_category[e.category as usize] += t_hi - arr;
+                        let wire = arr - send.t1;
+                        cp.wire_time += wire;
+                        cp.by_category[send.category as usize] += wire;
+                        cp.edges.push(BlockingEdge {
+                            src: sr,
+                            dst: rank,
+                            bytes: m.bytes,
+                            tag: m.tag,
+                            stall: (m.arrival - e.t0).max(0.0),
+                            wire,
+                            arrival: m.arrival,
+                            detail: e.detail,
+                        });
+                        rank = sr;
+                        pos = si;
+                        t_hi = send.t1;
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Rank-local segment down to the span's start.
+        cp.by_category[e.category as usize] += t_hi - e.t0;
+        if pos == 0 {
+            cp.idle += e.t0.max(0.0); // ramp before the first span
+            break;
+        }
+        let prev = &traces[rank][pos - 1];
+        cp.idle += (e.t0 - prev.t1).max(0.0);
+        pos -= 1;
+        t_hi = prev.t1.min(e.t0);
+    }
+
+    cp.length = cp.by_category.iter().sum::<f64>() + cp.idle;
+    cp.edges.sort_by(|a, b| b.stall.total_cmp(&a.stall));
+    cp
+}
+
+impl CriticalPath {
+    /// Human-readable composition report with the top-`k` blocking edges.
+    pub fn report(&self, k: usize) -> String {
+        let mut out = format!(
+            "critical path: {:.3e} s over {} spans, {} cross-rank edges (makespan {:.3e} s)\n",
+            self.length,
+            self.spans,
+            self.edges.len(),
+            self.makespan
+        );
+        let pct = |t: f64| {
+            if self.length > 0.0 {
+                100.0 * t / self.length
+            } else {
+                0.0
+            }
+        };
+        out.push_str("  composition:");
+        for (i, c) in CATEGORIES.iter().enumerate() {
+            let t = self.by_category[i];
+            if t > 0.0 {
+                out.push_str(&format!("  {} {:.1}%", c.label(), pct(t)));
+            }
+        }
+        out.push_str(&format!(
+            "  wire {:.1}%  idle {:.1}%\n",
+            pct(self.wire_time),
+            pct(self.idle)
+        ));
+        if !self.edges.is_empty() {
+            out.push_str(&format!(
+                "  top blocking edges (of {}):\n",
+                self.edges.len()
+            ));
+            for e in self.edges.iter().take(k) {
+                let what = match e.detail {
+                    Some(d) => span_name(&TraceEvent {
+                        detail: Some(d),
+                        ..TraceEvent::compute(0.0, 0.0, simgrid::Category::Other)
+                    }),
+                    None => format!("tag {:#x}", e.tag),
+                };
+                out.push_str(&format!(
+                    "    rank {} -> {}: stall {:.3e} s, wire {:.3e} s, {} B, {}\n",
+                    e.src, e.dst, e.stall, e.wire, e.bytes, what
+                ));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable snapshot (stable key order, plain JSON).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"makespan\": {:?},\n", self.makespan));
+        out.push_str(&format!("  \"length\": {:?},\n", self.length));
+        out.push_str("  \"by_category\": {");
+        for (i, c) in CATEGORIES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {:?}", c.label(), self.by_category[i]));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!("  \"wire_time\": {:?},\n", self.wire_time));
+        out.push_str(&format!("  \"idle\": {:?},\n", self.idle));
+        out.push_str(&format!("  \"spans\": {},\n", self.spans));
+        out.push_str("  \"edges\": [");
+        for (i, e) in self.edges.iter().take(32).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"src\": {}, \"dst\": {}, \"bytes\": {}, \"tag\": {}, \
+                 \"stall\": {:?}, \"wire\": {:?}, \"arrival\": {:?}}}",
+                e.src, e.dst, e.bytes, e.tag, e.stall, e.wire, e.arrival
+            ));
+        }
+        if !self.edges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
     }
 }
 

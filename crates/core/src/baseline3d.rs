@@ -20,7 +20,7 @@ use crate::new3d::RankOutput;
 use crate::plan::Plan;
 use crate::schedule::{ScheduleKey, ZExchange};
 use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, Ledger, SolveState};
-use simgrid::{Category, Comm};
+use simgrid::{Category, Comm, SpanDetail};
 
 /// Pack per-rank partial `lsum` rows `I` (ancestor supernodes with
 /// `I mod Px == x`) into one buffer. Zeros for rows this rank never touched.
@@ -70,6 +70,10 @@ fn unpack_add_lsums(
 /// Pairwise reduce of the ancestor partial sums toward the smaller grid
 /// of each pair (precompiled direction and pack list).
 fn exchange_lsums(plan: &Plan, zcomm: &Comm, xch: &ZExchange, nrhs: usize, state: &mut SolveState) {
+    zcomm.set_span_detail(Some(SpanDetail::ZExchange {
+        level: (xch.tag & 0xffff) as u32,
+        reduce: true,
+    }));
     if xch.send {
         let buf = pack_lsums(plan, &xch.sups, &state.lsum, nrhs);
         zcomm.send(xch.peer as usize, xch.tag, &buf, Category::ZComm);
@@ -84,6 +88,7 @@ fn exchange_lsums(plan: &Plan, zcomm: &Comm, xch: &ZExchange, nrhs: usize, state
             nrhs,
         );
     }
+    zcomm.set_span_detail(None);
 }
 
 /// Pairwise broadcast of all solved pieces to the newly activated grids.
@@ -95,6 +100,10 @@ fn exchange_solved(
     state: &mut SolveState,
 ) {
     let sym = plan.fact.lu.sym();
+    zcomm.set_span_detail(Some(SpanDetail::ZExchange {
+        level: (xch.tag & 0xffff) as u32,
+        reduce: false,
+    }));
     if xch.send {
         let mut buf = Vec::new();
         for &k in &xch.sups {
@@ -116,6 +125,7 @@ fn exchange_solved(
         }
         debug_assert_eq!(off, msg.payload.len());
     }
+    zcomm.set_span_detail(None);
 }
 
 /// Run the baseline 3D SpTRSV as the rank program of `(x, y, z)`.

@@ -94,6 +94,8 @@ pub struct SolveOutcome {
     pub replication_disagreement: f64,
     /// Per-rank event timelines (only with [`solve_traced`]).
     pub traces: Vec<Vec<simgrid::TraceEvent>>,
+    /// Counters and histograms merged across all ranks (always recorded).
+    pub metrics: simgrid::Metrics,
 }
 
 /// A planned solver: the 3D layout, grid membership, and subcommunicator
@@ -290,6 +292,7 @@ pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool
         makespan: report.makespan,
         replication_disagreement: disagreement,
         traces: report.traces,
+        metrics: report.metrics,
     }
 }
 
@@ -311,6 +314,13 @@ impl SolveOutcome {
     /// Mean over ranks of an extracted phase quantity.
     pub fn mean(&self, f: impl Fn(&PhaseTimes) -> f64) -> f64 {
         self.phases.iter().map(&f).sum::<f64>() / self.phases.len() as f64
+    }
+
+    /// Measured critical path of this solve. Meaningful only when the run
+    /// was traced ([`solve_traced`] with `trace = true`); returns an
+    /// all-zero path otherwise.
+    pub fn critical_path(&self) -> crate::analysis::CriticalPath {
+        crate::analysis::critical_path(&self.traces, self.makespan)
     }
 }
 

@@ -35,7 +35,7 @@ use crate::schedule::{
     run_pass, ColSched, PassEngine, PassSched, RecvEvent, RowSched, ScheduleKey,
 };
 use crate::solve2d::Ledger;
-use simgrid::{Category, Comm, GpuExecutor, GpuModel};
+use simgrid::{Category, Comm, EventKind, GpuExecutor, GpuModel, SpanDetail};
 use std::collections::HashMap;
 
 const KIND_Y: u64 = 21 << 40;
@@ -163,7 +163,8 @@ fn single_gpu_l(
     y_vals: &mut HashMap<u32, Vec<f64>>,
 ) {
     let sym = plan.fact.lu.sym();
-    let t0 = comm.now() + gpu.kernel_launch;
+    let start = comm.now();
+    let t0 = start + gpu.kernel_launch;
     let mut ex = GpuExecutor::new(gpu, t0);
     let mut lsum: HashMap<u32, Vec<f64>> = HashMap::new();
     let mut row_ready: HashMap<u32, f64> = HashMap::new();
@@ -207,6 +208,20 @@ fn single_gpu_l(
     let end = ex.last_finish();
     comm.account(end - comm.now(), Category::Flop);
     comm.advance_to(end);
+    // One covering span per kernel: the whole pass runs on-device between
+    // two host clock reads, so [start, end] keeps the per-rank spans tiling
+    // the clock (the invariant the critical-path walk relies on).
+    comm.trace_span(
+        start,
+        end,
+        EventKind::Compute,
+        Category::Flop,
+        Some(SpanDetail::GpuPass {
+            epoch: 0,
+            tasks: pass.cols.len() as u64,
+        }),
+    );
+    comm.metric_inc("pass.spans", 1);
 }
 
 /// Single-GPU 2D U-solve (Alg. 4 mirror), pull-model tasks. Reuses the L
@@ -223,7 +238,8 @@ fn single_gpu_u(
     x_vals: &mut HashMap<u32, Vec<f64>>,
 ) {
     let sym = plan.fact.lu.sym();
-    let t0 = comm.now() + gpu.kernel_launch;
+    let start = comm.now();
+    let t0 = start + gpu.kernel_launch;
     let mut ex = GpuExecutor::new(gpu, t0);
     let mut finish: HashMap<u32, f64> = HashMap::new();
 
@@ -259,6 +275,17 @@ fn single_gpu_u(
     let end = ex.last_finish();
     comm.account(end - comm.now(), Category::Flop);
     comm.advance_to(end);
+    comm.trace_span(
+        start,
+        end,
+        EventKind::Compute,
+        Category::Flop,
+        Some(SpanDetail::GpuPass {
+            epoch: 1,
+            tasks: pass.cols.len() as u64,
+        }),
+    );
+    comm.metric_inc("pass.spans", 1);
 }
 
 /// Run one compiled pass with the NVSHMEM-style multi-GPU engine
@@ -275,7 +302,9 @@ fn multi_gpu_pass(
     vals_in: Option<&HashMap<u32, Vec<f64>>>,
     vals_out: &mut HashMap<u32, Vec<f64>>,
 ) {
-    let t0 = comm.now() + gpu.kernel_launch;
+    let start = comm.now();
+    let t0 = start + gpu.kernel_launch;
+    let n_tasks = pass.cols.len() as u64;
     let mut engine = GpuEngine {
         plan,
         comm,
@@ -297,12 +326,23 @@ fn multi_gpu_pass(
     };
     run_pass(&mut engine, pass);
     let end = engine.last_event.max(engine.ex.last_finish());
-    comm.account(engine.ex.busy_time(), Category::Flop);
-    comm.account(
-        (end - comm.now() - engine.ex.busy_time()).max(0.0),
-        Category::XyComm,
-    );
+    let busy = engine.ex.busy_time();
+    comm.account(busy, Category::Flop);
+    comm.account((end - comm.now() - busy).max(0.0), Category::XyComm);
     comm.advance_to(end);
+    // Two covering spans mirroring the account() split: a compute part for
+    // the executor's busy time, then a drain part for the wait on remote
+    // puts. Together they tile [start, end] on this rank's clock.
+    let mid = (start + busy).min(end);
+    let detail = SpanDetail::GpuPass {
+        epoch: pass.epoch,
+        tasks: n_tasks,
+    };
+    comm.trace_span(start, mid, EventKind::Compute, Category::Flop, Some(detail));
+    if end > mid {
+        comm.trace_span(mid, end, EventKind::Recv, Category::XyComm, Some(detail));
+    }
+    comm.metric_inc("pass.spans", 1);
 }
 
 /// GPU cost hooks for [`run_pass`]: fused column tasks on the bounded-lane
@@ -474,8 +514,21 @@ impl PassEngine for GpuEngine<'_, '_> {
         }
     }
 
+    fn on_duplicate_dropped(&mut self, _ev: &RecvEvent) {
+        // GPU passes have no per-message receive span to flag; the drop
+        // still counts in the metrics registry.
+        self.comm.mark_last_dropped_duplicate();
+    }
+
+    fn on_fmod_stall(&mut self, _row: &RowSched, _outstanding: u32) {
+        self.comm.metric_inc("pass.fmod_stalls", 1);
+    }
+
     fn recv(&mut self, _epoch: u64) -> RecvEvent {
         let msg = self.comm.recv_raw_tag_masked(EPOCH_MASK, self.epoch << 48);
+        // recv_raw bypasses the clock-charging path, so count the delivery
+        // here to keep msgs.received comparable across CPU and GPU solvers.
+        self.comm.metric_inc("msgs.received", 1);
         let sup = (msg.tag & SUP_MASK) as u32;
         let kind = msg.tag & KIND_MASK;
         self.avail = msg.arrival;

@@ -37,6 +37,7 @@ pub mod plan;
 pub mod schedule;
 pub mod solve2d;
 
+pub use analysis::{critical_path, BlockingEdge, CriticalPath};
 pub use driver::{
     solve_distributed, solve_planned, solve_traced, Algorithm, Arch, PhaseTimes, SolveOutcome,
     Solver3d, SolverConfig,

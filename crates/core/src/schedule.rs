@@ -660,6 +660,13 @@ pub trait PassEngine {
     fn add_partial(&mut self, row: &RowSched, src: u32, payload: &[f64]);
     /// Blocking epoch-matched receive.
     fn recv(&mut self, epoch: u64) -> RecvEvent;
+    /// Observability hook: the interpreter recognised `ev` as a duplicated
+    /// delivery and dropped it without touching any counter.
+    fn on_duplicate_dropped(&mut self, _ev: &RecvEvent) {}
+    /// Observability hook: a partial sum for `row` was folded in but the
+    /// trigger row still waits on `outstanding` more contributions (an
+    /// `fmod` stall — the row cannot fire yet).
+    fn on_fmod_stall(&mut self, _row: &RowSched, _outstanding: u32) {}
 }
 
 /// One message delivered to a pass: a solved column vector (broadcast
@@ -758,6 +765,7 @@ fn run_pass_impl<E: PassEngine>(engine: &mut E, pass: &PassSched, dedup: bool) {
         };
         if dedup && !seen.insert((ev.vector, ev.sup, ev.src)) {
             // Duplicate delivery: drop it without touching counters.
+            engine.on_duplicate_dropped(&ev);
             continue;
         }
         received += 1;
@@ -783,6 +791,8 @@ fn run_pass_impl<E: PassEngine>(engine: &mut E, pass: &PassSched, dedup: bool) {
             fmod[idx] -= 1;
             if fmod[idx] == 0 {
                 work.push(ev.sup);
+            } else {
+                engine.on_fmod_stall(&pass.rows[idx], fmod[idx]);
             }
         }
     }

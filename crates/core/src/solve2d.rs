@@ -26,7 +26,7 @@
 use crate::kernels;
 use crate::plan::{GridSet, Plan};
 use crate::schedule::{run_pass, ColSched, PassEngine, PassSched, RecvEvent, RowSched};
-use simgrid::{Category, Comm};
+use simgrid::{Category, Comm, SpanDetail, TreeRole};
 use std::collections::HashMap;
 
 /// Order-independent partial-sum accumulator.
@@ -231,8 +231,10 @@ pub fn l_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
         usum: Ledger::default(),
         lower: true,
         epoch: pass.epoch,
+        step: 0,
     };
     run_pass(&mut engine, pass);
+    engine.finish();
 }
 
 /// Run one compiled 2D U-solve pass. Solved `x(K)` land in
@@ -246,8 +248,10 @@ pub fn u_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
         usum: Ledger::default(),
         lower: false,
         epoch: pass.epoch,
+        step: 0,
     };
     run_pass(&mut engine, pass);
+    engine.finish();
 }
 
 /// CPU cost hooks for [`run_pass`]: every kernel advances this rank's
@@ -259,6 +263,8 @@ struct CpuEngine<'a, 'b> {
     usum: Ledger,
     lower: bool,
     epoch: u64,
+    /// Monotone per-pass operation index, stamped onto trace spans.
+    step: u32,
 }
 
 impl CpuEngine<'_, '_> {
@@ -286,10 +292,30 @@ impl CpuEngine<'_, '_> {
             KIND_USUM
         }
     }
+
+    /// Stamp subsequent trace spans with this operation's semantics and
+    /// advance the per-pass step counter.
+    fn begin_op(&mut self, sup: u32, role: TreeRole) {
+        self.ctx.comm.set_span_detail(Some(SpanDetail::Pass {
+            epoch: self.epoch,
+            step: self.step,
+            sup,
+            role,
+        }));
+        self.step += 1;
+    }
+
+    /// Clear the span annotation and flush per-pass metrics. Called after
+    /// `run_pass` returns.
+    fn finish(&self) {
+        self.ctx.comm.set_span_detail(None);
+        self.ctx.comm.metric_inc("pass.spans", self.step as u64);
+    }
 }
 
 impl PassEngine for CpuEngine<'_, '_> {
     fn solve_diag(&mut self, row: &RowSched) -> Vec<f64> {
+        self.begin_op(row.sup, TreeRole::Diag);
         let plan = self.ctx.plan;
         let iu = row.sup as usize;
         let (v, fl) = if self.lower {
@@ -332,6 +358,10 @@ impl PassEngine for CpuEngine<'_, '_> {
     }
 
     fn forward(&mut self, col: &ColSched, v: &[f64]) {
+        if col.children.is_empty() {
+            return;
+        }
+        self.begin_op(col.sup, TreeRole::Bcast);
         let t = tag(self.epoch, self.vec_kind(), col.sup);
         for &child in &col.children {
             self.ctx.comm.send(child as usize, t, v, Category::XyComm);
@@ -339,6 +369,7 @@ impl PassEngine for CpuEngine<'_, '_> {
     }
 
     fn send_partial(&mut self, row: &RowSched, parent: u32) {
+        self.begin_op(row.sup, TreeRole::Reduce);
         let w = self.ctx.plan.fact.lu.sym().sup_width(row.sup as usize);
         let nrhs = self.ctx.nrhs;
         let t = tag(self.epoch, self.sum_kind(), row.sup);
@@ -351,6 +382,7 @@ impl PassEngine for CpuEngine<'_, '_> {
     }
 
     fn apply_column(&mut self, col: &ColSched, v: &[f64]) {
+        self.begin_op(col.sup, TreeRole::Apply);
         let plan = self.ctx.plan;
         let sym = plan.fact.lu.sym();
         let nrhs = self.ctx.nrhs;
@@ -393,6 +425,9 @@ impl PassEngine for CpuEngine<'_, '_> {
     }
 
     fn recv(&mut self, epoch: u64) -> RecvEvent {
+        // Clear any stale operation stamp: the blocking receive's own
+        // semantics are only known once the tag is decoded.
+        self.ctx.comm.set_span_detail(None);
         let msg = self
             .ctx
             .comm
@@ -406,12 +441,31 @@ impl PassEngine for CpuEngine<'_, '_> {
         } else {
             unreachable!("unexpected message kind in 2D pass");
         };
+        self.ctx.comm.annotate_last(SpanDetail::Pass {
+            epoch: self.epoch,
+            step: self.step,
+            sup,
+            role: if vector {
+                TreeRole::Bcast
+            } else {
+                TreeRole::Reduce
+            },
+        });
+        self.step += 1;
         RecvEvent {
             vector,
             sup,
             src: msg.src as u32,
             payload: msg.payload.to_vec(),
         }
+    }
+
+    fn on_duplicate_dropped(&mut self, _ev: &RecvEvent) {
+        self.ctx.comm.mark_last_dropped_duplicate();
+    }
+
+    fn on_fmod_stall(&mut self, _row: &RowSched, _outstanding: u32) {
+        self.ctx.comm.metric_inc("pass.fmod_stalls", 1);
     }
 }
 

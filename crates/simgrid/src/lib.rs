@@ -21,14 +21,19 @@
 pub mod fault;
 pub mod gpu;
 pub mod machine;
+pub mod metrics;
 pub mod stats;
 pub mod trace;
 
 pub use fault::{FaultPlan, Reorder, PROFILE_NAMES};
 pub use gpu::GpuExecutor;
 pub use machine::{GpuModel, MachineModel};
-pub use stats::{Category, RankStats, RunReport, N_CATEGORIES};
-pub use trace::{render_timeline, EventKind, TraceEvent};
+pub use metrics::{Histogram, Metrics, BYTE_BUCKETS, WAIT_BUCKETS};
+pub use stats::{Category, RankStats, RunReport, CATEGORIES, N_CATEGORIES};
+pub use trace::{
+    export_perfetto, render_timeline, span_name, EventKind, FaultMark, MsgInfo, SpanDetail,
+    TraceEvent, TreeRole,
+};
 
 use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, RefCell};
@@ -48,6 +53,12 @@ struct Msg {
     tag: u64,
     arrival: f64,
     payload: Box<[f64]>,
+    /// Cluster-unique id; a duplicate copy shares its original's id.
+    seq: u64,
+    /// Injected duplicate copy.
+    dup: bool,
+    /// Arrival was pushed back by injected jitter.
+    jittered: bool,
 }
 
 /// A received message.
@@ -60,6 +71,13 @@ pub struct RecvMsg {
     pub arrival: f64,
     /// Message data.
     pub payload: Box<[f64]>,
+    /// Cluster-unique message id (pairs the receive with its send in
+    /// traces; a duplicate delivery carries its original's id).
+    pub seq: u64,
+    /// True when this delivery is an injected duplicate copy.
+    pub dup: bool,
+    /// True when injected jitter pushed the arrival back.
+    pub jittered: bool,
 }
 
 struct Mailbox {
@@ -95,19 +113,30 @@ struct RankCtx {
     coll_seq: RefCell<HashMap<u64, u64>>,
     /// Event timeline, recorded when tracing is enabled.
     trace: Option<RefCell<Vec<TraceEvent>>>,
+    /// Solver-semantic annotation stamped onto spans recorded while set
+    /// (see [`Comm::set_span_detail`]).
+    span_detail: Cell<Option<SpanDetail>>,
+    /// This rank's metrics registry (merged across ranks after the run).
+    metrics: RefCell<crate::metrics::Metrics>,
+    /// Count of messages this rank has sent, for sequence-id allocation.
+    /// Ids are `(world_rank + 1) << 32 | count`, which is unique across
+    /// the cluster *and* deterministic (each rank's send order is fixed by
+    /// its program), unlike a shared atomic counter whose allocation order
+    /// would race between rank threads. 0 stays reserved for setup sends.
+    sent_seq: Cell<u64>,
 }
 
 impl RankCtx {
     #[inline]
-    fn record(&self, t0: f64, t1: f64, kind: EventKind, cat: Category, peer: usize, bytes: usize) {
+    fn record(&self, t0: f64, t1: f64, kind: EventKind, cat: Category, msg: Option<MsgInfo>) {
         if let Some(tr) = &self.trace {
             tr.borrow_mut().push(TraceEvent {
                 t0,
                 t1,
                 kind,
                 category: cat,
-                peer,
-                bytes,
+                msg,
+                detail: self.span_detail.get(),
             });
         }
     }
@@ -190,7 +219,7 @@ impl Comm {
         self.ctx.clock.set(t0 + seconds);
         self.ctx.stats.borrow_mut().time[cat as usize] += seconds;
         self.ctx
-            .record(t0, t0 + seconds, EventKind::Compute, cat, usize::MAX, 0);
+            .record(t0, t0 + seconds, EventKind::Compute, cat, None);
     }
 
     /// Record `seconds` in `cat` without advancing the clock (used by the
@@ -203,6 +232,76 @@ impl Comm {
     /// deltas of this to attribute time to algorithm phases.
     pub fn time_snapshot(&self) -> [f64; N_CATEGORIES] {
         self.ctx.stats.borrow().time
+    }
+
+    /// Stamp `detail` onto every span recorded from now on (until cleared
+    /// with `None`). Interpreter layers bracket operations with this so the
+    /// simulator's compute/send/recv spans carry solver semantics.
+    pub fn set_span_detail(&self, detail: Option<SpanDetail>) {
+        self.ctx.span_detail.set(detail);
+    }
+
+    /// Attach `detail` to the most recently recorded span (no-op when
+    /// tracing is off or nothing was recorded). Used where the annotation
+    /// is only known *after* the span exists — e.g. a receive whose
+    /// supernode/role is decoded from the received tag.
+    pub fn annotate_last(&self, detail: SpanDetail) {
+        if let Some(tr) = &self.ctx.trace {
+            if let Some(last) = tr.borrow_mut().last_mut() {
+                last.detail = Some(detail);
+            }
+        }
+    }
+
+    /// Mark the most recent receive span as a recognised-and-dropped
+    /// duplicate and count it in the metrics registry.
+    pub fn mark_last_dropped_duplicate(&self) {
+        self.metric_inc("msgs.dropped_duplicates", 1);
+        if let Some(tr) = &self.ctx.trace {
+            if let Some(last) = tr.borrow_mut().last_mut() {
+                if last.kind == EventKind::Recv {
+                    if let Some(m) = &mut last.msg {
+                        m.faults.dropped_duplicate = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a span with explicit bounds and annotation, without touching
+    /// the clock or the statistics. The GPU paths use this to emit one
+    /// covering span per event-driven pass (their internal puts/receives
+    /// bypass per-message tracing), preserving the per-rank tiling
+    /// invariant the critical-path analysis relies on.
+    pub fn trace_span(
+        &self,
+        t0: f64,
+        t1: f64,
+        kind: EventKind,
+        cat: Category,
+        detail: Option<SpanDetail>,
+    ) {
+        if let Some(tr) = &self.ctx.trace {
+            tr.borrow_mut().push(TraceEvent {
+                t0,
+                t1,
+                kind,
+                category: cat,
+                msg: None,
+                detail,
+            });
+        }
+    }
+
+    /// Add `by` to this rank's counter `name`.
+    pub fn metric_inc(&self, name: &str, by: u64) {
+        self.ctx.metrics.borrow_mut().inc(name, by);
+    }
+
+    /// Record `v` into this rank's histogram `name` (created with `bounds`
+    /// on first use).
+    pub fn metric_observe(&self, name: &str, bounds: &[f64], v: f64) {
+        self.ctx.metrics.borrow_mut().observe(name, bounds, v);
     }
 
     /// World rank of communicator rank `r`.
@@ -225,15 +324,22 @@ impl Comm {
             st.time[cat as usize] += overhead;
         }
         let depart = self.ctx.clock.get();
+        let (seq, arrival, faults) =
+            self.send_raw(depart, wire, dst, tag, payload, cat, bytes, true);
         self.ctx.record(
             t0,
             depart,
             EventKind::Send,
             cat,
-            self.world_rank(dst),
-            bytes,
+            Some(MsgInfo {
+                peer: self.world_rank(dst),
+                bytes,
+                tag,
+                seq,
+                arrival,
+                faults,
+            }),
         );
-        self.send_raw(depart, wire, dst, tag, payload, cat, bytes, true);
     }
 
     /// Send with an explicit departure time and wire cost (used by the GPU
@@ -251,9 +357,11 @@ impl Comm {
         cat: Category,
     ) {
         let bytes = 8 * payload.len() + 64;
-        self.send_raw(depart, wire, dst, tag, payload, cat, bytes, false);
+        let _ = self.send_raw(depart, wire, dst, tag, payload, cat, bytes, false);
     }
 
+    /// Inject a message, applying the fault plan. Returns the sequence id,
+    /// the (post-fault) arrival time, and the fault marks for tracing.
     #[allow(clippy::too_many_arguments)]
     fn send_raw(
         &self,
@@ -265,9 +373,10 @@ impl Comm {
         cat: Category,
         bytes: usize,
         fifo: bool,
-    ) {
+    ) -> (u64, f64, FaultMark) {
         let dst_world = self.members[dst];
         let fault = &self.shared.fault;
+        let mut marks = FaultMark::default();
         // Link degradation: inflate the wire time (β) and add latency (α)
         // when either endpoint is a degraded rank.
         if !fault.degraded_ranks.is_empty()
@@ -281,6 +390,7 @@ impl Comm {
         // non-overtaking even under jitter.
         if fault.jitter_max > 0.0 && self.ctx.fault_rng.get() != 0 {
             arrival += self.ctx.draw_unit() * fault.jitter_max;
+            marks.jitter_delayed = true;
         }
         // Non-overtaking: per (comm, dst) FIFO on arrival times.
         if fifo {
@@ -298,18 +408,35 @@ impl Comm {
             st.bytes_sent[cat as usize] += bytes as u64;
             st.msgs_sent[cat as usize] += 1;
         }
+        {
+            let mut m = self.ctx.metrics.borrow_mut();
+            m.inc("msgs.sent", 1);
+            m.observe("msgs.bytes", crate::metrics::BYTE_BUCKETS, bytes as f64);
+            if marks.jitter_delayed {
+                m.inc("msgs.jitter_delayed", 1);
+            }
+        }
+        let seq = {
+            let n = self.ctx.sent_seq.get() + 1;
+            self.ctx.sent_seq.set(n);
+            ((self.ctx.world_rank as u64 + 1) << 32) | n
+        };
         let msg = Msg {
             comm_id: self.id,
             src: self.my_idx as u32,
             tag,
             arrival,
             payload: payload.into(),
+            seq,
+            dup: false,
+            jittered: marks.jitter_delayed,
         };
         let mb = &self.shared.mailboxes[dst_world as usize];
         mb.queue.lock().push(msg);
         mb.cv.notify_all();
         // Duplicate delivery: the copy arrives strictly after the original
-        // with fresh jitter, exercising receiver-side idempotence.
+        // with fresh jitter, exercising receiver-side idempotence. The copy
+        // keeps the original's sequence id (it is the same logical message).
         if fault.duplicate_prob > 0.0
             && self.ctx.fault_rng.get() != 0
             && self.ctx.draw_unit() < fault.duplicate_prob
@@ -321,15 +448,21 @@ impl Comm {
                 tag,
                 arrival: arrival + 1e-12 + extra,
                 payload: payload.into(),
+                seq,
+                dup: true,
+                jittered: marks.jitter_delayed,
             };
             {
                 let mut st = self.ctx.stats.borrow_mut();
                 st.bytes_sent[cat as usize] += bytes as u64;
                 st.msgs_sent[cat as usize] += 1;
             }
+            self.ctx.metrics.borrow_mut().inc("msgs.dup_injected", 1);
+            marks.duplicate = true;
             mb.queue.lock().push(dup);
             mb.cv.notify_all();
         }
+        (seq, arrival, marks)
     }
 
     /// Blocking receive. `src`/`tag` of `None` match anything (the paper's
@@ -348,13 +481,32 @@ impl Comm {
         let after = msg.arrival.max(before) + self.shared.model.recv_overhead;
         self.ctx.stats.borrow_mut().time[cat as usize] += after - before;
         self.ctx.clock.set(after);
+        {
+            let mut m = self.ctx.metrics.borrow_mut();
+            m.inc("msgs.received", 1);
+            m.observe(
+                "recv.wait_seconds",
+                crate::metrics::WAIT_BUCKETS,
+                (msg.arrival - before).max(0.0),
+            );
+        }
         self.ctx.record(
             before,
             after,
             EventKind::Recv,
             cat,
-            self.world_rank(msg.src),
-            8 * msg.payload.len(),
+            Some(MsgInfo {
+                peer: self.world_rank(msg.src),
+                bytes: 8 * msg.payload.len() + 64,
+                tag: msg.tag,
+                seq: msg.seq,
+                arrival: msg.arrival,
+                faults: FaultMark {
+                    duplicate: msg.dup,
+                    jitter_delayed: msg.jittered,
+                    ..FaultMark::default()
+                },
+            }),
         );
     }
 
@@ -390,6 +542,14 @@ impl Comm {
             .shared
             .stall_timeout
             .map(|limit| (Instant::now(), limit));
+        // The pick below is what makes runs reproducible: among queued
+        // matches, earliest *virtual* arrival wins. But the queue fills in
+        // *real* time — a racing sender can be microseconds behind the
+        // notifier yet earlier on the virtual clock. One bounded settle
+        // wait before committing the first candidate lets such in-flight
+        // sends land, making the choice (and with it clocks, traces, and
+        // the critical path) stable against OS scheduling.
+        let mut settle = true;
         loop {
             let policy = if self.ctx.fault_rng.get() == 0 {
                 Reorder::EarliestArrival
@@ -435,12 +595,20 @@ impl Comm {
                 }
             };
             if let Some(idx) = pick {
+                if settle {
+                    settle = false;
+                    mb.cv.wait_for(&mut q, Duration::from_micros(100));
+                    continue; // re-evaluate over the settled queue
+                }
                 let m = q.swap_remove(idx);
                 return RecvMsg {
                     src: m.src as usize,
                     tag: m.tag,
                     arrival: m.arrival,
                     payload: m.payload,
+                    seq: m.seq,
+                    dup: m.dup,
+                    jittered: m.jittered,
                 };
             }
             match started {
@@ -552,6 +720,9 @@ impl Comm {
             tag,
             arrival: f64::NEG_INFINITY,
             payload: payload.into(),
+            seq: 0,
+            dup: false,
+            jittered: false,
         };
         let mb = &self.shared.mailboxes[dst_world as usize];
         mb.queue.lock().push(msg);
@@ -735,7 +906,8 @@ where
     let world_members: Arc<Vec<u32>> = Arc::new((0..nranks as u32).collect());
 
     let trace_on = opts.trace;
-    let mut out: Vec<Option<(RankStats, R, Vec<TraceEvent>)>> = (0..nranks).map(|_| None).collect();
+    type RankOut<R> = (RankStats, R, Vec<TraceEvent>, crate::metrics::Metrics);
+    let mut out: Vec<Option<RankOut<R>>> = (0..nranks).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks);
         for rank in 0..nranks {
@@ -755,6 +927,9 @@ where
                         compute_mult: shared.fault.compute_mult(rank),
                         coll_seq: RefCell::new(HashMap::new()),
                         trace: trace_on.then(|| RefCell::new(Vec::new())),
+                        span_detail: Cell::new(None),
+                        metrics: RefCell::new(crate::metrics::Metrics::new()),
+                        sent_seq: Cell::new(0),
                     });
                     let world = Comm {
                         shared,
@@ -771,28 +946,31 @@ where
                         .as_ref()
                         .map(|t| t.borrow().clone())
                         .unwrap_or_default();
-                    (stats, r, tr)
+                    let metrics = ctx.metrics.borrow().clone();
+                    (stats, r, tr, metrics)
                 })
                 .expect("spawn rank thread");
             handles.push(h);
         }
         for (rank, h) in handles.into_iter().enumerate() {
-            let (stats, r, tr) = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
-            out[rank] = Some((stats, r, tr));
+            out[rank] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
         }
     });
 
     let mut stats = Vec::with_capacity(nranks);
     let mut results = Vec::with_capacity(nranks);
     let mut traces = Vec::with_capacity(nranks);
+    let mut metrics = crate::metrics::Metrics::new();
     for slot in out {
-        let (s, r, t) = slot.expect("every rank completed");
+        let (s, r, t, m) = slot.expect("every rank completed");
         stats.push(s);
         results.push(r);
         traces.push(t);
+        metrics.merge_from(&m);
     }
     let mut rep = RunReport::new(stats, results);
     rep.traces = traces;
+    rep.metrics = metrics;
     rep
 }
 

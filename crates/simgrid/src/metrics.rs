@@ -1,0 +1,285 @@
+//! Lightweight metrics registry: named counters and fixed-bucket
+//! histograms, merged across ranks at the end of a run.
+//!
+//! Unlike tracing (off by default, event-per-span), metrics are always on
+//! and O(1) per observation, so they are safe to leave enabled in
+//! benchmark runs. The simulator feeds `msgs.*` / `recv.*` series; the
+//! solver interpreters add `pass.*` series. [`Metrics::to_json`] produces
+//! a deterministic snapshot (BTreeMap ordering) for `--metrics-out`.
+//!
+//! The catalog emitted by a solve:
+//!
+//! | name                       | type      | meaning                                  |
+//! |----------------------------|-----------|------------------------------------------|
+//! | `msgs.sent`                | counter   | point-to-point messages injected          |
+//! | `msgs.received`            | counter   | messages charged to a receiver            |
+//! | `msgs.dup_injected`        | counter   | duplicate copies created by fault plans   |
+//! | `msgs.dropped_duplicates`  | counter   | duplicates recognised and dropped         |
+//! | `msgs.jitter_delayed`      | counter   | arrivals pushed back by injected jitter   |
+//! | `msgs.bytes`               | histogram | wire bytes per message                    |
+//! | `recv.wait_seconds`        | histogram | receiver blocked time per receive         |
+//! | `pass.spans`               | counter   | interpreter steps executed by 2D passes   |
+//! | `pass.fmod_stalls`         | counter   | partial sums that left a row still waiting|
+
+use std::collections::BTreeMap;
+
+/// Bucket upper bounds for message sizes (bytes).
+pub const BYTE_BUCKETS: &[f64] = &[64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0];
+
+/// Bucket upper bounds for wait durations (seconds).
+pub const WAIT_BUCKETS: &[f64] = &[1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+
+/// Fixed-bucket histogram: `counts[i]` tallies observations `≤ bounds[i]`,
+/// with one overflow bucket at the end.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    n: u64,
+}
+
+impl Histogram {
+    /// Empty histogram over ascending `bounds`.
+    pub fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.sum += v;
+        self.n += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fold another histogram (same bounds) into this one.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+        self.n += other.n;
+    }
+}
+
+/// A named-series registry of counters and histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `by` to counter `name` (created at zero on first use).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
+    }
+
+    /// Record `v` into histogram `name` (created with `bounds` on first use).
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::new(bounds);
+            h.observe(v);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another registry into this one (same-name histograms must
+    /// share bucket bounds).
+    pub fn merge_from(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            self.inc(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(k) {
+                mine.merge_from(h);
+            } else {
+                self.histograms.insert(k.clone(), h.clone());
+            }
+        }
+    }
+
+    /// Deterministic JSON snapshot:
+    /// `{"counters": {...}, "histograms": {name: {bounds, counts, count, sum, mean}}}`.
+    pub fn to_json(&self) -> String {
+        fn push_f64_list(out: &mut String, xs: &[f64]) {
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{x:?}"));
+            }
+            out.push(']');
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{k}\": {v}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{k}\": {{\"bounds\": "));
+            push_f64_list(&mut out, &h.bounds);
+            out.push_str(", \"counts\": [");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str(&format!(
+                "], \"count\": {}, \"sum\": {:?}, \"mean\": {:?}}}",
+                h.n,
+                h.sum,
+                h.mean()
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(1.0); // boundary goes into the ≤1.0 bucket
+        h.observe(5.0);
+        h.observe(100.0); // overflow
+        assert_eq!(h.bucket_counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 106.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_folds_counters_and_histograms() {
+        let mut a = Metrics::new();
+        a.inc("x", 2);
+        a.observe("h", &[1.0], 0.5);
+        let mut b = Metrics::new();
+        b.inc("x", 3);
+        b.inc("y", 1);
+        b.observe("h", &[1.0], 2.0);
+        a.merge_from(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_parses() {
+        let mut m = Metrics::new();
+        m.inc("b.second", 2);
+        m.inc("a.first", 1);
+        m.observe("wait", &[1e-6, 1e-3], 5e-4);
+        let js = m.to_json();
+        assert_eq!(js, m.clone().to_json());
+        // Name order is lexicographic regardless of insertion order.
+        assert!(js.find("a.first").unwrap() < js.find("b.second").unwrap());
+        let v: serde_json::Value = serde_json::from_str(&js).expect("valid JSON");
+        let counters = v.get("counters").expect("counters");
+        assert_eq!(counters.get("a.first"), Some(&serde_json::Value::Int(1)));
+        let h = v.get("histograms").and_then(|h| h.get("wait")).unwrap();
+        assert_eq!(h.get("count"), Some(&serde_json::Value::Int(1)));
+    }
+
+    #[test]
+    fn empty_registry_renders() {
+        let m = Metrics::new();
+        assert!(m.is_empty());
+        let v: Result<serde_json::Value, _> = serde_json::from_str(&m.to_json());
+        assert!(v.is_ok());
+    }
+}

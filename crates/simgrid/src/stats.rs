@@ -86,6 +86,8 @@ pub struct RunReport<R> {
     pub makespan: f64,
     /// Per-rank event timelines (empty unless tracing was enabled).
     pub traces: Vec<Vec<crate::trace::TraceEvent>>,
+    /// Counters and histograms merged across all ranks (always recorded).
+    pub metrics: crate::metrics::Metrics,
 }
 
 impl<R> RunReport<R> {
@@ -97,6 +99,7 @@ impl<R> RunReport<R> {
             results,
             makespan,
             traces: Vec::new(),
+            metrics: crate::metrics::Metrics::new(),
         }
     }
 

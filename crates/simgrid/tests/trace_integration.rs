@@ -32,12 +32,20 @@ fn traces_cover_all_activity() {
         kinds,
         vec![EventKind::Compute, EventKind::Send, EventKind::Send]
     );
-    assert_eq!(rep.traces[0][1].peer, 1);
-    assert_eq!(rep.traces[0][1].bytes, 8 * 8 + 64);
-    // Rank 1: compute then recv from 0.
+    let send = rep.traces[0][1].msg.expect("send span carries MsgInfo");
+    assert_eq!(send.peer, 1);
+    assert_eq!(send.bytes, 8 * 8 + 64);
+    assert!(!send.faults.any());
+    // Compute spans carry no message payload (no more sentinel values).
+    assert!(rep.traces[0][0].msg.is_none());
+    // Rank 1: compute then recv from 0, paired by sequence id.
     let r1 = &rep.traces[1];
     assert_eq!(r1.last().unwrap().kind, EventKind::Recv);
-    assert_eq!(r1.last().unwrap().peer, 0);
+    let recv = r1.last().unwrap().msg.expect("recv span carries MsgInfo");
+    assert_eq!(recv.peer, 0);
+    assert_eq!(recv.seq, send.seq);
+    assert_eq!(recv.bytes, send.bytes);
+    assert!(recv.arrival >= rep.traces[0][1].t1);
     // Events on each rank are time-ordered and within the makespan.
     for tl in &rep.traces {
         let mut last = 0.0;
@@ -101,4 +109,67 @@ fn tracing_does_not_change_virtual_time() {
     );
     assert_eq!(a.results, b.results);
     assert_eq!(a.makespan, b.makespan);
+}
+
+#[test]
+fn spans_tile_each_ranks_clock() {
+    // Every clock advance happens inside a recorded span: per rank the
+    // spans are contiguous from 0 to the final clock. This is the tiling
+    // invariant the critical-path analysis in `core` builds on.
+    let rep = simgrid::run(
+        4,
+        MachineModel::uniform("t", 1e9, 1e-6, 1e9, 4),
+        &traced_opts(),
+        |c| {
+            let mut v = [c.rank() as f64];
+            c.compute(1e-6, Category::Flop);
+            c.allreduce_sum(&mut v, Category::ZComm);
+            c.compute(2e-6, Category::Flop);
+            c.now()
+        },
+    );
+    for (rank, tl) in rep.traces.iter().enumerate() {
+        let mut t = 0.0;
+        for e in tl {
+            assert!(
+                (e.t0 - t).abs() < 1e-15,
+                "rank {rank}: gap/overlap at t={t}: span starts {}",
+                e.t0
+            );
+            assert!(e.t1 >= e.t0);
+            t = e.t1;
+        }
+        assert!(
+            (t - rep.results[rank]).abs() < 1e-15,
+            "rank {rank}: spans end at {t}, clock at {}",
+            rep.results[rank]
+        );
+    }
+}
+
+#[test]
+fn metrics_count_messages_even_without_tracing() {
+    let rep = simgrid::run(
+        2,
+        MachineModel::uniform("t", 1e9, 1e-6, 1e9, 4),
+        &ClusterOptions::default(),
+        |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, &[1.0; 8], Category::XyComm);
+            } else {
+                c.recv(Some(0), Some(3), Category::XyComm);
+            }
+        },
+    );
+    assert_eq!(rep.metrics.counter("msgs.sent"), 1);
+    assert_eq!(rep.metrics.counter("msgs.received"), 1);
+    let h = rep
+        .metrics
+        .histogram("msgs.bytes")
+        .expect("bytes histogram");
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum(), (8 * 8 + 64) as f64);
+    let v: serde_json::Value =
+        serde_json::from_str(&rep.metrics.to_json()).expect("snapshot parses");
+    assert!(v.get("counters").is_some());
 }

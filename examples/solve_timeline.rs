@@ -4,11 +4,15 @@
 //! U phase are all visible, as is the idle-grid pattern when the same
 //! solve runs with the baseline algorithm.
 //!
+//! Also exports each solve as a Chrome/Perfetto trace (open the JSON in
+//! ui.perfetto.dev for the zoomable version of the same picture) and
+//! prints the measured critical path.
+//!
 //! ```text
 //! cargo run --release --example solve_timeline
 //! ```
 
-use simgrid::render_timeline;
+use simgrid::{export_perfetto, render_timeline};
 use sptrsv::{solve_traced, Plan};
 use sptrsv_repro::prelude::*;
 use std::sync::Arc;
@@ -19,9 +23,9 @@ fn main() {
     let fact = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).expect("factorize"));
     let b = gen::standard_rhs(a.nrows(), 1);
 
-    for (label, algorithm) in [
-        ("proposed 3D [SC'23]", Algorithm::New3d),
-        ("baseline 3D [ICS'19]", Algorithm::Baseline3d),
+    for (label, slug, algorithm) in [
+        ("proposed 3D [SC'23]", "new3d", Algorithm::New3d),
+        ("baseline 3D [ICS'19]", "baseline3d", Algorithm::Baseline3d),
     ] {
         let cfg = SolverConfig {
             px,
@@ -44,6 +48,13 @@ fn main() {
         );
         println!("    (#' compute, '>' send, '.' recv/wait; one row per rank)");
         print!("{}", render_timeline(&out.traces, out.makespan, 100));
+        print!("{}", out.critical_path().report(3));
+        let path = std::env::temp_dir().join(format!("sptrsv_trace_{slug}.json"));
+        std::fs::write(&path, export_perfetto(&out.traces, px * py)).expect("write trace");
+        println!(
+            "    Perfetto trace: {} (open in ui.perfetto.dev)",
+            path.display()
+        );
     }
     println!("\nNote the baseline's trailing idle rows (grids that finished their");
     println!("subtree and wait) versus the proposed algorithm's uniform activity.");

@@ -9,8 +9,9 @@
 //! sptrsv3d --gen s2D9pt2048 --scale medium --pz 16 --arch gpu --machine perlmutter
 //! ```
 
-use simgrid::{Category, FaultPlan, MachineModel, PROFILE_NAMES};
+use simgrid::{export_perfetto, Category, FaultPlan, MachineModel, PROFILE_NAMES};
 use sptrsv_repro::prelude::*;
+use sptrsv_repro::sptrsv::Plan;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -29,6 +30,9 @@ struct Args {
     json: bool,
     fault_profile: Option<String>,
     chaos_seed: u64,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    critical_path: bool,
 }
 
 const USAGE: &str = "\
@@ -63,6 +67,13 @@ FAULT INJECTION:
 
 OUTPUT:
     --json            machine-readable summary on stdout instead of the table
+    --trace-out FILE  write a Chrome/Perfetto trace of the solve (load the
+                      JSON in ui.perfetto.dev; one process per 2D grid, one
+                      track per rank, flow arrows linking send -> recv)
+    --metrics-out F   write the solver metrics registry (counters and
+                      histograms: message bytes, recv waits, fmod stalls)
+    --critical-path   trace the solve and report the measured critical path
+                      (per-category composition and top blocking edges)
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -81,6 +92,9 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         fault_profile: None,
         chaos_seed: 7,
+        trace_out: None,
+        metrics_out: None,
+        critical_path: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -141,6 +155,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--symmetrize" => a.symmetrize = true,
             "--json" => a.json = true,
+            "--trace-out" => a.trace_out = Some(next(&mut i)?),
+            "--metrics-out" => a.metrics_out = Some(next(&mut i)?),
+            "--critical-path" => a.critical_path = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -203,7 +220,15 @@ fn main() -> ExitCode {
             }
         }
     };
-    println!("matrix: n = {}, nnz = {}", a.nrows(), a.nnz());
+    // Progress goes to stderr under --json so stdout stays parseable.
+    let progress = |line: String| {
+        if args.json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    progress(format!("matrix: n = {}, nnz = {}", a.nrows(), a.nnz()));
 
     let t0 = std::time::Instant::now();
     let fact = match factorize(&a, args.pz, &SymbolicOptions::default()) {
@@ -214,13 +239,13 @@ fn main() -> ExitCode {
         }
     };
     let sym = fact.lu.sym();
-    println!(
+    progress(format!(
         "factorized in {:.2}s: {} supernodes, nnz(LU) = {} ({:.4}% dense)",
         t0.elapsed().as_secs_f64(),
         sym.n_supernodes(),
         sym.nnz_lu(),
         100.0 * sym.nnz_lu() as f64 / (a.nrows() as f64 * a.nrows() as f64)
-    );
+    ));
 
     let b = gen::standard_rhs(a.nrows(), args.nrhs);
     let fault = match &args.fault_profile {
@@ -244,10 +269,40 @@ fn main() -> ExitCode {
         chaos_seed: 0,
         fault,
     };
-    let out = solve_distributed(&fact, &b, &cfg);
+    let want_trace = args.trace_out.is_some() || args.critical_path;
+    let plan = Arc::new(Plan::new(Arc::clone(&fact), args.px, args.py, args.pz));
+    let out = solve_traced(&plan, &b, &cfg, want_trace);
     let res = sparse::rel_residual_inf(&a, &out.x, &b, args.nrhs);
 
+    if let Some(path) = &args.trace_out {
+        let json = export_perfetto(&out.traces, args.px * args.py);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote Perfetto trace to {path} (open in ui.perfetto.dev)");
+    }
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, out.metrics.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    let cp = want_trace.then(|| out.critical_path());
+
     if args.json {
+        #[derive(serde::Serialize)]
+        struct CriticalPathSummary {
+            length_seconds: f64,
+            flop_seconds: f64,
+            xy_comm_seconds: f64,
+            z_comm_seconds: f64,
+            wire_seconds: f64,
+            idle_seconds: f64,
+            spans: usize,
+            blocking_edges: usize,
+        }
         #[derive(serde::Serialize)]
         struct Summary<'a> {
             n: usize,
@@ -260,6 +315,7 @@ fn main() -> ExitCode {
             u_solve_mean: f64,
             z_comm_mean: f64,
             residual: f64,
+            critical_path: Option<CriticalPathSummary>,
             phases: &'a [sptrsv::PhaseTimes],
         }
         let summary = Summary {
@@ -273,6 +329,16 @@ fn main() -> ExitCode {
             u_solve_mean: out.mean(|p| p.u_wall),
             z_comm_mean: out.mean(|p| p.z_time),
             residual: res,
+            critical_path: cp.as_ref().map(|c| CriticalPathSummary {
+                length_seconds: c.length,
+                flop_seconds: c.by_category[Category::Flop as usize],
+                xy_comm_seconds: c.by_category[Category::XyComm as usize],
+                z_comm_seconds: c.by_category[Category::ZComm as usize],
+                wire_seconds: c.wire_time,
+                idle_seconds: c.idle,
+                spans: c.spans,
+                blocking_edges: c.edges.len(),
+            }),
             phases: &out.phases,
         };
         println!(
@@ -323,6 +389,11 @@ fn main() -> ExitCode {
         bytes as f64 / (1 << 20) as f64
     );
     println!("  residual       : {res:.3e}");
+    if args.critical_path {
+        if let Some(cp) = &cp {
+            print!("\n{}", cp.report(5));
+        }
+    }
     if res > 1e-8 {
         eprintln!("error: residual too large — solve failed verification");
         return ExitCode::FAILURE;

@@ -50,5 +50,8 @@ pub mod prelude {
     pub use ordering::SymbolicOptions;
     pub use simgrid::{Category, FaultPlan, MachineModel, Reorder};
     pub use sparse::{self, gen, CsrMatrix};
-    pub use sptrsv::{solve_distributed, Algorithm, Arch, SolveOutcome, Solver3d, SolverConfig};
+    pub use sptrsv::{
+        critical_path, solve_distributed, solve_traced, Algorithm, Arch, CriticalPath,
+        SolveOutcome, Solver3d, SolverConfig,
+    };
 }

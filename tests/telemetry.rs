@@ -1,0 +1,277 @@
+//! Conformance tests of the structured-telemetry stack: traced spans,
+//! the Perfetto exporter, the metrics registry, and the critical-path
+//! engine — across all four solver configurations (new-3D CPU, baseline
+//! 3D, single-GPU, multi-GPU) and under every chaos fault profile.
+//!
+//! The load-bearing invariant is *tiling*: per rank, traced spans cover
+//! the virtual clock contiguously, so the backward critical-path walk
+//! telescopes to exactly the makespan. Everything else (flow pairing,
+//! DAG validity) layers on the message sequence ids.
+
+use proptest::prelude::*;
+use simgrid::{export_perfetto, EventKind, FaultPlan, MachineModel, TraceEvent, PROFILE_NAMES};
+use sptrsv::{solve_traced, Plan};
+use sptrsv_repro::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/trace_new3d_2x2x2.json"
+);
+
+fn cfg(px: usize, py: usize, pz: usize, algorithm: Algorithm, arch: Arch) -> SolverConfig {
+    SolverConfig {
+        px,
+        py,
+        pz,
+        nrhs: 1,
+        algorithm,
+        arch,
+        machine: match arch {
+            Arch::Cpu => MachineModel::cori_haswell(),
+            Arch::Gpu => MachineModel::perlmutter_gpu(),
+        },
+        chaos_seed: 0,
+        fault: Default::default(),
+    }
+}
+
+fn traced_solve(a: &CsrMatrix, cfg: &SolverConfig) -> SolveOutcome {
+    let f = Arc::new(factorize(a, cfg.pz, &SymbolicOptions::default()).expect("factorize"));
+    let plan = Arc::new(Plan::new(f, cfg.px, cfg.py, cfg.pz));
+    let b = gen::standard_rhs(a.nrows(), cfg.nrhs);
+    solve_traced(&plan, &b, cfg, true)
+}
+
+/// Structural validity of a traced span set: per-rank spans are
+/// non-overlapping and within the makespan, and no message is received
+/// before its matching send departs (arrival ≥ send-span end, linked by
+/// sequence id — duplicates share the original's id).
+fn assert_valid_span_dag(traces: &[Vec<TraceEvent>], makespan: f64) {
+    let mut send_end: HashMap<u64, f64> = HashMap::new();
+    for tl in traces {
+        for e in tl {
+            if e.kind == EventKind::Send {
+                if let Some(m) = &e.msg {
+                    send_end.insert(m.seq, e.t1);
+                }
+            }
+        }
+    }
+    let mut recvs = 0usize;
+    for (rank, tl) in traces.iter().enumerate() {
+        let mut t = 0.0f64;
+        for e in tl {
+            assert!(
+                e.t0 >= t - 1e-15,
+                "rank {rank}: span starting {} overlaps previous end {t}",
+                e.t0
+            );
+            assert!(e.t1 >= e.t0, "rank {rank}: negative-length span");
+            assert!(e.t1 <= makespan + 1e-12, "rank {rank}: span past makespan");
+            t = e.t1;
+            if e.kind == EventKind::Recv {
+                if let Some(m) = &e.msg {
+                    recvs += 1;
+                    let sent = send_end
+                        .get(&m.seq)
+                        .unwrap_or_else(|| panic!("rank {rank}: recv seq {} has no send", m.seq));
+                    assert!(
+                        m.arrival >= *sent - 1e-15,
+                        "rank {rank}: message {} received (arrival {}) before its \
+                         send completed ({sent})",
+                        m.seq,
+                        m.arrival
+                    );
+                }
+            }
+        }
+    }
+    assert!(recvs > 0, "a distributed solve must receive messages");
+}
+
+/// Tentpole acceptance: every solver configuration produces a telemetry
+/// set whose critical path telescopes to exactly the makespan, whose
+/// Perfetto export is valid JSON, and whose metrics registry saw the
+/// traffic.
+#[test]
+fn critical_path_equals_makespan_for_all_solvers() {
+    let a = gen::poisson2d_9pt(12, 12);
+    for (label, c) in [
+        ("new3d-cpu", cfg(2, 2, 2, Algorithm::New3d, Arch::Cpu)),
+        ("baseline3d", cfg(2, 2, 2, Algorithm::Baseline3d, Arch::Cpu)),
+        ("single-gpu", cfg(1, 1, 2, Algorithm::New3d, Arch::Gpu)),
+        ("multi-gpu", cfg(2, 1, 2, Algorithm::New3d, Arch::Gpu)),
+    ] {
+        let out = traced_solve(&a, &c);
+        assert!(out.makespan > 0.0, "{label}: empty makespan");
+        assert_valid_span_dag(&out.traces, out.makespan);
+
+        let cp = out.critical_path();
+        assert!(
+            (cp.length - out.makespan).abs() < 1e-9,
+            "{label}: critical path {} != makespan {}",
+            cp.length,
+            out.makespan
+        );
+        assert_eq!(cp.makespan, out.makespan);
+        assert!(cp.spans > 0, "{label}: path visits no spans");
+        let busy: f64 = cp.by_category.iter().sum();
+        assert!(
+            (busy + cp.idle - cp.length).abs() < 1e-12,
+            "{label}: composition does not add up"
+        );
+        // The report and JSON snapshot render without panicking and the
+        // snapshot parses back.
+        let _ = cp.report(5);
+        let v: serde_json::Value = serde_json::from_str(&cp.to_json()).expect("cp json parses");
+        assert!(v.get("by_category").is_some());
+
+        // Perfetto export: valid JSON with per-rank thread metadata.
+        let trace: serde_json::Value =
+            serde_json::from_str(&export_perfetto(&out.traces, c.px * c.py))
+                .unwrap_or_else(|e| panic!("{label}: perfetto export invalid: {e}"));
+        let serde_json::Value::Array(events) = trace.get("traceEvents").expect("traceEvents")
+        else {
+            panic!("{label}: traceEvents not an array");
+        };
+        let nranks = c.px * c.py * c.pz;
+        assert!(events.len() > 2 * nranks, "{label}: too few trace events");
+
+        // Metrics registry: every sent message was counted and sized.
+        assert!(out.metrics.counter("msgs.sent") > 0);
+        assert_eq!(
+            out.metrics.counter("msgs.sent"),
+            out.metrics.counter("msgs.received"),
+            "{label}: sends and deliveries disagree"
+        );
+        assert!(out.metrics.counter("pass.spans") > 0);
+        let h = out
+            .metrics
+            .histogram("msgs.bytes")
+            .expect("bytes histogram");
+        assert_eq!(h.count(), out.metrics.counter("msgs.sent"));
+    }
+}
+
+/// The multi-GPU drain span and the CPU recv spans attribute comm time:
+/// a traced critical path must contain at least one cross-rank blocking
+/// edge on any layout with real communication.
+#[test]
+fn critical_path_reports_blocking_edges() {
+    let a = gen::poisson2d_9pt(12, 12);
+    let out = traced_solve(&a, &cfg(2, 2, 2, Algorithm::New3d, Arch::Cpu));
+    let cp = out.critical_path();
+    assert!(!cp.edges.is_empty(), "2x2x2 solve has cross-rank deps");
+    // Edges arrive sorted by stall, and every edge is internally sane.
+    for w in cp.edges.windows(2) {
+        assert!(w[0].stall >= w[1].stall);
+    }
+    for e in &cp.edges {
+        assert!(e.src != e.dst, "self-edges cannot block");
+        assert!(e.stall > 0.0, "edges are only recorded for real stalls");
+        assert!(e.wire >= 0.0);
+        assert!(e.bytes > 64, "on-wire size includes the envelope");
+    }
+    let report = cp.report(5);
+    assert!(report.contains("critical path:"));
+    assert!(report.contains("top blocking edges"));
+}
+
+/// An untraced outcome yields a well-defined all-zero critical path
+/// rather than a panic.
+#[test]
+fn untraced_outcome_has_empty_critical_path() {
+    let a = gen::poisson2d_5pt(8, 8);
+    let f = Arc::new(factorize(&a, 2, &SymbolicOptions::default()).expect("factorize"));
+    let b = gen::standard_rhs(a.nrows(), 1);
+    let out = solve_distributed(&f, &b, &cfg(2, 2, 2, Algorithm::New3d, Arch::Cpu));
+    assert!(out.traces.iter().all(|t| t.is_empty()));
+    let cp = out.critical_path();
+    assert_eq!(cp.spans, 0);
+    assert_eq!(cp.length, 0.0);
+    assert!(cp.edges.is_empty());
+}
+
+/// Golden snapshot of a tiny 2×2×2 solve's Perfetto export. Pins the
+/// exporter's event schema (names, args, flow pairing) *and* the traced
+/// schedule's event sequence. Intentional changes: regenerate with
+/// `UPDATE_GOLDEN=1 cargo test --test telemetry` and review the diff.
+#[test]
+fn perfetto_export_matches_golden_fixture() {
+    let a = gen::poisson2d_5pt(6, 6);
+    let out = traced_solve(&a, &cfg(2, 2, 2, Algorithm::New3d, Arch::Cpu));
+    let got = export_perfetto(&out.traces, 4);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).expect("write fixture");
+        eprintln!("updated {GOLDEN}");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("cannot read {GOLDEN}: {e}\nrun with UPDATE_GOLDEN=1 once"));
+    assert!(
+        got == want,
+        "Perfetto export drifted from the golden fixture.\n\
+         If the change is intentional, regenerate with\n\
+         UPDATE_GOLDEN=1 cargo test --test telemetry\n\
+         and review the JSON diff. Fixture: {GOLDEN}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// Under every chaos fault profile (jitter, duplicates, reorder,
+    /// stragglers, degraded links, all at once) the traced span set stays
+    /// a valid DAG and the critical path still telescopes to the
+    /// makespan — telemetry must not lie precisely when the network
+    /// misbehaves.
+    #[test]
+    fn telemetry_sound_under_all_fault_profiles(
+        profile_idx in 0usize..PROFILE_NAMES.len(),
+        seed in 1u64..10_000,
+        baseline in proptest::bool::ANY,
+    ) {
+        let profile = PROFILE_NAMES[profile_idx];
+        let a = gen::poisson2d_9pt(10, 10);
+        let (px, py, pz) = (2, 2, 2);
+        let fault = FaultPlan::from_profile(profile, seed, px * py * pz)
+            .expect("known profile");
+        let mut c = cfg(
+            px, py, pz,
+            if baseline { Algorithm::Baseline3d } else { Algorithm::New3d },
+            Arch::Cpu,
+        );
+        c.chaos_seed = seed;
+        c.fault = fault;
+        let out = traced_solve(&a, &c);
+
+        assert_valid_span_dag(&out.traces, out.makespan);
+        let cp = out.critical_path();
+        prop_assert!(
+            (cp.length - out.makespan).abs() < 1e-9,
+            "profile {}: critical path {} != makespan {}",
+            profile, cp.length, out.makespan
+        );
+        // Fault annotations only ever appear when the profile injects
+        // faults; a clean profile must leave every span unmarked.
+        let marked = out
+            .traces
+            .iter()
+            .flatten()
+            .filter(|e| e.msg.is_some_and(|m| m.faults.any()))
+            .count();
+        if profile == "clean" {
+            prop_assert!(marked == 0, "clean profile marked {} spans", marked);
+        }
+        // The exporter stays valid JSON under every profile.
+        let v: serde_json::Value =
+            serde_json::from_str(&export_perfetto(&out.traces, px * py)).expect("parses");
+        prop_assert!(v.get("traceEvents").is_some());
+    }
+}

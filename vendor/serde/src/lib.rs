@@ -61,6 +61,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// `Value` round-trips through itself, so callers can deserialize untyped
+// documents (e.g. `serde_json::from_str::<Value>`) and walk them via `get`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // --- Serialize impls -----------------------------------------------------
 
 macro_rules! ser_int {
