@@ -104,9 +104,167 @@ fn bench_inverse(c: &mut Criterion) {
     g.finish();
 }
 
+/// Reference (scalar, rows/istart recomputation) vs blocked (precompiled
+/// scatter, nrhs-register-blocked) supernodal apply kernels — the "before"
+/// and "after" of the PR 4 hot-path rework. One representative
+/// off-diagonal block shape, both Dense-run and Scatter addressing.
+fn bench_apply(c: &mut Criterion) {
+    use sptrsv::kernels::{self, Targets};
+
+    // A mid-size supernode block (48 KB panel, past L1): 96-row panel, 64-wide source supernode,
+    // 96-wide target, 64 block rows starting at panel offset 16.
+    let (r, w, wi, lo, len) = (96usize, 64usize, 96usize, 16usize, 64usize);
+    let hi = lo + len;
+    let istart = 1000usize;
+    let panel: Vec<f64> = (0..r * w).map(|i| ((i * 37 % 101) as f64) - 50.0).collect();
+    // Dense run vs every-other-row scatter (same block length).
+    let dense_offsets: Vec<usize> = (0..len).collect();
+    let scatter_offsets: Vec<usize> = (0..len).map(|q| (q * 2).min(wi - len + q)).collect();
+    let scatter_ix: Vec<u32> = scatter_offsets.iter().map(|&o| o as u32).collect();
+    let mk_rows = |offs: &[usize]| -> Vec<u32> {
+        let mut rows = vec![0u32; r];
+        for (q, &o) in offs.iter().enumerate() {
+            rows[lo + q] = (istart + o) as u32;
+        }
+        rows
+    };
+    let rows_dense = mk_rows(&dense_offsets);
+    let rows_scatter = mk_rows(&scatter_offsets);
+
+    let mut g = c.benchmark_group("apply_l");
+    for &nrhs in &[1usize, 4, 8] {
+        let y: Vec<f64> = (0..w * nrhs)
+            .map(|i| ((i * 13 % 17) as f64) * 0.25 + 0.5)
+            .collect();
+        let mut acc = vec![0.0f64; wi * nrhs];
+        g.bench_with_input(BenchmarkId::new("reference", nrhs), &(), |b, _| {
+            b.iter(|| {
+                kernels::reference::apply_l(
+                    black_box(&panel),
+                    r,
+                    &rows_dense,
+                    istart,
+                    lo,
+                    hi,
+                    black_box(&y),
+                    w,
+                    &mut acc,
+                    wi,
+                    nrhs,
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_dense", nrhs), &(), |b, _| {
+            b.iter(|| {
+                kernels::apply_l(
+                    black_box(&panel),
+                    r,
+                    lo,
+                    hi,
+                    Targets::Dense(0),
+                    black_box(&y),
+                    w,
+                    &mut acc,
+                    wi,
+                    nrhs,
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("reference_scatter", nrhs), &(), |b, _| {
+            b.iter(|| {
+                kernels::reference::apply_l(
+                    black_box(&panel),
+                    r,
+                    &rows_scatter,
+                    istart,
+                    lo,
+                    hi,
+                    black_box(&y),
+                    w,
+                    &mut acc,
+                    wi,
+                    nrhs,
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_scatter", nrhs), &(), |b, _| {
+            b.iter(|| {
+                kernels::apply_l(
+                    black_box(&panel),
+                    r,
+                    lo,
+                    hi,
+                    Targets::Scatter(&scatter_ix),
+                    black_box(&y),
+                    w,
+                    &mut acc,
+                    wi,
+                    nrhs,
+                )
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("apply_u");
+    for &nrhs in &[1usize, 4, 8] {
+        let x: Vec<f64> = (0..wi * nrhs)
+            .map(|i| ((i * 11 % 19) as f64) * 0.25 + 0.5)
+            .collect();
+        let mut acc = vec![0.0f64; w * nrhs];
+        g.bench_with_input(BenchmarkId::new("reference", nrhs), &(), |b, _| {
+            b.iter(|| {
+                kernels::reference::apply_u(
+                    black_box(&panel),
+                    w,
+                    &rows_dense,
+                    istart,
+                    lo,
+                    hi,
+                    black_box(&x),
+                    wi,
+                    &mut acc,
+                    nrhs,
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_dense", nrhs), &(), |b, _| {
+            b.iter(|| {
+                kernels::apply_u(
+                    black_box(&panel),
+                    w,
+                    lo,
+                    hi,
+                    Targets::Dense(0),
+                    black_box(&x),
+                    wi,
+                    &mut acc,
+                    nrhs,
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_scatter", nrhs), &(), |b, _| {
+            b.iter(|| {
+                kernels::apply_u(
+                    black_box(&panel),
+                    w,
+                    lo,
+                    hi,
+                    Targets::Scatter(&scatter_ix),
+                    black_box(&x),
+                    wi,
+                    &mut acc,
+                    nrhs,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_gemv, bench_gemm_multi_rhs, bench_trsm, bench_inverse
+    targets = bench_gemv, bench_gemm_multi_rhs, bench_trsm, bench_inverse, bench_apply
 );
 criterion_main!(kernels);

@@ -27,10 +27,18 @@ use std::collections::HashMap;
 const TAG_R: u64 = 7 << 40;
 const TAG_B: u64 = 8 << 40;
 
-fn pack(plan: &Plan, sups: &[u32], vals: &HashMap<u32, Vec<f64>>, nrhs: usize) -> Vec<f64> {
+/// Pack the listed supernode pieces into `buf` (cleared first). The caller
+/// hoists `buf` across rounds, so after the first round packing reuses the
+/// buffer's capacity instead of allocating per message.
+fn pack_into(
+    plan: &Plan,
+    sups: &[u32],
+    vals: &HashMap<u32, Vec<f64>>,
+    nrhs: usize,
+    buf: &mut Vec<f64>,
+) {
     let sym = plan.fact.lu.sym();
-    let total: usize = sups.iter().map(|&k| sym.sup_width(k as usize) * nrhs).sum();
-    let mut buf = Vec::with_capacity(total);
+    buf.clear();
     for &k in sups {
         let w = sym.sup_width(k as usize) * nrhs;
         match vals.get(&k) {
@@ -38,7 +46,6 @@ fn pack(plan: &Plan, sups: &[u32], vals: &HashMap<u32, Vec<f64>>, nrhs: usize) -
             None => buf.extend(std::iter::repeat_n(0.0, w)),
         }
     }
-    buf
 }
 
 /// Defensive pack-layout validation on receipt: the received buffer must
@@ -92,7 +99,14 @@ fn unpack_set(
     let mut off = 0;
     for &k in sups {
         let w = sym.sup_width(k as usize) * nrhs;
-        vals.insert(k, buf[off..off + w].to_vec());
+        // Overwrite in place when the slot exists (it usually does: the
+        // 2D pass pre-sized it), allocating only for brand-new entries.
+        match vals.get_mut(&k) {
+            Some(slot) if slot.len() == w => slot.copy_from_slice(&buf[off..off + w]),
+            _ => {
+                vals.insert(k, buf[off..off + w].to_vec());
+            }
+        }
         off += w;
     }
 }
@@ -109,6 +123,9 @@ pub fn sparse_allreduce(
     nrhs: usize,
     y_vals: &mut HashMap<u32, Vec<f64>>,
 ) {
+    // One pack buffer for the whole allreduce: every round reuses its
+    // capacity after the first (the rounds only shrink the pack lists).
+    let mut buf: Vec<f64> = Vec::new();
     // Sparse reduce: leaf to root, partial sums flow toward smaller z.
     for (l, step) in zsteps.iter().enumerate() {
         let Some(step) = step else { continue };
@@ -117,7 +134,7 @@ pub fn sparse_allreduce(
             role: TreeRole::Reduce,
         }));
         if step.to_smaller {
-            let buf = pack(plan, &step.sups, y_vals, nrhs);
+            pack_into(plan, &step.sups, y_vals, nrhs, &mut buf);
             zcomm.send(step.peer as usize, TAG_R + l as u64, &buf, Category::ZComm);
         } else {
             let msg = zcomm.recv(
@@ -143,7 +160,7 @@ pub fn sparse_allreduce(
             );
             unpack_set(plan, &step.sups, &msg.payload, y_vals, nrhs);
         } else {
-            let buf = pack(plan, &step.sups, y_vals, nrhs);
+            pack_into(plan, &step.sups, y_vals, nrhs, &mut buf);
             zcomm.send(step.peer as usize, TAG_B + l as u64, &buf, Category::ZComm);
         }
     }
@@ -163,8 +180,9 @@ pub fn naive_allreduce(
     y_vals: &mut HashMap<u32, Vec<f64>>,
 ) {
     // All grids of a subtree call in the same order (root first).
+    let mut buf: Vec<f64> = Vec::new();
     for nn in naive {
-        let mut buf = pack(plan, &nn.sups, y_vals, nrhs);
+        pack_into(plan, &nn.sups, y_vals, nrhs, &mut buf);
         // Subcommunicator of the grids replicating the node.
         let sub = zcomm.split(nn.node as usize, z);
         debug_assert_eq!(sub.size(), plan.n_grids_of(nn.node as usize));

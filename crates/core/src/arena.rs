@@ -1,0 +1,91 @@
+//! Per-rank scratch arena for the solve hot path.
+//!
+//! One flat `f64` buffer, sized once during pass setup and handed out as
+//! zeroed slices from offset 0 on every use — a bump allocator that resets
+//! per operation. The solvers use it for diagonal-solve temporaries
+//! (masked RHS, folded partial sums, GEMV scratch) so the steady-state
+//! loop never allocates; the zeroing replaces the `vec![0.0; ..]` the old
+//! code paid *plus* its allocation.
+
+/// A reusable scratch buffer handing out zeroed `f64` slices.
+#[derive(Default)]
+pub struct SolveArena {
+    buf: Vec<f64>,
+}
+
+impl SolveArena {
+    /// Empty arena; size it with [`ensure`](Self::ensure) during setup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the backing buffer to at least `n` doubles. Call during pass
+    /// setup, before the audited steady-state region.
+    pub fn ensure(&mut self, n: usize) {
+        if self.buf.len() < n {
+            self.buf.resize(n, 0.0);
+        }
+    }
+
+    /// A zeroed slice of `n` doubles (grows if undersized — sized setup
+    /// keeps this allocation-free).
+    pub fn slice(&mut self, n: usize) -> &mut [f64] {
+        self.ensure(n);
+        let s = &mut self.buf[..n];
+        s.fill(0.0);
+        s
+    }
+
+    /// Two disjoint zeroed slices of `a` and `b` doubles.
+    pub fn slices2(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        self.ensure(a + b);
+        let (sa, rest) = self.buf.split_at_mut(a);
+        let (sb, _) = rest.split_at_mut(b);
+        sa.fill(0.0);
+        sb.fill(0.0);
+        (sa, sb)
+    }
+
+    /// Three disjoint zeroed slices of `a`, `b`, and `c` doubles.
+    #[allow(clippy::type_complexity)]
+    pub fn slices3(
+        &mut self,
+        a: usize,
+        b: usize,
+        c: usize,
+    ) -> (&mut [f64], &mut [f64], &mut [f64]) {
+        self.ensure(a + b + c);
+        let (sa, rest) = self.buf.split_at_mut(a);
+        let (sb, rest) = rest.split_at_mut(b);
+        let (sc, _) = rest.split_at_mut(c);
+        sa.fill(0.0);
+        sb.fill(0.0);
+        sc.fill(0.0);
+        (sa, sb, sc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_are_zeroed_and_disjoint() {
+        let mut a = SolveArena::new();
+        a.ensure(8);
+        let (x, y) = a.slices2(3, 5);
+        x.fill(1.0);
+        y.fill(2.0);
+        assert_eq!(x.len(), 3);
+        assert_eq!(y.len(), 5);
+        let s = a.slice(4);
+        assert!(s.iter().all(|&v| v == 0.0), "handed-out slices are zeroed");
+    }
+
+    #[test]
+    fn undersized_arena_still_works() {
+        let mut a = SolveArena::new();
+        let s = a.slice(16);
+        assert_eq!(s.len(), 16);
+    }
+}

@@ -23,18 +23,24 @@ use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, Ledger, SolveState};
 use simgrid::{Category, Comm, SpanDetail};
 
 /// Pack per-rank partial `lsum` rows `I` (ancestor supernodes with
-/// `I mod Px == x`) into one buffer. Zeros for rows this rank never touched.
-fn pack_lsums(plan: &Plan, sups: &[u32], lsum: &Ledger, nrhs: usize) -> Vec<f64> {
+/// `I mod Px == x`) into `buf` (cleared first). Zeros for rows this rank
+/// never touched. Folds through the state's arena and reuses the caller's
+/// hoisted buffer, so steady-state exchanges stop allocating per level.
+fn pack_lsums_into(
+    plan: &Plan,
+    sups: &[u32],
+    state: &mut SolveState,
+    nrhs: usize,
+    buf: &mut Vec<f64>,
+) {
     let sym = plan.fact.lu.sym();
-    let mut buf = Vec::new();
+    buf.clear();
     for &i in sups {
         let w = sym.sup_width(i as usize) * nrhs;
-        match lsum.fold(i) {
-            Some(v) => buf.extend_from_slice(&v),
-            None => buf.extend(std::iter::repeat_n(0.0, w)),
-        }
+        let tmp = state.arena.slice(w);
+        state.lsum.fold_into(i, tmp);
+        buf.extend_from_slice(tmp);
     }
-    buf
 }
 
 fn unpack_add_lsums(
@@ -69,14 +75,21 @@ fn unpack_add_lsums(
 
 /// Pairwise reduce of the ancestor partial sums toward the smaller grid
 /// of each pair (precompiled direction and pack list).
-fn exchange_lsums(plan: &Plan, zcomm: &Comm, xch: &ZExchange, nrhs: usize, state: &mut SolveState) {
+fn exchange_lsums(
+    plan: &Plan,
+    zcomm: &Comm,
+    xch: &ZExchange,
+    nrhs: usize,
+    state: &mut SolveState,
+    buf: &mut Vec<f64>,
+) {
     zcomm.set_span_detail(Some(SpanDetail::ZExchange {
         level: (xch.tag & 0xffff) as u32,
         reduce: true,
     }));
     if xch.send {
-        let buf = pack_lsums(plan, &xch.sups, &state.lsum, nrhs);
-        zcomm.send(xch.peer as usize, xch.tag, &buf, Category::ZComm);
+        pack_lsums_into(plan, &xch.sups, state, nrhs, buf);
+        zcomm.send(xch.peer as usize, xch.tag, buf, Category::ZComm);
     } else {
         let msg = zcomm.recv(Some(xch.peer as usize), Some(xch.tag), Category::ZComm);
         unpack_add_lsums(
@@ -98,6 +111,7 @@ fn exchange_solved(
     xch: &ZExchange,
     nrhs: usize,
     state: &mut SolveState,
+    buf: &mut Vec<f64>,
 ) {
     let sym = plan.fact.lu.sym();
     zcomm.set_span_detail(Some(SpanDetail::ZExchange {
@@ -105,7 +119,7 @@ fn exchange_solved(
         reduce: false,
     }));
     if xch.send {
-        let mut buf = Vec::new();
+        buf.clear();
         for &k in &xch.sups {
             buf.extend_from_slice(
                 state
@@ -114,13 +128,18 @@ fn exchange_solved(
                     .expect("active grid solved its ancestors"),
             );
         }
-        zcomm.send(xch.peer as usize, xch.tag, &buf, Category::ZComm);
+        zcomm.send(xch.peer as usize, xch.tag, buf, Category::ZComm);
     } else {
         let msg = zcomm.recv(Some(xch.peer as usize), Some(xch.tag), Category::ZComm);
         let mut off = 0;
         for &k in &xch.sups {
             let w = sym.sup_width(k as usize) * nrhs;
-            state.x_vals.insert(k, msg.payload[off..off + w].to_vec());
+            match state.x_vals.get_mut(&k) {
+                Some(slot) if slot.len() == w => slot.copy_from_slice(&msg.payload[off..off + w]),
+                _ => {
+                    state.x_vals.insert(k, msg.payload[off..off + w].to_vec());
+                }
+            }
             off += w;
         }
         debug_assert_eq!(off, msg.payload.len());
@@ -156,6 +175,8 @@ pub fn run_rank(
         pb,
     };
     let mut state = SolveState::default();
+    // One hoisted pack buffer for every inter-grid exchange of this solve.
+    let mut zbuf: Vec<f64> = Vec::new();
 
     let snapshot = |c: &Comm| {
         let t = c.time_snapshot();
@@ -173,7 +194,7 @@ pub fn run_rank(
             l_solve_pass(&ctx, pass, &mut state);
         }
         if let Some(xch) = &step.exchange {
-            exchange_lsums(plan, zcomm, xch, nrhs, &mut state);
+            exchange_lsums(plan, zcomm, xch, nrhs, &mut state, &mut zbuf);
         }
     }
     let (t1, b1, _) = snapshot(grid_comm);
@@ -184,7 +205,7 @@ pub fn run_rank(
             u_solve_pass(&ctx, pass, &mut state);
         }
         if let Some(xch) = &step.exchange {
-            exchange_solved(plan, zcomm, xch, nrhs, &mut state);
+            exchange_solved(plan, zcomm, xch, nrhs, &mut state, &mut zbuf);
         }
     }
     let (t2, b2, z2) = snapshot(grid_comm);

@@ -27,6 +27,7 @@
 //! exactly as the paper does (Alg. 1 lines 13–19).
 
 use crate::allreduce;
+use crate::arena::SolveArena;
 use crate::driver::PhaseTimes;
 use crate::kernels;
 use crate::new3d::RankOutput;
@@ -37,6 +38,7 @@ use crate::schedule::{
 use crate::solve2d::Ledger;
 use simgrid::{Category, Comm, EventKind, GpuExecutor, GpuModel, SpanDetail};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const KIND_Y: u64 = 21 << 40;
 const KIND_LSUM: u64 = 22 << 40;
@@ -85,9 +87,20 @@ pub fn run_rank(
     let t0 = grid_comm.now();
     let mut y_vals: HashMap<u32, Vec<f64>> = HashMap::new();
     let mut x_vals: HashMap<u32, Vec<f64>> = HashMap::new();
+    let mut arena = SolveArena::new();
 
     if single {
-        single_gpu_l(plan, grid_comm, &gpu, l_pass, z, pb, nrhs, &mut y_vals);
+        single_gpu_l(
+            plan,
+            grid_comm,
+            &gpu,
+            l_pass,
+            z,
+            pb,
+            nrhs,
+            &mut y_vals,
+            &mut arena,
+        );
     } else {
         multi_gpu_pass(
             plan,
@@ -113,7 +126,16 @@ pub fn run_rank(
     let t2 = grid_comm.now();
 
     if single {
-        single_gpu_u(plan, grid_comm, &gpu, l_pass, nrhs, &y_vals, &mut x_vals);
+        single_gpu_u(
+            plan,
+            grid_comm,
+            &gpu,
+            l_pass,
+            nrhs,
+            &y_vals,
+            &mut x_vals,
+            &mut arena,
+        );
     } else {
         multi_gpu_pass(
             plan,
@@ -161,50 +183,83 @@ fn single_gpu_l(
     pb: &[f64],
     nrhs: usize,
     y_vals: &mut HashMap<u32, Vec<f64>>,
+    arena: &mut SolveArena,
 ) {
     let sym = plan.fact.lu.sym();
     let start = comm.now();
     let t0 = start + gpu.kernel_launch;
     let mut ex = GpuExecutor::new(gpu, t0);
+    // Setup: prefill every map slot and size the arena so the audited
+    // column sweep below never allocates.
     let mut lsum: HashMap<u32, Vec<f64>> = HashMap::new();
     let mut row_ready: HashMap<u32, f64> = HashMap::new();
+    let mut maxlen = 1;
+    for col in &pass.cols {
+        let w = sym.sup_width(col.sup as usize);
+        maxlen = maxlen.max(w * nrhs);
+        y_vals.entry(col.sup).or_insert_with(|| vec![0.0; w * nrhs]);
+        row_ready.entry(col.sup).or_insert(t0);
+        for b in &col.blocks {
+            let wb = sym.sup_width(b.sup as usize);
+            lsum.entry(b.sup).or_insert_with(|| vec![0.0; wb * nrhs]);
+            row_ready.entry(b.sup).or_insert(t0);
+        }
+    }
+    arena.ensure(2 * maxlen);
 
+    let audit = crate::audit::pass_scope();
     for col in &pass.cols {
         let k = col.sup;
         let ku = k as usize;
         let w = sym.sup_width(ku);
         // Ready when every in-grid dependency task has finished.
-        let ready = row_ready.remove(&k).unwrap_or(t0);
-        // Numerics: diagonal solve + off-diagonal GEMVs of column K.
+        let ready = row_ready.get(&k).copied().unwrap_or(t0);
+        // Numerics: diagonal solve + off-diagonal GEMVs of column K,
+        // written straight into the prefilled y slot.
         let active = plan.rhs_active(z, ku);
-        let b_k = kernels::masked_rhs(&plan.fact, ku, pb, nrhs, active);
-        let (y_k, _) =
-            kernels::diag_solve_l(&plan.fact, ku, &b_k, lsum.get(&k).map(|v| &v[..]), nrhs);
+        let len = w * nrhs;
+        let (b_k, rhs) = arena.slices2(len, len);
+        kernels::masked_rhs_into(&plan.fact, ku, pb, nrhs, active, b_k);
+        let y_slot = y_vals.get_mut(&k).expect("y slot prefilled");
+        kernels::diag_solve_l_into(
+            &plan.fact,
+            ku,
+            b_k,
+            lsum.get(&k).map(|v| &v[..]),
+            nrhs,
+            rhs,
+            y_slot,
+        );
+        let y_k = &y_vals[&k];
         let mut dur = gpu.panel_op_time(w, w, nrhs);
-        for &(i, lo, hi) in &col.blocks {
-            let wi = sym.sup_width(i as usize);
-            let acc = lsum.entry(i).or_insert_with(|| vec![0.0; wi * nrhs]);
-            kernels::apply_l_block(
-                &plan.fact,
-                ku,
-                i as usize,
-                lo as usize,
-                hi as usize,
-                &y_k,
+        let panel = &plan.fact.lu.panel(ku).l_below;
+        let r = sym.rows_below(ku).len();
+        for b in &col.blocks {
+            let wb = sym.sup_width(b.sup as usize);
+            let acc = lsum.get_mut(&b.sup).expect("lsum slot prefilled");
+            kernels::apply_l(
+                panel,
+                r,
+                b.lo as usize,
+                b.hi as usize,
+                b.targets(&pass.scatter),
+                y_k,
+                w,
                 acc,
+                wb,
                 nrhs,
             );
         }
         dur += gpu.panel_op_time(col.total_rows as usize, w, nrhs);
         let finish = ex.schedule(ready, dur);
-        for &(i, _, _) in &col.blocks {
-            let e = row_ready.entry(i).or_insert(t0);
+        for b in &col.blocks {
+            let e = row_ready.get_mut(&b.sup).expect("row_ready prefilled");
             if finish > *e {
                 *e = finish;
             }
         }
-        y_vals.insert(k, y_k);
     }
+    drop(audit);
     let end = ex.last_finish();
     comm.account(end - comm.now(), Category::Flop);
     comm.advance_to(end);
@@ -228,6 +283,7 @@ fn single_gpu_l(
 /// pass's column schedules: the blocks of column `K` are exactly the
 /// dependency columns `J` of the U task for `K` (`block_range(K, J)` is
 /// the same symbolic range both triangles address).
+#[allow(clippy::too_many_arguments)]
 fn single_gpu_u(
     plan: &Plan,
     comm: &Comm,
@@ -236,42 +292,61 @@ fn single_gpu_u(
     nrhs: usize,
     y_vals: &HashMap<u32, Vec<f64>>,
     x_vals: &mut HashMap<u32, Vec<f64>>,
+    arena: &mut SolveArena,
 ) {
     let sym = plan.fact.lu.sym();
     let start = comm.now();
     let t0 = start + gpu.kernel_launch;
     let mut ex = GpuExecutor::new(gpu, t0);
-    let mut finish: HashMap<u32, f64> = HashMap::new();
+    // Setup: prefill every slot so the audited sweep never allocates.
+    let mut finish: HashMap<u32, f64> = HashMap::with_capacity(pass.cols.len());
+    let mut maxlen = 1;
+    for col in &pass.cols {
+        let w = sym.sup_width(col.sup as usize);
+        maxlen = maxlen.max(w * nrhs);
+        finish.insert(col.sup, t0);
+        x_vals.entry(col.sup).or_insert_with(|| vec![0.0; w * nrhs]);
+    }
+    arena.ensure(2 * maxlen);
 
+    let audit = crate::audit::pass_scope();
     for col in pass.cols.iter().rev() {
         let k = col.sup;
         let ku = k as usize;
         let w = sym.sup_width(ku);
         let mut ready = t0;
         let mut dur = gpu.panel_op_time(w, w, nrhs);
-        let mut usum = vec![0.0; w * nrhs];
-        for &(j, qlo, qhi) in &col.blocks {
-            kernels::apply_u_block(
-                &plan.fact,
-                ku,
-                j as usize,
-                qlo as usize,
-                qhi as usize,
-                &x_vals[&j],
-                &mut usum,
+        let len = w * nrhs;
+        let (usum, rhs) = arena.slices2(len, len);
+        // The L pass's block list doubles as the U task's dependency
+        // columns; the shared scatter pool indexes x(J) the same way it
+        // indexed lsum(J) (both are offsets within supernode J).
+        let panel = &plan.fact.lu.panel(ku).u_right;
+        for b in &col.blocks {
+            let wj = sym.sup_width(b.sup as usize);
+            kernels::apply_u(
+                panel,
+                w,
+                b.lo as usize,
+                b.hi as usize,
+                b.targets(&pass.scatter),
+                &x_vals[&b.sup],
+                wj,
+                usum,
                 nrhs,
             );
-            dur += gpu.panel_op_time(w, (qhi - qlo) as usize, nrhs);
-            ready = ready.max(finish[&j]);
+            dur += gpu.panel_op_time(w, (b.hi - b.lo) as usize, nrhs);
+            ready = ready.max(finish[&b.sup]);
         }
         let y_k = y_vals
             .get(&k)
             .expect("allreduce delivered y before the U-solve");
-        let (x_k, _) = kernels::diag_solve_u(&plan.fact, ku, y_k, Some(&usum), nrhs);
+        let x_slot = x_vals.get_mut(&k).expect("x slot prefilled");
+        kernels::diag_solve_u_into(&plan.fact, ku, y_k, Some(&*usum), nrhs, rhs, x_slot);
         let f = ex.schedule(ready, dur);
-        finish.insert(k, f);
-        x_vals.insert(k, x_k);
+        *finish.get_mut(&k).expect("finish slot prefilled") = f;
     }
+    drop(audit);
     let end = ex.last_finish();
     comm.account(end - comm.now(), Category::Flop);
     comm.advance_to(end);
@@ -305,6 +380,50 @@ fn multi_gpu_pass(
     let start = comm.now();
     let t0 = start + gpu.kernel_launch;
     let n_tasks = pass.cols.len() as u64;
+    // Setup mirrors the CPU engine's: prebuild every ledger slot, payload
+    // buffer, readiness entry, and FIFO route the steady-state loop will
+    // touch, so the audited interpreter region never allocates.
+    let sym = plan.fact.lu.sym();
+    let mut sums = Ledger::default();
+    let mut row_ready: HashMap<u32, f64> = HashMap::new();
+    let mut diag_bufs: HashMap<u32, Arc<[f64]>> = HashMap::with_capacity(pass.rows.len());
+    let mut partial_bufs: HashMap<u32, Arc<[f64]>> = HashMap::with_capacity(pass.rows.len());
+    let mut arena = SolveArena::new();
+    let mut maxlen = 1;
+    for row in &pass.rows {
+        let len = sym.sup_width(row.sup as usize) * nrhs;
+        maxlen = maxlen.max(len);
+        row_ready.entry(row.sup).or_insert(t0);
+        match row.parent {
+            None => {
+                diag_bufs.insert(row.sup, vec![0.0; len].into());
+            }
+            Some(p) => {
+                partial_bufs.insert(row.sup, vec![0.0; len].into());
+                comm.warm_route(p as usize);
+            }
+        }
+        for &c in &row.children {
+            sums.accum(row.sup, Ledger::key_partial(c), len);
+        }
+    }
+    for col in &pass.cols {
+        let w = sym.sup_width(col.sup as usize);
+        vals_out
+            .entry(col.sup)
+            .or_insert_with(|| vec![0.0; w * nrhs]);
+        for b in &col.blocks {
+            let blen = sym.sup_width(b.sup as usize) * nrhs;
+            maxlen = maxlen.max(blen);
+            sums.accum(b.sup, Ledger::key_local(col.sup), blen);
+            row_ready.entry(b.sup).or_insert(t0);
+        }
+        for &c in &col.children {
+            comm.warm_route(c as usize);
+        }
+    }
+    arena.ensure(3 * maxlen);
+    comm.metric_inc("pass.fmod_stalls", 0);
     let mut engine = GpuEngine {
         plan,
         comm,
@@ -316,13 +435,16 @@ fn multi_gpu_pass(
         me_world: comm.world_rank(comm.rank()),
         t0,
         ex: GpuExecutor::new(gpu, t0),
-        sums: Ledger::default(),
-        row_ready: HashMap::new(),
+        sums,
+        row_ready,
         last_event: t0,
         avail: t0,
         pb,
         vals_in,
         vals_out,
+        arena,
+        diag_bufs,
+        partial_bufs,
     };
     run_pass(&mut engine, pass);
     let end = engine.last_event.max(engine.ex.last_finish());
@@ -373,15 +495,21 @@ struct GpuEngine<'a, 'b> {
     vals_in: Option<&'b HashMap<u32, Vec<f64>>>,
     /// Solved vectors: `y_vals` (L) or `x_vals` (U).
     vals_out: &'b mut HashMap<u32, Vec<f64>>,
+    /// Scratch for diagonal-solve temporaries, sized at pass setup.
+    arena: SolveArena,
+    /// Prebuilt diagonal-solve result buffers (rooted trigger rows).
+    diag_bufs: HashMap<u32, Arc<[f64]>>,
+    /// Prebuilt reduction payload buffers (non-root trigger rows).
+    partial_bufs: HashMap<u32, Arc<[f64]>>,
 }
 
 impl GpuEngine<'_, '_> {
-    fn put(&self, depart: f64, dst: usize, t: u64, payload: &[f64]) {
+    fn put(&self, depart: f64, dst: usize, t: u64, payload: &Arc<[f64]>) {
         let bytes = 8 * payload.len() + 64;
         let dst_world = self.comm.world_rank(dst);
         let (lat, wire) = self.gpu.put_cost(self.me_world, dst_world, bytes);
         self.comm
-            .send_timed(depart, lat + wire, dst, t, payload, Category::XyComm);
+            .send_timed_shared(depart, lat + wire, dst, t, payload, Category::XyComm);
     }
 
     fn vec_kind(&self) -> u64 {
@@ -402,42 +530,58 @@ impl GpuEngine<'_, '_> {
 }
 
 impl PassEngine for GpuEngine<'_, '_> {
-    fn solve_diag(&mut self, row: &RowSched) -> Vec<f64> {
+    fn solve_diag(&mut self, row: &RowSched) -> Arc<[f64]> {
         let iu = row.sup as usize;
         let sym = self.plan.fact.lu.sym();
         let w = sym.sup_width(iu);
+        let len = w * self.nrhs;
         let ready = self.row_ready.get(&row.sup).copied().unwrap_or(self.t0);
-        let folded = self.sums.fold(row.sup);
-        let v = if self.lower {
+        // Prebuilt and still uniquely owned: the kernel writes straight
+        // into the buffer the puts below will share by refcount.
+        let mut out = self
+            .diag_bufs
+            .remove(&row.sup)
+            .expect("diagonal buffer prebuilt for rooted row");
+        let buf = Arc::get_mut(&mut out).expect("diagonal buffer still unique");
+        if self.lower {
             // Diagonal thread block: y(I) from the masked RHS.
             let active = self.plan.rhs_active(self.z, iu);
-            let b_i = kernels::masked_rhs(&self.plan.fact, iu, self.pb, self.nrhs, active);
-            kernels::diag_solve_l(&self.plan.fact, iu, &b_i, folded.as_deref(), self.nrhs).0
+            let (b_i, fold, rhs) = self.arena.slices3(len, len, len);
+            kernels::masked_rhs_into(&self.plan.fact, iu, self.pb, self.nrhs, active, b_i);
+            self.sums.fold_into(row.sup, fold);
+            kernels::diag_solve_l_into(&self.plan.fact, iu, b_i, Some(fold), self.nrhs, rhs, buf);
         } else {
+            let (fold, rhs) = self.arena.slices2(len, len);
+            self.sums.fold_into(row.sup, fold);
             let y_k = self
                 .vals_in
                 .expect("U pass has y values")
                 .get(&row.sup)
                 .expect("y present at diagonal owner");
-            kernels::diag_solve_u(&self.plan.fact, iu, y_k, folded.as_deref(), self.nrhs).0
-        };
+            kernels::diag_solve_u_into(&self.plan.fact, iu, y_k, Some(fold), self.nrhs, rhs, buf);
+        }
         let f = self
             .ex
             .schedule(ready, self.gpu.panel_op_time(w, w, self.nrhs));
         self.avail = f;
         self.last_event = self.last_event.max(f);
-        v
+        out
     }
 
     fn store_solved(&mut self, sup: u32, v: &[f64]) {
-        self.vals_out.entry(sup).or_insert_with(|| v.to_vec());
+        match self.vals_out.get_mut(&sup) {
+            Some(slot) => slot.copy_from_slice(v),
+            None => {
+                self.vals_out.insert(sup, v.to_vec());
+            }
+        }
     }
 
-    fn solved(&self, _sup: u32) -> Vec<f64> {
+    fn solved(&self, _sup: u32) -> Arc<[f64]> {
         unreachable!("GPU passes have no external root columns")
     }
 
-    fn forward(&mut self, col: &ColSched, v: &[f64]) {
+    fn forward(&mut self, col: &ColSched, v: &Arc<[f64]>) {
         let t = tag(self.epoch, self.vec_kind(), col.sup);
         for &child in &col.children {
             self.put(self.avail, child as usize, t, v);
@@ -445,61 +589,72 @@ impl PassEngine for GpuEngine<'_, '_> {
     }
 
     fn send_partial(&mut self, row: &RowSched, parent: u32) {
-        let w = self.plan.fact.lu.sym().sup_width(row.sup as usize);
         let ready = self.row_ready.get(&row.sup).copied().unwrap_or(self.t0);
-        let payload = self
-            .sums
-            .fold(row.sup)
-            .unwrap_or_else(|| vec![0.0; w * self.nrhs]);
+        let mut payload = self
+            .partial_bufs
+            .remove(&row.sup)
+            .expect("partial buffer prebuilt for non-root row");
+        self.sums.fold_into(
+            row.sup,
+            Arc::get_mut(&mut payload).expect("partial buffer still unique"),
+        );
         let t = tag(self.epoch, self.sum_kind(), row.sup);
         self.put(ready, parent as usize, t, &payload);
         self.last_event = self.last_event.max(ready);
     }
 
-    fn apply_column(&mut self, col: &ColSched, v: &[f64]) {
+    fn apply_column(&mut self, col: &ColSched, v: &[f64], scatter: &[u32]) {
         if col.blocks.is_empty() {
             return;
         }
         let sym = self.plan.fact.lu.sym();
+        let ju = col.sup as usize;
+        let wcol = sym.sup_width(ju);
         // Fused task: all my blocks of this column in one kernel.
         let dur = if self.lower {
-            let w = sym.sup_width(col.sup as usize);
             self.gpu
-                .panel_op_time(col.total_rows as usize, w, self.nrhs)
+                .panel_op_time(col.total_rows as usize, wcol, self.nrhs)
         } else {
             self.gpu
                 .panel_op_time(col.maxw as usize, col.total_rows as usize, self.nrhs)
         };
         let f = self.ex.schedule(self.avail, dur);
-        for &(i, lo, hi) in &col.blocks {
-            let wi = sym.sup_width(i as usize);
+        for b in &col.blocks {
+            let wb = sym.sup_width(b.sup as usize);
+            let tg = b.targets(scatter);
             let acc = self
                 .sums
-                .accum(i, Ledger::key_local(col.sup), wi * self.nrhs);
+                .accum(b.sup, Ledger::key_local(col.sup), wb * self.nrhs);
             if self.lower {
-                kernels::apply_l_block(
-                    &self.plan.fact,
-                    col.sup as usize,
-                    i as usize,
-                    lo as usize,
-                    hi as usize,
+                let panel = &self.plan.fact.lu.panel(ju).l_below;
+                let r = sym.rows_below(ju).len();
+                kernels::apply_l(
+                    panel,
+                    r,
+                    b.lo as usize,
+                    b.hi as usize,
+                    tg,
                     v,
+                    wcol,
                     acc,
+                    wb,
                     self.nrhs,
                 );
             } else {
-                kernels::apply_u_block(
-                    &self.plan.fact,
-                    i as usize,
-                    col.sup as usize,
-                    lo as usize,
-                    hi as usize,
+                let panel = &self.plan.fact.lu.panel(b.sup as usize).u_right;
+                kernels::apply_u(
+                    panel,
+                    wb,
+                    b.lo as usize,
+                    b.hi as usize,
+                    tg,
                     v,
+                    wcol,
                     acc,
                     self.nrhs,
                 );
             }
-            let e = self.row_ready.entry(i).or_insert(f);
+            let e = self.row_ready.get_mut(&b.sup).expect("row_ready prefilled");
             if f > *e {
                 *e = f;
             }
@@ -544,7 +699,7 @@ impl PassEngine for GpuEngine<'_, '_> {
             vector: is_vec,
             sup,
             src: msg.src as u32,
-            payload: msg.payload.to_vec(),
+            payload: msg.payload,
         }
     }
 }

@@ -3,6 +3,24 @@
 //! All solvers — sequential, CPU message-driven, GPU-modelled — perform the
 //! same real arithmetic through these helpers; only the *time accounting*
 //! differs between paths.
+//!
+//! Two tiers live here:
+//!
+//! * the top-level kernels are the hot-path versions: they take precompiled
+//!   scatter index lists (or a dense contiguous-run fast path) from the
+//!   schedule IR, register-block the inner loops over `nrhs` (4/2/1-wide),
+//!   and write into caller-provided scratch — no per-call allocation and no
+//!   per-element `rows[q] - istart` recomputation;
+//! * [`reference`] keeps the original scalar loops. They are the
+//!   bit-for-bit ground truth the blocked kernels are property-tested
+//!   against, and the "before" side of the micro-kernel benchmarks.
+//!
+//! Bit-identity between the tiers is load-bearing: the chaos-conformance
+//! suite asserts bitwise-equal solutions, so the blocked kernels must
+//! preserve the reference accumulation order *per right-hand side* (`j`
+//! ascending then `q` ascending for L, `q` ascending then `i` ascending for
+//! U) and its skip-on-zero semantics. Register blocking only interleaves
+//! *independent* rhs streams, which leaves each stream's order intact.
 
 use lufactor::Factorized;
 
@@ -17,167 +35,766 @@ pub fn block_range(fact: &Factorized, k: usize, i: usize) -> (usize, usize) {
     (lo, hi)
 }
 
+/// Precompiled addressing for one off-diagonal block: either the row run
+/// is contiguous (`Dense(start)` — a straight axpy at that offset), or the
+/// per-row target/source indices were baked into the schedule IR's scatter
+/// pool at compile time.
+#[derive(Clone, Copy, Debug)]
+pub enum Targets<'a> {
+    /// Rows `[lo, hi)` map to consecutive indices starting here.
+    Dense(usize),
+    /// One precomputed `rows[q] - sup_start` index per row position.
+    Scatter(&'a [u32]),
+}
+
 /// `lsum(I) += L(I, K) · y(K)` for the block at row positions `[lo, hi)` of
-/// column-supernode `k`. `y_k` is `w_k × nrhs` col-major; `lsum_i` is
-/// `w_i × nrhs` col-major. Returns the flop count.
+/// the `r × w` col-major panel `l_below` of supernode `K`. `y_k` is
+/// `w × nrhs` col-major; `lsum_i` is `wi × nrhs` col-major; `tg` gives the
+/// precompiled target indices into each `lsum_i` column. Returns the flop
+/// count.
 #[allow(clippy::too_many_arguments)]
-pub fn apply_l_block(
-    fact: &Factorized,
-    k: usize,
-    i: usize,
+pub fn apply_l(
+    panel: &[f64],
+    r: usize,
     lo: usize,
     hi: usize,
+    tg: Targets,
     y_k: &[f64],
+    w: usize,
     lsum_i: &mut [f64],
+    wi: usize,
     nrhs: usize,
 ) -> usize {
-    let sym = fact.lu.sym();
-    let w = sym.sup_width(k);
-    let wi = sym.sup_width(i);
-    let istart = sym.sup_cols(i).start;
-    let rows = sym.rows_below(k);
-    let r = rows.len();
-    let panel = &fact.lu.panel(k).l_below;
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: AVX presence was just checked at runtime.
+        return unsafe { apply_l_avx(panel, r, lo, hi, tg, y_k, w, lsum_i, wi, nrhs) };
+    }
+    apply_l_generic(panel, r, lo, hi, tg, y_k, w, lsum_i, wi, nrhs)
+}
+
+/// AVX-compiled clone of [`apply_l_generic`]. Plain 256-bit mul-then-add
+/// — `fma` is deliberately NOT enabled, so every element performs the
+/// exact same two IEEE roundings as the scalar reference and the result
+/// stays bit-identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn apply_l_avx(
+    panel: &[f64],
+    r: usize,
+    lo: usize,
+    hi: usize,
+    tg: Targets,
+    y_k: &[f64],
+    w: usize,
+    lsum_i: &mut [f64],
+    wi: usize,
+    nrhs: usize,
+) -> usize {
+    apply_l_generic(panel, r, lo, hi, tg, y_k, w, lsum_i, wi, nrhs)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn apply_l_generic(
+    panel: &[f64],
+    r: usize,
+    lo: usize,
+    hi: usize,
+    tg: Targets,
+    y_k: &[f64],
+    w: usize,
+    lsum_i: &mut [f64],
+    wi: usize,
+    nrhs: usize,
+) -> usize {
     debug_assert_eq!(y_k.len(), w * nrhs);
     debug_assert_eq!(lsum_i.len(), wi * nrhs);
-    for rhs in 0..nrhs {
-        let yk = &y_k[rhs * w..(rhs + 1) * w];
-        let li = &mut lsum_i[rhs * wi..(rhs + 1) * wi];
-        for (j, &yv) in yk.iter().enumerate() {
-            if yv == 0.0 {
-                continue;
-            }
-            let col = &panel[j * r..(j + 1) * r];
-            for q in lo..hi {
-                li[rows[q] as usize - istart] += col[q] * yv;
-            }
-        }
+    let mut ycols = y_k.chunks_exact(w);
+    let mut lcols = lsum_i.chunks_exact_mut(wi);
+    let mut left = nrhs;
+    while left >= 4 {
+        let y: [&[f64]; 4] = std::array::from_fn(|_| ycols.next().unwrap());
+        let l: [&mut [f64]; 4] = std::array::from_fn(|_| lcols.next().unwrap());
+        apply_l_x4(panel, r, lo, hi, tg, y, l);
+        left -= 4;
+    }
+    while left >= 2 {
+        let y: [&[f64]; 2] = std::array::from_fn(|_| ycols.next().unwrap());
+        let l: [&mut [f64]; 2] = std::array::from_fn(|_| lcols.next().unwrap());
+        apply_l_x2(panel, r, lo, hi, tg, y, l);
+        left -= 2;
+    }
+    if left == 1 {
+        apply_l_x1(
+            panel,
+            r,
+            lo,
+            hi,
+            tg,
+            ycols.next().unwrap(),
+            lcols.next().unwrap(),
+        );
     }
     2 * (hi - lo) * w * nrhs
 }
 
-/// `usum(K) += U(K, J) · x(J)` for the block at column positions `[qlo,
-/// qhi)` of row-supernode `k`. `x_j` is `w_j × nrhs` col-major; `usum_k` is
-/// `w_k × nrhs` col-major. Returns the flop count.
+#[inline(always)]
+fn apply_l_x4(
+    panel: &[f64],
+    r: usize,
+    lo: usize,
+    hi: usize,
+    tg: Targets,
+    y: [&[f64]; 4],
+    l: [&mut [f64]; 4],
+) {
+    let len = hi - lo;
+    let [l0, l1, l2, l3] = l;
+    for j in 0..y[0].len() {
+        let v = [y[0][j], y[1][j], y[2][j], y[3][j]];
+        if v.contains(&0.0) {
+            // Preserve the reference skip-on-zero per stream: fall back to
+            // one scalar sweep per still-active rhs.
+            let ls = [&mut *l0, &mut *l1, &mut *l2, &mut *l3];
+            for (s, li) in ls.into_iter().enumerate() {
+                if v[s] != 0.0 {
+                    axpy_one(panel, r, lo, hi, tg, j, v[s], li);
+                }
+            }
+            continue;
+        }
+        let col = &panel[j * r + lo..j * r + hi];
+        match tg {
+            Targets::Dense(start) => {
+                let (d0, d1) = (&mut l0[start..start + len], &mut l1[start..start + len]);
+                let (d2, d3) = (&mut l2[start..start + len], &mut l3[start..start + len]);
+                for q in 0..len {
+                    let c = col[q];
+                    d0[q] += c * v[0];
+                    d1[q] += c * v[1];
+                    d2[q] += c * v[2];
+                    d3[q] += c * v[3];
+                }
+            }
+            Targets::Scatter(ix) => {
+                for (q, &t) in ix.iter().enumerate() {
+                    let c = col[q];
+                    let t = t as usize;
+                    l0[t] += c * v[0];
+                    l1[t] += c * v[1];
+                    l2[t] += c * v[2];
+                    l3[t] += c * v[3];
+                }
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn apply_l_x2(
+    panel: &[f64],
+    r: usize,
+    lo: usize,
+    hi: usize,
+    tg: Targets,
+    y: [&[f64]; 2],
+    l: [&mut [f64]; 2],
+) {
+    let len = hi - lo;
+    let [l0, l1] = l;
+    for j in 0..y[0].len() {
+        let v = [y[0][j], y[1][j]];
+        if v[0] == 0.0 || v[1] == 0.0 {
+            if v[0] != 0.0 {
+                axpy_one(panel, r, lo, hi, tg, j, v[0], l0);
+            }
+            if v[1] != 0.0 {
+                axpy_one(panel, r, lo, hi, tg, j, v[1], l1);
+            }
+            continue;
+        }
+        let col = &panel[j * r + lo..j * r + hi];
+        match tg {
+            Targets::Dense(start) => {
+                let (d0, d1) = (&mut l0[start..start + len], &mut l1[start..start + len]);
+                for q in 0..len {
+                    let c = col[q];
+                    d0[q] += c * v[0];
+                    d1[q] += c * v[1];
+                }
+            }
+            Targets::Scatter(ix) => {
+                for (q, &t) in ix.iter().enumerate() {
+                    let c = col[q];
+                    l0[t as usize] += c * v[0];
+                    l1[t as usize] += c * v[1];
+                }
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn apply_l_x1(
+    panel: &[f64],
+    r: usize,
+    lo: usize,
+    hi: usize,
+    tg: Targets,
+    y: &[f64],
+    l: &mut [f64],
+) {
+    for (j, &yv) in y.iter().enumerate() {
+        if yv != 0.0 {
+            axpy_one(panel, r, lo, hi, tg, j, yv, l);
+        }
+    }
+}
+
+/// One `lsum += col_j · yv` sweep over rows `[lo, hi)` of panel column `j`.
+#[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub fn apply_u_block(
-    fact: &Factorized,
-    k: usize,
+fn axpy_one(
+    panel: &[f64],
+    r: usize,
+    lo: usize,
+    hi: usize,
+    tg: Targets,
     j: usize,
+    yv: f64,
+    l: &mut [f64],
+) {
+    let col = &panel[j * r + lo..j * r + hi];
+    match tg {
+        Targets::Dense(start) => {
+            let dst = &mut l[start..start + col.len()];
+            for (d, &c) in dst.iter_mut().zip(col) {
+                *d += c * yv;
+            }
+        }
+        Targets::Scatter(ix) => {
+            for (&t, &c) in ix.iter().zip(col) {
+                l[t as usize] += c * yv;
+            }
+        }
+    }
+}
+
+/// `usum(K) += U(K, J) · x(J)` for the block at column positions `[qlo,
+/// qhi)` of the `w × r` col-major panel `u_right` of supernode `K`. `x_j`
+/// is `wj × nrhs` col-major; `usum_k` is `w × nrhs` col-major; `tg` gives
+/// the precompiled *source* indices into each `x_j` column. Returns the
+/// flop count.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_u(
+    panel: &[f64],
+    w: usize,
     qlo: usize,
     qhi: usize,
+    tg: Targets,
     x_j: &[f64],
+    wj: usize,
     usum_k: &mut [f64],
     nrhs: usize,
 ) -> usize {
-    let sym = fact.lu.sym();
-    let w = sym.sup_width(k);
-    let wj = sym.sup_width(j);
-    let jstart = sym.sup_cols(j).start;
-    let rows = sym.rows_below(k);
-    let panel = &fact.lu.panel(k).u_right;
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: AVX presence was just checked at runtime.
+        return unsafe { apply_u_avx(panel, w, qlo, qhi, tg, x_j, wj, usum_k, nrhs) };
+    }
+    apply_u_generic(panel, w, qlo, qhi, tg, x_j, wj, usum_k, nrhs)
+}
+
+/// AVX-compiled clone of [`apply_u_generic`]; see [`apply_l_avx`] for why
+/// `fma` stays off.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn apply_u_avx(
+    panel: &[f64],
+    w: usize,
+    qlo: usize,
+    qhi: usize,
+    tg: Targets,
+    x_j: &[f64],
+    wj: usize,
+    usum_k: &mut [f64],
+    nrhs: usize,
+) -> usize {
+    apply_u_generic(panel, w, qlo, qhi, tg, x_j, wj, usum_k, nrhs)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn apply_u_generic(
+    panel: &[f64],
+    w: usize,
+    qlo: usize,
+    qhi: usize,
+    tg: Targets,
+    x_j: &[f64],
+    wj: usize,
+    usum_k: &mut [f64],
+    nrhs: usize,
+) -> usize {
     debug_assert_eq!(x_j.len(), wj * nrhs);
     debug_assert_eq!(usum_k.len(), w * nrhs);
-    for rhs in 0..nrhs {
-        let xj = &x_j[rhs * wj..(rhs + 1) * wj];
-        let uk = &mut usum_k[rhs * w..(rhs + 1) * w];
-        for q in qlo..qhi {
-            let xv = xj[rows[q] as usize - jstart];
-            if xv == 0.0 {
-                continue;
-            }
-            let col = &panel[q * w..(q + 1) * w];
-            for i in 0..w {
-                uk[i] += col[i] * xv;
-            }
-        }
+    let mut xcols = x_j.chunks_exact(wj);
+    let mut ucols = usum_k.chunks_exact_mut(w);
+    let mut left = nrhs;
+    while left >= 4 {
+        let x: [&[f64]; 4] = std::array::from_fn(|_| xcols.next().unwrap());
+        let u: [&mut [f64]; 4] = std::array::from_fn(|_| ucols.next().unwrap());
+        apply_u_x4(panel, w, qlo, qhi, tg, x, u);
+        left -= 4;
+    }
+    while left >= 2 {
+        let x: [&[f64]; 2] = std::array::from_fn(|_| xcols.next().unwrap());
+        let u: [&mut [f64]; 2] = std::array::from_fn(|_| ucols.next().unwrap());
+        apply_u_x2(panel, w, qlo, qhi, tg, x, u);
+        left -= 2;
+    }
+    if left == 1 {
+        apply_u_x1(
+            panel,
+            w,
+            qlo,
+            qhi,
+            tg,
+            xcols.next().unwrap(),
+            ucols.next().unwrap(),
+        );
     }
     2 * (qhi - qlo) * w * nrhs
 }
 
-/// `y(K) = L(K,K)⁻¹ · (b(K) − lsum(K))` — the diagonal solve of Eq. (1),
-/// with the precomputed inverse. Returns `(y, flops)`.
-pub fn diag_solve_l(
+#[inline(always)]
+fn src_index(tg: Targets, q: usize, qlo: usize) -> usize {
+    match tg {
+        Targets::Dense(start) => start + (q - qlo),
+        Targets::Scatter(ix) => ix[q - qlo] as usize,
+    }
+}
+
+#[inline(always)]
+fn apply_u_x4(
+    panel: &[f64],
+    w: usize,
+    qlo: usize,
+    qhi: usize,
+    tg: Targets,
+    x: [&[f64]; 4],
+    u: [&mut [f64]; 4],
+) {
+    let [u0, u1, u2, u3] = u;
+    // Pin every accumulator to length `w` once so the fused loops below are
+    // provably in-bounds (and vectorizable) without per-element checks.
+    let (u0, u1, u2, u3) = (&mut u0[..w], &mut u1[..w], &mut u2[..w], &mut u3[..w]);
+    let mut q = qlo;
+    while q < qhi {
+        // Group adjacent panel columns so one accumulator
+        // read-modify-write sweep serves four (or two) columns. The
+        // per-element adds stay in q-ascending order —
+        // `(((u + a·va) + b·vb) + c·vc) + d·vd` — so the result is
+        // bit-identical to the one-column loop.
+        if q + 3 < qhi {
+            let sv: [usize; 4] = std::array::from_fn(|t| src_index(tg, q + t, qlo));
+            let va = [x[0][sv[0]], x[1][sv[0]], x[2][sv[0]], x[3][sv[0]]];
+            let vb = [x[0][sv[1]], x[1][sv[1]], x[2][sv[1]], x[3][sv[1]]];
+            let vc = [x[0][sv[2]], x[1][sv[2]], x[2][sv[2]], x[3][sv[2]]];
+            let vd = [x[0][sv[3]], x[1][sv[3]], x[2][sv[3]], x[3][sv[3]]];
+            let nz = |v: &[f64; 4]| v.iter().all(|&xv| xv != 0.0);
+            if nz(&va) && nz(&vb) && nz(&vc) && nz(&vd) {
+                let ca = &panel[q * w..(q + 1) * w];
+                let cb = &panel[(q + 1) * w..(q + 2) * w];
+                let cc = &panel[(q + 2) * w..(q + 3) * w];
+                let cd = &panel[(q + 3) * w..(q + 4) * w];
+                for i in 0..w {
+                    let (a, b, c, d) = (ca[i], cb[i], cc[i], cd[i]);
+                    u0[i] = (((u0[i] + a * va[0]) + b * vb[0]) + c * vc[0]) + d * vd[0];
+                    u1[i] = (((u1[i] + a * va[1]) + b * vb[1]) + c * vc[1]) + d * vd[1];
+                    u2[i] = (((u2[i] + a * va[2]) + b * vb[2]) + c * vc[2]) + d * vd[2];
+                    u3[i] = (((u3[i] + a * va[3]) + b * vb[3]) + c * vc[3]) + d * vd[3];
+                }
+                q += 4;
+                continue;
+            }
+        }
+        if q + 1 < qhi {
+            let sa = src_index(tg, q, qlo);
+            let sb = src_index(tg, q + 1, qlo);
+            let va = [x[0][sa], x[1][sa], x[2][sa], x[3][sa]];
+            let vb = [x[0][sb], x[1][sb], x[2][sb], x[3][sb]];
+            if va.iter().chain(&vb).all(|&xv| xv != 0.0) {
+                let ca = &panel[q * w..(q + 1) * w];
+                let cb = &panel[(q + 1) * w..(q + 2) * w];
+                for i in 0..w {
+                    let (a, b) = (ca[i], cb[i]);
+                    u0[i] = (u0[i] + a * va[0]) + b * vb[0];
+                    u1[i] = (u1[i] + a * va[1]) + b * vb[1];
+                    u2[i] = (u2[i] + a * va[2]) + b * vb[2];
+                    u3[i] = (u3[i] + a * va[3]) + b * vb[3];
+                }
+                q += 2;
+                continue;
+            }
+        }
+        let s = src_index(tg, q, qlo);
+        let v = [x[0][s], x[1][s], x[2][s], x[3][s]];
+        let col = &panel[q * w..(q + 1) * w];
+        if v.iter().all(|&xv| xv != 0.0) {
+            for i in 0..w {
+                let c = col[i];
+                u0[i] += c * v[0];
+                u1[i] += c * v[1];
+                u2[i] += c * v[2];
+                u3[i] += c * v[3];
+            }
+        } else {
+            let us = [&mut *u0, &mut *u1, &mut *u2, &mut *u3];
+            for (t, uk) in us.into_iter().enumerate() {
+                if v[t] != 0.0 {
+                    for (d, &c) in uk.iter_mut().zip(col) {
+                        *d += c * v[t];
+                    }
+                }
+            }
+        }
+        q += 1;
+    }
+}
+
+#[inline(always)]
+fn apply_u_x2(
+    panel: &[f64],
+    w: usize,
+    qlo: usize,
+    qhi: usize,
+    tg: Targets,
+    x: [&[f64]; 2],
+    u: [&mut [f64]; 2],
+) {
+    let [u0, u1] = u;
+    let (u0, u1) = (&mut u0[..w], &mut u1[..w]);
+    for q in qlo..qhi {
+        let s = src_index(tg, q, qlo);
+        let v = [x[0][s], x[1][s]];
+        let col = &panel[q * w..(q + 1) * w];
+        if v[0] == 0.0 || v[1] == 0.0 {
+            if v[0] != 0.0 {
+                for (d, &c) in u0.iter_mut().zip(col) {
+                    *d += c * v[0];
+                }
+            }
+            if v[1] != 0.0 {
+                for (d, &c) in u1.iter_mut().zip(col) {
+                    *d += c * v[1];
+                }
+            }
+            continue;
+        }
+        for i in 0..w {
+            let c = col[i];
+            u0[i] += c * v[0];
+            u1[i] += c * v[1];
+        }
+    }
+}
+
+#[inline(always)]
+fn apply_u_x1(
+    panel: &[f64],
+    w: usize,
+    qlo: usize,
+    qhi: usize,
+    tg: Targets,
+    x: &[f64],
+    u: &mut [f64],
+) {
+    for q in qlo..qhi {
+        let xv = x[src_index(tg, q, qlo)];
+        if xv == 0.0 {
+            continue;
+        }
+        let col = &panel[q * w..(q + 1) * w];
+        for (d, &c) in u.iter_mut().zip(col) {
+            *d += c * xv;
+        }
+    }
+}
+
+/// `y(K) = L(K,K)⁻¹ · (b(K) − lsum(K))` — the diagonal solve of Eq. (1)
+/// with the precomputed inverse, writing into caller-provided scratch.
+/// `rhs_scratch` and `out` are both `w × nrhs`; returns the flop count.
+///
+/// Same arithmetic (per-rhs GEMV with the skip-on-zero of
+/// [`sparse::dense::gemv`]) as [`reference::diag_solve_l`] — bit-identical
+/// results, zero allocations.
+pub fn diag_solve_l_into(
     fact: &Factorized,
     k: usize,
     b_k: &[f64],
     lsum_k: Option<&[f64]>,
     nrhs: usize,
-) -> (Vec<f64>, usize) {
+    rhs_scratch: &mut [f64],
+    out: &mut [f64],
+) -> usize {
     let sym = fact.lu.sym();
     let w = sym.sup_width(k);
     let p = fact.lu.panel(k);
-    let mut rhs = b_k.to_vec();
-    if let Some(ls) = lsum_k {
-        for (a, &s) in rhs.iter_mut().zip(ls) {
-            *a -= s;
-        }
-    }
-    let mut y = vec![0.0; w * nrhs];
-    for r in 0..nrhs {
-        sparse::dense::gemv(
-            1.0,
-            &p.dinv_l,
-            w,
-            w,
-            &rhs[r * w..(r + 1) * w],
-            &mut y[r * w..(r + 1) * w],
-        );
-    }
-    (y, 2 * w * w * nrhs)
+    diag_solve_into(&p.dinv_l, w, b_k, lsum_k, nrhs, rhs_scratch, out)
 }
 
-/// `x(K) = U(K,K)⁻¹ · (y(K) − usum(K))` — the diagonal solve of Eq. (2).
-/// Returns `(x, flops)`.
-pub fn diag_solve_u(
+/// `x(K) = U(K,K)⁻¹ · (y(K) − usum(K))` — the diagonal solve of Eq. (2),
+/// writing into caller-provided scratch. See [`diag_solve_l_into`].
+pub fn diag_solve_u_into(
     fact: &Factorized,
     k: usize,
     y_k: &[f64],
     usum_k: Option<&[f64]>,
     nrhs: usize,
-) -> (Vec<f64>, usize) {
+    rhs_scratch: &mut [f64],
+    out: &mut [f64],
+) -> usize {
     let sym = fact.lu.sym();
     let w = sym.sup_width(k);
     let p = fact.lu.panel(k);
-    let mut rhs = y_k.to_vec();
-    if let Some(us) = usum_k {
-        for (a, &s) in rhs.iter_mut().zip(us) {
-            *a -= s;
+    diag_solve_into(&p.dinv_u, w, y_k, usum_k, nrhs, rhs_scratch, out)
+}
+
+fn diag_solve_into(
+    dinv: &[f64],
+    w: usize,
+    b_k: &[f64],
+    sub: Option<&[f64]>,
+    nrhs: usize,
+    rhs_scratch: &mut [f64],
+    out: &mut [f64],
+) -> usize {
+    let rhs = &mut rhs_scratch[..w * nrhs];
+    let out = &mut out[..w * nrhs];
+    rhs.copy_from_slice(b_k);
+    if let Some(s) = sub {
+        for (a, &v) in rhs.iter_mut().zip(s) {
+            *a -= v;
         }
     }
-    let mut x = vec![0.0; w * nrhs];
+    out.fill(0.0);
     for r in 0..nrhs {
         sparse::dense::gemv(
             1.0,
-            &p.dinv_u,
+            dinv,
             w,
             w,
             &rhs[r * w..(r + 1) * w],
-            &mut x[r * w..(r + 1) * w],
+            &mut out[r * w..(r + 1) * w],
         );
     }
-    (x, 2 * w * w * nrhs)
+    2 * w * w * nrhs
 }
 
-/// Extract the (masked) RHS subvector of supernode `k` from the global
-/// permuted RHS `pb` (`n × nrhs` col-major): `b(K)` if `active`, zeros
-/// otherwise (Alg. 1 lines 3–10).
-pub fn masked_rhs(fact: &Factorized, k: usize, pb: &[f64], nrhs: usize, active: bool) -> Vec<f64> {
+/// Write the (masked) RHS subvector of supernode `k` from the global
+/// permuted RHS `pb` (`n × nrhs` col-major) into `out`: `b(K)` if `active`,
+/// zeros otherwise (Alg. 1 lines 3–10).
+pub fn masked_rhs_into(
+    fact: &Factorized,
+    k: usize,
+    pb: &[f64],
+    nrhs: usize,
+    active: bool,
+    out: &mut [f64],
+) {
     let sym = fact.lu.sym();
     let n = sym.n();
     let cols = sym.sup_cols(k);
     let w = cols.len();
-    let mut b = vec![0.0; w * nrhs];
+    let out = &mut out[..w * nrhs];
     if active {
         for r in 0..nrhs {
-            b[r * w..(r + 1) * w].copy_from_slice(&pb[r * n + cols.start..r * n + cols.end]);
+            out[r * w..(r + 1) * w].copy_from_slice(&pb[r * n + cols.start..r * n + cols.end]);
         }
+    } else {
+        out.fill(0.0);
     }
-    b
+}
+
+/// The original scalar kernels, kept verbatim as the bit-for-bit ground
+/// truth for the blocked hot-path kernels above (proptested against them)
+/// and as the "before" side of the micro-kernel benchmarks. These allocate
+/// per call and recompute scatter indices per element — do not use them on
+/// the solve hot path.
+pub mod reference {
+    use super::Factorized;
+
+    /// Raw-slice scalar form of [`apply_l_block`]: per-rhs, per-column
+    /// scalar loops recomputing `rows[q] - istart` on every element.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_l(
+        panel: &[f64],
+        r: usize,
+        rows: &[u32],
+        istart: usize,
+        lo: usize,
+        hi: usize,
+        y_k: &[f64],
+        w: usize,
+        lsum_i: &mut [f64],
+        wi: usize,
+        nrhs: usize,
+    ) -> usize {
+        for rhs in 0..nrhs {
+            let yk = &y_k[rhs * w..(rhs + 1) * w];
+            let li = &mut lsum_i[rhs * wi..(rhs + 1) * wi];
+            for (j, &yv) in yk.iter().enumerate() {
+                if yv == 0.0 {
+                    continue;
+                }
+                let col = &panel[j * r..(j + 1) * r];
+                for q in lo..hi {
+                    li[rows[q] as usize - istart] += col[q] * yv;
+                }
+            }
+        }
+        2 * (hi - lo) * w * nrhs
+    }
+
+    /// Raw-slice scalar form of [`apply_u_block`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_u(
+        panel: &[f64],
+        w: usize,
+        rows: &[u32],
+        jstart: usize,
+        qlo: usize,
+        qhi: usize,
+        x_j: &[f64],
+        wj: usize,
+        usum_k: &mut [f64],
+        nrhs: usize,
+    ) -> usize {
+        for rhs in 0..nrhs {
+            let xj = &x_j[rhs * wj..(rhs + 1) * wj];
+            let uk = &mut usum_k[rhs * w..(rhs + 1) * w];
+            for q in qlo..qhi {
+                let xv = xj[rows[q] as usize - jstart];
+                if xv == 0.0 {
+                    continue;
+                }
+                let col = &panel[q * w..(q + 1) * w];
+                for i in 0..w {
+                    uk[i] += col[i] * xv;
+                }
+            }
+        }
+        2 * (qhi - qlo) * w * nrhs
+    }
+
+    /// `lsum(I) += L(I, K) · y(K)` for the block at row positions
+    /// `[lo, hi)` of column-supernode `k`. `y_k` is `w_k × nrhs` col-major;
+    /// `lsum_i` is `w_i × nrhs` col-major. Returns the flop count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_l_block(
+        fact: &Factorized,
+        k: usize,
+        i: usize,
+        lo: usize,
+        hi: usize,
+        y_k: &[f64],
+        lsum_i: &mut [f64],
+        nrhs: usize,
+    ) -> usize {
+        let sym = fact.lu.sym();
+        let w = sym.sup_width(k);
+        let wi = sym.sup_width(i);
+        let istart = sym.sup_cols(i).start;
+        let rows = sym.rows_below(k);
+        let r = rows.len();
+        let panel = &fact.lu.panel(k).l_below;
+        debug_assert_eq!(y_k.len(), w * nrhs);
+        debug_assert_eq!(lsum_i.len(), wi * nrhs);
+        apply_l(panel, r, rows, istart, lo, hi, y_k, w, lsum_i, wi, nrhs)
+    }
+
+    /// `usum(K) += U(K, J) · x(J)` for the block at column positions
+    /// `[qlo, qhi)` of row-supernode `k`. `x_j` is `w_j × nrhs` col-major;
+    /// `usum_k` is `w_k × nrhs` col-major. Returns the flop count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_u_block(
+        fact: &Factorized,
+        k: usize,
+        j: usize,
+        qlo: usize,
+        qhi: usize,
+        x_j: &[f64],
+        usum_k: &mut [f64],
+        nrhs: usize,
+    ) -> usize {
+        let sym = fact.lu.sym();
+        let w = sym.sup_width(k);
+        let wj = sym.sup_width(j);
+        let jstart = sym.sup_cols(j).start;
+        let rows = sym.rows_below(k);
+        let panel = &fact.lu.panel(k).u_right;
+        debug_assert_eq!(x_j.len(), wj * nrhs);
+        debug_assert_eq!(usum_k.len(), w * nrhs);
+        apply_u(panel, w, rows, jstart, qlo, qhi, x_j, wj, usum_k, nrhs)
+    }
+
+    /// `y(K) = L(K,K)⁻¹ · (b(K) − lsum(K))` — allocating form of the
+    /// diagonal solve of Eq. (1). Returns `(y, flops)`.
+    pub fn diag_solve_l(
+        fact: &Factorized,
+        k: usize,
+        b_k: &[f64],
+        lsum_k: Option<&[f64]>,
+        nrhs: usize,
+    ) -> (Vec<f64>, usize) {
+        let sym = fact.lu.sym();
+        let w = sym.sup_width(k);
+        let mut rhs = vec![0.0; w * nrhs];
+        let mut y = vec![0.0; w * nrhs];
+        let flops = super::diag_solve_l_into(fact, k, b_k, lsum_k, nrhs, &mut rhs, &mut y);
+        (y, flops)
+    }
+
+    /// `x(K) = U(K,K)⁻¹ · (y(K) − usum(K))` — allocating form of the
+    /// diagonal solve of Eq. (2). Returns `(x, flops)`.
+    pub fn diag_solve_u(
+        fact: &Factorized,
+        k: usize,
+        y_k: &[f64],
+        usum_k: Option<&[f64]>,
+        nrhs: usize,
+    ) -> (Vec<f64>, usize) {
+        let sym = fact.lu.sym();
+        let w = sym.sup_width(k);
+        let mut rhs = vec![0.0; w * nrhs];
+        let mut x = vec![0.0; w * nrhs];
+        let flops = super::diag_solve_u_into(fact, k, y_k, usum_k, nrhs, &mut rhs, &mut x);
+        (x, flops)
+    }
+
+    /// Allocating form of [`super::masked_rhs_into`].
+    pub fn masked_rhs(
+        fact: &Factorized,
+        k: usize,
+        pb: &[f64],
+        nrhs: usize,
+        active: bool,
+    ) -> Vec<f64> {
+        let sym = fact.lu.sym();
+        let w = sym.sup_cols(k).len();
+        let mut b = vec![0.0; w * nrhs];
+        super::masked_rhs_into(fact, k, pb, nrhs, active, &mut b);
+        b
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::{apply_l_block, apply_u_block, diag_solve_l, diag_solve_u, masked_rhs};
     use super::*;
     use lufactor::factorize;
     use ordering::SymbolicOptions;
@@ -264,6 +881,75 @@ mod tests {
             let w = cols.len();
             for j in 0..w {
                 assert!((xk[j] - want[cols.start + j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The blocked kernels are bit-identical to the scalar reference on
+    /// every block of a real factorization, for a spread of `nrhs`.
+    #[test]
+    fn blocked_kernels_match_reference_bitwise() {
+        let f = small_fact();
+        let sym = f.lu.sym();
+        for nrhs in [1usize, 2, 3, 4, 7, 8] {
+            for k in 0..sym.n_supernodes() {
+                let w = sym.sup_width(k);
+                let rows = sym.rows_below(k);
+                let r = rows.len();
+                let y_k: Vec<f64> = (0..w * nrhs).map(|i| ((i * 7 + k) as f64).sin()).collect();
+                for &i in sym.blocks_below(k) {
+                    let i = i as usize;
+                    let (lo, hi) = block_range(&f, k, i);
+                    let wi = sym.sup_width(i);
+                    let istart = sym.sup_cols(i).start;
+                    let scatter: Vec<u32> =
+                        rows[lo..hi].iter().map(|&q| q - istart as u32).collect();
+                    let mut want = vec![0.1; wi * nrhs];
+                    let mut got = want.clone();
+                    apply_l_block(&f, k, i, lo, hi, &y_k, &mut want, nrhs);
+                    apply_l(
+                        &f.lu.panel(k).l_below,
+                        r,
+                        lo,
+                        hi,
+                        Targets::Scatter(&scatter),
+                        &y_k,
+                        w,
+                        &mut got,
+                        wi,
+                        nrhs,
+                    );
+                    assert!(
+                        want.iter()
+                            .zip(&got)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "apply_l blocked != reference at k={k} i={i} nrhs={nrhs}"
+                    );
+
+                    let x_j: Vec<f64> =
+                        (0..wi * nrhs).map(|t| ((t * 3 + i) as f64).cos()).collect();
+                    let mut want_u = vec![0.2; w * nrhs];
+                    let mut got_u = want_u.clone();
+                    apply_u_block(&f, k, i, lo, hi, &x_j, &mut want_u, nrhs);
+                    apply_u(
+                        &f.lu.panel(k).u_right,
+                        w,
+                        lo,
+                        hi,
+                        Targets::Scatter(&scatter),
+                        &x_j,
+                        wi,
+                        &mut got_u,
+                        nrhs,
+                    );
+                    assert!(
+                        want_u
+                            .iter()
+                            .zip(&got_u)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "apply_u blocked != reference at k={k} j={i} nrhs={nrhs}"
+                    );
+                }
             }
         }
     }

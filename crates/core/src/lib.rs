@@ -28,6 +28,8 @@
 
 pub mod allreduce;
 pub mod analysis;
+pub mod arena;
+pub mod audit;
 pub mod baseline3d;
 pub mod driver;
 pub mod gpusolve;

@@ -21,6 +21,7 @@ use crate::plan::{GridSet, Plan, SupSet};
 use crate::solve2d::{member_list, tree_links};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Baseline inter-grid tags (`TAG + lev` stamped at compile time).
 const TAG_ZRED: u64 = 9 << 40;
@@ -38,6 +39,45 @@ pub struct ScheduleKey {
     pub tree_comm: bool,
 }
 
+/// Sentinel in [`BlockSched::dense_start`]: the block's rows are not one
+/// contiguous run, use the scatter pool.
+pub const SCATTERED: u32 = u32::MAX;
+
+/// One local block of a column, with its addressing precompiled: the
+/// symbolic block range resolved, and either a dense contiguous-run offset
+/// or an index list baked into the pass's scatter pool at compile time.
+/// For L passes the indices address the *target* `lsum(I)`; for U passes
+/// they address the *source* `x(J)` — both are `rows[q] − sup_start`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlockSched {
+    /// The other supernode of the block (trigger row for L, source column
+    /// for U).
+    pub sup: u32,
+    /// Row-position range `[lo, hi)` within `rows_below` of the panel.
+    pub lo: u32,
+    /// Row-position range end.
+    pub hi: u32,
+    /// Dense fast path: rows map to consecutive indices starting here;
+    /// [`SCATTERED`] when the run is not contiguous.
+    pub dense_start: u32,
+    /// Offset of this block's `hi − lo` indices in [`PassSched::scatter`]
+    /// (meaningful only when `dense_start == SCATTERED`).
+    pub scatter_off: u32,
+}
+
+impl BlockSched {
+    /// The kernel addressing of this block, borrowing the pass pool.
+    #[inline]
+    pub fn targets<'a>(&self, pool: &'a [u32]) -> kernels::Targets<'a> {
+        if self.dense_start != SCATTERED {
+            kernels::Targets::Dense(self.dense_start as usize)
+        } else {
+            let off = self.scatter_off as usize;
+            kernels::Targets::Scatter(&pool[off..off + (self.hi - self.lo) as usize])
+        }
+    }
+}
+
 /// Compiled broadcast state of one locally known supernode column.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ColSched {
@@ -47,9 +87,8 @@ pub struct ColSched {
     pub children: Vec<u32>,
     /// Whether this rank roots the broadcast (diagonal owner).
     pub is_root: bool,
-    /// Local blocks `(row_sup, lo, hi)` touched by this column, with the
-    /// symbolic block range resolved at compile time.
-    pub blocks: Vec<(u32, u32, u32)>,
+    /// Local blocks touched by this column, addressing precompiled.
+    pub blocks: Vec<BlockSched>,
     /// Sum of block row counts (the GPU's fused column task size).
     pub total_rows: u32,
     /// Max supernode width over the block rows (GPU U task height), ≥ 1.
@@ -65,6 +104,10 @@ pub struct RowSched {
     pub fmod0: u32,
     /// Reduction parent (grid rank); `None` at the diagonal owner.
     pub parent: Option<u32>,
+    /// Reduction children (grid ranks) whose partials arrive here. Solvers
+    /// use this to pre-create the per-source accumulator slots, so the
+    /// steady-state message loop never allocates.
+    pub children: Vec<u32>,
 }
 
 /// One compiled 2D solve pass (the unit both CPU and GPU interpret).
@@ -83,6 +126,9 @@ pub struct PassSched {
     /// Externally solved columns this rank roots, announced at pass
     /// start in this order (baseline U passes only).
     pub ext_roots: Vec<u32>,
+    /// Scatter index pool shared by every non-dense [`BlockSched`] of the
+    /// pass (see [`BlockSched::targets`]).
+    pub scatter: Vec<u32>,
 }
 
 impl PassSched {
@@ -415,6 +461,7 @@ impl PassSched {
         let sym = plan.fact.lu.sym();
         let (px, py) = (plan.px, plan.py);
         let mut cols = Vec::new();
+        let mut scatter = Vec::new();
         let mut expected = 0u32;
 
         for &k in cols_in {
@@ -438,7 +485,20 @@ impl PassSched {
             for &i in sym.blocks_below(ku) {
                 if i as usize % px == x && grid.member.contains(i as usize) {
                     let (lo, hi) = kernels::block_range(&plan.fact, ku, i as usize);
-                    blocks.push((i, lo as u32, hi as u32));
+                    let (dense_start, scatter_off) = block_addr(
+                        sym.rows_below(ku),
+                        lo,
+                        hi,
+                        sym.sup_cols(i as usize).start,
+                        &mut scatter,
+                    );
+                    blocks.push(BlockSched {
+                        sup: i,
+                        lo: lo as u32,
+                        hi: hi as u32,
+                        dense_start,
+                        scatter_off,
+                    });
                     total_rows += (hi - lo) as u32;
                     maxw = maxw.max(sym.sup_width(i as usize) as u32);
                 }
@@ -484,6 +544,7 @@ impl PassSched {
             cols,
             rows,
             ext_roots: Vec::new(),
+            scatter,
         }
     }
 
@@ -505,12 +566,14 @@ impl PassSched {
         let sym = plan.fact.lu.sym();
         let (px, py) = (plan.px, plan.py);
         let mut cols = Vec::new();
+        let mut scatter = Vec::new();
         let mut ext_roots = Vec::new();
         let mut expected = 0u32;
 
         let push_col = |j: u32,
                         is_ext: bool,
                         cols: &mut Vec<ColSched>,
+                        scatter: &mut Vec<u32>,
                         expected: &mut u32,
                         ext_roots: &mut Vec<u32>| {
             let ju = j as usize;
@@ -534,7 +597,20 @@ impl PassSched {
             for &k in sym.blocks_left(ju) {
                 if k as usize % px == x && row_set.contains(k as usize) {
                     let (qlo, qhi) = kernels::block_range(&plan.fact, k as usize, ju);
-                    blocks.push((k, qlo as u32, qhi as u32));
+                    let (dense_start, scatter_off) = block_addr(
+                        sym.rows_below(k as usize),
+                        qlo,
+                        qhi,
+                        sym.sup_cols(ju).start,
+                        scatter,
+                    );
+                    blocks.push(BlockSched {
+                        sup: k,
+                        lo: qlo as u32,
+                        hi: qhi as u32,
+                        dense_start,
+                        scatter_off,
+                    });
                     total_rows += (qhi - qlo) as u32;
                     maxw = maxw.max(sym.sup_width(k as usize) as u32);
                 }
@@ -559,10 +635,24 @@ impl PassSched {
             });
         };
         for &j in rows_in {
-            push_col(j, false, &mut cols, &mut expected, &mut ext_roots);
+            push_col(
+                j,
+                false,
+                &mut cols,
+                &mut scatter,
+                &mut expected,
+                &mut ext_roots,
+            );
         }
         for &j in ext {
-            push_col(j, true, &mut cols, &mut expected, &mut ext_roots);
+            push_col(
+                j,
+                true,
+                &mut cols,
+                &mut scatter,
+                &mut expected,
+                &mut ext_roots,
+            );
         }
         cols.sort_by_key(|c| c.sup);
 
@@ -591,7 +681,23 @@ impl PassSched {
             cols,
             rows,
             ext_roots,
+            scatter,
         }
+    }
+}
+
+/// Precompile the addressing of row positions `[lo, hi)` relative to
+/// supernode start `start`: a dense contiguous run becomes its start
+/// offset; anything else gets its per-row indices appended to the pass
+/// scatter pool. Returns `(dense_start, scatter_off)` for [`BlockSched`].
+fn block_addr(rows: &[u32], lo: usize, hi: usize, start: usize, pool: &mut Vec<u32>) -> (u32, u32) {
+    let first = rows[lo] as usize - start;
+    if rows[hi - 1] as usize - rows[lo] as usize == hi - 1 - lo {
+        (first as u32, 0)
+    } else {
+        let off = pool.len() as u32;
+        pool.extend(rows[lo..hi].iter().map(|&q| q - start as u32));
+        (SCATTERED, off)
     }
 }
 
@@ -611,8 +717,8 @@ fn compile_rows(
     let (px, py) = (plan.px, plan.py);
     let mut local_pending: HashMap<u32, u32> = HashMap::new();
     for c in cols {
-        for &(i, _, _) in &c.blocks {
-            *local_pending.entry(i).or_insert(0) += 1;
+        for b in &c.blocks {
+            *local_pending.entry(b.sup).or_insert(0) += 1;
         }
     }
     let mut rows = Vec::new();
@@ -631,6 +737,11 @@ fn compile_rows(
             sup: i,
             fmod0: local_pending.get(&i).copied().unwrap_or(0) + n_children,
             parent: links.parent.map(|c| (x + px * c) as u32),
+            children: links
+                .children
+                .iter()
+                .map(|&c| (x + px * c) as u32)
+                .collect(),
         });
     }
     rows
@@ -643,18 +754,23 @@ fn compile_rows(
 /// external announcements — lives once in [`run_pass`].
 pub trait PassEngine {
     /// Solve the diagonal block of trigger row `row`; return the solved
-    /// vector (its availability time is engine-internal state).
-    fn solve_diag(&mut self, row: &RowSched) -> Vec<f64>;
+    /// vector (its availability time is engine-internal state). Shared
+    /// ownership lets the interpreter forward it to broadcast children as
+    /// a refcount bump, not a copy.
+    fn solve_diag(&mut self, row: &RowSched) -> Arc<[f64]>;
     /// Record a solved vector (diagonal result or broadcast reception).
     fn store_solved(&mut self, sup: u32, v: &[f64]);
     /// Fetch a vector solved in an earlier pass (U external columns).
-    fn solved(&self, sup: u32) -> Vec<f64>;
-    /// Forward a solved vector to my broadcast children.
-    fn forward(&mut self, col: &ColSched, v: &[f64]);
+    fn solved(&self, sup: u32) -> Arc<[f64]>;
+    /// Forward a solved vector to my broadcast children (zero-copy: the
+    /// transport enqueues clones of the `Arc`).
+    fn forward(&mut self, col: &ColSched, v: &Arc<[f64]>);
     /// Send my partial sum for `row` to its reduction `parent`.
     fn send_partial(&mut self, row: &RowSched, parent: u32);
-    /// Apply my local blocks of `col` to the partial sums.
-    fn apply_column(&mut self, col: &ColSched, v: &[f64]);
+    /// Apply my local blocks of `col` to the partial sums. `scatter` is
+    /// the pass's shared scatter-index pool; resolve a block's targets
+    /// with [`BlockSched::targets`].
+    fn apply_column(&mut self, col: &ColSched, v: &[f64], scatter: &[u32]);
     /// Accumulate a received partial-sum payload into `row`. `src` is the
     /// sending grid rank (used for order-independent accumulation).
     fn add_partial(&mut self, row: &RowSched, src: u32, payload: &[f64]);
@@ -680,8 +796,47 @@ pub struct RecvEvent {
     pub sup: u32,
     /// Sending grid rank.
     pub src: u32,
-    /// Message data.
-    pub payload: Vec<f64>,
+    /// Message data — the transport's buffer, shared not copied.
+    pub payload: Arc<[f64]>,
+}
+
+/// Caller-owned working state of [`run_pass_with`]: the `fmod` counters,
+/// ready queue, and dedup set of one pass. Reused across passes (and
+/// solves) so the pass interpreter itself performs no heap allocation —
+/// the steady-state allocation audit brackets everything after
+/// [`PassScratch::reset`].
+#[derive(Default)]
+pub struct PassScratch {
+    fmod: Vec<u32>,
+    work: Vec<u32>,
+    seen: HashSet<(bool, u32, u32)>,
+}
+
+impl PassScratch {
+    /// Fresh (empty) scratch; grows to a pass's size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size the scratch for `pass` and load its initial state. All
+    /// capacity growth happens here, before the audited steady-state
+    /// region starts: `work` can hold every trigger row (each row enters
+    /// the ready queue exactly once) and `seen` every expected logical
+    /// message.
+    fn reset(&mut self, pass: &PassSched) {
+        self.fmod.clear();
+        self.fmod.extend(pass.rows.iter().map(|r| r.fmod0));
+        self.work.clear();
+        self.work.reserve(pass.rows.len());
+        self.work
+            .extend(pass.rows.iter().filter(|r| r.fmod0 == 0).map(|r| r.sup));
+        // `rows` is ascending; L pops ascending, U pops descending.
+        if pass.lower {
+            self.work.reverse();
+        }
+        self.seen.clear();
+        self.seen.reserve(pass.expected as usize);
+    }
 }
 
 /// Interpret one compiled 2D pass: the message-driven traversal shared
@@ -690,8 +845,18 @@ pub struct RecvEvent {
 /// Duplicated deliveries (fault injection, or a retransmitting network)
 /// are detected by `(kind, sup, src)` and dropped idempotently, so an
 /// `fmod` counter is never decremented twice for one logical message.
+///
+/// This convenience form allocates throwaway scratch; the solvers thread
+/// a reused [`PassScratch`] through [`run_pass_with`] instead.
 pub fn run_pass<E: PassEngine>(engine: &mut E, pass: &PassSched) {
-    run_pass_impl(engine, pass, true)
+    let mut scratch = PassScratch::default();
+    run_pass_impl(engine, pass, &mut scratch, true)
+}
+
+/// [`run_pass`] with caller-owned scratch, so repeated passes reuse the
+/// same buffers and the interpreter allocates nothing.
+pub fn run_pass_with<E: PassEngine>(engine: &mut E, pass: &PassSched, scratch: &mut PassScratch) {
+    run_pass_impl(engine, pass, scratch, true)
 }
 
 /// `run_pass` with duplicate detection disabled. Exists only so tests can
@@ -699,32 +864,31 @@ pub fn run_pass<E: PassEngine>(engine: &mut E, pass: &PassSched) {
 /// fail the end-of-pass validation (a mutation check).
 #[doc(hidden)]
 pub fn run_pass_no_dedup<E: PassEngine>(engine: &mut E, pass: &PassSched) {
-    run_pass_impl(engine, pass, false)
+    let mut scratch = PassScratch::default();
+    run_pass_impl(engine, pass, &mut scratch, false)
 }
 
-fn run_pass_impl<E: PassEngine>(engine: &mut E, pass: &PassSched, dedup: bool) {
-    let mut fmod: Vec<u32> = pass.rows.iter().map(|r| r.fmod0).collect();
-    let mut work: Vec<u32> = pass
-        .rows
-        .iter()
-        .filter(|r| r.fmod0 == 0)
-        .map(|r| r.sup)
-        .collect();
-    // `rows` is ascending; L pops ascending, U pops descending.
-    if pass.lower {
-        work.reverse();
-    }
+fn run_pass_impl<E: PassEngine>(
+    engine: &mut E,
+    pass: &PassSched,
+    scratch: &mut PassScratch,
+    dedup: bool,
+) {
+    scratch.reset(pass);
+    // Everything below is the steady-state message loop: under the audit
+    // scope it must not touch the heap (asserted by tests/alloc_audit.rs).
+    let _audit = crate::audit::pass_scope();
+    let PassScratch { fmod, work, seen } = scratch;
 
     // Announce externally solved columns I root (baseline U passes).
     for &j in &pass.ext_roots {
         let v = engine.solved(j);
         let col = pass.col(j).expect("ext root column compiled");
         engine.forward(col, &v);
-        apply_and_complete(engine, pass, col, &v, &mut fmod, &mut work);
+        apply_and_complete(engine, pass, col, &v, fmod, work);
     }
 
     let mut received = 0u32;
-    let mut seen: HashSet<(bool, u32, u32)> = HashSet::new();
     loop {
         while let Some(s) = work.pop() {
             let idx = pass.row_index(s).expect("trigger row compiled");
@@ -734,7 +898,7 @@ fn run_pass_impl<E: PassEngine>(engine: &mut E, pass: &PassSched, dedup: bool) {
                     let v = engine.solve_diag(row);
                     if let Some(col) = pass.col(s) {
                         engine.forward(col, &v);
-                        apply_and_complete(engine, pass, col, &v, &mut fmod, &mut work);
+                        apply_and_complete(engine, pass, col, &v, fmod, work);
                     }
                     engine.store_solved(s, &v);
                 }
@@ -759,7 +923,7 @@ fn run_pass_impl<E: PassEngine>(engine: &mut E, pass: &PassSched, dedup: bool) {
                     .unwrap_or_else(|| "receive panicked".to_string());
                 std::panic::resume_unwind(Box::new(format!(
                     "{inner}{}",
-                    pass_report(pass, &fmod, received)
+                    pass_report(pass, fmod, received)
                 )));
             }
         };
@@ -772,7 +936,7 @@ fn run_pass_impl<E: PassEngine>(engine: &mut E, pass: &PassSched, dedup: bool) {
         if ev.vector {
             if let Some(col) = pass.col(ev.sup) {
                 engine.forward(col, &ev.payload);
-                apply_and_complete(engine, pass, col, &ev.payload, &mut fmod, &mut work);
+                apply_and_complete(engine, pass, col, &ev.payload, fmod, work);
             }
             engine.store_solved(ev.sup, &ev.payload);
         } else {
@@ -784,7 +948,7 @@ fn run_pass_impl<E: PassEngine>(engine: &mut E, pass: &PassSched, dedup: bool) {
                     "excess partial sum for already-complete trigger row sup {} (src {}){}",
                     ev.sup,
                     ev.src,
-                    pass_report(pass, &fmod, received)
+                    pass_report(pass, fmod, received)
                 );
             }
             engine.add_partial(&pass.rows[idx], ev.src, &ev.payload);
@@ -799,7 +963,7 @@ fn run_pass_impl<E: PassEngine>(engine: &mut E, pass: &PassSched, dedup: bool) {
     if !work.is_empty() || fmod.iter().any(|&c| c != 0) {
         panic!(
             "pass exhausted its receive budget with unmet dependencies{}",
-            pass_report(pass, &fmod, received)
+            pass_report(pass, fmod, received)
         );
     }
 }
@@ -852,12 +1016,12 @@ fn apply_and_complete<E: PassEngine>(
     fmod: &mut [u32],
     work: &mut Vec<u32>,
 ) {
-    engine.apply_column(col, v);
-    for &(i, _, _) in &col.blocks {
-        if let Some(idx) = pass.row_index(i) {
+    engine.apply_column(col, v, &pass.scatter);
+    for b in &col.blocks {
+        if let Some(idx) = pass.row_index(b.sup) {
             fmod[idx] -= 1;
             if fmod[idx] == 0 {
-                work.push(i);
+                work.push(b.sup);
             }
         }
     }
@@ -1020,19 +1184,19 @@ mod tests {
     }
 
     impl PassEngine for MockEngine {
-        fn solve_diag(&mut self, row: &RowSched) -> Vec<f64> {
+        fn solve_diag(&mut self, row: &RowSched) -> Arc<[f64]> {
             self.diag_solved.push(row.sup);
-            vec![0.0]
+            vec![0.0].into()
         }
         fn store_solved(&mut self, _sup: u32, _v: &[f64]) {}
-        fn solved(&self, _sup: u32) -> Vec<f64> {
-            vec![0.0]
+        fn solved(&self, _sup: u32) -> Arc<[f64]> {
+            vec![0.0].into()
         }
-        fn forward(&mut self, _col: &ColSched, _v: &[f64]) {}
+        fn forward(&mut self, _col: &ColSched, _v: &Arc<[f64]>) {}
         fn send_partial(&mut self, row: &RowSched, _parent: u32) {
             self.sent.push(row.sup);
         }
-        fn apply_column(&mut self, _col: &ColSched, _v: &[f64]) {}
+        fn apply_column(&mut self, _col: &ColSched, _v: &[f64], _scatter: &[u32]) {}
         fn add_partial(&mut self, row: &RowSched, src: u32, _payload: &[f64]) {
             self.partials.push((row.sup, src));
         }
@@ -1063,14 +1227,16 @@ mod tests {
                 sup: 5,
                 fmod0: 1,
                 parent: None,
+                children: vec![],
             }],
             ext_roots: vec![],
+            scatter: vec![],
         };
         let vec_ev = RecvEvent {
             vector: true,
             sup: 7,
             src: 1,
-            payload: vec![0.0],
+            payload: vec![0.0].into(),
         };
         let script = vec![
             vec_ev.clone(),
@@ -1079,7 +1245,7 @@ mod tests {
                 vector: false,
                 sup: 5,
                 src: 2,
-                payload: vec![0.0],
+                payload: vec![0.0].into(),
             },
         ];
         (pass, script)
@@ -1127,13 +1293,13 @@ mod tests {
                 vector: false,
                 sup: 5,
                 src: 2,
-                payload: vec![0.0],
+                payload: vec![0.0].into(),
             },
             RecvEvent {
                 vector: false,
                 sup: 5,
                 src: 3,
-                payload: vec![0.0],
+                payload: vec![0.0].into(),
             },
         ];
         let mut eng = MockEngine::new(script);

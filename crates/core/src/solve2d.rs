@@ -23,11 +23,15 @@
 //! precompiled expected message count is met — exactly the structure of
 //! the paper's Algorithm 3 (`fmod`/`bmod` dependency counters included).
 
+use crate::arena::SolveArena;
 use crate::kernels;
 use crate::plan::{GridSet, Plan};
-use crate::schedule::{run_pass, ColSched, PassEngine, PassSched, RecvEvent, RowSched};
+use crate::schedule::{
+    run_pass_with, ColSched, PassEngine, PassSched, PassScratch, RecvEvent, RowSched,
+};
 use simgrid::{Category, Comm, SpanDetail, TreeRole};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Order-independent partial-sum accumulator.
 ///
@@ -63,13 +67,16 @@ impl Ledger {
     }
 
     /// The contribution buffer for `(sup, key)`, zero-initialized at `len`.
+    /// Entries are kept sorted by key, so a prewarmed `(sup, key)` pair
+    /// (see the engine setup) resolves to a binary-search hit with no
+    /// allocation on the solve hot path.
     pub fn accum(&mut self, sup: u32, key: u64, len: usize) -> &mut Vec<f64> {
         let entries = self.rows.entry(sup).or_default();
-        let pos = match entries.iter().position(|(k, _)| *k == key) {
-            Some(p) => p,
-            None => {
-                entries.push((key, vec![0.0; len]));
-                entries.len() - 1
+        let pos = match entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(p) => p,
+            Err(p) => {
+                entries.insert(p, (key, vec![0.0; len]));
+                p
             }
         };
         &mut entries[pos].1
@@ -83,18 +90,28 @@ impl Ledger {
         }
     }
 
-    /// Fold the contributions of `sup` in ascending key order; `None`
-    /// when nothing has been accumulated.
-    pub fn fold(&self, sup: u32) -> Option<Vec<f64>> {
-        let entries = self.rows.get(&sup)?;
-        let mut order: Vec<usize> = (0..entries.len()).collect();
-        order.sort_unstable_by_key(|&i| entries[i].0);
-        let mut out = vec![0.0; entries[0].1.len()];
-        for i in order {
-            for (o, &v) in out.iter_mut().zip(entries[i].1.iter()) {
-                *o += v;
+    /// Fold the contributions of `sup` into `out` in ascending key order
+    /// (the entries are maintained sorted). `out` is zero-filled first, so
+    /// a `sup` with no contributions folds to zeros — the same payload the
+    /// old allocating path produced for an untouched row. Allocation-free.
+    pub fn fold_into(&self, sup: u32, out: &mut [f64]) {
+        out.fill(0.0);
+        if let Some(entries) = self.rows.get(&sup) {
+            for (_, e) in entries {
+                for (o, &v) in out.iter_mut().zip(e.iter()) {
+                    *o += v;
+                }
             }
         }
+    }
+
+    /// Fold the contributions of `sup` in ascending key order; `None`
+    /// when nothing has been accumulated. Allocating convenience form of
+    /// [`Ledger::fold_into`] for the cold paths (inter-grid exchanges).
+    pub fn fold(&self, sup: u32) -> Option<Vec<f64>> {
+        let entries = self.rows.get(&sup)?;
+        let mut out = vec![0.0; entries.first()?.1.len()];
+        self.fold_into(sup, &mut out);
         Some(out)
     }
 }
@@ -193,6 +210,10 @@ pub struct SolveState {
     pub y_vals: HashMap<u32, Vec<f64>>,
     /// Solved `x(K)` at diagonal owners.
     pub x_vals: HashMap<u32, Vec<f64>>,
+    /// Scratch arena for diagonal-solve temporaries, sized at pass setup.
+    pub arena: SolveArena,
+    /// Pass-interpreter working state, reused across passes.
+    pub scratch: PassScratch,
 }
 
 /// Context shared by the pass functions of one rank.
@@ -225,16 +246,7 @@ impl Ctx<'_> {
 /// solved `y(K)` land in `state.y_vals`.
 pub fn l_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
     debug_assert!(pass.lower);
-    let mut engine = CpuEngine {
-        ctx,
-        state,
-        usum: Ledger::default(),
-        lower: true,
-        epoch: pass.epoch,
-        step: 0,
-    };
-    run_pass(&mut engine, pass);
-    engine.finish();
+    solve_pass(ctx, pass, state, true);
 }
 
 /// Run one compiled 2D U-solve pass. Solved `x(K)` land in
@@ -242,20 +254,27 @@ pub fn l_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
 /// here at its diagonal owner.
 pub fn u_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
     debug_assert!(!pass.lower);
-    let mut engine = CpuEngine {
-        ctx,
-        state,
-        usum: Ledger::default(),
-        lower: false,
-        epoch: pass.epoch,
-        step: 0,
-    };
-    run_pass(&mut engine, pass);
-    engine.finish();
+    solve_pass(ctx, pass, state, false);
 }
 
-/// CPU cost hooks for [`run_pass`]: every kernel advances this rank's
-/// serial clock; messages are epoch-tagged two-sided sends.
+fn solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState, lower: bool) {
+    // The interpreter scratch lives in `state` so repeated passes reuse
+    // it, but the engine needs `&mut state` too — take it for the pass.
+    let mut scratch = std::mem::take(&mut state.scratch);
+    let mut engine = CpuEngine::new(ctx, pass, state, lower);
+    run_pass_with(&mut engine, pass, &mut scratch);
+    engine.finish();
+    state.scratch = scratch;
+}
+
+/// CPU cost hooks for [`crate::schedule::run_pass`]: every kernel advances
+/// this rank's serial clock; messages are epoch-tagged two-sided sends.
+///
+/// Construction ([`CpuEngine::new`]) is the per-pass *setup* phase: it
+/// pre-creates every buffer the steady-state loop will touch — ledger
+/// accumulator slots, solved-value slots, `Arc` send payloads, FIFO
+/// routes, metric names, arena capacity — so the loop itself (bracketed by
+/// [`crate::audit::pass_scope`] inside the interpreter) never allocates.
 struct CpuEngine<'a, 'b> {
     ctx: &'b Ctx<'a>,
     state: &'b mut SolveState,
@@ -265,9 +284,90 @@ struct CpuEngine<'a, 'b> {
     epoch: u64,
     /// Monotone per-pass operation index, stamped onto trace spans.
     step: u32,
+    /// Prebuilt diagonal-solve result buffers, one per rooted trigger row.
+    /// Unique (refcount 1) until the row fires; the transport then shares
+    /// them with broadcast children as refcount bumps.
+    diag_bufs: HashMap<u32, Arc<[f64]>>,
+    /// Prebuilt reduction payload buffers, one per non-root trigger row.
+    partial_bufs: HashMap<u32, Arc<[f64]>>,
+    /// Shared snapshots of externally solved columns this rank announces.
+    ext_bufs: HashMap<u32, Arc<[f64]>>,
 }
 
-impl CpuEngine<'_, '_> {
+impl<'a, 'b> CpuEngine<'a, 'b> {
+    fn new(ctx: &'b Ctx<'a>, pass: &PassSched, state: &'b mut SolveState, lower: bool) -> Self {
+        let sym = ctx.plan.fact.lu.sym();
+        let nrhs = ctx.nrhs;
+        let mut usum = Ledger::default();
+        let mut diag_bufs: HashMap<u32, Arc<[f64]>> = HashMap::with_capacity(pass.rows.len());
+        let mut partial_bufs: HashMap<u32, Arc<[f64]>> = HashMap::with_capacity(pass.rows.len());
+        let mut ext_bufs: HashMap<u32, Arc<[f64]>> = HashMap::with_capacity(pass.ext_roots.len());
+        let mut maxlen = 1;
+        {
+            let sums = if lower { &mut state.lsum } else { &mut usum };
+            for row in &pass.rows {
+                let len = sym.sup_width(row.sup as usize) * nrhs;
+                maxlen = maxlen.max(len);
+                match row.parent {
+                    None => {
+                        diag_bufs.insert(row.sup, vec![0.0; len].into());
+                    }
+                    Some(p) => {
+                        partial_bufs.insert(row.sup, vec![0.0; len].into());
+                        ctx.comm.warm_route(p as usize);
+                    }
+                }
+                // One accumulator slot per reduction child's partial.
+                for &c in &row.children {
+                    sums.accum(row.sup, Ledger::key_partial(c), len);
+                }
+            }
+            for col in &pass.cols {
+                // One accumulator slot per local block update.
+                for b in &col.blocks {
+                    let blen = sym.sup_width(b.sup as usize) * nrhs;
+                    maxlen = maxlen.max(blen);
+                    sums.accum(b.sup, Ledger::key_local(col.sup), blen);
+                }
+                for &c in &col.children {
+                    ctx.comm.warm_route(c as usize);
+                }
+            }
+        }
+        // Pre-size the solved-value slots so `store_solved` is a plain
+        // copy. `or_insert` keeps values already present from earlier
+        // passes (baseline ancestors, externally solved columns).
+        let vals = if lower {
+            &mut state.y_vals
+        } else {
+            &mut state.x_vals
+        };
+        for col in &pass.cols {
+            let len = sym.sup_width(col.sup as usize) * nrhs;
+            vals.entry(col.sup).or_insert_with(|| vec![0.0; len]);
+        }
+        for &j in &pass.ext_roots {
+            let v = state
+                .x_vals
+                .get(&j)
+                .expect("external column solved in an earlier pass");
+            ext_bufs.insert(j, Arc::from(&v[..]));
+        }
+        state.arena.ensure(3 * maxlen);
+        ctx.comm.metric_inc("pass.fmod_stalls", 0);
+        CpuEngine {
+            ctx,
+            state,
+            usum,
+            lower,
+            epoch: pass.epoch,
+            step: 0,
+            diag_bufs,
+            partial_bufs,
+            ext_bufs,
+        }
+    }
+
     /// The partial-sum accumulator of the current triangle.
     fn sums(&mut self) -> &mut Ledger {
         if self.lower {
@@ -314,30 +414,41 @@ impl CpuEngine<'_, '_> {
 }
 
 impl PassEngine for CpuEngine<'_, '_> {
-    fn solve_diag(&mut self, row: &RowSched) -> Vec<f64> {
+    fn solve_diag(&mut self, row: &RowSched) -> Arc<[f64]> {
         self.begin_op(row.sup, TreeRole::Diag);
         let plan = self.ctx.plan;
         let iu = row.sup as usize;
-        let (v, fl) = if self.lower {
+        let len = plan.fact.lu.sym().sup_width(iu) * self.ctx.nrhs;
+        // The result buffer was prebuilt in setup and is still uniquely
+        // owned, so the kernel writes straight into the send payload.
+        let mut out = self
+            .diag_bufs
+            .remove(&row.sup)
+            .expect("diagonal buffer prebuilt for rooted row");
+        let buf = Arc::get_mut(&mut out).expect("diagonal buffer still unique");
+        let fl = if self.lower {
             // y(I) = L(I,I)⁻¹ (b(I) − lsum(I)), Eq. (1).
             let active = plan.rhs_active(self.ctx.grid.z, iu);
-            let b_i = kernels::masked_rhs(&plan.fact, iu, self.ctx.pb, self.ctx.nrhs, active);
-            let lsum = self.state.lsum.fold(row.sup);
-            kernels::diag_solve_l(&plan.fact, iu, &b_i, lsum.as_deref(), self.ctx.nrhs)
+            let state = &mut *self.state;
+            let (b_i, fold, rhs) = state.arena.slices3(len, len, len);
+            kernels::masked_rhs_into(&plan.fact, iu, self.ctx.pb, self.ctx.nrhs, active, b_i);
+            state.lsum.fold_into(row.sup, fold);
+            kernels::diag_solve_l_into(&plan.fact, iu, b_i, Some(fold), self.ctx.nrhs, rhs, buf)
         } else {
             // x(K) = U(K,K)⁻¹ (y(K) − usum(K)), Eq. (2).
-            let y_k = self
-                .state
+            let state = &mut *self.state;
+            let (fold, rhs) = state.arena.slices2(len, len);
+            self.usum.fold_into(row.sup, fold);
+            let y_k = state
                 .y_vals
                 .get(&row.sup)
                 .expect("y(K) available at diagonal owner before U-solve");
-            let usum = self.usum.fold(row.sup);
-            kernels::diag_solve_u(&plan.fact, iu, y_k, usum.as_deref(), self.ctx.nrhs)
+            kernels::diag_solve_u_into(&plan.fact, iu, y_k, Some(fold), self.ctx.nrhs, rhs, buf)
         };
         self.ctx
             .comm
             .compute(self.ctx.flop_time(fl), Category::Flop);
-        v
+        out
     }
 
     fn store_solved(&mut self, sup: u32, v: &[f64]) {
@@ -346,70 +457,101 @@ impl PassEngine for CpuEngine<'_, '_> {
         } else {
             &mut self.state.x_vals
         };
-        vals.entry(sup).or_insert_with(|| v.to_vec());
+        // Setup pre-sized every slot this pass stores, so this is a plain
+        // copy. Re-stores (baseline re-broadcasts) write identical bits.
+        match vals.get_mut(&sup) {
+            Some(slot) => slot.copy_from_slice(v),
+            None => {
+                vals.insert(sup, v.to_vec());
+            }
+        }
     }
 
-    fn solved(&self, sup: u32) -> Vec<f64> {
-        self.state
-            .x_vals
+    fn solved(&self, sup: u32) -> Arc<[f64]> {
+        self.ext_bufs
             .get(&sup)
-            .expect("external column solved in an earlier pass")
-            .clone()
+            .cloned()
+            .expect("external column snapshot prebuilt")
     }
 
-    fn forward(&mut self, col: &ColSched, v: &[f64]) {
+    fn forward(&mut self, col: &ColSched, v: &Arc<[f64]>) {
         if col.children.is_empty() {
             return;
         }
         self.begin_op(col.sup, TreeRole::Bcast);
         let t = tag(self.epoch, self.vec_kind(), col.sup);
         for &child in &col.children {
-            self.ctx.comm.send(child as usize, t, v, Category::XyComm);
+            self.ctx
+                .comm
+                .send_shared(child as usize, t, v, Category::XyComm);
         }
     }
 
     fn send_partial(&mut self, row: &RowSched, parent: u32) {
         self.begin_op(row.sup, TreeRole::Reduce);
-        let w = self.ctx.plan.fact.lu.sym().sup_width(row.sup as usize);
-        let nrhs = self.ctx.nrhs;
         let t = tag(self.epoch, self.sum_kind(), row.sup);
-        let comm = self.ctx.comm;
-        let payload = self
-            .sums()
-            .fold(row.sup)
-            .unwrap_or_else(|| vec![0.0; w * nrhs]);
-        comm.send(parent as usize, t, &payload, Category::XyComm);
+        // Fold straight into the prebuilt payload buffer (unique until
+        // this send, which shares it with the transport by refcount).
+        let mut payload = self
+            .partial_bufs
+            .remove(&row.sup)
+            .expect("partial buffer prebuilt for non-root row");
+        {
+            let buf = Arc::get_mut(&mut payload).expect("partial buffer still unique");
+            let sums = if self.lower {
+                &self.state.lsum
+            } else {
+                &self.usum
+            };
+            sums.fold_into(row.sup, buf);
+        }
+        self.ctx
+            .comm
+            .send_shared(parent as usize, t, &payload, Category::XyComm);
     }
 
-    fn apply_column(&mut self, col: &ColSched, v: &[f64]) {
+    fn apply_column(&mut self, col: &ColSched, v: &[f64], scatter: &[u32]) {
         self.begin_op(col.sup, TreeRole::Apply);
         let plan = self.ctx.plan;
         let sym = plan.fact.lu.sym();
         let nrhs = self.ctx.nrhs;
         let lower = self.lower;
         let ju = col.sup as usize;
-        for &(i, lo, hi) in &col.blocks {
-            let wi = sym.sup_width(i as usize);
-            let acc = self.sums().accum(i, Ledger::key_local(col.sup), wi * nrhs);
+        let wcol = sym.sup_width(ju);
+        for b in &col.blocks {
+            let wb = sym.sup_width(b.sup as usize);
+            let tg = b.targets(scatter);
+            let sums = if lower {
+                &mut self.state.lsum
+            } else {
+                &mut self.usum
+            };
+            let acc = sums.accum(b.sup, Ledger::key_local(col.sup), wb * nrhs);
             let fl = if lower {
-                kernels::apply_l_block(
-                    &plan.fact,
-                    ju,
-                    i as usize,
-                    lo as usize,
-                    hi as usize,
+                let panel = &plan.fact.lu.panel(ju).l_below;
+                let r = sym.rows_below(ju).len();
+                kernels::apply_l(
+                    panel,
+                    r,
+                    b.lo as usize,
+                    b.hi as usize,
+                    tg,
                     v,
+                    wcol,
                     acc,
+                    wb,
                     nrhs,
                 )
             } else {
-                kernels::apply_u_block(
-                    &plan.fact,
-                    i as usize,
-                    ju,
-                    lo as usize,
-                    hi as usize,
+                let panel = &plan.fact.lu.panel(b.sup as usize).u_right;
+                kernels::apply_u(
+                    panel,
+                    wb,
+                    b.lo as usize,
+                    b.hi as usize,
+                    tg,
                     v,
+                    wcol,
                     acc,
                     nrhs,
                 )
@@ -456,7 +598,7 @@ impl PassEngine for CpuEngine<'_, '_> {
             vector,
             sup,
             src: msg.src as u32,
-            payload: msg.payload.to_vec(),
+            payload: msg.payload,
         }
     }
 

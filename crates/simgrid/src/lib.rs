@@ -52,7 +52,9 @@ struct Msg {
     src: u32,
     tag: u64,
     arrival: f64,
-    payload: Box<[f64]>,
+    /// Shared payload: enqueuing a send is a refcount bump on the sender's
+    /// buffer, not a copy (see [`Comm::send_shared`]).
+    payload: Arc<[f64]>,
     /// Cluster-unique id; a duplicate copy shares its original's id.
     seq: u64,
     /// Injected duplicate copy.
@@ -69,8 +71,9 @@ pub struct RecvMsg {
     pub tag: u64,
     /// Virtual arrival time at the receiver.
     pub arrival: f64,
-    /// Message data.
-    pub payload: Box<[f64]>,
+    /// Message data — a borrowed view of the sender's shared buffer; clone
+    /// the `Arc` (not the floats) to retain it.
+    pub payload: Arc<[f64]>,
     /// Cluster-unique message id (pairs the receive with its send in
     /// traces; a duplicate delivery carries its original's id).
     pub seq: u64,
@@ -311,7 +314,17 @@ impl Comm {
 
     /// Send `payload` to communicator rank `dst` with the default p2p cost
     /// model. The sender pays the software overhead on its own clock.
+    ///
+    /// The slice is copied once into a shared buffer at this API boundary;
+    /// hot paths that already own an `Arc<[f64]>` use [`Comm::send_shared`]
+    /// to skip even that copy.
     pub fn send(&self, dst: usize, tag: u64, payload: &[f64], cat: Category) {
+        self.send_shared(dst, tag, &Arc::from(payload), cat)
+    }
+
+    /// Zero-copy send: enqueue a refcount bump of `payload`. Timing, fault
+    /// injection, and statistics are identical to [`Comm::send`].
+    pub fn send_shared(&self, dst: usize, tag: u64, payload: &Arc<[f64]>, cat: Category) {
         let bytes = 8 * payload.len() + 64;
         let (overhead, wire) =
             self.shared
@@ -356,8 +369,34 @@ impl Comm {
         payload: &[f64],
         cat: Category,
     ) {
+        self.send_timed_shared(depart, wire, dst, tag, &Arc::from(payload), cat)
+    }
+
+    /// Zero-copy form of [`Comm::send_timed`].
+    pub fn send_timed_shared(
+        &self,
+        depart: f64,
+        wire: f64,
+        dst: usize,
+        tag: u64,
+        payload: &Arc<[f64]>,
+        cat: Category,
+    ) {
         let bytes = 8 * payload.len() + 64;
         let _ = self.send_raw(depart, wire, dst, tag, payload, cat, bytes, false);
+    }
+
+    /// Pre-create the FIFO bookkeeping for sends to `dst` on this
+    /// communicator, so the first steady-state send to that destination
+    /// does not allocate a map node. Solvers call this while compiling
+    /// their per-pass state.
+    pub fn warm_route(&self, dst: usize) {
+        let dst_world = self.members[dst];
+        self.ctx
+            .fifo
+            .borrow_mut()
+            .entry((self.id, dst_world))
+            .or_insert(f64::NEG_INFINITY);
     }
 
     /// Inject a message, applying the fault plan. Returns the sequence id,
@@ -369,7 +408,7 @@ impl Comm {
         mut wire: f64,
         dst: usize,
         tag: u64,
-        payload: &[f64],
+        payload: &Arc<[f64]>,
         cat: Category,
         bytes: usize,
         fifo: bool,
@@ -426,7 +465,7 @@ impl Comm {
             src: self.my_idx as u32,
             tag,
             arrival,
-            payload: payload.into(),
+            payload: Arc::clone(payload),
             seq,
             dup: false,
             jittered: marks.jitter_delayed,
@@ -447,7 +486,10 @@ impl Comm {
                 src: self.my_idx as u32,
                 tag,
                 arrival: arrival + 1e-12 + extra,
-                payload: payload.into(),
+                // The one remaining payload copy in the transport: a
+                // duplicate models an independent second copy on the wire,
+                // so it must not share the original's buffer.
+                payload: Arc::from(&payload[..]),
                 seq,
                 dup: true,
                 jittered: marks.jitter_delayed,
@@ -516,7 +558,7 @@ impl Comm {
     /// already in the *next* phase stays queued instead of being consumed
     /// by the current phase's any-source loop.
     pub fn recv_tag_masked(&self, mask: u64, value: u64, cat: Category) -> RecvMsg {
-        let msg = self.recv_raw_matching(|_, t| t & mask == value);
+        let msg = self.recv_raw_matching(|_, t| t & mask == value, false);
         self.charge_recv(&msg, cat);
         msg
     }
@@ -524,18 +566,26 @@ impl Comm {
     /// Like [`Comm::recv_tag_masked`] but without touching the clock or
     /// statistics (GPU path: arrival times drive the executor instead).
     pub fn recv_raw_tag_masked(&self, mask: u64, value: u64) -> RecvMsg {
-        self.recv_raw_matching(|_, t| t & mask == value)
+        self.recv_raw_matching(|_, t| t & mask == value, false)
     }
 
     /// Blocking receive that does not touch the clock or the statistics.
     /// The GPU path uses this and performs its own time accounting.
     pub fn recv_raw(&self, src: Option<usize>, tag: Option<u64>) -> RecvMsg {
-        self.recv_raw_matching(|s, t| {
-            src.is_none_or(|want| s == want) && tag.is_none_or(|want| t == want)
-        })
+        // A fully specified (src, tag) receive has exactly one logical
+        // message that can satisfy it: sends are FIFO per destination, so
+        // any later match from the same source arrives strictly later, and
+        // no other source can match. The settle window exists only to make
+        // the *choice among* concurrent candidates stable, so an exact
+        // receive can commit the first match immediately.
+        let exact = src.is_some() && tag.is_some();
+        self.recv_raw_matching(
+            |s, t| src.is_none_or(|want| s == want) && tag.is_none_or(|want| t == want),
+            exact,
+        )
     }
 
-    fn recv_raw_matching(&self, matches: impl Fn(usize, u64) -> bool) -> RecvMsg {
+    fn recv_raw_matching(&self, matches: impl Fn(usize, u64) -> bool, exact: bool) -> RecvMsg {
         let mb = &self.shared.mailboxes[self.ctx.world_rank];
         let mut q = mb.queue.lock();
         let started = self
@@ -548,8 +598,11 @@ impl Comm {
         // notifier yet earlier on the virtual clock. One bounded settle
         // wait before committing the first candidate lets such in-flight
         // sends land, making the choice (and with it clocks, traces, and
-        // the critical path) stable against OS scheduling.
-        let mut settle = true;
+        // the critical path) stable against OS scheduling. Exact (src, tag)
+        // receives skip it: their match is unique (see [`Comm::recv_raw`]),
+        // so there is no choice to stabilize — short-circuiting avoids a
+        // 100 µs real-time stall per receive on src/tag-addressed paths.
+        let mut settle = !exact;
         loop {
             let policy = if self.ctx.fault_rng.get() == 0 {
                 Reorder::EarliestArrival
@@ -597,6 +650,7 @@ impl Comm {
             if let Some(idx) = pick {
                 if settle {
                     settle = false;
+                    self.ctx.metrics.borrow_mut().inc("recv.settle_waits", 1);
                     mb.cv.wait_for(&mut q, Duration::from_micros(100));
                     continue; // re-evaluate over the settled queue
                 }
@@ -894,7 +948,10 @@ where
     let shared = Arc::new(ClusterShared {
         mailboxes: (0..nranks)
             .map(|_| Mailbox {
-                queue: Mutex::new(Vec::new()),
+                // Pre-sized so steady-state enqueues don't reallocate the
+                // queue (a realloc inside `push` would be a heap allocation
+                // at an OS-scheduling-dependent moment).
+                queue: Mutex::new(Vec::with_capacity(1024)),
                 cv: Condvar::new(),
             })
             .collect(),
@@ -931,6 +988,17 @@ where
                         metrics: RefCell::new(crate::metrics::Metrics::new()),
                         sent_seq: Cell::new(0),
                     });
+                    {
+                        // Pre-create the standard per-message series so the
+                        // steady-state send/recv paths never insert a map
+                        // node (BTreeMap insertion allocates).
+                        let mut m = ctx.metrics.borrow_mut();
+                        m.touch_counter("msgs.sent");
+                        m.touch_counter("msgs.received");
+                        m.touch_counter("recv.settle_waits");
+                        m.touch_histogram("msgs.bytes", crate::metrics::BYTE_BUCKETS);
+                        m.touch_histogram("recv.wait_seconds", crate::metrics::WAIT_BUCKETS);
+                    }
                     let world = Comm {
                         shared,
                         ctx: Rc::clone(&ctx),
@@ -1334,6 +1402,34 @@ mod tests {
             });
             assert_eq!(rep.results[0], 6.0, "reorder {reorder:?} lost a message");
         }
+    }
+
+    /// Exact (src, tag) receives commit their unique match immediately;
+    /// only any-source receives pay the settle window. Counted via the
+    /// `recv.settle_waits` metric so the assertion is deterministic (no
+    /// wall-clock timing).
+    #[test]
+    fn exact_receives_skip_the_settle_window() {
+        let rep = run(3, toy_model(), &ClusterOptions::default(), |c| {
+            match c.rank() {
+                1 => c.send(0, 5, &[1.0], Category::XyComm),
+                2 => c.send(0, 6, &[2.0], Category::XyComm),
+                0 => {
+                    // Let both messages land first.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    let m = c.recv(Some(1), Some(5), Category::XyComm);
+                    assert_eq!(m.payload[0], 1.0);
+                    let m = c.recv(None, Some(6), Category::XyComm);
+                    assert_eq!(m.payload[0], 2.0);
+                }
+                _ => unreachable!(),
+            }
+        });
+        assert_eq!(
+            rep.metrics.counter("recv.settle_waits"),
+            1,
+            "only the any-source receive settles"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | `msgs.jitter_delayed`      | counter   | arrivals pushed back by injected jitter   |
 //! | `msgs.bytes`               | histogram | wire bytes per message                    |
 //! | `recv.wait_seconds`        | histogram | receiver blocked time per receive         |
+//! | `recv.settle_waits`        | counter   | any-source settle windows actually taken  |
 //! | `pass.spans`               | counter   | interpreter steps executed by 2D passes   |
 //! | `pass.fmod_stalls`         | counter   | partial sums that left a row still waiting|
 
@@ -124,6 +125,22 @@ impl Metrics {
             *c += by;
         } else {
             self.counters.insert(name.to_string(), by);
+        }
+    }
+
+    /// Pre-create counter `name` at zero. Hot paths call this during setup
+    /// so their steady-state `inc` calls always hit the `get_mut` fast path
+    /// and never allocate a map node.
+    pub fn touch_counter(&mut self, name: &str) {
+        self.inc(name, 0);
+    }
+
+    /// Pre-create histogram `name` with `bounds`, for the same reason as
+    /// [`Metrics::touch_counter`].
+    pub fn touch_histogram(&mut self, name: &str, bounds: &[f64]) {
+        if !self.histograms.contains_key(name) {
+            self.histograms
+                .insert(name.to_string(), Histogram::new(bounds));
         }
     }
 

@@ -10,6 +10,9 @@ cargo build --release --workspace
 echo "== cargo test --workspace =="
 cargo test -q --workspace
 
+echo "== cargo bench --no-run =="
+cargo bench --no-run --workspace
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 

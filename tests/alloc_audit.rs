@@ -1,0 +1,126 @@
+//! Steady-state allocation audit.
+//!
+//! The solve hot paths are bracketed by [`sptrsv::audit::pass_scope`]
+//! regions (the pass-interpreter loop and the single-GPU column sweeps).
+//! A counting global allocator reports every heap allocation made by a
+//! thread while inside such a region; after one warm-up solve — which is
+//! allowed to grow arenas, ledger slots, and interpreter scratch — a
+//! second solve of the same system must perform **zero** heap allocations
+//! inside the audited regions, for all four solver variants.
+//!
+//! This is the enforcement teeth behind the zero-copy/arena design: any
+//! regression that sneaks a `Vec` or `HashMap` insert back into the
+//! steady-state loop fails here with a count, not a silent slowdown.
+
+use lufactor::factorize;
+use ordering::SymbolicOptions;
+use simgrid::MachineModel;
+use sparse::gen;
+use sptrsv::{Algorithm, Arch, Solver3d, SolverConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counting hook allocates nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        sptrsv::audit::on_alloc();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        sptrsv::audit::on_alloc();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        sptrsv::audit::on_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn audited_allocs_on_second_solve(
+    name: &str,
+    algorithm: Algorithm,
+    arch: Arch,
+    px: usize,
+    py: usize,
+    pz: usize,
+) -> u64 {
+    let a = gen::poisson2d_9pt(12, 12);
+    let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+    let nrhs = 2;
+    let b = gen::standard_rhs(a.nrows(), nrhs);
+    let machine = match arch {
+        Arch::Cpu => MachineModel::cori_haswell(),
+        Arch::Gpu => MachineModel::perlmutter_gpu(),
+    };
+    let cfg = SolverConfig {
+        px,
+        py,
+        pz,
+        nrhs,
+        algorithm,
+        arch,
+        machine,
+        chaos_seed: 0,
+        fault: Default::default(),
+    };
+    let solver = Solver3d::new(Arc::clone(&f), cfg);
+    let want = f.solve(&b, nrhs);
+
+    // Warm-up: arenas size themselves, ledgers build their slot maps,
+    // interpreter scratch grows to the high-water mark.
+    let warm = solver.solve(&b, nrhs);
+    assert!(
+        sparse::max_abs_diff(&warm.x, &want) < 1e-11,
+        "{name}: warm-up solve wrong"
+    );
+    let _warmup = sptrsv::audit::take_scoped_allocs();
+
+    // Steady state: same plan, same schedule, reused state.
+    let out = solver.solve(&b, nrhs);
+    assert!(
+        sparse::max_abs_diff(&out.x, &want) < 1e-11,
+        "{name}: steady-state solve wrong"
+    );
+    sptrsv::audit::take_scoped_allocs()
+}
+
+/// One sequential test: the audit counter is process-global, so the four
+/// variants must not run concurrently with each other.
+#[test]
+fn steady_state_solves_never_allocate_in_audited_regions() {
+    // Liveness check first: the hook must actually count an in-scope
+    // allocation, or the zero assertions below would pass vacuously.
+    {
+        let _ = sptrsv::audit::take_scoped_allocs();
+        let scope = sptrsv::audit::pass_scope();
+        let v: Vec<u64> = Vec::with_capacity(64);
+        std::hint::black_box(&v);
+        drop(v);
+        drop(scope);
+        assert!(
+            sptrsv::audit::take_scoped_allocs() >= 1,
+            "counting allocator hook is not live"
+        );
+    }
+    for (name, algorithm, arch, px, py, pz) in [
+        ("new3d/cpu", Algorithm::New3d, Arch::Cpu, 2, 2, 2),
+        ("baseline3d/cpu", Algorithm::Baseline3d, Arch::Cpu, 2, 2, 2),
+        ("new3d/gpu-multi", Algorithm::New3d, Arch::Gpu, 2, 2, 2),
+        ("new3d/gpu-single", Algorithm::New3d, Arch::Gpu, 1, 1, 2),
+    ] {
+        let n = audited_allocs_on_second_solve(name, algorithm, arch, px, py, pz);
+        assert_eq!(
+            n, 0,
+            "{name}: {n} heap allocations inside audited steady-state regions \
+             on the second solve (expected none)"
+        );
+    }
+}

@@ -329,6 +329,7 @@ proptest! {
                 sup: i * 3,
                 fmod0: srcs_per_row,
                 parent: if i % 2 == 0 { None } else { Some(0) },
+                children: vec![],
             })
             .collect();
         // One logical partial per (row, src), plus adversarial duplicates,
@@ -341,7 +342,7 @@ proptest! {
                     vector: false,
                     sup: r.sup,
                     src: 10 + s,
-                    payload: vec![r.sup as f64],
+                    payload: vec![r.sup as f64].into(),
                 };
                 expected += 1;
                 for _ in 0..=extra_copies {
@@ -357,6 +358,7 @@ proptest! {
             cols: vec![],
             rows: rows.clone(),
             ext_roots: vec![],
+            scatter: vec![],
         };
 
         #[derive(Default)]
@@ -368,19 +370,25 @@ proptest! {
             partials_sent: Vec<u32>,
         }
         impl PassEngine for CountingEngine {
-            fn solve_diag(&mut self, row: &RowSched) -> Vec<f64> {
+            fn solve_diag(&mut self, row: &RowSched) -> Arc<[f64]> {
                 self.diag_solved.push(row.sup);
-                vec![0.0]
+                vec![0.0].into()
             }
             fn store_solved(&mut self, _sup: u32, _v: &[f64]) {}
-            fn solved(&self, _sup: u32) -> Vec<f64> {
-                vec![]
+            fn solved(&self, _sup: u32) -> Arc<[f64]> {
+                vec![].into()
             }
-            fn forward(&mut self, _col: &sptrsv::schedule::ColSched, _v: &[f64]) {}
+            fn forward(&mut self, _col: &sptrsv::schedule::ColSched, _v: &Arc<[f64]>) {}
             fn send_partial(&mut self, row: &RowSched, _parent: u32) {
                 self.partials_sent.push(row.sup);
             }
-            fn apply_column(&mut self, _col: &sptrsv::schedule::ColSched, _v: &[f64]) {}
+            fn apply_column(
+                &mut self,
+                _col: &sptrsv::schedule::ColSched,
+                _v: &[f64],
+                _scatter: &[u32],
+            ) {
+            }
             fn add_partial(&mut self, row: &RowSched, src: u32, _payload: &[f64]) {
                 *self.partial_adds.entry((row.sup, src)).or_insert(0) += 1;
             }
@@ -427,6 +435,161 @@ proptest! {
             for r in &rep.results {
                 prop_assert_eq!(r[k], want);
             }
+        }
+    }
+}
+
+/// Shared random-block generator for the kernel bit-identity properties:
+/// one off-diagonal block shape (panel dims, row-offset list, zero masks)
+/// drawn from a seeded RNG so failures replay exactly.
+struct KernelCase {
+    /// Row offsets of the block's rows within the target supernode
+    /// (sorted, unique, in `0..wi`).
+    offsets: Vec<usize>,
+    /// Global row ids as the symbolic structure stores them.
+    rows: Vec<u32>,
+    istart: usize,
+    lo: usize,
+    hi: usize,
+    r: usize,
+    panel_l: Vec<f64>,
+    panel_u: Vec<f64>,
+    y: Vec<f64>,
+    x: Vec<f64>,
+    acc_l: Vec<f64>,
+    acc_u: Vec<f64>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn random_kernel_case(
+    w: usize,
+    wi: usize,
+    lo: usize,
+    tail: usize,
+    nrhs: usize,
+    contiguous: bool,
+    rng: &mut ChaCha8Rng,
+) -> KernelCase {
+    let len = rng.gen_range(1..=wi);
+    let offsets: Vec<usize> = if contiguous {
+        let start = rng.gen_range(0..=wi - len);
+        (start..start + len).collect()
+    } else {
+        let mut all: Vec<usize> = (0..wi).collect();
+        all.shuffle(rng);
+        let mut picked = all[..len].to_vec();
+        picked.sort_unstable();
+        picked
+    };
+    let istart = 100;
+    let r = lo + len + tail;
+    let mut rows = vec![0u32; r];
+    for (q, &off) in offsets.iter().enumerate() {
+        rows[lo + q] = (istart + off) as u32;
+    }
+    // Sprinkle exact zeros to exercise the skip-on-zero fallback paths.
+    let masked = |rng: &mut ChaCha8Rng, n: usize, p: f64| -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                if rng.gen::<f64>() < p {
+                    0.0
+                } else {
+                    rng.gen::<f64>() * 4.0 - 2.0
+                }
+            })
+            .collect()
+    };
+    KernelCase {
+        istart,
+        lo,
+        hi: lo + len,
+        r,
+        panel_l: masked(rng, r * w, 0.25),
+        panel_u: masked(rng, r * w, 0.25),
+        y: masked(rng, w * nrhs, 0.35),
+        x: masked(rng, wi * nrhs, 0.35),
+        acc_l: masked(rng, wi * nrhs, 0.0),
+        acc_u: masked(rng, w * nrhs, 0.0),
+        offsets,
+        rows,
+    }
+}
+
+/// Mirror of the schedule compiler's dense-run detection: a block whose
+/// offsets are one contiguous run gets the `Dense` fast path, anything
+/// else gets the precompiled scatter list.
+fn targets_of<'a>(offsets: &[usize], scatter: &'a mut Vec<u32>) -> sptrsv::kernels::Targets<'a> {
+    let dense = offsets.windows(2).all(|p| p[1] == p[0] + 1);
+    if dense {
+        sptrsv::kernels::Targets::Dense(offsets[0])
+    } else {
+        scatter.clear();
+        scatter.extend(offsets.iter().map(|&o| o as u32));
+        sptrsv::kernels::Targets::Scatter(&scatter[..])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        .. ProptestConfig::default()
+    })]
+
+    /// The register-blocked scatter kernels must be **bit-identical** to
+    /// the scalar reference loops for every supernode shape, every nrhs
+    /// remainder class, both Dense and Scatter addressing, and in the
+    /// presence of exact-zero values (the skip-on-zero fast path). The
+    /// chaos-conformance suite relies on this equivalence being exact,
+    /// not merely within rounding.
+    #[test]
+    fn blocked_apply_kernels_bit_identical_to_reference(
+        w in 1usize..9,
+        wi in 1usize..9,
+        lo in 0usize..4,
+        tail in 0usize..3,
+        nrhs_i in 0usize..6,
+        seed in 0u64..1_000_000,
+        contiguous in proptest::bool::ANY,
+    ) {
+        let nrhs = [1usize, 2, 3, 4, 7, 8][nrhs_i];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let c = random_kernel_case(w, wi, lo, tail, nrhs, contiguous, &mut rng);
+        let mut scatter = Vec::new();
+
+        // L: lsum(I) += L(I,K) · y(K), scatter into the target rows.
+        let mut got = c.acc_l.clone();
+        let mut want = c.acc_l.clone();
+        let tg = targets_of(&c.offsets, &mut scatter);
+        let fb = sptrsv::kernels::apply_l(
+            &c.panel_l, c.r, c.lo, c.hi, tg, &c.y, w, &mut got, wi, nrhs,
+        );
+        let fr = sptrsv::kernels::reference::apply_l(
+            &c.panel_l, c.r, &c.rows, c.istart, c.lo, c.hi, &c.y, w, &mut want, wi, nrhs,
+        );
+        prop_assert!(fb == fr, "apply_l flop counts differ: {} vs {}", fb, fr);
+        for (i, (g, e)) in got.iter().zip(&want).enumerate() {
+            prop_assert!(
+                g.to_bits() == e.to_bits(),
+                "apply_l drifts at {} (blocked {} vs reference {})", i, g, e,
+            );
+        }
+
+        // U: usum(K) += U(K,J) · x(J), gather from the source rows.
+        let mut got = c.acc_u.clone();
+        let mut want = c.acc_u.clone();
+        let tg = targets_of(&c.offsets, &mut scatter);
+        let fb = sptrsv::kernels::apply_u(
+            &c.panel_u, w, c.lo, c.hi, tg, &c.x, wi, &mut got, nrhs,
+        );
+        let fr = sptrsv::kernels::reference::apply_u(
+            &c.panel_u, w, &c.rows, c.istart, c.lo, c.hi, &c.x, wi, &mut want, nrhs,
+        );
+        prop_assert!(fb == fr, "apply_u flop counts differ: {} vs {}", fb, fr);
+        for (i, (g, e)) in got.iter().zip(&want).enumerate() {
+            prop_assert!(
+                g.to_bits() == e.to_bits(),
+                "apply_u drifts at {} (blocked {} vs reference {})", i, g, e,
+            );
         }
     }
 }
