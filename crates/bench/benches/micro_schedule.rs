@@ -31,6 +31,7 @@ fn fixture() -> (Arc<lufactor::Factorized>, Vec<f64>, SolverConfig) {
         machine: simgrid::MachineModel::cori_haswell(),
         chaos_seed: 0,
         fault: Default::default(),
+        backend: Default::default(),
     };
     (f, b, cfg)
 }

@@ -170,6 +170,7 @@ fn bench_hot_solve() -> f64 {
         machine: simgrid::MachineModel::cori_haswell(),
         chaos_seed: 0,
         fault: Default::default(),
+        backend: Default::default(),
     };
     let solver = Solver3d::new(Arc::clone(&f), cfg);
     // Warm up: plan + schedule compile + arena/ledger sizing.

@@ -1,0 +1,130 @@
+//! PR 5 acceptance report: native wall-clock next to sim-predicted
+//! makespan, with cross-backend conformance.
+//!
+//! Plain (non-criterion) harness that writes `BENCH_pr5.json` at the
+//! workspace root. For each algorithm variant on the solve-many fixture
+//! (1024-dof 9-point Poisson, 2x2x4 grid) it records:
+//!
+//! * the simulator's predicted makespan (virtual seconds under the
+//!   cori-haswell model),
+//! * the measured wall-clock makespan of the same solve on the real
+//!   shared-memory threaded backend (min over reps: every source of
+//!   interference only ever adds time), and
+//! * whether the two backends produced a **bit-identical** solution —
+//!   the report fails if any variant does not conform.
+//!
+//! Run with `cargo bench -p sptrsv-bench --bench pr5_report`.
+
+use ordering::SymbolicOptions;
+use sptrsv::{Algorithm, Arch, Backend, SolverConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NRHS: usize = 1;
+const REPS: usize = 5;
+
+struct Row {
+    algorithm: &'static str,
+    sim_makespan_us: f64,
+    native_wall_us_min: f64,
+    native_wall_us_mean: f64,
+    conformant: bool,
+}
+
+fn main() {
+    let a = sparse::gen::poisson2d_9pt(32, 32);
+    let f = Arc::new(lufactor::factorize(&a, 4, &SymbolicOptions::default()).unwrap());
+    let b = sparse::gen::standard_rhs(a.nrows(), NRHS);
+
+    let variants: [(&str, Algorithm); 4] = [
+        ("new3d", Algorithm::New3d),
+        ("new3d-flat", Algorithm::New3dFlat),
+        ("new3d-naive-allreduce", Algorithm::New3dNaiveAllreduce),
+        ("baseline3d", Algorithm::Baseline3d),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, alg) in variants {
+        let cfg = |backend| SolverConfig {
+            px: 2,
+            py: 2,
+            pz: 4,
+            nrhs: NRHS,
+            algorithm: alg,
+            arch: Arch::Cpu,
+            machine: simgrid::MachineModel::cori_haswell(),
+            chaos_seed: 0,
+            fault: Default::default(),
+            backend,
+        };
+        let sim = sptrsv::solve_distributed(&f, &b, &cfg(Backend::Sim));
+
+        let solver = sptrsv::Solver3d::new(Arc::clone(&f), cfg(Backend::Native));
+        // Warm up: plan + schedule compile + thread-pool cold start.
+        let first = solver.solve(&b, NRHS);
+        let conformant = sim
+            .x
+            .iter()
+            .zip(&first.x)
+            .all(|(s, n)| s.to_bits() == n.to_bits());
+
+        // The native makespan is itself the measurement (max rank
+        // wall-clock inside the solve), so aggregate makespans rather
+        // than timing the harness loop.
+        let mut wall = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let t = Instant::now();
+            let out = black_box(solver.solve(&b, NRHS));
+            black_box(t.elapsed());
+            wall.push(out.makespan);
+        }
+        let min = wall.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = wall.iter().sum::<f64>() / wall.len() as f64;
+
+        eprintln!(
+            "{name:22} sim {:9.1} us   native wall min {:9.1} us  mean {:9.1} us   conformant: {conformant}",
+            sim.makespan * 1e6,
+            min * 1e6,
+            mean * 1e6
+        );
+        rows.push(Row {
+            algorithm: name,
+            sim_makespan_us: sim.makespan * 1e6,
+            native_wall_us_min: min * 1e6,
+            native_wall_us_mean: mean * 1e6,
+            conformant,
+        });
+    }
+
+    let all_conformant = rows.iter().all(|r| r.conformant);
+    let mut rows_json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            rows_json.push(',');
+        }
+        rows_json.push_str(&format!(
+            "\n    {{\"algorithm\": \"{}\", \"sim_makespan_us\": {:.2}, \
+             \"native_wall_us_min\": {:.2}, \"native_wall_us_mean\": {:.2}, \
+             \"conformant\": {}}}",
+            r.algorithm,
+            r.sim_makespan_us,
+            r.native_wall_us_min,
+            r.native_wall_us_mean,
+            r.conformant
+        ));
+    }
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"fixture\": \"poisson2d_9pt 32x32, 2x2x4 ranks, nrhs {NRHS}\",\n  \
+         \"backends\": [{rows_json}\n  ],\n  \"all_conformant\": {all_conformant}\n}}\n"
+    );
+    // Workspace root (bench runs with the package as cwd).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+    std::fs::write(path, &json).expect("write BENCH_pr5.json");
+    eprintln!("wrote {path}");
+
+    assert!(
+        all_conformant,
+        "cross-backend conformance failed: sim and native x differ in bits"
+    );
+}

@@ -120,6 +120,7 @@ pub fn run_once(
         machine,
         chaos_seed: 0,
         fault: Default::default(),
+        backend: Default::default(),
     };
     let out = solve_distributed(fact, &b, &cfg);
     assert!(

@@ -21,7 +21,7 @@
 
 use crate::plan::Plan;
 use crate::schedule::{NaiveNode, ZStep};
-use simgrid::{Category, Comm, SpanDetail, TreeRole};
+use simgrid::{Category, SpanDetail, Transport, TreeRole};
 use std::collections::HashMap;
 
 const TAG_R: u64 = 7 << 40;
@@ -116,9 +116,9 @@ fn unpack_set(
 /// is the communicator over the `Pz` grids at fixed `(x, y)`, ranked by
 /// `z`. On return, every diagonal owner holds the fully reduced `y(K)`
 /// for all its (replicated) supernodes.
-pub fn sparse_allreduce(
+pub fn sparse_allreduce<T: Transport>(
     plan: &Plan,
-    zcomm: &Comm,
+    zcomm: &T,
     zsteps: &[Option<ZStep>],
     nrhs: usize,
     y_vals: &mut HashMap<u32, Vec<f64>>,
@@ -171,9 +171,9 @@ pub fn sparse_allreduce(
 /// over the replicating grids for every ancestor layout node (pack lists
 /// precompiled root-first in `naive`). Used by the ablation bench to show
 /// why the sparse scheme wins.
-pub fn naive_allreduce(
+pub fn naive_allreduce<T: Transport>(
     plan: &Plan,
-    zcomm: &Comm,
+    zcomm: &T,
     naive: &[NaiveNode],
     z: usize,
     nrhs: usize,

@@ -431,6 +431,7 @@ mod tests {
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let xy_msgs: u64 = out
@@ -484,6 +485,7 @@ mod tests {
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let t = solve_distributed(&f, &b, &mk(Algorithm::New3d));
         let fl = solve_distributed(&f, &b, &mk(Algorithm::New3dFlat));
@@ -536,6 +538,7 @@ mod tests {
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         assert!(

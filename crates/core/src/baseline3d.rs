@@ -20,7 +20,7 @@ use crate::new3d::RankOutput;
 use crate::plan::Plan;
 use crate::schedule::{ScheduleKey, ZExchange};
 use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, Ledger, SolveState};
-use simgrid::{Category, Comm, SpanDetail};
+use simgrid::{Category, SpanDetail, Transport};
 
 /// Pack per-rank partial `lsum` rows `I` (ancestor supernodes with
 /// `I mod Px == x`) into `buf` (cleared first). Zeros for rows this rank
@@ -75,9 +75,9 @@ fn unpack_add_lsums(
 
 /// Pairwise reduce of the ancestor partial sums toward the smaller grid
 /// of each pair (precompiled direction and pack list).
-fn exchange_lsums(
+fn exchange_lsums<T: Transport>(
     plan: &Plan,
-    zcomm: &Comm,
+    zcomm: &T,
     xch: &ZExchange,
     nrhs: usize,
     state: &mut SolveState,
@@ -105,9 +105,9 @@ fn exchange_lsums(
 }
 
 /// Pairwise broadcast of all solved pieces to the newly activated grids.
-fn exchange_solved(
+fn exchange_solved<T: Transport>(
     plan: &Plan,
-    zcomm: &Comm,
+    zcomm: &T,
     xch: &ZExchange,
     nrhs: usize,
     state: &mut SolveState,
@@ -149,10 +149,10 @@ fn exchange_solved(
 
 /// Run the baseline 3D SpTRSV as the rank program of `(x, y, z)`.
 #[allow(clippy::too_many_arguments)]
-pub fn run_rank(
+pub fn run_rank<T: Transport>(
     plan: &Plan,
-    grid_comm: &Comm,
-    zcomm: &Comm,
+    grid_comm: &T,
+    zcomm: &T,
     x: usize,
     y: usize,
     z: usize,
@@ -178,7 +178,7 @@ pub fn run_rank(
     // One hoisted pack buffer for every inter-grid exchange of this solve.
     let mut zbuf: Vec<f64> = Vec::new();
 
-    let snapshot = |c: &Comm| {
+    let snapshot = |c: &T| {
         let t = c.time_snapshot();
         (
             c.now(),
@@ -254,6 +254,7 @@ mod tests {
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let diff = sparse::max_abs_diff(&out.x, &want);

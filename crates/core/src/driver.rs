@@ -1,11 +1,16 @@
-//! Top-level driver: run a distributed SpTRSV on the simulated cluster and
+//! Top-level driver: run a distributed SpTRSV on a cluster backend and
 //! gather the solution plus the paper's timing breakdown.
+//!
+//! The rank program is generic over the [`Transport`]; the driver picks
+//! the backend: the virtual-time simulator (timing predictions, fault
+//! injection, tracing) or the real shared-memory transport (actual
+//! threads, wall-clock timing).
 
 use crate::new3d::RankOutput;
 use crate::plan::Plan;
 use crate::schedule::ScheduleKey;
 use lufactor::Factorized;
-use simgrid::{ClusterOptions, MachineModel, RankStats};
+use simgrid::{ClusterOptions, MachineModel, RankStats, Transport};
 use std::sync::Arc;
 
 /// Which 3D SpTRSV algorithm to run.
@@ -23,6 +28,31 @@ pub enum Algorithm {
     /// The ICS'19 baseline: level-by-level with `O(log Pz)` inter-grid
     /// synchronizations and flat intra-grid communication.
     Baseline3d,
+}
+
+/// Communication backend carrying the solve's messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The virtual-time simulator (`simgrid`): predicted makespans under
+    /// an α–β machine model, with fault injection and span tracing.
+    #[default]
+    Sim,
+    /// The real shared-memory transport (`comm_native`): one OS thread
+    /// per rank, real messages, wall-clock timing. No machine model is
+    /// applied; fault injection and tracing are unavailable (sim-private).
+    Native,
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sim" => Ok(Backend::Sim),
+            "native" => Ok(Backend::Native),
+            other => Err(format!("unknown backend '{other}' (expected sim|native)")),
+        }
+    }
 }
 
 /// Execution architecture for the intra-grid solves.
@@ -53,12 +83,18 @@ pub struct SolverConfig {
     /// Machine cost model.
     pub machine: MachineModel,
     /// Nonzero: chaotic any-source message selection (failure injection).
+    /// Sim backend only.
     pub chaos_seed: u64,
     /// Fault-injection plan for the simulated network (inert by default).
+    /// Sim backend only.
     pub fault: simgrid::FaultPlan,
+    /// Communication backend (simulator by default).
+    pub backend: Backend,
 }
 
-/// Per-rank phase timing, in simulated seconds.
+/// Per-rank phase timing, in seconds of the backend's clock: simulated
+/// seconds under [`Backend::Sim`], measured wall-clock seconds under
+/// [`Backend::Native`].
 #[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct PhaseTimes {
     /// Wall time of the L-solve phase.
@@ -87,7 +123,8 @@ pub struct SolveOutcome {
     pub phases: Vec<PhaseTimes>,
     /// Per-rank simulator statistics (category times, bytes, messages).
     pub stats: Vec<RankStats>,
-    /// Simulated wall time of the whole solve (max rank clock).
+    /// Wall time of the whole solve (max rank clock): simulated seconds
+    /// under [`Backend::Sim`], real seconds under [`Backend::Native`].
     pub makespan: f64,
     /// Maximum discrepancy between replicated ancestor solutions computed
     /// by different grids (a correctness telltale; ~1e-12 expected).
@@ -173,8 +210,56 @@ fn schedule_key(cfg: &SolverConfig) -> ScheduleKey {
     }
 }
 
+/// One rank of the distributed solve, on any [`Transport`] backend:
+/// build the grid and z subcommunicators, then dispatch to the algorithm
+/// variant's executor.
+fn rank_program<T: Transport>(
+    plan: &Plan,
+    algorithm: Algorithm,
+    arch: Arch,
+    pb: &[f64],
+    nrhs: usize,
+    world: T,
+) -> RankOutput {
+    let (x, y, z) = plan.coords(world.rank());
+    let grid_comm = world.split(z, x + plan.px * y);
+    let zcomm = world.split(x + plan.px * y, z);
+    match (algorithm, arch) {
+        (Algorithm::Baseline3d, Arch::Cpu) => {
+            crate::baseline3d::run_rank(plan, &grid_comm, &zcomm, x, y, z, pb, nrhs)
+        }
+        (Algorithm::Baseline3d, Arch::Gpu) => {
+            panic!("the baseline 3D algorithm has no GPU implementation (paper §3.4)")
+        }
+        (alg, Arch::Cpu) => crate::new3d::run_rank(
+            plan,
+            &grid_comm,
+            &zcomm,
+            x,
+            y,
+            z,
+            pb,
+            nrhs,
+            alg != Algorithm::New3dFlat,
+            alg == Algorithm::New3dNaiveAllreduce,
+        ),
+        (alg, Arch::Gpu) => crate::gpusolve::run_rank(
+            plan,
+            &grid_comm,
+            &zcomm,
+            x,
+            y,
+            z,
+            pb,
+            nrhs,
+            alg == Algorithm::New3dNaiveAllreduce,
+        ),
+    }
+}
+
 /// Like [`solve_planned`], optionally recording per-rank event timelines
 /// (`SolveOutcome::traces`; render with [`simgrid::render_timeline`]).
+/// Tracing is sim-private: `trace = true` requires [`Backend::Sim`].
 pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool) -> SolveOutcome {
     let fact = &plan.fact;
     let n = fact.lu.n();
@@ -199,54 +284,36 @@ pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool
     }
     let pb = Arc::new(pb);
 
-    let opts = ClusterOptions {
-        chaos_seed: cfg.chaos_seed,
-        trace,
-        fault: cfg.fault.clone(),
-        ..ClusterOptions::default()
-    };
-    let plan2 = Arc::clone(plan);
-    let pb2 = Arc::clone(&pb);
     let algorithm = cfg.algorithm;
     let arch = cfg.arch;
-    let report = simgrid::run(plan.nranks(), cfg.machine.clone(), &opts, move |world| {
-        let plan = &plan2;
-        let (x, y, z) = plan.coords(world.rank());
-        let grid_comm = world.split(z, x + plan.px * y);
-        let zcomm = world.split(x + plan.px * y, z);
-        let out: RankOutput = match (algorithm, arch) {
-            (Algorithm::Baseline3d, Arch::Cpu) => {
-                crate::baseline3d::run_rank(plan, &grid_comm, &zcomm, x, y, z, &pb2, nrhs)
-            }
-            (Algorithm::Baseline3d, Arch::Gpu) => {
-                panic!("the baseline 3D algorithm has no GPU implementation (paper §3.4)")
-            }
-            (alg, Arch::Cpu) => crate::new3d::run_rank(
-                plan,
-                &grid_comm,
-                &zcomm,
-                x,
-                y,
-                z,
-                &pb2,
-                nrhs,
-                alg != Algorithm::New3dFlat,
-                alg == Algorithm::New3dNaiveAllreduce,
-            ),
-            (alg, Arch::Gpu) => crate::gpusolve::run_rank(
-                plan,
-                &grid_comm,
-                &zcomm,
-                x,
-                y,
-                z,
-                &pb2,
-                nrhs,
-                alg == Algorithm::New3dNaiveAllreduce,
-            ),
-        };
-        out
-    });
+    let report = match cfg.backend {
+        Backend::Sim => {
+            let opts = ClusterOptions {
+                chaos_seed: cfg.chaos_seed,
+                trace,
+                fault: cfg.fault.clone(),
+                ..ClusterOptions::default()
+            };
+            let plan2 = Arc::clone(plan);
+            let pb2 = Arc::clone(&pb);
+            simgrid::run(plan.nranks(), cfg.machine.clone(), &opts, move |world| {
+                rank_program(&plan2, algorithm, arch, &pb2, nrhs, world)
+            })
+        }
+        Backend::Native => {
+            assert!(
+                cfg.fault.is_inert() && cfg.chaos_seed == 0,
+                "fault injection is sim-private: run faults on Backend::Sim"
+            );
+            assert!(!trace, "span tracing is sim-private: trace on Backend::Sim");
+            let opts = comm_native::NativeOptions::default();
+            let plan2 = Arc::clone(plan);
+            let pb2 = Arc::clone(&pb);
+            comm_native::run(plan.nranks(), cfg.machine.clone(), &opts, move |world| {
+                rank_program(&plan2, algorithm, arch, &pb2, nrhs, world)
+            })
+        }
+    };
 
     // Assemble the permuted solution from the diagonal pieces. Smaller z
     // written last so replicated values deterministically come from the
@@ -349,6 +416,7 @@ mod tests {
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Backend::Sim,
         };
         let solver = Solver3d::new(Arc::clone(&f), cfg);
         assert_eq!(solver.plan().schedule_compiles(), 1);

@@ -36,7 +36,7 @@ use crate::schedule::{
     run_pass, ColSched, PassEngine, PassSched, RecvEvent, RowSched, ScheduleKey,
 };
 use crate::solve2d::Ledger;
-use simgrid::{Category, Comm, EventKind, GpuExecutor, GpuModel, SpanDetail};
+use simgrid::{Category, EventKind, GpuExecutor, GpuModel, SpanDetail, Transport};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -59,10 +59,10 @@ fn tag(epoch: u64, kind: u64, sup: u32) -> u64 {
 /// `(x, y, z)`. Single-GPU kernels when `Px · Py = 1`, NVSHMEM-style
 /// multi-GPU kernels otherwise.
 #[allow(clippy::too_many_arguments)]
-pub fn run_rank(
+pub fn run_rank<T: Transport>(
     plan: &Plan,
-    grid_comm: &Comm,
-    zcomm: &Comm,
+    grid_comm: &T,
+    zcomm: &T,
     x: usize,
     y: usize,
     z: usize,
@@ -174,9 +174,9 @@ pub fn run_rank(
 /// Single-GPU 2D L-solve (Alg. 4): the whole `L^z` on one device,
 /// interpreting the compiled column schedules in ascending order.
 #[allow(clippy::too_many_arguments)]
-fn single_gpu_l(
+fn single_gpu_l<T: Transport>(
     plan: &Plan,
-    comm: &Comm,
+    comm: &T,
     gpu: &GpuModel,
     pass: &PassSched,
     z: usize,
@@ -284,9 +284,9 @@ fn single_gpu_l(
 /// dependency columns `J` of the U task for `K` (`block_range(K, J)` is
 /// the same symbolic range both triangles address).
 #[allow(clippy::too_many_arguments)]
-fn single_gpu_u(
+fn single_gpu_u<T: Transport>(
     plan: &Plan,
-    comm: &Comm,
+    comm: &T,
     gpu: &GpuModel,
     pass: &PassSched,
     nrhs: usize,
@@ -366,9 +366,9 @@ fn single_gpu_u(
 /// Run one compiled pass with the NVSHMEM-style multi-GPU engine
 /// (Alg. 5) and settle the rank clock to the pass's last event.
 #[allow(clippy::too_many_arguments)]
-fn multi_gpu_pass(
+fn multi_gpu_pass<T: Transport>(
     plan: &Plan,
-    comm: &Comm,
+    comm: &T,
     gpu: &GpuModel,
     pass: &PassSched,
     z: usize,
@@ -470,9 +470,9 @@ fn multi_gpu_pass(
 /// GPU cost hooks for [`run_pass`]: fused column tasks on the bounded-lane
 /// executor, one-sided puts departing at the producing task's finish time,
 /// per-row readiness tracked as virtual timestamps.
-struct GpuEngine<'a, 'b> {
+struct GpuEngine<'a, 'b, T: Transport> {
     plan: &'a Plan,
-    comm: &'a Comm,
+    comm: &'a T,
     gpu: &'a GpuModel,
     nrhs: usize,
     z: usize,
@@ -503,7 +503,7 @@ struct GpuEngine<'a, 'b> {
     partial_bufs: HashMap<u32, Arc<[f64]>>,
 }
 
-impl GpuEngine<'_, '_> {
+impl<T: Transport> GpuEngine<'_, '_, T> {
     fn put(&self, depart: f64, dst: usize, t: u64, payload: &Arc<[f64]>) {
         let bytes = 8 * payload.len() + 64;
         let dst_world = self.comm.world_rank(dst);
@@ -529,7 +529,7 @@ impl GpuEngine<'_, '_> {
     }
 }
 
-impl PassEngine for GpuEngine<'_, '_> {
+impl<T: Transport> PassEngine for GpuEngine<'_, '_, T> {
     fn solve_diag(&mut self, row: &RowSched) -> Arc<[f64]> {
         let iu = row.sup as usize;
         let sym = self.plan.fact.lu.sym();
@@ -727,6 +727,7 @@ mod tests {
             machine: MachineModel::perlmutter_gpu(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let diff = sparse::max_abs_diff(&out.x, &want);
@@ -783,6 +784,7 @@ mod tests {
             machine: MachineModel::crusher_gpu(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         assert!(sparse::max_abs_diff(&out.x, &want) < 1e-11);

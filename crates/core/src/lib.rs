@@ -41,8 +41,8 @@ pub mod solve2d;
 
 pub use analysis::{critical_path, BlockingEdge, CriticalPath};
 pub use driver::{
-    solve_distributed, solve_planned, solve_traced, Algorithm, Arch, PhaseTimes, SolveOutcome,
-    Solver3d, SolverConfig,
+    solve_distributed, solve_planned, solve_traced, Algorithm, Arch, Backend, PhaseTimes,
+    SolveOutcome, Solver3d, SolverConfig,
 };
 pub use plan::{GridSet, Plan};
 
@@ -70,6 +70,7 @@ mod tests {
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let want = f.solve(&b, 1);

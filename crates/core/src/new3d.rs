@@ -15,7 +15,7 @@ use crate::driver::PhaseTimes;
 use crate::plan::Plan;
 use crate::schedule::{RankSchedule, ScheduleKey};
 use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, SolveState};
-use simgrid::{Category, Comm};
+use simgrid::{Category, Transport};
 
 /// Per-rank output of a distributed solve.
 pub struct RankOutput {
@@ -26,7 +26,7 @@ pub struct RankOutput {
 }
 
 /// Snapshot helper: `(now, flop + xy_busy, z_time)`.
-fn snap(comm: &Comm) -> (f64, f64, f64) {
+fn snap<T: Transport>(comm: &T) -> (f64, f64, f64) {
     let t = comm.time_snapshot();
     (
         comm.now(),
@@ -39,10 +39,10 @@ fn snap(comm: &Comm) -> (f64, f64, f64) {
 /// `world.rank()`. `grid_comm` must rank processes as `x + px·y`; `zcomm`
 /// ranks the `Pz` grids at fixed `(x, y)` by `z`.
 #[allow(clippy::too_many_arguments)]
-pub fn run_rank(
+pub fn run_rank<T: Transport>(
     plan: &Plan,
-    grid_comm: &Comm,
-    zcomm: &Comm,
+    grid_comm: &T,
+    zcomm: &T,
     x: usize,
     y: usize,
     z: usize,
@@ -137,6 +137,7 @@ mod tests {
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let diff = sparse::max_abs_diff(&out.x, &want);

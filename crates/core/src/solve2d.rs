@@ -29,7 +29,7 @@ use crate::plan::{GridSet, Plan};
 use crate::schedule::{
     run_pass_with, ColSched, PassEngine, PassSched, PassScratch, RecvEvent, RowSched,
 };
-use simgrid::{Category, Comm, SpanDetail, TreeRole};
+use simgrid::{Category, SpanDetail, Transport, TreeRole};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -216,14 +216,15 @@ pub struct SolveState {
     pub scratch: PassScratch,
 }
 
-/// Context shared by the pass functions of one rank.
-pub struct Ctx<'a> {
+/// Context shared by the pass functions of one rank. Generic over the
+/// [`Transport`] backend carrying the messages.
+pub struct Ctx<'a, T: Transport> {
     /// The global plan.
     pub plan: &'a Plan,
     /// My grid's membership.
     pub grid: &'a GridSet,
     /// Intra-grid communicator, rank = `x + px · y`.
-    pub comm: &'a Comm,
+    pub comm: &'a T,
     /// My process row.
     pub x: usize,
     /// My process column.
@@ -234,7 +235,7 @@ pub struct Ctx<'a> {
     pub pb: &'a [f64],
 }
 
-impl Ctx<'_> {
+impl<T: Transport> Ctx<'_, T> {
     #[inline]
     fn flop_time(&self, flops: usize) -> f64 {
         flops as f64 / self.comm.model().flop_rate
@@ -244,7 +245,7 @@ impl Ctx<'_> {
 /// Run one compiled 2D L-solve pass. Partial sums for rows outside the
 /// pass persist in `state.lsum` for later passes (baseline ancestors);
 /// solved `y(K)` land in `state.y_vals`.
-pub fn l_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
+pub fn l_solve_pass<T: Transport>(ctx: &Ctx<T>, pass: &PassSched, state: &mut SolveState) {
     debug_assert!(pass.lower);
     solve_pass(ctx, pass, state, true);
 }
@@ -252,12 +253,12 @@ pub fn l_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
 /// Run one compiled 2D U-solve pass. Solved `x(K)` land in
 /// `state.x_vals`; `state.y_vals` must hold `y(K)` for every row solved
 /// here at its diagonal owner.
-pub fn u_solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState) {
+pub fn u_solve_pass<T: Transport>(ctx: &Ctx<T>, pass: &PassSched, state: &mut SolveState) {
     debug_assert!(!pass.lower);
     solve_pass(ctx, pass, state, false);
 }
 
-fn solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState, lower: bool) {
+fn solve_pass<T: Transport>(ctx: &Ctx<T>, pass: &PassSched, state: &mut SolveState, lower: bool) {
     // The interpreter scratch lives in `state` so repeated passes reuse
     // it, but the engine needs `&mut state` too — take it for the pass.
     let mut scratch = std::mem::take(&mut state.scratch);
@@ -275,8 +276,8 @@ fn solve_pass(ctx: &Ctx, pass: &PassSched, state: &mut SolveState, lower: bool) 
 /// accumulator slots, solved-value slots, `Arc` send payloads, FIFO
 /// routes, metric names, arena capacity — so the loop itself (bracketed by
 /// [`crate::audit::pass_scope`] inside the interpreter) never allocates.
-struct CpuEngine<'a, 'b> {
-    ctx: &'b Ctx<'a>,
+struct CpuEngine<'a, 'b, T: Transport> {
+    ctx: &'b Ctx<'a, T>,
     state: &'b mut SolveState,
     /// U-phase partial sums (per-pass lifetime, unlike `state.lsum`).
     usum: Ledger,
@@ -294,8 +295,8 @@ struct CpuEngine<'a, 'b> {
     ext_bufs: HashMap<u32, Arc<[f64]>>,
 }
 
-impl<'a, 'b> CpuEngine<'a, 'b> {
-    fn new(ctx: &'b Ctx<'a>, pass: &PassSched, state: &'b mut SolveState, lower: bool) -> Self {
+impl<'a, 'b, T: Transport> CpuEngine<'a, 'b, T> {
+    fn new(ctx: &'b Ctx<'a, T>, pass: &PassSched, state: &'b mut SolveState, lower: bool) -> Self {
         let sym = ctx.plan.fact.lu.sym();
         let nrhs = ctx.nrhs;
         let mut usum = Ledger::default();
@@ -413,7 +414,7 @@ impl<'a, 'b> CpuEngine<'a, 'b> {
     }
 }
 
-impl PassEngine for CpuEngine<'_, '_> {
+impl<T: Transport> PassEngine for CpuEngine<'_, '_, T> {
     fn solve_diag(&mut self, row: &RowSched) -> Arc<[f64]> {
         self.begin_op(row.sup, TreeRole::Diag);
         let plan = self.ctx.plan;

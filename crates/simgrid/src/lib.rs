@@ -24,6 +24,7 @@ pub mod machine;
 pub mod metrics;
 pub mod stats;
 pub mod trace;
+pub mod transport;
 
 pub use fault::{FaultPlan, Reorder, PROFILE_NAMES};
 pub use gpu::GpuExecutor;
@@ -34,6 +35,7 @@ pub use trace::{
     export_perfetto, render_timeline, span_name, EventKind, FaultMark, MsgInfo, SpanDetail,
     TraceEvent, TreeRole,
 };
+pub use transport::Transport;
 
 use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, RefCell};
@@ -96,6 +98,9 @@ struct ClusterShared {
     fault: FaultPlan,
     /// Real-time cap on a blocking receive before the watchdog fires.
     stall_timeout: Option<Duration>,
+    /// Real-time settle window for any-source receives (see
+    /// [`ClusterOptions::settle_window`]).
+    settle_window: Duration,
 }
 
 /// Per-rank mutable context. Owned by the rank's thread; `Comm` handles on
@@ -651,7 +656,7 @@ impl Comm {
                 if settle {
                     settle = false;
                     self.ctx.metrics.borrow_mut().inc("recv.settle_waits", 1);
-                    mb.cv.wait_for(&mut q, Duration::from_micros(100));
+                    mb.cv.wait_for(&mut q, self.shared.settle_window);
                     continue; // re-evaluate over the settled queue
                 }
                 let m = q.swap_remove(idx);
@@ -917,6 +922,15 @@ pub struct ClusterOptions {
     /// a per-rank diagnostic dump instead of hanging the process. `None`
     /// disables the watchdog.
     pub stall_timeout: Option<Duration>,
+    /// Real-time window an any-source receive waits before committing its
+    /// earliest-virtual-arrival pick, letting racing in-flight sends land
+    /// so the choice is stable against OS scheduling. Slow or heavily
+    /// oversubscribed runners can raise it; latency-sensitive callers can
+    /// lower it (the pick may then depend on thread timing). The
+    /// `recv.settle_waits` metric counts one wait per any-source receive
+    /// regardless of the window length, so metric assertions stay
+    /// deterministic under any setting.
+    pub settle_window: Duration,
 }
 
 impl Default for ClusterOptions {
@@ -926,6 +940,7 @@ impl Default for ClusterOptions {
             trace: false,
             fault: FaultPlan::default(),
             stall_timeout: Some(Duration::from_secs(30)),
+            settle_window: Duration::from_micros(100),
         }
     }
 }
@@ -959,6 +974,7 @@ where
         next_comm_id: AtomicU64::new(1),
         fault,
         stall_timeout: opts.stall_timeout,
+        settle_window: opts.settle_window,
     });
     let world_members: Arc<Vec<u32>> = Arc::new((0..nranks as u32).collect());
 
@@ -1430,6 +1446,43 @@ mod tests {
             1,
             "only the any-source receive settles"
         );
+    }
+
+    /// The settle window is a tunable `ClusterOptions` knob. Even at zero
+    /// (commit the first candidate immediately) the pick among *already
+    /// queued* matches is still earliest-virtual-arrival, and the
+    /// `recv.settle_waits` counter still counts one wait per any-source
+    /// receive — assertions on it stay deterministic at any setting.
+    #[test]
+    fn settle_window_is_configurable() {
+        for window_us in [0u64, 100, 2000] {
+            let opts = ClusterOptions {
+                settle_window: Duration::from_micros(window_us),
+                ..ClusterOptions::default()
+            };
+            let rep = run(3, toy_model(), &opts, |c| match c.rank() {
+                1 => {
+                    c.compute(5.0, Category::Flop); // late virtual sender
+                    c.send(0, 1, &[1.0], Category::XyComm);
+                }
+                2 => c.send(0, 1, &[2.0], Category::XyComm),
+                0 => {
+                    // Both messages are queued before the receive is posted,
+                    // so the pick is window-independent.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    let m1 = c.recv(None, Some(1), Category::XyComm);
+                    let m2 = c.recv(None, Some(1), Category::XyComm);
+                    assert_eq!(m1.payload[0], 2.0, "earliest virtual arrival first");
+                    assert_eq!(m2.payload[0], 1.0);
+                }
+                _ => unreachable!(),
+            });
+            assert_eq!(
+                rep.metrics.counter("recv.settle_waits"),
+                2,
+                "one settle wait per any-source receive (window {window_us}us)"
+            );
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn main() {
                 machine: MachineModel::perlmutter_gpu(),
                 chaos_seed: 0,
                 fault: Default::default(),
+                backend: Default::default(),
             };
             let out = solve_distributed(&fact, &b, &cfg);
             let res = sparse::rel_residual_inf(&a, &out.x, &b, 1);

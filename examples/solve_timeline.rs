@@ -37,6 +37,7 @@ fn main() {
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let plan = Arc::new(Plan::new(Arc::clone(&fact), px, py, pz));
         let out = solve_traced(&plan, &b, &cfg, true);

@@ -1,8 +1,10 @@
 //! `sptrsv3d` — command-line driver for the 3D SpTRSV reproduction.
 //!
 //! Solves `A x = b` for a Matrix Market file (e.g. a real SuiteSparse
-//! matrix) or a named synthetic analog, on a simulated CPU/GPU cluster,
-//! and prints the paper-style timing breakdown.
+//! matrix) or a named synthetic analog, on a simulated CPU/GPU cluster
+//! (`--backend sim`, the default) or on real OS threads over the
+//! shared-memory transport (`--backend native`), and prints the
+//! paper-style timing breakdown.
 //!
 //! ```text
 //! sptrsv3d --matrix path/to/matrix.mtx --px 4 --py 4 --pz 8 --machine cori
@@ -26,6 +28,7 @@ struct Args {
     algorithm: Algorithm,
     arch: Arch,
     machine: MachineModel,
+    backend: Backend,
     symmetrize: bool,
     json: bool,
     fault_profile: Option<String>,
@@ -58,6 +61,9 @@ EXECUTION:
                       baseline3d
     --arch A          cpu (default) | gpu
     --machine M       cori (default) | perlmutter | perlmutter-cpu | crusher
+    --backend B       sim (default): virtual-time simulator, predicted makespan
+                      native: one OS thread per rank over shared memory,
+                      measured wall-clock (excludes fault injection / tracing)
 
 FAULT INJECTION:
     --fault-profile P chaos profile: clean | jitter | duplicates | reorder |
@@ -88,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         algorithm: Algorithm::New3d,
         arch: Arch::Cpu,
         machine: MachineModel::cori_haswell(),
+        backend: Backend::Sim,
         symmetrize: false,
         json: false,
         fault_profile: None,
@@ -147,6 +154,7 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown machine {other}")),
                 }
             }
+            "--backend" => a.backend = next(&mut i)?.parse()?,
             "--fault-profile" => a.fault_profile = Some(next(&mut i)?),
             "--chaos-seed" => {
                 a.chaos_seed = next(&mut i)?
@@ -173,6 +181,14 @@ fn parse_args() -> Result<Args, String> {
     }
     if a.px == 0 || a.py == 0 {
         return Err("--px and --py must be at least 1".into());
+    }
+    if a.backend == Backend::Native {
+        if a.fault_profile.is_some() {
+            return Err("--fault-profile is sim-only (fault injection needs the virtual clock); drop --backend native".into());
+        }
+        if a.trace_out.is_some() || a.critical_path {
+            return Err("--trace-out/--critical-path are sim-only (span tracing needs the virtual clock); drop --backend native".into());
+        }
     }
     if let Some(p) = &a.fault_profile {
         let nranks = a.px * a.py * a.pz;
@@ -268,6 +284,7 @@ fn main() -> ExitCode {
         machine: args.machine.clone(),
         chaos_seed: 0,
         fault,
+        backend: args.backend,
     };
     let want_trace = args.trace_out.is_some() || args.critical_path;
     let plan = Arc::new(Plan::new(Arc::clone(&fact), args.px, args.py, args.pz));
@@ -310,6 +327,9 @@ fn main() -> ExitCode {
             supernodes: usize,
             ranks: usize,
             machine: &'a str,
+            backend: &'a str,
+            /// Makespan on the backend clock: simulated seconds under
+            /// `sim`, measured wall-clock seconds under `native`.
             simulated_seconds: f64,
             l_solve_mean: f64,
             u_solve_mean: f64,
@@ -324,6 +344,10 @@ fn main() -> ExitCode {
             supernodes: sym.n_supernodes(),
             ranks: args.px * args.py * args.pz,
             machine: args.machine.name,
+            backend: match args.backend {
+                Backend::Sim => "sim",
+                Backend::Native => "native",
+            },
             simulated_seconds: out.makespan,
             l_solve_mean: out.mean(|p| p.l_wall),
             u_solve_mean: out.mean(|p| p.u_wall),
@@ -360,7 +384,11 @@ fn main() -> ExitCode {
         args.arch,
         args.machine.name
     );
-    println!("  simulated time : {:>12.3} µs", out.makespan * 1e6);
+    let clock_label = match args.backend {
+        Backend::Sim => "simulated time ",
+        Backend::Native => "wall-clock time",
+    };
+    println!("  {clock_label}: {:>12.3} µs", out.makespan * 1e6);
     println!(
         "  L-solve (mean) : {:>12.3} µs",
         out.mean(|p| p.l_wall) * 1e6

@@ -30,6 +30,7 @@
 //!     machine: MachineModel::cori_haswell(),
 //!     chaos_seed: 0,
 //!     fault: Default::default(),
+//!     backend: Default::default(),
 //! };
 //! let out = solve_distributed(&fact, &b, &cfg);
 //!
@@ -51,7 +52,7 @@ pub mod prelude {
     pub use simgrid::{Category, FaultPlan, MachineModel, Reorder};
     pub use sparse::{self, gen, CsrMatrix};
     pub use sptrsv::{
-        critical_path, solve_distributed, solve_traced, Algorithm, Arch, CriticalPath,
+        critical_path, solve_distributed, solve_traced, Algorithm, Arch, Backend, CriticalPath,
         SolveOutcome, Solver3d, SolverConfig,
     };
 }

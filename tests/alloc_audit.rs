@@ -70,6 +70,7 @@ fn audited_allocs_on_second_solve(
         machine,
         chaos_seed: 0,
         fault: Default::default(),
+        backend: Default::default(),
     };
     let solver = Solver3d::new(Arc::clone(&f), cfg);
     let want = f.solve(&b, nrhs);

@@ -1,0 +1,144 @@
+//! Cross-backend conformance: the solver core is generic over the
+//! [`Transport`](simgrid::Transport), and the choice of wires must never
+//! change the answer.
+//!
+//! For every algorithm variant on the conformance fixtures, the solution
+//! `x` must be **bit-identical** between the virtual-time simulator
+//! (`Backend::Sim`) and the real shared-memory threaded transport
+//! (`Backend::Native`). This holds because
+//!
+//! - ledger accumulation is delivery-order-independent (fixed per-slot
+//!   ordering, not arrival ordering),
+//! - point-to-point traffic is `(src, tag)`-addressed, and
+//! - collectives use the same fixed binomial reduction shape on both
+//!   backends.
+//!
+//! Native timing is real wall-clock, so only the numerics (and message
+//! counts) are compared — never the clocks.
+
+mod common;
+
+use sptrsv_repro::prelude::*;
+use std::sync::Arc;
+
+const NRHS: usize = 2;
+
+fn fixture(pz: usize) -> (Arc<Factorized>, Vec<f64>, Vec<f64>) {
+    let a = gen::poisson2d_9pt(12, 12);
+    let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).expect("factorize"));
+    let b = gen::standard_rhs(a.nrows(), NRHS);
+    let want = f.solve(&b, NRHS);
+    (f, b, want)
+}
+
+fn config(alg: Algorithm, arch: Arch, (px, py, pz): (usize, usize, usize)) -> SolverConfig {
+    SolverConfig {
+        px,
+        py,
+        pz,
+        nrhs: NRHS,
+        algorithm: alg,
+        arch,
+        machine: if arch == Arch::Gpu {
+            MachineModel::perlmutter_gpu()
+        } else {
+            MachineModel::cori_haswell()
+        },
+        chaos_seed: 0,
+        fault: Default::default(),
+        backend: Backend::Sim,
+    }
+}
+
+/// Solve the fixture on both backends and require bit-identical `x`.
+fn assert_backends_agree(alg: Algorithm, arch: Arch, grid: (usize, usize, usize)) {
+    let (f, b, want) = fixture(grid.2);
+    let sim_cfg = config(alg, arch, grid);
+    let nat_cfg = SolverConfig {
+        backend: Backend::Native,
+        ..sim_cfg.clone()
+    };
+    let sim = solve_distributed(&f, &b, &sim_cfg);
+    let nat = solve_distributed(&f, &b, &nat_cfg);
+
+    let diff = sparse::max_abs_diff(&sim.x, &want);
+    assert!(
+        diff < 1e-9,
+        "{alg:?}/{arch:?}/{grid:?}: sim disagrees with the sequential reference: {diff}"
+    );
+    assert_eq!(sim.x.len(), nat.x.len());
+    for (i, (s, n)) in sim.x.iter().zip(&nat.x).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            n.to_bits(),
+            "{alg:?}/{arch:?}/{grid:?}: x[{i}] differs across backends: sim {s:e}, native {n:e}"
+        );
+    }
+    assert!(
+        sim.replication_disagreement == 0.0 && nat.replication_disagreement == 0.0,
+        "{alg:?}/{arch:?}/{grid:?}: replicated grids disagreed"
+    );
+
+    // Message accounting is backend-portable (same sends, same payloads);
+    // clocks are not — native makespan is real wall time, just sanity it.
+    let sent = |o: &SolveOutcome| {
+        o.stats
+            .iter()
+            .map(|s| s.msgs_sent.iter().sum::<u64>())
+            .sum()
+    };
+    let (sm, nm): (u64, u64) = (sent(&sim), sent(&nat));
+    assert_eq!(sm, nm, "{alg:?}/{arch:?}/{grid:?}: message counts diverge");
+    assert!(nat.makespan.is_finite() && nat.makespan > 0.0);
+}
+
+#[test]
+fn new3d_cpu_backends_agree() {
+    assert_backends_agree(Algorithm::New3d, Arch::Cpu, (2, 2, 4));
+    assert_backends_agree(Algorithm::New3d, Arch::Cpu, (2, 1, 4));
+}
+
+#[test]
+fn new3d_flat_cpu_backends_agree() {
+    assert_backends_agree(Algorithm::New3dFlat, Arch::Cpu, (2, 2, 4));
+    assert_backends_agree(Algorithm::New3dFlat, Arch::Cpu, (2, 1, 4));
+}
+
+#[test]
+fn new3d_naive_allreduce_cpu_backends_agree() {
+    assert_backends_agree(Algorithm::New3dNaiveAllreduce, Arch::Cpu, (2, 2, 4));
+    assert_backends_agree(Algorithm::New3dNaiveAllreduce, Arch::Cpu, (2, 1, 4));
+}
+
+#[test]
+fn baseline3d_cpu_backends_agree() {
+    assert_backends_agree(Algorithm::Baseline3d, Arch::Cpu, (2, 2, 4));
+    assert_backends_agree(Algorithm::Baseline3d, Arch::Cpu, (2, 1, 4));
+}
+
+#[test]
+fn gpu_variants_backends_agree() {
+    assert_backends_agree(Algorithm::New3d, Arch::Gpu, (2, 2, 4));
+    assert_backends_agree(Algorithm::New3dNaiveAllreduce, Arch::Gpu, (2, 1, 4));
+}
+
+/// Repeated native solves through the compiled-schedule path stay
+/// bit-stable run to run (real thread interleavings change arrival
+/// order; the ledger makes numerics independent of it).
+#[test]
+fn native_is_bit_stable_across_runs() {
+    let grid = (2, 2, 4);
+    let (f, b, _) = fixture(grid.2);
+    let cfg = SolverConfig {
+        backend: Backend::Native,
+        ..config(Algorithm::New3d, Arch::Cpu, grid)
+    };
+    let solver = Solver3d::new(Arc::clone(&f), cfg);
+    let first = solver.solve(&b, NRHS);
+    for _ in 0..3 {
+        let again = solver.solve(&b, NRHS);
+        for (s, n) in first.x.iter().zip(&again.x) {
+            assert_eq!(s.to_bits(), n.to_bits(), "native run-to-run drift");
+        }
+    }
+}

@@ -58,6 +58,7 @@ fn config(
         },
         chaos_seed: 0,
         fault,
+        backend: Default::default(),
     }
 }
 

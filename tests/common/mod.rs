@@ -20,3 +20,14 @@ pub fn seeds() -> Vec<u64> {
         Err(_) => vec![7, 42, 1234],
     }
 }
+
+/// Backend under test for suites that honor the CI backend matrix.
+/// `SPTRSV_TEST_BACKEND=sim|native` selects it; default is the simulator.
+pub fn backend() -> sptrsv_repro::sptrsv::Backend {
+    match std::env::var("SPTRSV_TEST_BACKEND") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("SPTRSV_TEST_BACKEND: {e}")),
+        Err(_) => Default::default(),
+    }
+}

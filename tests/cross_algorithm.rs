@@ -34,6 +34,7 @@ fn run(
         },
         chaos_seed: chaos,
         fault: Default::default(),
+        backend: Default::default(),
     };
     solve_distributed(f, b, &cfg)
 }
@@ -129,6 +130,7 @@ fn residuals_are_small() {
             machine: MachineModel::cori_haswell(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let res = sparse::rel_residual_inf(&m.matrix, &out.x, &b, 1);
@@ -169,6 +171,7 @@ fn multi_rhs_prefix_consistency() {
         machine: MachineModel::cori_haswell(),
         chaos_seed: 0,
         fault: Default::default(),
+        backend: Default::default(),
     };
     let out4 = solve_distributed(&f, &b4, &cfg(4));
     let out1 = solve_distributed(&f, &b4[..n], &cfg(1));
@@ -193,6 +196,7 @@ fn planned_solver_matches_unplanned() {
         machine: MachineModel::cori_haswell(),
         chaos_seed: 0,
         fault: Default::default(),
+        backend: Default::default(),
     };
     let solver = Solver3d::new(Arc::clone(&f), cfg);
     let out = solver.solve(&b, 2);

@@ -1,0 +1,110 @@
+//! Degenerate process layouts: `Pz = 1` (no z dimension — the sparse
+//! allreduce and z-exchange machinery must no-op cleanly), `Px = Py = 1`
+//! (no 2D grid — every level is local, only z-communication remains),
+//! and the fully degenerate single rank.
+//!
+//! Every algorithm variant runs each layout on the backend selected by
+//! `SPTRSV_TEST_BACKEND` (CI's backend matrix), so the no-op paths are
+//! exercised on both the simulator and the real threaded transport.
+
+mod common;
+
+use simgrid::Category;
+use sptrsv_repro::prelude::*;
+use std::sync::Arc;
+
+const NRHS: usize = 2;
+
+fn fixture(pz: usize) -> (Arc<Factorized>, Vec<f64>, Vec<f64>) {
+    let a = gen::poisson2d_9pt(12, 12);
+    let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).expect("factorize"));
+    let b = gen::standard_rhs(a.nrows(), NRHS);
+    let want = f.solve(&b, NRHS);
+    (f, b, want)
+}
+
+fn solve(alg: Algorithm, arch: Arch, (px, py, pz): (usize, usize, usize)) -> SolveOutcome {
+    let (f, b, want) = fixture(pz);
+    let cfg = SolverConfig {
+        px,
+        py,
+        pz,
+        nrhs: NRHS,
+        algorithm: alg,
+        arch,
+        machine: if arch == Arch::Gpu {
+            MachineModel::perlmutter_gpu()
+        } else {
+            MachineModel::cori_haswell()
+        },
+        chaos_seed: 0,
+        fault: Default::default(),
+        backend: common::backend(),
+    };
+    let out = solve_distributed(&f, &b, &cfg);
+    let diff = sparse::max_abs_diff(&out.x, &want);
+    assert!(
+        diff < 1e-9,
+        "{alg:?}/{arch:?} on {px}x{py}x{pz}: diff vs reference {diff}"
+    );
+    out
+}
+
+fn bytes(out: &SolveOutcome, cat: Category) -> u64 {
+    out.stats.iter().map(|s| s.bytes_sent[cat as usize]).sum()
+}
+
+const CPU_ALGS: [Algorithm; 4] = [
+    Algorithm::New3d,
+    Algorithm::New3dFlat,
+    Algorithm::New3dNaiveAllreduce,
+    Algorithm::Baseline3d,
+];
+
+/// `Pz = 1`: the z-communicator is a singleton, so the allreduce /
+/// z-exchange phases must send nothing at all.
+#[test]
+fn pz1_sends_no_z_traffic() {
+    for alg in CPU_ALGS {
+        let out = solve(alg, Arch::Cpu, (2, 2, 1));
+        assert_eq!(
+            bytes(&out, Category::ZComm),
+            0,
+            "{alg:?}: Pz=1 must not produce z-communication"
+        );
+    }
+    let out = solve(Algorithm::New3d, Arch::Gpu, (2, 2, 1));
+    assert_eq!(bytes(&out, Category::ZComm), 0);
+}
+
+/// `Px = Py = 1`: each 2D grid is a single rank, so the level-by-level
+/// x/y pipeline has nobody to talk to; only z-reduction traffic remains.
+#[test]
+fn px1_py1_sends_no_xy_traffic() {
+    for alg in CPU_ALGS {
+        let out = solve(alg, Arch::Cpu, (1, 1, 4));
+        assert_eq!(
+            bytes(&out, Category::XyComm),
+            0,
+            "{alg:?}: Px=Py=1 must not produce x/y-communication"
+        );
+    }
+    let out = solve(Algorithm::New3d, Arch::Gpu, (1, 1, 4));
+    assert_eq!(bytes(&out, Category::XyComm), 0);
+}
+
+/// The fully degenerate layout: one rank, both comm dimensions trivial.
+/// Nothing may be sent anywhere, on any algorithm.
+#[test]
+fn single_rank_sends_nothing() {
+    for alg in CPU_ALGS {
+        let out = solve(alg, Arch::Cpu, (1, 1, 1));
+        let total: u64 = out
+            .stats
+            .iter()
+            .map(|s| s.msgs_sent.iter().sum::<u64>())
+            .sum();
+        assert_eq!(total, 0, "{alg:?}: a single rank must not send messages");
+    }
+    solve(Algorithm::New3d, Arch::Gpu, (1, 1, 1));
+}

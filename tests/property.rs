@@ -77,6 +77,7 @@ proptest! {
             machine: MachineModel::cori_haswell(),
             chaos_seed: seed,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         prop_assert!(sparse::max_abs_diff(&out.x, &want) < 1e-9);
@@ -105,6 +106,7 @@ proptest! {
             machine: MachineModel::perlmutter_gpu(),
             chaos_seed: 0,
             fault: Default::default(),
+            backend: Default::default(),
         };
         let cpu = solve_distributed(&f, &b, &mk(Arch::Cpu));
         let gpu = solve_distributed(&f, &b, &mk(Arch::Gpu));
@@ -206,6 +208,7 @@ proptest! {
                         machine: MachineModel::perlmutter_gpu(),
                         chaos_seed: seed,
                         fault: Default::default(),
+                        backend: Default::default(),
                     };
                     let out = solve_distributed(&f, &b, &cfg);
                     let err = sparse::max_abs_diff(&out.x, &want);
