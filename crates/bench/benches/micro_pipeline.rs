@@ -68,6 +68,7 @@ fn bench_simulated_solve(c: &mut Criterion) {
         chaos_seed: 0,
         fault: Default::default(),
         backend: Default::default(),
+        executor: Default::default(),
     };
     c.bench_function("simulated_new3d_16ranks_1024", |b| {
         b.iter(|| sptrsv::solve_distributed(black_box(&f), &b0, &cfg));

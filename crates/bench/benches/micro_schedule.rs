@@ -32,6 +32,7 @@ fn fixture() -> (Arc<lufactor::Factorized>, Vec<f64>, SolverConfig) {
         chaos_seed: 0,
         fault: Default::default(),
         backend: Default::default(),
+        executor: Default::default(),
     };
     (f, b, cfg)
 }

@@ -171,6 +171,7 @@ fn bench_hot_solve() -> f64 {
         chaos_seed: 0,
         fault: Default::default(),
         backend: Default::default(),
+        executor: Default::default(),
     };
     let solver = Solver3d::new(Arc::clone(&f), cfg);
     // Warm up: plan + schedule compile + arena/ledger sizing.

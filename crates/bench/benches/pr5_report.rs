@@ -57,6 +57,7 @@ fn main() {
             chaos_seed: 0,
             fault: Default::default(),
             backend,
+            executor: Default::default(),
         };
         let sim = sptrsv::solve_distributed(&f, &b, &cfg(Backend::Sim));
 

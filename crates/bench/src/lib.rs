@@ -121,6 +121,7 @@ pub fn run_once(
         chaos_seed: 0,
         fault: Default::default(),
         backend: Default::default(),
+        executor: Default::default(),
     };
     let out = solve_distributed(fact, &b, &cfg);
     assert!(

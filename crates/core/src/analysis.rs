@@ -187,6 +187,11 @@ pub struct CriticalPath {
     pub idle: f64,
     /// Number of spans the path visits.
     pub spans: usize,
+    /// Stall time of path edges whose blocked receive was a level-set
+    /// executor barrier ([`SpanDetail::LevelBarrier`]): how much of the
+    /// path the level engine spent parked waiting for a row's remaining
+    /// dependencies. Zero under the tree executor.
+    pub level_barrier_wait: f64,
     /// Every cross-rank edge on the path, sorted by stall descending.
     pub edges: Vec<BlockingEdge>,
 }
@@ -204,6 +209,7 @@ pub fn critical_path(traces: &[Vec<TraceEvent>], makespan: f64) -> CriticalPath 
         wire_time: 0.0,
         idle: 0.0,
         spans: 0,
+        level_barrier_wait: 0.0,
         edges: Vec::new(),
     };
 
@@ -261,12 +267,16 @@ pub fn critical_path(traces: &[Vec<TraceEvent>], makespan: f64) -> CriticalPath 
                         let wire = arr - send.t1;
                         cp.wire_time += wire;
                         cp.by_category[send.category as usize] += wire;
+                        let stall = (m.arrival - e.t0).max(0.0);
+                        if matches!(e.detail, Some(SpanDetail::LevelBarrier { .. })) {
+                            cp.level_barrier_wait += stall;
+                        }
                         cp.edges.push(BlockingEdge {
                             src: sr,
                             dst: rank,
                             bytes: m.bytes,
                             tag: m.tag,
-                            stall: (m.arrival - e.t0).max(0.0),
+                            stall,
                             wire,
                             arrival: m.arrival,
                             detail: e.detail,
@@ -326,6 +336,13 @@ impl CriticalPath {
             pct(self.wire_time),
             pct(self.idle)
         ));
+        if self.level_barrier_wait > 0.0 {
+            out.push_str(&format!(
+                "  level-barrier wait: {:.3e} s ({:.1}%)\n",
+                self.level_barrier_wait,
+                pct(self.level_barrier_wait)
+            ));
+        }
         if !self.edges.is_empty() {
             out.push_str(&format!(
                 "  top blocking edges (of {}):\n",
@@ -364,6 +381,10 @@ impl CriticalPath {
         out.push_str(&format!("  \"wire_time\": {:?},\n", self.wire_time));
         out.push_str(&format!("  \"idle\": {:?},\n", self.idle));
         out.push_str(&format!("  \"spans\": {},\n", self.spans));
+        out.push_str(&format!(
+            "  \"level_barrier_wait\": {:?},\n",
+            self.level_barrier_wait
+        ));
         out.push_str("  \"edges\": [");
         for (i, e) in self.edges.iter().take(32).enumerate() {
             if i > 0 {
@@ -432,6 +453,7 @@ mod tests {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let xy_msgs: u64 = out
@@ -486,6 +508,7 @@ mod tests {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let t = solve_distributed(&f, &b, &mk(Algorithm::New3d));
         let fl = solve_distributed(&f, &b, &mk(Algorithm::New3dFlat));
@@ -539,6 +562,7 @@ mod tests {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         assert!(

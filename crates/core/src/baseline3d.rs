@@ -15,7 +15,7 @@
 //! all come precompiled in the plan's schedule (`l_steps`/`u_steps` with
 //! their [`ZExchange`]s); the rank program just walks the step list.
 
-use crate::driver::PhaseTimes;
+use crate::driver::{ExecutorKind, PhaseTimes};
 use crate::new3d::RankOutput;
 use crate::plan::Plan;
 use crate::schedule::{ScheduleKey, ZExchange};
@@ -158,6 +158,7 @@ pub fn run_rank<T: Transport>(
     z: usize,
     pb: &[f64],
     nrhs: usize,
+    executor: ExecutorKind,
 ) -> RankOutput {
     let grid = &plan.grids[z];
     let sched = plan.schedule(ScheduleKey {
@@ -173,6 +174,7 @@ pub fn run_rank<T: Transport>(
         y,
         nrhs,
         pb,
+        executor,
     };
     let mut state = SolveState::default();
     // One hoisted pack buffer for every inter-grid exchange of this solve.
@@ -255,6 +257,7 @@ mod tests {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let diff = sparse::max_abs_diff(&out.x, &want);

@@ -55,6 +55,35 @@ impl std::str::FromStr for Backend {
     }
 }
 
+/// Intra-grid execution engine interpreting the compiled passes
+/// (DESIGN.md §12). Both engines run the same [`crate::schedule::Schedule`]
+/// and produce bit-identical solutions; they differ in *when* rows fire,
+/// hence in the predicted/measured timing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecutorKind {
+    /// Message-driven elimination-tree walk: rows fire reactively as
+    /// their dependency counters drain (paper Alg. 3).
+    #[default]
+    Tree,
+    /// Level-set engine: rows fire in the precompiled dependency-level
+    /// program with chain batching ([`crate::levelexec`]). On the
+    /// single-GPU column sweep (`Px = Py = 1`) the column order is already
+    /// a level linearization, so the selection is a no-op there.
+    Level,
+}
+
+impl std::str::FromStr for ExecutorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tree" => Ok(ExecutorKind::Tree),
+            "level" => Ok(ExecutorKind::Level),
+            other => Err(format!("unknown executor '{other}' (expected tree|level)")),
+        }
+    }
+}
+
 /// Execution architecture for the intra-grid solves.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Arch {
@@ -90,6 +119,8 @@ pub struct SolverConfig {
     pub fault: simgrid::FaultPlan,
     /// Communication backend (simulator by default).
     pub backend: Backend,
+    /// Intra-grid execution engine (tree walk by default).
+    pub executor: ExecutorKind,
 }
 
 /// Per-rank phase timing, in seconds of the backend's clock: simulated
@@ -217,6 +248,7 @@ fn rank_program<T: Transport>(
     plan: &Plan,
     algorithm: Algorithm,
     arch: Arch,
+    executor: ExecutorKind,
     pb: &[f64],
     nrhs: usize,
     world: T,
@@ -226,7 +258,7 @@ fn rank_program<T: Transport>(
     let zcomm = world.split(x + plan.px * y, z);
     match (algorithm, arch) {
         (Algorithm::Baseline3d, Arch::Cpu) => {
-            crate::baseline3d::run_rank(plan, &grid_comm, &zcomm, x, y, z, pb, nrhs)
+            crate::baseline3d::run_rank(plan, &grid_comm, &zcomm, x, y, z, pb, nrhs, executor)
         }
         (Algorithm::Baseline3d, Arch::Gpu) => {
             panic!("the baseline 3D algorithm has no GPU implementation (paper §3.4)")
@@ -242,6 +274,7 @@ fn rank_program<T: Transport>(
             nrhs,
             alg != Algorithm::New3dFlat,
             alg == Algorithm::New3dNaiveAllreduce,
+            executor,
         ),
         (alg, Arch::Gpu) => crate::gpusolve::run_rank(
             plan,
@@ -253,6 +286,7 @@ fn rank_program<T: Transport>(
             pb,
             nrhs,
             alg == Algorithm::New3dNaiveAllreduce,
+            executor,
         ),
     }
 }
@@ -286,6 +320,7 @@ pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool
 
     let algorithm = cfg.algorithm;
     let arch = cfg.arch;
+    let executor = cfg.executor;
     let report = match cfg.backend {
         Backend::Sim => {
             let opts = ClusterOptions {
@@ -297,7 +332,7 @@ pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool
             let plan2 = Arc::clone(plan);
             let pb2 = Arc::clone(&pb);
             simgrid::run(plan.nranks(), cfg.machine.clone(), &opts, move |world| {
-                rank_program(&plan2, algorithm, arch, &pb2, nrhs, world)
+                rank_program(&plan2, algorithm, arch, executor, &pb2, nrhs, world)
             })
         }
         Backend::Native => {
@@ -310,7 +345,7 @@ pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool
             let plan2 = Arc::clone(plan);
             let pb2 = Arc::clone(&pb);
             comm_native::run(plan.nranks(), cfg.machine.clone(), &opts, move |world| {
-                rank_program(&plan2, algorithm, arch, &pb2, nrhs, world)
+                rank_program(&plan2, algorithm, arch, executor, &pb2, nrhs, world)
             })
         }
     };
@@ -417,6 +452,7 @@ mod tests {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Backend::Sim,
+            executor: Default::default(),
         };
         let solver = Solver3d::new(Arc::clone(&f), cfg);
         assert_eq!(solver.plan().schedule_compiles(), 1);

@@ -28,12 +28,12 @@
 
 use crate::allreduce;
 use crate::arena::SolveArena;
-use crate::driver::PhaseTimes;
+use crate::driver::{ExecutorKind, PhaseTimes};
 use crate::kernels;
 use crate::new3d::RankOutput;
 use crate::plan::Plan;
 use crate::schedule::{
-    run_pass, ColSched, PassEngine, PassSched, RecvEvent, RowSched, ScheduleKey,
+    run_pass, ColSched, PassEngine, PassSched, PassScratch, RecvEvent, RowSched, ScheduleKey,
 };
 use crate::solve2d::Ledger;
 use simgrid::{Category, EventKind, GpuExecutor, GpuModel, SpanDetail, Transport};
@@ -58,6 +58,11 @@ fn tag(epoch: u64, kind: u64, sup: u32) -> u64 {
 /// Run the proposed 3D SpTRSV with GPU 2D solves as the rank program of
 /// `(x, y, z)`. Single-GPU kernels when `Px · Py = 1`, NVSHMEM-style
 /// multi-GPU kernels otherwise.
+///
+/// `executor` selects how the multi-GPU passes interpret their schedule
+/// (message-driven tree walk vs precompiled level sweep); the single-GPU
+/// column sweep is already a static program, so the choice is a no-op
+/// there.
 #[allow(clippy::too_many_arguments)]
 pub fn run_rank<T: Transport>(
     plan: &Plan,
@@ -69,6 +74,7 @@ pub fn run_rank<T: Transport>(
     pb: &[f64],
     nrhs: usize,
     use_naive_allreduce: bool,
+    executor: ExecutorKind,
 ) -> RankOutput {
     let gpu = grid_comm
         .model()
@@ -112,6 +118,7 @@ pub fn run_rank<T: Transport>(
             nrhs,
             None,
             &mut y_vals,
+            executor,
         );
     }
     let t1 = grid_comm.now();
@@ -147,6 +154,7 @@ pub fn run_rank<T: Transport>(
             nrhs,
             Some(&y_vals),
             &mut x_vals,
+            executor,
         );
     }
     let t3 = grid_comm.now();
@@ -376,6 +384,7 @@ fn multi_gpu_pass<T: Transport>(
     nrhs: usize,
     vals_in: Option<&HashMap<u32, Vec<f64>>>,
     vals_out: &mut HashMap<u32, Vec<f64>>,
+    executor: ExecutorKind,
 ) {
     let start = comm.now();
     let t0 = start + gpu.kernel_launch;
@@ -446,7 +455,15 @@ fn multi_gpu_pass<T: Transport>(
         diag_bufs,
         partial_bufs,
     };
-    run_pass(&mut engine, pass);
+    match executor {
+        ExecutorKind::Tree => run_pass(&mut engine, pass),
+        ExecutorKind::Level => {
+            // Pass-local scratch: GPU passes run at most twice per solve,
+            // so there is no steady-state reuse to preserve here.
+            let mut scratch = PassScratch::new();
+            crate::levelexec::run_level_pass(&mut engine, pass, &mut scratch);
+        }
+    }
     let end = engine.last_event.max(engine.ex.last_finish());
     let busy = engine.ex.busy_time();
     comm.account(busy, Category::Flop);
@@ -728,6 +745,7 @@ mod tests {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let diff = sparse::max_abs_diff(&out.x, &want);
@@ -785,6 +803,7 @@ mod tests {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         assert!(sparse::max_abs_diff(&out.x, &want) < 1e-11);

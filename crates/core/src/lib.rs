@@ -14,6 +14,10 @@
 //!   broadcast trees and per-row binary reduction trees (paper Alg. 3,
 //!   generalized to `Px × Py`), plus the flat-communication variant the
 //!   baseline 3D algorithm uses.
+//! * [`levelexec`] — the alternate level-set execution engine: fires the
+//!   same compiled passes in precompiled dependency-level order instead
+//!   of a reactive work queue (selected with
+//!   [`SolverConfig::executor`], DESIGN.md §12).
 //! * [`allreduce`] — the sparse inter-grid allreduce (paper Alg. 2).
 //! * [`new3d`] — the proposed 3D SpTRSV (paper Alg. 1): one masked 2D
 //!   L-solve, one sparse allreduce, one 2D U-solve.
@@ -34,6 +38,7 @@ pub mod baseline3d;
 pub mod driver;
 pub mod gpusolve;
 pub mod kernels;
+pub mod levelexec;
 pub mod new3d;
 pub mod plan;
 pub mod schedule;
@@ -41,8 +46,8 @@ pub mod solve2d;
 
 pub use analysis::{critical_path, BlockingEdge, CriticalPath};
 pub use driver::{
-    solve_distributed, solve_planned, solve_traced, Algorithm, Arch, Backend, PhaseTimes,
-    SolveOutcome, Solver3d, SolverConfig,
+    solve_distributed, solve_planned, solve_traced, Algorithm, Arch, Backend, ExecutorKind,
+    PhaseTimes, SolveOutcome, Solver3d, SolverConfig,
 };
 pub use plan::{GridSet, Plan};
 
@@ -71,6 +76,7 @@ mod tests {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let want = f.solve(&b, 1);

@@ -11,7 +11,7 @@
 //! lists were resolved at plan time, so repeated solves touch none of it.
 
 use crate::allreduce::{naive_allreduce, sparse_allreduce};
-use crate::driver::PhaseTimes;
+use crate::driver::{ExecutorKind, PhaseTimes};
 use crate::plan::Plan;
 use crate::schedule::{RankSchedule, ScheduleKey};
 use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, SolveState};
@@ -50,6 +50,7 @@ pub fn run_rank<T: Transport>(
     nrhs: usize,
     tree_comm: bool,
     use_naive_allreduce: bool,
+    executor: ExecutorKind,
 ) -> RankOutput {
     let grid = &plan.grids[z];
     let sched = plan.schedule(ScheduleKey {
@@ -65,6 +66,7 @@ pub fn run_rank<T: Transport>(
         y,
         nrhs,
         pb,
+        executor,
     };
     let mut state = SolveState::default();
 
@@ -138,6 +140,7 @@ mod tests {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let diff = sparse::max_abs_diff(&out.x, &want);

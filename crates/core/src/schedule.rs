@@ -19,6 +19,7 @@
 use crate::kernels;
 use crate::plan::{GridSet, Plan, SupSet};
 use crate::solve2d::{member_list, tree_links};
+use ordering::levels::{level_sets, ChainPolicy, LevelSets};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -129,6 +130,15 @@ pub struct PassSched {
     /// Scatter index pool shared by every non-dense [`BlockSched`] of the
     /// pass (see [`BlockSched::targets`]).
     pub scatter: Vec<u32>,
+    /// Alternate level-set program (see [`crate::levelexec`]): indices
+    /// into `rows` grouped by the factor-DAG level of their supernode.
+    /// Within a level the firing direction is ascending supernode for L
+    /// and descending for U — a linear extension of the *global*
+    /// dependency order, which is what keeps cross-rank waits at a level
+    /// barrier deadlock-free.
+    pub level_order: Vec<u32>,
+    /// Level boundaries in `level_order` (`n_levels + 1` entries).
+    pub level_ptr: Vec<u32>,
 }
 
 impl PassSched {
@@ -143,6 +153,14 @@ impl PassSched {
     /// Index into `rows` of trigger row `sup`.
     pub fn row_index(&self, sup: u32) -> Option<usize> {
         self.rows.binary_search_by_key(&sup, |r| r.sup).ok()
+    }
+
+    /// The level-set program's levels, each a slice of indices into
+    /// `rows` in firing order.
+    pub fn levels(&self) -> impl Iterator<Item = &[u32]> {
+        self.level_ptr
+            .windows(2)
+            .map(|w| &self.level_order[w[0] as usize..w[1] as usize])
     }
 }
 
@@ -213,27 +231,114 @@ pub struct Schedule {
     pub ranks: Vec<RankSchedule>,
 }
 
+/// Global level assignment of the factor's supernode dependency DAGs,
+/// computed once per compile and shared by every rank. The levels must be
+/// *global* (per-rank local edges are not enough): a rank parked at a
+/// level barrier may transitively wait on rows other ranks fire, so every
+/// rank's firing order has to be a linear extension of the same partial
+/// order or the barriers could deadlock.
+pub(crate) struct FactorLevels {
+    /// L-solve levels (deps: `blocks_left`, topological order ascending).
+    pub l: LevelSets,
+    /// U-solve levels (deps: `blocks_below`, topological order descending).
+    pub u: LevelSets,
+}
+
+impl FactorLevels {
+    fn compute(plan: &Plan) -> FactorLevels {
+        FactorLevels {
+            l: factor_levels(plan, true),
+            u: factor_levels(plan, false),
+        }
+    }
+}
+
+/// Level sets of one triangle's supernode DAG, with the chain-batching
+/// width chosen by the cost model from the unbatched depth and the grid's
+/// parallel width.
+fn factor_levels(plan: &Plan, lower: bool) -> LevelSets {
+    let sym = plan.fact.lu.sym();
+    let n = sym.n_supernodes();
+    let topo: Vec<u32> = if lower {
+        (0..n as u32).collect()
+    } else {
+        (0..n as u32).rev().collect()
+    };
+    let mut deps = |v: u32, f: &mut dyn FnMut(u32)| {
+        let edges = if lower {
+            sym.blocks_left(v as usize)
+        } else {
+            sym.blocks_below(v as usize)
+        };
+        for &u in edges {
+            f(u);
+        }
+    };
+    let pure = level_sets(n, &topo, ChainPolicy::none(), &mut deps);
+    let policy = ChainPolicy::auto(n, pure.n_levels, plan.px * plan.py);
+    if policy.batch_width <= 1 {
+        pure
+    } else {
+        level_sets(n, &topo, policy, &mut deps)
+    }
+}
+
+/// Group a pass's trigger rows into its level program: indices into
+/// `rows` bucketed by the global level of their supernode, keeping the
+/// firing direction (ascending sups for L, descending for U) within each
+/// level so chain-batched runs fire head-first.
+fn level_program(rows: &[RowSched], level_of: &[u32], lower: bool) -> (Vec<u32>, Vec<u32>) {
+    if rows.is_empty() {
+        return (Vec::new(), vec![0]);
+    }
+    let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+    if !lower {
+        order.reverse();
+    }
+    order.sort_by_key(|&i| level_of[rows[i as usize].sup as usize]);
+    let lev = |i: u32| level_of[rows[i as usize].sup as usize];
+    let mut ptr = vec![0u32];
+    for w in 1..order.len() {
+        if lev(order[w]) != lev(order[w - 1]) {
+            ptr.push(w as u32);
+        }
+    }
+    ptr.push(order.len() as u32);
+    (order, ptr)
+}
+
 impl Schedule {
     /// Compile the schedule for every rank of `plan` (rayon-parallel).
     pub fn compile(plan: &Plan, key: ScheduleKey) -> Schedule {
         use rayon::prelude::*;
+        let levels = FactorLevels::compute(plan);
         let ranks: Vec<RankSchedule> = (0..plan.nranks())
             .into_par_iter()
-            .map(|r| compile_rank(plan, key, r))
+            .map(|r| compile_rank(plan, key, r, &levels))
             .collect();
         Schedule { key, ranks }
     }
 }
 
-fn compile_rank(plan: &Plan, key: ScheduleKey, rank: usize) -> RankSchedule {
+fn compile_rank(plan: &Plan, key: ScheduleKey, rank: usize, levels: &FactorLevels) -> RankSchedule {
     let (x, y, z) = plan.coords(rank);
     let grid = &plan.grids[z];
     let d = plan.depth;
 
     let (l_steps, u_steps) = if key.baseline {
-        compile_baseline_steps(plan, grid, x, y, z)
+        compile_baseline_steps(plan, grid, x, y, z, levels)
     } else {
-        let l = PassSched::compile_l(plan, grid, x, y, &grid.supers, false, key.tree_comm, 0);
+        let l = PassSched::compile_l(
+            plan,
+            grid,
+            x,
+            y,
+            &grid.supers,
+            false,
+            key.tree_comm,
+            0,
+            &levels.l,
+        );
         let u = PassSched::compile_u(
             plan,
             grid,
@@ -244,6 +349,7 @@ fn compile_rank(plan: &Plan, key: ScheduleKey, rank: usize) -> RankSchedule {
             &[],
             key.tree_comm,
             1,
+            &levels.u,
         );
         (
             vec![SolveStep {
@@ -323,6 +429,7 @@ fn compile_baseline_steps(
     x: usize,
     y: usize,
     z: usize,
+    levels: &FactorLevels,
 ) -> (Vec<SolveStep>, Vec<SolveStep>) {
     let d = plan.depth;
     let nsup = plan.fact.lu.sym().n_supernodes();
@@ -335,7 +442,17 @@ fn compile_baseline_steps(
         let pass = if active {
             let cols = plan.node_supers(grid.path[lev]);
             (!cols.is_empty()).then(|| {
-                PassSched::compile_l(plan, grid, x, y, &cols, true, false, (d - lev) as u64)
+                PassSched::compile_l(
+                    plan,
+                    grid,
+                    x,
+                    y,
+                    &cols,
+                    true,
+                    false,
+                    (d - lev) as u64,
+                    &levels.l,
+                )
             })
         } else {
             None
@@ -401,6 +518,7 @@ fn compile_baseline_steps(
                     &ext,
                     false,
                     (d + 1 + lev) as u64,
+                    &levels.u,
                 )
             })
         } else {
@@ -457,6 +575,7 @@ impl PassSched {
         contrib_all: bool,
         tree_comm: bool,
         epoch: u64,
+        levels: &LevelSets,
     ) -> PassSched {
         let sym = plan.fact.lu.sym();
         let (px, py) = (plan.px, plan.py);
@@ -537,6 +656,7 @@ impl PassSched {
             tree_comm,
         );
 
+        let (level_order, level_ptr) = level_program(&rows, &levels.level_of, true);
         PassSched {
             epoch,
             lower: true,
@@ -545,6 +665,8 @@ impl PassSched {
             rows,
             ext_roots: Vec::new(),
             scatter,
+            level_order,
+            level_ptr,
         }
     }
 
@@ -562,6 +684,7 @@ impl PassSched {
         ext: &[u32],
         tree_comm: bool,
         epoch: u64,
+        levels: &LevelSets,
     ) -> PassSched {
         let sym = plan.fact.lu.sym();
         let (px, py) = (plan.px, plan.py);
@@ -674,6 +797,7 @@ impl PassSched {
             tree_comm,
         );
 
+        let (level_order, level_ptr) = level_program(&rows, &levels.level_of, false);
         PassSched {
             epoch,
             lower: false,
@@ -682,6 +806,8 @@ impl PassSched {
             rows,
             ext_roots,
             scatter,
+            level_order,
+            level_ptr,
         }
     }
 }
@@ -783,6 +909,11 @@ pub trait PassEngine {
     /// trigger row still waits on `outstanding` more contributions (an
     /// `fmod` stall — the row cannot fire yet).
     fn on_fmod_stall(&mut self, _row: &RowSched, _outstanding: u32) {}
+    /// Observability hook (level executor only): the interpreter is parked
+    /// at level barrier `level`, about to block for a message, because
+    /// `row` still waits on `outstanding` contributions. Engines use this
+    /// to attribute the next receive's wait time to the barrier.
+    fn on_level_wait(&mut self, _level: u32, _row: &RowSched, _outstanding: u32) {}
 }
 
 /// One message delivered to a pass: a solved column vector (broadcast
@@ -807,9 +938,9 @@ pub struct RecvEvent {
 /// [`PassScratch::reset`].
 #[derive(Default)]
 pub struct PassScratch {
-    fmod: Vec<u32>,
-    work: Vec<u32>,
-    seen: HashSet<(bool, u32, u32)>,
+    pub(crate) fmod: Vec<u32>,
+    pub(crate) work: Vec<u32>,
+    pub(crate) seen: HashSet<(bool, u32, u32)>,
 }
 
 impl PassScratch {
@@ -823,7 +954,7 @@ impl PassScratch {
     /// region starts: `work` can hold every trigger row (each row enters
     /// the ready queue exactly once) and `seen` every expected logical
     /// message.
-    fn reset(&mut self, pass: &PassSched) {
+    pub(crate) fn reset(&mut self, pass: &PassSched) {
         self.fmod.clear();
         self.fmod.extend(pass.rows.iter().map(|r| r.fmod0));
         self.work.clear();
@@ -880,85 +1011,18 @@ fn run_pass_impl<E: PassEngine>(
     let _audit = crate::audit::pass_scope();
     let PassScratch { fmod, work, seen } = scratch;
 
-    // Announce externally solved columns I root (baseline U passes).
-    for &j in &pass.ext_roots {
-        let v = engine.solved(j);
-        let col = pass.col(j).expect("ext root column compiled");
-        engine.forward(col, &v);
-        apply_and_complete(engine, pass, col, &v, fmod, work);
-    }
+    announce_ext_roots(engine, pass, fmod, work);
 
     let mut received = 0u32;
     loop {
         while let Some(s) = work.pop() {
             let idx = pass.row_index(s).expect("trigger row compiled");
-            let row = &pass.rows[idx];
-            match row.parent {
-                None => {
-                    let v = engine.solve_diag(row);
-                    if let Some(col) = pass.col(s) {
-                        engine.forward(col, &v);
-                        apply_and_complete(engine, pass, col, &v, fmod, work);
-                    }
-                    engine.store_solved(s, &v);
-                }
-                Some(p) => engine.send_partial(row, p),
-            }
+            fire_row(engine, pass, idx, fmod, work);
         }
         if received >= pass.expected {
             break;
         }
-        // A stalled receive panics in the simulator's watchdog; append the
-        // pass-level view (pending counters, tree positions) so the dump
-        // says *what* this rank was still waiting for.
-        let ev = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.recv(pass.epoch)
-        })) {
-            Ok(ev) => ev,
-            Err(cause) => {
-                let inner = cause
-                    .downcast_ref::<String>()
-                    .cloned()
-                    .or_else(|| cause.downcast_ref::<&str>().map(|s| s.to_string()))
-                    .unwrap_or_else(|| "receive panicked".to_string());
-                std::panic::resume_unwind(Box::new(format!(
-                    "{inner}{}",
-                    pass_report(pass, fmod, received)
-                )));
-            }
-        };
-        if dedup && !seen.insert((ev.vector, ev.sup, ev.src)) {
-            // Duplicate delivery: drop it without touching counters.
-            engine.on_duplicate_dropped(&ev);
-            continue;
-        }
-        received += 1;
-        if ev.vector {
-            if let Some(col) = pass.col(ev.sup) {
-                engine.forward(col, &ev.payload);
-                apply_and_complete(engine, pass, col, &ev.payload, fmod, work);
-            }
-            engine.store_solved(ev.sup, &ev.payload);
-        } else {
-            let idx = pass
-                .row_index(ev.sup)
-                .expect("partial targets a trigger row");
-            if fmod[idx] == 0 {
-                panic!(
-                    "excess partial sum for already-complete trigger row sup {} (src {}){}",
-                    ev.sup,
-                    ev.src,
-                    pass_report(pass, fmod, received)
-                );
-            }
-            engine.add_partial(&pass.rows[idx], ev.src, &ev.payload);
-            fmod[idx] -= 1;
-            if fmod[idx] == 0 {
-                work.push(ev.sup);
-            } else {
-                engine.on_fmod_stall(&pass.rows[idx], fmod[idx]);
-            }
-        }
+        recv_and_dispatch(engine, pass, fmod, work, seen, &mut received, dedup);
     }
     if !work.is_empty() || fmod.iter().any(|&c| c != 0) {
         panic!(
@@ -968,10 +1032,115 @@ fn run_pass_impl<E: PassEngine>(
     }
 }
 
+/// Announce externally solved columns this rank roots (baseline U passes).
+pub(crate) fn announce_ext_roots<E: PassEngine>(
+    engine: &mut E,
+    pass: &PassSched,
+    fmod: &mut [u32],
+    work: &mut Vec<u32>,
+) {
+    for &j in &pass.ext_roots {
+        let v = engine.solved(j);
+        let col = pass.col(j).expect("ext root column compiled");
+        engine.forward(col, &v);
+        apply_and_complete(engine, pass, col, &v, fmod, work);
+    }
+}
+
+/// Fire trigger row `idx`: solve + broadcast + local apply at the
+/// diagonal owner, a partial-sum send everywhere else. Shared by the
+/// tree-driven work queue and the level executor's precompiled order.
+pub(crate) fn fire_row<E: PassEngine>(
+    engine: &mut E,
+    pass: &PassSched,
+    idx: usize,
+    fmod: &mut [u32],
+    work: &mut Vec<u32>,
+) {
+    let row = &pass.rows[idx];
+    match row.parent {
+        None => {
+            let v = engine.solve_diag(row);
+            if let Some(col) = pass.col(row.sup) {
+                engine.forward(col, &v);
+                apply_and_complete(engine, pass, col, &v, fmod, work);
+            }
+            engine.store_solved(row.sup, &v);
+        }
+        Some(p) => engine.send_partial(row, p),
+    }
+}
+
+/// Block for one epoch-matched message and dispatch it: duplicates are
+/// dropped idempotently (without consuming receive budget), vectors are
+/// forwarded/applied, partials folded into their trigger row. Shared by
+/// both executors so their delivery semantics cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn recv_and_dispatch<E: PassEngine>(
+    engine: &mut E,
+    pass: &PassSched,
+    fmod: &mut [u32],
+    work: &mut Vec<u32>,
+    seen: &mut HashSet<(bool, u32, u32)>,
+    received: &mut u32,
+    dedup: bool,
+) {
+    // A stalled receive panics in the simulator's watchdog; append the
+    // pass-level view (pending counters, tree positions) so the dump
+    // says *what* this rank was still waiting for.
+    let ev =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.recv(pass.epoch))) {
+            Ok(ev) => ev,
+            Err(cause) => {
+                let inner = cause
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| cause.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "receive panicked".to_string());
+                std::panic::resume_unwind(Box::new(format!(
+                    "{inner}{}",
+                    pass_report(pass, fmod, *received)
+                )));
+            }
+        };
+    if dedup && !seen.insert((ev.vector, ev.sup, ev.src)) {
+        // Duplicate delivery: drop it without touching counters.
+        engine.on_duplicate_dropped(&ev);
+        return;
+    }
+    *received += 1;
+    if ev.vector {
+        if let Some(col) = pass.col(ev.sup) {
+            engine.forward(col, &ev.payload);
+            apply_and_complete(engine, pass, col, &ev.payload, fmod, work);
+        }
+        engine.store_solved(ev.sup, &ev.payload);
+    } else {
+        let idx = pass
+            .row_index(ev.sup)
+            .expect("partial targets a trigger row");
+        if fmod[idx] == 0 {
+            panic!(
+                "excess partial sum for already-complete trigger row sup {} (src {}){}",
+                ev.sup,
+                ev.src,
+                pass_report(pass, fmod, *received)
+            );
+        }
+        engine.add_partial(&pass.rows[idx], ev.src, &ev.payload);
+        fmod[idx] -= 1;
+        if fmod[idx] == 0 {
+            work.push(ev.sup);
+        } else {
+            engine.on_fmod_stall(&pass.rows[idx], fmod[idx]);
+        }
+    }
+}
+
 /// Per-pass diagnostic appended to stall/validation panics: which trigger
 /// rows are still pending, their remaining counters, and their reduction
 /// tree position.
-fn pass_report(pass: &PassSched, fmod: &[u32], received: u32) -> String {
+pub(crate) fn pass_report(pass: &PassSched, fmod: &[u32], received: u32) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     let _ = writeln!(s);
@@ -1008,7 +1177,7 @@ fn pass_report(pass: &PassSched, fmod: &[u32], received: u32) -> String {
 /// A column's vector became available: apply its blocks and retire the
 /// dependency from every trigger row it touches. Rows outside the pass
 /// just accumulate (baseline ancestor rows).
-fn apply_and_complete<E: PassEngine>(
+pub(crate) fn apply_and_complete<E: PassEngine>(
     engine: &mut E,
     pass: &PassSched,
     col: &ColSched,
@@ -1231,6 +1400,8 @@ mod tests {
             }],
             ext_roots: vec![],
             scatter: vec![],
+            level_order: vec![0],
+            level_ptr: vec![0, 1],
         };
         let vec_ev = RecvEvent {
             vector: true,

@@ -24,6 +24,7 @@
 //! the paper's Algorithm 3 (`fmod`/`bmod` dependency counters included).
 
 use crate::arena::SolveArena;
+use crate::driver::ExecutorKind;
 use crate::kernels;
 use crate::plan::{GridSet, Plan};
 use crate::schedule::{
@@ -233,6 +234,8 @@ pub struct Ctx<'a, T: Transport> {
     pub nrhs: usize,
     /// Global permuted RHS (`n × nrhs` col-major), read-only.
     pub pb: &'a [f64],
+    /// Which execution engine interprets the compiled passes.
+    pub executor: ExecutorKind,
 }
 
 impl<T: Transport> Ctx<'_, T> {
@@ -261,9 +264,13 @@ pub fn u_solve_pass<T: Transport>(ctx: &Ctx<T>, pass: &PassSched, state: &mut So
 fn solve_pass<T: Transport>(ctx: &Ctx<T>, pass: &PassSched, state: &mut SolveState, lower: bool) {
     // The interpreter scratch lives in `state` so repeated passes reuse
     // it, but the engine needs `&mut state` too — take it for the pass.
+    let executor = ctx.executor;
     let mut scratch = std::mem::take(&mut state.scratch);
     let mut engine = CpuEngine::new(ctx, pass, state, lower);
-    run_pass_with(&mut engine, pass, &mut scratch);
+    match executor {
+        ExecutorKind::Tree => run_pass_with(&mut engine, pass, &mut scratch),
+        ExecutorKind::Level => crate::levelexec::run_level_pass(&mut engine, pass, &mut scratch),
+    }
     engine.finish();
     state.scratch = scratch;
 }
@@ -293,6 +300,10 @@ struct CpuEngine<'a, 'b, T: Transport> {
     partial_bufs: HashMap<u32, Arc<[f64]>>,
     /// Shared snapshots of externally solved columns this rank announces.
     ext_bufs: HashMap<u32, Arc<[f64]>>,
+    /// Pending level-barrier attribution `(level, sup)`: set when the
+    /// level-set executor parks at a barrier, consumed by the next
+    /// blocking receive so its trace span reads as barrier wait time.
+    barrier: Option<(u32, u32)>,
 }
 
 impl<'a, 'b, T: Transport> CpuEngine<'a, 'b, T> {
@@ -356,6 +367,7 @@ impl<'a, 'b, T: Transport> CpuEngine<'a, 'b, T> {
         }
         state.arena.ensure(3 * maxlen);
         ctx.comm.metric_inc("pass.fmod_stalls", 0);
+        ctx.comm.metric_inc("pass.level_barrier_waits", 0);
         CpuEngine {
             ctx,
             state,
@@ -366,6 +378,7 @@ impl<'a, 'b, T: Transport> CpuEngine<'a, 'b, T> {
             diag_bufs,
             partial_bufs,
             ext_bufs,
+            barrier: None,
         }
     }
 
@@ -584,16 +597,27 @@ impl<T: Transport> PassEngine for CpuEngine<'_, '_, T> {
         } else {
             unreachable!("unexpected message kind in 2D pass");
         };
-        self.ctx.comm.annotate_last(SpanDetail::Pass {
-            epoch: self.epoch,
-            step: self.step,
-            sup,
-            role: if vector {
-                TreeRole::Bcast
-            } else {
-                TreeRole::Reduce
-            },
-        });
+        // A receive entered while parked at a level barrier is that
+        // barrier's wait — attribute the span to the barrier instead of
+        // the delivered message, so the critical-path report can sum the
+        // level engine's synchronization cost.
+        match self.barrier.take() {
+            Some((level, waiting)) => self.ctx.comm.annotate_last(SpanDetail::LevelBarrier {
+                epoch: self.epoch,
+                level,
+                sup: waiting,
+            }),
+            None => self.ctx.comm.annotate_last(SpanDetail::Pass {
+                epoch: self.epoch,
+                step: self.step,
+                sup,
+                role: if vector {
+                    TreeRole::Bcast
+                } else {
+                    TreeRole::Reduce
+                },
+            }),
+        }
         self.step += 1;
         RecvEvent {
             vector,
@@ -609,6 +633,11 @@ impl<T: Transport> PassEngine for CpuEngine<'_, '_, T> {
 
     fn on_fmod_stall(&mut self, _row: &RowSched, _outstanding: u32) {
         self.ctx.comm.metric_inc("pass.fmod_stalls", 1);
+    }
+
+    fn on_level_wait(&mut self, level: u32, row: &RowSched, _outstanding: u32) {
+        self.barrier = Some((level, row.sup));
+        self.ctx.comm.metric_inc("pass.level_barrier_waits", 1);
     }
 }
 

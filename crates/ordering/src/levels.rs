@@ -1,0 +1,248 @@
+//! Level sets of a triangular factor's dependency DAG.
+//!
+//! A lower-triangular solve admits a classic alternative to message-driven
+//! tree execution: group the rows into *level sets* — row `i` is in level
+//! `1 + max(level of every row it depends on)` — and sweep the levels in
+//! order, with all rows of one level independent of each other. The level
+//! program is a valid schedule for **any** executor that fires rows in
+//! `(level, topological)` order, because a level assignment is a linear
+//! extension of the dependency partial order.
+//!
+//! Two refinements from the scheduling literature (Böhnlein et al.,
+//! PAPERS.md; cholespy, SNIPPETS.md §2–3) are implemented here:
+//!
+//! * **Chain batching**: a row whose *only* dependency is a row with a
+//!   *single* successor forms a sequential chain; splitting the chain
+//!   across levels buys no parallelism and costs one barrier per link.
+//!   Merging such runs into their head's level (up to a batch width)
+//!   collapses long thin tails of the DAG into few levels.
+//! * **A cost model** ([`ChainPolicy::auto`]) choosing the batch width
+//!   from the DAG shape: wide DAGs keep width 1 (batching would serialize
+//!   real parallelism), thin DAGs batch aggressively (barriers dominate).
+//!
+//! The construction is generic over the node set and dependency relation:
+//! callers hand in a topological order and a dependency enumerator, so the
+//! same code levels scalar CSR rows (tests), supernodes of an L factor
+//! (`blocks_left` edges), and supernodes of a U factor (`blocks_below`
+//! edges, reversed topological order).
+
+/// Batch-width policy for chain batching. Width 1 disables batching and
+/// yields the pure level assignment (every dependency strictly earlier).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainPolicy {
+    /// Maximum rows merged into one level along a single-successor chain.
+    pub batch_width: u32,
+}
+
+impl ChainPolicy {
+    /// No batching: the pure level-set construction.
+    pub fn none() -> ChainPolicy {
+        ChainPolicy { batch_width: 1 }
+    }
+
+    /// Simple cost model: compare the DAG's mean level occupancy
+    /// (`n_nodes / depth`) against the machine's parallel width. Wide
+    /// levels already saturate the machine — batching would serialize
+    /// useful concurrency, keep width 1. Thin levels mean the solve is
+    /// barrier-bound — batch chains up to the width that would lift the
+    /// mean occupancy to ~2× the parallel width, capped at 16.
+    pub fn auto(n_nodes: usize, depth: u32, parallel_width: usize) -> ChainPolicy {
+        let depth = (depth as usize).max(1);
+        let occupancy = n_nodes.div_ceil(depth).max(1);
+        let target = 2 * parallel_width.max(1);
+        let batch_width = if occupancy >= target {
+            1
+        } else {
+            target.div_ceil(occupancy).min(16)
+        };
+        ChainPolicy {
+            batch_width: batch_width as u32,
+        }
+    }
+}
+
+/// A level assignment of a dependency DAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelSets {
+    /// Level index of each node, `0 ..= n_levels - 1`.
+    pub level_of: Vec<u32>,
+    /// Number of distinct levels (the DAG depth when unbatched).
+    pub n_levels: u32,
+}
+
+impl LevelSets {
+    /// Nodes grouped by level in the caller's topological order:
+    /// `(order, level_ptr)` with level `l` occupying
+    /// `order[level_ptr[l] .. level_ptr[l + 1]]`.
+    pub fn grouped(&self, topo: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let nlev = self.n_levels as usize;
+        let mut counts = vec![0u32; nlev + 1];
+        for &v in topo {
+            counts[self.level_of[v as usize] as usize + 1] += 1;
+        }
+        for l in 0..nlev {
+            counts[l + 1] += counts[l];
+        }
+        let mut order = vec![0u32; topo.len()];
+        let mut cursor = counts.clone();
+        for &v in topo {
+            let l = self.level_of[v as usize] as usize;
+            order[cursor[l] as usize] = v;
+            cursor[l] += 1;
+        }
+        (order, counts)
+    }
+}
+
+/// Dependency enumerator: `deps(v, yield)` calls `yield(u)` once per
+/// dependency `u` of node `v`.
+pub type DepsFn<'a> = dyn FnMut(u32, &mut dyn FnMut(u32)) + 'a;
+
+/// Compute the level sets of a DAG over nodes `0 .. n`.
+///
+/// `topo` is a topological order of the nodes (every dependency precedes
+/// its dependents). `deps(v, yield)` enumerates the dependencies of node
+/// `v`. With `policy.batch_width == 1` this is the textbook construction:
+/// `level(v) = 1 + max(level(dep))`. With a larger width, a node whose
+/// sole dependency has a single successor is merged into that
+/// dependency's level while the merged run stays within the width —
+/// within a level, chained nodes keep their topological order, so any
+/// executor firing a level in `topo` order still respects the chain.
+pub fn level_sets(n: usize, topo: &[u32], policy: ChainPolicy, deps: &mut DepsFn) -> LevelSets {
+    assert_eq!(topo.len(), n, "topo order must cover every node");
+    let batch = policy.batch_width.max(1);
+
+    // Successor counts drive the chain test; only needed when batching.
+    let mut succ = vec![0u32; if batch > 1 { n } else { 0 }];
+    if batch > 1 {
+        for &v in topo {
+            deps(v, &mut |u| succ[u as usize] += 1);
+        }
+    }
+
+    let mut level_of = vec![0u32; n];
+    let mut chain_len = vec![1u32; n];
+    let mut n_levels = 0u32;
+    for &v in topo {
+        let mut maxlev = 0u32;
+        let mut ndeps = 0u32;
+        let mut the_dep = 0u32;
+        deps(v, &mut |u| {
+            maxlev = maxlev.max(level_of[u as usize] + 1);
+            ndeps += 1;
+            the_dep = u;
+        });
+        let vu = v as usize;
+        if ndeps == 0 {
+            level_of[vu] = 0;
+            chain_len[vu] = 1;
+        } else if batch > 1
+            && ndeps == 1
+            && succ[the_dep as usize] == 1
+            && chain_len[the_dep as usize] < batch
+        {
+            // Single-successor chain link: ride the head's level.
+            level_of[vu] = level_of[the_dep as usize];
+            chain_len[vu] = chain_len[the_dep as usize] + 1;
+        } else {
+            level_of[vu] = maxlev;
+            chain_len[vu] = 1;
+        }
+        n_levels = n_levels.max(level_of[vu] + 1);
+    }
+    LevelSets {
+        level_of,
+        n_levels: if n == 0 { 0 } else { n_levels },
+    }
+}
+
+/// Level sets of a strictly lower-triangular dependency pattern in CSR
+/// form (`row_ptr`/`col_idx`, entries below the diagonal only): the
+/// dependency DAG of a forward substitution. Convenience wrapper used by
+/// tests and the scalar-level proptest harness.
+pub fn level_sets_csr(row_ptr: &[usize], col_idx: &[usize], policy: ChainPolicy) -> LevelSets {
+    let n = row_ptr.len().saturating_sub(1);
+    let topo: Vec<u32> = (0..n as u32).collect();
+    level_sets(n, &topo, policy, &mut |v, f| {
+        let vu = v as usize;
+        for &j in &col_idx[row_ptr[vu]..row_ptr[vu + 1]] {
+            if j != vu {
+                debug_assert!(j < vu, "entry above the diagonal");
+                f(j as u32);
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 → {1, 2} → 3. Depth 3, no chains.
+    #[test]
+    fn diamond_levels() {
+        let row_ptr = [0, 0, 1, 2, 4];
+        let col_idx = [0, 0, 1, 2];
+        let ls = level_sets_csr(&row_ptr, &col_idx, ChainPolicy::none());
+        assert_eq!(ls.level_of, vec![0, 1, 1, 2]);
+        assert_eq!(ls.n_levels, 3);
+    }
+
+    /// A pure chain 0 → 1 → 2 → 3 collapses under batching but its level
+    /// count still respects the `depth / batch_width` floor.
+    #[test]
+    fn chain_batches() {
+        let row_ptr = [0, 0, 1, 2, 3];
+        let col_idx = [0, 1, 2];
+        let pure = level_sets_csr(&row_ptr, &col_idx, ChainPolicy::none());
+        assert_eq!(pure.n_levels, 4);
+        let batched = level_sets_csr(&row_ptr, &col_idx, ChainPolicy { batch_width: 2 });
+        assert_eq!(batched.level_of, vec![0, 0, 1, 1]);
+        let wide = level_sets_csr(&row_ptr, &col_idx, ChainPolicy { batch_width: 8 });
+        assert_eq!(wide.n_levels, 1);
+    }
+
+    /// A fan-out node is never merged into a chain: its successors each
+    /// depend on it, so level order must keep them strictly later unless
+    /// they are themselves single-dependency chain links.
+    #[test]
+    fn fanout_is_not_a_chain() {
+        // 0 → 1, 0 → 2: node 0 has two successors.
+        let row_ptr = [0, 0, 1, 2];
+        let col_idx = [0, 0];
+        let ls = level_sets_csr(&row_ptr, &col_idx, ChainPolicy { batch_width: 8 });
+        assert_eq!(ls.level_of[0], 0);
+        assert_eq!(ls.level_of[1], 1);
+        assert_eq!(ls.level_of[2], 1);
+    }
+
+    #[test]
+    fn grouped_partitions_in_topo_order() {
+        let row_ptr = [0, 0, 1, 2, 4];
+        let col_idx = [0, 0, 1, 2];
+        let ls = level_sets_csr(&row_ptr, &col_idx, ChainPolicy::none());
+        let topo: Vec<u32> = (0..4).collect();
+        let (order, ptr) = ls.grouped(&topo);
+        assert_eq!(ptr, vec![0, 1, 3, 4]);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn auto_policy_scales_with_occupancy() {
+        // Wide DAG: occupancy 100 ≥ 2·4 → no batching.
+        assert_eq!(ChainPolicy::auto(1000, 10, 4).batch_width, 1);
+        // Thin DAG: occupancy 1 < 2·4 → batch toward 2×width.
+        assert_eq!(ChainPolicy::auto(10, 10, 4).batch_width, 8);
+        // Cap at 16 for extreme depth.
+        assert_eq!(ChainPolicy::auto(4, 400, 64).batch_width, 16);
+        // Degenerate inputs do not divide by zero.
+        assert_eq!(ChainPolicy::auto(0, 0, 0).batch_width, 2);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let ls = level_sets(0, &[], ChainPolicy::none(), &mut |_, _| {});
+        assert_eq!(ls.n_levels, 0);
+        assert!(ls.level_of.is_empty());
+    }
+}

@@ -12,13 +12,17 @@
 //! * [`symbolic`] — fill pattern of L (= Uᵀ for symmetric patterns),
 //!   fundamental supernode detection, and the supernodal symbolic structure
 //!   consumed by the numeric factorization and the distributed solvers.
+//! * [`levels`] — level sets of a factor's dependency DAG with chain
+//!   batching, the substrate of the level-set execution engine.
 
 pub mod etree;
 pub mod graph;
+pub mod levels;
 pub mod nd;
 pub mod symbolic;
 
 pub use graph::Graph;
+pub use levels::{ChainPolicy, LevelSets};
 pub use nd::{NdOptions, NdResult, SepTree, SepTreeNode};
 pub use symbolic::{SymbolicLU, SymbolicOptions};
 

@@ -107,6 +107,17 @@ pub enum SpanDetail {
         /// Kernel launches retired by the pass.
         tasks: u64,
     },
+    /// Blocking receive entered while the level-set executor is parked at
+    /// a level barrier: the waited-on row's dependencies are incomplete,
+    /// so the span's stall time is level-synchronization cost.
+    LevelBarrier {
+        /// Pass epoch.
+        epoch: u64,
+        /// Level the executor is parked at.
+        level: u32,
+        /// Supernode of the row waiting at the barrier.
+        sup: u32,
+    },
 }
 
 /// Fault-injection marks stamped on message spans, so chaos runs can be
@@ -237,6 +248,9 @@ pub fn span_name(e: &TraceEvent) -> String {
             EventKind::Compute => format!("gpu pass e{epoch}"),
             _ => format!("gpu drain e{epoch}"),
         },
+        (_, Some(SpanDetail::LevelBarrier { level, sup, .. })) => {
+            format!("level barrier L{level} sup {sup}")
+        }
         (EventKind::Compute, None) => "compute".to_string(),
         (EventKind::Send, None) => match &e.msg {
             Some(m) => format!("send -> {}", m.peer),
@@ -334,6 +348,11 @@ fn push_args(out: &mut String, e: &TraceEvent) {
         Some(SpanDetail::GpuPass { epoch, tasks }) => {
             push_kv_raw(out, "epoch", &epoch.to_string(), &mut first);
             push_kv_raw(out, "tasks", &tasks.to_string(), &mut first);
+        }
+        Some(SpanDetail::LevelBarrier { epoch, level, sup }) => {
+            push_kv_raw(out, "epoch", &epoch.to_string(), &mut first);
+            push_kv_raw(out, "level", &level.to_string(), &mut first);
+            push_kv_raw(out, "sup", &sup.to_string(), &mut first);
         }
         None => {}
     }

@@ -442,6 +442,142 @@ pub fn wave3d_irregular(
     finalize(nkept, &off)
 }
 
+/// Pure banded symmetric matrix: every in-band coupling present with
+/// seeded magnitudes. The elimination DAG of a banded factor is one long
+/// chain of narrow levels — the worst case for level-set execution
+/// (maximal barrier count, minimal within-level parallelism) and the
+/// best case for chain batching.
+pub fn banded(n: usize, half_bw: usize, seed: u64) -> CsrMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut off = Vec::new();
+    for i in 0..n {
+        for d in 1..=half_bw {
+            if i + d < n {
+                push_pair(
+                    &mut off,
+                    i,
+                    i + d,
+                    -(0.2 + 0.8 * rng.gen::<f64>()) / d as f64,
+                );
+            }
+        }
+    }
+    finalize(n, &off)
+}
+
+/// Power-law graph matrix via recursive R-MAT quadrant sampling
+/// (Chakrabarti et al., SDM'04 parameters `a=0.57, b=c=0.19`): a few
+/// hub rows couple to many others while most rows stay sparse. Nested
+/// dissection produces very uneven separators on such graphs, which is
+/// the shallow-and-wide, imbalanced regime where reactive tree execution
+/// and level barriers diverge the most. `scale_log2` sets `n = 2^scale`;
+/// `edge_factor` is the average edges per vertex before deduplication.
+pub fn rmat(scale_log2: u32, edge_factor: usize, seed: u64) -> CsrMatrix {
+    let n = 1usize << scale_log2;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut pairs = std::collections::HashSet::new();
+    let mut off = Vec::new();
+    for _ in 0..n * edge_factor {
+        let (mut i, mut j) = (0usize, 0usize);
+        for _ in 0..scale_log2 {
+            let r: f64 = rng.gen();
+            let (di, dj) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            i = 2 * i + di;
+            j = 2 * j + dj;
+        }
+        let (i, j) = (i.min(j), i.max(j));
+        if i != j && pairs.insert((i, j)) {
+            push_pair(&mut off, i, j, -(0.1 + 0.9 * rng.gen::<f64>()));
+        }
+    }
+    // Chain to guarantee irreducibility (isolated vertices otherwise).
+    for i in 0..n - 1 {
+        if pairs.insert((i, i + 1)) {
+            push_pair(&mut off, i, i + 1, -0.05);
+        }
+    }
+    finalize(n, &off)
+}
+
+/// Blocked-random matrix: `n_blocks` dense diagonal blocks of width
+/// `block` (supernode-friendly) coupled by a seeded fraction of random
+/// block pairs. The factor's DAG is bushy and irregular — many
+/// independent rows per level with wildly varying block sizes — which is
+/// the regime where level sweeps amortize best.
+pub fn blocked_random(n_blocks: usize, block: usize, coupling: f64, seed: u64) -> CsrMatrix {
+    let n = n_blocks * block;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut off = Vec::new();
+    for bi in 0..n_blocks {
+        let base = bi * block;
+        // Dense within-block coupling.
+        for a in 0..block {
+            for b in a + 1..block {
+                push_pair(
+                    &mut off,
+                    base + a,
+                    base + b,
+                    -(0.2 + 0.8 * rng.gen::<f64>()),
+                );
+            }
+        }
+    }
+    for bi in 0..n_blocks {
+        for bj in bi + 1..n_blocks {
+            if rng.gen::<f64>() >= coupling {
+                continue;
+            }
+            // Couple a seeded row pair of the two blocks (keeps fill
+            // moderate while connecting the block graph).
+            let a = bi * block + rng.gen_range(0..block);
+            let b = bj * block + rng.gen_range(0..block);
+            push_pair(&mut off, a, b, -0.3);
+        }
+    }
+    // Chain adjacent blocks so the block graph is connected even at low
+    // coupling.
+    for bi in 0..n_blocks.saturating_sub(1) {
+        push_pair(&mut off, bi * block, (bi + 1) * block, -0.1);
+    }
+    finalize(n, &off)
+}
+
+/// Random strictly-lower-triangular CSR pattern (`row_ptr`, `col_idx`):
+/// each row draws up to `max_deps` distinct dependencies on earlier
+/// rows. This is the raw substrate the level-set property tests feed to
+/// `ordering::levels::level_sets_csr` — a factor DAG shape without the
+/// cost of a numeric factorization.
+pub fn random_lower_csr(n: usize, max_deps: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    row_ptr.push(0);
+    let mut cols = Vec::new();
+    for i in 0..n {
+        cols.clear();
+        if i > 0 {
+            let k = rng.gen_range(0..=max_deps.min(i));
+            for _ in 0..k {
+                cols.push(rng.gen_range(0..i));
+            }
+            cols.sort_unstable();
+            cols.dedup();
+        }
+        col_idx.extend_from_slice(&cols);
+        row_ptr.push(col_idx.len());
+    }
+    (row_ptr, col_idx)
+}
+
 /// Size tier for the Table 1 analog suite. The paper's matrices have
 /// 0.13–4.2 M rows; a single-core container cannot factor those, so each
 /// experiment states which tier it ran (see EXPERIMENTS.md).
@@ -621,6 +757,71 @@ mod tests {
             assert!(by_name(m.name, Scale::Tiny).is_some());
         }
         assert!(by_name("nonexistent", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn banded_is_a_full_band() {
+        let a = banded(40, 3, 9);
+        check_sym_dd(&a);
+        // Every in-band coupling is present; nothing outside the band.
+        for i in 0..40usize {
+            for (j, v) in a.row_iter(i) {
+                assert!(i.abs_diff(j) <= 3, "({i},{j}) outside band");
+                assert!(v != 0.0);
+            }
+            let lo = i.saturating_sub(3);
+            let hi = (i + 3).min(39);
+            assert_eq!(a.row_cols(i).len(), hi - lo + 1);
+        }
+        assert_eq!(a, banded(40, 3, 9));
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let a = rmat(7, 8, 11);
+        assert_eq!(a.nrows(), 128);
+        check_sym_dd(&a);
+        // Power-law skew: the heaviest row carries several times the
+        // median degree.
+        let mut degs: Vec<usize> = (0..128).map(|i| a.row_cols(i).len()).collect();
+        degs.sort_unstable();
+        assert!(
+            degs[127] >= 3 * degs[64],
+            "max degree {} vs median {} — no hub structure",
+            degs[127],
+            degs[64]
+        );
+        assert_eq!(a, rmat(7, 8, 11));
+    }
+
+    #[test]
+    fn blocked_random_has_dense_diagonal_blocks() {
+        let a = blocked_random(8, 5, 0.3, 13);
+        assert_eq!(a.nrows(), 40);
+        check_sym_dd(&a);
+        // Within-block coupling is fully dense.
+        for r in 0..5usize {
+            for c in 0..5usize {
+                assert!(a.get(r, c) != 0.0, "block(0,0) entry ({r},{c}) missing");
+            }
+        }
+        assert_eq!(a, blocked_random(8, 5, 0.3, 13));
+    }
+
+    #[test]
+    fn random_lower_csr_is_strictly_lower() {
+        let (row_ptr, col_idx) = random_lower_csr(50, 6, 21);
+        assert_eq!(row_ptr.len(), 51);
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len());
+        for i in 0..50 {
+            let deps = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            assert!(
+                deps.windows(2).all(|w| w[0] < w[1]),
+                "row {i} not sorted/deduped"
+            );
+            assert!(deps.iter().all(|&j| j < i), "row {i} has dep >= i");
+        }
+        assert_eq!(random_lower_csr(50, 6, 21), random_lower_csr(50, 6, 21));
     }
 
     #[test]

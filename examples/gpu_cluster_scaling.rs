@@ -40,6 +40,7 @@ fn main() {
                 chaos_seed: 0,
                 fault: Default::default(),
                 backend: Default::default(),
+                executor: Default::default(),
             };
             let out = solve_distributed(&fact, &b, &cfg);
             let res = sparse::rel_residual_inf(&a, &out.x, &b, 1);

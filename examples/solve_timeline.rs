@@ -38,6 +38,7 @@ fn main() {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let plan = Arc::new(Plan::new(Arc::clone(&fact), px, py, pz));
         let out = solve_traced(&plan, &b, &cfg, true);

@@ -29,6 +29,7 @@ struct Args {
     arch: Arch,
     machine: MachineModel,
     backend: Backend,
+    executor: ExecutorKind,
     symmetrize: bool,
     json: bool,
     fault_profile: Option<String>,
@@ -64,6 +65,9 @@ EXECUTION:
     --backend B       sim (default): virtual-time simulator, predicted makespan
                       native: one OS thread per rank over shared memory,
                       measured wall-clock (excludes fault injection / tracing)
+    --executor E      tree (default): message-driven tree walk
+                      level: precompiled level-set sweep with per-row barriers
+                      (both are bit-identical; they differ only in timing)
 
 FAULT INJECTION:
     --fault-profile P chaos profile: clean | jitter | duplicates | reorder |
@@ -95,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
         arch: Arch::Cpu,
         machine: MachineModel::cori_haswell(),
         backend: Backend::Sim,
+        executor: ExecutorKind::Tree,
         symmetrize: false,
         json: false,
         fault_profile: None,
@@ -155,6 +160,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--backend" => a.backend = next(&mut i)?.parse()?,
+            "--executor" => a.executor = next(&mut i)?.parse()?,
             "--fault-profile" => a.fault_profile = Some(next(&mut i)?),
             "--chaos-seed" => {
                 a.chaos_seed = next(&mut i)?
@@ -285,6 +291,7 @@ fn main() -> ExitCode {
         chaos_seed: 0,
         fault,
         backend: args.backend,
+        executor: args.executor,
     };
     let want_trace = args.trace_out.is_some() || args.critical_path;
     let plan = Arc::new(Plan::new(Arc::clone(&fact), args.px, args.py, args.pz));

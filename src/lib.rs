@@ -31,6 +31,7 @@
 //!     chaos_seed: 0,
 //!     fault: Default::default(),
 //!     backend: Default::default(),
+//!     executor: Default::default(),
 //! };
 //! let out = solve_distributed(&fact, &b, &cfg);
 //!
@@ -53,6 +54,6 @@ pub mod prelude {
     pub use sparse::{self, gen, CsrMatrix};
     pub use sptrsv::{
         critical_path, solve_distributed, solve_traced, Algorithm, Arch, Backend, CriticalPath,
-        SolveOutcome, Solver3d, SolverConfig,
+        ExecutorKind, SolveOutcome, Solver3d, SolverConfig,
     };
 }

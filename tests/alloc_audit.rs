@@ -16,7 +16,7 @@ use lufactor::factorize;
 use ordering::SymbolicOptions;
 use simgrid::MachineModel;
 use sparse::gen;
-use sptrsv::{Algorithm, Arch, Solver3d, SolverConfig};
+use sptrsv::{Algorithm, Arch, ExecutorKind, Solver3d, SolverConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::Arc;
 
@@ -48,6 +48,7 @@ fn audited_allocs_on_second_solve(
     name: &str,
     algorithm: Algorithm,
     arch: Arch,
+    executor: ExecutorKind,
     px: usize,
     py: usize,
     pz: usize,
@@ -71,6 +72,7 @@ fn audited_allocs_on_second_solve(
         chaos_seed: 0,
         fault: Default::default(),
         backend: Default::default(),
+        executor,
     };
     let solver = Solver3d::new(Arc::clone(&f), cfg);
     let want = f.solve(&b, nrhs);
@@ -111,13 +113,65 @@ fn steady_state_solves_never_allocate_in_audited_regions() {
             "counting allocator hook is not live"
         );
     }
-    for (name, algorithm, arch, px, py, pz) in [
-        ("new3d/cpu", Algorithm::New3d, Arch::Cpu, 2, 2, 2),
-        ("baseline3d/cpu", Algorithm::Baseline3d, Arch::Cpu, 2, 2, 2),
-        ("new3d/gpu-multi", Algorithm::New3d, Arch::Gpu, 2, 2, 2),
-        ("new3d/gpu-single", Algorithm::New3d, Arch::Gpu, 1, 1, 2),
+    use ExecutorKind::{Level, Tree};
+    for (name, algorithm, arch, executor, px, py, pz) in [
+        ("new3d/cpu/tree", Algorithm::New3d, Arch::Cpu, Tree, 2, 2, 2),
+        (
+            "new3d/cpu/level",
+            Algorithm::New3d,
+            Arch::Cpu,
+            Level,
+            2,
+            2,
+            2,
+        ),
+        (
+            "baseline3d/cpu/tree",
+            Algorithm::Baseline3d,
+            Arch::Cpu,
+            Tree,
+            2,
+            2,
+            2,
+        ),
+        (
+            "baseline3d/cpu/level",
+            Algorithm::Baseline3d,
+            Arch::Cpu,
+            Level,
+            2,
+            2,
+            2,
+        ),
+        (
+            "new3d/gpu-multi/tree",
+            Algorithm::New3d,
+            Arch::Gpu,
+            Tree,
+            2,
+            2,
+            2,
+        ),
+        (
+            "new3d/gpu-multi/level",
+            Algorithm::New3d,
+            Arch::Gpu,
+            Level,
+            2,
+            2,
+            2,
+        ),
+        (
+            "new3d/gpu-single/tree",
+            Algorithm::New3d,
+            Arch::Gpu,
+            Tree,
+            1,
+            1,
+            2,
+        ),
     ] {
-        let n = audited_allocs_on_second_solve(name, algorithm, arch, px, py, pz);
+        let n = audited_allocs_on_second_solve(name, algorithm, arch, executor, px, py, pz);
         assert_eq!(
             n, 0,
             "{name}: {n} heap allocations inside audited steady-state regions \

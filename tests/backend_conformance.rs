@@ -47,6 +47,7 @@ fn config(alg: Algorithm, arch: Arch, (px, py, pz): (usize, usize, usize)) -> So
         chaos_seed: 0,
         fault: Default::default(),
         backend: Backend::Sim,
+        executor: common::executor(),
     }
 }
 

@@ -59,6 +59,7 @@ fn config(
         chaos_seed: 0,
         fault,
         backend: Default::default(),
+        executor: common::executor(),
     }
 }
 

@@ -31,3 +31,15 @@ pub fn backend() -> sptrsv_repro::sptrsv::Backend {
         Err(_) => Default::default(),
     }
 }
+
+/// Execution engine under test for suites that honor the CI executor
+/// matrix. `SPTRSV_TEST_EXECUTOR=tree|level` selects it; default is the
+/// message-driven tree walk.
+pub fn executor() -> sptrsv_repro::sptrsv::ExecutorKind {
+    match std::env::var("SPTRSV_TEST_EXECUTOR") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("SPTRSV_TEST_EXECUTOR: {e}")),
+        Err(_) => Default::default(),
+    }
+}

@@ -35,6 +35,7 @@ fn run(
         chaos_seed: chaos,
         fault: Default::default(),
         backend: Default::default(),
+        executor: Default::default(),
     };
     solve_distributed(f, b, &cfg)
 }
@@ -131,6 +132,7 @@ fn residuals_are_small() {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         let res = sparse::rel_residual_inf(&m.matrix, &out.x, &b, 1);
@@ -172,6 +174,7 @@ fn multi_rhs_prefix_consistency() {
         chaos_seed: 0,
         fault: Default::default(),
         backend: Default::default(),
+        executor: Default::default(),
     };
     let out4 = solve_distributed(&f, &b4, &cfg(4));
     let out1 = solve_distributed(&f, &b4[..n], &cfg(1));
@@ -197,6 +200,7 @@ fn planned_solver_matches_unplanned() {
         chaos_seed: 0,
         fault: Default::default(),
         backend: Default::default(),
+        executor: Default::default(),
     };
     let solver = Solver3d::new(Arc::clone(&f), cfg);
     let out = solver.solve(&b, 2);

@@ -40,6 +40,7 @@ fn solve(alg: Algorithm, arch: Arch, (px, py, pz): (usize, usize, usize)) -> Sol
         chaos_seed: 0,
         fault: Default::default(),
         backend: common::backend(),
+        executor: common::executor(),
     };
     let out = solve_distributed(&f, &b, &cfg);
     let diff = sparse::max_abs_diff(&out.x, &want);

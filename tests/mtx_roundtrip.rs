@@ -1,0 +1,101 @@
+//! MatrixMarket fixture round-trip: the `.mtx` path into the solver is
+//! lossless.
+//!
+//! A committed fixture (an R-MAT power-law matrix, the kind of irregular
+//! input the level executor exists for) is parsed to CSR, re-emitted
+//! through the writer, and parsed again — the two parses must be
+//! **bit-identical** (the writer prints 17 significant digits, enough to
+//! round-trip every finite `f64` exactly). The parsed fixture then runs
+//! through the distributed solver under both execution engines to pin the
+//! full file-to-solution path.
+//!
+//! Regenerate the fixture after an intentional generator change with
+//! `UPDATE_GOLDEN=1 cargo test --test mtx_roundtrip` and commit the diff.
+
+mod common;
+
+use simgrid::MachineModel;
+use sparse::io::{read_matrix_market, read_matrix_market_file, write_matrix_market};
+use sptrsv_repro::prelude::*;
+use std::path::Path;
+use std::sync::Arc;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/rmat_s6.mtx");
+
+fn fixture_matrix() -> sparse::CsrMatrix {
+    gen::rmat(6, 5, 17)
+}
+
+#[test]
+fn fixture_roundtrips_bit_identically() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &fixture_matrix()).expect("serialize fixture");
+        std::fs::write(FIXTURE, &buf).expect("write fixture");
+        eprintln!("updated {FIXTURE}");
+        return;
+    }
+
+    let first = read_matrix_market_file(Path::new(FIXTURE))
+        .unwrap_or_else(|e| panic!("cannot parse {FIXTURE}: {e}\nrun with UPDATE_GOLDEN=1 once"));
+    assert_eq!(
+        first,
+        fixture_matrix(),
+        "fixture drifted from gen::rmat(6, 5, 17); regenerate with UPDATE_GOLDEN=1"
+    );
+
+    // parse → re-emit → parse must be the identity, down to the bits.
+    let mut buf = Vec::new();
+    write_matrix_market(&mut buf, &first).expect("re-emit");
+    let second = read_matrix_market(&buf[..]).expect("re-parse");
+    assert_eq!(first.nrows(), second.nrows());
+    assert_eq!(first.nnz(), second.nnz());
+    for i in 0..first.nrows() {
+        for ((j1, v1), (j2, v2)) in first.row_iter(i).zip(second.row_iter(i)) {
+            assert_eq!(j1, j2, "row {i}: pattern drifted through the writer");
+            assert_eq!(
+                v1.to_bits(),
+                v2.to_bits(),
+                "({i},{j1}): value {v1:e} did not round-trip bit-identically"
+            );
+        }
+    }
+}
+
+/// The parsed fixture solves correctly under both execution engines, and
+/// the engines agree bitwise — the end-to-end `.mtx` → distributed-solve
+/// path honored by `sptrsv3d --matrix`.
+#[test]
+fn fixture_solves_under_both_engines() {
+    let a = read_matrix_market_file(Path::new(FIXTURE))
+        .unwrap_or_else(|e| panic!("cannot parse {FIXTURE}: {e}\nrun with UPDATE_GOLDEN=1 once"));
+    let (pz, nrhs) = (2, 2);
+    let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).expect("factorize"));
+    let b = gen::standard_rhs(a.nrows(), nrhs);
+    let want = f.solve(&b, nrhs);
+
+    let run = |executor| {
+        let cfg = SolverConfig {
+            px: 2,
+            py: 2,
+            pz,
+            nrhs,
+            algorithm: Algorithm::New3d,
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: 0,
+            fault: Default::default(),
+            backend: common::backend(),
+            executor,
+        };
+        solve_distributed(&f, &b, &cfg)
+    };
+    let tree = run(ExecutorKind::Tree);
+    let level = run(ExecutorKind::Level);
+    assert!(sparse::max_abs_diff(&tree.x, &want) < 1e-9);
+    assert!(
+        tree.x == level.x,
+        "engines disagree on the .mtx fixture: max |diff| {:e}",
+        sparse::max_abs_diff(&tree.x, &level.x)
+    );
+}

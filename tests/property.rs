@@ -78,6 +78,7 @@ proptest! {
             chaos_seed: seed,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let out = solve_distributed(&f, &b, &cfg);
         prop_assert!(sparse::max_abs_diff(&out.x, &want) < 1e-9);
@@ -107,6 +108,7 @@ proptest! {
             chaos_seed: 0,
             fault: Default::default(),
             backend: Default::default(),
+            executor: Default::default(),
         };
         let cpu = solve_distributed(&f, &b, &mk(Arch::Cpu));
         let gpu = solve_distributed(&f, &b, &mk(Arch::Gpu));
@@ -209,6 +211,7 @@ proptest! {
                         chaos_seed: seed,
                         fault: Default::default(),
                         backend: Default::default(),
+                        executor: Default::default(),
                     };
                     let out = solve_distributed(&f, &b, &cfg);
                     let err = sparse::max_abs_diff(&out.x, &want);
@@ -362,6 +365,9 @@ proptest! {
             rows: rows.clone(),
             ext_roots: vec![],
             scatter: vec![],
+            // All rows are mutually independent here: one level.
+            level_order: (0..rows.len() as u32).collect(),
+            level_ptr: vec![0, rows.len() as u32],
         };
 
         #[derive(Default)]
@@ -592,6 +598,134 @@ proptest! {
             prop_assert!(
                 g.to_bits() == e.to_bits(),
                 "apply_u drifts at {} (blocked {} vs reference {})", i, g, e,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level-set construction invariants and the level executor end to end.
+// ---------------------------------------------------------------------------
+
+/// Longest dependency path lengths (in nodes) of a strictly-lower CSR
+/// pattern — the reference depth the unbatched level assignment must hit.
+fn dag_depth(row_ptr: &[usize], col_idx: &[usize]) -> u32 {
+    let n = row_ptr.len() - 1;
+    let mut depth = vec![1u32; n];
+    let mut max = if n == 0 { 0 } else { 1 };
+    for i in 0..n {
+        for &j in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
+            depth[i] = depth[i].max(depth[j] + 1);
+        }
+        max = max.max(depth[i]);
+    }
+    max
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Unbatched level sets on a random lower-triangular factor pattern:
+    /// every dependency sits on a strictly earlier level, sources sit on
+    /// level zero, and the level count equals the DAG depth (no level
+    /// assignment can do better, and the greedy construction never does
+    /// worse).
+    #[test]
+    fn level_sets_invariants_on_random_lower(
+        n in 1usize..120,
+        max_deps in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let (row_ptr, col_idx) = gen::random_lower_csr(n, max_deps, seed);
+        let ls = ordering::levels::level_sets_csr(
+            &row_ptr, &col_idx, ordering::levels::ChainPolicy::none(),
+        );
+        prop_assert_eq!(ls.level_of.len(), n);
+        prop_assert_eq!(ls.n_levels, dag_depth(&row_ptr, &col_idx));
+        for i in 0..n {
+            let deps = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            if deps.is_empty() {
+                prop_assert!(ls.level_of[i] == 0, "source row {} off level 0", i);
+            }
+            let maxdep = deps.iter().map(|&j| ls.level_of[j] + 1).max().unwrap_or(0);
+            // Greedy: exactly one past the deepest dependency.
+            prop_assert!(ls.level_of[i] == maxdep, "row {} mis-leveled", i);
+            prop_assert!(ls.level_of[i] < ls.n_levels);
+        }
+    }
+
+    /// Chain batching may only merge single-successor chains: dependencies
+    /// never land on a *later* level, the level count never grows, and it
+    /// stays at least `ceil(depth / batch_width)` (a chain of `k` nodes
+    /// compresses at most `batch_width`-fold).
+    #[test]
+    fn chain_batching_compresses_soundly(
+        n in 1usize..120,
+        max_deps in 0usize..6,
+        seed in 0u64..1000,
+        batch in 2u32..9,
+    ) {
+        let (row_ptr, col_idx) = gen::random_lower_csr(n, max_deps, seed);
+        let pure = ordering::levels::level_sets_csr(
+            &row_ptr, &col_idx, ordering::levels::ChainPolicy::none(),
+        );
+        let batched = ordering::levels::level_sets_csr(
+            &row_ptr, &col_idx, ordering::levels::ChainPolicy { batch_width: batch },
+        );
+        prop_assert!(batched.n_levels <= pure.n_levels);
+        prop_assert!(batched.n_levels >= pure.n_levels.div_ceil(batch));
+        for i in 0..n {
+            for &j in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
+                // Within-level chains keep ascending order, so firing a
+                // level in elimination order still respects every edge.
+                prop_assert!(
+                    batched.level_of[j] <= batched.level_of[i],
+                    "dep {} (L{}) later than row {} (L{})",
+                    j, batched.level_of[j], i, batched.level_of[i],
+                );
+            }
+        }
+    }
+
+    /// The level executor, end to end on random systems and grids: its
+    /// distributed solution must be bit-identical to the tree executor's
+    /// and match the sequential reference solve.
+    #[test]
+    fn level_executor_matches_tree_and_reference(
+        n in 24usize..90,
+        extra in 10usize..80,
+        seed in 0u64..1000,
+        px in 1usize..4,
+        py in 1usize..3,
+        logpz in 0u32..3,
+        baseline in proptest::bool::ANY,
+    ) {
+        let pz = 1usize << logpz;
+        let a = random_sym_dd(n, extra, seed);
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+        let b = gen::standard_rhs(n, 1);
+        let want = f.solve(&b, 1);
+        let mk = |executor| SolverConfig {
+            px, py, pz,
+            nrhs: 1,
+            algorithm: if baseline { Algorithm::Baseline3d } else { Algorithm::New3d },
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: 0,
+            fault: Default::default(),
+            backend: Default::default(),
+            executor,
+        };
+        let tree = solve_distributed(&f, &b, &mk(ExecutorKind::Tree));
+        let level = solve_distributed(&f, &b, &mk(ExecutorKind::Level));
+        prop_assert!(sparse::max_abs_diff(&level.x, &want) < 1e-9);
+        for (i, (t, l)) in tree.x.iter().zip(&level.x).enumerate() {
+            prop_assert!(
+                t.to_bits() == l.to_bits(),
+                "x[{}] differs across executors: tree {:e}, level {:e}", i, t, l,
             );
         }
     }

@@ -35,6 +35,7 @@ fn cfg(px: usize, py: usize, pz: usize, algorithm: Algorithm, arch: Arch) -> Sol
         chaos_seed: 0,
         fault: Default::default(),
         backend: Default::default(),
+        executor: Default::default(),
     }
 }
 
