@@ -1,0 +1,187 @@
+//! PR 7 acceptance report: the batched serving front door under
+//! open-loop load.
+//!
+//! Plain (non-criterion) harness that writes `BENCH_pr7.json` at the
+//! workspace root.  For each backend × executor combination it
+//! calibrates the standalone single-solve time, then sweeps offered
+//! load (0.5×, 2×, and 8× the unbatched service rate) against three
+//! batching configurations:
+//!
+//! * `unbatched`   — `max_batch = 1` (every request is its own solve),
+//! * `b8_w200us`   — coalesce up to 8 columns, 200 µs wait window,
+//! * `b8_w2ms`     — coalesce up to 8 columns, 2 ms wait window,
+//!
+//! and records p50/p99 request latency (scheduled arrival → collection)
+//! and sustained solves/sec.  The report fails unless, at the highest
+//! offered load, some batched configuration out-serves the unbatched
+//! one on every backend × executor combination — the whole point of the
+//! serving layer.
+//!
+//! Run with `cargo bench -p sptrsv-bench --bench pr7_report`.
+//! `SPTRSV_SCALE=tiny` shrinks the matrix and request counts for smoke
+//! runs (CI).
+
+use benchkit::serving::{calibrate_single_solve, run_open_loop, ServeReport, ServeRun};
+use ordering::SymbolicOptions;
+use sparse::gen::Scale;
+use sptrsv::{Algorithm, Arch, Backend, ExecutorKind, Solver3d, SolverConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const GRID: (usize, usize, usize) = (2, 2, 2);
+/// Offered load as a multiple of the calibrated unbatched service rate.
+const LOAD_X: [f64; 3] = [0.5, 2.0, 8.0];
+
+struct Scenario {
+    backend: Backend,
+    executor: ExecutorKind,
+    config: &'static str,
+    window_us: u64,
+    load_x: f64,
+    rate_hz: f64,
+    report: ServeReport,
+}
+
+fn main() {
+    let (px, py, pz) = GRID;
+    let tiny = benchkit::scale() == Scale::Tiny;
+    let side = if tiny { 12 } else { 24 };
+    let requests = if tiny { 48 } else { 160 };
+    let a = sparse::gen::poisson2d_9pt(side, side);
+    let n = a.nrows();
+    let f = Arc::new(lufactor::factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+    let b = sparse::gen::standard_rhs(n, 8);
+
+    let configs: [(&'static str, usize, Duration); 3] = [
+        ("unbatched", 1, Duration::ZERO),
+        ("b8_w200us", 8, Duration::from_micros(200)),
+        ("b8_w2ms", 8, Duration::from_millis(2)),
+    ];
+    let combos = [
+        (Backend::Sim, ExecutorKind::Tree),
+        (Backend::Sim, ExecutorKind::Level),
+        (Backend::Native, ExecutorKind::Tree),
+        (Backend::Native, ExecutorKind::Level),
+    ];
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut gate_ok = true;
+    for (backend, executor) in combos {
+        let cfg = SolverConfig {
+            px,
+            py,
+            pz,
+            nrhs: 1,
+            algorithm: Algorithm::New3d,
+            arch: Arch::Cpu,
+            machine: simgrid::MachineModel::cori_haswell(),
+            chaos_seed: 0,
+            fault: Default::default(),
+            backend,
+            executor,
+        };
+        let t_solve = calibrate_single_solve(&Solver3d::new(Arc::clone(&f), cfg.clone()), &b, n);
+        let base_rate = 1.0 / t_solve.as_secs_f64();
+        eprintln!(
+            "{backend:?}/{executor:?}: single solve {:.1} us ({base_rate:.0} solves/s unbatched)",
+            t_solve.as_secs_f64() * 1e6
+        );
+        // (config, load) grid for this combo; the gate compares the cells
+        // at the top load point.
+        let mut top_unbatched = 0.0f64;
+        let mut top_batched = 0.0f64;
+        for &load_x in &LOAD_X {
+            let rate_hz = load_x * base_rate;
+            for (config, max_batch, max_wait) in configs {
+                let run = ServeRun {
+                    requests,
+                    rate_hz,
+                    max_batch,
+                    max_wait,
+                };
+                let report = run_open_loop(Solver3d::new(Arc::clone(&f), cfg.clone()), &b, n, &run);
+                assert_eq!(report.completed, requests, "lost requests in {config}");
+                eprintln!(
+                    "  {config:10} @ {load_x:3.1}x ({rate_hz:8.0}/s): p50 {:9.1} us  \
+                     p99 {:9.1} us  {:8.0} solves/s  (batches {}, mean width {:.1})",
+                    report.p50_latency_us,
+                    report.p99_latency_us,
+                    report.solves_per_sec,
+                    report.batches,
+                    report.mean_batch_width
+                );
+                if load_x == LOAD_X[2] {
+                    if max_batch == 1 {
+                        top_unbatched = report.solves_per_sec;
+                    } else {
+                        top_batched = top_batched.max(report.solves_per_sec);
+                    }
+                }
+                scenarios.push(Scenario {
+                    backend,
+                    executor,
+                    config,
+                    window_us: max_wait.as_micros() as u64,
+                    load_x,
+                    rate_hz,
+                    report,
+                });
+            }
+        }
+        if top_batched <= top_unbatched {
+            eprintln!(
+                "  GATE FAIL: batched {top_batched:.0} <= unbatched {top_unbatched:.0} \
+                 solves/s at {}x load",
+                LOAD_X[2]
+            );
+            gate_ok = false;
+        } else {
+            eprintln!(
+                "  gate: batched {top_batched:.0} > unbatched {top_unbatched:.0} solves/s \
+                 at {}x load ({:.2}x)",
+                LOAD_X[2],
+                top_batched / top_unbatched
+            );
+        }
+    }
+
+    let mut rows = String::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{\"backend\": \"{:?}\", \"executor\": \"{:?}\", \"config\": \"{}\", \
+             \"window_us\": {}, \"load_x\": {}, \"rate_hz\": {:.1}, \
+             \"p50_latency_us\": {:.1}, \"p99_latency_us\": {:.1}, \
+             \"solves_per_sec\": {:.1}, \"batches\": {}, \"mean_batch_width\": {:.2}}}",
+            s.backend,
+            s.executor,
+            s.config,
+            s.window_us,
+            s.load_x,
+            s.rate_hz,
+            s.report.p50_latency_us,
+            s.report.p99_latency_us,
+            s.report.solves_per_sec,
+            s.report.batches,
+            s.report.mean_batch_width
+        ));
+    }
+    let json = format!(
+        "{{\n  \"pr\": 7,\n  \"grid\": \"{px}x{py}x{pz}\",\n  \"n\": {n},\n  \
+         \"requests_per_point\": {requests},\n  \"load_points\": {:?},\n  \
+         \"scenarios\": [{rows}\n  ],\n  \
+         \"batched_beats_unbatched_at_peak\": {gate_ok}\n}}\n",
+        LOAD_X
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+    std::fs::write(path, &json).expect("write BENCH_pr7.json");
+    eprintln!("wrote {path}");
+
+    assert!(
+        gate_ok,
+        "serving gate failed: batching did not beat unbatched throughput \
+         at the highest offered load on every backend x executor combination"
+    );
+}

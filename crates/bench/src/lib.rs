@@ -14,6 +14,8 @@
 //!   (default 2048 at `medium`/`small`, 128 at `tiny`); configurations
 //!   above the cap are skipped.
 
+pub mod serving;
+
 use lufactor::Factorized;
 use ordering::SymbolicOptions;
 use simgrid::MachineModel;

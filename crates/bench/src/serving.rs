@@ -1,0 +1,133 @@
+//! Open-loop load harness for the batched serving front door
+//! ([`SolverService`], DESIGN.md §13).
+//!
+//! Arrivals are scheduled on a fixed open-loop clock (request `i` is due
+//! at `start + i / rate`); the submitter sleeps until each due time and
+//! never waits for responses, so queueing delay shows up as latency
+//! instead of silently throttling the offered load.  Latency is measured
+//! from the *scheduled* arrival to result collection — if the service
+//! falls behind, the backlog is charged to the requests that suffered it.
+//!
+//! Shared by the `pr7_report` bench and `sptrsv3d --serve`.
+
+use sptrsv::{BatchPolicy, QueueFullPolicy, ServiceConfig, Solver3d, SolverService};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One open-loop experiment: `requests` width-1 solves offered at
+/// `rate_hz`, coalesced under (`max_batch`, `max_wait`).
+#[derive(Clone, Debug)]
+pub struct ServeRun {
+    pub requests: usize,
+    pub rate_hz: f64,
+    pub max_batch: usize,
+    pub max_wait: Duration,
+}
+
+/// What an open-loop run measured.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    pub completed: usize,
+    pub batches: u64,
+    pub mean_batch_width: f64,
+    pub p50_latency_us: f64,
+    pub p99_latency_us: f64,
+    pub solves_per_sec: f64,
+}
+
+/// Median wall-clock time of a standalone width-1 solve on `solver`
+/// (after warm-up), used to calibrate offered-load sweeps.
+pub fn calibrate_single_solve(solver: &Solver3d, b: &[f64], n: usize) -> Duration {
+    for _ in 0..2 {
+        std::hint::black_box(solver.solve(&b[..n], 1));
+    }
+    let mut samples: Vec<Duration> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(solver.solve(&b[..n], 1));
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Linear-interpolated percentile (`q` in 0..=1) of a sorted slice.
+pub fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+    let frac = pos - lo as f64;
+    let (a, b) = (
+        sorted[lo].as_secs_f64() * 1e6,
+        sorted[hi].as_secs_f64() * 1e6,
+    );
+    a + frac * (b - a)
+}
+
+/// Drive `solver` through a [`SolverService`] under the open-loop
+/// schedule in `run`.  `b` supplies the request RHS columns (column
+/// `i % cols` for request `i`); `n` is the system size.
+pub fn run_open_loop(solver: Solver3d, b: &[f64], n: usize, run: &ServeRun) -> ServeReport {
+    assert!(run.rate_hz > 0.0, "offered load must be positive");
+    let cols = b.len() / n;
+    assert!(cols >= 1, "need at least one RHS column");
+    let svc = SolverService::start(
+        solver,
+        ServiceConfig {
+            batch: BatchPolicy {
+                max_batch: run.max_batch,
+                max_wait: run.max_wait,
+            },
+            queue_capacity: 64,
+            max_request_width: 1,
+            on_full: QueueFullPolicy::Block,
+        },
+    );
+    let period = Duration::from_secs_f64(1.0 / run.rate_hz);
+    let (tx, rx) = mpsc::channel();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(run.requests);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let svc = &svc;
+        s.spawn(move || {
+            for i in 0..run.requests {
+                let due = start + period.mul_f64(i as f64);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let col = i % cols;
+                let ticket = svc
+                    .submit(&b[col * n..(col + 1) * n], 1)
+                    .expect("service rejected a blocking submit");
+                tx.send((ticket, due)).expect("collector hung up");
+            }
+        });
+        // Single dispatcher + FIFO batch cuts: tickets complete in submit
+        // order, so collecting in submit order adds no artificial delay.
+        for (ticket, due) in rx {
+            std::hint::black_box(ticket.wait());
+            latencies.push(due.elapsed());
+        }
+    });
+    let elapsed = start.elapsed();
+    let stats = svc.stats();
+    svc.shutdown();
+
+    latencies.sort();
+    ServeReport {
+        completed: latencies.len(),
+        batches: stats.batches,
+        mean_batch_width: if stats.batches > 0 {
+            stats.requests as f64 / stats.batches as f64
+        } else {
+            0.0
+        },
+        p50_latency_us: percentile_us(&latencies, 0.50),
+        p99_latency_us: percentile_us(&latencies, 0.99),
+        solves_per_sec: latencies.len() as f64 / elapsed.as_secs_f64(),
+    }
+}

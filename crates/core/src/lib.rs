@@ -29,6 +29,12 @@
 //! The driver ([`solve_distributed`]) runs any of these on the `simgrid`
 //! virtual cluster and returns the gathered solution plus the paper's
 //! timing breakdown (L-solve / U-solve / Z-comm, per rank).
+//!
+//! On top of the driver, [`service`] is the batched serving front door:
+//! a [`SolverService`] coalesces many small independent solve requests
+//! into one `nrhs > 1` solve on a cached plan and demuxes per-request
+//! result columns, bit-identically to solving each request alone
+//! (DESIGN.md §13).
 
 pub mod allreduce;
 pub mod analysis;
@@ -42,6 +48,7 @@ pub mod levelexec;
 pub mod new3d;
 pub mod plan;
 pub mod schedule;
+pub mod service;
 pub mod solve2d;
 
 pub use analysis::{critical_path, BlockingEdge, CriticalPath};
@@ -50,6 +57,9 @@ pub use driver::{
     PhaseTimes, SolveOutcome, Solver3d, SolverConfig,
 };
 pub use plan::{GridSet, Plan};
+pub use service::{
+    BatchPolicy, QueueFullPolicy, ServiceConfig, ServiceStats, SolverService, SubmitError, Ticket,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,978 @@
+//! Batched multi-RHS serving front door (DESIGN.md §13).
+//!
+//! The paper's throughput story is amortization: compile the communication
+//! schedule once, then push many right-hand sides through it. The
+//! register-blocked kernels earn their 3.1–6.0x only at `nrhs >= 4`
+//! (BENCH_pr4), but real serving traffic arrives as many *small*
+//! independent requests. [`SolverService`] closes that gap: it accepts
+//! single- or few-RHS solve requests against a cached [`Solver3d`] plan,
+//! coalesces them under a batching policy (max batch width `B`, max wait
+//! window `W`) into one `nrhs = k` solve, and demuxes the result columns
+//! back to the requesters.
+//!
+//! The demux guarantee is *bit-identity*: column `r` of an `nrhs = k`
+//! solve is bit-for-bit the solution of a standalone `nrhs = 1` solve of
+//! that column (the register-blocked kernels compute every column with
+//! the same operation order at any width — property-tested in PR 4 and
+//! enforced end-to-end by `tests/service_conformance.rs`). Batching is
+//! therefore invisible to callers except in latency.
+//!
+//! Production shape:
+//!
+//! * **Bounded queue with backpressure** — at most
+//!   [`ServiceConfig::queue_capacity`] requests are open at once (queued,
+//!   solving, or completed-but-uncollected). A full queue either blocks
+//!   the submitter or rejects the request ([`QueueFullPolicy`]).
+//! * **Batching policy** — a batch is dispatched when the queued width
+//!   reaches `max_batch`, when the oldest queued request has waited
+//!   `max_wait`, or when a shutdown drain flushes the remainder.
+//! * **Graceful shutdown** — [`SolverService::shutdown`] stops intake,
+//!   drains every queued request through the solver, and joins the
+//!   dispatcher; outstanding tickets stay collectable.
+//! * **Allocation-free steady state** — request slots, the queue ring,
+//!   and the batch RHS buffer are preallocated at start; the mux/demux
+//!   copies run inside [`crate::audit::pass_scope`] regions so
+//!   `tests/alloc_audit.rs` can prove a warm service never allocates on
+//!   the batch path.
+//! * **Metrics and spans** — queue depth, batch width, and wait-time
+//!   histograms plus flush-reason counters land in the same
+//!   [`simgrid::Metrics`] registry as the solver series (catalog in
+//!   `simgrid::metrics`), and every dispatched batch records a wall-clock
+//!   [`simgrid::TraceEvent`] span retrievable via
+//!   [`SolverService::batch_trace`].
+
+use crate::audit;
+use crate::driver::Solver3d;
+use parking_lot::{Condvar, Mutex};
+use simgrid::{
+    Category, EventKind, Metrics, TraceEvent, DEPTH_BUCKETS, N_CATEGORIES, WAIT_BUCKETS,
+    WIDTH_BUCKETS,
+};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// When a batch is cut: width `B` reached, window `W` expired, or the
+/// shutdown drain flushing the remainder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FlushReason {
+    Width,
+    Window,
+    Drain,
+}
+
+/// What [`SolverService::submit`] does when the queue is at capacity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueFullPolicy {
+    /// Block the submitting thread until a slot frees (a collected ticket
+    /// or a shutdown releases it).
+    #[default]
+    Block,
+    /// Fail fast with [`SubmitError::QueueFull`]; the caller sheds load.
+    Reject,
+}
+
+impl std::str::FromStr for QueueFullPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(QueueFullPolicy::Block),
+            "reject" => Ok(QueueFullPolicy::Reject),
+            other => Err(format!(
+                "unknown backpressure policy '{other}' (expected block|reject)"
+            )),
+        }
+    }
+}
+
+/// Batching policy of the serving front door.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Maximum RHS columns per dispatched batch (`B >= 1`). `B = 1`
+    /// disables coalescing — every request solves alone.
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request waits before a partial
+    /// batch is flushed (`W`). Zero flushes whatever is queued as soon as
+    /// the dispatcher sees it.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Full configuration of a [`SolverService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Batching policy (width cutoff and wait window).
+    pub batch: BatchPolicy,
+    /// Maximum requests open at once: queued, in the solving batch, or
+    /// completed but not yet collected. This is the backpressure bound.
+    pub queue_capacity: usize,
+    /// Maximum `nrhs` of a single request (slot buffers are sized for
+    /// it). Must not exceed `batch.max_batch`.
+    pub max_request_width: usize,
+    /// Behavior when the queue is at capacity.
+    pub on_full: QueueFullPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            batch: BatchPolicy::default(),
+            queue_capacity: 64,
+            max_request_width: 4,
+            on_full: QueueFullPolicy::default(),
+        }
+    }
+}
+
+/// Why a submit failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity and the policy is [`QueueFullPolicy::Reject`].
+    QueueFull,
+    /// The service is shutting down and no longer accepts requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "request queue at capacity"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Aggregate serving statistics (a cheap snapshot; see
+/// [`SolverService::metrics`] for the full registry).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub requests: u64,
+    /// Requests refused by a full queue under the reject policy.
+    pub rejected: u64,
+    /// Batched solves dispatched.
+    pub batches: u64,
+    /// Total bytes sent by batch solves, per [`Category`].
+    pub bytes_sent: [u64; N_CATEGORIES],
+    /// Total messages sent by batch solves, per [`Category`].
+    pub msgs_sent: [u64; N_CATEGORIES],
+}
+
+/// Lifecycle of a request slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    Free,
+    Queued,
+    Solving,
+    Done,
+}
+
+/// One preallocated request slot: RHS in, solution out.
+struct Slot {
+    state: SlotState,
+    /// Bumped on every reuse so a stale [`Ticket`] can never observe a
+    /// later occupant's result.
+    gen: u64,
+    width: usize,
+    /// Ticket dropped uncollected: free the slot at completion instead of
+    /// parking it in `Done` forever.
+    abandoned: bool,
+    enqueued: Instant,
+    b: Vec<f64>,
+    x: Vec<f64>,
+}
+
+struct State {
+    slots: Vec<Slot>,
+    /// Free slot ids (stack, preallocated to capacity).
+    free: Vec<usize>,
+    /// FIFO of queued slot ids (ring, preallocated to capacity).
+    queue: VecDeque<usize>,
+    /// Sum of widths of the queued requests.
+    queued_width: usize,
+    closing: bool,
+    metrics: Metrics,
+    bytes_sent: [u64; N_CATEGORIES],
+    msgs_sent: [u64; N_CATEGORIES],
+    requests: u64,
+    rejected: u64,
+    batches: u64,
+    /// One wall-clock span per dispatched batch (mux start → demux end,
+    /// seconds since service start).
+    batch_spans: Vec<TraceEvent>,
+}
+
+struct Shared {
+    st: Mutex<State>,
+    /// Dispatcher waits here for work (or a deadline).
+    not_empty: Condvar,
+    /// Blocking submitters wait here for a free slot.
+    not_full: Condvar,
+    /// Ticket holders wait here for completion.
+    done: Condvar,
+}
+
+/// The batched serving front door over a planned [`Solver3d`].
+///
+/// ```
+/// use sptrsv::service::{ServiceConfig, SolverService};
+/// # use sptrsv::{Algorithm, Arch, Solver3d, SolverConfig};
+/// # use std::sync::Arc;
+/// # let a = sparse::gen::poisson2d_9pt(8, 8);
+/// # let f = Arc::new(lufactor::factorize(&a, 2, &Default::default()).unwrap());
+/// # let cfg = SolverConfig {
+/// #     px: 1, py: 1, pz: 2, nrhs: 1,
+/// #     algorithm: Algorithm::New3d, arch: Arch::Cpu,
+/// #     machine: simgrid::MachineModel::cori_haswell(),
+/// #     chaos_seed: 0, fault: Default::default(),
+/// #     backend: Default::default(), executor: Default::default(),
+/// # };
+/// let service = SolverService::start(Solver3d::new(f, cfg), ServiceConfig::default());
+/// let b = sparse::gen::standard_rhs(64, 1);
+/// let ticket = service.submit(&b, 1).unwrap();
+/// let x = ticket.wait();
+/// assert_eq!(x.len(), 64);
+/// service.shutdown();
+/// ```
+pub struct SolverService {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    n: usize,
+    cfg: ServiceConfig,
+    epoch: Instant,
+}
+
+/// Claim on one submitted request. Collect the solution with
+/// [`Ticket::wait`]/[`Ticket::wait_into`]; each ticket yields its result
+/// exactly once (collection consumes the ticket and frees the slot).
+/// Dropping an uncollected ticket abandons the request — it still solves
+/// (or drains), but the slot is reclaimed instead of parked.
+pub struct Ticket {
+    shared: Arc<Shared>,
+    slot: usize,
+    gen: u64,
+    n: usize,
+    width: usize,
+    collected: bool,
+}
+
+impl SolverService {
+    /// Start serving on `solver`'s cached plan. The dispatcher thread and
+    /// every request slot are created here; steady-state serving performs
+    /// no further setup.
+    pub fn start(solver: Solver3d, cfg: ServiceConfig) -> Self {
+        assert!(cfg.batch.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.queue_capacity >= 1, "queue_capacity must be at least 1");
+        assert!(
+            (1..=cfg.batch.max_batch).contains(&cfg.max_request_width),
+            "max_request_width must be in 1..=max_batch \
+             (a wider request could never be dispatched)"
+        );
+        let n = solver.plan().fact.lu.n();
+        let cap = cfg.queue_capacity;
+        let w = cfg.max_request_width;
+        let epoch = Instant::now();
+        let mut metrics = Metrics::new();
+        // Pre-create every series so steady-state increments never insert
+        // a map node (BTreeMap insertion allocates).
+        metrics.touch_counter("service.requests");
+        metrics.touch_counter("service.rejected");
+        metrics.touch_counter("service.blocked");
+        metrics.touch_counter("service.batches");
+        metrics.touch_counter("service.flush.width");
+        metrics.touch_counter("service.flush.window");
+        metrics.touch_counter("service.flush.drain");
+        metrics.touch_histogram("service.batch_width", WIDTH_BUCKETS);
+        metrics.touch_histogram("service.queue_depth", DEPTH_BUCKETS);
+        metrics.touch_histogram("service.wait_seconds", WAIT_BUCKETS);
+        let st = State {
+            slots: (0..cap)
+                .map(|_| Slot {
+                    state: SlotState::Free,
+                    gen: 0,
+                    width: 0,
+                    abandoned: false,
+                    enqueued: epoch,
+                    b: vec![0.0; n * w],
+                    x: vec![0.0; n * w],
+                })
+                .collect(),
+            free: (0..cap).rev().collect(),
+            queue: VecDeque::with_capacity(cap),
+            queued_width: 0,
+            closing: false,
+            metrics,
+            bytes_sent: [0; N_CATEGORIES],
+            msgs_sent: [0; N_CATEGORIES],
+            requests: 0,
+            rejected: 0,
+            batches: 0,
+            batch_spans: Vec::new(),
+        };
+        let shared = Arc::new(Shared {
+            st: Mutex::new(st),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let policy = cfg.batch;
+            std::thread::Builder::new()
+                .name("sptrsv-service".into())
+                .spawn(move || dispatcher_loop(shared, solver, n, policy, epoch))
+                .expect("spawn service dispatcher")
+        };
+        SolverService {
+            shared,
+            dispatcher: Some(dispatcher),
+            n,
+            cfg,
+            epoch,
+        }
+    }
+
+    /// Matrix dimension served (request RHS length is `n() * width`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The configuration this service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Submit one solve request: `rhs` is `n × width` column-major in the
+    /// original ordering, `1 <= width <= max_request_width`. Returns a
+    /// [`Ticket`] redeemable for the `n × width` solution.
+    pub fn submit(&self, rhs: &[f64], width: usize) -> Result<Ticket, SubmitError> {
+        assert!(
+            width >= 1 && width <= self.cfg.max_request_width,
+            "request width {width} outside 1..={}",
+            self.cfg.max_request_width
+        );
+        assert_eq!(rhs.len(), self.n * width, "rhs size mismatch");
+        let mut st = self.shared.st.lock();
+        loop {
+            if st.closing {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if let Some(sid) = st.free.pop() {
+                let depth = st.queue.len() as f64 + 1.0;
+                st.requests += 1;
+                st.metrics.inc("service.requests", 1);
+                st.metrics
+                    .observe("service.queue_depth", DEPTH_BUCKETS, depth);
+                let slot = &mut st.slots[sid];
+                slot.gen += 1;
+                let gen = slot.gen;
+                slot.width = width;
+                slot.abandoned = false;
+                slot.enqueued = Instant::now();
+                slot.state = SlotState::Queued;
+                {
+                    // Steady-state intake is a bounded memcpy into a
+                    // preallocated slot — auditable like the solve passes.
+                    let _scope = audit::pass_scope();
+                    slot.b[..rhs.len()].copy_from_slice(rhs);
+                }
+                st.queue.push_back(sid);
+                st.queued_width += width;
+                drop(st);
+                self.shared.not_empty.notify_all();
+                return Ok(Ticket {
+                    shared: Arc::clone(&self.shared),
+                    slot: sid,
+                    gen,
+                    n: self.n,
+                    width,
+                    collected: false,
+                });
+            }
+            match self.cfg.on_full {
+                QueueFullPolicy::Reject => {
+                    st.rejected += 1;
+                    st.metrics.inc("service.rejected", 1);
+                    return Err(SubmitError::QueueFull);
+                }
+                QueueFullPolicy::Block => {
+                    st.metrics.inc("service.blocked", 1);
+                    self.shared.not_full.wait(&mut st);
+                }
+            }
+        }
+    }
+
+    /// Convenience: submit and wait (honoring the backpressure policy).
+    pub fn solve(&self, rhs: &[f64], width: usize) -> Result<Vec<f64>, SubmitError> {
+        Ok(self.submit(rhs, width)?.wait())
+    }
+
+    /// Snapshot of the aggregate serving statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.shared.st.lock();
+        ServiceStats {
+            requests: st.requests,
+            rejected: st.rejected,
+            batches: st.batches,
+            bytes_sent: st.bytes_sent,
+            msgs_sent: st.msgs_sent,
+        }
+    }
+
+    /// Snapshot of the merged metrics registry: the `service.*` series
+    /// plus every solver/transport series accumulated across batch solves
+    /// (catalog in `simgrid::metrics`).
+    pub fn metrics(&self) -> Metrics {
+        self.shared.st.lock().metrics.clone()
+    }
+
+    /// Wall-clock spans of the dispatched batches (seconds since service
+    /// start; one [`EventKind::Compute`] span per batch, mux → demux).
+    pub fn batch_trace(&self) -> Vec<TraceEvent> {
+        self.shared.st.lock().batch_spans.clone()
+    }
+
+    /// Seconds since the service started (the clock [`batch_trace`]
+    /// spans are stamped on).
+    ///
+    /// [`batch_trace`]: SolverService::batch_trace
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Stop intake, drain every queued request through the solver, and
+    /// join the dispatcher. Blocked submitters are woken with
+    /// [`SubmitError::ShuttingDown`]; outstanding tickets remain
+    /// collectable after shutdown.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        {
+            let mut st = self.shared.st.lock();
+            st.closing = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        if let Some(h) = self.dispatcher.take() {
+            h.join().expect("service dispatcher panicked");
+        }
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl Ticket {
+    /// Width (`nrhs`) of this request.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Block until the request's batch completes and return the
+    /// `n × width` column-major solution.
+    pub fn wait(self) -> Vec<f64> {
+        let mut out = vec![0.0; self.n * self.width];
+        self.wait_into(&mut out);
+        out
+    }
+
+    /// Allocation-free collection: block until the batch completes and
+    /// copy the solution into `out` (`n × width`, column-major).
+    pub fn wait_into(mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n * self.width, "output size mismatch");
+        let mut st = self.shared.st.lock();
+        while !(st.slots[self.slot].gen == self.gen && st.slots[self.slot].state == SlotState::Done)
+        {
+            self.shared.done.wait(&mut st);
+        }
+        {
+            let _scope = audit::pass_scope();
+            out.copy_from_slice(&st.slots[self.slot].x[..out.len()]);
+        }
+        st.slots[self.slot].state = SlotState::Free;
+        st.free.push(self.slot);
+        drop(st);
+        self.collected = true;
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if self.collected {
+            return;
+        }
+        let mut st = self.shared.st.lock();
+        let slot = &mut st.slots[self.slot];
+        if slot.gen != self.gen {
+            return; // already recycled
+        }
+        match slot.state {
+            SlotState::Done => {
+                slot.state = SlotState::Free;
+                st.free.push(self.slot);
+                drop(st);
+                self.shared.not_full.notify_all();
+            }
+            // Still queued or solving: the dispatcher frees it at demux.
+            _ => slot.abandoned = true,
+        }
+    }
+}
+
+/// The dispatcher: wait for a flush condition, assemble the batch, solve
+/// unlocked, demux, repeat; drain on shutdown.
+fn dispatcher_loop(
+    shared: Arc<Shared>,
+    solver: Solver3d,
+    n: usize,
+    policy: BatchPolicy,
+    epoch: Instant,
+) {
+    // The only two buffers of the batch path, sized once.
+    let mut batch_b = vec![0.0f64; n * policy.max_batch];
+    let mut batch_ids: Vec<usize> = Vec::with_capacity(policy.max_batch);
+    loop {
+        let mut st = shared.st.lock();
+        // Phase 1: wait for a flush condition.
+        let reason = loop {
+            if st.queue.is_empty() {
+                if st.closing {
+                    drop(st);
+                    shared.done.notify_all();
+                    return;
+                }
+                shared.not_empty.wait(&mut st);
+                continue;
+            }
+            if st.queued_width >= policy.max_batch {
+                break FlushReason::Width;
+            }
+            if st.closing {
+                break FlushReason::Drain;
+            }
+            let oldest = st.slots[*st.queue.front().expect("non-empty queue")].enqueued;
+            let deadline = oldest + policy.max_wait;
+            let now = Instant::now();
+            if now >= deadline {
+                break FlushReason::Window;
+            }
+            // Re-evaluates on wake-up either way (new request, closing,
+            // or the deadline itself).
+            shared.not_empty.wait_for(&mut st, deadline - now);
+        };
+
+        // Phase 2: cut the batch. FIFO order; stop at the first queued
+        // request that no longer fits so requests are never reordered.
+        batch_ids.clear();
+        let mut width = 0usize;
+        while let Some(&sid) = st.queue.front() {
+            let w = st.slots[sid].width;
+            if width + w > policy.max_batch {
+                break;
+            }
+            st.queue.pop_front();
+            st.queued_width -= w;
+            st.slots[sid].state = SlotState::Solving;
+            batch_ids.push(sid);
+            width += w;
+        }
+        debug_assert!(!batch_ids.is_empty(), "flush with an empty batch");
+        let dispatch = Instant::now();
+        for &sid in &batch_ids {
+            let waited = dispatch
+                .duration_since(st.slots[sid].enqueued)
+                .as_secs_f64();
+            st.metrics
+                .observe("service.wait_seconds", WAIT_BUCKETS, waited);
+        }
+        st.batches += 1;
+        st.metrics.inc("service.batches", 1);
+        st.metrics
+            .observe("service.batch_width", WIDTH_BUCKETS, width as f64);
+        st.metrics.inc(
+            match reason {
+                FlushReason::Width => "service.flush.width",
+                FlushReason::Window => "service.flush.window",
+                FlushReason::Drain => "service.flush.drain",
+            },
+            1,
+        );
+        {
+            // Mux: gather request columns into the batch RHS
+            // (allocation-audited, pure memcpy).
+            let _scope = audit::pass_scope();
+            let mut col = 0usize;
+            for &sid in &batch_ids {
+                let w = st.slots[sid].width;
+                batch_b[col * n..(col + w) * n].copy_from_slice(&st.slots[sid].b[..w * n]);
+                col += w;
+            }
+        }
+        drop(st);
+
+        // Phase 3: one batched solve on the cached plan, lock released so
+        // submitters keep queueing the next batch.
+        let out = solver.solve(&batch_b[..width * n], width);
+
+        // Phase 4: demux result columns and complete the requests.
+        let mut st = shared.st.lock();
+        {
+            let _scope = audit::pass_scope();
+            let mut col = 0usize;
+            for &sid in &batch_ids {
+                let w = st.slots[sid].width;
+                st.slots[sid].x[..w * n].copy_from_slice(&out.x[col * n..(col + w) * n]);
+                col += w;
+            }
+        }
+        for &sid in &batch_ids {
+            let slot = &mut st.slots[sid];
+            if slot.abandoned {
+                slot.state = SlotState::Free;
+                st.free.push(sid);
+            } else {
+                slot.state = SlotState::Done;
+            }
+        }
+        for s in &out.stats {
+            for c in 0..N_CATEGORIES {
+                st.bytes_sent[c] += s.bytes_sent[c];
+                st.msgs_sent[c] += s.msgs_sent[c];
+            }
+        }
+        st.metrics.merge_from(&out.metrics);
+        st.batch_spans.push(TraceEvent {
+            t0: dispatch.duration_since(epoch).as_secs_f64(),
+            t1: epoch.elapsed().as_secs_f64(),
+            kind: EventKind::Compute,
+            category: Category::Other,
+            msg: None,
+            detail: None,
+        });
+        drop(st);
+        shared.done.notify_all();
+        shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{Algorithm, Arch, SolverConfig};
+    use lufactor::factorize;
+    use ordering::SymbolicOptions;
+    use simgrid::MachineModel;
+    use sparse::gen;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn fixture() -> (Solver3d, Vec<f64>, Vec<f64>, usize) {
+        let a = gen::poisson2d_9pt(12, 12);
+        let n = a.nrows();
+        let f = Arc::new(factorize(&a, 2, &SymbolicOptions::default()).unwrap());
+        let cfg = SolverConfig {
+            px: 2,
+            py: 2,
+            pz: 2,
+            nrhs: 1,
+            algorithm: Algorithm::New3d,
+            arch: Arch::Cpu,
+            machine: MachineModel::cori_haswell(),
+            chaos_seed: 0,
+            fault: Default::default(),
+            backend: Default::default(),
+            executor: Default::default(),
+        };
+        // 8 reference columns to draw request RHSs from. The reference is
+        // a standalone width-1 *distributed* solve per column — the exact
+        // bits a batched solve must reproduce (the sequential `f.solve`
+        // only agrees to rounding).
+        let b = gen::standard_rhs(n, 8);
+        let solver = Solver3d::new(f, cfg);
+        let mut want = vec![0.0; 8 * n];
+        for r in 0..8 {
+            let out = solver.solve(&b[r * n..(r + 1) * n], 1);
+            want[r * n..(r + 1) * n].copy_from_slice(&out.x);
+        }
+        (solver, b, want, n)
+    }
+
+    fn service(solver: Solver3d, cfg: ServiceConfig) -> SolverService {
+        SolverService::start(solver, cfg)
+    }
+
+    /// A burst wider than `B` is cut at the max-width boundary: no batch
+    /// exceeds `B` columns, and at least one flush is width-triggered.
+    #[test]
+    fn max_width_cutoff_bounds_every_batch() {
+        let (solver, b, want, n) = fixture();
+        let svc = service(
+            solver,
+            ServiceConfig {
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_secs(10),
+                },
+                queue_capacity: 16,
+                max_request_width: 1,
+                on_full: QueueFullPolicy::Block,
+            },
+        );
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|r| svc.submit(&b[r * n..(r + 1) * n], 1).unwrap())
+            .collect();
+        for (r, t) in tickets.into_iter().enumerate() {
+            let x = t.wait();
+            assert_eq!(
+                x,
+                &want[r * n..(r + 1) * n],
+                "request {r}: batched column differs from reference"
+            );
+        }
+        let m = svc.metrics();
+        let widths = m.histogram("service.batch_width").expect("width histogram");
+        // WIDTH_BUCKETS = [1, 2, 4, 8, 16, 32]: nothing above the ≤4 bucket.
+        assert_eq!(
+            widths.bucket_counts()[3..].iter().sum::<u64>(),
+            0,
+            "a batch exceeded max_batch = 4: {:?}",
+            widths.bucket_counts()
+        );
+        assert!(
+            m.counter("service.flush.width") >= 1,
+            "an 8-wide burst against B = 4 must width-flush at least once"
+        );
+        assert!(m.counter("service.batches") >= 2);
+        svc.shutdown();
+    }
+
+    /// A lone request never reaches `B`; the wait window expires and
+    /// flushes the partial batch.
+    #[test]
+    fn window_expiry_flushes_partial_batch() {
+        let (solver, b, want, n) = fixture();
+        let window = Duration::from_millis(50);
+        let svc = service(
+            solver,
+            ServiceConfig {
+                batch: BatchPolicy {
+                    max_batch: 8,
+                    max_wait: window,
+                },
+                queue_capacity: 16,
+                max_request_width: 1,
+                on_full: QueueFullPolicy::Block,
+            },
+        );
+        let t0 = Instant::now();
+        let x = svc.solve(&b[..n], 1).unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(x, &want[..n]);
+        assert!(
+            elapsed >= window - Duration::from_millis(5),
+            "partial batch flushed before the window expired ({elapsed:?})"
+        );
+        let m = svc.metrics();
+        assert_eq!(m.counter("service.flush.window"), 1);
+        assert_eq!(m.counter("service.flush.width"), 0);
+        svc.shutdown();
+    }
+
+    /// Reject mode: with every slot occupied, the next submit fails fast
+    /// with `QueueFull` and is counted.
+    #[test]
+    fn full_queue_rejects_when_policy_is_reject() {
+        let (solver, b, want, n) = fixture();
+        let svc = service(
+            solver,
+            ServiceConfig {
+                batch: BatchPolicy {
+                    max_batch: 8,
+                    max_wait: Duration::from_secs(10),
+                },
+                queue_capacity: 2,
+                max_request_width: 1,
+                on_full: QueueFullPolicy::Reject,
+            },
+        );
+        // Slots free only when tickets are collected, so the third submit
+        // must be rejected regardless of dispatcher timing.
+        let t0 = svc.submit(&b[..n], 1).unwrap();
+        let t1 = svc.submit(&b[n..2 * n], 1).unwrap();
+        assert_eq!(
+            svc.submit(&b[2 * n..3 * n], 1).err(),
+            Some(SubmitError::QueueFull)
+        );
+        assert_eq!(svc.stats().rejected, 1);
+        svc.shutdown(); // drains the two queued requests
+        assert_eq!(t0.wait(), &want[..n]);
+        assert_eq!(t1.wait(), &want[n..2 * n]);
+    }
+
+    /// Block mode: a submit against a full queue parks until a collected
+    /// ticket frees a slot, then succeeds.
+    #[test]
+    fn full_queue_blocks_until_a_slot_frees() {
+        let (solver, b, want, n) = fixture();
+        let svc = Arc::new(service(
+            solver,
+            ServiceConfig {
+                batch: BatchPolicy {
+                    max_batch: 1,
+                    max_wait: Duration::ZERO,
+                },
+                queue_capacity: 1,
+                max_request_width: 1,
+                on_full: QueueFullPolicy::Block,
+            },
+        ));
+        let first = svc.submit(&b[..n], 1).unwrap();
+        // The single slot stays occupied until `first` is collected, so
+        // this submit must block.
+        let unblocked = Arc::new(AtomicBool::new(false));
+        let second = {
+            let svc = Arc::clone(&svc);
+            let b1 = b[n..2 * n].to_vec();
+            let unblocked = Arc::clone(&unblocked);
+            std::thread::spawn(move || {
+                let t = svc.submit(&b1, 1).unwrap();
+                unblocked.store(true, Ordering::SeqCst);
+                t.wait()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            !unblocked.load(Ordering::SeqCst),
+            "submit returned while the queue was still full"
+        );
+        assert_eq!(first.wait(), &want[..n]); // frees the slot
+        assert_eq!(second.join().unwrap(), &want[n..2 * n]);
+        assert!(unblocked.load(Ordering::SeqCst));
+        assert!(svc.metrics().counter("service.blocked") >= 1);
+    }
+
+    /// Shutdown drains queued requests: every ticket yields its own
+    /// correct result exactly once, nothing is lost or duplicated.
+    #[test]
+    fn shutdown_drains_without_losing_or_duplicating() {
+        let (solver, b, want, n) = fixture();
+        let svc = service(
+            solver,
+            ServiceConfig {
+                batch: BatchPolicy {
+                    max_batch: 3,
+                    max_wait: Duration::from_secs(10),
+                },
+                queue_capacity: 16,
+                max_request_width: 2,
+                on_full: QueueFullPolicy::Block,
+            },
+        );
+        // Mixed widths: 1, 2, 1, 2, 1 (7 columns over 5 requests); the
+        // 10 s window guarantees they are still queued at shutdown.
+        let widths = [1usize, 2, 1, 2, 1];
+        let mut tickets = Vec::new();
+        let mut col = 0usize;
+        for &w in &widths {
+            tickets.push((col, svc.submit(&b[col * n..(col + w) * n], w).unwrap()));
+            col += w;
+        }
+        svc.shutdown();
+        for (c, t) in tickets {
+            let w = t.width();
+            assert_eq!(
+                t.wait(),
+                &want[c * n..(c + w) * n],
+                "drained request at column {c} has the wrong solution"
+            );
+        }
+    }
+
+    /// After shutdown, intake is closed.
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let (solver, b, _, n) = fixture();
+        let mut svc = service(solver, ServiceConfig::default());
+        svc.shutdown_in_place();
+        assert_eq!(
+            svc.submit(&b[..n], 1).err(),
+            Some(SubmitError::ShuttingDown)
+        );
+    }
+
+    /// Dropping a ticket uncollected neither wedges the service nor leaks
+    /// its slot: capacity recovers and later requests still serve.
+    #[test]
+    fn abandoned_tickets_release_their_slots() {
+        let (solver, b, want, n) = fixture();
+        let svc = service(
+            solver,
+            ServiceConfig {
+                batch: BatchPolicy {
+                    max_batch: 2,
+                    max_wait: Duration::from_millis(1),
+                },
+                queue_capacity: 2,
+                max_request_width: 1,
+                on_full: QueueFullPolicy::Reject,
+            },
+        );
+        for r in 0..4 {
+            drop(svc.submit(&b[r % 2 * n..(r % 2 + 1) * n], 1).unwrap());
+            // Give the drop a moment to either abandon or free the slot.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // All four slots came back; a fresh request still round-trips.
+        let x = svc.solve(&b[..n], 1).unwrap();
+        assert_eq!(x, &want[..n]);
+        svc.shutdown();
+    }
+
+    /// Ticket errors surface as values, not hangs: a rejected submit does
+    /// not consume a slot.
+    #[test]
+    fn rejects_do_not_consume_capacity() {
+        let (solver, b, want, n) = fixture();
+        let svc = service(
+            solver,
+            ServiceConfig {
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_secs(10),
+                },
+                queue_capacity: 1,
+                max_request_width: 1,
+                on_full: QueueFullPolicy::Reject,
+            },
+        );
+        let t = svc.submit(&b[..n], 1).unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                svc.submit(&b[n..2 * n], 1).err(),
+                Some(SubmitError::QueueFull)
+            );
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.rejected, 3);
+        svc.shutdown();
+        assert_eq!(t.wait(), &want[..n]);
+    }
+}

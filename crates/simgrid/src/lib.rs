@@ -29,7 +29,7 @@ pub mod transport;
 pub use fault::{FaultPlan, Reorder, PROFILE_NAMES};
 pub use gpu::GpuExecutor;
 pub use machine::{GpuModel, MachineModel};
-pub use metrics::{Histogram, Metrics, BYTE_BUCKETS, WAIT_BUCKETS};
+pub use metrics::{Histogram, Metrics, BYTE_BUCKETS, DEPTH_BUCKETS, WAIT_BUCKETS, WIDTH_BUCKETS};
 pub use stats::{Category, RankStats, RunReport, CATEGORIES, N_CATEGORIES};
 pub use trace::{
     export_perfetto, render_timeline, span_name, EventKind, FaultMark, MsgInfo, SpanDetail,

@@ -21,6 +21,22 @@
 //! | `recv.settle_waits`        | counter   | any-source settle windows actually taken  |
 //! | `pass.spans`               | counter   | interpreter steps executed by 2D passes   |
 //! | `pass.fmod_stalls`         | counter   | partial sums that left a row still waiting|
+//!
+//! The batched serving front door (`sptrsv::service`) adds its own series
+//! to the same registry:
+//!
+//! | name                       | type      | meaning                                   |
+//! |----------------------------|-----------|-------------------------------------------|
+//! | `service.requests`         | counter   | solve requests accepted into the queue    |
+//! | `service.rejected`         | counter   | requests refused by a full queue (reject) |
+//! | `service.blocked`          | counter   | submits that waited on a full queue       |
+//! | `service.batches`          | counter   | batched solves dispatched                 |
+//! | `service.flush.width`      | counter   | batches flushed by the max-width cutoff   |
+//! | `service.flush.window`     | counter   | partial batches flushed by window expiry  |
+//! | `service.flush.drain`      | counter   | batches flushed by the shutdown drain     |
+//! | `service.batch_width`      | histogram | RHS columns per dispatched batch          |
+//! | `service.queue_depth`      | histogram | queued requests observed at each submit   |
+//! | `service.wait_seconds`     | histogram | request wait from enqueue to dispatch     |
 
 use std::collections::BTreeMap;
 
@@ -29,6 +45,12 @@ pub const BYTE_BUCKETS: &[f64] = &[64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0
 
 /// Bucket upper bounds for wait durations (seconds).
 pub const WAIT_BUCKETS: &[f64] = &[1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+
+/// Bucket upper bounds for batch widths (RHS columns per batch).
+pub const WIDTH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Bucket upper bounds for queue depths (requests).
+pub const DEPTH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// Fixed-bucket histogram: `counts[i]` tallies observations `≤ bounds[i]`,
 /// with one overflow bucket at the end.

@@ -37,6 +37,11 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     critical_path: bool,
+    serve: bool,
+    requests: usize,
+    batch: usize,
+    wait_us: u64,
+    rate: f64,
 }
 
 const USAGE: &str = "\
@@ -75,6 +80,17 @@ FAULT INJECTION:
     --chaos-seed N    seed for the fault plan's deterministic sampling
                       (default 7 when --fault-profile is given)
 
+SERVING (batched front door, DESIGN.md §13):
+    --serve           run an open-loop load test against a SolverService
+                      instead of one solve: width-1 requests are coalesced
+                      into nrhs > 1 batches on the cached plan and demuxed
+                      bit-identically; reports p50/p99 latency + solves/sec
+    --requests N      number of open-loop requests (default 200)
+    --batch B         max batch width (default 8; 1 = unbatched)
+    --wait-us W       batch wait window in microseconds (default 200)
+    --rate R          offered load in requests/sec (default: 4x the
+                      calibrated unbatched service rate)
+
 OUTPUT:
     --json            machine-readable summary on stdout instead of the table
     --trace-out FILE  write a Chrome/Perfetto trace of the solve (load the
@@ -107,6 +123,11 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         metrics_out: None,
         critical_path: false,
+        serve: false,
+        requests: 200,
+        batch: 8,
+        wait_us: 200,
+        rate: 0.0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -167,6 +188,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--chaos-seed: {e}"))?
             }
+            "--serve" => a.serve = true,
+            "--requests" => {
+                a.requests = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--batch" => a.batch = next(&mut i)?.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--wait-us" => {
+                a.wait_us = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--wait-us: {e}"))?
+            }
+            "--rate" => a.rate = next(&mut i)?.parse().map_err(|e| format!("--rate: {e}"))?,
             "--symmetrize" => a.symmetrize = true,
             "--json" => a.json = true,
             "--trace-out" => a.trace_out = Some(next(&mut i)?),
@@ -194,6 +228,20 @@ fn parse_args() -> Result<Args, String> {
         }
         if a.trace_out.is_some() || a.critical_path {
             return Err("--trace-out/--critical-path are sim-only (span tracing needs the virtual clock); drop --backend native".into());
+        }
+    }
+    if a.serve {
+        if a.fault_profile.is_some() || a.trace_out.is_some() || a.critical_path {
+            return Err(
+                "--serve runs many untraced solves; drop --fault-profile/--trace-out/--critical-path"
+                    .into(),
+            );
+        }
+        if a.batch == 0 || a.requests == 0 {
+            return Err("--batch and --requests must be at least 1".into());
+        }
+        if a.rate < 0.0 {
+            return Err("--rate must be positive (or omitted to calibrate)".into());
         }
     }
     if let Some(p) = &a.fault_profile {
@@ -293,6 +341,106 @@ fn main() -> ExitCode {
         backend: args.backend,
         executor: args.executor,
     };
+    if args.serve {
+        use benchkit::serving::{calibrate_single_solve, run_open_loop, ServeRun};
+        let n = a.nrows();
+        let rhs = gen::standard_rhs(n, 8);
+        let t_solve =
+            calibrate_single_solve(&Solver3d::new(Arc::clone(&fact), cfg.clone()), &rhs, n);
+        let rate_hz = if args.rate > 0.0 {
+            args.rate
+        } else {
+            4.0 / t_solve.as_secs_f64()
+        };
+        progress(format!(
+            "single solve: {:.1} µs ({:.0} solves/s unbatched); offering {rate_hz:.0} req/s",
+            t_solve.as_secs_f64() * 1e6,
+            1.0 / t_solve.as_secs_f64()
+        ));
+        let run = ServeRun {
+            requests: args.requests,
+            rate_hz,
+            max_batch: args.batch,
+            max_wait: std::time::Duration::from_micros(args.wait_us),
+        };
+        let report = run_open_loop(Solver3d::new(fact, cfg), &rhs, n, &run);
+        if args.json {
+            #[derive(serde::Serialize)]
+            struct ServeSummary<'a> {
+                n: usize,
+                ranks: usize,
+                backend: &'a str,
+                requests: usize,
+                rate_hz: f64,
+                max_batch: usize,
+                wait_us: u64,
+                completed: usize,
+                batches: u64,
+                mean_batch_width: f64,
+                p50_latency_us: f64,
+                p99_latency_us: f64,
+                solves_per_sec: f64,
+            }
+            let summary = ServeSummary {
+                n,
+                ranks: args.px * args.py * args.pz,
+                backend: match args.backend {
+                    Backend::Sim => "sim",
+                    Backend::Native => "native",
+                },
+                requests: args.requests,
+                rate_hz,
+                max_batch: args.batch,
+                wait_us: args.wait_us,
+                completed: report.completed,
+                batches: report.batches,
+                mean_batch_width: report.mean_batch_width,
+                p50_latency_us: report.p50_latency_us,
+                p99_latency_us: report.p99_latency_us,
+                solves_per_sec: report.solves_per_sec,
+            };
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&summary).expect("serializable summary")
+            );
+        } else {
+            println!(
+                "\nserving on {} ({} ranks, {:?}, backend {:?}):",
+                format_args!("{}x{}x{}", args.px, args.py, args.pz),
+                args.px * args.py * args.pz,
+                args.algorithm,
+                args.backend
+            );
+            println!(
+                "  offered load   : {rate_hz:>12.0} req/s ({} requests)",
+                args.requests
+            );
+            println!(
+                "  batch policy   : B = {}, W = {} µs",
+                args.batch, args.wait_us
+            );
+            println!(
+                "  batches        : {:>12} (mean width {:.1})",
+                report.batches, report.mean_batch_width
+            );
+            println!("  p50 latency    : {:>12.1} µs", report.p50_latency_us);
+            println!("  p99 latency    : {:>12.1} µs", report.p99_latency_us);
+            println!(
+                "  throughput     : {:>12.0} solves/s",
+                report.solves_per_sec
+            );
+        }
+        return if report.completed == args.requests {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "error: {} of {} requests completed",
+                report.completed, args.requests
+            );
+            ExitCode::FAILURE
+        };
+    }
+
     let want_trace = args.trace_out.is_some() || args.critical_path;
     let plan = Arc::new(Plan::new(Arc::clone(&fact), args.px, args.py, args.pz));
     let out = solve_traced(&plan, &b, &cfg, want_trace);

@@ -53,7 +53,8 @@ pub mod prelude {
     pub use simgrid::{Category, FaultPlan, MachineModel, Reorder};
     pub use sparse::{self, gen, CsrMatrix};
     pub use sptrsv::{
-        critical_path, solve_distributed, solve_traced, Algorithm, Arch, Backend, CriticalPath,
-        ExecutorKind, SolveOutcome, Solver3d, SolverConfig,
+        critical_path, solve_distributed, solve_traced, Algorithm, Arch, Backend, BatchPolicy,
+        CriticalPath, ExecutorKind, QueueFullPolicy, ServiceConfig, SolveOutcome, Solver3d,
+        SolverConfig, SolverService, SubmitError,
     };
 }

@@ -16,9 +16,17 @@ use lufactor::factorize;
 use ordering::SymbolicOptions;
 use simgrid::MachineModel;
 use sparse::gen;
-use sptrsv::{Algorithm, Arch, ExecutorKind, Solver3d, SolverConfig};
+use sptrsv::{
+    Algorithm, Arch, BatchPolicy, ExecutorKind, QueueFullPolicy, ServiceConfig, Solver3d,
+    SolverConfig, SolverService,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// The audit counter is process-global, so the audit tests must not run
+/// concurrently with each other.
+static AUDIT_LOCK: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -95,10 +103,9 @@ fn audited_allocs_on_second_solve(
     sptrsv::audit::take_scoped_allocs()
 }
 
-/// One sequential test: the audit counter is process-global, so the four
-/// variants must not run concurrently with each other.
 #[test]
 fn steady_state_solves_never_allocate_in_audited_regions() {
+    let _serial = AUDIT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
     // Liveness check first: the hook must actually count an in-scope
     // allocation, or the zero assertions below would pass vacuously.
     {
@@ -178,4 +185,81 @@ fn steady_state_solves_never_allocate_in_audited_regions() {
              on the second solve (expected none)"
         );
     }
+}
+
+/// Steady-state serving: after one warm-up batch, every further batch
+/// through a [`SolverService`] — submit copy-in, mux, demux, collect
+/// copy-out — performs zero heap allocations inside the audited regions.
+/// Batches are deterministically width-4 (width-triggered flushes), so
+/// the warm-up covers the exact steady-state shape.
+#[test]
+fn steady_state_serving_never_allocates_in_audited_regions() {
+    let _serial = AUDIT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let a = gen::poisson2d_9pt(12, 12);
+    let n = a.nrows();
+    let f = Arc::new(factorize(&a, 2, &SymbolicOptions::default()).unwrap());
+    let cfg = SolverConfig {
+        px: 2,
+        py: 2,
+        pz: 2,
+        nrhs: 1,
+        algorithm: Algorithm::New3d,
+        arch: Arch::Cpu,
+        machine: MachineModel::cori_haswell(),
+        chaos_seed: 0,
+        fault: Default::default(),
+        backend: Default::default(),
+        executor: Default::default(),
+    };
+    let solver = Solver3d::new(Arc::clone(&f), cfg);
+
+    // Bit-exact references: each column solved standalone on the same plan.
+    let b = gen::standard_rhs(n, 4);
+    let mut want = vec![0.0; 4 * n];
+    for r in 0..4 {
+        let out = solver.solve(&b[r * n..(r + 1) * n], 1);
+        want[r * n..(r + 1) * n].copy_from_slice(&out.x);
+    }
+
+    let svc = SolverService::start(
+        solver,
+        ServiceConfig {
+            // A long window makes every flush width-triggered at exactly 4.
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_secs(10),
+            },
+            queue_capacity: 16,
+            max_request_width: 1,
+            on_full: QueueFullPolicy::Block,
+        },
+    );
+    let round = |svc: &SolverService| {
+        let tickets: Vec<_> = (0..4)
+            .map(|r| svc.submit(&b[r * n..(r + 1) * n], 1).unwrap())
+            .collect();
+        for (r, t) in tickets.into_iter().enumerate() {
+            assert_eq!(
+                t.wait(),
+                &want[r * n..(r + 1) * n],
+                "serving audit: request {r} not bit-identical"
+            );
+        }
+    };
+
+    // Warm-up batch: service scratch and solver arenas hit high water.
+    round(&svc);
+    let _warmup = sptrsv::audit::take_scoped_allocs();
+
+    // Steady state: three more batches, all allocation-free in scope.
+    for _ in 0..3 {
+        round(&svc);
+    }
+    let scoped = sptrsv::audit::take_scoped_allocs();
+    assert_eq!(
+        scoped, 0,
+        "serving steady state: {scoped} heap allocations inside audited \
+         regions across three batches (expected none)"
+    );
+    svc.shutdown();
 }

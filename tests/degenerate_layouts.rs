@@ -11,7 +11,9 @@ mod common;
 
 use simgrid::Category;
 use sptrsv_repro::prelude::*;
+use sptrsv_repro::sptrsv::ServiceStats;
 use std::sync::Arc;
+use std::time::Duration;
 
 const NRHS: usize = 2;
 
@@ -92,6 +94,92 @@ fn px1_py1_sends_no_xy_traffic() {
     }
     let out = solve(Algorithm::New3d, Arch::Gpu, (1, 1, 4));
     assert_eq!(bytes(&out, Category::XyComm), 0);
+}
+
+/// One coalesced `nrhs = 3` batch (a width-2 and a width-1 request)
+/// through a [`SolverService`] on a degenerate layout.  Returns the
+/// service's accumulated communication stats after asserting both demuxed
+/// results are bit-identical to their standalone solves.
+fn serve_batched(alg: Algorithm, (px, py, pz): (usize, usize, usize)) -> ServiceStats {
+    let (f, b2, _) = fixture(pz);
+    let n = b2.len() / NRHS;
+    let cfg = SolverConfig {
+        px,
+        py,
+        pz,
+        nrhs: 1,
+        algorithm: alg,
+        arch: Arch::Cpu,
+        machine: MachineModel::cori_haswell(),
+        chaos_seed: 0,
+        fault: Default::default(),
+        backend: common::backend(),
+        executor: common::executor(),
+    };
+    let solver = Solver3d::new(f, cfg);
+    let b = gen::standard_rhs(n, 3);
+    let want_pair = solver.solve(&b[..2 * n], 2).x;
+    let want_single = solver.solve(&b[2 * n..], 1).x;
+
+    let svc = SolverService::start(
+        solver,
+        ServiceConfig {
+            // max_batch = total queued width: exactly one width-triggered
+            // nrhs = 3 flush, no reliance on the wait window.
+            batch: BatchPolicy {
+                max_batch: 3,
+                max_wait: Duration::from_secs(10),
+            },
+            queue_capacity: 8,
+            max_request_width: 2,
+            on_full: QueueFullPolicy::Block,
+        },
+    );
+    let t_pair = svc.submit(&b[..2 * n], 2).unwrap();
+    let t_single = svc.submit(&b[2 * n..], 1).unwrap();
+    assert_eq!(
+        t_pair.wait(),
+        want_pair,
+        "{alg:?} on {px}x{py}x{pz}: batched width-2 request not bit-identical"
+    );
+    assert_eq!(
+        t_single.wait(),
+        want_single,
+        "{alg:?} on {px}x{py}x{pz}: batched width-1 request not bit-identical"
+    );
+    let stats = svc.stats();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.batches, 1, "{alg:?}: expected one coalesced batch");
+    svc.shutdown();
+    stats
+}
+
+/// Batched serving with `Pz = 1`: a coalesced `nrhs > 1` solve must keep
+/// the no-z-traffic guarantee of the standalone degenerate layout.
+#[test]
+fn batched_pz1_sends_no_z_traffic() {
+    for alg in CPU_ALGS {
+        let stats = serve_batched(alg, (2, 2, 1));
+        assert_eq!(
+            stats.bytes_sent[Category::ZComm as usize],
+            0,
+            "{alg:?}: batched Pz=1 serving must not produce z-communication"
+        );
+    }
+}
+
+/// Batched serving on the fully degenerate single rank: a coalesced
+/// `nrhs > 1` solve must not send a single message.
+#[test]
+fn batched_single_rank_sends_nothing() {
+    for alg in CPU_ALGS {
+        let stats = serve_batched(alg, (1, 1, 1));
+        assert_eq!(
+            stats.msgs_sent.iter().sum::<u64>(),
+            0,
+            "{alg:?}: batched single-rank serving must not send messages"
+        );
+    }
 }
 
 /// The fully degenerate layout: one rank, both comm dimensions trivial.

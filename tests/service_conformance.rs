@@ -1,0 +1,194 @@
+//! Serving-layer conformance: a [`SolverService`] must be a transparent
+//! batcher.  Whatever mixture of requests arrives — any widths, any
+//! interleaving, any batching knobs — each demuxed result must be
+//! **bit-identical** to solving that request alone on the same plan
+//! (DESIGN.md §13).  The underlying invariant is that the register-blocked
+//! kernels compute every RHS column with the same operation order at any
+//! `nrhs`, so batching changes throughput, never bits.
+//!
+//! The suite honors the CI backend/executor matrix
+//! (`SPTRSV_TEST_BACKEND`, `SPTRSV_TEST_EXECUTOR`); when neither variable
+//! is set it sweeps all four backend × executor combinations itself.
+
+mod common;
+
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sptrsv_repro::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const CPU_ALGS: [Algorithm; 4] = [
+    Algorithm::New3d,
+    Algorithm::New3dFlat,
+    Algorithm::New3dNaiveAllreduce,
+    Algorithm::Baseline3d,
+];
+
+/// The backend × executor combinations under test: the single combination
+/// pinned by the CI matrix when the env vars are set, the full sweep
+/// otherwise.
+fn combos() -> Vec<(Backend, ExecutorKind)> {
+    let pinned = std::env::var("SPTRSV_TEST_BACKEND").is_ok()
+        || std::env::var("SPTRSV_TEST_EXECUTOR").is_ok();
+    if pinned {
+        vec![(common::backend(), common::executor())]
+    } else {
+        vec![
+            (Backend::Sim, ExecutorKind::Tree),
+            (Backend::Sim, ExecutorKind::Level),
+            (Backend::Native, ExecutorKind::Tree),
+            (Backend::Native, ExecutorKind::Level),
+        ]
+    }
+}
+
+/// One factorization shared by every case in this file.
+fn fact() -> Arc<lufactor::Factorized> {
+    static FACT: OnceLock<Arc<lufactor::Factorized>> = OnceLock::new();
+    FACT.get_or_init(|| {
+        let a = sparse::gen::poisson2d_9pt(12, 12);
+        Arc::new(factorize(&a, 2, &SymbolicOptions::default()).unwrap())
+    })
+    .clone()
+}
+
+fn solver(alg: Algorithm, backend: Backend, executor: ExecutorKind) -> Solver3d {
+    let cfg = SolverConfig {
+        px: 2,
+        py: 1,
+        pz: 2,
+        nrhs: 1,
+        algorithm: alg,
+        arch: Arch::Cpu,
+        machine: MachineModel::cori_haswell(),
+        chaos_seed: 0,
+        fault: Default::default(),
+        backend,
+        executor,
+    };
+    Solver3d::new(fact(), cfg)
+}
+
+/// Run `widths` as service requests (submitted and collected in the given
+/// shuffled orders) and assert every demuxed result is bit-identical to
+/// the standalone solve of the same request.
+fn check_mix(
+    alg: Algorithm,
+    backend: Backend,
+    executor: ExecutorKind,
+    widths: &[usize],
+    svc_cfg: ServiceConfig,
+    order_seed: u64,
+) {
+    let s = solver(alg, backend, executor);
+    let n = fact().pa.nrows();
+    let total: usize = widths.iter().sum();
+    let b = sparse::gen::standard_rhs(n, total);
+
+    // Column offset of each request's RHS within `b`.
+    let offsets: Vec<usize> = widths
+        .iter()
+        .scan(0, |acc, w| {
+            let o = *acc;
+            *acc += w;
+            Some(o)
+        })
+        .collect();
+
+    // References: each request solved alone, width as submitted.
+    let refs: Vec<Vec<f64>> = widths
+        .iter()
+        .zip(&offsets)
+        .map(|(&w, &o)| s.solve(&b[o * n..(o + w) * n], w).x)
+        .collect();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(order_seed);
+    let mut submit_order: Vec<usize> = (0..widths.len()).collect();
+    submit_order.shuffle(&mut rng);
+    let mut collect_order = submit_order.clone();
+    collect_order.shuffle(&mut rng);
+
+    let svc = SolverService::start(s, svc_cfg);
+    let mut tickets: Vec<Option<sptrsv::Ticket>> = (0..widths.len()).map(|_| None).collect();
+    for &r in &submit_order {
+        let (w, o) = (widths[r], offsets[r]);
+        tickets[r] = Some(svc.submit(&b[o * n..(o + w) * n], w).unwrap());
+    }
+    for &r in &collect_order {
+        let x = tickets[r].take().unwrap().wait();
+        assert_eq!(
+            x, refs[r],
+            "{alg:?}/{backend:?}/{executor:?}: request {r} (width {}) \
+             demuxed differently from its standalone solve",
+            widths[r],
+        );
+    }
+    svc.shutdown();
+}
+
+/// Deterministic sweep: every CPU algorithm, on every backend × executor
+/// combination in play, through a fixed mixed-width request schedule.
+#[test]
+fn every_algorithm_demuxes_bit_identically() {
+    for (backend, executor) in combos() {
+        for alg in CPU_ALGS {
+            check_mix(
+                alg,
+                backend,
+                executor,
+                &[1, 3, 2, 4, 1],
+                ServiceConfig {
+                    batch: BatchPolicy {
+                        max_batch: 6,
+                        max_wait: Duration::from_millis(1),
+                    },
+                    queue_capacity: 16,
+                    max_request_width: 4,
+                    on_full: QueueFullPolicy::Block,
+                },
+                alg as u64,
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    /// Random request mixes: random widths (1–4), random submit and
+    /// collect interleavings, random batching knobs, random algorithm.
+    /// Demuxed columns are bit-identical to individual solves.
+    #[test]
+    fn random_mixes_demux_bit_identically(
+        alg_ix in 0usize..4,
+        widths in proptest::collection::vec(1usize..=4, 3..8),
+        max_batch in 4usize..=8,
+        wait_ix in 0usize..3,
+        order_seed in 0u64..1_000_000,
+    ) {
+        for (backend, executor) in combos() {
+            check_mix(
+                CPU_ALGS[alg_ix],
+                backend,
+                executor,
+                &widths,
+                ServiceConfig {
+                    batch: BatchPolicy {
+                        max_batch,
+                        max_wait: Duration::from_micros([0, 200, 2_000][wait_ix]),
+                    },
+                    queue_capacity: 16,
+                    max_request_width: 4,
+                    on_full: QueueFullPolicy::Block,
+                },
+                order_seed,
+            );
+        }
+    }
+}
