@@ -71,9 +71,6 @@ pub fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
 /// schedule in `run`.  `b` supplies the request RHS columns (column
 /// `i % cols` for request `i`); `n` is the system size.
 pub fn run_open_loop(solver: Solver3d, b: &[f64], n: usize, run: &ServeRun) -> ServeReport {
-    assert!(run.rate_hz > 0.0, "offered load must be positive");
-    let cols = b.len() / n;
-    assert!(cols >= 1, "need at least one RHS column");
     let svc = SolverService::start(
         solver,
         ServiceConfig {
@@ -86,12 +83,26 @@ pub fn run_open_loop(solver: Solver3d, b: &[f64], n: usize, run: &ServeRun) -> S
             on_full: QueueFullPolicy::Block,
         },
     );
+    let report = run_open_loop_on(&svc, b, n, run);
+    svc.shutdown();
+    report
+}
+
+/// [`run_open_loop`] against a caller-owned service: the service stays
+/// alive afterwards, so the caller can scrape final metrics, dump the
+/// flight recorder, or write a span profile before shutting down (this is
+/// how `sptrsv3d --serve` keeps its `--metrics-listen` endpoint and
+/// snapshot flags working across the drain).
+pub fn run_open_loop_on(svc: &SolverService, b: &[f64], n: usize, run: &ServeRun) -> ServeReport {
+    assert!(run.rate_hz > 0.0, "offered load must be positive");
+    let cols = b.len() / n;
+    assert!(cols >= 1, "need at least one RHS column");
+    let base = svc.stats();
     let period = Duration::from_secs_f64(1.0 / run.rate_hz);
     let (tx, rx) = mpsc::channel();
     let mut latencies: Vec<Duration> = Vec::with_capacity(run.requests);
     let start = Instant::now();
     std::thread::scope(|s| {
-        let svc = &svc;
         s.spawn(move || {
             for i in 0..run.requests {
                 let due = start + period.mul_f64(i as f64);
@@ -115,14 +126,17 @@ pub fn run_open_loop(solver: Solver3d, b: &[f64], n: usize, run: &ServeRun) -> S
     });
     let elapsed = start.elapsed();
     let stats = svc.stats();
-    svc.shutdown();
+    // Delta against the entry snapshot so repeated runs on one service
+    // (rate sweeps) report per-run batching, not lifetime averages.
+    let batches = stats.batches - base.batches;
+    let requests = stats.requests - base.requests;
 
     latencies.sort();
     ServeReport {
         completed: latencies.len(),
-        batches: stats.batches,
-        mean_batch_width: if stats.batches > 0 {
-            stats.requests as f64 / stats.batches as f64
+        batches,
+        mean_batch_width: if batches > 0 {
+            requests as f64 / batches as f64
         } else {
             0.0
         },

@@ -29,10 +29,14 @@
 //! makespan.
 
 use parking_lot::{Condvar, Mutex};
-use simgrid::{Category, MachineModel, Metrics, RankStats, RecvMsg, RunReport, Transport};
+use simgrid::{
+    Category, EventKind, FaultMark, FlightRecorder, MachineModel, Metrics, MsgInfo, RankStats,
+    RecvMsg, RunReport, TraceEvent, Transport,
+};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -64,12 +68,39 @@ struct ClusterShared {
     epoch: Instant,
     next_comm_id: AtomicU64,
     stall_timeout: Option<Duration>,
+    /// Per-rank flight recorders (always on, bounded; same semantics as
+    /// the simulator's). Shared so a stalling rank's watchdog can drain
+    /// every rank's ring, including ranks currently blocked.
+    flight: Vec<Arc<Mutex<FlightRecorder>>>,
+    /// Where the watchdog writes the Perfetto flight dump on a stall.
+    flight_dump_path: Option<PathBuf>,
 }
 
 impl ClusterShared {
     #[inline]
     fn elapsed(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Drain every rank's flight recorder into a Perfetto trace at the
+    /// configured dump path (watchdog path; non-consuming).
+    fn dump_flight_on_stall(&self) {
+        let Some(path) = &self.flight_dump_path else {
+            return;
+        };
+        let timelines: Vec<Vec<TraceEvent>> =
+            self.flight.iter().map(|f| f.lock().drain()).collect();
+        let json = simgrid::export_perfetto(&timelines, 0);
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!(
+                "comm-native watchdog: flight recorder dumped to {}",
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "comm-native watchdog: failed to write flight dump {}: {e}",
+                path.display()
+            ),
+        }
     }
 }
 
@@ -87,6 +118,9 @@ struct RankCtx {
     /// Messages sent so far; seq ids are `(world_rank + 1) << 32 | n`,
     /// matching the simulator's deterministic allocation scheme.
     sent_seq: Cell<u64>,
+    /// This rank's always-on flight recorder (shared with the cluster so
+    /// stall watchdogs on other ranks can drain it).
+    flight: Arc<Mutex<FlightRecorder>>,
 }
 
 /// Handle to a communicator from one rank. Clonable within the owning
@@ -146,17 +180,36 @@ impl NativeComm {
             self.ctx.sent_seq.set(n);
             ((self.ctx.world_rank as u64 + 1) << 32) | n
         };
+        let arrival = self.shared.elapsed();
         let msg = Msg {
             comm_id: self.id,
             src: self.my_idx as u32,
             tag,
-            arrival: self.shared.elapsed(),
+            arrival,
             payload,
             seq,
         };
         let mb = &self.shared.mailboxes[dst_world];
         mb.queue.lock().push_back(msg);
         mb.cv.notify_all();
+        // Flight-record the send as an instant: the enqueue itself has no
+        // measurable duration on real hardware (sender-side time lands in
+        // the surrounding charge).
+        self.ctx.flight.lock().record(TraceEvent {
+            t0: arrival,
+            t1: arrival,
+            kind: EventKind::Send,
+            category: cat,
+            msg: Some(MsgInfo {
+                peer: dst_world,
+                bytes,
+                tag,
+                seq,
+                arrival,
+                faults: FaultMark::default(),
+            }),
+            detail: None,
+        });
     }
 
     /// Blocking receive of the first queued message (in real arrival
@@ -190,7 +243,12 @@ impl NativeComm {
                 Some((t0, limit)) => {
                     let waited = t0.elapsed();
                     if waited >= limit {
-                        panic!("{}", self.stall_report(&q, waited));
+                        let report = self.stall_report(&q, waited);
+                        // Release the mailbox before draining the flight
+                        // recorders (the dump needs no queue state).
+                        drop(q);
+                        self.shared.dump_flight_on_stall();
+                        panic!("{report}");
                     }
                     // Wake periodically so every stalled rank eventually
                     // times out (not only the ones that get notified).
@@ -203,11 +261,30 @@ impl NativeComm {
 
     /// Count a delivery and attribute the receive (including the blocked
     /// wait) to `cat`.
-    fn charge_recv(&self, cat: Category) {
+    fn charge_recv(&self, msg: &RecvMsg, cat: Category) {
         let dt = self.charge(cat);
-        let mut m = self.ctx.metrics.borrow_mut();
-        m.inc("msgs.received", 1);
-        m.observe("recv.wait_seconds", simgrid::WAIT_BUCKETS, dt.max(0.0));
+        {
+            let mut m = self.ctx.metrics.borrow_mut();
+            m.inc("msgs.received", 1);
+            m.observe("recv.wait_seconds", simgrid::WAIT_BUCKETS, dt.max(0.0));
+        }
+        // The receive span covers the whole blocked wait, ending now.
+        let t1 = self.ctx.last_stamp.get();
+        self.ctx.flight.lock().record(TraceEvent {
+            t0: t1 - dt.max(0.0),
+            t1,
+            kind: EventKind::Recv,
+            category: cat,
+            msg: Some(MsgInfo {
+                peer: self.members[msg.src] as usize,
+                bytes: 8 * msg.payload.len() + 64,
+                tag: msg.tag,
+                seq: msg.seq,
+                arrival: msg.arrival,
+                faults: FaultMark::default(),
+            }),
+            detail: None,
+        });
     }
 
     /// Watchdog diagnostic for a stalled receive, mirroring the
@@ -359,7 +436,12 @@ impl Transport for NativeComm {
     /// thread, so the *measured* time since the last attribution point is
     /// what gets charged.
     fn compute(&self, _seconds: f64, cat: Category) {
-        self.charge(cat);
+        let dt = self.charge(cat);
+        let t1 = self.ctx.last_stamp.get();
+        self.ctx
+            .flight
+            .lock()
+            .record(TraceEvent::compute(t1 - dt, t1, cat));
     }
 
     /// Same substitution as [`compute`](Transport::compute): measured
@@ -367,7 +449,12 @@ impl Transport for NativeComm {
     /// calls (the GPU executor's busy/idle split) charge the real elapsed
     /// time once and ~0 thereafter.
     fn account(&self, _seconds: f64, cat: Category) {
-        self.charge(cat);
+        let dt = self.charge(cat);
+        let t1 = self.ctx.last_stamp.get();
+        self.ctx
+            .flight
+            .lock()
+            .record(TraceEvent::compute(t1 - dt, t1, cat));
     }
 
     fn time_snapshot(&self) -> [f64; simgrid::N_CATEGORIES] {
@@ -399,13 +486,13 @@ impl Transport for NativeComm {
         let msg = self.recv_matching(|s, t| {
             src.is_none_or(|want| s == want) && tag.is_none_or(|want| t == want)
         });
-        self.charge_recv(cat);
+        self.charge_recv(&msg, cat);
         msg
     }
 
     fn recv_tag_masked(&self, mask: u64, value: u64, cat: Category) -> RecvMsg {
         let msg = self.recv_matching(|_, t| t & mask == value);
-        self.charge_recv(cat);
+        self.charge_recv(&msg, cat);
         msg
     }
 
@@ -496,12 +583,20 @@ pub struct NativeOptions {
     /// with a diagnostic dump instead of hanging the process. `None`
     /// disables the watchdog.
     pub stall_timeout: Option<Duration>,
+    /// Capacity of each rank's always-on flight recorder (most recent
+    /// spans, overwrite-oldest). 0 disables recording.
+    pub flight_capacity: usize,
+    /// When set, a stall watchdog drains every rank's flight recorder
+    /// into a Perfetto trace at this path before panicking.
+    pub flight_dump_path: Option<PathBuf>,
 }
 
 impl Default for NativeOptions {
     fn default() -> Self {
         NativeOptions {
             stall_timeout: Some(Duration::from_secs(30)),
+            flight_capacity: 512,
+            flight_dump_path: None,
         }
     }
 }
@@ -509,7 +604,8 @@ impl Default for NativeOptions {
 /// Run `f` on `nranks` real rank threads and collect per-rank results and
 /// statistics. The returned report has the same shape as a simulator run;
 /// its `makespan` is the real wall-clock of the slowest rank and its
-/// traces are empty (tracing is sim-private).
+/// traces are empty (tracing is sim-private). The per-rank flight
+/// recorders are always on and their contents land in `report.flight`.
 pub fn run<F, R>(nranks: usize, model: MachineModel, opts: &NativeOptions, f: F) -> RunReport<R>
 where
     F: Fn(NativeComm) -> R + Send + Sync,
@@ -527,6 +623,12 @@ where
         epoch: Instant::now(),
         next_comm_id: AtomicU64::new(1),
         stall_timeout: opts.stall_timeout,
+        // Rings fully reserved at setup: steady-state records never
+        // allocate (the alloc audit covers the native serving path).
+        flight: (0..nranks)
+            .map(|_| Arc::new(Mutex::new(FlightRecorder::new(opts.flight_capacity))))
+            .collect(),
+        flight_dump_path: opts.flight_dump_path.clone(),
     });
     let world_members: Arc<Vec<u32>> = Arc::new((0..nranks as u32).collect());
 
@@ -549,6 +651,7 @@ where
                         coll_seq: RefCell::new(HashMap::new()),
                         metrics: RefCell::new(Metrics::new()),
                         sent_seq: Cell::new(0),
+                        flight: Arc::clone(&shared.flight[rank]),
                     });
                     let world = NativeComm {
                         shared: Arc::clone(&shared),
@@ -581,6 +684,7 @@ where
         metrics.merge_from(&m);
     }
     let mut rep = RunReport::new(stats, results);
+    rep.flight = shared.flight.iter().map(|f| f.lock().drain()).collect();
     rep.metrics = metrics;
     rep
 }
@@ -725,9 +829,76 @@ mod tests {
     }
 
     #[test]
+    fn flight_recorder_captures_native_spans() {
+        let rep = run(2, toy_model(), &NativeOptions::default(), |c| {
+            if c.rank() == 0 {
+                c.compute(0.0, Category::Flop);
+                Transport::send(&c, 1, 7, &[1.0, 2.0], Category::XyComm);
+            } else {
+                Transport::recv(&c, Some(0), Some(7), Category::XyComm);
+            }
+        });
+        assert_eq!(rep.flight.len(), 2);
+        let kinds: Vec<EventKind> = rep.flight[0].iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Compute));
+        assert!(kinds.contains(&EventKind::Send));
+        assert!(rep.flight[1].iter().any(|e| e.kind == EventKind::Recv));
+        // Send/recv pair by sequence id, same as sim traces.
+        let send_seq = rep.flight[0]
+            .iter()
+            .find(|e| e.kind == EventKind::Send)
+            .and_then(|e| e.msg.map(|m| m.seq))
+            .unwrap();
+        assert!(rep.flight[1]
+            .iter()
+            .any(|e| e.msg.is_some_and(|m| m.seq == send_seq)));
+    }
+
+    #[test]
+    fn stall_watchdog_dumps_flight_recorder() {
+        let dump = std::env::temp_dir().join("comm_native_stall_flight_test.json");
+        let _ = std::fs::remove_file(&dump);
+        let opts = NativeOptions {
+            stall_timeout: Some(Duration::from_millis(200)),
+            flight_dump_path: Some(dump.clone()),
+            ..NativeOptions::default()
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(2, toy_model(), &opts, |c| {
+                // Real traffic first so both ranks hold flight spans.
+                let mut v = [c.rank() as f64];
+                c.allreduce_sum(&mut v, Category::ZComm);
+                if c.rank() == 0 {
+                    // Never satisfied: the watchdog fires and dumps.
+                    Transport::recv(&c, Some(1), Some(99), Category::XyComm);
+                }
+            });
+        }))
+        .expect_err("stalled run must panic");
+        drop(err);
+        let json = std::fs::read_to_string(&dump).expect("flight dump written on stall");
+        let v: serde_json::Value = serde_json::from_str(&json).expect("dump is valid JSON");
+        let events = match v.get("traceEvents") {
+            Some(serde_json::Value::Array(a)) => a,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        for rank in 0..2i64 {
+            assert!(
+                events.iter().any(|e| {
+                    e.get("ph") == Some(&serde_json::Value::Str("X".into()))
+                        && e.get("tid") == Some(&serde_json::Value::Int(rank))
+                }),
+                "rank {rank} has no spans in the stall dump"
+            );
+        }
+        let _ = std::fs::remove_file(&dump);
+    }
+
+    #[test]
     fn watchdog_reports_stalled_ranks_instead_of_hanging() {
         let opts = NativeOptions {
             stall_timeout: Some(Duration::from_millis(200)),
+            ..NativeOptions::default()
         };
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run(2, toy_model(), &opts, |c| {

@@ -11,7 +11,7 @@
 use crate::plan::Plan;
 use crate::schedule::ScheduleKey;
 use simgrid::{span_name, EventKind, SpanDetail, TraceEvent, CATEGORIES, N_CATEGORIES};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Exact per-category communication volumes of one solve of the proposed
 /// 3D algorithm (L + U triangles), in payload bytes (headers excluded).
@@ -404,6 +404,238 @@ impl CriticalPath {
     }
 }
 
+/// One row of a span self-time profile: all the time the cluster spent in
+/// spans of the same `(pass, kind, level)` class, averaged over ranks so
+/// the `self_seconds` column of a profile sums to the makespan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileEntry {
+    /// Coarse phase: `"pass e{epoch}"` for 2D schedule passes (and GPU
+    /// passes and level barriers of the same epoch), `"z-allreduce"`,
+    /// `"z-exchange"`, `"idle"`, or `"untagged"`.
+    pub pass: String,
+    /// Operation class within the pass: `"diag compute"`, `"bcast send"`,
+    /// `"reduce recv"`, `"gpu compute"`, `"lsum send"`, ...
+    pub kind: String,
+    /// Bounded depth detail — the allreduce round or z-exchange /
+    /// level-barrier level. `-1` where a per-step breakdown would explode
+    /// cardinality (ordinary pass steps key on role instead).
+    pub level: i64,
+    /// Self time in seconds, averaged over ranks.
+    pub self_seconds: f64,
+    /// Spans folded into this row, summed over ranks (not averaged).
+    pub spans: u64,
+}
+
+/// A span-aggregation profile of one traced solve (or, after
+/// [`merge_from`][SpanProfile::merge_from], of a sequence of solves):
+/// where the time went, by pass and operation class.
+///
+/// Built from the same per-rank timelines the critical-path walk uses.
+/// Because spans tile each rank's clock (see `simgrid::trace`), folding
+/// inter-span gaps and the tail into an explicit `idle` row makes the
+/// profile *exhaustive*: `self_seconds` sums to exactly the makespan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanProfile {
+    /// Makespan the profile accounts for (sums across merges).
+    pub makespan: f64,
+    /// Ranks the profile averaged over.
+    pub nranks: usize,
+    /// Profile rows in deterministic key order.
+    pub entries: Vec<ProfileEntry>,
+}
+
+/// Fold per-rank span timelines into a [`SpanProfile`]. `traces` is
+/// indexed by world rank with time-ordered spans per rank (both the
+/// tracer and the flight recorder record them that way); `makespan` is
+/// the run's final clock, used to pad every rank with a trailing `idle`
+/// row so the profile is exhaustive.
+pub fn span_profile(traces: &[Vec<TraceEvent>], makespan: f64) -> SpanProfile {
+    let nranks = traces.len().max(1);
+    let mut acc: BTreeMap<(String, String, i64), (f64, u64)> = BTreeMap::new();
+    for tl in traces {
+        let mut cursor = 0.0f64;
+        let mut idle = 0.0f64;
+        for e in tl {
+            idle += (e.t0 - cursor).max(0.0);
+            cursor = cursor.max(e.t1);
+            let dt = (e.t1 - e.t0).max(0.0);
+            let verb = match e.kind {
+                EventKind::Compute => "compute",
+                EventKind::Send => "send",
+                EventKind::Recv => "recv",
+            };
+            let (pass, kind, level) = match e.detail {
+                Some(SpanDetail::Pass { epoch, role, .. }) => (
+                    format!("pass e{epoch}"),
+                    format!("{} {verb}", role.label()),
+                    -1i64,
+                ),
+                Some(SpanDetail::Allreduce { round, role }) => (
+                    "z-allreduce".to_string(),
+                    format!("{} {verb}", role.label()),
+                    round as i64,
+                ),
+                Some(SpanDetail::NaiveAllreduce { .. }) => {
+                    ("z-allreduce".to_string(), format!("naive {verb}"), -1)
+                }
+                Some(SpanDetail::ZExchange { level, reduce }) => (
+                    "z-exchange".to_string(),
+                    format!("{} {verb}", if reduce { "lsum" } else { "x" }),
+                    level as i64,
+                ),
+                Some(SpanDetail::GpuPass { epoch, .. }) => {
+                    (format!("pass e{epoch}"), format!("gpu {verb}"), -1)
+                }
+                Some(SpanDetail::LevelBarrier { epoch, level, .. }) => (
+                    format!("pass e{epoch}"),
+                    format!("level-barrier {verb}"),
+                    level as i64,
+                ),
+                None => ("untagged".to_string(), verb.to_string(), -1),
+            };
+            let slot = acc.entry((pass, kind, level)).or_insert((0.0, 0));
+            slot.0 += dt;
+            slot.1 += 1;
+        }
+        idle += (makespan - cursor).max(0.0);
+        if idle > 0.0 {
+            let slot = acc
+                .entry(("idle".to_string(), "idle".to_string(), -1))
+                .or_insert((0.0, 0));
+            slot.0 += idle;
+            slot.1 += 1;
+        }
+    }
+    let entries = acc
+        .into_iter()
+        .map(|((pass, kind, level), (t, n))| ProfileEntry {
+            pass,
+            kind,
+            level,
+            self_seconds: t / nranks as f64,
+            spans: n,
+        })
+        .collect();
+    SpanProfile {
+        makespan,
+        nranks,
+        entries,
+    }
+}
+
+impl SpanProfile {
+    /// Sum of all rows — equals the makespan up to float rounding.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries.iter().map(|e| e.self_seconds).sum()
+    }
+
+    /// Fold another profile into this one: makespans add (sequential
+    /// solves), rows merge by `(pass, kind, level)` key. Used by the
+    /// serving layer to accumulate a lifetime profile across batches.
+    pub fn merge_from(&mut self, other: &SpanProfile) {
+        self.makespan += other.makespan;
+        self.nranks = self.nranks.max(other.nranks);
+        for oe in &other.entries {
+            match self
+                .entries
+                .iter_mut()
+                .find(|e| e.pass == oe.pass && e.kind == oe.kind && e.level == oe.level)
+            {
+                Some(e) => {
+                    e.self_seconds += oe.self_seconds;
+                    e.spans += oe.spans;
+                }
+                None => self.entries.push(oe.clone()),
+            }
+        }
+        self.entries
+            .sort_by(|a, b| (&a.pass, &a.kind, a.level).cmp(&(&b.pass, &b.kind, b.level)));
+    }
+
+    /// Human-readable table of the top-`k` rows by self time.
+    pub fn to_table(&self, k: usize) -> String {
+        let mut rows: Vec<&ProfileEntry> = self.entries.iter().collect();
+        rows.sort_by(|a, b| b.self_seconds.total_cmp(&a.self_seconds));
+        let mut out = format!(
+            "span profile: {:.3e} s over {} ranks, {} rows\n\
+             {:>12}  {:>6}  {:>8}  row\n",
+            self.makespan,
+            self.nranks,
+            self.entries.len(),
+            "self (s)",
+            "%",
+            "spans"
+        );
+        let pct = |t: f64| {
+            if self.makespan > 0.0 {
+                100.0 * t / self.makespan
+            } else {
+                0.0
+            }
+        };
+        for e in rows.iter().take(k) {
+            let lvl = if e.level >= 0 {
+                format!(" L{}", e.level)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{:>12.3e}  {:>5.1}%  {:>8}  {};{}{}\n",
+                e.self_seconds,
+                pct(e.self_seconds),
+                e.spans,
+                e.pass,
+                e.kind,
+                lvl
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable snapshot (stable key order, plain JSON).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"makespan\": {:?},\n", self.makespan));
+        out.push_str(&format!("  \"nranks\": {},\n", self.nranks));
+        out.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"pass\": {:?}, \"kind\": {:?}, \"level\": {}, \
+                 \"self_seconds\": {:?}, \"spans\": {}}}",
+                e.pass, e.kind, e.level, e.self_seconds, e.spans
+            ));
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Collapsed-stack form, one `frame;frame[;frame] nanos` line per row
+    /// — feed to `inferno-flamegraph` or `flamegraph.pl` directly. Values
+    /// are integer nanoseconds of (rank-averaged) self time, so the stack
+    /// sums to the makespan within per-row rounding (< 1 ns each).
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let ns = (e.self_seconds * 1e9).round() as u64;
+            if ns == 0 {
+                continue;
+            }
+            if e.level >= 0 {
+                out.push_str(&format!("{};{};L{} {}\n", e.pass, e.kind, e.level, ns));
+            } else {
+                out.push_str(&format!("{};{} {}\n", e.pass, e.kind, ns));
+            }
+        }
+        out
+    }
+}
+
 impl Plan {
     /// A machine model for analytic bounds (Cori Haswell, the paper's CPU
     /// testbed). Analysis functions use only its compute/latency fields.
@@ -584,5 +816,99 @@ mod tests {
         let r = m8.replication_factor();
         assert!(r > 1.0, "ancestors are replicated");
         assert!(r < 8.0, "far below full replication, got {r}");
+    }
+
+    /// The span profile is exhaustive: explicit idle rows pad every rank
+    /// to the makespan, so self times sum to it exactly — and the
+    /// collapsed-stack export preserves the total within rounding.
+    #[test]
+    fn span_profile_is_exhaustive() {
+        use simgrid::TreeRole;
+        // Two ranks. Rank 0: diag compute [0,1], bcast send [1,1.5], then
+        // idle to makespan 4. Rank 1: ramp [0,0.5], bcast recv [0.5,2],
+        // allreduce send [2,3.5], idle tail [3.5,4].
+        let mk = |t0: f64, t1: f64, kind, detail| {
+            let mut e = TraceEvent::compute(t0, t1, simgrid::Category::Flop);
+            e.kind = kind;
+            e.detail = detail;
+            e
+        };
+        let traces = vec![
+            vec![
+                mk(
+                    0.0,
+                    1.0,
+                    EventKind::Compute,
+                    Some(SpanDetail::Pass {
+                        epoch: 0,
+                        step: 0,
+                        sup: 3,
+                        role: TreeRole::Diag,
+                    }),
+                ),
+                mk(
+                    1.0,
+                    1.5,
+                    EventKind::Send,
+                    Some(SpanDetail::Pass {
+                        epoch: 0,
+                        step: 1,
+                        sup: 3,
+                        role: TreeRole::Bcast,
+                    }),
+                ),
+            ],
+            vec![
+                mk(
+                    0.5,
+                    2.0,
+                    EventKind::Recv,
+                    Some(SpanDetail::Pass {
+                        epoch: 0,
+                        step: 0,
+                        sup: 3,
+                        role: TreeRole::Bcast,
+                    }),
+                ),
+                mk(
+                    2.0,
+                    3.5,
+                    EventKind::Send,
+                    Some(SpanDetail::Allreduce {
+                        round: 1,
+                        role: TreeRole::Reduce,
+                    }),
+                ),
+            ],
+        ];
+        let p = span_profile(&traces, 4.0);
+        assert_eq!(p.nranks, 2);
+        assert!((p.total_seconds() - 4.0).abs() < 1e-12);
+        let row = |pass: &str, kind: &str| {
+            p.entries
+                .iter()
+                .find(|e| e.pass == pass && e.kind == kind)
+                .unwrap_or_else(|| panic!("missing row {pass};{kind}"))
+        };
+        assert_eq!(row("pass e0", "diag compute").self_seconds, 0.5);
+        assert_eq!(row("z-allreduce", "reduce send").level, 1);
+        // idle = rank0 (4 - 1.5) + rank1 (0.5 ramp + 0.5 tail), averaged.
+        assert!((row("idle", "idle").self_seconds - 1.75).abs() < 1e-12);
+        // Collapsed stack round-trips the total in integer nanoseconds.
+        let total_ns: u64 = p
+            .to_collapsed()
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total_ns, 4_000_000_000);
+        // Merging doubles every row and the makespan.
+        let mut m = p.clone();
+        m.merge_from(&p);
+        assert!((m.total_seconds() - 8.0).abs() < 1e-12);
+        assert_eq!(m.makespan, 8.0);
+        assert_eq!(m.entries.len(), p.entries.len());
+        // JSON and table render without panicking and mention the rows.
+        assert!(p.to_json().contains("\"pass\": \"z-allreduce\""));
+        assert!(p.to_table(10).contains("diag compute"));
     }
 }

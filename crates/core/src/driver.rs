@@ -162,6 +162,10 @@ pub struct SolveOutcome {
     pub replication_disagreement: f64,
     /// Per-rank event timelines (only with [`solve_traced`]).
     pub traces: Vec<Vec<simgrid::TraceEvent>>,
+    /// Per-rank flight-recorder contents: the most recent spans of every
+    /// rank at the end of the solve, oldest first (always recorded on both
+    /// backends, bounded by the recorder capacity).
+    pub flight: Vec<Vec<simgrid::TraceEvent>>,
     /// Counters and histograms merged across all ranks (always recorded).
     pub metrics: simgrid::Metrics,
 }
@@ -321,12 +325,17 @@ pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool
     let algorithm = cfg.algorithm;
     let arch = cfg.arch;
     let executor = cfg.executor;
+    // Opt-in stall forensics: when set, a stall watchdog drains every
+    // rank's flight recorder into a Perfetto trace at this path before
+    // panicking (both backends).
+    let flight_dump = std::env::var_os("SPTRSV_FLIGHT_DUMP").map(std::path::PathBuf::from);
     let report = match cfg.backend {
         Backend::Sim => {
             let opts = ClusterOptions {
                 chaos_seed: cfg.chaos_seed,
                 trace,
                 fault: cfg.fault.clone(),
+                flight_dump_path: flight_dump,
                 ..ClusterOptions::default()
             };
             let plan2 = Arc::clone(plan);
@@ -341,7 +350,10 @@ pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool
                 "fault injection is sim-private: run faults on Backend::Sim"
             );
             assert!(!trace, "span tracing is sim-private: trace on Backend::Sim");
-            let opts = comm_native::NativeOptions::default();
+            let opts = comm_native::NativeOptions {
+                flight_dump_path: flight_dump,
+                ..comm_native::NativeOptions::default()
+            };
             let plan2 = Arc::clone(plan);
             let pb2 = Arc::clone(&pb);
             comm_native::run(plan.nranks(), cfg.machine.clone(), &opts, move |world| {
@@ -394,6 +406,7 @@ pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool
         makespan: report.makespan,
         replication_disagreement: disagreement,
         traces: report.traces,
+        flight: report.flight,
         metrics: report.metrics,
     }
 }

@@ -51,14 +51,17 @@ pub mod schedule;
 pub mod service;
 pub mod solve2d;
 
-pub use analysis::{critical_path, BlockingEdge, CriticalPath};
+pub use analysis::{
+    critical_path, span_profile, BlockingEdge, CriticalPath, ProfileEntry, SpanProfile,
+};
 pub use driver::{
     solve_distributed, solve_planned, solve_traced, Algorithm, Arch, Backend, ExecutorKind,
     PhaseTimes, SolveOutcome, Solver3d, SolverConfig,
 };
 pub use plan::{GridSet, Plan};
 pub use service::{
-    BatchPolicy, QueueFullPolicy, ServiceConfig, ServiceStats, SolverService, SubmitError, Ticket,
+    BatchPolicy, MetricsServer, QueueFullPolicy, ServiceConfig, ServiceStats, SolverService,
+    SubmitError, Ticket,
 };
 
 #[cfg(test)]

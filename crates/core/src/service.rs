@@ -40,15 +40,26 @@
 //!   `simgrid::metrics`), and every dispatched batch records a wall-clock
 //!   [`simgrid::TraceEvent`] span retrievable via
 //!   [`SolverService::batch_trace`].
+//! * **Live observability** (DESIGN.md §14) — per-request latency is
+//!   decomposed into queue-wait → batch-form → solve → demux log2
+//!   histograms; [`SolverService::serve_metrics`] exposes the whole
+//!   registry over HTTP in OpenMetrics text (a dependency-free
+//!   `std::net` listener, one scrape per connection);
+//!   [`SolverService::dump_flight_recorder`] drains the last batch's
+//!   always-on flight recorder into a Perfetto trace and
+//!   [`SolverService::span_profile`] accumulates a lifetime
+//!   [`SpanProfile`] across batches.
 
+use crate::analysis::{span_profile, SpanProfile};
 use crate::audit;
 use crate::driver::Solver3d;
 use parking_lot::{Condvar, Mutex};
 use simgrid::{
-    Category, EventKind, Metrics, TraceEvent, DEPTH_BUCKETS, N_CATEGORIES, WAIT_BUCKETS,
-    WIDTH_BUCKETS,
+    latency_buckets, Category, EventKind, Metrics, TraceEvent, DEPTH_BUCKETS, N_CATEGORIES,
+    WAIT_BUCKETS, WIDTH_BUCKETS,
 };
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -211,6 +222,13 @@ struct State {
     /// One wall-clock span per dispatched batch (mux start → demux end,
     /// seconds since service start).
     batch_spans: Vec<TraceEvent>,
+    /// Flight-recorder contents of the most recent batch solve, per rank
+    /// (oldest span first) — always captured, bounded by the recorder
+    /// capacity, drained by [`SolverService::dump_flight_recorder`].
+    last_flight: Vec<Vec<TraceEvent>>,
+    /// Lifetime span profile: every batch's per-rank timelines folded in
+    /// ([`SpanProfile::merge_from`], so `makespan` accumulates solve time).
+    profile: SpanProfile,
 }
 
 struct Shared {
@@ -251,6 +269,9 @@ pub struct SolverService {
     n: usize,
     cfg: ServiceConfig,
     epoch: Instant,
+    /// `px * py` of the served plan: lets the Perfetto export group the
+    /// flight-recorder ranks into one process per 2D grid.
+    ranks_per_grid: usize,
 }
 
 /// Claim on one submitted request. Collect the solution with
@@ -296,6 +317,12 @@ impl SolverService {
         metrics.touch_histogram("service.batch_width", WIDTH_BUCKETS);
         metrics.touch_histogram("service.queue_depth", DEPTH_BUCKETS);
         metrics.touch_histogram("service.wait_seconds", WAIT_BUCKETS);
+        // Per-request latency decomposition (log2 buckets, 1 µs .. 8 s):
+        // enqueue → dispatch → batch formed → solved → demuxed.
+        metrics.touch_histogram("service.queue_wait_seconds", latency_buckets());
+        metrics.touch_histogram("service.batch_form_seconds", latency_buckets());
+        metrics.touch_histogram("service.solve_seconds", latency_buckets());
+        metrics.touch_histogram("service.demux_seconds", latency_buckets());
         let st = State {
             slots: (0..cap)
                 .map(|_| Slot {
@@ -319,6 +346,12 @@ impl SolverService {
             rejected: 0,
             batches: 0,
             batch_spans: Vec::new(),
+            last_flight: Vec::new(),
+            profile: SpanProfile {
+                makespan: 0.0,
+                nranks: 0,
+                entries: Vec::new(),
+            },
         };
         let shared = Arc::new(Shared {
             st: Mutex::new(st),
@@ -326,6 +359,7 @@ impl SolverService {
             not_full: Condvar::new(),
             done: Condvar::new(),
         });
+        let ranks_per_grid = solver.config().px * solver.config().py;
         let dispatcher = {
             let shared = Arc::clone(&shared);
             let policy = cfg.batch;
@@ -340,6 +374,7 @@ impl SolverService {
             n,
             cfg,
             epoch,
+            ranks_per_grid,
         }
     }
 
@@ -452,6 +487,79 @@ impl SolverService {
         self.epoch.elapsed().as_secs_f64()
     }
 
+    /// Drain the most recent batch's flight recorder into a Perfetto
+    /// trace (JSON string, loadable in `ui.perfetto.dev`): the last spans
+    /// of every rank, captured without tracing being enabled. Empty
+    /// timelines (`"traceEvents": []`) before the first batch completes.
+    pub fn dump_flight_recorder(&self) -> String {
+        let st = self.shared.st.lock();
+        simgrid::export_perfetto(&st.last_flight, self.ranks_per_grid)
+    }
+
+    /// Snapshot of the lifetime span profile: every dispatched batch's
+    /// per-rank flight timelines folded into per-(pass, kind, level)
+    /// self times (`makespan` is the accumulated in-solver time). Render
+    /// with [`SpanProfile::to_table`], `to_json`, or `to_collapsed`.
+    pub fn span_profile(&self) -> SpanProfile {
+        self.shared.st.lock().profile.clone()
+    }
+
+    /// Start a dependency-free HTTP listener exposing
+    /// [`metrics`][SolverService::metrics] in OpenMetrics text at every
+    /// path. `addr` is a `std::net` bind address (`"127.0.0.1:0"` picks a
+    /// free port — read it back with [`MetricsServer::local_addr`]). One
+    /// scrape per connection (`Connection: close`); the listener thread
+    /// holds only the shared state, so it outlives neither the service
+    /// nor a [`MetricsServer::shutdown`].
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = std::net::TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::clone(&self.shared);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sptrsv-metrics".into())
+            .spawn(move || {
+                use std::io::{Read, Write};
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut sock) = conn else { continue };
+                    // Read the request line + headers (tolerantly: a
+                    // slow or malformed client only stalls this scrape).
+                    let _ = sock.set_read_timeout(Some(Duration::from_millis(500)));
+                    let mut req = Vec::with_capacity(512);
+                    let mut buf = [0u8; 512];
+                    loop {
+                        match sock.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(k) => req.extend_from_slice(&buf[..k]),
+                        }
+                        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 8192 {
+                            break;
+                        }
+                    }
+                    let body = shared.st.lock().metrics.to_openmetrics();
+                    let resp = format!(
+                        "HTTP/1.1 200 OK\r\n\
+                         Content-Type: application/openmetrics-text; \
+                         version=1.0.0; charset=utf-8\r\n\
+                         Content-Length: {}\r\n\
+                         Connection: close\r\n\r\n{}",
+                        body.len(),
+                        body
+                    );
+                    let _ = sock.write_all(resp.as_bytes());
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
     /// Stop intake, drain every queued request through the solver, and
     /// join the dispatcher. Blocked submitters are woken with
     /// [`SubmitError::ShuttingDown`]; outstanding tickets remain
@@ -474,6 +582,41 @@ impl SolverService {
 }
 
 impl Drop for SolverService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Handle on a running metrics listener (see
+/// [`SolverService::serve_metrics`]). Dropping it stops the listener.
+pub struct MetricsServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves the port when started on `:0`).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting scrapes and join the listener thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if let Some(h) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop; the next iteration sees `stop`.
+            let _ = std::net::TcpStream::connect(self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
     fn drop(&mut self) {
         self.shutdown_in_place();
     }
@@ -602,6 +745,8 @@ fn dispatcher_loop(
                 .as_secs_f64();
             st.metrics
                 .observe("service.wait_seconds", WAIT_BUCKETS, waited);
+            st.metrics
+                .observe("service.queue_wait_seconds", latency_buckets(), waited);
         }
         st.batches += 1;
         st.metrics.inc("service.batches", 1);
@@ -626,14 +771,22 @@ fn dispatcher_loop(
                 col += w;
             }
         }
+        st.metrics.observe(
+            "service.batch_form_seconds",
+            latency_buckets(),
+            dispatch.elapsed().as_secs_f64(),
+        );
         drop(st);
 
         // Phase 3: one batched solve on the cached plan, lock released so
         // submitters keep queueing the next batch.
+        let solve_t0 = Instant::now();
         let out = solver.solve(&batch_b[..width * n], width);
+        let solve_secs = solve_t0.elapsed().as_secs_f64();
 
         // Phase 4: demux result columns and complete the requests.
         let mut st = shared.st.lock();
+        let demux_t0 = Instant::now();
         {
             let _scope = audit::pass_scope();
             let mut col = 0usize;
@@ -643,6 +796,13 @@ fn dispatcher_loop(
                 col += w;
             }
         }
+        st.metrics
+            .observe("service.solve_seconds", latency_buckets(), solve_secs);
+        st.metrics.observe(
+            "service.demux_seconds",
+            latency_buckets(),
+            demux_t0.elapsed().as_secs_f64(),
+        );
         for &sid in &batch_ids {
             let slot = &mut st.slots[sid];
             if slot.abandoned {
@@ -659,6 +819,13 @@ fn dispatcher_loop(
             }
         }
         st.metrics.merge_from(&out.metrics);
+        // Fold the batch's per-rank timelines into the lifetime profile
+        // and keep the raw flight for on-demand Perfetto dumps. This runs
+        // outside the audited scopes: profile folding is bounded by the
+        // recorder capacity, not the request rate.
+        st.profile
+            .merge_from(&span_profile(&out.flight, out.makespan));
+        st.last_flight = out.flight;
         st.batch_spans.push(TraceEvent {
             t0: dispatch.duration_since(epoch).as_secs_f64(),
             t1: epoch.elapsed().as_secs_f64(),
@@ -974,5 +1141,100 @@ mod tests {
         assert_eq!(stats.rejected, 3);
         svc.shutdown();
         assert_eq!(t.wait(), &want[..n]);
+    }
+
+    /// The observability plane is live after one batch: the four latency
+    /// histograms have observations, the flight recorder dumps a Perfetto
+    /// trace with spans, and the lifetime profile accounts for the
+    /// accumulated solve time.
+    #[test]
+    fn latency_histograms_flight_and_profile_are_live() {
+        let (solver, b, want, n) = fixture();
+        let svc = service(
+            solver,
+            ServiceConfig {
+                batch: BatchPolicy {
+                    max_batch: 2,
+                    max_wait: Duration::from_millis(1),
+                },
+                queue_capacity: 8,
+                max_request_width: 1,
+                on_full: QueueFullPolicy::Block,
+            },
+        );
+        // Before any batch: empty but well-formed.
+        assert!(svc.dump_flight_recorder().contains("\"traceEvents\""));
+        for r in 0..4 {
+            assert_eq!(
+                svc.solve(&b[r * n..(r + 1) * n], 1).unwrap(),
+                &want[r * n..(r + 1) * n]
+            );
+        }
+        let m = svc.metrics();
+        for series in [
+            "service.queue_wait_seconds",
+            "service.batch_form_seconds",
+            "service.solve_seconds",
+            "service.demux_seconds",
+        ] {
+            let h = m
+                .histogram(series)
+                .unwrap_or_else(|| panic!("missing {series}"));
+            assert!(h.count() >= 1, "{series} never observed");
+            assert!(h.percentile(0.99) >= h.percentile(0.5));
+        }
+        // The flight dump has real spans from the last batch solve.
+        let dump = svc.dump_flight_recorder();
+        let v: serde_json::Value = serde_json::from_str(&dump).expect("flight dump parses");
+        let Some(serde_json::Value::Array(evs)) = v.get("traceEvents") else {
+            panic!("no traceEvents array");
+        };
+        assert!(
+            evs.iter()
+                .any(|e| e.get("ph") == Some(&serde_json::Value::Str("X".into()))),
+            "flight dump has no duration spans"
+        );
+        // Lifetime profile: exhaustive over the accumulated makespan.
+        let p = svc.span_profile();
+        assert!(p.makespan > 0.0);
+        assert!(p.nranks >= 1);
+        assert!((p.total_seconds() - p.makespan).abs() <= 1e-9 * p.makespan.max(1.0));
+        assert!(!p.to_collapsed().is_empty());
+        svc.shutdown();
+    }
+
+    /// The metrics endpoint serves the registry as OpenMetrics text over
+    /// plain HTTP, one scrape per connection, and shuts down cleanly.
+    #[test]
+    fn metrics_endpoint_serves_openmetrics() {
+        use std::io::{Read, Write};
+        let (solver, b, _, n) = fixture();
+        let svc = service(solver, ServiceConfig::default());
+        svc.solve(&b[..n], 1).unwrap();
+        let server = svc
+            .serve_metrics("127.0.0.1:0")
+            .expect("bind metrics listener");
+        let scrape = || {
+            let mut sock = std::net::TcpStream::connect(server.local_addr()).unwrap();
+            sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut resp = String::new();
+            sock.read_to_string(&mut resp).unwrap();
+            resp
+        };
+        for _ in 0..2 {
+            let resp = scrape();
+            assert!(
+                resp.starts_with("HTTP/1.1 200 OK\r\n"),
+                "bad status: {resp}"
+            );
+            assert!(resp.contains("application/openmetrics-text"));
+            let body = resp.split("\r\n\r\n").nth(1).expect("no body");
+            assert!(body.contains("service_requests_total 1"));
+            assert!(body.contains("# TYPE service_queue_wait_seconds histogram"));
+            assert!(body.ends_with("# EOF\n"));
+        }
+        server.shutdown();
+        svc.shutdown();
     }
 }

@@ -29,17 +29,21 @@ pub mod transport;
 pub use fault::{FaultPlan, Reorder, PROFILE_NAMES};
 pub use gpu::GpuExecutor;
 pub use machine::{GpuModel, MachineModel};
-pub use metrics::{Histogram, Metrics, BYTE_BUCKETS, DEPTH_BUCKETS, WAIT_BUCKETS, WIDTH_BUCKETS};
+pub use metrics::{
+    latency_buckets, log2_buckets, Histogram, Metrics, BYTE_BUCKETS, DEPTH_BUCKETS, WAIT_BUCKETS,
+    WIDTH_BUCKETS,
+};
 pub use stats::{Category, RankStats, RunReport, CATEGORIES, N_CATEGORIES};
 pub use trace::{
-    export_perfetto, render_timeline, span_name, EventKind, FaultMark, MsgInfo, SpanDetail,
-    TraceEvent, TreeRole,
+    export_perfetto, render_timeline, span_name, EventKind, FaultMark, FlightRecorder, MsgInfo,
+    SpanDetail, TraceEvent, TreeRole,
 };
 pub use transport::Transport;
 
 use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -101,6 +105,36 @@ struct ClusterShared {
     /// Real-time settle window for any-source receives (see
     /// [`ClusterOptions::settle_window`]).
     settle_window: Duration,
+    /// Per-rank flight recorders (always on; see [`FlightRecorder`]).
+    /// `Arc<Mutex<..>>` so a stalling rank's watchdog can drain *every*
+    /// rank's ring, including ranks currently blocked or asleep.
+    flight: Vec<Arc<Mutex<FlightRecorder>>>,
+    /// Where the watchdog writes the Perfetto flight dump on a stall.
+    flight_dump_path: Option<PathBuf>,
+}
+
+impl ClusterShared {
+    /// Drain every rank's flight recorder into a Perfetto trace at the
+    /// configured dump path. Called by the stall watchdog right before it
+    /// panics; non-consuming, so concurrent stalls write the same dump.
+    fn dump_flight_on_stall(&self) {
+        let Some(path) = &self.flight_dump_path else {
+            return;
+        };
+        let timelines: Vec<Vec<TraceEvent>> =
+            self.flight.iter().map(|f| f.lock().drain()).collect();
+        let json = trace::export_perfetto(&timelines, 0);
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!(
+                "simgrid watchdog: flight recorder dumped to {}",
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "simgrid watchdog: failed to write flight dump {}: {e}",
+                path.display()
+            ),
+        }
+    }
 }
 
 /// Per-rank mutable context. Owned by the rank's thread; `Comm` handles on
@@ -121,6 +155,9 @@ struct RankCtx {
     coll_seq: RefCell<HashMap<u64, u64>>,
     /// Event timeline, recorded when tracing is enabled.
     trace: Option<RefCell<Vec<TraceEvent>>>,
+    /// This rank's always-on flight recorder (shared with the cluster so
+    /// stall watchdogs on other ranks can drain it).
+    flight: Arc<Mutex<FlightRecorder>>,
     /// Solver-semantic annotation stamped onto spans recorded while set
     /// (see [`Comm::set_span_detail`]).
     span_detail: Cell<Option<SpanDetail>>,
@@ -137,15 +174,19 @@ struct RankCtx {
 impl RankCtx {
     #[inline]
     fn record(&self, t0: f64, t1: f64, kind: EventKind, cat: Category, msg: Option<MsgInfo>) {
+        let e = TraceEvent {
+            t0,
+            t1,
+            kind,
+            category: cat,
+            msg,
+            detail: self.span_detail.get(),
+        };
+        // Always-on bounded ring (in-place write, never allocates); the
+        // unbounded trace only when tracing was requested.
+        self.flight.lock().record(e);
         if let Some(tr) = &self.trace {
-            tr.borrow_mut().push(TraceEvent {
-                t0,
-                t1,
-                kind,
-                category: cat,
-                msg,
-                detail: self.span_detail.get(),
-            });
+            tr.borrow_mut().push(e);
         }
     }
 
@@ -289,15 +330,17 @@ impl Comm {
         cat: Category,
         detail: Option<SpanDetail>,
     ) {
+        let e = TraceEvent {
+            t0,
+            t1,
+            kind,
+            category: cat,
+            msg: None,
+            detail,
+        };
+        self.ctx.flight.lock().record(e);
         if let Some(tr) = &self.ctx.trace {
-            tr.borrow_mut().push(TraceEvent {
-                t0,
-                t1,
-                kind,
-                category: cat,
-                msg: None,
-                detail,
-            });
+            tr.borrow_mut().push(e);
         }
     }
 
@@ -675,7 +718,13 @@ impl Comm {
                 Some((t0, limit)) => {
                     let waited = t0.elapsed();
                     if waited >= limit {
-                        panic!("{}", self.stall_report(&q, waited));
+                        let report = self.stall_report(&q, waited);
+                        // Release the mailbox before draining the flight
+                        // recorders: the dump touches every rank's ring and
+                        // writes a file, none of which needs the queue.
+                        drop(q);
+                        self.shared.dump_flight_on_stall();
+                        panic!("{report}");
                     }
                     // Wake periodically so every stalled rank eventually
                     // times out (not only the ones that get notified).
@@ -931,6 +980,12 @@ pub struct ClusterOptions {
     /// regardless of the window length, so metric assertions stay
     /// deterministic under any setting.
     pub settle_window: Duration,
+    /// Capacity of each rank's always-on flight recorder (most recent
+    /// spans, overwrite-oldest). 0 disables recording.
+    pub flight_capacity: usize,
+    /// When set, a stall watchdog drains every rank's flight recorder into
+    /// a Perfetto trace at this path before panicking.
+    pub flight_dump_path: Option<PathBuf>,
 }
 
 impl Default for ClusterOptions {
@@ -941,6 +996,8 @@ impl Default for ClusterOptions {
             fault: FaultPlan::default(),
             stall_timeout: Some(Duration::from_secs(30)),
             settle_window: Duration::from_micros(100),
+            flight_capacity: 512,
+            flight_dump_path: None,
         }
     }
 }
@@ -975,6 +1032,12 @@ where
         fault,
         stall_timeout: opts.stall_timeout,
         settle_window: opts.settle_window,
+        // Rings are fully reserved here, at setup: steady-state records
+        // write in place and never allocate.
+        flight: (0..nranks)
+            .map(|_| Arc::new(Mutex::new(FlightRecorder::new(opts.flight_capacity))))
+            .collect(),
+        flight_dump_path: opts.flight_dump_path.clone(),
     });
     let world_members: Arc<Vec<u32>> = Arc::new((0..nranks as u32).collect());
 
@@ -1000,6 +1063,7 @@ where
                         compute_mult: shared.fault.compute_mult(rank),
                         coll_seq: RefCell::new(HashMap::new()),
                         trace: trace_on.then(|| RefCell::new(Vec::new())),
+                        flight: Arc::clone(&shared.flight[rank]),
                         span_detail: Cell::new(None),
                         metrics: RefCell::new(crate::metrics::Metrics::new()),
                         sent_seq: Cell::new(0),
@@ -1054,6 +1118,7 @@ where
     }
     let mut rep = RunReport::new(stats, results);
     rep.traces = traces;
+    rep.flight = shared.flight.iter().map(|f| f.lock().drain()).collect();
     rep.metrics = metrics;
     rep
 }
@@ -1483,6 +1548,73 @@ mod tests {
                 "one settle wait per any-source receive (window {window_us}us)"
             );
         }
+    }
+
+    #[test]
+    fn flight_recorder_always_captures_recent_spans() {
+        let run_once = || {
+            run(2, toy_model(), &ClusterOptions::default(), |c| {
+                if c.rank() == 0 {
+                    c.compute(1e-6, Category::Flop);
+                    c.send(1, 7, &[1.0, 2.0], Category::XyComm);
+                } else {
+                    c.recv(Some(0), Some(7), Category::XyComm);
+                }
+            })
+        };
+        let rep = run_once();
+        // Tracing is off, yet the flight recorder kept every span.
+        assert!(rep.traces.iter().all(Vec::is_empty));
+        assert_eq!(rep.flight.len(), 2);
+        assert_eq!(rep.flight[0].len(), 2); // compute + send
+        assert_eq!(rep.flight[0][0].kind, EventKind::Compute);
+        assert_eq!(rep.flight[0][1].kind, EventKind::Send);
+        assert_eq!(rep.flight[1].len(), 1); // recv
+        assert_eq!(rep.flight[1][0].kind, EventKind::Recv);
+        // Bit-stable across identical runs.
+        assert_eq!(rep.flight, run_once().flight);
+    }
+
+    #[test]
+    fn stall_watchdog_dumps_flight_recorder() {
+        let dump = std::env::temp_dir().join("simgrid_stall_flight_test.json");
+        let _ = std::fs::remove_file(&dump);
+        let opts = ClusterOptions {
+            stall_timeout: Some(Duration::from_millis(200)),
+            flight_dump_path: Some(dump.clone()),
+            ..ClusterOptions::default()
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(2, toy_model(), &opts, |c| {
+                // Real traffic first so both ranks hold flight spans.
+                let mut v = [c.rank() as f64];
+                c.allreduce_sum(&mut v, Category::ZComm);
+                if c.rank() == 0 {
+                    // Tag 99 is never sent: rank 0 stalls and its watchdog
+                    // must drain every rank's ring before panicking.
+                    c.recv(Some(1), Some(99), Category::XyComm);
+                }
+            });
+        }))
+        .expect_err("stalled run must panic");
+        drop(err);
+        let json = std::fs::read_to_string(&dump).expect("flight dump written on stall");
+        let v: serde_json::Value = serde_json::from_str(&json).expect("dump is valid JSON");
+        let events = match v.get("traceEvents") {
+            Some(serde_json::Value::Array(a)) => a,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        // Non-empty "X" spans for every rank.
+        for rank in 0..2i64 {
+            assert!(
+                events.iter().any(|e| {
+                    e.get("ph") == Some(&serde_json::Value::Str("X".into()))
+                        && e.get("tid") == Some(&serde_json::Value::Int(rank))
+                }),
+                "rank {rank} has no spans in the stall dump"
+            );
+        }
+        let _ = std::fs::remove_file(&dump);
     }
 
     #[test]

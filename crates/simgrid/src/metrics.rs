@@ -5,7 +5,18 @@
 //! and O(1) per observation, so they are safe to leave enabled in
 //! benchmark runs. The simulator feeds `msgs.*` / `recv.*` series; the
 //! solver interpreters add `pass.*` series. [`Metrics::to_json`] produces
-//! a deterministic snapshot (BTreeMap ordering) for `--metrics-out`.
+//! a deterministic snapshot (BTreeMap ordering) for `--metrics-out`, and
+//! [`Metrics::to_openmetrics`] renders the same registry in the
+//! OpenMetrics/Prometheus text exposition format for live scraping
+//! (DESIGN.md §14): counters gain the `_total` suffix, histograms emit
+//! cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, and `.` in
+//! series names becomes `_`.
+//!
+//! Latency series use log2 bucket boundaries ([`log2_buckets`] /
+//! [`latency_buckets`]): successive powers of two cover seven decades of
+//! dynamic range in ~24 buckets with a constant relative quantization
+//! error, which is what makes [`Histogram::percentile`] estimates (p50 /
+//! p90 / p99 / p999) usable from the bucket counts alone.
 //!
 //! The catalog emitted by a solve:
 //!
@@ -37,8 +48,19 @@
 //! | `service.batch_width`      | histogram | RHS columns per dispatched batch          |
 //! | `service.queue_depth`      | histogram | queued requests observed at each submit   |
 //! | `service.wait_seconds`     | histogram | request wait from enqueue to dispatch     |
+//!
+//! The live observability plane (DESIGN.md §14) decomposes per-request
+//! latency into four log2-bucketed stages:
+//!
+//! | name                         | type      | meaning                                 |
+//! |------------------------------|-----------|-----------------------------------------|
+//! | `service.queue_wait_seconds` | histogram | per request: enqueue → batch dispatch   |
+//! | `service.batch_form_seconds` | histogram | per batch: dispatch → mux complete      |
+//! | `service.solve_seconds`      | histogram | per batch: the batched solve itself     |
+//! | `service.demux_seconds`      | histogram | per batch: scatter results to slots     |
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// Bucket upper bounds for message sizes (bytes).
 pub const BYTE_BUCKETS: &[f64] = &[64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0];
@@ -51,6 +73,24 @@ pub const WIDTH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 
 /// Bucket upper bounds for queue depths (requests).
 pub const DEPTH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Log2 bucket upper bounds: `2^min_pow, 2^(min_pow+1), …, 2^max_pow`.
+///
+/// Powers of two are exactly representable, so boundary observations land
+/// deterministically and [`Histogram::merge_from`]'s bounds-equality check
+/// holds across ranks without float-comparison surprises.
+pub fn log2_buckets(min_pow: i32, max_pow: i32) -> Vec<f64> {
+    assert!(min_pow <= max_pow, "log2_buckets: empty range");
+    (min_pow..=max_pow).map(|p| (p as f64).exp2()).collect()
+}
+
+/// Shared log2 bounds for latency series (seconds): `2^-20` (~0.95 µs)
+/// through `2^3` (8 s), 24 buckets plus overflow. Every latency histogram
+/// in the registry uses these bounds so cross-rank merges line up.
+pub fn latency_buckets() -> &'static [f64] {
+    static BUCKETS: OnceLock<Vec<f64>> = OnceLock::new();
+    BUCKETS.get_or_init(|| log2_buckets(-20, 3))
+}
 
 /// Fixed-bucket histogram: `counts[i]` tallies observations `≤ bounds[i]`,
 /// with one overflow bucket at the end.
@@ -112,6 +152,39 @@ impl Histogram {
     /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the bucket counts
+    /// by linear interpolation inside the target bucket, Prometheus-style.
+    ///
+    /// The first bucket interpolates from 0; the overflow bucket clamps to
+    /// the last finite bound (there is no upper edge to interpolate
+    /// toward). Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "percentile: q out of range");
+        if self.n == 0 {
+            return 0.0;
+        }
+        let target = q * self.n as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev = cum as f64;
+            cum += c;
+            if cum as f64 >= target {
+                if i == self.bounds.len() {
+                    // Overflow bucket: no finite upper edge.
+                    return self.bounds.last().copied().unwrap_or(0.0);
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = ((target - prev) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
     }
 
     /// Fold another histogram (same bounds) into this one.
@@ -262,6 +335,39 @@ impl Metrics {
         out.push_str("}\n}\n");
         out
     }
+
+    /// OpenMetrics text exposition of the registry, for live scraping.
+    ///
+    /// Dots in series names become underscores (`service.batches` →
+    /// `service_batches_total`). Counters render as `# TYPE name counter` +
+    /// `name_total value`; histograms render cumulative `name_bucket{le}`
+    /// series ending in `le="+Inf"`, then `name_sum` / `name_count`. The
+    /// output is deterministic (BTreeMap order) and ends with `# EOF`.
+    pub fn to_openmetrics(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.replace('.', "_")
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = sanitize(k);
+            out.push_str(&format!("# TYPE {name} counter\n{name}_total {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let name = sanitize(k);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &b) in h.bounds.iter().enumerate() {
+                cum += h.counts[i];
+                out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {cum}\n"));
+            }
+            cum += h.counts[h.bounds.len()];
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.n));
+        }
+        out.push_str("# EOF\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -320,5 +426,88 @@ mod tests {
         assert!(m.is_empty());
         let v: Result<serde_json::Value, _> = serde_json::from_str(&m.to_json());
         assert!(v.is_ok());
+    }
+
+    #[test]
+    fn log2_bucket_boundaries_are_exact_powers() {
+        let b = log2_buckets(-3, 3);
+        assert_eq!(b, vec![0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]);
+        let lat = latency_buckets();
+        assert_eq!(lat.len(), 24);
+        assert_eq!(lat[0], (-20f64).exp2());
+        assert_eq!(*lat.last().unwrap(), 8.0);
+        // Exact doubling everywhere: boundary observations are deterministic.
+        for w in lat.windows(2) {
+            assert_eq!(w[1], w[0] * 2.0);
+        }
+        // Same statics pointer across calls — no per-call allocation.
+        assert!(std::ptr::eq(lat.as_ptr(), latency_buckets().as_ptr()));
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.percentile(0.5), 0.0); // empty
+        for _ in 0..10 {
+            h.observe(1.5); // all ten land in the (1, 2] bucket
+        }
+        // Median of a uniformly-interpolated (1, 2] bucket: halfway.
+        assert!((h.percentile(0.5) - 1.5).abs() < 1e-12);
+        assert!((h.percentile(0.1) - 1.1).abs() < 1e-12);
+        assert!((h.percentile(1.0) - 2.0).abs() < 1e-12);
+        // First bucket interpolates from zero.
+        let mut h0 = Histogram::new(&[1.0, 2.0]);
+        h0.observe(0.5);
+        h0.observe(0.5);
+        assert!((h0.percentile(0.5) - 0.5).abs() < 1e-12);
+        // Overflow observations clamp to the last finite bound.
+        let mut ho = Histogram::new(&[1.0, 2.0]);
+        ho.observe(100.0);
+        assert_eq!(ho.percentile(0.99), 2.0);
+    }
+
+    #[test]
+    fn percentiles_survive_merge_across_ranks() {
+        // Two "ranks" each record half the observations; the merged
+        // histogram must report the same percentiles as one rank that saw
+        // everything.
+        let bounds = log2_buckets(-4, 4);
+        let mut all = Histogram::new(&bounds);
+        let mut a = Histogram::new(&bounds);
+        let mut b = Histogram::new(&bounds);
+        for i in 0..100 {
+            let v = 0.07 + (i as f64) * 0.11;
+            all.observe(v);
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        a.merge_from(&b);
+        assert_eq!(a.bucket_counts(), all.bucket_counts());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.percentile(q), all.percentile(q));
+        }
+    }
+
+    #[test]
+    fn openmetrics_rendering_is_cumulative_and_terminated() {
+        let mut m = Metrics::new();
+        m.inc("service.requests", 7);
+        m.observe("service.wait_seconds", &[0.5, 1.0], 0.25);
+        m.observe("service.wait_seconds", &[0.5, 1.0], 0.75);
+        m.observe("service.wait_seconds", &[0.5, 1.0], 9.0);
+        let text = m.to_openmetrics();
+        assert!(text.contains("# TYPE service_requests counter\n"));
+        assert!(text.contains("service_requests_total 7\n"));
+        assert!(text.contains("# TYPE service_wait_seconds histogram\n"));
+        assert!(text.contains("service_wait_seconds_bucket{le=\"0.5\"} 1\n"));
+        assert!(text.contains("service_wait_seconds_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("service_wait_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("service_wait_seconds_count 3\n"));
+        assert!(text.ends_with("# EOF\n"));
+        // Deterministic output.
+        assert_eq!(text, m.to_openmetrics());
     }
 }

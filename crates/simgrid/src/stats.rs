@@ -86,6 +86,10 @@ pub struct RunReport<R> {
     pub makespan: f64,
     /// Per-rank event timelines (empty unless tracing was enabled).
     pub traces: Vec<Vec<crate::trace::TraceEvent>>,
+    /// Per-rank flight-recorder contents at the end of the run: the most
+    /// recent spans of every rank, oldest first (always recorded, bounded
+    /// by the recorder capacity).
+    pub flight: Vec<Vec<crate::trace::TraceEvent>>,
     /// Counters and histograms merged across all ranks (always recorded).
     pub metrics: crate::metrics::Metrics,
 }
@@ -99,6 +103,7 @@ impl<R> RunReport<R> {
             results,
             makespan,
             traces: Vec::new(),
+            flight: Vec::new(),
             metrics: crate::metrics::Metrics::new(),
         }
     }

@@ -161,7 +161,7 @@ pub struct MsgInfo {
 }
 
 /// One traced interval on a rank's virtual timeline.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraceEvent {
     /// Interval start (virtual seconds).
     pub t0: f64,
@@ -188,6 +188,81 @@ impl TraceEvent {
             msg: None,
             detail: None,
         }
+    }
+}
+
+/// Always-on flight recorder: a fixed-capacity ring buffer of the most
+/// recent [`TraceEvent`]s on one rank, overwriting the oldest entry when
+/// full.
+///
+/// Unlike the opt-in full trace (which grows unboundedly and is off by
+/// default), a recorder is bounded and allocation-free after construction:
+/// the backing store is reserved up front and [`FlightRecorder::record`]
+/// only ever writes in place. Both backends feed every compute/send/recv
+/// span into it, so when a rank stalls the watchdog can drain the last N
+/// spans of *every* rank into a Perfetto dump — a replayable
+/// last-few-milliseconds timeline instead of a point-in-time report.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest entry once the ring is full; next write slot.
+    head: usize,
+    overwritten: u64,
+}
+
+impl FlightRecorder {
+    /// Recorder holding the most recent `capacity` events (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Record one event, overwriting the oldest if the ring is full.
+    /// Never allocates: the buffer grows only up to its reserved capacity.
+    pub fn record(&mut self, e: TraceEvent) {
+        let cap = self.buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        if self.buf.len() < cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % cap;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Events evicted to make room since construction.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Copy out the retained events, oldest first. Non-consuming, so a
+    /// stall dump and an end-of-run drain can both read the same ring.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
     }
 }
 
@@ -562,6 +637,48 @@ mod tests {
         // Single grid: 2x2 grid would be pid 0 for both ranks.
         assert!(json.contains("\"name\":\"grid 0\""));
         assert!(!json.contains("\"name\":\"grid 1\""));
+    }
+
+    #[test]
+    fn flight_recorder_wraparound_keeps_spans_well_formed() {
+        let mut fr = FlightRecorder::new(4);
+        assert!(fr.is_empty());
+        for i in 0..11u64 {
+            fr.record(msg_event(EventKind::Send, i as f64, i as f64 + 0.5, 1, i));
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.capacity(), 4);
+        assert_eq!(fr.overwritten(), 7);
+        let drained = fr.drain();
+        // Oldest-first, contiguous tail of the stream, spans intact.
+        let seqs: Vec<u64> = drained.iter().map(|e| e.msg.unwrap().seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        for e in &drained {
+            assert!(e.t1 > e.t0);
+            assert_eq!(e.t1 - e.t0, 0.5);
+        }
+        // Drain is non-consuming and stable.
+        assert_eq!(fr.drain(), drained);
+    }
+
+    #[test]
+    fn flight_recorder_zero_capacity_is_inert() {
+        let mut fr = FlightRecorder::new(0);
+        fr.record(TraceEvent::compute(0.0, 1.0, Category::Flop));
+        assert!(fr.is_empty());
+        assert_eq!(fr.overwritten(), 0);
+        assert!(fr.drain().is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_partial_fill_drains_in_order() {
+        let mut fr = FlightRecorder::new(8);
+        for i in 0..3u64 {
+            fr.record(msg_event(EventKind::Recv, i as f64, i as f64 + 1.0, 0, i));
+        }
+        let seqs: Vec<u64> = fr.drain().iter().map(|e| e.msg.unwrap().seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(fr.overwritten(), 0);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Throughput-regression gate over the BENCH_*.json artifacts.
+
+Compares the freshly generated bench reports in the working tree against
+the committed baselines (``git show HEAD:<file>``) and fails when any
+throughput-style metric regressed by more than the threshold (15% by
+default — wall-clock benches on shared CI runners are noisy, and the
+reports' own internal acceptance gates catch the rest).
+
+A file with no committed baseline, or a baseline whose schema lacks the
+metric, passes: the gate only ever compares like with like.
+
+Usage:
+    scripts/bench_compare.py [--threshold 0.15] [FILE...]
+
+With no FILE arguments, every ``BENCH_*.json`` present in the working
+tree is checked.
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def _peak_serving(report):
+    """BENCH_pr7: peak solves/sec over every (backend, executor, config,
+    load) scenario of the open-loop serving sweep."""
+    rates = [s["solves_per_sec"] for s in report.get("scenarios", []) if "solves_per_sec" in s]
+    return {"peak_solves_per_sec": max(rates)} if rates else {}
+
+
+def _kernels_and_hot_solve(report):
+    """BENCH_pr4: per-kernel blocked throughput (1/ns) and the hot-solve
+    rate (solves/sec from the measured per-solve milliseconds)."""
+    out = {}
+    for k in report.get("kernels", []):
+        if k.get("blocked_ns", 0) > 0:
+            out[f"kernel_{k['kernel']}_nrhs{k['nrhs']}_per_ns"] = 1.0 / k["blocked_ns"]
+    hot = report.get("hot_solve", {})
+    if hot.get("measured_ms", 0) > 0:
+        out["hot_solves_per_sec"] = 1e3 / hot["measured_ms"]
+    return out
+
+
+def _native_wall(report):
+    """BENCH_pr5: best native wall-clock solve rate per algorithm."""
+    out = {}
+    for b in report.get("backends", []):
+        if b.get("native_wall_us_min", 0) > 0:
+            out[f"native_{b['algorithm']}_solves_per_sec"] = 1e6 / b["native_wall_us_min"]
+    return out
+
+
+# File basename -> extractor returning {metric: higher_is_better_value}.
+EXTRACTORS = {
+    "BENCH_pr4.json": _kernels_and_hot_solve,
+    "BENCH_pr5.json": _native_wall,
+    "BENCH_pr7.json": _peak_serving,
+}
+
+
+def baseline_of(path):
+    """The committed (HEAD) copy of ``path``, or None if it has none."""
+    rel = os.path.relpath(path)
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{rel}"],
+            capture_output=True,
+            check=True,
+        ).stdout
+    except subprocess.CalledProcessError:
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare(path, threshold):
+    """Yield (metric, base, new, regression, failed) rows for one file."""
+    extractor = EXTRACTORS.get(os.path.basename(path))
+    if extractor is None:
+        return
+    with open(path) as f:
+        current = extractor(json.load(f))
+    baseline_report = baseline_of(path)
+    if baseline_report is None:
+        print(f"{path}: no committed baseline — skipping")
+        return
+    baseline = extractor(baseline_report)
+    for metric, new in sorted(current.items()):
+        base = baseline.get(metric)
+        if base is None or base <= 0:
+            continue
+        regression = (base - new) / base
+        yield metric, base, new, regression, regression > threshold
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*", help="bench reports (default: BENCH_*.json)")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="maximum tolerated fractional throughput drop (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    files = args.files or sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        print("bench_compare: no BENCH_*.json files found — nothing to do")
+        return 0
+
+    failures = 0
+    for path in files:
+        if not os.path.exists(path):
+            print(f"{path}: missing — skipping")
+            continue
+        for metric, base, new, regression, failed in compare(path, args.threshold):
+            verdict = "FAIL" if failed else "ok"
+            print(
+                f"{path}: {metric}: {base:.4g} -> {new:.4g} "
+                f"({-regression:+.1%}) {verdict}"
+            )
+            failures += failed
+    if failures:
+        print(
+            f"bench_compare: {failures} metric(s) regressed more than "
+            f"{args.threshold:.0%} against HEAD"
+        )
+        return 1
+    print("bench_compare: no throughput regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,12 +36,14 @@ struct Args {
     chaos_seed: u64,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    profile_out: Option<String>,
     critical_path: bool,
     serve: bool,
     requests: usize,
     batch: usize,
     wait_us: u64,
     rate: f64,
+    metrics_listen: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -90,17 +92,42 @@ SERVING (batched front door, DESIGN.md §13):
     --wait-us W       batch wait window in microseconds (default 200)
     --rate R          offered load in requests/sec (default: 4x the
                       calibrated unbatched service rate)
+    --metrics-listen ADDR
+                      expose the live metrics registry over HTTP in
+                      OpenMetrics text while serving (e.g. 127.0.0.1:9464;
+                      scrape with curl or Prometheus; port 0 picks a free
+                      port and prints it)
 
 OUTPUT:
     --json            machine-readable summary on stdout instead of the table
     --trace-out FILE  write a Chrome/Perfetto trace of the solve (load the
                       JSON in ui.perfetto.dev; one process per 2D grid, one
-                      track per rank, flow arrows linking send -> recv)
+                      track per rank, flow arrows linking send -> recv);
+                      under --serve this is the last batch's flight-recorder
+                      dump, written after the drain
     --metrics-out F   write the solver metrics registry (counters and
-                      histograms: message bytes, recv waits, fmod stalls)
+                      histograms: message bytes, recv waits, fmod stalls);
+                      under --serve, the final post-drain snapshot
+    --profile-out F   write a span-aggregation profile: per-(pass, kind,
+                      level) self time summing to the makespan; format by
+                      extension (.json | .folded/.collapsed for flamegraphs |
+                      table otherwise); under --serve, accumulated across
+                      all batches
     --critical-path   trace the solve and report the measured critical path
                       (per-category composition and top blocking edges)
 ";
+
+/// Render a span profile by output extension: `.json` machine-readable,
+/// `.folded`/`.collapsed` flamegraph collapsed-stack, table otherwise.
+fn render_profile(p: &SpanProfile, path: &str) -> String {
+    if path.ends_with(".json") {
+        p.to_json()
+    } else if path.ends_with(".folded") || path.ends_with(".collapsed") {
+        p.to_collapsed()
+    } else {
+        p.to_table(32)
+    }
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut a = Args {
@@ -122,12 +149,14 @@ fn parse_args() -> Result<Args, String> {
         chaos_seed: 7,
         trace_out: None,
         metrics_out: None,
+        profile_out: None,
         critical_path: false,
         serve: false,
         requests: 200,
         batch: 8,
         wait_us: 200,
         rate: 0.0,
+        metrics_listen: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -201,10 +230,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--wait-us: {e}"))?
             }
             "--rate" => a.rate = next(&mut i)?.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--metrics-listen" => a.metrics_listen = Some(next(&mut i)?),
             "--symmetrize" => a.symmetrize = true,
             "--json" => a.json = true,
             "--trace-out" => a.trace_out = Some(next(&mut i)?),
             "--metrics-out" => a.metrics_out = Some(next(&mut i)?),
+            "--profile-out" => a.profile_out = Some(next(&mut i)?),
             "--critical-path" => a.critical_path = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -226,15 +257,16 @@ fn parse_args() -> Result<Args, String> {
         if a.fault_profile.is_some() {
             return Err("--fault-profile is sim-only (fault injection needs the virtual clock); drop --backend native".into());
         }
-        if a.trace_out.is_some() || a.critical_path {
+        // Under --serve, --trace-out is the flight-recorder dump, which
+        // both backends capture on the wall clock.
+        if !a.serve && (a.trace_out.is_some() || a.critical_path) {
             return Err("--trace-out/--critical-path are sim-only (span tracing needs the virtual clock); drop --backend native".into());
         }
     }
     if a.serve {
-        if a.fault_profile.is_some() || a.trace_out.is_some() || a.critical_path {
+        if a.fault_profile.is_some() || a.critical_path {
             return Err(
-                "--serve runs many untraced solves; drop --fault-profile/--trace-out/--critical-path"
-                    .into(),
+                "--serve runs many batched solves; drop --fault-profile/--critical-path".into(),
             );
         }
         if a.batch == 0 || a.requests == 0 {
@@ -243,6 +275,8 @@ fn parse_args() -> Result<Args, String> {
         if a.rate < 0.0 {
             return Err("--rate must be positive (or omitted to calibrate)".into());
         }
+    } else if a.metrics_listen.is_some() {
+        return Err("--metrics-listen exposes the serving registry; add --serve".into());
     }
     if let Some(p) = &a.fault_profile {
         let nranks = a.px * a.py * a.pz;
@@ -342,7 +376,7 @@ fn main() -> ExitCode {
         executor: args.executor,
     };
     if args.serve {
-        use benchkit::serving::{calibrate_single_solve, run_open_loop, ServeRun};
+        use benchkit::serving::{calibrate_single_solve, run_open_loop_on, ServeRun};
         let n = a.nrows();
         let rhs = gen::standard_rhs(n, 8);
         let t_solve =
@@ -363,7 +397,65 @@ fn main() -> ExitCode {
             max_batch: args.batch,
             max_wait: std::time::Duration::from_micros(args.wait_us),
         };
-        let report = run_open_loop(Solver3d::new(fact, cfg), &rhs, n, &run);
+        // Own the service here (instead of inside run_open_loop) so the
+        // metrics endpoint stays scrapeable during the load and the final
+        // snapshots are taken after the drain, before shutdown.
+        let svc = SolverService::start(
+            Solver3d::new(fact, cfg),
+            ServiceConfig {
+                batch: BatchPolicy {
+                    max_batch: run.max_batch,
+                    max_wait: run.max_wait,
+                },
+                queue_capacity: 64,
+                max_request_width: 1,
+                on_full: QueueFullPolicy::Block,
+            },
+        );
+        let listener = match &args.metrics_listen {
+            Some(addr) => match svc.serve_metrics(addr) {
+                Ok(srv) => {
+                    eprintln!(
+                        "metrics: http://{}/metrics (OpenMetrics text)",
+                        srv.local_addr()
+                    );
+                    Some(srv)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot bind metrics listener on {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        let report = run_open_loop_on(&svc, &rhs, n, &run);
+        // Final observability snapshots: everything submitted has been
+        // collected, so these reflect the fully drained service.
+        if let Some(path) = &args.metrics_out {
+            if let Err(e) = std::fs::write(path, svc.metrics().to_json()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote final metrics snapshot to {path}");
+        }
+        if let Some(path) = &args.trace_out {
+            if let Err(e) = std::fs::write(path, svc.dump_flight_recorder()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote flight-recorder dump to {path} (open in ui.perfetto.dev)");
+        }
+        if let Some(path) = &args.profile_out {
+            if let Err(e) = std::fs::write(path, render_profile(&svc.span_profile(), path)) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote span profile to {path}");
+        }
+        if let Some(srv) = listener {
+            srv.shutdown();
+        }
+        svc.shutdown();
         if args.json {
             #[derive(serde::Serialize)]
             struct ServeSummary<'a> {
@@ -441,7 +533,11 @@ fn main() -> ExitCode {
         };
     }
 
-    let want_trace = args.trace_out.is_some() || args.critical_path;
+    // A profile prefers full traces (exact tiling to the makespan); under
+    // the native backend it falls back to the bounded flight recorder.
+    let want_trace = args.trace_out.is_some()
+        || args.critical_path
+        || (args.profile_out.is_some() && args.backend == Backend::Sim);
     let plan = Arc::new(Plan::new(Arc::clone(&fact), args.px, args.py, args.pz));
     let out = solve_traced(&plan, &b, &cfg, want_trace);
     let res = sparse::rel_residual_inf(&a, &out.x, &b, args.nrhs);
@@ -460,6 +556,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote metrics snapshot to {path}");
+    }
+    if let Some(path) = &args.profile_out {
+        let timelines = if out.traces.is_empty() {
+            &out.flight
+        } else {
+            &out.traces
+        };
+        let prof = span_profile(timelines, out.makespan);
+        if let Err(e) = std::fs::write(path, render_profile(&prof, path)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote span profile to {path}");
     }
     let cp = want_trace.then(|| out.critical_path());
 

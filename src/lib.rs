@@ -53,8 +53,8 @@ pub mod prelude {
     pub use simgrid::{Category, FaultPlan, MachineModel, Reorder};
     pub use sparse::{self, gen, CsrMatrix};
     pub use sptrsv::{
-        critical_path, solve_distributed, solve_traced, Algorithm, Arch, Backend, BatchPolicy,
-        CriticalPath, ExecutorKind, QueueFullPolicy, ServiceConfig, SolveOutcome, Solver3d,
-        SolverConfig, SolverService, SubmitError,
+        critical_path, solve_distributed, solve_traced, span_profile, Algorithm, Arch, Backend,
+        BatchPolicy, CriticalPath, ExecutorKind, MetricsServer, QueueFullPolicy, ServiceConfig,
+        SolveOutcome, Solver3d, SolverConfig, SolverService, SpanProfile, SubmitError,
     };
 }

@@ -252,8 +252,16 @@ fn steady_state_serving_never_allocates_in_audited_regions() {
     let _warmup = sptrsv::audit::take_scoped_allocs();
 
     // Steady state: three more batches, all allocation-free in scope.
+    // Live observability reads (scrape-style metrics snapshot, span
+    // profile, flight-recorder dump) run between batches: they allocate
+    // on the reader's thread — outside any audited region — and must not
+    // leak allocations into the recorder/metric update paths they share
+    // state with.
     for _ in 0..3 {
         round(&svc);
+        std::hint::black_box(svc.metrics().to_openmetrics());
+        std::hint::black_box(svc.span_profile().to_collapsed());
+        std::hint::black_box(svc.dump_flight_recorder());
     }
     let scoped = sptrsv::audit::take_scoped_allocs();
     assert_eq!(
@@ -262,4 +270,46 @@ fn steady_state_serving_never_allocates_in_audited_regions() {
          regions across three batches (expected none)"
     );
     svc.shutdown();
+}
+
+/// The always-on observability primitives are themselves allocation-free
+/// once warm: recording spans into a flight recorder (through both the
+/// fill and wraparound regimes) and updating pre-touched counters and
+/// log2 latency histograms never touch the heap.
+#[test]
+fn recorder_and_live_metric_updates_never_allocate() {
+    use simgrid::{latency_buckets, Category, FlightRecorder, Metrics, TraceEvent};
+    let _serial = AUDIT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut recorder = FlightRecorder::new(64);
+    let mut metrics = Metrics::new();
+    metrics.touch_counter("service.requests");
+    metrics.touch_histogram("service.solve_seconds", latency_buckets());
+    let _ = sptrsv::audit::take_scoped_allocs();
+    {
+        let _scope = sptrsv::audit::pass_scope();
+        for i in 0..1000u64 {
+            let t = i as f64 * 1e-3;
+            recorder.record(TraceEvent::compute(t, t + 5e-4, Category::Flop));
+            metrics.inc("service.requests", 1);
+            metrics.observe(
+                "service.solve_seconds",
+                latency_buckets(),
+                1e-6 * (i + 1) as f64,
+            );
+        }
+    }
+    let scoped = sptrsv::audit::take_scoped_allocs();
+    assert_eq!(
+        scoped, 0,
+        "observability steady state: {scoped} heap allocations recording \
+         1000 spans and metric updates (expected none)"
+    );
+    // The loop really exercised both regimes and the series really moved.
+    assert_eq!(recorder.len(), 64);
+    assert_eq!(recorder.overwritten(), 1000 - 64);
+    assert_eq!(metrics.counter("service.requests"), 1000);
+    assert_eq!(
+        metrics.histogram("service.solve_seconds").unwrap().count(),
+        1000
+    );
 }

@@ -1,0 +1,134 @@
+//! Span-profile conformance: for every solver algorithm, folding a traced
+//! solve's timelines through [`sptrsv::span_profile`] yields an exhaustive
+//! profile — the rank-averaged self times (including the explicit idle
+//! rows) sum to the measured makespan, and the collapsed-stack export
+//! preserves that total in integer nanoseconds.
+//!
+//! This is the same tiling invariant `tests/telemetry.rs` checks for the
+//! critical-path walk, exercised through the aggregation path the
+//! `--profile-out` flag and the serving layer use.
+
+use lufactor::factorize;
+use ordering::SymbolicOptions;
+use simgrid::MachineModel;
+use sparse::gen;
+use sptrsv::{solve_traced, span_profile, Plan};
+use sptrsv_repro::prelude::*;
+use std::sync::Arc;
+
+fn cfg(px: usize, py: usize, pz: usize, algorithm: Algorithm, arch: Arch) -> SolverConfig {
+    SolverConfig {
+        px,
+        py,
+        pz,
+        nrhs: 1,
+        algorithm,
+        arch,
+        machine: match arch {
+            Arch::Cpu => MachineModel::cori_haswell(),
+            Arch::Gpu => MachineModel::perlmutter_gpu(),
+        },
+        chaos_seed: 0,
+        fault: Default::default(),
+        backend: Default::default(),
+        executor: Default::default(),
+    }
+}
+
+/// Run one traced solve and return its profile plus the makespan.
+fn profile_of(algorithm: Algorithm, arch: Arch) -> (sptrsv::SpanProfile, f64) {
+    let a = gen::poisson2d_9pt(12, 12);
+    let f = Arc::new(factorize(&a, 4, &SymbolicOptions::default()).unwrap());
+    let b = gen::standard_rhs(a.nrows(), 1);
+    let c = cfg(2, 2, 4, algorithm, arch);
+    let plan = Arc::new(Plan::new(Arc::clone(&f), 2, 2, 4));
+    let out = solve_traced(&plan, &b, &c, true);
+    assert!(!out.traces.is_empty(), "traced solve produced no timelines");
+    (span_profile(&out.traces, out.makespan), out.makespan)
+}
+
+#[test]
+fn profiles_sum_to_makespan_for_all_algorithms() {
+    for algorithm in [
+        Algorithm::New3d,
+        Algorithm::New3dFlat,
+        Algorithm::New3dNaiveAllreduce,
+        Algorithm::Baseline3d,
+    ] {
+        let (p, makespan) = profile_of(algorithm, Arch::Cpu);
+        assert_eq!(p.nranks, 16, "{algorithm:?}: wrong rank count");
+        assert!(
+            (p.total_seconds() - makespan).abs() <= 1e-6 * makespan.max(1e-12),
+            "{algorithm:?}: profile sums to {} but makespan is {makespan}",
+            p.total_seconds()
+        );
+        // Collapsed-stack nanoseconds carry the same total.
+        let total_ns: u64 = p
+            .to_collapsed()
+            .lines()
+            .map(|l| {
+                l.rsplit(' ')
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| panic!("{algorithm:?}: malformed collapsed line {l:?}"))
+            })
+            .sum();
+        let makespan_ns = makespan * 1e9;
+        assert!(
+            (total_ns as f64 - makespan_ns).abs() <= 1e-6 * makespan_ns + p.entries.len() as f64,
+            "{algorithm:?}: collapsed stack sums to {total_ns} ns, makespan {makespan_ns} ns"
+        );
+        // Real solver semantics survive aggregation: every CPU profile has
+        // pass rows and the proposed algorithms have z-allreduce rows.
+        assert!(
+            p.entries.iter().any(|e| e.pass.starts_with("pass e")),
+            "{algorithm:?}: no pass rows"
+        );
+        if algorithm != Algorithm::Baseline3d {
+            assert!(
+                p.entries.iter().any(|e| e.pass == "z-allreduce"),
+                "{algorithm:?}: no z-allreduce rows"
+            );
+        }
+    }
+}
+
+/// GPU passes emit one covering span per pass; the profile still accounts
+/// for the whole makespan (idle rows absorb the drain gaps).
+#[test]
+fn gpu_profile_is_exhaustive_too() {
+    let (p, makespan) = profile_of(Algorithm::New3d, Arch::Gpu);
+    assert!(
+        (p.total_seconds() - makespan).abs() <= 1e-6 * makespan.max(1e-12),
+        "gpu profile sums to {} but makespan is {makespan}",
+        p.total_seconds()
+    );
+    assert!(
+        p.entries.iter().any(|e| e.kind.starts_with("gpu ")),
+        "no gpu rows in a gpu profile"
+    );
+}
+
+/// The profile a service accumulates over batches is exhaustive over the
+/// accumulated in-solver time (flight-recorder timelines, wall clock).
+#[test]
+fn serving_profile_accumulates_across_batches() {
+    let a = gen::poisson2d_9pt(12, 12);
+    let n = a.nrows();
+    let f = Arc::new(factorize(&a, 2, &SymbolicOptions::default()).unwrap());
+    let c = cfg(2, 2, 2, Algorithm::New3d, Arch::Cpu);
+    let svc = SolverService::start(Solver3d::new(f, c), ServiceConfig::default());
+    let b = gen::standard_rhs(n, 1);
+    for _ in 0..3 {
+        svc.solve(&b, 1).unwrap();
+    }
+    let p = svc.span_profile();
+    assert!(p.makespan > 0.0, "no solve time accumulated");
+    assert!(
+        (p.total_seconds() - p.makespan).abs() <= 1e-6 * p.makespan,
+        "serving profile sums to {} over accumulated makespan {}",
+        p.total_seconds(),
+        p.makespan
+    );
+    svc.shutdown();
+}
