@@ -1,5 +1,5 @@
 //! Sparse inter-grid allreduce of the partial ancestor solutions
-//! (paper Algorithm 2).
+//! (paper Algorithm 2), with compile-time live-support trimming.
 //!
 //! After the masked 2D L-solves, each grid `z` holds *partial* `y(K)` for
 //! every replicated ancestor supernode `K` (complete values for its own
@@ -12,14 +12,23 @@
 //! `L`, so partners pack identical supernode lists).
 //!
 //! The partner and pack list of every step come precompiled in the plan's
-//! schedule IR ([`crate::schedule::ZStep`]); this module only packs,
-//! sends, and unpacks.
+//! schedule IR ([`crate::schedule::ZStep`]). Under [`ZTrim::Live`] those
+//! lists are already trimmed to the supernodes the step's sender subtree
+//! can contribute a nonzero partial for, and a step whose list compiled to
+//! empty is *elided* here — no message, no span. Liveness on this path is
+//! fully static (presizing below gives every listed supernode a slot), so
+//! the trimmed list alone determines the exact payload width — no presence
+//! bitmap on the wire — and `check_layout` validates it on receipt. The
+//! presence-bitmap wire format (DESIGN.md §15) lives in
+//! [`pack_present_into`]/[`unpack_add_present`] for the residual case where
+//! liveness is runtime-dependent: the baseline's lsum exchange, whose
+//! occupancy depends on which partials the ledger actually accumulated.
 //!
 //! The naive alternative the paper compares against — one `MPI_Allreduce`
 //! per elimination-tree node — is provided as [`naive_allreduce`] for the
-//! ablation benchmark.
+//! ablation benchmark, over the same (live-trimmed) node lists.
 
-use crate::plan::Plan;
+use crate::plan::{Plan, ZTrim};
 use crate::schedule::{NaiveNode, ZStep};
 use simgrid::{Category, SpanDetail, Transport, TreeRole};
 use std::collections::HashMap;
@@ -27,9 +36,23 @@ use std::collections::HashMap;
 const TAG_R: u64 = 7 << 40;
 const TAG_B: u64 = 8 << 40;
 
-/// Pack the listed supernode pieces into `buf` (cleared first). The caller
-/// hoists `buf` across rounds, so after the first round packing reuses the
-/// buffer's capacity instead of allocating per message.
+/// Doubles on the wire for one packed step list: the listed supernode
+/// widths, nothing else. Exact — presizing guarantees every listed slot
+/// exists, so the payload width is a compile-time constant `analysis.rs`
+/// uses for the volume prediction.
+pub(crate) fn payload_doubles(plan: &Plan, sups: &[u32], nrhs: usize) -> u64 {
+    let sym = plan.fact.lu.sym();
+    sups.iter()
+        .map(|&k| (sym.sup_width(k as usize) * nrhs) as u64)
+        .sum()
+}
+
+/// Pack the listed supernode pieces into `buf` (cleared first), in list
+/// order. Under the trimmed layout every listed supernode has a pre-sized
+/// slot; the zero-fill arm only fires for dense-layout lists that carry
+/// supernodes this rank never computed a partial for (the pre-trim wire
+/// bytes the live layout deletes). The caller hoists `buf` across rounds
+/// and pre-reserves it, so the audited packing below never allocates.
 fn pack_into(
     plan: &Plan,
     sups: &[u32],
@@ -37,20 +60,20 @@ fn pack_into(
     nrhs: usize,
     buf: &mut Vec<f64>,
 ) {
+    let _audit = crate::audit::pass_scope();
     let sym = plan.fact.lu.sym();
     buf.clear();
     for &k in sups {
-        let w = sym.sup_width(k as usize) * nrhs;
         match vals.get(&k) {
             Some(v) => buf.extend_from_slice(v),
-            None => buf.extend(std::iter::repeat_n(0.0, w)),
+            None => buf.extend(std::iter::repeat_n(0.0, sym.sup_width(k as usize) * nrhs)),
         }
     }
 }
 
 /// Defensive pack-layout validation on receipt: the received buffer must
-/// be exactly as wide as the local sup list implies, or sender and
-/// receiver compiled different pack lists for this step — fail loudly
+/// be exactly as wide as the local (trimmed) sup list implies, or sender
+/// and receiver compiled different pack lists for this step — fail loudly
 /// with a layout diagnostic instead of silently mis-assigning values.
 fn check_layout(plan: &Plan, sups: &[u32], buf: &[f64], nrhs: usize, what: &str) {
     let sym = plan.fact.lu.sym();
@@ -74,6 +97,7 @@ fn unpack_add(
     vals: &mut HashMap<u32, Vec<f64>>,
     nrhs: usize,
 ) {
+    let _audit = crate::audit::pass_scope();
     check_layout(plan, sups, buf, nrhs, "reduce pack");
     let sym = plan.fact.lu.sym();
     let mut off = 0;
@@ -94,13 +118,14 @@ fn unpack_set(
     vals: &mut HashMap<u32, Vec<f64>>,
     nrhs: usize,
 ) {
+    let _audit = crate::audit::pass_scope();
     check_layout(plan, sups, buf, nrhs, "broadcast pack");
     let sym = plan.fact.lu.sym();
     let mut off = 0;
     for &k in sups {
         let w = sym.sup_width(k as usize) * nrhs;
-        // Overwrite in place when the slot exists (it usually does: the
-        // 2D pass pre-sized it), allocating only for brand-new entries.
+        // Overwrite in place: the slot was pre-sized before the exchange
+        // (or by the 2D pass), so this never allocates mid-solve.
         match vals.get_mut(&k) {
             Some(slot) if slot.len() == w => slot.copy_from_slice(&buf[off..off + w]),
             _ => {
@@ -111,11 +136,137 @@ fn unpack_set(
     }
 }
 
+#[inline]
+pub(crate) fn bit_set(words: &[f64], i: usize) -> bool {
+    words[i / 64].to_bits() >> (i % 64) & 1 == 1
+}
+
+/// Presence-bitmap packing (DESIGN.md §15) for exchanges whose liveness is
+/// *runtime*-dependent — the baseline's lsum exchange, where a rank only
+/// holds partials the ledger actually accumulated this solve. The payload
+/// is a `ceil(len/64)`-word presence bitmap (u64 bit patterns carried as
+/// f64), then the values of each *present* supernode in list order; absent
+/// supernodes ship no bytes at all. `piece(k)` yields the supernode's
+/// values when the rank holds them this solve. `buf` is cleared first; the
+/// caller hoists and pre-reserves it.
+///
+/// Reference packer for the format's round-trip test; the baseline's
+/// `pack_lsums_into` inlines the same layout because its pieces are folded
+/// through a bump arena the closure signature cannot borrow from.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn pack_present_with<'a>(
+    sups: &[u32],
+    mut piece: impl FnMut(u32) -> Option<&'a [f64]>,
+    buf: &mut Vec<f64>,
+) {
+    let _audit = crate::audit::pass_scope();
+    buf.clear();
+    let nwords = sups.len().div_ceil(64);
+    buf.resize(nwords, 0.0);
+    for (i, &k) in sups.iter().enumerate() {
+        if let Some(v) = piece(k) {
+            buf[i / 64] = f64::from_bits(buf[i / 64].to_bits() | 1 << (i % 64));
+            buf.extend_from_slice(v);
+        }
+    }
+}
+
+/// Validate a presence-bitmap payload against the local list: the bitmap
+/// must address only listed supernodes and the buffer must be exactly as
+/// wide as the set bits imply. Returns the bitmap word count.
+pub(crate) fn check_present_layout(
+    plan: &Plan,
+    sups: &[u32],
+    buf: &[f64],
+    nrhs: usize,
+    what: &str,
+) -> usize {
+    let sym = plan.fact.lu.sym();
+    let nwords = sups.len().div_ceil(64);
+    assert!(
+        buf.len() >= nwords,
+        "{what}: {} doubles cannot hold the {nwords}-word presence bitmap \
+         of a {}-sup list",
+        buf.len(),
+        sups.len(),
+    );
+    let tail = sups.len() % 64;
+    if tail != 0 {
+        let stray = buf[nwords - 1].to_bits() >> tail;
+        assert_eq!(
+            stray,
+            0,
+            "{what}: {} stray presence bits past the {}-sup list",
+            stray.count_ones(),
+            sups.len(),
+        );
+    }
+    let want: usize = nwords
+        + sups
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| bit_set(buf, i))
+            .map(|(_, &k)| sym.sup_width(k as usize) * nrhs)
+            .sum::<usize>();
+    assert_eq!(
+        buf.len(),
+        want,
+        "{what} layout mismatch: got {} doubles, want {} ({} sups, \
+         nrhs {nrhs}, first sups {:?})",
+        buf.len(),
+        want,
+        sups.len(),
+        &sups[..sups.len().min(8)],
+    );
+    nwords
+}
+
+/// Unpack a presence-bitmap payload, handing each *present* supernode's
+/// values to `add`; absent supernodes are untouched. Not an audited
+/// region: `add` may land in a per-solve ledger whose cold first touch of
+/// a `(sup, key)` pair allocates by design.
+pub(crate) fn unpack_present_with(
+    plan: &Plan,
+    sups: &[u32],
+    buf: &[f64],
+    nrhs: usize,
+    what: &str,
+    mut add: impl FnMut(u32, &[f64]),
+) {
+    let nwords = check_present_layout(plan, sups, buf, nrhs, what);
+    let sym = plan.fact.lu.sym();
+    let mut off = nwords;
+    for (i, &k) in sups.iter().enumerate() {
+        if !bit_set(buf, i) {
+            continue;
+        }
+        let w = sym.sup_width(k as usize) * nrhs;
+        add(k, &buf[off..off + w]);
+        off += w;
+    }
+}
+
+/// Sender-side wire accounting: actual bytes shipped plus the bytes the
+/// trim removed relative to the dense layout of the same step.
+pub(crate) fn note_sent<T: Transport>(
+    zcomm: &T,
+    dense_doubles: u64,
+    nrhs: usize,
+    sent_doubles: usize,
+) {
+    zcomm.metric_inc("comm.z.bytes", 8 * sent_doubles as u64);
+    zcomm.metric_inc(
+        "comm.z.bytes_saved",
+        8 * (dense_doubles * nrhs as u64).saturating_sub(sent_doubles as u64),
+    );
+}
+
 /// Run the sparse allreduce over `y_vals` from my compiled step roles
 /// (`zsteps[l]` is my role at step `l`, `None` when I sit out). `zcomm`
 /// is the communicator over the `Pz` grids at fixed `(x, y)`, ranked by
 /// `z`. On return, every diagonal owner holds the fully reduced `y(K)`
-/// for all its (replicated) supernodes.
+/// for all supernodes its grid is live for (under [`ZTrim::Dense`], for
+/// all its replicated supernodes).
 pub fn sparse_allreduce<T: Transport>(
     plan: &Plan,
     zcomm: &T,
@@ -123,18 +274,56 @@ pub fn sparse_allreduce<T: Transport>(
     nrhs: usize,
     y_vals: &mut HashMap<u32, Vec<f64>>,
 ) {
-    // One pack buffer for the whole allreduce: every round reuses its
-    // capacity after the first (the rounds only shrink the pack lists).
-    let mut buf: Vec<f64> = Vec::new();
+    let sym = plan.fact.lu.sym();
+    // Presize, outside the audited regions: every listed supernode gets a
+    // slot and the hoisted pack buffer is reserved to the widest step, so
+    // the audited pack/unpack compute never allocates — already on the
+    // first solve. Touch the counters here too (alloc-free `inc` later,
+    // and the trim is visible in a scrape even when it saves nothing).
+    let mut max_doubles = 0usize;
+    for step in zsteps.iter().flatten() {
+        let mut doubles = 0usize;
+        for &k in &step.sups {
+            let w = sym.sup_width(k as usize) * nrhs;
+            doubles += w;
+            y_vals.entry(k).or_insert_with(|| vec![0.0; w]);
+        }
+        max_doubles = max_doubles.max(doubles);
+    }
+    zcomm.metric_inc("comm.z.bytes", 0);
+    zcomm.metric_inc("comm.z.bytes_saved", 0);
+    let mut buf: Vec<f64> = Vec::with_capacity(max_doubles);
+
+    let detail = |l: usize, role: TreeRole, step: &ZStep| match plan.trim() {
+        ZTrim::Live => SpanDetail::ZExchangeTrim {
+            round: l as u32,
+            role,
+            saved_doubles: (step.dense_doubles * nrhs as u64)
+                .saturating_sub(payload_doubles(plan, &step.sups, nrhs)),
+        },
+        ZTrim::Dense => SpanDetail::Allreduce {
+            round: l as u32,
+            role,
+        },
+    };
+
     // Sparse reduce: leaf to root, partial sums flow toward smaller z.
     for (l, step) in zsteps.iter().enumerate() {
         let Some(step) = step else { continue };
-        zcomm.set_span_detail(Some(SpanDetail::Allreduce {
-            round: l as u32,
-            role: TreeRole::Reduce,
-        }));
+        if step.sups.is_empty() && plan.trim() == ZTrim::Live {
+            // Round elided: nothing live crosses this cut. No message, no
+            // span — not even the envelope of the zero-payload message the
+            // dense layout would still ship. The dense payload (zero when
+            // the list was empty by ownership alone) is saved wire bytes.
+            if step.to_smaller {
+                zcomm.metric_inc("comm.z.bytes_saved", 8 * step.dense_doubles * nrhs as u64);
+            }
+            continue;
+        }
+        zcomm.set_span_detail(Some(detail(l, TreeRole::Reduce, step)));
         if step.to_smaller {
             pack_into(plan, &step.sups, y_vals, nrhs, &mut buf);
+            note_sent(zcomm, step.dense_doubles, nrhs, buf.len());
             zcomm.send(step.peer as usize, TAG_R + l as u64, &buf, Category::ZComm);
         } else {
             let msg = zcomm.recv(
@@ -148,10 +337,13 @@ pub fn sparse_allreduce<T: Transport>(
     // Sparse broadcast: root to leaf, roles mirrored.
     for (l, step) in zsteps.iter().enumerate().rev() {
         let Some(step) = step else { continue };
-        zcomm.set_span_detail(Some(SpanDetail::Allreduce {
-            round: l as u32,
-            role: TreeRole::Bcast,
-        }));
+        if step.sups.is_empty() && plan.trim() == ZTrim::Live {
+            if !step.to_smaller {
+                zcomm.metric_inc("comm.z.bytes_saved", 8 * step.dense_doubles * nrhs as u64);
+            }
+            continue;
+        }
+        zcomm.set_span_detail(Some(detail(l, TreeRole::Bcast, step)));
         if step.to_smaller {
             let msg = zcomm.recv(
                 Some(step.peer as usize),
@@ -161,6 +353,7 @@ pub fn sparse_allreduce<T: Transport>(
             unpack_set(plan, &step.sups, &msg.payload, y_vals, nrhs);
         } else {
             pack_into(plan, &step.sups, y_vals, nrhs, &mut buf);
+            note_sent(zcomm, step.dense_doubles, nrhs, buf.len());
             zcomm.send(step.peer as usize, TAG_B + l as u64, &buf, Category::ZComm);
         }
     }
@@ -169,8 +362,8 @@ pub fn sparse_allreduce<T: Transport>(
 
 /// The straightforward alternative (paper §3.2): one dense `MPI_Allreduce`
 /// over the replicating grids for every ancestor layout node (pack lists
-/// precompiled root-first in `naive`). Used by the ablation bench to show
-/// why the sparse scheme wins.
+/// precompiled root-first in `naive`, live-trimmed under [`ZTrim::Live`]).
+/// Used by the ablation bench to show why the sparse scheme wins.
 pub fn naive_allreduce<T: Transport>(
     plan: &Plan,
     zcomm: &T,
@@ -179,13 +372,36 @@ pub fn naive_allreduce<T: Transport>(
     nrhs: usize,
     y_vals: &mut HashMap<u32, Vec<f64>>,
 ) {
-    // All grids of a subtree call in the same order (root first).
-    let mut buf: Vec<f64> = Vec::new();
+    let sym = plan.fact.lu.sym();
+    // Presize slots and the hoisted buffer (see `sparse_allreduce`).
+    let mut max_doubles = 0usize;
     for nn in naive {
-        pack_into(plan, &nn.sups, y_vals, nrhs, &mut buf);
-        // Subcommunicator of the grids replicating the node.
+        let mut doubles = 0usize;
+        for &k in &nn.sups {
+            let w = sym.sup_width(k as usize) * nrhs;
+            doubles += w;
+            y_vals.entry(k).or_insert_with(|| vec![0.0; w]);
+        }
+        max_doubles = max_doubles.max(doubles);
+    }
+    zcomm.metric_inc("comm.z.bytes", 0);
+    zcomm.metric_inc("comm.z.bytes_saved", 0);
+    let mut buf: Vec<f64> = Vec::with_capacity(max_doubles);
+
+    // All grids of a subtree call in the same order (root first).
+    for nn in naive {
+        // The split is collective over `zcomm` (every grid splits once per
+        // path level), so it must run even for elided nodes; only the
+        // collective itself is skipped — in lockstep, since the trimmed
+        // list is identical on every member of the node's group.
         let sub = zcomm.split(nn.node as usize, z);
         debug_assert_eq!(sub.size(), plan.n_grids_of(nn.node as usize));
+        if nn.sups.is_empty() && plan.trim() == ZTrim::Live {
+            zcomm.metric_inc("comm.z.bytes_saved", 8 * nn.dense_doubles * nrhs as u64);
+            continue;
+        }
+        pack_into(plan, &nn.sups, y_vals, nrhs, &mut buf);
+        note_sent(zcomm, nn.dense_doubles, nrhs, buf.len());
         sub.set_span_detail(Some(SpanDetail::NaiveAllreduce { node: nn.node }));
         sub.allreduce_sum(&mut buf, Category::ZComm);
         unpack_set(plan, &nn.sups, &buf, y_vals, nrhs);
@@ -205,8 +421,9 @@ mod tests {
     use std::collections::HashMap;
     use std::sync::Arc;
 
-    /// Run just the sparse allreduce over synthetic per-grid partials and
-    /// compare every diagonal owner's result against the dense sum.
+    /// Run just the allreduce over synthetic per-grid partials — one
+    /// contribution per grid that is *live* for the supernode — and check
+    /// every live diagonal owner ends up with the full live sum.
     fn allreduce_only(pz: usize, naive: bool) {
         let a = gen::poisson2d_9pt(12, 12);
         let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
@@ -228,12 +445,13 @@ mod tests {
                 let _grid = world.split(z, x + plan.px * y);
                 let zcomm = world.split(x + plan.px * y, z);
                 // Synthetic partials: supernode k contributes (k + z·1000)
-                // per entry on its replicating grids.
+                // per entry on each grid live for it (dead replicas hold
+                // exact zeros in the real solver and are trimmed away).
                 let sym = plan.fact.lu.sym();
                 let mut y_vals: HashMap<u32, Vec<f64>> = HashMap::new();
                 for &k in &plan.grids[z].supers {
                     let ku = k as usize;
-                    if ku % plan.px == x && ku % plan.py == y {
+                    if ku % plan.px == x && ku % plan.py == y && plan.grids[z].live.contains(ku) {
                         let w = sym.sup_width(ku) * nrhs;
                         y_vals.insert(k, vec![k as f64 + z as f64 * 1000.0; w]);
                     }
@@ -243,23 +461,29 @@ mod tests {
                 } else {
                     sparse_allreduce(plan, &zcomm, &rs.zsteps, nrhs, &mut y_vals);
                 }
-                (z, y_vals)
+                (x, y, z, y_vals)
             },
         );
-        // Expected: sum over replicating grids of (k + z·1000).
+        // Expected on every live diagonal owner: the sum over the live
+        // replicating grids of (k + g·1000).
         let sym = plan.fact.lu.sym();
-        for (z, y_vals) in rep.results {
-            for (&k, v) in &y_vals {
-                let node = plan.sup_node[k as usize] as usize;
+        for (x, y, z, y_vals) in rep.results {
+            for &k in &plan.grids[z].supers {
+                let ku = k as usize;
+                if ku % plan.px != x || ku % plan.py != y || !plan.grids[z].live.contains(ku) {
+                    continue;
+                }
                 let zs: Vec<usize> = (0..pz)
-                    .filter(|&g| plan.grids[g].path.contains(&node))
+                    .filter(|&g| plan.grids[g].live.contains(ku))
                     .collect();
-                assert!(zs.contains(&z));
                 let want: f64 = zs.iter().map(|&g| k as f64 + g as f64 * 1000.0).sum();
-                let w = sym.sup_width(k as usize) * nrhs;
+                let w = sym.sup_width(ku) * nrhs;
+                let v = y_vals
+                    .get(&k)
+                    .unwrap_or_else(|| panic!("live sup {k} missing on grid {z}"));
                 assert_eq!(v.len(), w);
-                for &x in v {
-                    assert_eq!(x, want, "sup {k} grid {z}");
+                for &got in v {
+                    assert_eq!(got, want, "sup {k} grid {z}");
                 }
             }
         }
@@ -278,6 +502,54 @@ mod tests {
     #[test]
     fn naive_allreduce_agrees() {
         allreduce_only(4, true);
+    }
+
+    /// The presence bitmap round-trips runtime-partial maps: absent
+    /// supernodes pack no bytes, the unpacker visits only present entries,
+    /// and the layout check rejects nothing on a well-formed payload.
+    #[test]
+    fn bitmap_partial_presence_roundtrip() {
+        let a = gen::poisson2d_9pt(12, 12);
+        let f = Arc::new(factorize(&a, 2, &SymbolicOptions::default()).unwrap());
+        let plan = Plan::new(Arc::clone(&f), 1, 1, 2);
+        let sym = plan.fact.lu.sym();
+        let nrhs = 2;
+        let sups = plan.grids[0].supers.clone();
+        assert!(sups.len() > 3, "test wants a multi-sup list");
+        let width = |k: u32| sym.sup_width(k as usize) * nrhs;
+
+        let mut vals: HashMap<u32, Vec<f64>> = HashMap::new();
+        for (i, &k) in sups.iter().enumerate() {
+            if i % 2 == 0 {
+                vals.insert(k, vec![k as f64 + 0.5; width(k)]);
+            }
+        }
+        let mut buf = Vec::new();
+        pack_present_with(&sups, |k| vals.get(&k).map(|v| v.as_slice()), &mut buf);
+        let present: usize = sups
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i % 2 == 0)
+            .map(|(_, &k)| width(k))
+            .sum();
+        assert_eq!(buf.len(), sups.len().div_ceil(64) + present);
+
+        // Only present supernodes are visited, each with its own values.
+        let mut seen: HashMap<u32, Vec<f64>> = HashMap::new();
+        unpack_present_with(&plan, &sups, &buf, nrhs, "test pack", |k, v| {
+            seen.insert(k, v.to_vec());
+        });
+        assert_eq!(seen.len(), vals.len());
+        for (k, v) in &vals {
+            assert_eq!(&seen[k], v);
+        }
+
+        // A truncated payload trips the layout check.
+        let short = &buf[..buf.len() - 1];
+        let r = std::panic::catch_unwind(|| {
+            check_present_layout(&plan, &sups, short, nrhs, "test pack")
+        });
+        assert!(r.is_err(), "layout check accepted a truncated payload");
     }
 
     /// The sparse allreduce must use exactly 2·log2(Pz) message rounds per
@@ -327,5 +599,60 @@ mod tests {
         let (nm, nb) = vol(true);
         assert!(sm < nm, "sparse {sm} msgs vs naive {nm}");
         assert!(sb <= nb, "sparse {sb} bytes vs naive {nb}");
+    }
+
+    /// The trimmed layout ships strictly fewer z bytes than the dense
+    /// layout of the same plan shape, and reports the delta through the
+    /// `comm.z.*` counters.
+    #[test]
+    fn trimmed_layout_saves_wire_bytes() {
+        // R-MAT: uneven separators leave many replicated ancestors dead on
+        // deep grids (a PDE stencil couples everything and trims nothing).
+        let a = gen::rmat(9, 8, 7);
+        let pz = 8;
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).unwrap());
+        let run_with = |trim: ZTrim| {
+            let plan = Arc::new(Plan::with_trim(Arc::clone(&f), 1, 1, pz, trim));
+            let sched = plan.schedule(ScheduleKey {
+                baseline: false,
+                tree_comm: true,
+            });
+            let plan2 = Arc::clone(&plan);
+            let rep = simgrid::run(
+                pz,
+                MachineModel::cori_haswell(),
+                &ClusterOptions::default(),
+                move |world| {
+                    let plan = &plan2;
+                    let z = world.rank();
+                    let rs = &sched.ranks[plan.rank_of(0, 0, z)];
+                    let _grid = world.split(z, 0);
+                    let zcomm = world.split(0, z);
+                    let sym = plan.fact.lu.sym();
+                    let mut y_vals: HashMap<u32, Vec<f64>> = HashMap::new();
+                    for &k in &plan.grids[z].supers {
+                        if plan.grids[z].live.contains(k as usize) {
+                            let w = sym.sup_width(k as usize);
+                            y_vals.insert(k, vec![1.0; w]);
+                        }
+                    }
+                    sparse_allreduce(plan, &zcomm, &rs.zsteps, 1, &mut y_vals);
+                },
+            );
+            (
+                rep.total_bytes(Category::ZComm),
+                rep.metrics.counter("comm.z.bytes"),
+                rep.metrics.counter("comm.z.bytes_saved"),
+            )
+        };
+        let (live_wire, live_bytes, live_saved) = run_with(ZTrim::Live);
+        let (dense_wire, dense_bytes, dense_saved) = run_with(ZTrim::Dense);
+        assert!(
+            live_wire < dense_wire,
+            "trim saved nothing: live {live_wire} vs dense {dense_wire}"
+        );
+        assert!(live_saved > 0, "comm.z.bytes_saved stayed zero");
+        assert_eq!(dense_saved, 0, "dense layout reported savings");
+        assert!(live_bytes < dense_bytes);
     }
 }

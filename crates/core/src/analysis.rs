@@ -61,9 +61,16 @@ pub fn predict_new3d_volume(plan: &Plan, nrhs: usize) -> CommVolume {
         // Sparse allreduce: each participating rank sends exactly one
         // packed message per step — in the reduce phase if its partial
         // flows toward the smaller grid, else in the mirrored broadcast.
+        // Steps whose trimmed pack list compiled to empty are elided by
+        // the executor (no message), and each non-empty payload carries
+        // its presence-bitmap words; presizing guarantees every listed
+        // bit is set, so the payload width is exact at compile time.
         for zs in rs.zsteps.iter().flatten() {
+            if zs.sups.is_empty() {
+                continue;
+            }
             v.z_msgs += 1;
-            v.z_bytes += zs.sups.iter().map(|&k| payload(k)).sum::<u64>();
+            v.z_bytes += 8 * crate::allreduce::payload_doubles(plan, &zs.sups, nrhs);
         }
     }
     v
@@ -192,6 +199,13 @@ pub struct CriticalPath {
     /// path the level engine spent parked waiting for a row's remaining
     /// dependencies. Zero under the tree executor.
     pub level_barrier_wait: f64,
+    /// Stall time of path edges whose blocked receive was an inter-grid
+    /// `z`-exchange round ([`SpanDetail::Allreduce`], [`SpanDetail::ZExchangeTrim`],
+    /// [`SpanDetail::NaiveAllreduce`], or [`SpanDetail::ZExchange`]): how
+    /// much of the measured critical path the exchange between grids is
+    /// responsible for. This is the quantity the live-support trim
+    /// (DESIGN.md §15) attacks at large `Pz`.
+    pub z_exchange_wait: f64,
     /// Every cross-rank edge on the path, sorted by stall descending.
     pub edges: Vec<BlockingEdge>,
 }
@@ -210,6 +224,7 @@ pub fn critical_path(traces: &[Vec<TraceEvent>], makespan: f64) -> CriticalPath 
         idle: 0.0,
         spans: 0,
         level_barrier_wait: 0.0,
+        z_exchange_wait: 0.0,
         edges: Vec::new(),
     };
 
@@ -270,6 +285,17 @@ pub fn critical_path(traces: &[Vec<TraceEvent>], makespan: f64) -> CriticalPath 
                         let stall = (m.arrival - e.t0).max(0.0);
                         if matches!(e.detail, Some(SpanDetail::LevelBarrier { .. })) {
                             cp.level_barrier_wait += stall;
+                        }
+                        if matches!(
+                            e.detail,
+                            Some(
+                                SpanDetail::Allreduce { .. }
+                                    | SpanDetail::ZExchangeTrim { .. }
+                                    | SpanDetail::NaiveAllreduce { .. }
+                                    | SpanDetail::ZExchange { .. }
+                            )
+                        ) {
+                            cp.z_exchange_wait += stall;
                         }
                         cp.edges.push(BlockingEdge {
                             src: sr,
@@ -343,6 +369,13 @@ impl CriticalPath {
                 pct(self.level_barrier_wait)
             ));
         }
+        if self.z_exchange_wait > 0.0 {
+            out.push_str(&format!(
+                "  z-exchange wait: {:.3e} s ({:.1}%)\n",
+                self.z_exchange_wait,
+                pct(self.z_exchange_wait)
+            ));
+        }
         if !self.edges.is_empty() {
             out.push_str(&format!(
                 "  top blocking edges (of {}):\n",
@@ -384,6 +417,10 @@ impl CriticalPath {
         out.push_str(&format!(
             "  \"level_barrier_wait\": {:?},\n",
             self.level_barrier_wait
+        ));
+        out.push_str(&format!(
+            "  \"z_exchange_wait\": {:?},\n",
+            self.z_exchange_wait
         ));
         out.push_str("  \"edges\": [");
         for (i, e) in self.edges.iter().take(32).enumerate() {
@@ -473,6 +510,11 @@ pub fn span_profile(traces: &[Vec<TraceEvent>], makespan: f64) -> SpanProfile {
                 Some(SpanDetail::Allreduce { round, role }) => (
                     "z-allreduce".to_string(),
                     format!("{} {verb}", role.label()),
+                    round as i64,
+                ),
+                Some(SpanDetail::ZExchangeTrim { round, role, .. }) => (
+                    "z-allreduce".to_string(),
+                    format!("{} {verb} (trim)", role.label()),
                     round as i64,
                 ),
                 Some(SpanDetail::NaiveAllreduce { .. }) => {

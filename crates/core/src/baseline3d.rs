@@ -23,9 +23,13 @@ use crate::solve2d::{l_solve_pass, u_solve_pass, Ctx, Ledger, SolveState};
 use simgrid::{Category, SpanDetail, Transport};
 
 /// Pack per-rank partial `lsum` rows `I` (ancestor supernodes with
-/// `I mod Px == x`) into `buf` (cleared first). Zeros for rows this rank
-/// never touched. Folds through the state's arena and reuses the caller's
-/// hoisted buffer, so steady-state exchanges stop allocating per level.
+/// `I mod Px == x`) into `buf` (cleared first) in the presence-bitmap
+/// wire format (DESIGN.md §15): which rows a rank actually accumulated is
+/// only known at run time, so a `ceil(len/64)`-word bitmap leads and rows
+/// the rank never touched ship no bytes at all (the pre-PR9 format
+/// zero-filled them). Folds through the state's arena and reuses the
+/// caller's hoisted buffer, so steady-state exchanges stop allocating per
+/// level.
 fn pack_lsums_into(
     plan: &Plan,
     sups: &[u32],
@@ -35,10 +39,16 @@ fn pack_lsums_into(
 ) {
     let sym = plan.fact.lu.sym();
     buf.clear();
-    for &i in sups {
-        let w = sym.sup_width(i as usize) * nrhs;
+    let nwords = sups.len().div_ceil(64);
+    buf.resize(nwords, 0.0);
+    for (i, &su) in sups.iter().enumerate() {
+        if !state.lsum.has(su) {
+            continue;
+        }
+        let w = sym.sup_width(su as usize) * nrhs;
         let tmp = state.arena.slice(w);
-        state.lsum.fold_into(i, tmp);
+        state.lsum.fold_into(su, tmp);
+        buf[i / 64] = f64::from_bits(buf[i / 64].to_bits() | 1 << (i % 64));
         buf.extend_from_slice(tmp);
     }
 }
@@ -51,26 +61,12 @@ fn unpack_add_lsums(
     lsum: &mut Ledger,
     nrhs: usize,
 ) {
-    let sym = plan.fact.lu.sym();
-    let want: usize = sups.iter().map(|&i| sym.sup_width(i as usize) * nrhs).sum();
-    // Defensive pack-layout validation: a wrong-length buffer means the
-    // sender and receiver disagree on the exchange's sup list — corrupt
-    // the diagnosis, not the solution.
-    assert_eq!(
-        buf.len(),
-        want,
-        "z-exchange pack layout mismatch (tag {tag:#x}): got {} doubles, want {} \
-         ({} sups x nrhs {nrhs})",
-        buf.len(),
-        want,
-        sups.len(),
-    );
-    let mut off = 0;
-    for &i in sups {
-        let w = sym.sup_width(i as usize) * nrhs;
-        lsum.add(i, Ledger::key_exchange(tag), &buf[off..off + w]);
-        off += w;
-    }
+    // Layout validation lives in the unpacker: a malformed bitmap or
+    // wrong-length buffer means sender and receiver disagree on the
+    // exchange's sup list — corrupt the diagnosis, not the solution.
+    crate::allreduce::unpack_present_with(plan, sups, buf, nrhs, "z-exchange lsum", |i, v| {
+        lsum.add(i, Ledger::key_exchange(tag), v);
+    });
 }
 
 /// Pairwise reduce of the ancestor partial sums toward the smaller grid
@@ -89,6 +85,13 @@ fn exchange_lsums<T: Transport>(
     }));
     if xch.send {
         pack_lsums_into(plan, &xch.sups, state, nrhs, buf);
+        let sym = plan.fact.lu.sym();
+        let dense: u64 = xch
+            .sups
+            .iter()
+            .map(|&i| sym.sup_width(i as usize) as u64)
+            .sum();
+        crate::allreduce::note_sent(zcomm, dense, nrhs, buf.len());
         zcomm.send(xch.peer as usize, xch.tag, buf, Category::ZComm);
     } else {
         let msg = zcomm.recv(Some(xch.peer as usize), Some(xch.tag), Category::ZComm);
@@ -128,6 +131,15 @@ fn exchange_solved<T: Transport>(
                     .expect("active grid solved its ancestors"),
             );
         }
+        // Solved pieces stay dense: the sender just solved every listed
+        // ancestor, so presence is static and a bitmap would only add
+        // bytes. `bytes_saved` stays at zero for this exchange.
+        let dense: u64 = xch
+            .sups
+            .iter()
+            .map(|&k| sym.sup_width(k as usize) as u64)
+            .sum();
+        crate::allreduce::note_sent(zcomm, dense, nrhs, buf.len());
         zcomm.send(xch.peer as usize, xch.tag, buf, Category::ZComm);
     } else {
         let msg = zcomm.recv(Some(xch.peer as usize), Some(xch.tag), Category::ZComm);

@@ -58,7 +58,7 @@ pub use driver::{
     solve_distributed, solve_planned, solve_traced, Algorithm, Arch, Backend, ExecutorKind,
     PhaseTimes, SolveOutcome, Solver3d, SolverConfig,
 };
-pub use plan::{GridSet, Plan};
+pub use plan::{GridSet, Plan, ZTrim};
 pub use service::{
     BatchPolicy, MetricsServer, QueueFullPolicy, ServiceConfig, ServiceStats, SolverService,
     SubmitError, Ticket,

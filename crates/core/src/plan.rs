@@ -51,6 +51,38 @@ pub struct GridSet {
     pub supers: Vec<u32>,
     /// Membership bitset (over all supernodes).
     pub member: SupSet,
+    /// Live-support bitset: members this grid can contribute a nonzero
+    /// partial for. A supernode is live when its RHS originates here
+    /// (`rhs_active`) or when a live column of this grid has an L-block
+    /// into it; everything else packs provable zeros (DESIGN.md §15).
+    pub live: SupSet,
+}
+
+/// Layout policy for the inter-grid (`z`) exchange payloads.
+///
+/// [`ZTrim::Live`] compiles per-round pack lists down to the supernodes
+/// some participating grid is actually live for; [`ZTrim::Dense`] keeps
+/// the fixed per-`(x, y)` ancestor layout (the pre-trim wire format,
+/// preserved as the measurable baseline for the PR 9 bench).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ZTrim {
+    /// Trimmed pack lists + presence bitmaps; empty rounds are elided.
+    #[default]
+    Live,
+    /// Full replicated-ancestor layout every round (ablation baseline).
+    Dense,
+}
+
+impl std::str::FromStr for ZTrim {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "live" => Ok(ZTrim::Live),
+            "dense" => Ok(ZTrim::Dense),
+            other => Err(format!("unknown z layout '{other}' (expected live|dense)")),
+        }
+    }
 }
 
 /// The full solve plan shared (read-only) by every rank thread.
@@ -71,6 +103,8 @@ pub struct Plan {
     pub sup_node: Vec<u32>,
     /// Per-grid membership.
     pub grids: Vec<GridSet>,
+    /// Inter-grid exchange layout policy.
+    trim: ZTrim,
     /// Compiled communication schedules, one per algorithm family.
     schedules: Mutex<HashMap<ScheduleKey, Arc<Schedule>>>,
     /// Number of schedule compilations performed (cache misses).
@@ -84,6 +118,13 @@ impl Plan {
     /// analyzed with (`fact` must come from `lufactor::factorize(a, pz', …)`
     /// with `pz' ≥ pz`).
     pub fn new(fact: Arc<Factorized>, px: usize, py: usize, pz: usize) -> Self {
+        Self::with_trim(fact, px, py, pz, ZTrim::Live)
+    }
+
+    /// Like [`Plan::new`] with an explicit inter-grid exchange layout
+    /// policy ([`ZTrim::Dense`] reproduces the pre-trim dense wire format
+    /// for ablation; liveness bitsets are computed either way).
+    pub fn with_trim(fact: Arc<Factorized>, px: usize, py: usize, pz: usize, trim: ZTrim) -> Self {
         assert!(pz.is_power_of_two(), "Pz must be a power of two");
         assert!(px >= 1 && py >= 1);
         let depth = pz.trailing_zeros() as usize;
@@ -133,11 +174,31 @@ impl Plan {
                         supers.push(k as u32);
                     }
                 }
+                // Liveness: a member is live when its RHS originates on
+                // this grid or a live column has an L-block into it. One
+                // ascending sweep suffices — `blocks_below(k)` only names
+                // supernodes greater than `k`.
+                let min_z_of = |t: usize| {
+                    let l = (t + 1).ilog2() as usize;
+                    (t - ((1 << l) - 1)) << (depth - l)
+                };
+                let mut live = SupSet::new(nsup);
+                let mut incoming = SupSet::new(nsup);
+                for &k in &supers {
+                    let ku = k as usize;
+                    if min_z_of(sup_node[ku] as usize) == z || incoming.contains(ku) {
+                        live.insert(ku);
+                        for &i in sym.blocks_below(ku) {
+                            incoming.insert(i as usize);
+                        }
+                    }
+                }
                 GridSet {
                     z,
                     path,
                     supers,
                     member,
+                    live,
                 }
             })
             .collect();
@@ -151,9 +212,15 @@ impl Plan {
             layout,
             sup_node,
             grids,
+            trim,
             schedules: Mutex::new(HashMap::new()),
             compile_count: AtomicUsize::new(0),
         }
+    }
+
+    /// The inter-grid exchange layout policy this plan compiles under.
+    pub fn trim(&self) -> ZTrim {
+        self.trim
     }
 
     /// The compiled communication schedule for `key`, compiling and
@@ -337,6 +404,69 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn live_set_contains_rhs_active_and_is_upward_closed() {
+        let p = plan(2, 2, 8);
+        let sym = p.fact.lu.sym();
+        for g in &p.grids {
+            for &k in &g.supers {
+                let ku = k as usize;
+                // Every supernode is live on the grid supplying its RHS —
+                // in particular every leaf column of this grid.
+                if p.rhs_active(g.z, ku) {
+                    assert!(g.live.contains(ku), "grid {} sup {} not live", g.z, ku);
+                }
+                // Live sets are upward-closed under L-blocks: a live
+                // column's partials land in supernodes that are live too.
+                if g.live.contains(ku) {
+                    assert!(g.member.contains(ku));
+                    for &i in sym.blocks_below(ku) {
+                        assert!(
+                            g.live.contains(i as usize),
+                            "grid {} live col {} feeds dead row {}",
+                            g.z,
+                            ku,
+                            i
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_ancestors_exist_at_deep_pz() {
+        // The point of the trim: at Pz = 8 some grid replicates an
+        // ancestor supernode it can never contribute to. If this ever
+        // fails the trim is vacuous and the PR 9 bench gate would too.
+        // R-MAT's uneven separators leave deep grids dead for much of the
+        // top separators; a PDE stencil or pure band couples every subtree
+        // to its whole ancestor chain and trims nothing.
+        let a = gen::rmat(9, 8, 7);
+        let f = Arc::new(factorize(&a, 8, &SymbolicOptions::default()).unwrap());
+        let p = Plan::new(f, 1, 1, 8);
+        let dead = p
+            .grids
+            .iter()
+            .flat_map(|g| g.supers.iter().map(move |&k| (g, k)))
+            .filter(|(g, k)| !g.live.contains(*k as usize))
+            .count();
+        assert!(dead > 0, "no dead replicated supernodes at Pz=8");
+    }
+
+    #[test]
+    fn trim_knob_round_trips_and_defaults_live() {
+        let p = plan(2, 2, 2);
+        assert_eq!(p.trim(), ZTrim::Live);
+        assert_eq!("dense".parse::<ZTrim>().unwrap(), ZTrim::Dense);
+        assert_eq!("live".parse::<ZTrim>().unwrap(), ZTrim::Live);
+        assert!("sparse".parse::<ZTrim>().is_err());
+        let a = gen::poisson2d_5pt(12, 12);
+        let f = Arc::new(factorize(&a, 2, &SymbolicOptions::default()).unwrap());
+        let pd = Plan::with_trim(f, 2, 2, 2, ZTrim::Dense);
+        assert_eq!(pd.trim(), ZTrim::Dense);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! independently and in parallel.
 
 use crate::kernels;
-use crate::plan::{GridSet, Plan, SupSet};
+use crate::plan::{GridSet, Plan, SupSet, ZTrim};
 use crate::solve2d::{member_list, tree_links};
 use ordering::levels::{level_sets, ChainPolicy, LevelSets};
 use serde::{Deserialize, Serialize};
@@ -196,8 +196,17 @@ pub struct ZStep {
     pub peer: u32,
     /// Whether my partial flows toward the smaller grid in the reduce.
     pub to_smaller: bool,
-    /// Diagonally owned shared-ancestor supernodes, ascending.
+    /// Diagonally owned shared-ancestor supernodes, ascending. Under
+    /// [`crate::plan::ZTrim::Live`] this is trimmed to the supernodes some
+    /// grid of the step's sender subtree is live for; a step whose list
+    /// compiles to empty is elided at run time (no message, no span).
     pub sups: Vec<u32>,
+    /// Per-RHS doubles of the *untrimmed* (dense-layout) list — what this
+    /// step would move without the trim. Drives the `comm.z.bytes_saved`
+    /// counter and the bench's dense baseline. (Schema note: serialized
+    /// schedules from before PR 9 lack this field and must be
+    /// regenerated — the vendored serde stand-in has no `default`.)
+    pub dense_doubles: u64,
 }
 
 /// One ancestor layout node of the naive per-node dense allreduce.
@@ -205,8 +214,11 @@ pub struct ZStep {
 pub struct NaiveNode {
     /// Layout-node heap id.
     pub node: u32,
-    /// Diagonally owned supernodes of the node, ascending.
+    /// Diagonally owned supernodes of the node, ascending (live-trimmed
+    /// under [`crate::plan::ZTrim::Live`]).
     pub sups: Vec<u32>,
+    /// Per-RHS doubles of the untrimmed list (see [`ZStep::dense_doubles`]).
+    pub dense_doubles: u64,
 }
 
 /// The complete compiled program of one world rank.
@@ -328,12 +340,31 @@ fn compile_rank(plan: &Plan, key: ScheduleKey, rank: usize, levels: &FactorLevel
     let (l_steps, u_steps) = if key.baseline {
         compile_baseline_steps(plan, grid, x, y, z, levels)
     } else {
+        // Under the live trim the passes are scoped to the grid's live
+        // supernodes: dead replicated ancestors would only ever compute
+        // provable zeros, and the trimmed allreduce no longer delivers
+        // their `y`, so they must not be scheduled either. The scoping is
+        // closed (live sets are upward-closed under L-blocks), so every
+        // inner block/contributor filter is semantically unchanged.
+        let live_supers: Vec<u32>;
+        let (scope_sups, scope_set): (&[u32], &SupSet) = match plan.trim() {
+            ZTrim::Live => {
+                live_supers = grid
+                    .supers
+                    .iter()
+                    .copied()
+                    .filter(|&k| grid.live.contains(k as usize))
+                    .collect();
+                (&live_supers, &grid.live)
+            }
+            ZTrim::Dense => (&grid.supers, &grid.member),
+        };
         let l = PassSched::compile_l(
             plan,
-            grid,
+            scope_set,
             x,
             y,
-            &grid.supers,
+            scope_sups,
             false,
             key.tree_comm,
             0,
@@ -341,11 +372,11 @@ fn compile_rank(plan: &Plan, key: ScheduleKey, rank: usize, levels: &FactorLevel
         );
         let u = PassSched::compile_u(
             plan,
-            grid,
+            scope_set,
             x,
             y,
-            &grid.supers,
-            &grid.member,
+            scope_sups,
+            scope_set,
             &[],
             key.tree_comm,
             1,
@@ -369,33 +400,60 @@ fn compile_rank(plan: &Plan, key: ScheduleKey, rank: usize, levels: &FactorLevel
         .map(|l| {
             let m = z % (1 << (l + 1));
             if m == (1 << l) {
+                let (sups, dense_doubles) = shared_sups(plan, grid, l, x, y, z);
                 Some(ZStep {
                     peer: (z - (1 << l)) as u32,
                     to_smaller: true,
-                    sups: shared_sups(plan, grid, l, x, y),
+                    sups,
+                    dense_doubles,
                 })
             } else if m == 0 {
+                let (sups, dense_doubles) = shared_sups(plan, grid, l, x, y, z + (1 << l));
                 Some(ZStep {
                     peer: (z + (1 << l)) as u32,
                     to_smaller: false,
-                    sups: shared_sups(plan, grid, l, x, y),
+                    sups,
+                    dense_doubles,
                 })
             } else {
                 None
             }
         })
         .collect();
+    let sym = plan.fact.lu.sym();
     let naive = grid
         .path
         .iter()
         .take(d)
-        .map(|&t| NaiveNode {
-            node: t as u32,
-            sups: plan
-                .node_supers(t)
-                .into_iter()
-                .filter(|&k| plan.owner_xy(k as usize) == (x, y))
-                .collect(),
+        .map(|&t| {
+            let mut sups = Vec::new();
+            let mut dense_doubles = 0u64;
+            for k in plan.node_supers(t) {
+                let ku = k as usize;
+                if plan.owner_xy(ku) != (x, y) {
+                    continue;
+                }
+                dense_doubles += sym.sup_width(ku) as u64;
+                let keep = match plan.trim() {
+                    ZTrim::Dense => true,
+                    // Keep the supernode iff some grid replicating the
+                    // node contributes a nonzero partial — the same
+                    // predicate on every member of the node's
+                    // subcommunicator, so the collective stays matched.
+                    ZTrim::Live => {
+                        let g0 = plan.min_z(t);
+                        (g0..g0 + plan.n_grids_of(t)).any(|g| plan.grids[g].live.contains(ku))
+                    }
+                };
+                if keep {
+                    sups.push(k);
+                }
+            }
+            NaiveNode {
+                node: t as u32,
+                sups,
+                dense_doubles,
+            }
         })
         .collect();
 
@@ -409,17 +467,42 @@ fn compile_rank(plan: &Plan, key: ScheduleKey, rank: usize, levels: &FactorLevel
 
 /// Supernodes grid `z` exchanges at sparse-allreduce step `l`: the path
 /// nodes shared with the step-`l` partner (levels `0 .. depth − l − 1`)
-/// restricted to diagonal owner `(x, y)`. Identical on both partners.
-fn shared_sups(plan: &Plan, grid: &GridSet, l: usize, x: usize, y: usize) -> Vec<u32> {
+/// restricted to diagonal owner `(x, y)`. Under [`ZTrim::Live`] the list
+/// is further restricted to supernodes some grid of the step's *sender
+/// subtree* `[zhi, zhi + 2^l)` is live for: exactly those can carry a
+/// nonzero partial up in the reduce, and (by the need/live equivalence)
+/// exactly those are consumed back down that subtree in the broadcast.
+/// `zhi` is the larger-z partner, so the range — hence the list — is
+/// identical on both partners. Returns the list plus the per-RHS doubles
+/// of the untrimmed list (the dense baseline's payload).
+fn shared_sups(
+    plan: &Plan,
+    grid: &GridSet,
+    l: usize,
+    x: usize,
+    y: usize,
+    zhi: usize,
+) -> (Vec<u32>, u64) {
+    let sym = plan.fact.lu.sym();
     let mut out = Vec::new();
+    let mut dense_doubles = 0u64;
     for &t in grid.path.iter().take(plan.depth - l) {
         for k in plan.node_supers(t) {
-            if plan.owner_xy(k as usize) == (x, y) {
+            let ku = k as usize;
+            if plan.owner_xy(ku) != (x, y) {
+                continue;
+            }
+            dense_doubles += sym.sup_width(ku) as u64;
+            let keep = match plan.trim() {
+                ZTrim::Dense => true,
+                ZTrim::Live => (zhi..zhi + (1 << l)).any(|g| plan.grids[g].live.contains(ku)),
+            };
+            if keep {
                 out.push(k);
             }
         }
     }
-    out
+    (out, dense_doubles)
 }
 
 /// The baseline's level-by-level step lists (ICS'19 traversal).
@@ -444,7 +527,7 @@ fn compile_baseline_steps(
             (!cols.is_empty()).then(|| {
                 PassSched::compile_l(
                     plan,
-                    grid,
+                    &grid.member,
                     x,
                     y,
                     &cols,
@@ -510,7 +593,7 @@ fn compile_baseline_steps(
                 }
                 PassSched::compile_u(
                     plan,
-                    grid,
+                    &grid.member,
                     x,
                     y,
                     &rows,
@@ -562,13 +645,15 @@ fn compile_baseline_steps(
 impl PassSched {
     /// Compile one L pass: per-column broadcast links + blocks for my
     /// owned columns, per-row reduction links + `fmod0` for my rows.
-    /// `contrib_all` widens the row-contributor closure to every
-    /// `blocks_left` entry (baseline: merged-in descendant partials also
-    /// count).
+    /// `scope` is the supernode set the pass's block and contributor
+    /// filters close over (grid membership, or the live subset under the
+    /// z-exchange trim). `contrib_all` widens the row-contributor closure
+    /// to every `blocks_left` entry (baseline: merged-in descendant
+    /// partials also count).
     #[allow(clippy::too_many_arguments)]
     fn compile_l(
         plan: &Plan,
-        grid: &GridSet,
+        scope: &SupSet,
         x: usize,
         y: usize,
         cols_in: &[u32],
@@ -592,7 +677,7 @@ impl PassSched {
                 ku % px,
                 sym.blocks_below(ku)
                     .iter()
-                    .filter(|&&i| grid.member.contains(i as usize))
+                    .filter(|&&i| scope.contains(i as usize))
                     .map(|&i| i as usize % px),
             );
             let Some(links) = tree_links(&members, x, tree_comm) else {
@@ -602,7 +687,7 @@ impl PassSched {
             let mut total_rows = 0u32;
             let mut maxw = 1u32;
             for &i in sym.blocks_below(ku) {
-                if i as usize % px == x && grid.member.contains(i as usize) {
+                if i as usize % px == x && scope.contains(i as usize) {
                     let (lo, hi) = kernels::block_range(&plan.fact, ku, i as usize);
                     let (dense_start, scatter_off) = block_addr(
                         sym.rows_below(ku),
@@ -649,7 +734,7 @@ impl PassSched {
             |iu| {
                 sym.blocks_left(iu)
                     .iter()
-                    .filter(|&&k| contrib_all || grid.member.contains(k as usize))
+                    .filter(|&&k| contrib_all || scope.contains(k as usize))
                     .map(|&k| k as usize % py)
                     .collect()
             },
@@ -670,13 +755,15 @@ impl PassSched {
         }
     }
 
-    /// Compile one U pass. `rows_in` are the supernodes solved here,
+    /// Compile one U pass. `scope` is the supernode set the usum
+    /// contributor closure runs over (grid membership, or the live subset
+    /// under the z-exchange trim), `rows_in` the supernodes solved here,
     /// `row_set` their membership set, `ext` the already-solved ancestor
     /// columns announced at pass start (baseline only).
     #[allow(clippy::too_many_arguments)]
     fn compile_u(
         plan: &Plan,
-        grid: &GridSet,
+        scope: &SupSet,
         x: usize,
         y: usize,
         rows_in: &[u32],
@@ -790,7 +877,7 @@ impl PassSched {
                 // usum reduction over process columns owning U(K, ·).
                 sym.blocks_below(ku)
                     .iter()
-                    .filter(|&&j| grid.member.contains(j as usize))
+                    .filter(|&&j| scope.contains(j as usize))
                     .map(|&j| j as usize % py)
                     .collect()
             },

@@ -106,6 +106,14 @@ impl Ledger {
         }
     }
 
+    /// Whether any contribution has been accumulated for `sup` this solve
+    /// — the runtime presence test behind the baseline z-exchange's
+    /// bitmap packing (DESIGN.md §15): untouched rows ship no bytes.
+    #[inline]
+    pub fn has(&self, sup: u32) -> bool {
+        self.rows.get(&sup).is_some_and(|e| !e.is_empty())
+    }
+
     /// Fold the contributions of `sup` in ascending key order; `None`
     /// when nothing has been accumulated. Allocating convenience form of
     /// [`Ledger::fold_into`] for the cold paths (inter-grid exchanges).

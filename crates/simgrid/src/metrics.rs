@@ -32,6 +32,9 @@
 //! | `recv.settle_waits`        | counter   | any-source settle windows actually taken  |
 //! | `pass.spans`               | counter   | interpreter steps executed by 2D passes   |
 //! | `pass.fmod_stalls`         | counter   | partial sums that left a row still waiting|
+//! | `comm.z.bytes`             | counter   | inter-grid exchange payload bytes shipped |
+//! | `comm.z.bytes_saved`       | counter   | payload bytes the live-support trim and   |
+//! |                            |           | presence bitmaps cut vs the dense layout  |
 //!
 //! The batched serving front door (`sptrsv::service`) adds its own series
 //! to the same registry:

@@ -88,6 +88,18 @@ pub enum SpanDetail {
         /// `Reduce` on the way up, `Bcast` on the way down.
         role: TreeRole,
     },
+    /// One round of the sparse z-line allreduce under the live-support
+    /// trimmed layout: same role as [`SpanDetail::Allreduce`], plus the
+    /// payload doubles the trim removed from this round, so the critical-
+    /// path walk can attribute makespan wins per round.
+    ZExchangeTrim {
+        /// Butterfly/tree round index (reduce counts up, bcast back down).
+        round: u32,
+        /// `Reduce` on the way up, `Bcast` on the way down.
+        role: TreeRole,
+        /// Doubles removed from this round's payload vs the dense layout.
+        saved_doubles: u64,
+    },
     /// Dense per-node allreduce of the naive fallback path.
     NaiveAllreduce {
         /// Layout-node heap id being reduced.
@@ -314,6 +326,10 @@ pub fn span_name(e: &TraceEvent) -> String {
             EventKind::Recv => format!("z-{} r{} recv", role.label(), round),
             _ => format!("z-{} r{} send", role.label(), round),
         },
+        (_, Some(SpanDetail::ZExchangeTrim { round, role, .. })) => match e.kind {
+            EventKind::Recv => format!("z-{} r{} recv (trim)", role.label(), round),
+            _ => format!("z-{} r{} send (trim)", role.label(), round),
+        },
         (_, Some(SpanDetail::NaiveAllreduce { node })) => format!("z-allreduce node {node}"),
         (_, Some(SpanDetail::ZExchange { level, reduce })) => {
             let leg = if *reduce { "lsum" } else { "x" };
@@ -407,6 +423,15 @@ fn push_args(out: &mut String, e: &TraceEvent) {
         Some(SpanDetail::Allreduce { round, role }) => {
             push_kv_raw(out, "round", &round.to_string(), &mut first);
             push_kv_raw(out, "role", &format!("\"{}\"", role.label()), &mut first);
+        }
+        Some(SpanDetail::ZExchangeTrim {
+            round,
+            role,
+            saved_doubles,
+        }) => {
+            push_kv_raw(out, "round", &round.to_string(), &mut first);
+            push_kv_raw(out, "role", &format!("\"{}\"", role.label()), &mut first);
+            push_kv_raw(out, "saved_doubles", &saved_doubles.to_string(), &mut first);
         }
         Some(SpanDetail::NaiveAllreduce { node }) => {
             push_kv_raw(out, "node", &node.to_string(), &mut first);

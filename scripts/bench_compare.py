@@ -45,6 +45,24 @@ def _kernels_and_hot_solve(report):
     return out
 
 
+def _exchange_trim(report):
+    """BENCH_pr9: per-scenario bytes-on-wire savings ratio of the
+    live-trimmed exchange layout (dense/live bytes, higher = more cut)
+    and the deep-dive exchange speedup (dense/live makespan). Both are
+    deterministic simulator quantities, so the threshold guards against
+    schedule regressions, not runner noise."""
+    out = {}
+    for s in report.get("scenarios", []):
+        if s.get("z_bytes_live", 0) > 0:
+            key = f"ztrim_{s['matrix']}_pz{s['pz']}_bytes_ratio"
+            out[key] = s["z_bytes_dense"] / s["z_bytes_live"]
+    for s in report.get("deep_1x1xpz", []):
+        if s.get("makespan_live", 0) > 0:
+            key = f"ztrim_deep_{s['matrix']}_pz{s['pz']}_exchange_speedup"
+            out[key] = s["makespan_dense"] / s["makespan_live"]
+    return out
+
+
 def _native_wall(report):
     """BENCH_pr5: best native wall-clock solve rate per algorithm."""
     out = {}
@@ -59,6 +77,7 @@ EXTRACTORS = {
     "BENCH_pr4.json": _kernels_and_hot_solve,
     "BENCH_pr5.json": _native_wall,
     "BENCH_pr7.json": _peak_serving,
+    "BENCH_pr9.json": _exchange_trim,
 }
 
 

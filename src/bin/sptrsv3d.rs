@@ -13,7 +13,7 @@
 
 use simgrid::{export_perfetto, Category, FaultPlan, MachineModel, PROFILE_NAMES};
 use sptrsv_repro::prelude::*;
-use sptrsv_repro::sptrsv::Plan;
+use sptrsv_repro::sptrsv::{Plan, ZTrim};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -25,6 +25,7 @@ struct Args {
     py: usize,
     pz: usize,
     nrhs: usize,
+    z_layout: ZTrim,
     algorithm: Algorithm,
     arch: Arch,
     machine: MachineModel,
@@ -63,6 +64,10 @@ LAYOUT:
     --px N --py N     2D grid extents (default 2 x 2)
     --pz N            number of 2D grids, power of two (default 4)
     --nrhs N          right-hand sides (default 1)
+    --z-layout L      inter-grid exchange pack layout (DESIGN.md §15):
+                      live (default): compile-time live-support trimming,
+                      empty rounds elided
+                      dense: the untrimmed pre-trim layout (ablation)
 
 EXECUTION:
     --alg A           new3d (default) | new3d-flat | new3d-naive-allreduce |
@@ -138,6 +143,7 @@ fn parse_args() -> Result<Args, String> {
         py: 2,
         pz: 4,
         nrhs: 1,
+        z_layout: ZTrim::Live,
         algorithm: Algorithm::New3d,
         arch: Arch::Cpu,
         machine: MachineModel::cori_haswell(),
@@ -184,6 +190,7 @@ fn parse_args() -> Result<Args, String> {
             "--py" => a.py = next(&mut i)?.parse().map_err(|e| format!("--py: {e}"))?,
             "--pz" => a.pz = next(&mut i)?.parse().map_err(|e| format!("--pz: {e}"))?,
             "--nrhs" => a.nrhs = next(&mut i)?.parse().map_err(|e| format!("--nrhs: {e}"))?,
+            "--z-layout" => a.z_layout = next(&mut i)?.parse()?,
             "--alg" => {
                 a.algorithm = match next(&mut i)?.as_str() {
                     "new3d" => Algorithm::New3d,
@@ -538,7 +545,13 @@ fn main() -> ExitCode {
     let want_trace = args.trace_out.is_some()
         || args.critical_path
         || (args.profile_out.is_some() && args.backend == Backend::Sim);
-    let plan = Arc::new(Plan::new(Arc::clone(&fact), args.px, args.py, args.pz));
+    let plan = Arc::new(Plan::with_trim(
+        Arc::clone(&fact),
+        args.px,
+        args.py,
+        args.pz,
+        args.z_layout,
+    ));
     let out = solve_traced(&plan, &b, &cfg, want_trace);
     let res = sparse::rel_residual_inf(&a, &out.x, &b, args.nrhs);
 

@@ -177,6 +177,38 @@ fn steady_state_solves_never_allocate_in_audited_regions() {
             1,
             2,
         ),
+        // Pz = 4 exercises multi-round trimmed allreduces: the pack slots
+        // are pre-sized inside `sparse_allreduce`/`naive_allreduce`, so
+        // the audited (un)packing must stay allocation-free across rounds
+        // under the live-trimmed layouts too (the pre-PR9 `unpack_set`
+        // heap-allocated brand-new broadcast slots mid-solve here).
+        (
+            "new3d/cpu/tree/pz4",
+            Algorithm::New3d,
+            Arch::Cpu,
+            Tree,
+            2,
+            1,
+            4,
+        ),
+        (
+            "new3d-naive/cpu/tree/pz4",
+            Algorithm::New3dNaiveAllreduce,
+            Arch::Cpu,
+            Tree,
+            2,
+            1,
+            4,
+        ),
+        (
+            "baseline3d/cpu/tree/pz4",
+            Algorithm::Baseline3d,
+            Arch::Cpu,
+            Tree,
+            2,
+            1,
+            4,
+        ),
     ] {
         let n = audited_allocs_on_second_solve(name, algorithm, arch, executor, px, py, pz);
         assert_eq!(

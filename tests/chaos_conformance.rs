@@ -141,3 +141,79 @@ fn gpu_new3d_survives_composed_chaos() {
         &["duplicates", "all"],
     );
 }
+
+// ---------------------------------------------------------------------------
+// Exchange-layout conformance (DESIGN.md §15): live trimming is a pure
+// wire optimization.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+use sptrsv::{solve_planned, Plan, ZTrim};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        .. ProptestConfig::default()
+    })]
+
+    /// The live-trimmed exchange layout must be **bit-identical** to the
+    /// dense (pre-trim) layout for every solver family, every fault
+    /// profile, and whichever backend the CI matrix selects
+    /// (`SPTRSV_TEST_BACKEND=sim|native`; fault injection is sim-private,
+    /// so the native leg runs the clean cell of the sweep). R-MAT systems
+    /// at deep `Pz` are exactly the shapes where live sets really shrink
+    /// (PDE stencils keep every ancestor live), so the property is
+    /// non-vacuous here: dead ancestors drop out of the pack lists and
+    /// whole rounds elide, yet no `x` bit may drift — the trimmed entries
+    /// only ever carried exact zeros.
+    #[test]
+    fn trimmed_layout_bit_identical_to_dense(
+        seed in 0u64..1000,
+        alg_i in 0usize..4,
+        profile_i in 0usize..PROFILE_NAMES.len(),
+        logpz in 2u32..4,
+    ) {
+        let alg = [
+            Algorithm::New3d,
+            Algorithm::New3dFlat,
+            Algorithm::New3dNaiveAllreduce,
+            Algorithm::Baseline3d,
+        ][alg_i];
+        let pz = 1usize << logpz;
+        let (px, py) = (2, 1);
+        let a = gen::rmat(8, 8, seed);
+        let f = Arc::new(factorize(&a, pz, &SymbolicOptions::default()).expect("factorize"));
+        let b = gen::standard_rhs(a.nrows(), NRHS);
+        let want = f.solve(&b, NRHS);
+
+        let backend = common::backend();
+        let fault = if backend == Backend::Sim {
+            FaultPlan::from_profile(PROFILE_NAMES[profile_i], seed, px * py * pz)
+                .expect("profile resolves")
+        } else {
+            FaultPlan::default()
+        };
+        let mut cfg = config(alg, Arch::Cpu, (px, py, pz), fault.clone());
+        cfg.backend = backend;
+
+        let live = Arc::new(Plan::with_trim(Arc::clone(&f), px, py, pz, ZTrim::Live));
+        let dense = Arc::new(Plan::with_trim(Arc::clone(&f), px, py, pz, ZTrim::Dense));
+        let xl = solve_planned(&live, &b, &cfg).x;
+        let xd = solve_planned(&dense, &b, &cfg).x;
+        for (i, (l, d)) in xl.iter().zip(&xd).enumerate() {
+            prop_assert!(
+                l.to_bits() == d.to_bits(),
+                "{alg:?} x[{i}] differs across exchange layouts\n  \
+                 profile: {}, seed: {seed}, grid {px}x{py}x{pz}\n  \
+                 live {l:e} vs dense {d:e}",
+                PROFILE_NAMES[profile_i],
+            );
+        }
+        let diff = sparse::max_abs_diff(&xl, &want);
+        prop_assert!(
+            diff < 1e-8,
+            "{alg:?} trimmed solve diverged from the sequential reference\n  \
+             seed: {seed}, grid {px}x{py}x{pz}, diff {diff:e}"
+        );
+    }
+}

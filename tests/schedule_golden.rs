@@ -10,6 +10,17 @@
 //!
 //! Intentional IR changes: regenerate with
 //! `UPDATE_GOLDEN=1 cargo test --test schedule_golden` and commit the diff.
+//!
+//! Migration note (PR 9, sparsity-aware inter-grid exchange): `ZStep` and
+//! `NaiveNode` gained a `dense_doubles` field (the untrimmed payload width
+//! the `comm.z.bytes_saved` accounting is measured against), and under the
+//! default `ZTrim::Live` plan the `sups` pack lists carry only supernodes
+//! some grid of the step's sender subtree is live for. On this fixture
+//! (2 × 2 × 2 over a 9-point Poisson grid) every replicated ancestor is
+//! live, so the expected diff is the new field alone — list contents and
+//! ordering are unchanged. Pre-PR9 serialized schedules lack the field and
+//! must be regenerated (the vendored serde stand-in has no `#[serde
+//! (default)]`).
 
 use sptrsv::schedule::ScheduleKey;
 use sptrsv::Plan;
