@@ -30,8 +30,8 @@
 
 use parking_lot::{Condvar, Mutex};
 use simgrid::{
-    Category, EventKind, FaultMark, FlightRecorder, MachineModel, Metrics, MsgInfo, RankStats,
-    RecvMsg, RunReport, TraceEvent, Transport,
+    Category, EventKind, FaultMark, FlightRecorder, MachineModel, Metrics, MsgInfo, Payload,
+    RankStats, RecvMsg, RunReport, TraceEvent, Transport,
 };
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -53,7 +53,7 @@ struct Msg {
     tag: u64,
     /// Real receive-side arrival time (seconds since cluster epoch).
     arrival: f64,
-    payload: Arc<[f64]>,
+    payload: Payload,
     seq: u64,
 }
 
@@ -162,7 +162,7 @@ impl NativeComm {
     /// send appears in traffic statistics (split/collective setup traffic
     /// is counted, exactly like every real send — only the simulator has a
     /// notion of zero-cost setup sends).
-    fn enqueue(&self, dst: usize, tag: u64, payload: Arc<[f64]>, cat: Category, counted: bool) {
+    fn enqueue(&self, dst: usize, tag: u64, payload: Payload, cat: Category, counted: bool) {
         let dst_world = self.members[dst] as usize;
         let bytes = 8 * payload.len() + 64;
         if counted {
@@ -331,43 +331,12 @@ impl NativeComm {
         COLLECTIVE_TAG_BASE + *seq * 4
     }
 
-    /// Binomial reduce to rank 0 + binomial broadcast back. The structure
-    /// — and with it the floating-point summation order — is copied from
-    /// the simulator's `reduce_bcast`, which is what makes allreduce
-    /// results bit-identical across the two backends.
+    /// Binomial reduce to rank 0 + binomial broadcast back — the shared
+    /// [`simgrid::collectives`] shape, which is what makes allreduce
+    /// results bit-identical across every backend.
     fn reduce_bcast(&self, data: &mut [f64], cat: Category) {
-        let size = self.members.len();
-        let me = self.my_idx;
         let tag = self.coll_tag();
-        // Reduce.
-        let mut d = 1;
-        while d < size {
-            if me % (2 * d) == d {
-                Transport::send(self, me - d, tag, data, cat);
-                break;
-            } else if me.is_multiple_of(2 * d) && me + d < size {
-                let m = Transport::recv(self, Some(me + d), Some(tag), cat);
-                for (a, b) in data.iter_mut().zip(m.payload.iter()) {
-                    *a += *b;
-                }
-            }
-            d *= 2;
-        }
-        // Broadcast back down the same binomial tree, top-down.
-        let mut levels = Vec::new();
-        let mut d = 1;
-        while d < size {
-            levels.push(d);
-            d *= 2;
-        }
-        for &d in levels.iter().rev() {
-            if me.is_multiple_of(2 * d) && me + d < size {
-                Transport::send(self, me + d, tag + 1, data, cat);
-            } else if me % (2 * d) == d {
-                let m = Transport::recv(self, Some(me - d), Some(tag + 1), cat);
-                data.copy_from_slice(&m.payload);
-            }
-        }
+        simgrid::collectives::reduce_bcast(self, tag, data, cat);
     }
 }
 
@@ -461,7 +430,7 @@ impl Transport for NativeComm {
         self.ctx.stats.borrow().time
     }
 
-    fn send_shared(&self, dst: usize, tag: u64, payload: &Arc<[f64]>, cat: Category) {
+    fn send_shared(&self, dst: usize, tag: u64, payload: &Payload, cat: Category) {
         self.charge(cat);
         self.enqueue(dst, tag, Arc::clone(payload), cat, true);
     }
@@ -476,7 +445,7 @@ impl Transport for NativeComm {
         _wire: f64,
         dst: usize,
         tag: u64,
-        payload: &Arc<[f64]>,
+        payload: &Payload,
         cat: Category,
     ) {
         self.enqueue(dst, tag, Arc::clone(payload), cat, true);
@@ -510,25 +479,8 @@ impl Transport for NativeComm {
     }
 
     fn bcast(&self, root: usize, data: &mut [f64], cat: Category) {
-        let size = self.members.len();
-        let vrank = |r: usize| (r + size - root) % size;
-        let unrot = |v: usize| (v + root) % size;
-        let me = vrank(self.my_idx);
         let tag = self.coll_tag();
-        let mut levels = Vec::new();
-        let mut d = 1;
-        while d < size {
-            levels.push(d);
-            d *= 2;
-        }
-        for &d in levels.iter().rev() {
-            if me.is_multiple_of(2 * d) && me + d < size {
-                Transport::send(self, unrot(me + d), tag, data, cat);
-            } else if me % (2 * d) == d {
-                let m = Transport::recv(self, Some(unrot(me - d)), Some(tag), cat);
-                data.copy_from_slice(&m.payload);
-            }
-        }
+        simgrid::collectives::bcast_from(self, root, tag, data, cat);
     }
 
     fn metric_inc(&self, name: &str, by: u64) {

@@ -3,8 +3,9 @@
 //!
 //! The rank program is generic over the [`Transport`]; the driver picks
 //! the backend: the virtual-time simulator (timing predictions, fault
-//! injection, tracing) or the real shared-memory transport (actual
-//! threads, wall-clock timing).
+//! injection, tracing), the real shared-memory transport (actual
+//! threads, wall-clock timing), or the process-per-rank socket transport
+//! (one OS process per rank, wire-framed messages, wall-clock timing).
 
 use crate::new3d::RankOutput;
 use crate::plan::Plan;
@@ -41,6 +42,16 @@ pub enum Backend {
     /// per rank, real messages, wall-clock timing. No machine model is
     /// applied; fault injection and tracing are unavailable (sim-private).
     Native,
+    /// The process-per-rank socket transport (`comm_proc`): one OS
+    /// process per rank over Unix-domain sockets, every message crossing
+    /// the address-space boundary as a wire frame. Wall-clock timing;
+    /// fault injection and tracing are unavailable (sim-private).
+    Proc,
+}
+
+impl Backend {
+    /// All valid `--backend` spellings, for error messages and help text.
+    pub const NAMES: &'static str = "sim | native | proc";
 }
 
 impl std::str::FromStr for Backend {
@@ -50,7 +61,11 @@ impl std::str::FromStr for Backend {
         match s {
             "sim" => Ok(Backend::Sim),
             "native" => Ok(Backend::Native),
-            other => Err(format!("unknown backend '{other}' (expected sim|native)")),
+            "proc" => Ok(Backend::Proc),
+            other => Err(format!(
+                "unknown backend '{other}': valid backends are {}",
+                Backend::NAMES
+            )),
         }
     }
 }
@@ -125,7 +140,7 @@ pub struct SolverConfig {
 
 /// Per-rank phase timing, in seconds of the backend's clock: simulated
 /// seconds under [`Backend::Sim`], measured wall-clock seconds under
-/// [`Backend::Native`].
+/// [`Backend::Native`] and [`Backend::Proc`].
 #[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct PhaseTimes {
     /// Wall time of the L-solve phase.
@@ -146,6 +161,33 @@ pub struct PhaseTimes {
     pub total: f64,
 }
 
+impl simgrid::wire::WirePack for PhaseTimes {
+    fn pack(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.l_wall,
+            self.z_wall,
+            self.u_wall,
+            self.l_busy,
+            self.u_busy,
+            self.z_time,
+            self.total,
+        ] {
+            simgrid::wire::put_f64(out, v);
+        }
+    }
+    fn unpack(r: &mut simgrid::wire::WireReader<'_>) -> Result<Self, simgrid::wire::WireError> {
+        Ok(PhaseTimes {
+            l_wall: r.f64()?,
+            z_wall: r.f64()?,
+            u_wall: r.f64()?,
+            l_busy: r.f64()?,
+            u_busy: r.f64()?,
+            z_time: r.f64()?,
+            total: r.f64()?,
+        })
+    }
+}
+
 /// Result of a distributed solve.
 pub struct SolveOutcome {
     /// Gathered solution in the *original* ordering (`n × nrhs` col-major).
@@ -155,7 +197,8 @@ pub struct SolveOutcome {
     /// Per-rank simulator statistics (category times, bytes, messages).
     pub stats: Vec<RankStats>,
     /// Wall time of the whole solve (max rank clock): simulated seconds
-    /// under [`Backend::Sim`], real seconds under [`Backend::Native`].
+    /// under [`Backend::Sim`], real seconds under [`Backend::Native`]
+    /// and [`Backend::Proc`].
     pub makespan: f64,
     /// Maximum discrepancy between replicated ancestor solutions computed
     /// by different grids (a correctness telltale; ~1e-12 expected).
@@ -357,6 +400,26 @@ pub fn solve_traced(plan: &Arc<Plan>, b: &[f64], cfg: &SolverConfig, trace: bool
             let plan2 = Arc::clone(plan);
             let pb2 = Arc::clone(&pb);
             comm_native::run(plan.nranks(), cfg.machine.clone(), &opts, move |world| {
+                rank_program(&plan2, algorithm, arch, executor, &pb2, nrhs, world)
+            })
+        }
+        Backend::Proc => {
+            assert!(
+                cfg.fault.is_inert() && cfg.chaos_seed == 0,
+                "fault injection is sim-private: run faults on Backend::Sim"
+            );
+            assert!(!trace, "span tracing is sim-private: trace on Backend::Sim");
+            let opts = comm_proc::ProcOptions {
+                flight_dump_path: flight_dump,
+                ..comm_proc::ProcOptions::default()
+            };
+            let plan2 = Arc::clone(plan);
+            let pb2 = Arc::clone(&pb);
+            // The rank programs run in forked children; the plan, the
+            // permuted RHS, and the compiled schedule (warmed above) are
+            // inherited copy-on-write, and each rank's `RankOutput`
+            // returns over the wire via its `WirePack` encoding.
+            comm_proc::run(plan.nranks(), cfg.machine.clone(), &opts, move |world| {
                 rank_program(&plan2, algorithm, arch, executor, &pb2, nrhs, world)
             })
         }

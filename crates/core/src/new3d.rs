@@ -25,6 +25,22 @@ pub struct RankOutput {
     pub x_pieces: Vec<(u32, Vec<f64>)>,
 }
 
+/// Rank outputs cross a genuine address-space boundary under the
+/// process-per-rank backend; the pieces travel as `f64` bit patterns so
+/// the assembled solution stays bit-identical to the in-process backends.
+impl simgrid::wire::WirePack for RankOutput {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.phases.pack(out);
+        self.x_pieces.pack(out);
+    }
+    fn unpack(r: &mut simgrid::wire::WireReader<'_>) -> Result<Self, simgrid::wire::WireError> {
+        Ok(RankOutput {
+            phases: PhaseTimes::unpack(r)?,
+            x_pieces: Vec::unpack(r)?,
+        })
+    }
+}
+
 /// Snapshot helper: `(now, flop + xy_busy, z_time)`.
 fn snap<T: Transport>(comm: &T) -> (f64, f64, f64) {
     let t = comm.time_snapshot();

@@ -1,0 +1,82 @@
+//! The one binomial collective shape every backend reduces in.
+//!
+//! Bit-identical solutions across transports rest on the collectives
+//! having a *fixed floating-point reduction order*: the binomial tree
+//! decides who sums whose contribution and in which sequence, not message
+//! arrival. That shape used to be duplicated — once in the simulator, once
+//! in `comm_native` — with a comment promising they matched. Now there is
+//! exactly one copy, generic over [`Transport`], and the simulator, the
+//! threaded backend, and the process backend all call it; a backend cannot
+//! drift out of the shape without every conformance suite failing.
+//!
+//! Tag sequencing stays per-backend: callers allocate a fresh collective
+//! tag block (their `coll_tag` scheme) and pass it in, which is what keeps
+//! successive collectives on one communicator from confusing each other's
+//! messages even under duplicated or delayed deliveries.
+
+use crate::stats::Category;
+use crate::transport::Transport;
+
+/// Binomial reduce-to-rank-0 (sum) followed by a binomial broadcast back
+/// down the same tree: the shared body of `allreduce_sum` and `barrier`.
+///
+/// Uses `tag` for the reduction leg and `tag + 1` for the broadcast leg;
+/// callers reserve at least two tags per invocation.
+pub fn reduce_bcast<T: Transport>(t: &T, tag: u64, data: &mut [f64], cat: Category) {
+    let size = t.size();
+    let me = t.rank();
+    // Reduce: at distance d, odd multiples of d send to the even multiple
+    // d below them, which accumulates in ascending-child order.
+    let mut d = 1;
+    while d < size {
+        if me % (2 * d) == d {
+            t.send(me - d, tag, data, cat);
+            break;
+        } else if me.is_multiple_of(2 * d) && me + d < size {
+            let m = t.recv(Some(me + d), Some(tag), cat);
+            for (a, b) in data.iter_mut().zip(m.payload.iter()) {
+                *a += *b;
+            }
+        }
+        d *= 2;
+    }
+    // Broadcast back down the same binomial tree, top-down.
+    let mut levels = Vec::new();
+    let mut d = 1;
+    while d < size {
+        levels.push(d);
+        d *= 2;
+    }
+    for &d in levels.iter().rev() {
+        if me.is_multiple_of(2 * d) && me + d < size {
+            t.send(me + d, tag + 1, data, cat);
+        } else if me % (2 * d) == d {
+            let m = t.recv(Some(me - d), Some(tag + 1), cat);
+            data.copy_from_slice(&m.payload);
+        }
+    }
+}
+
+/// Binomial broadcast of `data` from `root`: ranks are rotated so `root`
+/// sits at virtual rank 0, then the tree unrolls top-down. Uses `tag`
+/// only; callers reserve at least one tag per invocation.
+pub fn bcast_from<T: Transport>(t: &T, root: usize, tag: u64, data: &mut [f64], cat: Category) {
+    let size = t.size();
+    let vrank = |r: usize| (r + size - root) % size;
+    let unrot = |v: usize| (v + root) % size;
+    let me = vrank(t.rank());
+    let mut levels = Vec::new();
+    let mut d = 1;
+    while d < size {
+        levels.push(d);
+        d *= 2;
+    }
+    for &d in levels.iter().rev() {
+        if me.is_multiple_of(2 * d) && me + d < size {
+            t.send(unrot(me + d), tag, data, cat);
+        } else if me % (2 * d) == d {
+            let m = t.recv(Some(unrot(me - d)), Some(tag), cat);
+            data.copy_from_slice(&m.payload);
+        }
+    }
+}

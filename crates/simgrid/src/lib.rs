@@ -18,6 +18,7 @@
 //! in flight in real time with an earlier virtual arrival may be passed
 //! over. This mirrors the nondeterminism of real `MPI_ANY_SOURCE`.
 
+pub mod collectives;
 pub mod fault;
 pub mod gpu;
 pub mod machine;
@@ -25,6 +26,7 @@ pub mod metrics;
 pub mod stats;
 pub mod trace;
 pub mod transport;
+pub mod wire;
 
 pub use fault::{FaultPlan, Reorder, PROFILE_NAMES};
 pub use gpu::GpuExecutor;
@@ -38,7 +40,7 @@ pub use trace::{
     export_perfetto, render_timeline, span_name, EventKind, FaultMark, FlightRecorder, MsgInfo,
     SpanDetail, TraceEvent, TreeRole,
 };
-pub use transport::Transport;
+pub use transport::{Payload, Transport};
 
 use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, RefCell};
@@ -897,61 +899,14 @@ impl Comm {
     }
 
     fn reduce_bcast(&self, data: &mut [f64], cat: Category) {
-        let size = self.size();
-        let me = self.my_idx;
         let tag = self.coll_tag();
-        // Reduce.
-        let mut d = 1;
-        while d < size {
-            if me % (2 * d) == d {
-                self.send(me - d, tag, data, cat);
-                break;
-            } else if me.is_multiple_of(2 * d) && me + d < size {
-                let m = self.recv(Some(me + d), Some(tag), cat);
-                for (a, b) in data.iter_mut().zip(m.payload.iter()) {
-                    *a += *b;
-                }
-            }
-            d *= 2;
-        }
-        // Broadcast back down the same binomial tree, top-down.
-        let mut levels = Vec::new();
-        let mut d = 1;
-        while d < size {
-            levels.push(d);
-            d *= 2;
-        }
-        for &d in levels.iter().rev() {
-            if me.is_multiple_of(2 * d) && me + d < size {
-                self.send(me + d, tag + 1, data, cat);
-            } else if me % (2 * d) == d {
-                let m = self.recv(Some(me - d), Some(tag + 1), cat);
-                data.copy_from_slice(&m.payload);
-            }
-        }
+        crate::collectives::reduce_bcast(self, tag, data, cat);
     }
 
     /// Broadcast `data` from `root` to all ranks (binomial tree).
     pub fn bcast(&self, root: usize, data: &mut [f64], cat: Category) {
-        let size = self.size();
-        let vrank = |r: usize| (r + size - root) % size;
-        let unrot = |v: usize| (v + root) % size;
-        let me = vrank(self.my_idx);
         let tag = self.coll_tag();
-        let mut levels = Vec::new();
-        let mut d = 1;
-        while d < size {
-            levels.push(d);
-            d *= 2;
-        }
-        for &d in levels.iter().rev() {
-            if me.is_multiple_of(2 * d) && me + d < size {
-                self.send(unrot(me + d), tag, data, cat);
-            } else if me % (2 * d) == d {
-                let m = self.recv(Some(unrot(me - d)), Some(tag), cat);
-                data.copy_from_slice(&m.payload);
-            }
-        }
+        crate::collectives::bcast_from(self, root, tag, data, cat);
     }
 }
 

@@ -116,6 +116,25 @@ impl Histogram {
         }
     }
 
+    /// Rebuild a histogram from its raw parts (the inverse of reading
+    /// [`bounds`](Histogram::bounds) / [`bucket_counts`](Histogram::bucket_counts) /
+    /// [`sum`](Histogram::sum)) — how a histogram crosses a process
+    /// boundary without replaying every observation.
+    pub fn from_raw(bounds: Vec<f64>, counts: Vec<u64>, sum: f64) -> Self {
+        assert_eq!(
+            counts.len(),
+            bounds.len() + 1,
+            "histogram counts must include the overflow bucket"
+        );
+        let n = counts.iter().sum();
+        Histogram {
+            bounds,
+            counts,
+            sum,
+            n,
+        }
+    }
+
     /// Record one observation.
     pub fn observe(&mut self, v: f64) {
         let i = self
@@ -266,6 +285,21 @@ impl Metrics {
     /// Iterate counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Install a reconstructed histogram under `name`, merging into any
+    /// existing series of the same name (deserialization path).
+    pub fn insert_histogram(&mut self, name: &str, h: Histogram) {
+        if let Some(mine) = self.histograms.get_mut(name) {
+            mine.merge_from(&h);
+        } else {
+            self.histograms.insert(name.to_string(), h);
+        }
     }
 
     /// True when nothing has been recorded.

@@ -6,7 +6,7 @@
 //! therefore never name a concrete communicator type: they are generic over
 //! [`Transport`], and a backend supplies the wire.
 //!
-//! Two backends exist in-tree:
+//! Three backends exist in-tree:
 //!
 //! * [`Comm`](crate::Comm) — the virtual-time simulator of this crate
 //!   (backend #1). Virtual clocks, the α–β machine model, fault injection,
@@ -14,6 +14,9 @@
 //!   they live behind this trait, not in the solver core.
 //! * `sptrsv-comm-native` — a real shared-memory transport (backend #2):
 //!   one OS thread per rank, mailbox queues, wall-clock timing.
+//! * `sptrsv-comm-proc` — a real distributed transport (backend #3): one
+//!   OS *process* per rank over Unix-domain sockets, messages serialized
+//!   through the [`wire`](crate::wire) envelope.
 //!
 //! ## Contract
 //!
@@ -51,6 +54,17 @@ use crate::stats::{Category, N_CATEGORIES};
 use crate::trace::{EventKind, SpanDetail};
 use crate::RecvMsg;
 use std::sync::Arc;
+
+/// A message payload as the solver core sees it: a shared, immutable
+/// buffer of `f64` words (numeric values, and — on the PR 9 occupancy
+/// paths — presence-bitmap words smuggled as bit patterns).
+///
+/// In-process backends move a `Payload` by bumping the `Arc` refcount, so
+/// a send is zero-copy end to end. Process-boundary backends serialize it
+/// through the [`wire`](crate::wire) frame — bit-exactly, via
+/// `f64::to_bits` — and materialize a fresh `Payload` on the receiving
+/// side; that frame is the single point where zero-copy ends.
+pub type Payload = Arc<[f64]>;
 
 /// A communicator handle of one rank on some message-passing backend.
 ///
@@ -118,7 +132,7 @@ pub trait Transport: Sized {
     }
 
     /// Zero-copy send: enqueue a refcount bump of `payload`.
-    fn send_shared(&self, dst: usize, tag: u64, payload: &Arc<[f64]>, cat: Category);
+    fn send_shared(&self, dst: usize, tag: u64, payload: &Payload, cat: Category);
 
     /// One-sided put with an explicit departure time and wire cost, in the
     /// backend's clock domain (the GPU path's NVSHMEM-style messages).
@@ -131,7 +145,7 @@ pub trait Transport: Sized {
         wire: f64,
         dst: usize,
         tag: u64,
-        payload: &Arc<[f64]>,
+        payload: &Payload,
         cat: Category,
     );
 
@@ -247,7 +261,7 @@ impl Transport for crate::Comm {
         crate::Comm::send(self, dst, tag, payload, cat)
     }
 
-    fn send_shared(&self, dst: usize, tag: u64, payload: &Arc<[f64]>, cat: Category) {
+    fn send_shared(&self, dst: usize, tag: u64, payload: &Payload, cat: Category) {
         crate::Comm::send_shared(self, dst, tag, payload, cat)
     }
 
@@ -257,7 +271,7 @@ impl Transport for crate::Comm {
         wire: f64,
         dst: usize,
         tag: u64,
-        payload: &Arc<[f64]>,
+        payload: &Payload,
         cat: Category,
     ) {
         crate::Comm::send_timed_shared(self, depart, wire, dst, tag, payload, cat)

@@ -1,0 +1,936 @@
+//! The wire envelope: where zero-copy ends.
+//!
+//! In-process backends (the simulator, `comm_native`) move a
+//! [`Payload`](crate::transport::Payload) by bumping an `Arc` refcount —
+//! sender and receiver literally share the buffer. A process-per-rank
+//! backend cannot: the payload must be *serialized* across the address
+//! space boundary. This module defines that serialization once, so every
+//! socket-class transport frames messages identically and a frame written
+//! by one backend version is rejected (not misparsed) by another.
+//!
+//! ## Frame layout
+//!
+//! All integers little-endian; `f64` words travel as their IEEE-754 bit
+//! patterns (`f64::to_bits`), so finite values, infinities, and the NaN
+//! bit patterns used by presence bitmaps round-trip *bit-exactly*.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"SPTV"
+//!      4     2  version (currently 1)
+//!      6     2  flags   (bit 0: frame carries presence-bitmap words)
+//!      8     8  frame_len — bytes that FOLLOW this field (= 40 + 8·body_len)
+//!     16     8  comm_id — communicator the message belongs to
+//!     24     4  src — sender's rank within comm_id
+//!     28     4  bitmap_words — trailing body words that are presence-bitmap
+//!               bit patterns (PR 9's occupancy format), 0 when none
+//!     32     8  tag (epoch/kind/supernode encoding of `core`)
+//!     40     8  seq — cluster-unique message id
+//!     48     8  body_len — payload length in f64 words
+//!     56   8·n  body — body_len × f64::to_bits, little-endian
+//! ```
+//!
+//! `frame_len` is the length prefix: a streaming reader reads the 16-byte
+//! preamble, validates it, then reads exactly `frame_len` more bytes — a
+//! corrupt or truncated frame yields a typed [`WireError`], never a panic
+//! and never a partially delivered message.
+
+use crate::metrics::{Histogram, Metrics};
+use crate::stats::{Category, RankStats, CATEGORIES, N_CATEGORIES};
+use crate::trace::{EventKind, FaultMark, MsgInfo, SpanDetail, TraceEvent, TreeRole};
+use crate::transport::Payload;
+use std::fmt;
+use std::io::Read;
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"SPTV";
+
+/// Wire-format version; bumped on any layout change.
+pub const VERSION: u16 = 1;
+
+/// Flag bit 0: the body's trailing `bitmap_words` words are presence-bitmap
+/// bit patterns rather than numeric values.
+pub const FLAG_BITMAP: u16 = 1;
+
+/// Maximum accepted body length in f64 words (2 GiB of payload). A corrupt
+/// length field must not drive a multi-terabyte allocation.
+pub const MAX_BODY_WORDS: u64 = 1 << 28;
+
+/// Fixed byte count of the fields covered by `frame_len` (everything after
+/// the length prefix, minus the body).
+const POST_LEN_FIXED: u64 = 40;
+
+/// Typed decode failure. Every corrupt, truncated, or foreign input maps
+/// to one of these — decoding never panics and never yields a partial
+/// message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the structure it promised.
+    Truncated {
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unknown format version.
+    BadVersion(u16),
+    /// Declared body length exceeds [`MAX_BODY_WORDS`].
+    Oversize {
+        /// Declared body length in f64 words.
+        words: u64,
+    },
+    /// `frame_len` and `body_len` disagree.
+    LengthMismatch {
+        /// Bytes declared by `frame_len`.
+        declared: u64,
+        /// Bytes implied by `body_len`.
+        actual: u64,
+    },
+    /// `bitmap_words` claims more words than the body holds.
+    BitmapOverrun {
+        /// Declared bitmap word count.
+        bitmap_words: u32,
+        /// Declared body word count.
+        body_words: u64,
+    },
+    /// A packed structure failed validation (bad discriminant, bad UTF-8).
+    Malformed(&'static str),
+    /// The stream closed cleanly on a frame boundary (EOF before any byte
+    /// of a new frame) — the peer hung up, not a corruption.
+    Closed,
+    /// An I/O error from the underlying stream.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::Oversize { words } => {
+                write!(
+                    f,
+                    "frame body of {words} words exceeds the {MAX_BODY_WORDS}-word cap"
+                )
+            }
+            WireError::LengthMismatch { declared, actual } => {
+                write!(f, "frame length mismatch: prefix declares {declared} bytes, body implies {actual}")
+            }
+            WireError::BitmapOverrun {
+                bitmap_words,
+                body_words,
+            } => write!(
+                f,
+                "bitmap_words {bitmap_words} exceeds body of {body_words} words"
+            ),
+            WireError::Malformed(what) => write!(f, "malformed frame content: {what}"),
+            WireError::Closed => write!(f, "stream closed on a frame boundary"),
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Decoded frame envelope (everything but the body).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Communicator the message belongs to.
+    pub comm_id: u64,
+    /// Sender's rank within `comm_id`.
+    pub src: u32,
+    /// Trailing body words holding presence-bitmap bit patterns (0: none).
+    pub bitmap_words: u32,
+    /// Message tag.
+    pub tag: u64,
+    /// Cluster-unique message id.
+    pub seq: u64,
+}
+
+// ---- little-endian put helpers (encoding) ----
+
+/// Append one raw byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append `v` little-endian.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append `v` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append `v` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append `v` as its IEEE-754 bit pattern, little-endian (bit-exact for
+/// every value, NaN payloads included).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Bounds-checked little-endian cursor over a byte buffer (decoding).
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consume one raw byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Consume an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Append one complete frame for `(header, body)` to `out` (which is not
+/// cleared — callers batch frames or reuse a scratch buffer).
+pub fn encode_frame(out: &mut Vec<u8>, h: &FrameHeader, body: &[f64]) {
+    out.extend_from_slice(&MAGIC);
+    put_u16(out, VERSION);
+    put_u16(out, if h.bitmap_words > 0 { FLAG_BITMAP } else { 0 });
+    put_u64(out, POST_LEN_FIXED + 8 * body.len() as u64);
+    put_u64(out, h.comm_id);
+    put_u32(out, h.src);
+    put_u32(out, h.bitmap_words);
+    put_u64(out, h.tag);
+    put_u64(out, h.seq);
+    put_u64(out, body.len() as u64);
+    for &v in body {
+        put_f64(out, v);
+    }
+}
+
+/// Validate the 16-byte preamble; returns `frame_len` (bytes after it).
+fn check_preamble(r: &mut WireReader<'_>) -> Result<u64, WireError> {
+    let magic: [u8; 4] = r.take(4)?.try_into().unwrap();
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let _flags = r.u16()?;
+    let frame_len = r.u64()?;
+    if !(POST_LEN_FIXED..=POST_LEN_FIXED + 8 * MAX_BODY_WORDS).contains(&frame_len) {
+        return Err(WireError::Oversize {
+            words: frame_len.saturating_sub(POST_LEN_FIXED) / 8,
+        });
+    }
+    Ok(frame_len)
+}
+
+/// Parse the post-preamble fields (header + body) from a cursor holding
+/// exactly `frame_len` bytes.
+fn parse_rest(r: &mut WireReader<'_>, frame_len: u64) -> Result<(FrameHeader, Payload), WireError> {
+    let comm_id = r.u64()?;
+    let src = r.u32()?;
+    let bitmap_words = r.u32()?;
+    let tag = r.u64()?;
+    let seq = r.u64()?;
+    let body_len = r.u64()?;
+    if body_len > MAX_BODY_WORDS {
+        return Err(WireError::Oversize { words: body_len });
+    }
+    let actual = POST_LEN_FIXED + 8 * body_len;
+    if actual != frame_len {
+        return Err(WireError::LengthMismatch {
+            declared: frame_len,
+            actual,
+        });
+    }
+    if bitmap_words as u64 > body_len {
+        return Err(WireError::BitmapOverrun {
+            bitmap_words,
+            body_words: body_len,
+        });
+    }
+    let mut body = Vec::with_capacity(body_len as usize);
+    for _ in 0..body_len {
+        body.push(r.f64()?);
+    }
+    let header = FrameHeader {
+        comm_id,
+        src,
+        bitmap_words,
+        tag,
+        seq,
+    };
+    Ok((header, body.into()))
+}
+
+/// Decode one complete frame from the front of `buf`. Returns the header,
+/// the body (copied into a fresh [`Payload`] — this is the point where
+/// zero-copy genuinely ends), and the number of bytes consumed.
+pub fn decode_frame(buf: &[u8]) -> Result<(FrameHeader, Payload, usize), WireError> {
+    let mut r = WireReader::new(buf);
+    let frame_len = check_preamble(&mut r)?;
+    if (r.remaining() as u64) < frame_len {
+        return Err(WireError::Truncated {
+            need: frame_len as usize,
+            have: r.remaining(),
+        });
+    }
+    let (h, body) = parse_rest(&mut r, frame_len)?;
+    Ok((h, body, 16 + frame_len as usize))
+}
+
+/// Read one frame from a byte stream: the 16-byte preamble, then exactly
+/// `frame_len` more bytes into `scratch` (reused across calls so the
+/// steady state allocates only the payload). A clean EOF *between* frames
+/// returns [`WireError::Closed`]; an EOF mid-frame is [`WireError::Io`].
+pub fn read_frame<S: Read>(
+    stream: &mut S,
+    scratch: &mut Vec<u8>,
+) -> Result<(FrameHeader, Payload), WireError> {
+    let mut preamble = [0u8; 16];
+    let mut got = 0;
+    while got < preamble.len() {
+        match stream.read(&mut preamble[got..]) {
+            Ok(0) if got == 0 => return Err(WireError::Closed),
+            Ok(0) => {
+                return Err(WireError::Io(format!(
+                    "eof after {got} bytes of a frame preamble"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    let mut r = WireReader::new(&preamble);
+    let frame_len = check_preamble(&mut r)?;
+    scratch.clear();
+    scratch.resize(frame_len as usize, 0);
+    stream
+        .read_exact(scratch)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    let mut r = WireReader::new(scratch);
+    parse_rest(&mut r, frame_len)
+}
+
+/// Binary pack/unpack for structures that cross the process boundary out
+/// of band (rank results, statistics). Same conventions as the frame body:
+/// little-endian integers, `f64` as bit patterns.
+pub trait WirePack: Sized {
+    /// Append this value's encoding to `out`.
+    fn pack(&self, out: &mut Vec<u8>);
+    /// Decode one value from the cursor.
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+impl WirePack for u32 {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_u32(out, *self);
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u32()
+    }
+}
+
+impl WirePack for u64 {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u64()
+    }
+}
+
+impl WirePack for f64 {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_f64(out, *self);
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.f64()
+    }
+}
+
+impl WirePack for String {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.u64()?;
+        if len > (1 << 20) {
+            return Err(WireError::Malformed("string length over 1 MiB"));
+        }
+        let bytes = r.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string not UTF-8"))
+    }
+}
+
+impl<T: WirePack> WirePack for Vec<T> {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.len() as u64);
+        for v in self {
+            v.pack(out);
+        }
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.u64()?;
+        // Each element consumes at least one byte; a corrupt count cannot
+        // force an allocation larger than the buffer it must fill from.
+        if len as usize > r.remaining() {
+            return Err(WireError::Truncated {
+                need: len as usize,
+                have: r.remaining(),
+            });
+        }
+        let mut v = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            v.push(T::unpack(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<A: WirePack, B: WirePack> WirePack for (A, B) {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.0.pack(out);
+        self.1.pack(out);
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::unpack(r)?, B::unpack(r)?))
+    }
+}
+
+impl<A: WirePack, B: WirePack, C: WirePack> WirePack for (A, B, C) {
+    fn pack(&self, out: &mut Vec<u8>) {
+        self.0.pack(out);
+        self.1.pack(out);
+        self.2.pack(out);
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::unpack(r)?, B::unpack(r)?, C::unpack(r)?))
+    }
+}
+
+impl WirePack for () {
+    fn pack(&self, _out: &mut Vec<u8>) {}
+    fn unpack(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl<T: WirePack> WirePack for Option<T> {
+    fn pack(&self, out: &mut Vec<u8>) {
+        match self {
+            None => put_u8(out, 0),
+            Some(v) => {
+                put_u8(out, 1);
+                v.pack(out);
+            }
+        }
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::unpack(r)?)),
+            _ => Err(WireError::Malformed("option discriminant")),
+        }
+    }
+}
+
+// ---- pack impls for the run artifacts a process-per-rank backend ships
+// ---- back over its result channel (statistics, metrics, flight spans).
+
+impl WirePack for RankStats {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.rank as u64);
+        for v in self.time {
+            put_f64(out, v);
+        }
+        for v in self.bytes_sent {
+            put_u64(out, v);
+        }
+        for v in self.msgs_sent {
+            put_u64(out, v);
+        }
+        put_f64(out, self.final_clock);
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut s = RankStats::new(r.u64()? as usize);
+        for i in 0..N_CATEGORIES {
+            s.time[i] = r.f64()?;
+        }
+        for i in 0..N_CATEGORIES {
+            s.bytes_sent[i] = r.u64()?;
+        }
+        for i in 0..N_CATEGORIES {
+            s.msgs_sent[i] = r.u64()?;
+        }
+        s.final_clock = r.f64()?;
+        Ok(s)
+    }
+}
+
+impl WirePack for Metrics {
+    fn pack(&self, out: &mut Vec<u8>) {
+        let counters: Vec<(String, u64)> =
+            self.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        counters.pack(out);
+        let hists: Vec<(&str, &Histogram)> = self.histograms().collect();
+        put_u64(out, hists.len() as u64);
+        for (name, h) in hists {
+            name.to_string().pack(out);
+            h.bounds().to_vec().pack(out);
+            h.bucket_counts().to_vec().pack(out);
+            put_f64(out, h.sum());
+        }
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut m = Metrics::new();
+        for (k, v) in Vec::<(String, u64)>::unpack(r)? {
+            m.inc(&k, v);
+        }
+        let n = r.u64()?;
+        if n as usize > r.remaining() {
+            return Err(WireError::Truncated {
+                need: n as usize,
+                have: r.remaining(),
+            });
+        }
+        for _ in 0..n {
+            let name = String::unpack(r)?;
+            let bounds: Vec<f64> = Vec::unpack(r)?;
+            let counts: Vec<u64> = Vec::unpack(r)?;
+            let sum = r.f64()?;
+            if counts.len() != bounds.len() + 1 {
+                return Err(WireError::Malformed("histogram bucket count mismatch"));
+            }
+            m.insert_histogram(&name, Histogram::from_raw(bounds, counts, sum));
+        }
+        Ok(m)
+    }
+}
+
+impl WirePack for Category {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_u8(out, *self as u8);
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let idx = r.u8()? as usize;
+        CATEGORIES
+            .get(idx)
+            .copied()
+            .ok_or(WireError::Malformed("category discriminant"))
+    }
+}
+
+impl WirePack for EventKind {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_u8(
+            out,
+            match self {
+                EventKind::Compute => 0,
+                EventKind::Send => 1,
+                EventKind::Recv => 2,
+            },
+        );
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(EventKind::Compute),
+            1 => Ok(EventKind::Send),
+            2 => Ok(EventKind::Recv),
+            _ => Err(WireError::Malformed("event kind discriminant")),
+        }
+    }
+}
+
+impl WirePack for TreeRole {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_u8(
+            out,
+            match self {
+                TreeRole::Diag => 0,
+                TreeRole::Apply => 1,
+                TreeRole::Bcast => 2,
+                TreeRole::Reduce => 3,
+            },
+        );
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(TreeRole::Diag),
+            1 => Ok(TreeRole::Apply),
+            2 => Ok(TreeRole::Bcast),
+            3 => Ok(TreeRole::Reduce),
+            _ => Err(WireError::Malformed("tree role discriminant")),
+        }
+    }
+}
+
+impl WirePack for FaultMark {
+    fn pack(&self, out: &mut Vec<u8>) {
+        let bits = self.jitter_delayed as u8
+            | (self.duplicate as u8) << 1
+            | (self.dropped_duplicate as u8) << 2;
+        put_u8(out, bits);
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let bits = r.u8()?;
+        if bits > 0b111 {
+            return Err(WireError::Malformed("fault mark bits"));
+        }
+        Ok(FaultMark {
+            jitter_delayed: bits & 1 != 0,
+            duplicate: bits & 2 != 0,
+            dropped_duplicate: bits & 4 != 0,
+        })
+    }
+}
+
+impl WirePack for MsgInfo {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.peer as u64);
+        put_u64(out, self.bytes as u64);
+        put_u64(out, self.tag);
+        put_u64(out, self.seq);
+        put_f64(out, self.arrival);
+        self.faults.pack(out);
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(MsgInfo {
+            peer: r.u64()? as usize,
+            bytes: r.u64()? as usize,
+            tag: r.u64()?,
+            seq: r.u64()?,
+            arrival: r.f64()?,
+            faults: FaultMark::unpack(r)?,
+        })
+    }
+}
+
+impl WirePack for SpanDetail {
+    fn pack(&self, out: &mut Vec<u8>) {
+        match *self {
+            SpanDetail::Pass {
+                epoch,
+                step,
+                sup,
+                role,
+            } => {
+                put_u8(out, 0);
+                put_u64(out, epoch);
+                put_u32(out, step);
+                put_u32(out, sup);
+                role.pack(out);
+            }
+            SpanDetail::Allreduce { round, role } => {
+                put_u8(out, 1);
+                put_u32(out, round);
+                role.pack(out);
+            }
+            SpanDetail::ZExchangeTrim {
+                round,
+                role,
+                saved_doubles,
+            } => {
+                put_u8(out, 2);
+                put_u32(out, round);
+                role.pack(out);
+                put_u64(out, saved_doubles);
+            }
+            SpanDetail::NaiveAllreduce { node } => {
+                put_u8(out, 3);
+                put_u32(out, node);
+            }
+            SpanDetail::ZExchange { level, reduce } => {
+                put_u8(out, 4);
+                put_u32(out, level);
+                put_u8(out, reduce as u8);
+            }
+            SpanDetail::GpuPass { epoch, tasks } => {
+                put_u8(out, 5);
+                put_u64(out, epoch);
+                put_u64(out, tasks);
+            }
+            SpanDetail::LevelBarrier { epoch, level, sup } => {
+                put_u8(out, 6);
+                put_u64(out, epoch);
+                put_u32(out, level);
+                put_u32(out, sup);
+            }
+        }
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(SpanDetail::Pass {
+                epoch: r.u64()?,
+                step: r.u32()?,
+                sup: r.u32()?,
+                role: TreeRole::unpack(r)?,
+            }),
+            1 => Ok(SpanDetail::Allreduce {
+                round: r.u32()?,
+                role: TreeRole::unpack(r)?,
+            }),
+            2 => Ok(SpanDetail::ZExchangeTrim {
+                round: r.u32()?,
+                role: TreeRole::unpack(r)?,
+                saved_doubles: r.u64()?,
+            }),
+            3 => Ok(SpanDetail::NaiveAllreduce { node: r.u32()? }),
+            4 => Ok(SpanDetail::ZExchange {
+                level: r.u32()?,
+                reduce: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("bool discriminant")),
+                },
+            }),
+            5 => Ok(SpanDetail::GpuPass {
+                epoch: r.u64()?,
+                tasks: r.u64()?,
+            }),
+            6 => Ok(SpanDetail::LevelBarrier {
+                epoch: r.u64()?,
+                level: r.u32()?,
+                sup: r.u32()?,
+            }),
+            _ => Err(WireError::Malformed("span detail discriminant")),
+        }
+    }
+}
+
+impl WirePack for TraceEvent {
+    fn pack(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.t0);
+        put_f64(out, self.t1);
+        self.kind.pack(out);
+        self.category.pack(out);
+        self.msg.pack(out);
+        self.detail.pack(out);
+    }
+    fn unpack(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(TraceEvent {
+            t0: r.f64()?,
+            t1: r.f64()?,
+            kind: EventKind::unpack(r)?,
+            category: Category::unpack(r)?,
+            msg: Option::unpack(r)?,
+            detail: Option::unpack(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> FrameHeader {
+        FrameHeader {
+            comm_id: 7,
+            src: 3,
+            bitmap_words: 1,
+            tag: (0x5 << 48) | 42,
+            seq: (4 << 32) | 9,
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_bit_exactly() {
+        let body = [1.5, -0.0, f64::NAN, f64::INFINITY, 3e300, 1e-300];
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &header(), &body);
+        let (h, payload, used) = decode_frame(&buf).expect("decode");
+        assert_eq!(h, header());
+        assert_eq!(used, buf.len());
+        assert_eq!(payload.len(), body.len());
+        for (a, b) in payload.iter().zip(body.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn streaming_reader_matches_in_memory_decoder() {
+        let empty = FrameHeader {
+            bitmap_words: 0,
+            ..header()
+        };
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &header(), &[2.0, 4.0]);
+        encode_frame(&mut buf, &empty, &[]);
+        let mut stream: &[u8] = &buf;
+        let mut scratch = Vec::new();
+        let (h1, p1) = read_frame(&mut stream, &mut scratch).expect("frame 1");
+        let (h2, p2) = read_frame(&mut stream, &mut scratch).expect("frame 2");
+        assert_eq!((h1, h2), (header(), empty));
+        assert_eq!((&p1[..], p2.len()), (&[2.0, 4.0][..], 0));
+        assert_eq!(
+            read_frame(&mut stream, &mut scratch),
+            Err(WireError::Closed)
+        );
+    }
+
+    #[test]
+    fn corrupt_frames_are_typed_errors() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &header(), &[1.0]);
+        // Magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(decode_frame(&bad), Err(WireError::BadMagic(_))));
+        // Version.
+        let mut bad = buf.clone();
+        bad[4] = 0x7f;
+        assert!(matches!(decode_frame(&bad), Err(WireError::BadVersion(_))));
+        // Oversize length prefix.
+        let mut bad = buf.clone();
+        bad[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(WireError::Oversize { .. })
+        ));
+        // Inconsistent body_len.
+        let mut bad = buf.clone();
+        bad[48..56].copy_from_slice(&2u64.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(WireError::LengthMismatch { .. })
+        ));
+        // Bitmap overrun: more bitmap words than body words.
+        let mut bad = buf.clone();
+        bad[28..32].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(WireError::BitmapOverrun { .. })
+        ));
+        // Every truncation point fails typed, never panics.
+        for cut in 0..buf.len() {
+            assert!(decode_frame(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wirepack_round_trips_nested_structures() {
+        let v: Vec<(u32, Vec<f64>)> = vec![(3, vec![1.0, f64::NEG_INFINITY]), (9, vec![])];
+        let mut buf = Vec::new();
+        v.pack(&mut buf);
+        "hello".to_string().pack(&mut buf);
+        let mut r = WireReader::new(&buf);
+        let got: Vec<(u32, Vec<f64>)> = WirePack::unpack(&mut r).expect("vec");
+        let s = String::unpack(&mut r).expect("string");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 3);
+        assert_eq!(got[0].1[1].to_bits(), f64::NEG_INFINITY.to_bits());
+        assert_eq!((got[1].0, got[1].1.len(), s.as_str()), (9, 0, "hello"));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn run_artifacts_round_trip() {
+        let mut stats = RankStats::new(5);
+        stats.time[0] = 1.25;
+        stats.bytes_sent[2] = 4096;
+        stats.msgs_sent[1] = 7;
+        stats.final_clock = 9.5;
+        let mut metrics = Metrics::new();
+        metrics.inc("msgs.sent", 12);
+        metrics.observe("msgs.bytes", crate::metrics::BYTE_BUCKETS, 100.0);
+        metrics.observe("msgs.bytes", crate::metrics::BYTE_BUCKETS, 1e9);
+        let event = TraceEvent {
+            t0: 0.5,
+            t1: 0.75,
+            kind: EventKind::Recv,
+            category: Category::ZComm,
+            msg: Some(MsgInfo {
+                peer: 3,
+                bytes: 128,
+                tag: 0x7 << 48,
+                seq: (6 << 32) | 2,
+                arrival: 0.6,
+                faults: FaultMark {
+                    jitter_delayed: true,
+                    ..FaultMark::default()
+                },
+            }),
+            detail: Some(SpanDetail::Allreduce {
+                round: 2,
+                role: TreeRole::Reduce,
+            }),
+        };
+        let mut buf = Vec::new();
+        stats.pack(&mut buf);
+        metrics.pack(&mut buf);
+        vec![event, TraceEvent::compute(1.0, 2.0, Category::Flop)].pack(&mut buf);
+        let mut r = WireReader::new(&buf);
+        let s2 = RankStats::unpack(&mut r).expect("stats");
+        let m2 = Metrics::unpack(&mut r).expect("metrics");
+        let ev2: Vec<TraceEvent> = Vec::unpack(&mut r).expect("events");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(
+            (s2.rank, s2.time[0], s2.bytes_sent[2], s2.msgs_sent[1]),
+            (5, 1.25, 4096, 7)
+        );
+        assert_eq!(s2.final_clock, 9.5);
+        assert_eq!(m2.counter("msgs.sent"), 12);
+        let h = m2.histogram("msgs.bytes").expect("histogram crossed");
+        assert_eq!((h.count(), h.sum()), (2, 100.0 + 1e9));
+        assert_eq!(
+            h.bucket_counts(),
+            metrics.histogram("msgs.bytes").unwrap().bucket_counts()
+        );
+        assert_eq!(
+            ev2,
+            vec![event, TraceEvent::compute(1.0, 2.0, Category::Flop)]
+        );
+    }
+}

@@ -77,6 +77,9 @@ EXECUTION:
     --backend B       sim (default): virtual-time simulator, predicted makespan
                       native: one OS thread per rank over shared memory,
                       measured wall-clock (excludes fault injection / tracing)
+                      proc: one OS process per rank over Unix sockets with
+                      wire-framed messages, measured wall-clock (same
+                      exclusions as native)
     --executor E      tree (default): message-driven tree walk
                       level: precompiled level-set sweep with per-row barriers
                       (both are bit-identical; they differ only in timing)
@@ -260,14 +263,14 @@ fn parse_args() -> Result<Args, String> {
     if a.px == 0 || a.py == 0 {
         return Err("--px and --py must be at least 1".into());
     }
-    if a.backend == Backend::Native {
+    if a.backend != Backend::Sim {
         if a.fault_profile.is_some() {
-            return Err("--fault-profile is sim-only (fault injection needs the virtual clock); drop --backend native".into());
+            return Err("--fault-profile is sim-only (fault injection needs the virtual clock); use --backend sim".into());
         }
         // Under --serve, --trace-out is the flight-recorder dump, which
-        // both backends capture on the wall clock.
+        // every backend captures on the wall clock.
         if !a.serve && (a.trace_out.is_some() || a.critical_path) {
-            return Err("--trace-out/--critical-path are sim-only (span tracing needs the virtual clock); drop --backend native".into());
+            return Err("--trace-out/--critical-path are sim-only (span tracing needs the virtual clock); use --backend sim".into());
         }
     }
     if a.serve {
@@ -486,6 +489,7 @@ fn main() -> ExitCode {
                 backend: match args.backend {
                     Backend::Sim => "sim",
                     Backend::Native => "native",
+                    Backend::Proc => "proc",
                 },
                 requests: args.requests,
                 rate_hz,
@@ -624,6 +628,7 @@ fn main() -> ExitCode {
             backend: match args.backend {
                 Backend::Sim => "sim",
                 Backend::Native => "native",
+                Backend::Proc => "proc",
             },
             simulated_seconds: out.makespan,
             l_solve_mean: out.mean(|p| p.l_wall),
@@ -663,7 +668,7 @@ fn main() -> ExitCode {
     );
     let clock_label = match args.backend {
         Backend::Sim => "simulated time ",
-        Backend::Native => "wall-clock time",
+        Backend::Native | Backend::Proc => "wall-clock time",
     };
     println!("  {clock_label}: {:>12.3} µs", out.makespan * 1e6);
     println!(

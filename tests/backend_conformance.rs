@@ -4,17 +4,22 @@
 //!
 //! For every algorithm variant on the conformance fixtures, the solution
 //! `x` must be **bit-identical** between the virtual-time simulator
-//! (`Backend::Sim`) and the real shared-memory threaded transport
-//! (`Backend::Native`). This holds because
+//! (`Backend::Sim`), the real shared-memory threaded transport
+//! (`Backend::Native`), and the process-per-rank socket transport
+//! (`Backend::Proc`). This holds because
 //!
 //! - ledger accumulation is delivery-order-independent (fixed per-slot
 //!   ordering, not arrival ordering),
 //! - point-to-point traffic is `(src, tag)`-addressed, and
-//! - collectives use the same fixed binomial reduction shape on both
-//!   backends.
+//! - collectives use the same fixed binomial reduction shape on all
+//!   backends (one shared implementation in `simgrid::collectives`).
 //!
-//! Native timing is real wall-clock, so only the numerics (and message
-//! counts) are compared — never the clocks.
+//! Native and proc timing is real wall-clock, so only the numerics (and
+//! message counts) are compared — never the clocks.
+//!
+//! The CI backend matrix pins one backend per job with
+//! `SPTRSV_TEST_BACKEND=sim|native|proc`; unset, every real backend is
+//! checked against the simulator in one run.
 
 mod common;
 
@@ -51,46 +56,76 @@ fn config(alg: Algorithm, arch: Arch, (px, py, pz): (usize, usize, usize)) -> So
     }
 }
 
-/// Solve the fixture on both backends and require bit-identical `x`.
+/// Real backends to check against the simulator. The CI matrix pins one
+/// via `SPTRSV_TEST_BACKEND`; pinning `sim` reduces the suite to the
+/// reference check alone (the simulator *is* the baseline).
+fn backends_under_test() -> Vec<Backend> {
+    if std::env::var("SPTRSV_TEST_BACKEND").is_ok() {
+        match common::backend() {
+            Backend::Sim => vec![],
+            other => vec![other],
+        }
+    } else {
+        vec![Backend::Native, Backend::Proc]
+    }
+}
+
+/// Total point-to-point sends across all ranks.
+fn total_sent(o: &SolveOutcome) -> u64 {
+    o.stats
+        .iter()
+        .map(|s| s.msgs_sent.iter().sum::<u64>())
+        .sum()
+}
+
+/// Solve the fixture on every backend under test and require `x`
+/// bit-identical to the simulator's.
 fn assert_backends_agree(alg: Algorithm, arch: Arch, grid: (usize, usize, usize)) {
     let (f, b, want) = fixture(grid.2);
     let sim_cfg = config(alg, arch, grid);
-    let nat_cfg = SolverConfig {
-        backend: Backend::Native,
-        ..sim_cfg.clone()
-    };
     let sim = solve_distributed(&f, &b, &sim_cfg);
-    let nat = solve_distributed(&f, &b, &nat_cfg);
 
     let diff = sparse::max_abs_diff(&sim.x, &want);
     assert!(
         diff < 1e-9,
         "{alg:?}/{arch:?}/{grid:?}: sim disagrees with the sequential reference: {diff}"
     );
-    assert_eq!(sim.x.len(), nat.x.len());
-    for (i, (s, n)) in sim.x.iter().zip(&nat.x).enumerate() {
-        assert_eq!(
-            s.to_bits(),
-            n.to_bits(),
-            "{alg:?}/{arch:?}/{grid:?}: x[{i}] differs across backends: sim {s:e}, native {n:e}"
-        );
-    }
     assert!(
-        sim.replication_disagreement == 0.0 && nat.replication_disagreement == 0.0,
-        "{alg:?}/{arch:?}/{grid:?}: replicated grids disagreed"
+        sim.replication_disagreement == 0.0,
+        "{alg:?}/{arch:?}/{grid:?}: replicated grids disagreed under sim"
     );
 
-    // Message accounting is backend-portable (same sends, same payloads);
-    // clocks are not — native makespan is real wall time, just sanity it.
-    let sent = |o: &SolveOutcome| {
-        o.stats
-            .iter()
-            .map(|s| s.msgs_sent.iter().sum::<u64>())
-            .sum()
-    };
-    let (sm, nm): (u64, u64) = (sent(&sim), sent(&nat));
-    assert_eq!(sm, nm, "{alg:?}/{arch:?}/{grid:?}: message counts diverge");
-    assert!(nat.makespan.is_finite() && nat.makespan > 0.0);
+    for backend in backends_under_test() {
+        let cfg = SolverConfig {
+            backend,
+            ..sim_cfg.clone()
+        };
+        let real = solve_distributed(&f, &b, &cfg);
+
+        assert_eq!(sim.x.len(), real.x.len());
+        for (i, (s, r)) in sim.x.iter().zip(&real.x).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                r.to_bits(),
+                "{alg:?}/{arch:?}/{grid:?}: x[{i}] differs across backends: \
+                 sim {s:e}, {backend:?} {r:e}"
+            );
+        }
+        assert!(
+            real.replication_disagreement == 0.0,
+            "{alg:?}/{arch:?}/{grid:?}: replicated grids disagreed under {backend:?}"
+        );
+
+        // Message accounting is backend-portable (same sends, same
+        // payloads); clocks are not — real makespans are wall time, so
+        // just sanity them.
+        assert_eq!(
+            total_sent(&sim),
+            total_sent(&real),
+            "{alg:?}/{arch:?}/{grid:?}: message counts diverge on {backend:?}"
+        );
+        assert!(real.makespan.is_finite() && real.makespan > 0.0);
+    }
 }
 
 #[test]
@@ -142,4 +177,35 @@ fn native_is_bit_stable_across_runs() {
             assert_eq!(s.to_bits(), n.to_bits(), "native run-to-run drift");
         }
     }
+}
+
+/// The proc backend must actually put each rank in its own OS process:
+/// every rank publishes its PID as a metric counter, and all of them
+/// must be distinct from each other and from the test harness.
+#[test]
+fn proc_ranks_run_in_separate_processes() {
+    let grid = (2, 2, 2);
+    let (f, b, want) = fixture(grid.2);
+    let cfg = SolverConfig {
+        backend: Backend::Proc,
+        ..config(Algorithm::New3d, Arch::Cpu, grid)
+    };
+    let out = solve_distributed(&f, &b, &cfg);
+    assert!(sparse::max_abs_diff(&out.x, &want) < 1e-9);
+
+    let nranks = grid.0 * grid.1 * grid.2;
+    let mut pids = Vec::new();
+    for r in 0..nranks {
+        let pid = out.metrics.counter(&format!("proc.pid.rank{r}"));
+        assert!(pid != 0, "rank {r} did not publish a PID counter");
+        assert_ne!(
+            pid,
+            u64::from(std::process::id()),
+            "rank {r} ran inside the test harness process"
+        );
+        pids.push(pid);
+    }
+    pids.sort_unstable();
+    pids.dedup();
+    assert_eq!(pids.len(), nranks, "ranks shared OS processes: {pids:?}");
 }

@@ -22,7 +22,8 @@ pub fn seeds() -> Vec<u64> {
 }
 
 /// Backend under test for suites that honor the CI backend matrix.
-/// `SPTRSV_TEST_BACKEND=sim|native` selects it; default is the simulator.
+/// `SPTRSV_TEST_BACKEND=sim|native|proc` selects it; default is the
+/// simulator.
 pub fn backend() -> sptrsv_repro::sptrsv::Backend {
     match std::env::var("SPTRSV_TEST_BACKEND") {
         Ok(v) => v

@@ -1,0 +1,254 @@
+//! Property tests for the wire envelope (`simgrid::wire`): every frame
+//! round-trips bit-exactly through both the in-memory decoder and the
+//! streaming reader, and every truncated or corrupted input maps to a
+//! typed [`WireError`] — never a panic, never a partially decoded frame.
+
+use proptest::prelude::*;
+use simgrid::wire::{
+    decode_frame, encode_frame, read_frame, FrameHeader, WireError, FLAG_BITMAP, MAGIC,
+    MAX_BODY_WORDS, VERSION,
+};
+use std::io::Cursor;
+
+/// Assemble a header whose tag carries an epoch in the high bits, the way
+/// the solver's phase tags do (`epoch << 48 | low`).
+fn header(
+    comm_id: u64,
+    src: u32,
+    epoch: u16,
+    low: u64,
+    seq: u64,
+    bitmap_words: u32,
+) -> FrameHeader {
+    FrameHeader {
+        comm_id,
+        src,
+        bitmap_words,
+        tag: (u64::from(epoch) << 48) | (low & ((1 << 48) - 1)),
+        seq,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Random envelopes and bodies — including `f64` bit patterns that are
+    /// NaNs, infinities, and subnormals — survive encode → decode with
+    /// every bit intact, through both decode paths.
+    #[test]
+    fn frames_round_trip_bit_exactly(
+        comm_id in 0u64..u64::MAX,
+        src in 0u32..4096,
+        epoch in 0u16..u16::MAX,
+        low in 0u64..(1u64 << 48),
+        seq in 0u64..u64::MAX,
+        bits in proptest::collection::vec(0u64..u64::MAX, 0..48),
+        bitmap_frac in 0u32..=100,
+    ) {
+        let body: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let bitmap_words = (body.len() as u32 * bitmap_frac) / 100;
+        let h = header(comm_id, src, epoch, low, seq, bitmap_words);
+
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &h, &body);
+
+        // In-memory decode: header, every body bit, and the consumed
+        // length must all match.
+        let (dh, dbody, consumed) = decode_frame(&buf).expect("well-formed frame");
+        prop_assert_eq!(dh, h);
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(dbody.len(), body.len());
+        for (a, b) in dbody.iter().zip(&body) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Streaming decode over two back-to-back frames: framing must
+        // self-delimit, and a clean EOF is `Closed`, not an error blob.
+        let mut twice = buf.clone();
+        encode_frame(&mut twice, &h, &body);
+        let mut stream = Cursor::new(twice);
+        let mut scratch = Vec::new();
+        for _ in 0..2 {
+            let (sh, sbody) = read_frame(&mut stream, &mut scratch).expect("streamed frame");
+            prop_assert_eq!(sh, h);
+            for (a, b) in sbody.iter().zip(&body) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        prop_assert_eq!(read_frame(&mut stream, &mut scratch), Err(WireError::Closed));
+    }
+
+    /// Any strict prefix of a valid frame is rejected with a typed error
+    /// by both decode paths — no panic, no partial delivery.
+    #[test]
+    fn truncated_frames_are_rejected(
+        tag in 0u64..u64::MAX,
+        seq in 0u64..u64::MAX,
+        bits in proptest::collection::vec(0u64..u64::MAX, 1..32),
+        cut_frac in 0u32..100,
+    ) {
+        let body: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let h = FrameHeader { comm_id: 1, src: 0, bitmap_words: 0, tag, seq };
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &h, &body);
+
+        let cut = (buf.len() * cut_frac as usize) / 100;
+        prop_assert!(cut < buf.len());
+        let err = decode_frame(&buf[..cut]).expect_err("truncated frame must not decode");
+        prop_assert!(matches!(err, WireError::Truncated { .. }));
+
+        let mut stream = Cursor::new(buf[..cut].to_vec());
+        let mut scratch = Vec::new();
+        let streamed = read_frame(&mut stream, &mut scratch).expect_err("truncated stream");
+        match cut {
+            0 => prop_assert_eq!(streamed, WireError::Closed),
+            _ => prop_assert!(matches!(
+                streamed,
+                WireError::Io(_) | WireError::Truncated { .. }
+            )),
+        }
+    }
+
+    /// Arbitrary byte soup never panics the decoder: every input yields
+    /// either a valid frame or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        if let Ok((_, _, consumed)) = decode_frame(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+        }
+        let mut stream = Cursor::new(bytes);
+        let mut scratch = Vec::new();
+        let _ = read_frame(&mut stream, &mut scratch);
+    }
+
+    /// Single-byte corruption of a valid frame either still decodes (the
+    /// flip landed in an unchecked field or the body) or fails with a
+    /// typed error — never a panic, and never a frame of the wrong shape.
+    #[test]
+    fn corrupt_bytes_yield_typed_errors(
+        bits in proptest::collection::vec(0u64..u64::MAX, 1..16),
+        pos_frac in 0u32..100,
+        flip in 1u8..=255,
+    ) {
+        let body: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let h = FrameHeader { comm_id: 7, src: 3, bitmap_words: 1, tag: 42, seq: 9 };
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &h, &body);
+        let pos = (buf.len() * pos_frac as usize) / 100;
+        buf[pos] ^= flip;
+
+        match decode_frame(&buf) {
+            // Flip landed somewhere content-only: the frame still parses
+            // and still spans exactly the bytes it did before.
+            Ok((_, decoded_body, consumed)) => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(decoded_body.len(), body.len());
+            }
+            Err(e) => prop_assert!(!matches!(e, WireError::Closed)),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_and_version_are_identified() {
+    let h = FrameHeader {
+        comm_id: 1,
+        src: 0,
+        bitmap_words: 0,
+        tag: 5,
+        seq: 1,
+    };
+    let mut buf = Vec::new();
+    encode_frame(&mut buf, &h, &[1.0, 2.0]);
+
+    let mut bad_magic = buf.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(
+        decode_frame(&bad_magic),
+        Err(WireError::BadMagic(_))
+    ));
+
+    let mut bad_version = buf.clone();
+    bad_version[4] = (VERSION + 1) as u8;
+    assert!(matches!(
+        decode_frame(&bad_version),
+        Err(WireError::BadVersion(_))
+    ));
+
+    // Sanity: the untouched frame still decodes.
+    assert_eq!(&buf[..4], &MAGIC);
+    assert!(decode_frame(&buf).is_ok());
+}
+
+#[test]
+fn structural_lies_are_identified() {
+    let h = FrameHeader {
+        comm_id: 1,
+        src: 0,
+        bitmap_words: 0,
+        tag: 5,
+        seq: 1,
+    };
+    let mut buf = Vec::new();
+    encode_frame(&mut buf, &h, &[1.0, 2.0, 3.0]);
+
+    // body_len (offset 48) raised without growing the frame: the two
+    // length fields disagree.
+    let mut liar = buf.clone();
+    liar[48] = liar[48].wrapping_add(1);
+    assert!(matches!(
+        decode_frame(&liar),
+        Err(WireError::LengthMismatch { .. })
+    ));
+
+    // bitmap_words (offset 28) claiming more words than the body holds.
+    let mut overrun = buf.clone();
+    overrun[28] = 200;
+    assert!(matches!(
+        decode_frame(&overrun),
+        Err(WireError::BitmapOverrun { .. })
+    ));
+
+    // frame_len (offset 8) promising more than MAX_BODY_WORDS: rejected
+    // before any allocation is sized from it.
+    let mut huge = buf.clone();
+    let frame_len = 40 + 8 * (MAX_BODY_WORDS + 1);
+    huge[8..16].copy_from_slice(&frame_len.to_le_bytes());
+    assert!(matches!(
+        decode_frame(&huge),
+        Err(WireError::Oversize { .. })
+    ));
+}
+
+#[test]
+fn bitmap_flag_tracks_bitmap_words() {
+    let mut with = Vec::new();
+    encode_frame(
+        &mut with,
+        &FrameHeader {
+            comm_id: 1,
+            src: 0,
+            bitmap_words: 1,
+            tag: 0,
+            seq: 0,
+        },
+        &[0.5, f64::from_bits(0b1011)],
+    );
+    let flags = u16::from_le_bytes([with[6], with[7]]);
+    assert_eq!(flags & FLAG_BITMAP, FLAG_BITMAP);
+
+    let mut without = Vec::new();
+    encode_frame(
+        &mut without,
+        &FrameHeader {
+            comm_id: 1,
+            src: 0,
+            bitmap_words: 0,
+            tag: 0,
+            seq: 0,
+        },
+        &[0.5],
+    );
+    let flags = u16::from_le_bytes([without[6], without[7]]);
+    assert_eq!(flags & FLAG_BITMAP, 0);
+}
